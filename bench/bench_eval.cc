@@ -1,0 +1,139 @@
+// Substrate microbenchmarks: the query evaluators underneath the
+// deciders — join matching, datalog fixpoints, FO evaluation, parsing,
+// and constraint checking throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "constraints/constraint_check.h"
+#include "eval/fo_eval.h"
+#include "eval/query_eval.h"
+#include "query/parser.h"
+#include "util/str.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace evalbench {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+/// A two-relation graph instance: E(edge) and L(label).
+Database GraphDb(size_t nodes, size_t out_degree,
+                 std::shared_ptr<Schema>* schema_out) {
+  auto schema = std::make_shared<Schema>();
+  CheckOk(schema->AddRelation("E", 2), "schema E");
+  CheckOk(schema->AddRelation("L", 1), "schema L");
+  Database db(schema);
+  for (size_t v = 0; v < nodes; ++v) {
+    for (size_t d = 1; d <= out_degree; ++d) {
+      db.InsertUnchecked(
+          "E", Tuple::Ints({static_cast<int64_t>(v),
+                            static_cast<int64_t>((v + d) % nodes)}));
+    }
+    if (v % 3 == 0) {
+      db.InsertUnchecked("L", Tuple::Ints({static_cast<int64_t>(v)}));
+    }
+  }
+  *schema_out = schema;
+  return db;
+}
+
+void BM_TriangleJoin(benchmark::State& state) {
+  std::shared_ptr<Schema> schema;
+  Database db = GraphDb(static_cast<size_t>(state.range(0)), 3, &schema);
+  auto q = ParseConjunctiveQuery(
+      "Tri(x, y, z) :- E(x, y), E(y, z), E(z, x).");
+  CheckOk(q.status(), "q");
+  for (auto _ : state) {
+    auto answers = EvalConjunctive(*q, db);
+    CheckOk(answers.status(), "eval");
+    benchmark::DoNotOptimize(answers->size());
+  }
+  state.SetItemsProcessed(state.iterations() * db.TotalTuples());
+}
+BENCHMARK(BM_TriangleJoin)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SelectiveJoin(benchmark::State& state) {
+  std::shared_ptr<Schema> schema;
+  Database db = GraphDb(static_cast<size_t>(state.range(0)), 3, &schema);
+  auto q = ParseConjunctiveQuery("Qs(y) :- E(x, y), L(y), x = 0.");
+  CheckOk(q.status(), "q");
+  for (auto _ : state) {
+    auto answers = EvalConjunctive(*q, db);
+    CheckOk(answers.status(), "eval");
+    benchmark::DoNotOptimize(answers->size());
+  }
+}
+BENCHMARK(BM_SelectiveJoin)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  std::shared_ptr<Schema> schema;
+  Database db = GraphDb(static_cast<size_t>(state.range(0)), 1, &schema);
+  auto program = ParseDatalogProgram(
+      "T(x, y) :- E(x, y).\nT(x, z) :- E(x, y), T(y, z).");
+  CheckOk(program.status(), "program");
+  for (auto _ : state) {
+    auto tc = EvalDatalog(*program, db);
+    CheckOk(tc.status(), "eval");
+    benchmark::DoNotOptimize(tc->size());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FoEvaluation(benchmark::State& state) {
+  std::shared_ptr<Schema> schema;
+  Database db = GraphDb(static_cast<size_t>(state.range(0)), 2, &schema);
+  // Sinks of labeled nodes: no outgoing edge into a labeled node.
+  auto q = ParseFoQuery("Qf(x) := L(x) & !(exists y. (E(x, y) & L(y)))");
+  CheckOk(q.status(), "q");
+  for (auto _ : state) {
+    auto answers = EvalFo(*q, db);
+    CheckOk(answers.status(), "eval");
+    benchmark::DoNotOptimize(answers->size());
+  }
+}
+BENCHMARK(BM_FoEvaluation)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ParseQuery(benchmark::State& state) {
+  std::string text =
+      R"(Q(c) :- Cust(c, n, cc, a, p), Supt(e, d, c), cc = "01",)"
+      R"( a != "999", e = "e0".)";
+  for (auto _ : state) {
+    auto q = ParseConjunctiveQuery(text);
+    CheckOk(q.status(), "parse");
+    benchmark::DoNotOptimize(q->body().size());
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_ConstraintCheckThroughput(benchmark::State& state) {
+  Rng rng(1);
+  RandomInstanceOptions options;
+  options.num_relations = 3;
+  options.tuples_per_relation = static_cast<size_t>(state.range(0));
+  options.value_pool = 16;
+  auto db_schema = RandomSchema(options, &rng);
+  Database db = RandomDatabase(db_schema, options, &rng);
+  auto master_schema = std::make_shared<Schema>();
+  CheckOk(master_schema->AddRelation("M", 2), "master schema");
+  Database master(master_schema);
+  for (int i = 0; i < 16; ++i) {
+    master.InsertUnchecked("M", Tuple::Ints({i, i + 1}));
+  }
+  auto constraints =
+      ValueOrDie(RandomIndConstraints(*db_schema, *master_schema, 4, &rng),
+                 "constraints");
+  for (auto _ : state) {
+    auto ok = Satisfies(constraints, db, master);
+    CheckOk(ok.status(), "check");
+    benchmark::DoNotOptimize(*ok);
+  }
+  state.SetItemsProcessed(state.iterations() * db.TotalTuples());
+}
+BENCHMARK(BM_ConstraintCheckThroughput)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace evalbench
+}  // namespace relcomp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Proposition 2.1 costs: checking integrity constraints natively vs
+// through their containment-constraint compilation. The compiled form
+// buys uniformity (one partially-closed check covers completeness and
+// consistency); this bench quantifies what it costs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "constraints/constraint_check.h"
+#include "constraints/integrity_constraints.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace icbench {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+struct Fixture {
+  std::shared_ptr<Schema> db_schema;
+  std::shared_ptr<Schema> master_schema;
+  Database db;
+  Database master;
+
+  explicit Fixture(size_t tuples)
+      : db_schema(std::make_shared<Schema>()),
+        master_schema(std::make_shared<Schema>()),
+        db(std::make_shared<Schema>()),
+        master(std::make_shared<Schema>()) {
+    CheckOk(db_schema->AddRelation("Ord", 3), "Ord");
+    CheckOk(db_schema->AddRelation("Item", 2), "Item");
+    CheckOk(EnsureEmptyMasterRelation(master_schema.get()), "empty");
+    master = Database(master_schema);
+    db = Database(db_schema);
+    Rng rng(99);
+    std::uniform_int_distribution<int64_t> value(0, 31);
+    for (size_t i = 0; i < tuples; ++i) {
+      db.InsertUnchecked(
+          "Ord", Tuple::Ints({value(rng), value(rng), value(rng)}));
+      db.InsertUnchecked("Item", Tuple::Ints({value(rng), value(rng)}));
+    }
+  }
+};
+
+void BM_FdNative(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)));
+  FunctionalDependency fd("Ord", {0}, {1, 2});
+  for (auto _ : state) {
+    auto ok = fd.Check(f.db);
+    CheckOk(ok.status(), "check");
+    benchmark::DoNotOptimize(*ok);
+  }
+}
+BENCHMARK(BM_FdNative)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FdCompiled(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)));
+  FunctionalDependency fd("Ord", {0}, {1, 2});
+  auto ccs = ValueOrDie(fd.ToContainmentConstraints(*f.db_schema), "ccs");
+  ConstraintSet set;
+  for (auto& cc : ccs) set.Add(std::move(cc));
+  for (auto _ : state) {
+    auto ok = Satisfies(set, f.db, f.master);
+    CheckOk(ok.status(), "check");
+    benchmark::DoNotOptimize(*ok);
+  }
+}
+BENCHMARK(BM_FdCompiled)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CindNative(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)));
+  ConditionalInd cind("Ord", {1}, {AttrPattern{2, Value::Int(3)}}, "Item",
+                      {0}, {});
+  for (auto _ : state) {
+    auto ok = cind.Check(f.db);
+    CheckOk(ok.status(), "check");
+    benchmark::DoNotOptimize(*ok);
+  }
+}
+BENCHMARK(BM_CindNative)->Arg(16)->Arg(64);
+
+void BM_CindCompiledFo(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)));
+  ConditionalInd cind("Ord", {1}, {AttrPattern{2, Value::Int(3)}}, "Item",
+                      {0}, {});
+  auto cc = ValueOrDie(cind.ToContainmentConstraint(*f.db_schema), "cc");
+  ConstraintSet set;
+  set.Add(cc);
+  for (auto _ : state) {
+    auto ok = Satisfies(set, f.db, f.master);
+    CheckOk(ok.status(), "check");
+    benchmark::DoNotOptimize(*ok);
+  }
+}
+BENCHMARK(BM_CindCompiledFo)->Arg(16)->Arg(64);
+
+void BM_CompileCfd(benchmark::State& state) {
+  Fixture f(4);
+  ConditionalFd cfd("Ord", {0}, {AttrPattern{2, Value::Int(1)}}, {1, 2},
+                    {AttrPattern{1, Value::Int(2)}});
+  for (auto _ : state) {
+    auto ccs = cfd.ToContainmentConstraints(*f.db_schema);
+    CheckOk(ccs.status(), "compile");
+    benchmark::DoNotOptimize(ccs->size());
+  }
+}
+BENCHMARK(BM_CompileCfd);
+
+}  // namespace icbench
+}  // namespace relcomp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Data vs combined complexity for RCDP — the "figures" the paper's
+// theory predicts. For fixed Q and V, deciding completeness is
+// polynomial in |D| (the valuation space depends on the active domain,
+// the per-candidate checks on instance size); growing the query or the
+// constraints triggers the Σ₂ᵖ blow-up.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "completeness/rcdp.h"
+#include "query/parser.h"
+#include "util/str.h"
+#include "workload/crm_scenario.h"
+
+namespace relcomp {
+namespace scaling {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+/// Data complexity: fixed Q1 and φ0, growing master data + database.
+void BM_DataComplexity(benchmark::State& state) {
+  CrmOptions options;
+  options.num_domestic = static_cast<size_t>(state.range(0));
+  options.num_international = static_cast<size_t>(state.range(0)) / 2;
+  options.num_employees = 2;
+  options.support_per_employee = 2;
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(options), "crm");
+  ConstraintSet v;
+  v.Add(ValueOrDie(crm.Phi0(), "phi0"));
+  AnyQuery q1 = ValueOrDie(crm.Q1(), "q1");
+  for (auto _ : state) {
+    auto verdict = DecideRcdp(q1, crm.db(), crm.master(), v);
+    CheckOk(verdict.status(), "decide");
+    benchmark::DoNotOptimize(verdict->complete);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DataComplexity)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity(benchmark::oAuto);
+
+/// Combined complexity in the query: a growing chain query
+/// Q(c0) :- Supt(e0, d0, c0), Supt(e1, d1, c1), ..., all unconstrained
+/// except an at-most-one CC per employee — the valuation space grows
+/// exponentially with the chain length.
+void BM_QuerySizeComplexity(benchmark::State& state) {
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(), "crm");
+  const int chain = static_cast<int>(state.range(0));
+  std::string body;
+  for (int i = 0; i < chain; ++i) {
+    if (i > 0) body += ", ";
+    body += StrCat("Supt(e", i, ", d", i, ", c", i, ")");
+  }
+  // Tie the chain together so no variable is collapsible: each
+  // employee variable also names the next customer.
+  for (int i = 0; i + 1 < chain; ++i) {
+    body += StrCat(", e", i, " != c", i + 1);
+  }
+  auto q = ParseConjunctiveQuery(StrCat("Qc(c0) :- ", body, "."));
+  CheckOk(q.status(), "chain query");
+  ConstraintSet v;
+  v.Add(ValueOrDie(crm.Phi1(2), "phi1"));
+  for (auto _ : state) {
+    auto verdict =
+        DecideRcdp(AnyQuery::Cq(*q), crm.db(), crm.master(), v);
+    CheckOk(verdict.status(), "decide");
+    benchmark::DoNotOptimize(verdict->complete);
+  }
+}
+BENCHMARK(BM_QuerySizeComplexity)->DenseRange(1, 4, 1);
+
+/// Combined complexity in the constraints: φ1(k) grows quadratically in
+/// k (k+1 atoms, O(k²) disequalities); the constraint check per
+/// valuation grows with it.
+void BM_ConstraintSizeComplexity(benchmark::State& state) {
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(), "crm");
+  ConstraintSet v;
+  v.Add(ValueOrDie(crm.Phi1(static_cast<size_t>(state.range(0))), "phi1"));
+  AnyQuery q2 = ValueOrDie(crm.Q2(), "q2");
+  for (auto _ : state) {
+    auto verdict = DecideRcdp(q2, crm.db(), crm.master(), v);
+    CheckOk(verdict.status(), "decide");
+    benchmark::DoNotOptimize(verdict->complete);
+  }
+}
+BENCHMARK(BM_ConstraintSizeComplexity)->DenseRange(2, 6, 1);
+
+/// The chase: rounds needed to make the CRM database complete for Q1
+/// as the missing-data fraction grows.
+void BM_ChaseToCompleteness(benchmark::State& state) {
+  CrmOptions options;
+  options.num_domestic = static_cast<size_t>(state.range(0));
+  options.num_employees = 1;
+  options.support_per_employee = 1;  // most master customers unsupported
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(options), "crm");
+  ConstraintSet v;
+  v.Add(ValueOrDie(crm.Phi0(), "phi0"));
+  AnyQuery q1 = ValueOrDie(crm.Q1(), "q1");
+  for (auto _ : state) {
+    auto completed = ChaseToCompleteness(q1, crm.db(), crm.master(), v, 256);
+    CheckOk(completed.status(), "chase");
+    benchmark::DoNotOptimize(completed->TotalTuples());
+  }
+}
+BENCHMARK(BM_ChaseToCompleteness)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace scaling
+}  // namespace relcomp
+
+BENCHMARK_MAIN();

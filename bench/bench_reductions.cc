@@ -1,0 +1,141 @@
+// Hardness-family scaling: the lower-bound constructions as instance
+// generators. These curves demonstrate where the intractability of
+// Tables I/II actually bites — and that the encoders themselves are
+// cheap (polynomial), as the reductions require.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "automata/two_head_dfa.h"
+#include "completeness/rcdp.h"
+#include "completeness/rcqp.h"
+#include "reductions/fixed_rcqp_family.h"
+#include "reductions/forall_exists_3sat.h"
+#include "reductions/three_sat_rcqp.h"
+#include "reductions/tiling.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace redbench {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+/// Encoding ∀∃3SAT instances is linear in the formula.
+void BM_EncodeForallExists(benchmark::State& state) {
+  Rng rng(5);
+  ForallExists3SatInstance instance;
+  instance.nx = static_cast<size_t>(state.range(0));
+  instance.ny = static_cast<size_t>(state.range(0));
+  instance.formula =
+      RandomCnf(2 * instance.nx, 2 * instance.nx, &rng);
+  for (auto _ : state) {
+    auto encoded = EncodeForallExists3Sat(instance);
+    CheckOk(encoded.status(), "encode");
+    benchmark::DoNotOptimize(encoded->constraints.size());
+  }
+}
+BENCHMARK(BM_EncodeForallExists)->Arg(2)->Arg(8)->Arg(32);
+
+/// Deciding the encoded instances exhibits the Σ₂ᵖ growth.
+void BM_DecideForallExists(benchmark::State& state) {
+  Rng rng(9);
+  ForallExists3SatInstance instance;
+  instance.nx = static_cast<size_t>(state.range(0));
+  instance.ny = 2;
+  instance.formula =
+      RandomCnf(instance.nx + 2, instance.nx + 2, &rng);
+  auto encoded = ValueOrDie(EncodeForallExists3Sat(instance), "encode");
+  for (auto _ : state) {
+    auto verdict = DecideRcdp(encoded.query, encoded.db, encoded.master,
+                              encoded.constraints);
+    CheckOk(verdict.status(), "decide");
+    benchmark::DoNotOptimize(verdict->complete);
+  }
+}
+BENCHMARK(BM_DecideForallExists)->DenseRange(1, 4, 1);
+
+/// The coNP 3SAT family for RCQP: realizability search dominates.
+void BM_DecideThreeSatRcqp(benchmark::State& state) {
+  Rng rng(13);
+  CnfFormula f = RandomCnf(static_cast<size_t>(state.range(0)),
+                           static_cast<size_t>(state.range(0)), &rng);
+  auto encoded = ValueOrDie(EncodeThreeSatRcqp(f), "encode");
+  for (auto _ : state) {
+    auto verdict = DecideRcqp(encoded.query, encoded.db_schema,
+                              encoded.master, encoded.constraints);
+    CheckOk(verdict.status(), "decide");
+    benchmark::DoNotOptimize(verdict->exists);
+  }
+}
+BENCHMARK(BM_DecideThreeSatRcqp)->DenseRange(2, 6, 2);
+
+/// The fixed-(Dm,V) ∃∀ family: witness verification per χ.
+void BM_FixedFamilyVerify(benchmark::State& state) {
+  Rng rng(21);
+  FixedRcqpFamilyInstance instance;
+  instance.nx = 1;
+  instance.nw = static_cast<size_t>(state.range(0));
+  instance.formula =
+      RandomCnf(1 + instance.nw, 1 + instance.nw, &rng);
+  auto encoded = ValueOrDie(EncodeFixedRcqpFamily(instance), "encode");
+  auto witness =
+      ValueOrDie(BuildFixedFamilyWitness(instance, {true}, encoded),
+                 "witness");
+  for (auto _ : state) {
+    auto verdict = DecideRcdp(encoded.query, witness, encoded.master,
+                              encoded.constraints);
+    CheckOk(verdict.status(), "verify");
+    benchmark::DoNotOptimize(verdict->complete);
+  }
+}
+BENCHMARK(BM_FixedFamilyVerify)->DenseRange(1, 3, 1);
+
+/// Tiling: solver + encoder + witness verification at rank 1 and 2.
+void BM_TilingPipeline(benchmark::State& state) {
+  TilingInstance t;
+  t.n = static_cast<size_t>(state.range(0));
+  t.num_tiles = 2;
+  t.t0 = 0;
+  t.vertical = {{0, 1}, {1, 0}};
+  t.horizontal = {{0, 1}, {1, 0}};
+  for (auto _ : state) {
+    auto solution = SolveTiling(t);
+    auto encoded = ValueOrDie(EncodeTilingRcqp(t), "encode");
+    auto witness =
+        ValueOrDie(BuildTilingWitness(t, *solution, encoded), "witness");
+    auto verdict = DecideRcdp(encoded.query, witness, encoded.master,
+                              encoded.constraints);
+    CheckOk(verdict.status(), "verify");
+    benchmark::DoNotOptimize(verdict->complete);
+  }
+}
+BENCHMARK(BM_TilingPipeline)->Arg(1)->Arg(2);
+
+/// The undecidable-cell machinery: bounded emptiness search for 2-head
+/// DFAs as the input-length bound grows.
+void BM_TwoHeadDfaEmptiness(benchmark::State& state) {
+  TwoHeadDfa a;
+  a.num_states = 4;
+  a.initial_state = 0;
+  a.accepting_state = 3;
+  // Accepts strings containing "101" read by head 1 (head 2 idles on ε
+  // after the string ends... simpler: head 2 mirrors head 1).
+  a.AddTransition(0, 1, 1, 1, 1, 1);
+  a.AddTransition(0, 0, 0, 0, 1, 1);
+  a.AddTransition(1, 0, 0, 2, 1, 1);
+  a.AddTransition(1, 1, 1, 1, 1, 1);
+  a.AddTransition(2, 1, 1, 3, 1, 1);
+  a.AddTransition(2, 0, 0, 0, 1, 1);
+  for (auto _ : state) {
+    auto found =
+        FindAcceptedInput(a, static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(found.has_value());
+  }
+}
+BENCHMARK(BM_TwoHeadDfaEmptiness)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace redbench
+}  // namespace relcomp
+
+BENCHMARK_MAIN();

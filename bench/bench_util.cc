@@ -1,0 +1,21 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace relcomp {
+namespace bench {
+
+std::string FormatMs(double ms) {
+  char buf[64];
+  if (ms < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  } else if (ms < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1000.0);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace relcomp

@@ -1,0 +1,46 @@
+#ifndef RELCOMP_BENCH_BENCH_UTIL_H_
+#define RELCOMP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace relcomp {
+namespace bench {
+
+/// Aborts the benchmark binary on a non-OK status (bench setup errors
+/// are programming errors, not measurements).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "bench setup failed (" << what
+              << "): " << status.ToString() << std::endl;
+    std::exit(EXIT_FAILURE);
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Wall-clock timing for the one-shot table rows (the repeated series
+/// go through google-benchmark instead).
+inline double TimeMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// "12.34 ms" with sane precision.
+std::string FormatMs(double ms);
+
+}  // namespace bench
+}  // namespace relcomp
+
+#endif  // RELCOMP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,140 @@
+// relcheck — command-line completeness checker.
+//
+//   relcheck <spec-file> [--rcqp] [--chase N] [--explain]
+//
+// Loads a textual spec (schemas, facts, containment constraints,
+// queries — see src/spec/spec_parser.h for the syntax), verifies the
+// database is partially closed, and for each query decides RCDP
+// (is the database complete?). With --rcqp it also decides RCQP
+// (could any database be complete?), and with --chase N it applies up
+// to N counterexample rounds to complete the database.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "completeness/characterizations.h"
+#include "completeness/rcdp.h"
+#include "completeness/rcqp.h"
+#include "constraints/constraint_check.h"
+#include "eval/query_eval.h"
+#include "spec/spec_parser.h"
+
+namespace {
+
+int Fail(const relcomp::Status& status) {
+  std::cerr << "relcheck: " << status.ToString() << std::endl;
+  return EXIT_FAILURE;
+}
+
+void Usage() {
+  std::cerr << "usage: relcheck <spec-file> [--rcqp] [--chase N] [--explain]"
+            << std::endl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace relcomp;
+  if (argc < 2) {
+    Usage();
+    return EXIT_FAILURE;
+  }
+  std::string path;
+  bool run_rcqp = false;
+  bool explain = false;
+  int chase_rounds = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rcqp") == 0) {
+      run_rcqp = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--chase") == 0 && i + 1 < argc) {
+      chase_rounds = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      Usage();
+      return EXIT_FAILURE;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    Usage();
+    return EXIT_FAILURE;
+  }
+
+  auto spec_or = LoadCompletenessSpec(path);
+  if (!spec_or.ok()) return Fail(spec_or.status());
+  CompletenessSpec spec = std::move(*spec_or);
+
+  std::cout << "database schema:\n" << spec.db_schema->ToString()
+            << "master schema:\n" << spec.master_schema->ToString()
+            << "constraints (" << spec.constraints.size() << "):\n"
+            << spec.constraints.ToString() << "\n";
+
+  auto closed = CheckConstraints(spec.constraints, spec.db, spec.master);
+  if (!closed.ok()) return Fail(closed.status());
+  if (!closed->satisfied) {
+    std::cout << "NOT PARTIALLY CLOSED: " << closed->ToString() << "\n";
+    return 2;
+  }
+  std::cout << "partially closed: yes\n";
+
+  int exit_code = EXIT_SUCCESS;
+  for (size_t i = 0; i < spec.queries.size(); ++i) {
+    const AnyQuery& query = spec.queries[i];
+    std::cout << "\n=== query #" << i + 1 << ": " << query.ToString()
+              << "\n";
+    auto answer = Evaluate(query, spec.db);
+    if (!answer.ok()) return Fail(answer.status());
+    std::cout << "answer: " << answer->ToString() << "\n";
+
+    auto verdict =
+        DecideRcdp(query, spec.db, spec.master, spec.constraints);
+    if (!verdict.ok()) {
+      if (verdict.status().code() == StatusCode::kUnsupported) {
+        std::cout << "RCDP: " << verdict.status().ToString() << "\n";
+        continue;
+      }
+      return Fail(verdict.status());
+    }
+    std::cout << "RCDP: " << verdict->ToString() << "\n";
+    if (!verdict->complete) exit_code = 3;
+
+    if (explain && !verdict->complete) {
+      auto report = CheckBoundedDatabase(query, spec.db, spec.master,
+                                         spec.constraints);
+      if (report.ok()) {
+        std::cout << "explanation: " << report->ToString() << "\n";
+      }
+    }
+
+    if (run_rcqp) {
+      auto rcqp = DecideRcqp(query, spec.db_schema, spec.master,
+                             spec.constraints);
+      if (!rcqp.ok()) {
+        std::cout << "RCQP: " << rcqp.status().ToString() << "\n";
+      } else {
+        std::cout << "RCQP: " << rcqp->ToString() << "\n";
+      }
+    }
+
+    if (chase_rounds > 0 && !verdict->complete) {
+      auto completed =
+          ChaseToCompleteness(query, spec.db, spec.master, spec.constraints,
+                              static_cast<size_t>(chase_rounds));
+      if (!completed.ok()) {
+        std::cout << "chase: " << completed.status().ToString() << "\n";
+      } else {
+        auto final_answer = Evaluate(query, *completed);
+        if (!final_answer.ok()) return Fail(final_answer.status());
+        std::cout << "chase: complete after adding "
+                  << completed->TotalTuples() - spec.db.TotalTuples()
+                  << " tuples; answer becomes " << final_answer->ToString()
+                  << "\n";
+      }
+    }
+  }
+  return exit_code;
+}

@@ -1,0 +1,556 @@
+#include "automata/two_head_dfa.h"
+
+#include <set>
+#include <tuple>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// State of a run: (control state, head1, head2). Heads range over
+/// 0..len (len = parked at the final marker).
+struct Config {
+  int state;
+  size_t h1;
+  size_t h2;
+  bool operator<(const Config& o) const {
+    return std::tie(state, h1, h2) < std::tie(o.state, o.h1, o.h2);
+  }
+};
+
+/// True iff read `r` is enabled for a head at `pos` over `input`.
+bool ReadMatches(int r, size_t pos, const std::vector<int>& input) {
+  if (r == TwoHeadDfa::kEpsilon) return pos == input.size();
+  return pos < input.size() && input[pos] == r;
+}
+
+}  // namespace
+
+std::optional<bool> RunTwoHeadDfa(const TwoHeadDfa& a,
+                                  const std::vector<int>& input,
+                                  size_t max_steps) {
+  Config cfg{a.initial_state, 0, 0};
+  std::set<Config> visited;
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (cfg.state == a.accepting_state) return true;
+    if (!visited.insert(cfg).second) return false;  // cycle: reject
+    // Deterministic lookup: prefer exact reads over ε reads.
+    const TwoHeadDfa::TransitionValue* chosen = nullptr;
+    const int sym1 = cfg.h1 < input.size() ? input[cfg.h1]
+                                           : TwoHeadDfa::kEpsilon;
+    const int sym2 = cfg.h2 < input.size() ? input[cfg.h2]
+                                           : TwoHeadDfa::kEpsilon;
+    const int candidates1[] = {sym1, TwoHeadDfa::kEpsilon};
+    const int candidates2[] = {sym2, TwoHeadDfa::kEpsilon};
+    for (int r1 : candidates1) {
+      if (chosen != nullptr) break;
+      if (!ReadMatches(r1, cfg.h1, input)) continue;
+      for (int r2 : candidates2) {
+        if (!ReadMatches(r2, cfg.h2, input)) continue;
+        auto it = a.delta.find({cfg.state, r1, r2});
+        if (it != a.delta.end()) {
+          chosen = &it->second;
+          break;
+        }
+      }
+    }
+    if (chosen == nullptr) return false;  // stuck: reject
+    cfg.state = chosen->next_state;
+    if (chosen->move1 > 0 && cfg.h1 < input.size()) ++cfg.h1;
+    if (chosen->move2 > 0 && cfg.h2 < input.size()) ++cfg.h2;
+  }
+  return std::nullopt;  // budget exhausted
+}
+
+std::optional<std::vector<int>> FindAcceptedInput(const TwoHeadDfa& a,
+                                                  size_t max_len,
+                                                  size_t max_steps) {
+  for (size_t len = 0; len <= max_len; ++len) {
+    std::vector<int> input(len, 0);
+    for (uint64_t bits = 0; bits < (1ULL << len); ++bits) {
+      for (size_t i = 0; i < len; ++i) input[i] = (bits >> i) & 1;
+      std::optional<bool> accepted = RunTwoHeadDfa(a, input, max_steps);
+      if (accepted.has_value() && *accepted) return input;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<EncodedRcdpInstance> EncodeTwoHeadDfaRcdp(const TwoHeadDfa& a) {
+  EncodedRcdpInstance out;
+  auto db_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("P", 1));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("Pbar", 1));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("F", 2));
+  out.db_schema = db_schema;
+  auto master_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation("Rm1", 1));
+  out.master_schema = master_schema;
+  out.db = Database(db_schema);          // fixed: empty
+  out.master = Database(master_schema);  // fixed: empty
+
+  // Fixed CQ constraints (well-formedness of the string encoding):
+  //   V1: P and P̄ are disjoint;
+  //   V2: F is a function;
+  //   V3: at most one self-loop F(k, k).
+  {
+    ConjunctiveQuery v1("V1", {},
+                        {Atom::Relation("P", {Term::Var("x")}),
+                         Atom::Relation("Pbar", {Term::Var("x")})});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(v1))));
+    ConjunctiveQuery v2("V2", {},
+                        {Atom::Relation("F", {Term::Var("x"), Term::Var("y")}),
+                         Atom::Relation("F", {Term::Var("x"), Term::Var("z")}),
+                         Atom::Ne(Term::Var("y"), Term::Var("z"))});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(v2))));
+    ConjunctiveQuery v3("V3", {},
+                        {Atom::Relation("F", {Term::Var("x"), Term::Var("x")}),
+                         Atom::Relation("F", {Term::Var("y"), Term::Var("y")}),
+                         Atom::Ne(Term::Var("x"), Term::Var("y"))});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(v3))));
+  }
+
+  // The datalog query: configuration reachability.
+  DatalogProgram program;
+  auto state_term = [](int q) { return Term::ConstStr(StrCat("q", q)); };
+  // Base: Reach(q0, 0, 0), guarded by the existence of position 0.
+  {
+    DatalogRule base;
+    base.head_predicate = "Reach";
+    base.head_args = {state_term(0), Term::Var("z"), Term::Var("z")};
+    base.body = {Atom::Relation("F", {Term::Var("z"), Term::Var("x")}),
+                 Atom::Eq(Term::Var("z"), Term::ConstInt(0))};
+    base.head_args[0] = state_term(0);
+    program.AddRule(std::move(base));
+  }
+  // One rule per transition.
+  int fresh = 0;
+  for (const auto& [key, value] : a.delta) {
+    DatalogRule rule;
+    rule.head_predicate = "Reach";
+    Term y = Term::Var("y");
+    Term z = Term::Var("z");
+    rule.body.push_back(
+        Atom::Relation("Reach", {state_term(key.state), y, z}));
+    auto alpha = [&](int read, const Term& pos) {
+      if (read == TwoHeadDfa::kEpsilon) {
+        rule.body.push_back(Atom::Relation("F", {pos, pos}));
+        return;
+      }
+      Term succ = Term::Var(StrCat("s", fresh++));
+      rule.body.push_back(Atom::Relation("F", {pos, succ}));
+      rule.body.push_back(Atom::Ne(pos, succ));
+      rule.body.push_back(
+          Atom::Relation(read == 1 ? "P" : "Pbar", {pos}));
+    };
+    alpha(key.read1, y);
+    alpha(key.read2, z);
+    Term y_next = y;
+    Term z_next = z;
+    if (value.move1 > 0) {
+      y_next = Term::Var(StrCat("m", fresh++));
+      rule.body.push_back(Atom::Relation("F", {y, y_next}));
+    }
+    if (value.move2 > 0) {
+      z_next = Term::Var(StrCat("m", fresh++));
+      rule.body.push_back(Atom::Relation("F", {z, z_next}));
+    }
+    rule.head_args = {state_term(value.next_state), y_next, z_next};
+    program.AddRule(std::move(rule));
+  }
+  // Accept: the accepting state is reachable and a final marker exists.
+  {
+    DatalogRule acc;
+    acc.head_predicate = "Acc";
+    acc.head_args = {};
+    acc.body = {
+        Atom::Relation("Reach", {state_term(a.accepting_state),
+                                 Term::Var("y"), Term::Var("z")}),
+        Atom::Relation("F", {Term::Var("f"), Term::Var("f")})};
+    program.AddRule(std::move(acc));
+  }
+  program.set_output_predicate("Acc");
+  RELCOMP_RETURN_NOT_OK(program.Validate(*db_schema));
+  out.query = AnyQuery::Fp(std::move(program));
+  return out;
+}
+
+namespace {
+
+/// Shared vocabulary of the Theorem 4.1(1) encoding.
+Term AcceptMark() { return Term::ConstStr("ACCEPT"); }
+
+Term StateTerm(int q) { return Term::ConstStr(StrCat("q", q)); }
+
+/// α(read) at position `pos` (appending fresh successor vars): reading
+/// 1/0 needs a successor and the right symbol; ε parks at the final
+/// self-loop.
+FormulaPtr AlphaFormula(int read, const Term& pos, int* fresh) {
+  if (read == TwoHeadDfa::kEpsilon) {
+    return Formula::MakeAtom(Atom::Relation("F", {pos, pos}));
+  }
+  Term succ = Term::Var(StrCat("al", (*fresh)++));
+  std::vector<FormulaPtr> parts;
+  parts.push_back(Formula::MakeAtom(Atom::Relation("F", {pos, succ})));
+  parts.push_back(Formula::MakeAtom(Atom::Ne(pos, succ)));
+  parts.push_back(Formula::MakeAtom(
+      Atom::Relation(read == 1 ? "P" : "Pbar", {pos})));
+  return Formula::MakeExists({succ.var()}, Formula::MakeAnd(parts));
+}
+
+/// β(move): position succession (+1 moves along F, 0 stays).
+FormulaPtr BetaFormula(int move, const Term& pos, const Term& next) {
+  if (move > 0) {
+    return Formula::MakeAtom(Atom::Relation("F", {pos, next}));
+  }
+  return Formula::MakeAtom(Atom::Eq(pos, next));
+}
+
+/// ϕδ over the RD-tuple variables (x, y, z, x2, y2, z2).
+FormulaPtr TransitionFormula(const TwoHeadDfa::TransitionKey& key,
+                             const TwoHeadDfa::TransitionValue& value,
+                             const std::vector<Term>& vars, int* fresh) {
+  std::vector<FormulaPtr> parts;
+  parts.push_back(Formula::MakeAtom(Atom::Eq(vars[0],
+                                             StateTerm(key.state))));
+  parts.push_back(Formula::MakeAtom(
+      Atom::Eq(vars[3], StateTerm(value.next_state))));
+  parts.push_back(AlphaFormula(key.read1, vars[1], fresh));
+  parts.push_back(AlphaFormula(key.read2, vars[2], fresh));
+  parts.push_back(BetaFormula(value.move1, vars[1], vars[4]));
+  parts.push_back(BetaFormula(value.move2, vars[2], vars[5]));
+  return Formula::MakeAnd(parts);
+}
+
+/// The six-variable block u1..u6 / names.
+std::vector<std::string> RdVarNames(const char* prefix) {
+  std::vector<std::string> names;
+  for (int i = 1; i <= 6; ++i) names.push_back(StrCat(prefix, i));
+  return names;
+}
+
+std::vector<Term> AsTerms(const std::vector<std::string>& names) {
+  std::vector<Term> terms;
+  terms.reserve(names.size());
+  for (const std::string& n : names) terms.push_back(Term::Var(n));
+  return terms;
+}
+
+}  // namespace
+
+Result<EncodedRcqpInstance> EncodeTwoHeadDfaRcqp(const TwoHeadDfa& a) {
+  EncodedRcqpInstance out;
+  auto db_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("P", 1));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("Pbar", 1));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("F", 2));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("RD", 6));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation("RDstar", 6));
+  out.db_schema = db_schema;
+  auto master_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation("Rm1", 1));
+  out.master_schema = master_schema;
+  out.master = Database(master_schema);  // fixed: empty
+
+  // ---- Fixed constraints. ---------------------------------------------
+  // V1-V3: string well-formedness (as in the RCDP encoding).
+  {
+    ConjunctiveQuery v1("V1", {},
+                        {Atom::Relation("P", {Term::Var("x")}),
+                         Atom::Relation("Pbar", {Term::Var("x")})});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(v1))));
+    ConjunctiveQuery v2("V2", {},
+                        {Atom::Relation("F", {Term::Var("x"), Term::Var("y")}),
+                         Atom::Relation("F", {Term::Var("x"), Term::Var("z")}),
+                         Atom::Ne(Term::Var("y"), Term::Var("z"))});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(v2))));
+    ConjunctiveQuery v3("V3", {},
+                        {Atom::Relation("F", {Term::Var("x"), Term::Var("x")}),
+                         Atom::Relation("F", {Term::Var("y"), Term::Var("y")}),
+                         Atom::Ne(Term::Var("x"), Term::Var("y"))});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(v3))));
+  }
+  // V4: the first three attributes are a key of RD.
+  for (int col = 3; col < 6; ++col) {
+    std::vector<Term> args1 = AsTerms(RdVarNames("k"));
+    std::vector<Term> args2 = args1;
+    for (int c = 3; c < 6; ++c) {
+      args2[c] = Term::Var(StrCat("k", c + 1, "b"));
+    }
+    ConjunctiveQuery q(StrCat("V4_c", col), {},
+                       {Atom::Relation("RD", args1),
+                        Atom::Relation("RD", args2),
+                        Atom::Ne(args1[col], args2[col])});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(q))));
+  }
+  // V5/V6: RDstar is exactly the transitive closure of RD (fixed FO).
+  {
+    std::vector<std::string> u = RdVarNames("u");
+    std::vector<std::string> v = RdVarNames("v");
+    std::vector<std::string> w = RdVarNames("w");
+    std::vector<Term> ut = AsTerms(u);
+    std::vector<Term> vt = AsTerms(v);
+    std::vector<Term> wt = AsTerms(w);
+    auto rd = [&](const std::vector<Term>& from,
+                  const std::vector<Term>& to, const char* rel) {
+      std::vector<Term> args = from;
+      args.insert(args.end(), to.begin(), to.end());
+      // from/to are triples here: (state, h1, h2).
+      return Formula::MakeAtom(Atom::Relation(rel, args));
+    };
+    // Work over configuration triples: split the 6 vars into two
+    // triples.
+    std::vector<Term> u1(ut.begin(), ut.begin() + 3);
+    std::vector<Term> u2(ut.begin() + 3, ut.end());
+    std::vector<Term> v2(vt.begin() + 3, vt.end());
+    std::vector<Term> w1(wt.begin(), wt.begin() + 3);
+    // one_step(u1 -> u2) ∨ ∃w1. RD(u1, w1) ∧ RDstar(w1, u2).
+    FormulaPtr step_or_compose = Formula::MakeOr(
+        {rd(u1, u2, "RD"),
+         Formula::MakeExists(
+             {w[0], w[1], w[2]},
+             Formula::MakeAnd({rd(u1, w1, "RD"), rd(w1, u2, "RDstar")}))});
+    FormulaPtr in_star = rd(u1, u2, "RDstar");
+    std::vector<std::string> all_u(u.begin(), u.end());
+    std::vector<std::string> u_and_w = all_u;
+    u_and_w.insert(u_and_w.end(), {w[0], w[1], w[2]});
+    // V5, split so each existential block has a positive relation atom
+    // at the top of its conjunction (the FO evaluator seeds from it):
+    //   V5a: a direct RD step missing from RDstar;
+    //   V5b: a composition RD;RDstar missing from RDstar.
+    FoQuery v5a("V5a", {},
+                Formula::MakeExists(
+                    all_u,
+                    Formula::MakeAnd(
+                        {rd(u1, u2, "RD"), Formula::MakeNot(in_star)})));
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Fo(std::move(v5a))));
+    FoQuery v5b("V5b", {},
+                Formula::MakeExists(
+                    u_and_w,
+                    Formula::MakeAnd({rd(u1, w1, "RD"), rd(w1, u2, "RDstar"),
+                                      Formula::MakeNot(in_star)})));
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Fo(std::move(v5b))));
+    // V6: recorded but not reachable.
+    FoQuery v6("V6", {},
+               Formula::MakeExists(
+                   all_u, Formula::MakeAnd(
+                              {in_star, Formula::MakeNot(step_or_compose)})));
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Fo(std::move(v6))));
+  }
+
+  // ---- The FO query (varies with A). -----------------------------------
+  // Good := Qini ∧ Qfin ∧ (per-δ: some RD tuple realizes δ) ∧
+  //         RDstar(q0, 0, 0, qacc, ·, ·).
+  int fresh = 0;
+  std::vector<FormulaPtr> good_parts;
+  good_parts.push_back(Formula::MakeExists(
+      {"ini"}, Formula::MakeAtom(Atom::Relation(
+                   "F", {Term::ConstInt(0), Term::Var("ini")}))));
+  good_parts.push_back(Formula::MakeExists(
+      {"fin"}, Formula::MakeAtom(Atom::Relation(
+                   "F", {Term::Var("fin"), Term::Var("fin")}))));
+  for (const auto& [key, value] : a.delta) {
+    std::vector<std::string> names = RdVarNames(StrCat("d", fresh++, "_").c_str());
+    std::vector<Term> vars = AsTerms(names);
+    std::vector<FormulaPtr> parts;
+    parts.push_back(Formula::MakeAtom(Atom::Relation("RD", vars)));
+    parts.push_back(TransitionFormula(key, value, vars, &fresh));
+    good_parts.push_back(
+        Formula::MakeExists(names, Formula::MakeAnd(parts)));
+  }
+  good_parts.push_back(Formula::MakeExists(
+      {"a1", "a2"},
+      Formula::MakeAtom(Atom::Relation(
+          "RDstar", {StateTerm(a.initial_state), Term::ConstInt(0),
+                     Term::ConstInt(0), StateTerm(a.accepting_state),
+                     Term::Var("a1"), Term::Var("a2")}))));
+  FormulaPtr good = Formula::MakeAnd(good_parts);
+
+  std::vector<std::string> head = RdVarNames("h");
+  std::vector<Term> head_terms = AsTerms(head);
+  std::vector<FormulaPtr> accept_eqs;
+  for (const Term& h : head_terms) {
+    accept_eqs.push_back(Formula::MakeAtom(Atom::Eq(h, AcceptMark())));
+  }
+  FormulaPtr formula = Formula::MakeOr(
+      {Formula::MakeAnd({good, Formula::MakeAnd(accept_eqs)}),
+       Formula::MakeAnd({Formula::MakeNot(good),
+                         Formula::MakeAtom(Atom::Relation("RD",
+                                                          head_terms))})});
+  FoQuery query("Qdfa", head, std::move(formula));
+  RELCOMP_RETURN_NOT_OK(query.Validate(*db_schema));
+  out.query = AnyQuery::Fo(std::move(query));
+  return out;
+}
+
+Result<Database> BuildTwoHeadDfaWitness(const TwoHeadDfa& a,
+                                        const std::vector<int>& input,
+                                        const EncodedRcqpInstance& encoded) {
+  std::optional<bool> accepted = RunTwoHeadDfa(a, input);
+  if (!accepted.has_value() || !*accepted) {
+    return Status::InvalidArgument("input is not accepted by the automaton");
+  }
+  Database db(encoded.db_schema);
+  RELCOMP_RETURN_NOT_OK(EncodeInputString(input, &db));
+  const int64_t len = static_cast<int64_t>(input.size());
+
+  // Anchor every transition at some realizable pair of positions.
+  auto alpha_positions = [&](int read) {
+    std::vector<int64_t> positions;
+    if (read == TwoHeadDfa::kEpsilon) {
+      positions.push_back(len);  // the final self-loop
+      return positions;
+    }
+    for (int64_t i = 0; i < len; ++i) {
+      if (input[i] == read) positions.push_back(i);
+    }
+    return positions;
+  };
+  auto beta_next = [&](int move, int64_t pos) {
+    if (move <= 0) return pos;
+    return pos < len ? pos + 1 : pos;
+  };
+  for (const auto& [key, value] : a.delta) {
+    std::vector<int64_t> ys = alpha_positions(key.read1);
+    std::vector<int64_t> zs = alpha_positions(key.read2);
+    if (ys.empty() || zs.empty()) {
+      return Status::InvalidArgument(StrCat(
+          "transition from state ", key.state,
+          " has no realizable anchor in this input; choose an accepted "
+          "input containing every symbol the automaton reads"));
+    }
+    int64_t y = ys.front();
+    int64_t z = zs.front();
+    RELCOMP_RETURN_NOT_OK(db.Insert(
+        "RD", Tuple({Value::Str(StrCat("q", key.state)), Value::Int(y),
+                     Value::Int(z), Value::Str(StrCat("q", value.next_state)),
+                     Value::Int(beta_next(value.move1, y)),
+                     Value::Int(beta_next(value.move2, z))})));
+  }
+  // The accepting-run steps must also be present in RD; the key on the
+  // first three attributes may already pin them. Re-simulate and check
+  // compatibility, adding run steps whose source configuration is
+  // still free.
+  {
+    int state = a.initial_state;
+    size_t h1 = 0;
+    size_t h2 = 0;
+    for (size_t step = 0; step < 10000 && state != a.accepting_state;
+         ++step) {
+      // Mirror the simulator's transition choice.
+      const int sym1 = h1 < input.size() ? input[h1] : TwoHeadDfa::kEpsilon;
+      const int sym2 = h2 < input.size() ? input[h2] : TwoHeadDfa::kEpsilon;
+      const TwoHeadDfa::TransitionValue* chosen = nullptr;
+      int used_r1 = 0;
+      int used_r2 = 0;
+      for (int r1 : {sym1, TwoHeadDfa::kEpsilon}) {
+        if (chosen != nullptr) break;
+        if (r1 != TwoHeadDfa::kEpsilon && h1 >= input.size()) continue;
+        if (r1 == TwoHeadDfa::kEpsilon && h1 != input.size()) continue;
+        for (int r2 : {sym2, TwoHeadDfa::kEpsilon}) {
+          if (r2 != TwoHeadDfa::kEpsilon && h2 >= input.size()) continue;
+          if (r2 == TwoHeadDfa::kEpsilon && h2 != input.size()) continue;
+          auto it = a.delta.find({state, r1, r2});
+          if (it != a.delta.end()) {
+            chosen = &it->second;
+            used_r1 = r1;
+            used_r2 = r2;
+            break;
+          }
+        }
+      }
+      (void)used_r1;
+      (void)used_r2;
+      if (chosen == nullptr) break;
+      size_t n1 = h1;
+      size_t n2 = h2;
+      if (chosen->move1 > 0 && h1 < input.size()) n1 = h1 + 1;
+      if (chosen->move2 > 0 && h2 < input.size()) n2 = h2 + 1;
+      db.InsertUnchecked(
+          "RD",
+          Tuple({Value::Str(StrCat("q", state)),
+                 Value::Int(static_cast<int64_t>(h1)),
+                 Value::Int(static_cast<int64_t>(h2)),
+                 Value::Str(StrCat("q", chosen->next_state)),
+                 Value::Int(static_cast<int64_t>(n1)),
+                 Value::Int(static_cast<int64_t>(n2))}));
+      state = chosen->next_state;
+      h1 = n1;
+      h2 = n2;
+    }
+    if (state != a.accepting_state) {
+      return Status::Internal("re-simulation failed to accept");
+    }
+  }
+  // Check the key constraint still holds (anchors may collide with run
+  // steps at the same source configuration but different targets).
+  {
+    std::map<Tuple, Tuple> by_key;
+    for (const Tuple& t : db.Get("RD")) {
+      Tuple key_part({t[0], t[1], t[2]});
+      Tuple val_part({t[3], t[4], t[5]});
+      auto [it, inserted] = by_key.emplace(key_part, val_part);
+      if (!inserted && !(it->second == val_part)) {
+        return Status::InvalidArgument(
+            "transition anchors collide with the accepting run under the "
+            "RD key; choose a different accepted input");
+      }
+    }
+  }
+  // RDstar := transitive closure of RD (over configuration triples).
+  {
+    std::set<std::pair<Tuple, Tuple>> edges;
+    for (const Tuple& t : db.Get("RD")) {
+      edges.emplace(Tuple({t[0], t[1], t[2]}), Tuple({t[3], t[4], t[5]}));
+    }
+    std::set<std::pair<Tuple, Tuple>> closure = edges;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::pair<Tuple, Tuple>> additions;
+      for (const auto& [aa, bb] : closure) {
+        for (const auto& [cc, dd] : edges) {
+          if (bb == cc && closure.count({aa, dd}) == 0) {
+            additions.emplace_back(aa, dd);
+          }
+        }
+      }
+      for (auto& edge : additions) {
+        closure.insert(std::move(edge));
+        changed = true;
+      }
+    }
+    for (const auto& [from, to] : closure) {
+      db.InsertUnchecked(
+          "RDstar", Tuple({from[0], from[1], from[2], to[0], to[1], to[2]}));
+    }
+  }
+  return db;
+}
+
+Status EncodeInputString(const std::vector<int>& input, Database* db) {
+  const int64_t len = static_cast<int64_t>(input.size());
+  for (int64_t i = 0; i < len; ++i) {
+    RELCOMP_RETURN_NOT_OK(db->Insert(input[i] == 1 ? "P" : "Pbar",
+                                     Tuple({Value::Int(i)})));
+    RELCOMP_RETURN_NOT_OK(
+        db->Insert("F", Tuple({Value::Int(i), Value::Int(i + 1)})));
+  }
+  // The parked final position.
+  RELCOMP_RETURN_NOT_OK(
+      db->Insert("F", Tuple({Value::Int(len), Value::Int(len)})));
+  return Status::OK();
+}
+
+}  // namespace relcomp

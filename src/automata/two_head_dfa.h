@@ -1,0 +1,110 @@
+#ifndef RELCOMP_AUTOMATA_TWO_HEAD_DFA_H_
+#define RELCOMP_AUTOMATA_TWO_HEAD_DFA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reductions/common.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A deterministic finite 2-head automaton (Spielmann 2000), the
+/// machine model behind the paper's undecidability proofs for the FP
+/// rows of Tables I and II (Theorems 3.1(3)(4) and 4.1(3)(4)). The
+/// input alphabet is {0, 1}; ε-reads ignore the head's symbol and are
+/// only enabled when the head is parked at the end of the input.
+struct TwoHeadDfa {
+  /// An ε-or-symbol read: 0, 1, or kEpsilon.
+  static constexpr int kEpsilon = -1;
+
+  struct TransitionKey {
+    int state;
+    int read1;  // 0, 1, or kEpsilon
+    int read2;
+    bool operator<(const TransitionKey& other) const {
+      return std::tie(state, read1, read2) <
+             std::tie(other.state, other.read1, other.read2);
+    }
+  };
+  struct TransitionValue {
+    int next_state;
+    int move1;  // 0 or +1
+    int move2;
+  };
+
+  int num_states = 2;
+  int initial_state = 0;
+  int accepting_state = 1;
+  std::map<TransitionKey, TransitionValue> delta;
+
+  /// Adds δ(state, read1, read2) = (next, move1, move2).
+  void AddTransition(int state, int read1, int read2, int next, int move1,
+                     int move2) {
+    delta[{state, read1, read2}] = {next, move1, move2};
+  }
+};
+
+/// Runs A on `input` (a 0/1 string), bounded by `max_steps`. Returns
+/// true/false for accept/reject, or nullopt if the step budget was hit
+/// (possible loop).
+std::optional<bool> RunTwoHeadDfa(const TwoHeadDfa& a,
+                                  const std::vector<int>& input,
+                                  size_t max_steps = 10000);
+
+/// Bounded emptiness search: tries every input of length ≤ max_len.
+/// Returns an accepted input if found. This is a semi-decision
+/// procedure — the source problem is undecidable.
+std::optional<std::vector<int>> FindAcceptedInput(const TwoHeadDfa& a,
+                                                  size_t max_len,
+                                                  size_t max_steps = 10000);
+
+/// The Theorem 3.1(3) encoding: RCDP(FP, CQ) instance with fixed empty
+/// D and Dm and fixed CQ constraints V1–V3 (well-formedness of the
+/// string encoding P/P̄/F), and a datalog query Q that reaches the
+/// accepting configuration. D = ∅ is complete for Q relative to
+/// (Dm, V) iff L(A) = ∅. The RCDP decider rightly refuses this
+/// instance (undecidable cell); pair it with BruteForceRcdp for
+/// bounded demonstrations.
+Result<EncodedRcdpInstance> EncodeTwoHeadDfaRcdp(const TwoHeadDfa& a);
+
+/// Encodes a 0/1 string as the P/P̄/F instance used by the encoding:
+/// positions 0..len-1 plus the self-looping final marker, inserted
+/// into `*db` (whose schema must come from EncodeTwoHeadDfaRcdp).
+Status EncodeInputString(const std::vector<int>& input, Database* db);
+
+/// The Theorem 4.1(1) encoding: an RCQP(FO, fixed FO) instance.
+///
+/// Schema: the string relations P/P̄/F, the configuration-step relation
+/// RD(x,y,z,x',y',z') and its transitive closure RDstar. The *fixed*
+/// constraint set holds the string well-formedness CCs (V1–V3, CQ),
+/// the key of RD on its first three attributes (V4, CQ), and the two
+/// FO constraints V5/V6 forcing RDstar to be exactly the transitive
+/// closure of RD. The FO query returns a designated "accept" tuple
+/// when the instance is *good* — the initial position exists (Qini),
+/// a final marker exists (Qfin), RD realizes every transition of A,
+/// and RDstar reaches the accepting configuration — and mirrors RD
+/// otherwise. Good is monotone, so a good database is complete; a
+/// database that can never become good is pumpable through RD.
+///
+/// RCQ(Q, Dm, V) is nonempty iff L(A) ≠ ∅ (the paper's Theorem
+/// 4.1(1); our tests validate the witness direction and the pumping
+/// direction on concrete automata — the cell itself is undecidable,
+/// so no decider applies).
+Result<EncodedRcqpInstance> EncodeTwoHeadDfaRcqp(const TwoHeadDfa& a);
+
+/// Builds the proof's witness database for an accepted input: the
+/// string encoding, one RD tuple per transition of A (anchored at
+/// positions of the input where the transition's read/move pattern is
+/// realizable), and the transitive closure RDstar. Fails with
+/// kInvalidArgument if some transition has no realizable anchor in
+/// this input (pick a richer accepted input).
+Result<Database> BuildTwoHeadDfaWitness(const TwoHeadDfa& a,
+                                        const std::vector<int>& input,
+                                        const EncodedRcqpInstance& encoded);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_AUTOMATA_TWO_HEAD_DFA_H_

@@ -1,0 +1,46 @@
+#include "completeness/active_domain.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+ActiveDomain ActiveDomain::Build(const std::set<Value>& base_constants,
+                                 size_t num_fresh) {
+  ActiveDomain out;
+  out.base_.assign(base_constants.begin(), base_constants.end());
+  size_t next_id = 0;
+  while (out.fresh_.size() < num_fresh) {
+    Value candidate = Value::Str(StrCat("_new$", next_id++));
+    if (base_constants.count(candidate) > 0) continue;
+    out.fresh_set_.insert(candidate);
+    out.fresh_.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+ActiveDomain ActiveDomain::Build(const Database& db, const Database& master,
+                                 const std::set<Value>& query_constants,
+                                 const ConstraintSet& constraints,
+                                 size_t num_fresh) {
+  std::set<Value> base = query_constants;
+  db.CollectConstants(&base);
+  master.CollectConstants(&base);
+  for (const ContainmentConstraint& cc : constraints.constraints()) {
+    std::set<Value> cc_consts = cc.query().Constants();
+    base.insert(cc_consts.begin(), cc_consts.end());
+  }
+  return Build(base, num_fresh);
+}
+
+bool ActiveDomain::IsFresh(const Value& v) const {
+  return fresh_set_.count(v) > 0;
+}
+
+std::vector<Value> ActiveDomain::CandidatesFor(const Domain& domain) const {
+  if (domain.is_finite()) return domain.finite_values();
+  std::vector<Value> out = base_;
+  out.insert(out.end(), fresh_.begin(), fresh_.end());
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,56 @@
+#ifndef RELCOMP_COMPLETENESS_ACTIVE_DOMAIN_H_
+#define RELCOMP_COMPLETENESS_ACTIVE_DOMAIN_H_
+
+#include <set>
+#include <vector>
+
+#include "constraints/containment_constraint.h"
+#include "relational/database.h"
+#include "relational/domain.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// The paper's Adom (Section 3.2): the constants occurring in D, Dm, Q
+/// and V, extended with a set `New` of distinct fresh values — one per
+/// variable of the query tableau and of the constraint tableaux. The
+/// small-model property (Prop 3.3 / Prop 4.2) guarantees that valuation
+/// searches restricted to Adom are exact.
+///
+/// For a variable y, the candidate set adom(y) is:
+///   * the full finite domain d_f when y ranges over a finite domain
+///     (the paper requires d_f ⊆ Adom in that case), and
+///   * base ∪ fresh otherwise.
+class ActiveDomain {
+ public:
+  /// Collects constants from the given sources and mints `num_fresh`
+  /// fresh string values guaranteed to be distinct from all of them.
+  static ActiveDomain Build(const std::set<Value>& base_constants,
+                            size_t num_fresh);
+
+  /// Convenience: base constants from D ∪ Dm ∪ Q-constants ∪ V.
+  static ActiveDomain Build(const Database& db, const Database& master,
+                            const std::set<Value>& query_constants,
+                            const ConstraintSet& constraints,
+                            size_t num_fresh);
+
+  /// The base constants (paper's Adom without New), sorted.
+  const std::vector<Value>& base() const { return base_; }
+  /// The fresh values (paper's New).
+  const std::vector<Value>& fresh() const { return fresh_; }
+
+  /// True iff `v` is one of the fresh values.
+  bool IsFresh(const Value& v) const;
+
+  /// Candidate values for a variable over `domain` (see class comment).
+  std::vector<Value> CandidatesFor(const Domain& domain) const;
+
+ private:
+  std::vector<Value> base_;
+  std::vector<Value> fresh_;
+  std::set<Value> fresh_set_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_COMPLETENESS_ACTIVE_DOMAIN_H_

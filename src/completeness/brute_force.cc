@@ -1,0 +1,208 @@
+#include "completeness/brute_force.h"
+
+#include <functional>
+#include <set>
+
+#include "constraints/constraint_check.h"
+#include "eval/query_eval.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+std::vector<Value> BuildUniverse(const Database& db, const Database& master,
+                                 const AnyQuery& query,
+                                 const ConstraintSet& constraints,
+                                 size_t extra_fresh) {
+  std::set<Value> values = query.Constants();
+  db.CollectConstants(&values);
+  master.CollectConstants(&values);
+  for (const ContainmentConstraint& cc : constraints.constraints()) {
+    std::set<Value> cs = cc.query().Constants();
+    values.insert(cs.begin(), cs.end());
+  }
+  size_t next = 0;
+  size_t added = 0;
+  while (added < extra_fresh) {
+    Value fresh = Value::Str(StrCat("_bf$", next++));
+    if (values.insert(fresh).second) ++added;
+  }
+  return std::vector<Value>(values.begin(), values.end());
+}
+
+/// Enumerates tuples over `universe` for one relation schema,
+/// respecting finite attribute domains.
+void TuplesForRelation(const RelationSchema& rs,
+                       const std::vector<Value>& universe,
+                       std::vector<std::pair<std::string, Tuple>>* out) {
+  std::vector<Value> current(rs.arity());
+  std::function<void(size_t)> recurse = [&](size_t i) {
+    if (i == rs.arity()) {
+      out->emplace_back(rs.name(), Tuple(current));
+      return;
+    }
+    const Domain& dom = *rs.attribute(i).domain;
+    if (dom.is_finite()) {
+      for (const Value& v : dom.finite_values()) {
+        current[i] = v;
+        recurse(i + 1);
+      }
+    } else {
+      for (const Value& v : universe) {
+        current[i] = v;
+        recurse(i + 1);
+      }
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Tuple>> AllTuplesOver(
+    const Schema& schema, const std::vector<Value>& universe) {
+  std::vector<std::pair<std::string, Tuple>> out;
+  for (const std::string& name : schema.relation_names()) {
+    TuplesForRelation(*schema.FindRelation(name), universe, &out);
+  }
+  return out;
+}
+
+Result<BruteForceRcdpResult> BruteForceRcdp(const AnyQuery& query,
+                                            const Database& db,
+                                            const Database& master,
+                                            const ConstraintSet& constraints,
+                                            const BruteForceOptions& options) {
+  std::vector<Value> universe =
+      options.universe.empty()
+          ? BuildUniverse(db, master, query, constraints,
+                          options.extra_fresh)
+          : options.universe;
+  // Candidate tuples not already in D.
+  std::vector<std::pair<std::string, Tuple>> pool;
+  for (auto& entry : AllTuplesOver(db.schema(), universe)) {
+    if (!db.Contains(entry.first, entry.second)) {
+      pool.push_back(std::move(entry));
+    }
+  }
+  RELCOMP_ASSIGN_OR_RETURN(Relation base_answer, Evaluate(query, db));
+
+  BruteForceRcdpResult result;
+  std::vector<size_t> chosen;
+  Status inner;
+  bool done = false;
+  std::function<void(size_t, size_t)> search = [&](size_t start,
+                                                   size_t remaining) {
+    if (done) return;
+    if (remaining == 0) {
+      if (++result.candidates_checked > options.max_steps) {
+        inner = Status::ResourceExhausted(
+            "brute-force RCDP exceeded its step budget");
+        done = true;
+        return;
+      }
+      Database extended = db;
+      Database delta(db.schema_ptr());
+      for (size_t idx : chosen) {
+        extended.InsertUnchecked(pool[idx].first, pool[idx].second);
+        delta.InsertUnchecked(pool[idx].first, pool[idx].second);
+      }
+      Result<bool> closed = Satisfies(constraints, extended, master);
+      if (!closed.ok()) {
+        inner = closed.status();
+        done = true;
+        return;
+      }
+      if (!*closed) return;
+      Result<Relation> answer = Evaluate(query, extended);
+      if (!answer.ok()) {
+        inner = answer.status();
+        done = true;
+        return;
+      }
+      if (*answer != base_answer) {
+        result.complete = false;
+        result.counterexample_delta = std::move(delta);
+        done = true;
+      }
+      return;
+    }
+    for (size_t i = start; i < pool.size(); ++i) {
+      chosen.push_back(i);
+      search(i + 1, remaining - 1);
+      chosen.pop_back();
+      if (done) return;
+    }
+  };
+  for (size_t size = 1; size <= options.max_delta_tuples && !done; ++size) {
+    search(0, size);
+  }
+  RELCOMP_RETURN_NOT_OK(inner);
+  return result;
+}
+
+Result<BruteForceRcqpResult> BruteForceRcqp(
+    const AnyQuery& query, std::shared_ptr<const Schema> db_schema,
+    const Database& master, const ConstraintSet& constraints,
+    const BruteForceOptions& options) {
+  Database empty(db_schema);
+  std::vector<Value> universe =
+      options.universe.empty()
+          ? BuildUniverse(empty, master, query, constraints,
+                          options.extra_fresh)
+          : options.universe;
+  std::vector<std::pair<std::string, Tuple>> pool =
+      AllTuplesOver(*db_schema, universe);
+
+  BruteForceRcqpResult result;
+  std::vector<size_t> chosen;
+  Status inner;
+  bool done = false;
+  std::function<void(size_t, size_t)> search = [&](size_t start,
+                                                   size_t remaining) {
+    if (done) return;
+    if (remaining == 0) {
+      ++result.candidates_checked;
+      Database candidate(db_schema);
+      for (size_t idx : chosen) {
+        candidate.InsertUnchecked(pool[idx].first, pool[idx].second);
+      }
+      Result<bool> closed = Satisfies(constraints, candidate, master);
+      if (!closed.ok()) {
+        inner = closed.status();
+        done = true;
+        return;
+      }
+      if (!*closed) return;
+      BruteForceOptions rcdp_options = options;
+      rcdp_options.universe = universe;
+      Result<BruteForceRcdpResult> rcdp =
+          BruteForceRcdp(query, candidate, master, constraints, rcdp_options);
+      if (!rcdp.ok()) {
+        inner = rcdp.status();
+        done = true;
+        return;
+      }
+      if (rcdp->complete) {
+        result.exists = true;
+        result.witness = std::move(candidate);
+        done = true;
+      }
+      return;
+    }
+    for (size_t i = start; i < pool.size(); ++i) {
+      chosen.push_back(i);
+      search(i + 1, remaining - 1);
+      chosen.pop_back();
+      if (done) return;
+    }
+  };
+  for (size_t size = 0; size <= options.max_database_tuples && !done;
+       ++size) {
+    search(0, size);
+  }
+  RELCOMP_RETURN_NOT_OK(inner);
+  return result;
+}
+
+}  // namespace relcomp

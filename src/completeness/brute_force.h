@@ -1,0 +1,73 @@
+#ifndef RELCOMP_COMPLETENESS_BRUTE_FORCE_H_
+#define RELCOMP_COMPLETENESS_BRUTE_FORCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "constraints/containment_constraint.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Definition-chasing oracles for the two decision problems. They
+/// enumerate extensions/databases over a bounded value universe and
+/// check the definitions directly — no tableaux, no characterizations —
+/// so they are a meaningful cross-check for the real deciders
+/// (property tests), and they also apply to FO and FP queries (as
+/// bounded semi-decision procedures for the undecidable cells).
+struct BruteForceOptions {
+  /// Value universe. When empty it is synthesized from the constants of
+  /// D, Dm, Q, V plus `extra_fresh` fresh values.
+  std::vector<Value> universe;
+  size_t extra_fresh = 2;
+  /// RCDP: maximum number of tuples added to D per candidate extension.
+  size_t max_delta_tuples = 2;
+  /// RCQP: maximum number of tuples of a candidate database.
+  size_t max_database_tuples = 2;
+  /// Global step budget across candidate checks.
+  size_t max_steps = 2000000;
+};
+
+/// Outcome of a brute-force check. `decided` is false when the budget
+/// was hit before the bounded space was exhausted.
+struct BruteForceRcdpResult {
+  bool complete = true;
+  /// When incomplete: an extension that changes the answer.
+  std::optional<Database> counterexample_delta;
+  size_t candidates_checked = 0;
+};
+
+/// Is D complete for Q relative to (Dm, V), judging by all extensions
+/// with at most max_delta_tuples extra tuples over the universe?
+/// Sound for "incomplete" always; sound for "complete" whenever the
+/// universe and tuple bound cover the small-model space (which they do
+/// for the decidable languages when universe ⊇ Adom ∪ New and
+/// max_delta_tuples ≥ |T_Q|).
+Result<BruteForceRcdpResult> BruteForceRcdp(
+    const AnyQuery& query, const Database& db, const Database& master,
+    const ConstraintSet& constraints,
+    const BruteForceOptions& options = BruteForceOptions());
+
+struct BruteForceRcqpResult {
+  bool exists = false;
+  std::optional<Database> witness;
+  size_t candidates_checked = 0;
+};
+
+/// Does some database with at most max_database_tuples tuples over the
+/// universe satisfy V and pass BruteForceRcdp as complete?
+Result<BruteForceRcqpResult> BruteForceRcqp(
+    const AnyQuery& query, std::shared_ptr<const Schema> db_schema,
+    const Database& master, const ConstraintSet& constraints,
+    const BruteForceOptions& options = BruteForceOptions());
+
+/// The candidate tuple pool used by the oracles: every (relation,
+/// tuple) over the universe that respects the attribute domains.
+std::vector<std::pair<std::string, Tuple>> AllTuplesOver(
+    const Schema& schema, const std::vector<Value>& universe);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_COMPLETENESS_BRUTE_FORCE_H_

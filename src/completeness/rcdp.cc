@@ -1,0 +1,411 @@
+#include "completeness/rcdp.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "eval/query_eval.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// True for the languages in the decidable cells of Table I.
+bool DecidableQueryLanguage(QueryLanguage lang) {
+  return lang == QueryLanguage::kCq || lang == QueryLanguage::kUcq ||
+         lang == QueryLanguage::kPositive;
+}
+
+Status GateLanguages(const AnyQuery& query, const ConstraintSet& constraints) {
+  if (!DecidableQueryLanguage(query.language())) {
+    return Status::Unsupported(StrCat(
+        "RCDP is undecidable for L_Q = ",
+        QueryLanguageToString(query.language()),
+        " (Theorem 3.1); see reductions/ and automata/ for the encodings"));
+  }
+  if (!DecidableQueryLanguage(constraints.Language())) {
+    return Status::Unsupported(StrCat(
+        "RCDP is undecidable for L_C = ",
+        QueryLanguageToString(constraints.Language()), " (Theorem 3.1)"));
+  }
+  return Status::OK();
+}
+
+/// Positions (relation, column) whose values constraint queries can
+/// observe: the CC term there is a constant, or a variable with more
+/// than one occurrence in its disjunct (joins, head, or comparisons).
+Result<std::map<std::string, std::set<size_t>>> SensitivePositions(
+    const ConstraintSet& constraints, size_t max_union_disjuncts) {
+  std::map<std::string, std::set<size_t>> sensitive;
+  for (const ContainmentConstraint& cc : constraints.constraints()) {
+    RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq,
+                             cc.query().ToUnion(max_union_disjuncts));
+    for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+      std::map<std::string, int> occurrences;
+      for (const Term& t : disjunct.head()) {
+        if (t.is_variable()) ++occurrences[t.var()];
+      }
+      for (const Atom& a : disjunct.body()) {
+        for (const Term& t : a.args()) {
+          if (t.is_variable()) ++occurrences[t.var()];
+        }
+      }
+      for (const Atom& a : disjunct.body()) {
+        if (!a.is_relation()) continue;
+        for (size_t col = 0; col < a.args().size(); ++col) {
+          const Term& t = a.args()[col];
+          if (t.is_constant() || occurrences[t.var()] > 1) {
+            sensitive[a.relation()].insert(col);
+          }
+        }
+      }
+    }
+  }
+  return sensitive;
+}
+
+/// Candidate overrides implementing the don't-care collapse (see
+/// RcdpOptions::collapse_dont_care).
+std::map<std::string, std::vector<Value>> CollapseOverrides(
+    const TableauQuery& tableau, const Database& db,
+    const ActiveDomain& adom,
+    const std::map<std::string, std::set<size_t>>& sensitive) {
+  std::map<std::string, std::vector<Value>> overrides;
+  // Occurrence counts and positions across the rows.
+  std::map<std::string, int> occurrences;
+  std::map<std::string, std::pair<std::string, size_t>> only_position;
+  for (const TableauRow& row : tableau.rows()) {
+    for (size_t col = 0; col < row.terms.size(); ++col) {
+      const Term& t = row.terms[col];
+      if (!t.is_variable()) continue;
+      ++occurrences[t.var()];
+      only_position[t.var()] = {row.relation, col};
+    }
+  }
+  std::set<std::string> excluded;
+  for (const Term& t : tableau.summary()) {
+    if (t.is_variable()) excluded.insert(t.var());
+  }
+  for (const auto& [lhs, rhs] : tableau.disequalities()) {
+    if (lhs.is_variable()) excluded.insert(lhs.var());
+    if (rhs.is_variable()) excluded.insert(rhs.var());
+  }
+  size_t next_dedicated = adom.fresh().size();
+  const std::vector<std::string>& vars = tableau.variables();
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const std::string& var = vars[i];
+    if (excluded.count(var) > 0) continue;
+    auto occ = occurrences.find(var);
+    if (occ == occurrences.end() || occ->second != 1) continue;
+    if (tableau.VariableDomain(var)->is_finite()) continue;
+    const auto& [relation, col] = only_position[var];
+    auto sens = sensitive.find(relation);
+    if (sens != sensitive.end() && sens->second.count(col) > 0) continue;
+    // Candidates: the column's values in D plus one dedicated fresh
+    // value (taken from the tail of the fresh pool so earlier fresh
+    // values stay available to the symmetry-broken variables).
+    std::set<Value> values;
+    for (const Tuple& t : db.Get(relation)) values.insert(t[col]);
+    if (next_dedicated == 0) continue;  // fresh pool exhausted; skip
+    std::vector<Value> candidates(values.begin(), values.end());
+    candidates.push_back(adom.fresh()[--next_dedicated]);
+    overrides[var] = std::move(candidates);
+  }
+  return overrides;
+}
+
+/// Per-disjunct search context: decides whether some valid valuation of
+/// this disjunct's tableau is a counterexample to completeness.
+class DisjunctSearch {
+ public:
+  DisjunctSearch(const TableauQuery& tableau, const Database& db,
+                 const Database& master, const ConstraintSet& constraints,
+                 const DeltaConstraintChecker* delta_checker,
+                 const Relation& current_answer, const ActiveDomain& adom,
+                 const RcdpOptions& options)
+      : tableau_(tableau),
+        db_(db),
+        master_(master),
+        constraints_(constraints),
+        delta_checker_(delta_checker),
+        current_answer_(current_answer),
+        adom_(adom),
+        options_(options) {}
+
+  /// Runs the search; fills *result on success (counterexample found).
+  Result<bool> Run(RcdpResult* result,
+                   const std::map<std::string, std::vector<Value>>*
+                       candidate_overrides) {
+    if (delta_checker_ != nullptr) {
+      session_.emplace(delta_checker_->NewSession(db_, master_));
+    }
+    ValuationEnumerator::Options enum_options;
+    enum_options.pruned = options_.prune;
+    enum_options.max_bindings = options_.max_bindings;
+    enum_options.candidate_overrides = candidate_overrides;
+    ValuationEnumerator enumerator(&tableau_, &adom_, enum_options);
+
+    // Precompute, for each enumeration position, which rows become
+    // fully bound there: the prune hook checks V on the partially
+    // instantiated tableau as soon as rows complete (sound because the
+    // supported constraint languages are monotone — a violation by a
+    // subset of μ(T) persists for all of it).
+    const std::vector<std::string>& order = enumerator.order();
+    std::map<std::string, size_t> position;
+    for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    // rows_complete_up_to_[p] = indices of rows whose variables are all
+    // at positions <= p.
+    std::vector<size_t> row_bound_at(tableau_.rows().size(), 0);
+    std::vector<bool> row_has_new_at(order.size(), false);
+    for (size_t r = 0; r < tableau_.rows().size(); ++r) {
+      size_t last = 0;
+      for (const Term& t : tableau_.rows()[r].terms) {
+        if (t.is_variable()) last = std::max(last, position[t.var()]);
+      }
+      row_bound_at[r] = last;
+      if (!order.empty()) row_has_new_at[last] = true;
+    }
+
+    bool found = false;
+    Status inner_error;
+    std::function<bool(const Bindings&)> prune = [&](const Bindings& partial) {
+      // Prune once the summary is grounded and already answered.
+      std::optional<Tuple> summary = partial.Ground(tableau_.summary());
+      if (summary.has_value() && current_answer_.Contains(*summary)) {
+        return true;
+      }
+      // Prune when the rows bound so far already violate V.
+      size_t pos = partial.size() == 0 ? 0 : partial.size() - 1;
+      if (pos < row_has_new_at.size() && row_has_new_at[pos]) {
+        Result<bool> ok = PartialRowsSatisfyV(partial, pos, row_bound_at);
+        if (!ok.ok()) {
+          inner_error = ok.status();
+          return true;  // abort the subtree; error surfaces after
+        }
+        if (!*ok) return true;
+      }
+      return false;
+    };
+    auto on_total = [&](const Bindings& valuation) {
+      Result<bool> is_cex = IsCounterexample(valuation, result);
+      if (!is_cex.ok()) {
+        inner_error = is_cex.status();
+        return false;
+      }
+      if (*is_cex) {
+        found = true;
+        return false;
+      }
+      return true;
+    };
+    Status st = enumerator.Enumerate(options_.prune ? prune : nullptr,
+                                     on_total);
+    result->stats.bindings_tried += enumerator.stats().bindings_tried;
+    result->stats.totals_delivered += enumerator.stats().totals_delivered;
+    result->stats.prunes += enumerator.stats().prunes;
+    RELCOMP_RETURN_NOT_OK(inner_error);
+    RELCOMP_RETURN_NOT_OK(st);
+    return found;
+  }
+
+ private:
+  /// Instantiates the rows fully bound at positions <= pos and checks
+  /// V on D plus those rows alone.
+  Result<bool> PartialRowsSatisfyV(const Bindings& partial, size_t pos,
+                                   const std::vector<size_t>& row_bound_at) {
+    std::vector<std::pair<std::string, Tuple>> delta;
+    for (size_t r = 0; r < tableau_.rows().size(); ++r) {
+      if (row_bound_at[r] > pos) continue;
+      const TableauRow& row = tableau_.rows()[r];
+      std::optional<Tuple> t = partial.Ground(row.terms);
+      if (!t.has_value()) continue;
+      if (!db_.Contains(row.relation, *t)) {
+        delta.emplace_back(row.relation, std::move(*t));
+      }
+    }
+    if (delta.empty()) return true;
+    if (session_.has_value()) {
+      return session_->Check(delta);
+    }
+    if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
+      Database mu_t(db_.schema_ptr());
+      for (auto& [relation, tuple] : delta) {
+        mu_t.InsertUnchecked(relation, tuple);
+      }
+      return Satisfies(constraints_, mu_t, master_);
+    }
+    Database extended = db_;
+    for (auto& [relation, tuple] : delta) {
+      extended.InsertUnchecked(relation, tuple);
+    }
+    return Satisfies(constraints_, extended, master_);
+  }
+
+  Result<bool> IsCounterexample(const Bindings& valuation,
+                                RcdpResult* result) {
+    RELCOMP_ASSIGN_OR_RETURN(Tuple summary,
+                             tableau_.SummaryTuple(valuation));
+    if (current_answer_.Contains(summary)) return false;
+    // μ(T) \ D; if empty, μ(u) would already be in Q(D).
+    RELCOMP_ASSIGN_OR_RETURN(auto rows, tableau_.Instantiate(valuation));
+    std::vector<std::pair<std::string, Tuple>> delta;
+    std::set<std::pair<std::string, Tuple>> seen;
+    for (auto& [relation, tuple] : rows) {
+      if (!db_.Contains(relation, tuple) &&
+          seen.emplace(relation, tuple).second) {
+        delta.emplace_back(relation, tuple);
+      }
+    }
+    if (delta.empty()) return false;
+    bool satisfied = false;
+    if (session_.has_value()) {
+      RELCOMP_ASSIGN_OR_RETURN(satisfied, session_->Check(delta));
+    } else if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
+      // Corollary 3.4: for INDs, (D ∪ μ(T), Dm) |= V iff
+      // (D, Dm) |= V (precondition) and (μ(T), Dm) |= V.
+      Database mu_t(db_.schema_ptr());
+      for (auto& [relation, tuple] : rows) {
+        mu_t.InsertUnchecked(relation, tuple);
+      }
+      RELCOMP_ASSIGN_OR_RETURN(satisfied,
+                               Satisfies(constraints_, mu_t, master_));
+    } else {
+      Database extended = db_;
+      for (auto& [relation, tuple] : delta) {
+        extended.InsertUnchecked(relation, tuple);
+      }
+      RELCOMP_ASSIGN_OR_RETURN(satisfied,
+                               Satisfies(constraints_, extended, master_));
+    }
+    if (!satisfied) return false;
+    result->complete = false;
+    Database delta_db(db_.schema_ptr());
+    for (auto& [relation, tuple] : delta) {
+      delta_db.InsertUnchecked(relation, std::move(tuple));
+    }
+    result->counterexample_delta = std::move(delta_db);
+    result->new_answer = std::move(summary);
+    return true;
+  }
+
+  const TableauQuery& tableau_;
+  const Database& db_;
+  const Database& master_;
+  const ConstraintSet& constraints_;
+  const DeltaConstraintChecker* delta_checker_;
+  std::optional<DeltaConstraintChecker::Session> session_;
+  const Relation& current_answer_;
+  const ActiveDomain& adom_;
+  const RcdpOptions& options_;
+};
+
+}  // namespace
+
+std::string RcdpResult::ToString() const {
+  if (complete) {
+    return StrCat("COMPLETE (", stats.bindings_tried,
+                  " search steps, ", stats.totals_delivered,
+                  " full valuations examined)");
+  }
+  std::string out = "INCOMPLETE";
+  if (new_answer.has_value()) {
+    out += StrCat("; adding Δ yields new answer ", new_answer->ToString());
+  }
+  if (counterexample_delta.has_value()) {
+    out += StrCat("\nΔ =\n", counterexample_delta->ToString());
+  }
+  return out;
+}
+
+Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
+                              const Database& master,
+                              const ConstraintSet& constraints,
+                              const RcdpOptions& options) {
+  RELCOMP_RETURN_NOT_OK(GateLanguages(query, constraints));
+  RELCOMP_RETURN_NOT_OK(query.Validate(db.schema()));
+  RELCOMP_RETURN_NOT_OK(constraints.Validate(db.schema(), master.schema()));
+  RELCOMP_ASSIGN_OR_RETURN(bool closed, Satisfies(constraints, db, master));
+  if (!closed) {
+    return Status::InvalidArgument(
+        "D is not partially closed: (D, Dm) does not satisfy V");
+  }
+
+  RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq,
+                           query.ToUnion(options.max_union_disjuncts));
+  RELCOMP_ASSIGN_OR_RETURN(Relation current_answer,
+                           EvalUnion(ucq, db));
+
+  RcdpResult result;
+  result.complete = true;
+
+  // Build the incremental constraint checker once (skipped for the
+  // IND fast path, which checks μ(T) in isolation and is cheaper).
+  std::optional<DeltaConstraintChecker> delta_checker;
+  const bool use_ind_fast_path =
+      options.ind_fast_path && constraints.IsIndsOnly();
+  if (options.delta_constraint_check && !use_ind_fast_path) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        DeltaConstraintChecker checker,
+        DeltaConstraintChecker::Make(constraints, db.schema_ptr(),
+                                     options.max_union_disjuncts));
+    delta_checker = std::move(checker);
+  }
+
+  std::map<std::string, std::set<size_t>> sensitive;
+  if (options.collapse_dont_care) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        sensitive,
+        SensitivePositions(constraints, options.max_union_disjuncts));
+  }
+
+  std::set<Value> query_constants = ucq.Constants();
+  for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        TableauQuery tableau,
+        TableauQuery::FromConjunctive(disjunct, db.schema()));
+    if (!tableau.satisfiable()) continue;
+    // One fresh value per variable of this disjunct's tableau
+    // (the paper's New); the proof of Prop 3.3 shows this suffices.
+    ActiveDomain adom = ActiveDomain::Build(
+        db, master, query_constants, constraints,
+        std::max<size_t>(1, tableau.variables().size()));
+    std::map<std::string, std::vector<Value>> overrides;
+    if (options.collapse_dont_care) {
+      overrides = CollapseOverrides(tableau, db, adom, sensitive);
+    }
+    DisjunctSearch search(tableau, db, master, constraints,
+                          delta_checker.has_value() ? &*delta_checker
+                                                    : nullptr,
+                          current_answer, adom, options);
+    RELCOMP_ASSIGN_OR_RETURN(
+        bool found,
+        search.Run(&result, overrides.empty() ? nullptr : &overrides));
+    if (found) {
+      result.complete = false;
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<Database> ChaseToCompleteness(const AnyQuery& query,
+                                     const Database& db,
+                                     const Database& master,
+                                     const ConstraintSet& constraints,
+                                     size_t max_rounds,
+                                     const RcdpOptions& options) {
+  Database current = db;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        RcdpResult result,
+        DecideRcdp(query, current, master, constraints, options));
+    if (result.complete) return current;
+    current.UnionWith(*result.counterexample_delta);
+  }
+  return Status::ResourceExhausted(
+      StrCat("database still incomplete after ", max_rounds,
+             " chase rounds (the query may not be relatively complete; "
+             "check with DecideRcqp)"));
+}
+
+}  // namespace relcomp

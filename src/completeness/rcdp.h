@@ -1,0 +1,93 @@
+#ifndef RELCOMP_COMPLETENESS_RCDP_H_
+#define RELCOMP_COMPLETENESS_RCDP_H_
+
+#include <optional>
+#include <string>
+
+#include "completeness/active_domain.h"
+#include "completeness/valuation_search.h"
+#include "constraints/constraint_check.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Options for the RCDP decider.
+struct RcdpOptions {
+  /// Pruned valuation search: summary-first variable ordering, eager
+  /// disequality checks, and early rejection of subtrees whose grounded
+  /// summary is already in Q(D). Disable for the paper's literal
+  /// enumerate-then-check algorithm (bench_ablation).
+  bool prune = true;
+  /// Use the Corollary 3.4 fast path when V consists of INDs: check
+  /// (μ(T_Q), Dm) |= V on the instantiated tableau alone instead of
+  /// (D ∪ μ(T_Q), Dm) |= V.
+  bool ind_fast_path = true;
+  /// Incremental constraint checking: since (D, Dm) |= V and the
+  /// constraint languages are monotone, (D ∪ Δ, Dm) |= V is checked by
+  /// examining only matches that touch Δ (DeltaConstraintChecker).
+  /// Disable to re-evaluate every constraint from scratch per
+  /// valuation, as the paper's literal algorithm does (bench_ablation).
+  bool delta_constraint_check = true;
+  /// Don't-care collapse: a tableau variable that occurs exactly once
+  /// in the rows, is absent from the summary and the disequalities,
+  /// has an infinite domain, and sits at a column no constraint query
+  /// is sensitive to (the CC term there is a single-occurrence
+  /// variable in every disjunct of every CC) cannot influence whether
+  /// a valuation is a counterexample except through tuple collisions
+  /// with D. Its candidates shrink to the column's D-values plus one
+  /// dedicated fresh value. Sound and complete; a major pruning lever
+  /// for star-shaped queries (bench_ablation).
+  bool collapse_dont_care = true;
+  /// Budget on valuation-search binding steps per disjunct
+  /// (0 = unlimited).
+  size_t max_bindings = 0;
+  /// Cap on the ∃FO+ → UCQ unfolding.
+  size_t max_union_disjuncts = 4096;
+};
+
+/// The decision, plus the evidence the paper's characterizations yield.
+struct RcdpResult {
+  bool complete = false;
+  /// When incomplete: the extension Δ (tuples not already in D) whose
+  /// addition keeps V satisfied but changes the answer, ...
+  std::optional<Database> counterexample_delta;
+  /// ... and the answer tuple gained: μ(u_Q) ∈ Q(D ∪ Δ) \ Q(D).
+  std::optional<Tuple> new_answer;
+  /// Search effort (summed over disjuncts); surfaced by the benches.
+  ValuationSearchStats stats;
+
+  std::string ToString() const;
+};
+
+/// Decides RCDP(L_Q, L_C): is D complete for Q relative to (Dm, V)?
+///
+/// Supported (decidable) cells of the paper's Table I: L_Q in
+/// {CQ, UCQ, ∃FO+} and L_C in {INDs, CQ, UCQ, ∃FO+} — Theorem 3.6.
+/// For L_Q or L_C in {FO, FP} the problem is undecidable (Theorem 3.1)
+/// and Decide returns kUnsupported; see reductions/ and automata/ for
+/// the encodings behind those cells.
+///
+/// Preconditions checked: Q and V validate against the schemas, and D
+/// is partially closed, i.e. (D, Dm) |= V.
+Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
+                              const Database& master,
+                              const ConstraintSet& constraints,
+                              const RcdpOptions& options = RcdpOptions());
+
+/// Repeatedly applies counterexamples: while D is incomplete, adds the
+/// counterexample Δ to D. Returns the completed database if the chase
+/// reaches a complete one within `max_rounds`. This is the Section 2.3
+/// "guidance for what data should be collected" paradigm; the chase
+/// need not terminate in general (kResourceExhausted).
+Result<Database> ChaseToCompleteness(const AnyQuery& query,
+                                     const Database& db,
+                                     const Database& master,
+                                     const ConstraintSet& constraints,
+                                     size_t max_rounds,
+                                     const RcdpOptions& options = {});
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_COMPLETENESS_RCDP_H_

@@ -1,0 +1,526 @@
+#include "completeness/rcqp.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "completeness/active_domain.h"
+#include "completeness/valuation_search.h"
+#include "constraints/constraint_check.h"
+#include "tableau/tableau.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+bool DecidableLanguage(QueryLanguage lang) {
+  return lang == QueryLanguage::kCq || lang == QueryLanguage::kUcq ||
+         lang == QueryLanguage::kPositive;
+}
+
+Status GateLanguages(const AnyQuery& query, const ConstraintSet& constraints) {
+  if (!DecidableLanguage(query.language())) {
+    return Status::Unsupported(StrCat(
+        "RCQP is undecidable for L_Q = ",
+        QueryLanguageToString(query.language()),
+        " (Theorem 4.1); see reductions/ and automata/ for the encodings"));
+  }
+  if (!DecidableLanguage(constraints.Language())) {
+    return Status::Unsupported(StrCat(
+        "RCQP is undecidable for L_C = ",
+        QueryLanguageToString(constraints.Language()), " (Theorem 4.1)"));
+  }
+  return Status::OK();
+}
+
+/// Head variables (distinct, in order) of a tableau's summary.
+std::vector<std::string> SummaryVariables(const TableauQuery& tableau) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Term& t : tableau.summary()) {
+    if (t.is_variable() && seen.insert(t.var()).second) {
+      out.push_back(t.var());
+    }
+  }
+  return out;
+}
+
+/// Columns of each relation projected into master data by the IND CCs.
+std::map<std::string, std::set<size_t>> IndProjectedColumns(
+    const ConstraintSet& constraints) {
+  std::map<std::string, std::set<size_t>> out;
+  for (const ContainmentConstraint& cc : constraints.constraints()) {
+    if (!cc.IsInd() || cc.has_empty_target()) continue;
+    const ConjunctiveQuery& q = *cc.query().as_cq();
+    const Atom& atom = q.body().front();
+    for (const Term& head_term : q.head()) {
+      for (size_t col = 0; col < atom.args().size(); ++col) {
+        if (atom.args()[col].is_variable() &&
+            atom.args()[col].var() == head_term.var()) {
+          out[atom.relation()].insert(col);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// E3/E4 for one tableau.
+std::vector<VariableBoundedness> AnalyzeTableau(
+    const TableauQuery& tableau,
+    const std::map<std::string, std::set<size_t>>& projected) {
+  std::vector<VariableBoundedness> out;
+  for (const std::string& var : SummaryVariables(tableau)) {
+    VariableBoundedness vb;
+    vb.variable = var;
+    vb.finite_domain = tableau.VariableDomain(var)->is_finite();
+    for (const TableauRow& row : tableau.rows()) {
+      auto it = projected.find(row.relation);
+      if (it == projected.end()) continue;
+      for (size_t col = 0; col < row.terms.size(); ++col) {
+        if (row.terms[col].is_variable() && row.terms[col].var() == var &&
+            it->second.count(col) > 0) {
+          vb.ind_bounded = true;
+        }
+      }
+    }
+    out.push_back(std::move(vb));
+  }
+  return out;
+}
+
+/// Searches for a valid valuation μ of `tableau` with (μ(T), Dm) |= V.
+/// Returns the valuation if found.
+Result<std::optional<Bindings>> FindRealizableValuation(
+    const TableauQuery& tableau, const Database& master,
+    const ConstraintSet& constraints,
+    const std::shared_ptr<const Schema>& db_schema, const ActiveDomain& adom,
+    size_t max_bindings) {
+  ValuationEnumerator::Options options;
+  options.max_bindings = max_bindings;
+  ValuationEnumerator enumerator(&tableau, &adom, options);
+  std::optional<Bindings> found;
+  Status inner;
+  RELCOMP_RETURN_NOT_OK(enumerator.Enumerate(
+      nullptr, [&](const Bindings& valuation) {
+        Database mu_t(db_schema);
+        Status st = tableau.InstantiateInto(valuation, &mu_t);
+        if (!st.ok()) {
+          inner = st;
+          return false;
+        }
+        Result<bool> sat = Satisfies(constraints, mu_t, master);
+        if (!sat.ok()) {
+          inner = sat.status();
+          return false;
+        }
+        if (*sat) {
+          found = valuation;
+          return false;
+        }
+        return true;
+      }));
+  RELCOMP_RETURN_NOT_OK(inner);
+  return found;
+}
+
+/// Builds the Prop 4.3 witness for one bounded, realizable disjunct:
+/// one instantiated tableau per achievable summary tuple.
+Status AccumulateIndWitness(const TableauQuery& tableau,
+                            const Database& master,
+                            const ConstraintSet& constraints,
+                            const ActiveDomain& adom, size_t max_bindings,
+                            Database* witness) {
+  ValuationEnumerator::Options options;
+  options.max_bindings = max_bindings;
+  ValuationEnumerator enumerator(&tableau, &adom, options);
+  std::set<Tuple> covered;
+  Status inner;
+  RELCOMP_RETURN_NOT_OK(enumerator.Enumerate(
+      nullptr, [&](const Bindings& valuation) {
+        Result<Tuple> summary = tableau.SummaryTuple(valuation);
+        if (!summary.ok()) {
+          inner = summary.status();
+          return false;
+        }
+        if (covered.count(*summary) > 0) return true;
+        Database mu_t(witness->schema_ptr());
+        Status st = tableau.InstantiateInto(valuation, &mu_t);
+        if (!st.ok()) {
+          inner = st;
+          return false;
+        }
+        Result<bool> sat = Satisfies(constraints, mu_t, master);
+        if (!sat.ok()) {
+          inner = sat.status();
+          return false;
+        }
+        if (*sat) {
+          covered.insert(*summary);
+          witness->UnionWith(mu_t);
+        }
+        return true;
+      }));
+  return inner;
+}
+
+/// All per-disjunct tableaux of a query convertible to UCQ.
+Result<std::vector<TableauQuery>> QueryTableaux(const AnyQuery& query,
+                                                const Schema& schema,
+                                                size_t max_disjuncts) {
+  RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq, query.ToUnion(max_disjuncts));
+  std::vector<TableauQuery> out;
+  for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+    RELCOMP_ASSIGN_OR_RETURN(TableauQuery tableau,
+                             TableauQuery::FromConjunctive(disjunct, schema));
+    if (tableau.satisfiable()) out.push_back(std::move(tableau));
+  }
+  return out;
+}
+
+/// Candidate tuple pool: instantiations of every tableau row (query and
+/// constraint tableaux alike) over the active domain. Returns true if
+/// the pool was truncated by the cap. Each row gets its own slice of
+/// the cap, and per-variable candidates are ordered with the query/
+/// constraint constants and the fresh values first — witnesses from
+/// the constructive proofs are built from exactly those values, so
+/// truncation discards the least interesting tuples.
+Result<bool> BuildPool(const std::vector<TableauQuery>& query_tableaux,
+                       const std::vector<TableauQuery>& cc_tableaux,
+                       const ActiveDomain& adom, size_t max_pool_size,
+                       std::vector<std::pair<std::string, Tuple>>* pool) {
+  std::set<Value> interesting;
+  size_t total_rows = 0;
+  for (const auto* group : {&query_tableaux, &cc_tableaux}) {
+    for (const TableauQuery& tableau : *group) {
+      std::set<Value> cs = tableau.Constants();
+      interesting.insert(cs.begin(), cs.end());
+      total_rows += tableau.rows().size();
+    }
+  }
+  for (const Value& v : adom.fresh()) interesting.insert(v);
+  const size_t per_row_budget =
+      std::max<size_t>(16, max_pool_size / std::max<size_t>(1, total_rows));
+
+  std::set<std::pair<std::string, Tuple>> seen;
+  bool truncated = false;
+  auto add_row = [&](const TableauQuery& tableau, const TableauRow& row) {
+    // Distinct variables of this row.
+    std::vector<std::string> vars;
+    std::set<std::string> var_set;
+    for (const Term& t : row.terms) {
+      if (t.is_variable() && var_set.insert(t.var()).second) {
+        vars.push_back(t.var());
+      }
+    }
+    std::vector<std::vector<Value>> candidates;
+    for (const std::string& v : vars) {
+      std::vector<Value> all =
+          adom.CandidatesFor(*tableau.VariableDomain(v));
+      std::stable_partition(all.begin(), all.end(), [&](const Value& val) {
+        return interesting.count(val) > 0;
+      });
+      candidates.push_back(std::move(all));
+    }
+    size_t row_added = 0;
+    bool row_full = false;
+    Bindings bindings;
+    std::function<void(size_t)> recurse = [&](size_t i) {
+      if (row_full) return;
+      if (i == vars.size()) {
+        std::optional<Tuple> t = bindings.Ground(row.terms);
+        if (t.has_value()) {
+          if (seen.size() >= max_pool_size) {
+            truncated = true;
+            row_full = true;
+            return;
+          }
+          if (seen.emplace(row.relation, std::move(*t)).second) {
+            if (++row_added >= per_row_budget) {
+              truncated = true;
+              row_full = true;
+            }
+          }
+        }
+        return;
+      }
+      for (const Value& v : candidates[i]) {
+        bindings.Set(vars[i], v);
+        recurse(i + 1);
+        if (row_full) return;
+      }
+      bindings.Unset(vars[i]);
+    };
+    recurse(0);
+  };
+  for (const TableauQuery& tableau : query_tableaux) {
+    for (const TableauRow& row : tableau.rows()) add_row(tableau, row);
+  }
+  for (const TableauQuery& tableau : cc_tableaux) {
+    for (const TableauRow& row : tableau.rows()) add_row(tableau, row);
+  }
+  pool->assign(seen.begin(), seen.end());
+  return truncated;
+}
+
+}  // namespace
+
+std::string RcqpResult::ToString() const {
+  std::string out;
+  if (exists) {
+    out = "RELATIVELY COMPLETE QUERY (witness exists)";
+  } else if (exhaustive) {
+    out = "NO RELATIVELY COMPLETE DATABASE";
+  } else {
+    out = "NO WITNESS FOUND WITHIN BUDGET (inconclusive)";
+  }
+  out += StrCat(" [method: ", method, exhaustive ? "" : ", non-exhaustive",
+                "]");
+  if (!unbounded_variables.empty()) {
+    out += "\nunbounded head variables: ";
+    for (size_t i = 0; i < unbounded_variables.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += unbounded_variables[i].variable;
+    }
+  }
+  if (witness.has_value()) {
+    out += StrCat("\nwitness D =\n", witness->ToString());
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<VariableBoundedness>>> AnalyzeIndBoundedness(
+    const AnyQuery& query, const ConstraintSet& constraints,
+    const Schema& db_schema) {
+  RELCOMP_ASSIGN_OR_RETURN(std::vector<TableauQuery> tableaux,
+                           QueryTableaux(query, db_schema, 4096));
+  std::map<std::string, std::set<size_t>> projected =
+      IndProjectedColumns(constraints);
+  std::vector<std::vector<VariableBoundedness>> out;
+  out.reserve(tableaux.size());
+  for (const TableauQuery& tableau : tableaux) {
+    out.push_back(AnalyzeTableau(tableau, projected));
+  }
+  return out;
+}
+
+Result<RcqpResult> DecideRcqp(const AnyQuery& query,
+                              std::shared_ptr<const Schema> db_schema,
+                              const Database& master,
+                              const ConstraintSet& constraints,
+                              const RcqpOptions& options) {
+  RELCOMP_RETURN_NOT_OK(GateLanguages(query, constraints));
+  RELCOMP_RETURN_NOT_OK(query.Validate(*db_schema));
+  RELCOMP_RETURN_NOT_OK(constraints.Validate(*db_schema, master.schema()));
+
+  RcqpResult result;
+
+  RELCOMP_ASSIGN_OR_RETURN(
+      std::vector<TableauQuery> tableaux,
+      QueryTableaux(query, *db_schema, options.rcdp.max_union_disjuncts));
+
+  // If the empty database is not partially closed, no database is: the
+  // decidable constraint languages are monotone, so a violation of V by
+  // ∅ persists in every extension. In particular RCQ is empty.
+  Database empty_db(db_schema);
+  RELCOMP_ASSIGN_OR_RETURN(bool empty_closed,
+                           Satisfies(constraints, empty_db, master));
+  if (!empty_closed) {
+    result.exists = false;
+    result.exhaustive = true;
+    result.method = "no-partially-closed-database";
+    return result;
+  }
+
+  // Unsatisfiable query: every partially closed database is complete.
+  if (tableaux.empty()) {
+    result.exists = true;
+    result.witness = empty_db;
+    result.method = "unsatisfiable-query";
+    return result;
+  }
+
+  // Constraint tableaux (used for fresh-value counting and the witness
+  // pool). Non-CQ-convertible constraints cannot occur: the language
+  // gate admits only CQ/UCQ/∃FO+.
+  std::vector<TableauQuery> cc_tableaux;
+  for (const ContainmentConstraint& cc : constraints.constraints()) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        std::vector<TableauQuery> ts,
+        QueryTableaux(cc.query(), *db_schema,
+                      options.rcdp.max_union_disjuncts));
+    for (TableauQuery& t : ts) cc_tableaux.push_back(std::move(t));
+  }
+
+  // Active domain: constants of Dm, Q, V plus one fresh value per
+  // variable of the query and constraint tableaux (Section 4.2's New).
+  size_t num_vars = 0;
+  for (const TableauQuery& t : tableaux) num_vars += t.variables().size();
+  for (const TableauQuery& t : cc_tableaux) num_vars += t.variables().size();
+  ActiveDomain adom =
+      ActiveDomain::Build(empty_db, master, query.Constants(), constraints,
+                          std::max<size_t>(1, num_vars));
+
+  // ---- Exact IND path (Prop 4.3 / Theorem 4.5(1)). -------------------
+  if (constraints.IsIndsOnly()) {
+    std::map<std::string, std::set<size_t>> projected =
+        IndProjectedColumns(constraints);
+    bool all_ok = true;
+    for (const TableauQuery& tableau : tableaux) {
+      std::vector<VariableBoundedness> analysis =
+          AnalyzeTableau(tableau, projected);
+      bool bounded = std::all_of(
+          analysis.begin(), analysis.end(),
+          [](const VariableBoundedness& vb) { return vb.bounded(); });
+      if (bounded) continue;
+      RELCOMP_ASSIGN_OR_RETURN(
+          std::optional<Bindings> realizable,
+          FindRealizableValuation(tableau, master, constraints, db_schema,
+                                  adom, options.max_valuations));
+      if (realizable.has_value()) {
+        all_ok = false;
+        for (VariableBoundedness& vb : analysis) {
+          if (!vb.bounded()) {
+            result.unbounded_variables.push_back(std::move(vb));
+          }
+        }
+      }
+    }
+    result.exists = all_ok;
+    result.exhaustive = true;
+    result.method = "ind-syntactic";
+    if (all_ok) {
+      // Witness per the Prop 4.3 proof: for every achievable summary
+      // tuple of every disjunct, one instantiated tableau.
+      Database witness(db_schema);
+      for (const TableauQuery& tableau : tableaux) {
+        RELCOMP_RETURN_NOT_OK(
+            AccumulateIndWitness(tableau, master, constraints, adom,
+                                 options.max_valuations, &witness));
+      }
+      result.witness = std::move(witness);
+    }
+    return result;
+  }
+
+  // ---- General path (Prop 4.2 / Cor 4.4; NEXPTIME). ------------------
+
+  // E1/E5 shortcut: every head variable of every satisfiable disjunct
+  // ranges over a finite domain.
+  bool all_finite = true;
+  for (const TableauQuery& tableau : tableaux) {
+    for (const std::string& var : SummaryVariables(tableau)) {
+      if (tableau.VariableDomain(var)->is_infinite()) {
+        all_finite = false;
+        break;
+      }
+    }
+    if (!all_finite) break;
+  }
+  if (all_finite) {
+    result.exists = true;
+    result.method = "all-finite-domains";
+    // Best-effort witness: chase the empty database to completeness.
+    Result<Database> chased = ChaseToCompleteness(
+        query, empty_db, master, constraints, /*max_rounds=*/256,
+        options.rcdp);
+    if (chased.ok()) result.witness = std::move(chased).value();
+    return result;
+  }
+
+  // Empty-database witness: D = ∅ complete?
+  RELCOMP_ASSIGN_OR_RETURN(
+      RcdpResult empty_rcdp,
+      DecideRcdp(query, empty_db, master, constraints, options.rcdp));
+  if (empty_rcdp.complete) {
+    result.exists = true;
+    result.witness = empty_db;
+    result.method = "empty-witness";
+    return result;
+  }
+
+  // Chase witness: grow the empty database by counterexamples; if the
+  // chase converges, the result is a verified complete database.
+  if (options.max_chase_rounds > 0) {
+    Result<Database> chased =
+        ChaseToCompleteness(query, empty_db, master, constraints,
+                            options.max_chase_rounds, options.rcdp);
+    if (chased.ok()) {
+      result.exists = true;
+      result.witness = std::move(chased).value();
+      result.method = "chase-witness";
+      return result;
+    }
+    if (chased.status().code() != StatusCode::kResourceExhausted) {
+      return chased.status();
+    }
+  }
+
+  // Small-model witness search over the tableau-row instantiation pool.
+  std::vector<std::pair<std::string, Tuple>> pool;
+  RELCOMP_ASSIGN_OR_RETURN(bool truncated,
+                           BuildPool(tableaux, cc_tableaux, adom,
+                                     options.max_pool_size, &pool));
+  size_t candidates_tried = 0;
+  bool budget_hit = false;
+  std::optional<Database> found;
+
+  std::vector<size_t> chosen;
+  std::function<Result<bool>(size_t, size_t)> search =
+      [&](size_t start, size_t remaining) -> Result<bool> {
+    if (found.has_value() || budget_hit) return true;
+    if (remaining == 0) {
+      if (++candidates_tried > options.max_candidates) {
+        budget_hit = true;
+        return true;
+      }
+      Database candidate(db_schema);
+      for (size_t idx : chosen) {
+        candidate.InsertUnchecked(pool[idx].first, pool[idx].second);
+      }
+      RELCOMP_ASSIGN_OR_RETURN(bool closed,
+                               Satisfies(constraints, candidate, master));
+      if (!closed) return true;
+      Result<RcdpResult> rcdp =
+          DecideRcdp(query, candidate, master, constraints, options.rcdp);
+      if (!rcdp.ok()) {
+        if (rcdp.status().code() == StatusCode::kResourceExhausted) {
+          budget_hit = true;
+          return true;
+        }
+        return rcdp.status();
+      }
+      if (rcdp->complete) found = std::move(candidate);
+      return true;
+    }
+    for (size_t i = start; i + remaining <= pool.size() + 1 && i < pool.size();
+         ++i) {
+      chosen.push_back(i);
+      RELCOMP_ASSIGN_OR_RETURN(bool ignored, search(i + 1, remaining - 1));
+      (void)ignored;
+      chosen.pop_back();
+      if (found.has_value() || budget_hit) break;
+    }
+    return true;
+  };
+  size_t max_size = std::min(options.max_witness_tuples, pool.size());
+  for (size_t size = 1; size <= max_size; ++size) {
+    RELCOMP_ASSIGN_OR_RETURN(bool ignored, search(0, size));
+    (void)ignored;
+    if (found.has_value() || budget_hit) break;
+  }
+
+  result.method = "witness-search";
+  if (found.has_value()) {
+    result.exists = true;
+    result.witness = std::move(found);
+    return result;
+  }
+  result.exists = false;
+  result.exhaustive = !truncated && !budget_hit &&
+                      options.max_witness_tuples >= pool.size();
+  return result;
+}
+
+}  // namespace relcomp

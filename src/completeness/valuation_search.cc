@@ -1,0 +1,170 @@
+#include "completeness/valuation_search.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+ValuationEnumerator::ValuationEnumerator(const TableauQuery* tableau,
+                                         const ActiveDomain* adom,
+                                         Options options)
+    : tableau_(tableau), adom_(adom), options_(options) {
+  // Variable order: summary variables first in pruned mode (callers
+  // prune on the grounded summary), declaration order otherwise.
+  std::set<std::string> summary_vars;
+  for (const Term& t : tableau_->summary()) {
+    if (t.is_variable()) summary_vars.insert(t.var());
+  }
+  if (options_.pruned) {
+    // Summary variables first (so summary-based pruning fires at the
+    // top of the search tree) ...
+    std::set<std::string> placed;
+    for (const std::string& v : tableau_->variables()) {
+      if (summary_vars.count(v) > 0) {
+        order_.push_back(v);
+        placed.insert(v);
+      }
+    }
+    // ... then greedily complete tableau rows as early as possible, so
+    // callers can prune on partially instantiated rows.
+    while (placed.size() < tableau_->variables().size()) {
+      std::string best;
+      size_t best_score = SIZE_MAX;
+      for (const std::string& v : tableau_->variables()) {
+        if (placed.count(v) > 0) continue;
+        // Score: the fewest unbound variables of any row containing v
+        // (binding v helps finish that row soonest).
+        size_t score = SIZE_MAX - 1;
+        for (const TableauRow& row : tableau_->rows()) {
+          std::set<std::string> row_vars;
+          for (const Term& t : row.terms) {
+            if (t.is_variable()) row_vars.insert(t.var());
+          }
+          if (row_vars.count(v) == 0) continue;
+          size_t unbound = 0;
+          for (const std::string& rv : row_vars) {
+            if (placed.count(rv) == 0) ++unbound;
+          }
+          score = std::min(score, unbound);
+        }
+        if (score < best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+      order_.push_back(best);
+      placed.insert(best);
+    }
+  } else {
+    order_ = tableau_->variables();
+  }
+  candidates_.reserve(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    if (options_.candidate_overrides != nullptr) {
+      auto it = options_.candidate_overrides->find(order_[i]);
+      if (it != options_.candidate_overrides->end()) {
+        candidates_.push_back(it->second);
+        continue;
+      }
+    }
+    std::shared_ptr<const Domain> domain =
+        tableau_->VariableDomain(order_[i]);
+    if (options_.symmetry_break_fresh && domain->is_infinite()) {
+      // Base constants plus only the first i+1 fresh values (see the
+      // Options comment for why this loses no valuations).
+      std::vector<Value> candidates = adom_->base();
+      size_t limit = std::min(i + 1, adom_->fresh().size());
+      candidates.insert(candidates.end(), adom_->fresh().begin(),
+                        adom_->fresh().begin() + limit);
+      candidates_.push_back(std::move(candidates));
+    } else {
+      candidates_.push_back(
+          adom_->CandidatesFor(*domain));
+    }
+  }
+  // Precompute, per position, the disequalities that become fully bound
+  // there (pruned mode checks them eagerly).
+  std::map<std::string, size_t> position;
+  for (size_t i = 0; i < order_.size(); ++i) position[order_[i]] = i;
+  disequalities_at_.resize(order_.size());
+  const auto& diseqs = tableau_->disequalities();
+  for (size_t d = 0; d < diseqs.size(); ++d) {
+    size_t last = 0;
+    bool has_var = false;
+    for (const Term* t : {&diseqs[d].first, &diseqs[d].second}) {
+      if (t->is_variable()) {
+        has_var = true;
+        last = std::max(last, position[t->var()]);
+      }
+    }
+    if (has_var) disequalities_at_[last].push_back(d);
+  }
+}
+
+bool ValuationEnumerator::Recurse(
+    size_t index, Bindings* bindings,
+    const std::function<bool(const Bindings&)>& should_prune,
+    const std::function<bool(const Bindings&)>& on_total, bool* stopped) {
+  if (index == order_.size()) {
+    if (!options_.pruned && !tableau_->IsValidValuation(*bindings)) {
+      return true;
+    }
+    ++stats_.totals_delivered;
+    if (!on_total(*bindings)) {
+      *stopped = true;
+      return false;
+    }
+    return true;
+  }
+  for (const Value& v : candidates_[index]) {
+    ++stats_.bindings_tried;
+    if (options_.max_bindings > 0 &&
+        stats_.bindings_tried > options_.max_bindings) {
+      failure_ = Status::ResourceExhausted(
+          StrCat("valuation search exceeded ", options_.max_bindings,
+                 " binding steps"));
+      *stopped = true;
+      return false;
+    }
+    bindings->Set(order_[index], v);
+    bool ok = true;
+    if (options_.pruned) {
+      for (size_t d : disequalities_at_[index]) {
+        const auto& [lhs, rhs] = tableau_->disequalities()[d];
+        std::optional<Value> lv = bindings->Resolve(lhs);
+        std::optional<Value> rv = bindings->Resolve(rhs);
+        if (lv.has_value() && rv.has_value() && *lv == *rv) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && should_prune != nullptr && should_prune(*bindings)) {
+        ok = false;
+      }
+      if (!ok) ++stats_.prunes;
+    }
+    if (ok && !Recurse(index + 1, bindings, should_prune, on_total, stopped)) {
+      bindings->Unset(order_[index]);
+      return false;
+    }
+  }
+  bindings->Unset(order_[index]);
+  return true;
+}
+
+Status ValuationEnumerator::Enumerate(
+    const std::function<bool(const Bindings&)>& should_prune,
+    const std::function<bool(const Bindings&)>& on_total) {
+  if (!tableau_->satisfiable()) return Status::OK();
+  failure_ = Status::OK();
+  Bindings bindings;
+  bool stopped = false;
+  Recurse(0, &bindings, should_prune, on_total, &stopped);
+  return failure_;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,96 @@
+#ifndef RELCOMP_COMPLETENESS_VALUATION_SEARCH_H_
+#define RELCOMP_COMPLETENESS_VALUATION_SEARCH_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "completeness/active_domain.h"
+#include "eval/bindings.h"
+#include "tableau/tableau.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Counters reported by the valuation search; surfaced by the benches.
+struct ValuationSearchStats {
+  /// Number of variable-binding steps taken.
+  size_t bindings_tried = 0;
+  /// Total valuations delivered to the callback.
+  size_t totals_delivered = 0;
+  /// Subtrees cut by disequality or caller pruning.
+  size_t prunes = 0;
+};
+
+/// Enumerates the paper's valid valuations of a tableau: total
+/// assignments of the tableau variables where each variable draws from
+/// adom(y) (finite domain, or Adom ∪ New) and every disequality of the
+/// tableau holds.
+///
+/// In pruned mode (the default) the enumerator orders summary variables
+/// first, checks disequalities as soon as both ends are bound, and
+/// consults an optional caller prune hook after each binding. In naive
+/// mode — the literal algorithm from the paper's upper-bound proofs,
+/// kept for bench_ablation — assignments are generated in declaration
+/// order and validity is only checked on total assignments.
+class ValuationEnumerator {
+ public:
+  struct Options {
+    bool pruned = true;
+    /// Abort with kResourceExhausted after this many binding steps
+    /// (0 = unlimited).
+    size_t max_bindings = 0;
+    /// Per-variable candidate overrides (e.g. the RCDP decider's
+    /// don't-care collapse). Overridden variables use exactly the
+    /// given values; others follow the normal adom(y) rules.
+    const std::map<std::string, std::vector<Value>>* candidate_overrides =
+        nullptr;
+    /// Symmetry breaking over the fresh values (paper's New): fresh
+    /// values are interchangeable (they occur nowhere in D, Dm, Q, V),
+    /// so any valuation can be renamed to use fresh_0..fresh_k in order
+    /// of first use. The variable at enumeration position i therefore
+    /// only needs fresh candidates fresh_0..fresh_i. Sound and
+    /// complete; disable for the literal paper algorithm.
+    bool symmetry_break_fresh = true;
+  };
+
+  ValuationEnumerator(const TableauQuery* tableau, const ActiveDomain* adom,
+                      Options options);
+
+  /// Runs the enumeration. `should_prune`, if non-null, is called after
+  /// each variable binding (pruned mode only); returning true cuts the
+  /// subtree. `on_total` receives each valid total valuation; returning
+  /// false stops the whole search.
+  Status Enumerate(const std::function<bool(const Bindings&)>& should_prune,
+                   const std::function<bool(const Bindings&)>& on_total);
+
+  /// The variable enumeration order actually used (pruned mode:
+  /// summary variables first, then a greedy row-completion order so
+  /// callers can prune on partially instantiated rows).
+  const std::vector<std::string>& order() const { return order_; }
+
+  const ValuationSearchStats& stats() const { return stats_; }
+
+ private:
+  bool Recurse(size_t index, Bindings* bindings,
+               const std::function<bool(const Bindings&)>& should_prune,
+               const std::function<bool(const Bindings&)>& on_total,
+               bool* stopped);
+
+  const TableauQuery* tableau_;
+  const ActiveDomain* adom_;
+  Options options_;
+  /// Variables in enumeration order, with per-variable candidates.
+  std::vector<std::string> order_;
+  std::vector<std::vector<Value>> candidates_;
+  /// disequalities_at_[i]: indices of tableau disequalities whose
+  /// variables are all bound once order_[0..i] are bound.
+  std::vector<std::vector<size_t>> disequalities_at_;
+  ValuationSearchStats stats_;
+  Status failure_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_COMPLETENESS_VALUATION_SEARCH_H_

@@ -1,0 +1,236 @@
+#include "constraints/constraint_check.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+std::string ConstraintCheckResult::ToString() const {
+  if (satisfied) return "satisfied";
+  std::string out = StrCat("violated CC #", violated_index);
+  if (witness.has_value()) {
+    out += StrCat(" by tuple ", witness->ToString());
+  }
+  return out;
+}
+
+Relation EvalProjection(const ContainmentConstraint& cc,
+                        const Database& master) {
+  const Relation& source = master.Get(cc.master_relation());
+  Relation out(cc.projection().size());
+  for (const Tuple& t : source) {
+    std::vector<Value> values;
+    values.reserve(cc.projection().size());
+    for (size_t col : cc.projection()) values.push_back(t[col]);
+    out.Insert(Tuple(std::move(values)));
+  }
+  return out;
+}
+
+Result<bool> CheckConstraint(const ContainmentConstraint& cc,
+                             const Database& db, const Database& master,
+                             const EvalOptions& options) {
+  EvalOptions local = options;
+  // FO constraint queries may compare against master-data constants;
+  // fold them into the active domain.
+  if (cc.language() == QueryLanguage::kFo) {
+    master.CollectConstants(&local.fo_extra_constants);
+  }
+  RELCOMP_ASSIGN_OR_RETURN(Relation answers, Evaluate(cc.query(), db, local));
+  if (cc.has_empty_target()) return answers.empty();
+  Relation target = EvalProjection(cc, master);
+  return answers.IsSubsetOf(target);
+}
+
+Result<ConstraintCheckResult> CheckConstraints(const ConstraintSet& set,
+                                               const Database& db,
+                                               const Database& master,
+                                               const EvalOptions& options) {
+  ConstraintCheckResult result;
+  for (size_t i = 0; i < set.constraints().size(); ++i) {
+    const ContainmentConstraint& cc = set.constraints()[i];
+    EvalOptions local = options;
+    if (cc.language() == QueryLanguage::kFo) {
+      master.CollectConstants(&local.fo_extra_constants);
+    }
+    RELCOMP_ASSIGN_OR_RETURN(Relation answers,
+                             Evaluate(cc.query(), db, local));
+    if (cc.has_empty_target()) {
+      if (!answers.empty()) {
+        result.satisfied = false;
+        result.violated_index = static_cast<int>(i);
+        result.witness = *answers.begin();
+        return result;
+      }
+      continue;
+    }
+    Relation target = EvalProjection(cc, master);
+    for (const Tuple& t : answers) {
+      if (!target.Contains(t)) {
+        result.satisfied = false;
+        result.violated_index = static_cast<int>(i);
+        result.witness = t;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+Result<bool> Satisfies(const ConstraintSet& set, const Database& db,
+                       const Database& master, const EvalOptions& options) {
+  RELCOMP_ASSIGN_OR_RETURN(ConstraintCheckResult result,
+                           CheckConstraints(set, db, master, options));
+  return result.satisfied;
+}
+
+namespace {
+constexpr char kCcDeltaSuffix[] = "$ccdelta";
+}  // namespace
+
+Result<DeltaConstraintChecker> DeltaConstraintChecker::Make(
+    const ConstraintSet& set, std::shared_ptr<const Schema> db_schema,
+    size_t max_union_disjuncts) {
+  DeltaConstraintChecker checker;
+  checker.base_schema_ = db_schema;
+  auto extended = std::make_shared<Schema>();
+  for (const std::string& name : db_schema->relation_names()) {
+    RELCOMP_RETURN_NOT_OK(extended->AddRelation(*db_schema->FindRelation(name)));
+    RELCOMP_RETURN_NOT_OK(extended->AddRelation(
+        StrCat(name, kCcDeltaSuffix), db_schema->FindRelation(name)->arity()));
+  }
+  checker.extended_schema_ = extended;
+  for (const ContainmentConstraint& cc : set.constraints()) {
+    RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq,
+                             cc.query().ToUnion(max_union_disjuncts));
+    CcVariants entry;
+    entry.empty_target = cc.has_empty_target();
+    entry.master_relation = cc.master_relation();
+    entry.projection = cc.projection();
+    for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+      for (size_t i = 0; i < disjunct.body().size(); ++i) {
+        const Atom& atom = disjunct.body()[i];
+        if (!atom.is_relation()) continue;
+        ConjunctiveQuery variant = disjunct;
+        std::string delta_name = StrCat(atom.relation(), kCcDeltaSuffix);
+        variant.mutable_body()[i] = Atom::Relation(delta_name, atom.args());
+        entry.variants.push_back(std::move(variant));
+        entry.variant_delta_relations.push_back(std::move(delta_name));
+      }
+      // A disjunct with no relation atoms matches independently of Δ;
+      // since (D, Dm) |= V it cannot newly violate — safe to drop.
+    }
+    checker.constraints_.push_back(std::move(entry));
+  }
+  return checker;
+}
+
+DeltaConstraintChecker::Session::Session(const DeltaConstraintChecker* checker,
+                                         const Database& base,
+                                         const Database& master)
+    : checker_(checker), master_(&master),
+      work_(checker->extended_schema_) {
+  for (const std::string& name : checker->base_schema_->relation_names()) {
+    for (const Tuple& t : base.Get(name)) work_.InsertUnchecked(name, t);
+  }
+}
+
+Result<bool> DeltaConstraintChecker::Session::Check(
+    const std::vector<std::pair<std::string, Tuple>>& delta) {
+  // Apply the delta in place; remember exactly what to roll back.
+  std::vector<std::pair<std::string, const Tuple*>> applied;
+  std::vector<std::pair<std::string, const Tuple*>> applied_delta;
+  applied.reserve(delta.size());
+  applied_delta.reserve(delta.size());
+  for (const auto& [relation, tuple] : delta) {
+    if (work_.InsertUnchecked(relation, tuple)) {
+      applied.emplace_back(relation, &tuple);
+      std::string delta_name = StrCat(relation, kCcDeltaSuffix);
+      if (work_.InsertUnchecked(delta_name, tuple)) {
+        applied_delta.emplace_back(std::move(delta_name), &tuple);
+      }
+    }
+  }
+  auto rollback = [&]() {
+    for (const auto& [relation, tuple] : applied) {
+      work_.Erase(relation, *tuple);
+    }
+    for (const auto& [relation, tuple] : applied_delta) {
+      work_.Erase(relation, *tuple);
+    }
+  };
+  if (applied.empty()) {
+    rollback();
+    return true;  // nothing new: base already satisfies V
+  }
+  for (const CcVariants& cc : checker_->constraints_) {
+    std::optional<Relation> target;
+    for (size_t v = 0; v < cc.variants.size(); ++v) {
+      if (work_.Get(cc.variant_delta_relations[v]).empty()) continue;
+      const ConjunctiveQuery& variant = cc.variants[v];
+      Result<Relation> answers = EvalConjunctive(variant, work_);
+      if (!answers.ok()) {
+        rollback();
+        return answers.status();
+      }
+      if (answers->empty()) continue;
+      if (cc.empty_target) {
+        rollback();
+        return false;
+      }
+      if (!target.has_value()) {
+        const Relation& source = master_->Get(cc.master_relation);
+        Relation projected(cc.projection.size());
+        for (const Tuple& t : source) {
+          std::vector<Value> values;
+          values.reserve(cc.projection.size());
+          for (size_t col : cc.projection) values.push_back(t[col]);
+          projected.Insert(Tuple(std::move(values)));
+        }
+        target = std::move(projected);
+      }
+      if (!answers->IsSubsetOf(*target)) {
+        rollback();
+        return false;
+      }
+    }
+  }
+  rollback();
+  return true;
+}
+
+Result<bool> DeltaConstraintChecker::Check(const Database& extended,
+                                           const Database& delta,
+                                           const Database& master) const {
+  Database work(extended_schema_);
+  for (const std::string& name : base_schema_->relation_names()) {
+    for (const Tuple& t : extended.Get(name)) work.InsertUnchecked(name, t);
+    for (const Tuple& t : delta.Get(name)) {
+      work.InsertUnchecked(StrCat(name, kCcDeltaSuffix), t);
+    }
+  }
+  for (const CcVariants& cc : constraints_) {
+    std::optional<Relation> target;
+    for (const ConjunctiveQuery& variant : cc.variants) {
+      RELCOMP_ASSIGN_OR_RETURN(Relation answers,
+                               EvalConjunctive(variant, work));
+      if (answers.empty()) continue;
+      if (cc.empty_target) return false;
+      if (!target.has_value()) {
+        // Materialize the projection once per constraint.
+        const Relation& source = master.Get(cc.master_relation);
+        Relation projected(cc.projection.size());
+        for (const Tuple& t : source) {
+          std::vector<Value> values;
+          values.reserve(cc.projection.size());
+          for (size_t col : cc.projection) values.push_back(t[col]);
+          projected.Insert(Tuple(std::move(values)));
+        }
+        target = std::move(projected);
+      }
+      if (!answers.IsSubsetOf(*target)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,113 @@
+#ifndef RELCOMP_CONSTRAINTS_CONSTRAINT_CHECK_H_
+#define RELCOMP_CONSTRAINTS_CONSTRAINT_CHECK_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/containment_constraint.h"
+#include "eval/query_eval.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Result of checking a constraint set: satisfied, or the index of the
+/// first violated CC plus one witness tuple in q(D) \ p(Dm).
+struct ConstraintCheckResult {
+  bool satisfied = true;
+  int violated_index = -1;
+  std::optional<Tuple> witness;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the projection p over the master data: the target column
+/// projection of the master relation. Precondition: !cc.empty_target().
+Relation EvalProjection(const ContainmentConstraint& cc,
+                        const Database& master);
+
+/// Checks (D, Dm) |= φ for one CC.
+Result<bool> CheckConstraint(const ContainmentConstraint& cc,
+                             const Database& db, const Database& master,
+                             const EvalOptions& options = EvalOptions());
+
+/// Checks (D, Dm) |= V; reports the first violation.
+Result<ConstraintCheckResult> CheckConstraints(
+    const ConstraintSet& set, const Database& db, const Database& master,
+    const EvalOptions& options = EvalOptions());
+
+/// Convenience wrapper returning a plain bool.
+Result<bool> Satisfies(const ConstraintSet& set, const Database& db,
+                       const Database& master,
+                       const EvalOptions& options = EvalOptions());
+
+/// Incremental constraint checking for the deciders' inner loop.
+///
+/// Given a base database D already known to satisfy V, checks whether
+/// (D ∪ Δ, Dm) |= V by examining only the constraint-query matches
+/// that use at least one Δ tuple. Exact for the monotone constraint
+/// languages (CQ/UCQ/∃FO+): since (D, Dm) |= V, any violation of
+/// (D ∪ Δ, Dm) must involve a new tuple. Construction is done once;
+/// Check() is then called per candidate extension (the RCDP decider
+/// calls it once per valuation).
+class DeltaConstraintChecker {
+ public:
+  /// Fails with kUnsupported if the set contains FO/FP constraints.
+  static Result<DeltaConstraintChecker> Make(
+      const ConstraintSet& set, std::shared_ptr<const Schema> db_schema,
+      size_t max_union_disjuncts = 4096);
+
+  /// `extended` must be D ∪ Δ over the original schema; `delta` holds
+  /// exactly the new tuples. Returns (D ∪ Δ, Dm) |= V.
+  Result<bool> Check(const Database& extended, const Database& delta,
+                     const Database& master) const;
+
+  /// A reusable checking session over a fixed base database: the base
+  /// is copied in once and candidate deltas are applied and rolled
+  /// back in place, avoiding per-candidate database copies (the RCDP
+  /// decider calls Check once per leaf of the valuation search).
+  class Session {
+   public:
+    Session(const DeltaConstraintChecker* checker, const Database& base,
+            const Database& master);
+
+    /// Returns (base ∪ delta, Dm) |= V. Tuples already in the base are
+    /// ignored. The work state is restored before returning.
+    Result<bool> Check(
+        const std::vector<std::pair<std::string, Tuple>>& delta);
+
+   private:
+    const DeltaConstraintChecker* checker_;
+    const Database* master_;
+    Database work_;
+  };
+
+  /// Creates a session; `base` is the decider's D, already known to
+  /// satisfy V together with `master`.
+  Session NewSession(const Database& base, const Database& master) const {
+    return Session(this, base, master);
+  }
+
+ private:
+  friend class Session;
+  DeltaConstraintChecker() = default;
+
+  struct CcVariants {
+    /// Rewritten disjunct queries, each with one atom redirected to the
+    /// delta relation, plus that delta relation's name (variants whose
+    /// delta relation is empty for a given candidate are skipped).
+    std::vector<ConjunctiveQuery> variants;
+    std::vector<std::string> variant_delta_relations;
+    bool empty_target = true;
+    std::string master_relation;
+    std::vector<size_t> projection;
+  };
+
+  std::shared_ptr<const Schema> base_schema_;
+  std::shared_ptr<Schema> extended_schema_;
+  std::vector<CcVariants> constraints_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_CONSTRAINTS_CONSTRAINT_CHECK_H_

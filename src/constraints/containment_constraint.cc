@@ -1,0 +1,137 @@
+#include "constraints/containment_constraint.h"
+
+#include <set>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+ContainmentConstraint ContainmentConstraint::Subset(
+    AnyQuery query, std::string master_relation,
+    std::vector<size_t> projection) {
+  ContainmentConstraint cc;
+  cc.query_ = std::move(query);
+  cc.empty_target_ = false;
+  cc.master_relation_ = std::move(master_relation);
+  cc.projection_ = std::move(projection);
+  return cc;
+}
+
+ContainmentConstraint ContainmentConstraint::SubsetOfEmpty(AnyQuery query) {
+  ContainmentConstraint cc;
+  cc.query_ = std::move(query);
+  cc.empty_target_ = true;
+  return cc;
+}
+
+bool ContainmentConstraint::IsInd() const {
+  const ConjunctiveQuery* cq = query_.as_cq();
+  if (cq == nullptr) return false;
+  const std::vector<Atom>& body = cq->body();
+  if (body.size() != 1 || !body.front().is_relation()) return false;
+  // All atom arguments must be distinct variables.
+  std::set<std::string> atom_vars;
+  for (const Term& t : body.front().args()) {
+    if (!t.is_variable()) return false;
+    if (!atom_vars.insert(t.var()).second) return false;
+  }
+  // The head must be a list of distinct atom variables.
+  std::set<std::string> head_vars;
+  for (const Term& t : cq->head()) {
+    if (!t.is_variable()) return false;
+    if (atom_vars.count(t.var()) == 0) return false;
+    if (!head_vars.insert(t.var()).second) return false;
+  }
+  return true;
+}
+
+Status ContainmentConstraint::Validate(const Schema& db_schema,
+                                       const Schema& master_schema) const {
+  RELCOMP_RETURN_NOT_OK(query_.Validate(db_schema));
+  if (empty_target_) return Status::OK();
+  const RelationSchema* rm = master_schema.FindRelation(master_relation_);
+  if (rm == nullptr) {
+    return Status::NotFound(
+        StrCat("unknown master relation: ", master_relation_));
+  }
+  for (size_t col : projection_) {
+    if (col >= rm->arity()) {
+      return Status::InvalidArgument(
+          StrCat("projection column ", col, " out of range for ",
+                 master_relation_, " (arity ", rm->arity(), ")"));
+    }
+  }
+  if (projection_.size() != query_.arity()) {
+    return Status::InvalidArgument(
+        StrCat("CC arity mismatch: query produces ", query_.arity(),
+               " columns, projection has ", projection_.size()));
+  }
+  return Status::OK();
+}
+
+std::string ContainmentConstraint::ToString() const {
+  std::string out = query_.ToString();
+  out += "  SUBSETEQ  ";
+  if (empty_target_) {
+    out += "EMPTY";
+  } else {
+    out += "pi_{";
+    for (size_t i = 0; i < projection_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(projection_[i]);
+    }
+    out += "}(";
+    out += master_relation_;
+    out += ")";
+  }
+  return out;
+}
+
+bool ConstraintSet::IsIndsOnly() const {
+  for (const ContainmentConstraint& cc : constraints_) {
+    if (!cc.IsInd()) return false;
+  }
+  return true;
+}
+
+QueryLanguage ConstraintSet::Language() const {
+  QueryLanguage lub = QueryLanguage::kCq;
+  auto rank = [](QueryLanguage lang) {
+    switch (lang) {
+      case QueryLanguage::kCq:
+        return 0;
+      case QueryLanguage::kUcq:
+        return 1;
+      case QueryLanguage::kPositive:
+        return 2;
+      case QueryLanguage::kFo:
+        return 3;
+      case QueryLanguage::kDatalog:
+        return 4;
+    }
+    return 4;
+  };
+  for (const ContainmentConstraint& cc : constraints_) {
+    if (rank(cc.language()) > rank(lub)) lub = cc.language();
+  }
+  return lub;
+}
+
+Status ConstraintSet::Validate(const Schema& db_schema,
+                               const Schema& master_schema) const {
+  for (const ContainmentConstraint& cc : constraints_) {
+    RELCOMP_RETURN_NOT_OK(cc.Validate(db_schema, master_schema));
+  }
+  return Status::OK();
+}
+
+std::string ConstraintSet::ToString() const {
+  std::string out;
+  for (const ContainmentConstraint& cc : constraints_) {
+    out += cc.ToString();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,92 @@
+#ifndef RELCOMP_CONSTRAINTS_CONTAINMENT_CONSTRAINT_H_
+#define RELCOMP_CONSTRAINTS_CONTAINMENT_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "query/any_query.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A containment constraint (CC) φ: q(R) ⊆ p(Rm), where q is a query
+/// over the database schema in some language L_C, and p is a projection
+/// over one master relation (Section 2.1). The special form q ⊆ ∅
+/// (projection on an empty master relation) is represented explicitly
+/// with an empty target; it is how integrity constraints embed
+/// (Proposition 2.1).
+class ContainmentConstraint {
+ public:
+  ContainmentConstraint() = default;
+
+  /// φ: q ⊆ π_{columns}(master_relation).
+  static ContainmentConstraint Subset(AnyQuery query,
+                                      std::string master_relation,
+                                      std::vector<size_t> projection);
+
+  /// φ: q ⊆ ∅.
+  static ContainmentConstraint SubsetOfEmpty(AnyQuery query);
+
+  const AnyQuery& query() const { return query_; }
+  QueryLanguage language() const { return query_.language(); }
+
+  bool has_empty_target() const { return empty_target_; }
+  /// Precondition: !has_empty_target().
+  const std::string& master_relation() const { return master_relation_; }
+  const std::vector<size_t>& projection() const { return projection_; }
+
+  /// True iff this CC is an inclusion dependency in the paper's sense:
+  /// the left query is itself a projection query (single relation atom
+  /// over distinct variables, head a list of distinct atom variables,
+  /// no comparisons) — including the q ⊆ ∅ form.
+  bool IsInd() const;
+
+  /// Validates the CC: the query against the database schema, and the
+  /// target projection against the master schema (existence, column
+  /// indices, arity agreement with the query head).
+  Status Validate(const Schema& db_schema, const Schema& master_schema) const;
+
+  /// "q(...) :- ...  SUBSETEQ  pi_{0,2}(DCust)".
+  std::string ToString() const;
+
+ private:
+  AnyQuery query_;
+  bool empty_target_ = true;
+  std::string master_relation_;
+  std::vector<size_t> projection_;
+};
+
+/// A named set V of containment constraints together with the master
+/// data schema it is defined against.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void Add(ContainmentConstraint cc) { constraints_.push_back(std::move(cc)); }
+
+  const std::vector<ContainmentConstraint>& constraints() const {
+    return constraints_;
+  }
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  /// True iff every CC is an IND.
+  bool IsIndsOnly() const;
+
+  /// The least upper bound of the constraint languages (CQ < UCQ <
+  /// ∃FO+ < FO; datalog maps to FP which we report as the top for
+  /// dispatch purposes).
+  QueryLanguage Language() const;
+
+  Status Validate(const Schema& db_schema, const Schema& master_schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ContainmentConstraint> constraints_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_CONSTRAINTS_CONTAINMENT_CONSTRAINT_H_

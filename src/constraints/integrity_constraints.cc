@@ -1,0 +1,313 @@
+#include "constraints/integrity_constraints.h"
+
+#include "eval/conjunctive_eval.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// True iff `t` matches every pattern conjunct.
+bool MatchesPattern(const Tuple& t, const std::vector<AttrPattern>& pattern) {
+  for (const AttrPattern& p : pattern) {
+    if (t[p.column] != p.value) return false;
+  }
+  return true;
+}
+
+/// Fresh variable names v<prefix>_<i> for the columns of a relation.
+std::vector<Term> ColumnVars(const std::string& prefix, size_t arity) {
+  std::vector<Term> vars;
+  vars.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    vars.push_back(Term::Var(StrCat(prefix, i)));
+  }
+  return vars;
+}
+
+Status RequireRelation(const Schema& schema, const std::string& name,
+                       const RelationSchema** out) {
+  *out = schema.FindRelation(name);
+  if (*out == nullptr) {
+    return Status::NotFound(StrCat("unknown relation: ", name));
+  }
+  return Status::OK();
+}
+
+std::string ColsToString(const std::vector<size_t>& cols) {
+  std::string out = "[";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(cols[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string PatternToString(const std::vector<AttrPattern>& pattern) {
+  if (pattern.empty()) return "";
+  std::string out = " with (";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat("#", pattern[i].column, "=", pattern[i].value.ToString());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+Status EnsureEmptyMasterRelation(Schema* master_schema) {
+  if (master_schema->HasRelation(kEmptyMasterRelation)) return Status::OK();
+  return master_schema->AddRelation(kEmptyMasterRelation, 0);
+}
+
+// ---------------------------------------------------------------------------
+// FunctionalDependency
+
+Result<bool> FunctionalDependency::Check(const Database& db) const {
+  ConditionalFd as_cfd(relation_, lhs_, {}, rhs_, {});
+  return as_cfd.Check(db);
+}
+
+Result<std::vector<ContainmentConstraint>>
+FunctionalDependency::ToContainmentConstraints(const Schema& db_schema) const {
+  ConditionalFd as_cfd(relation_, lhs_, {}, rhs_, {});
+  return as_cfd.ToContainmentConstraints(db_schema);
+}
+
+std::string FunctionalDependency::ToString() const {
+  return StrCat("FD ", relation_, ": ", ColsToString(lhs_), " -> ",
+                ColsToString(rhs_));
+}
+
+// ---------------------------------------------------------------------------
+// ConditionalFd
+
+Result<bool> ConditionalFd::Check(const Database& db) const {
+  const Relation& rel = db.Get(relation_);
+  for (const Tuple& t1 : rel) {
+    if (!MatchesPattern(t1, lhs_pattern_)) continue;
+    if (!MatchesPattern(t1, rhs_pattern_)) return false;
+    for (const Tuple& t2 : rel) {
+      if (!MatchesPattern(t2, lhs_pattern_)) continue;
+      bool lhs_agree = true;
+      for (size_t col : lhs_) {
+        if (t1[col] != t2[col]) {
+          lhs_agree = false;
+          break;
+        }
+      }
+      if (!lhs_agree) continue;
+      for (size_t col : rhs_) {
+        if (t1[col] != t2[col]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::vector<ContainmentConstraint>>
+ConditionalFd::ToContainmentConstraints(const Schema& db_schema) const {
+  const RelationSchema* rs = nullptr;
+  RELCOMP_RETURN_NOT_OK(RequireRelation(db_schema, relation_, &rs));
+  const size_t arity = rs->arity();
+  std::vector<ContainmentConstraint> out;
+
+  // Family 1: the pair queries, one per Y column. Both atoms share the
+  // X-column variables (expressing x̄1 = x̄2) and carry the φ pattern as
+  // constants; the violating Y column differs.
+  for (size_t y : rhs_) {
+    std::vector<Term> args1 = ColumnVars("t1_", arity);
+    std::vector<Term> args2 = ColumnVars("t2_", arity);
+    for (size_t x : lhs_) args2[x] = args1[x];
+    for (const AttrPattern& p : lhs_pattern_) {
+      args1[p.column] = Term::Const(p.value);
+      args2[p.column] = Term::Const(p.value);
+    }
+    Term y1 = args1[y];
+    Term y2 = args2[y];
+    std::vector<Atom> body;
+    body.push_back(Atom::Relation(relation_, std::move(args1)));
+    body.push_back(Atom::Relation(relation_, std::move(args2)));
+    body.push_back(Atom::Ne(y1, y2));
+    ConjunctiveQuery q(StrCat("cfd_pair_", relation_, "_y", y), {},
+                       std::move(body));
+    out.push_back(ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(q)));
+  }
+
+  // Family 2: single-tuple pattern queries, one per ψ conjunct. A tuple
+  // matching φ whose ψ column deviates from the required constant is a
+  // violation (note the `!=`; see the header comment about the paper's
+  // typo here).
+  for (const AttrPattern& p : rhs_pattern_) {
+    std::vector<Term> args = ColumnVars("t_", arity);
+    for (const AttrPattern& lp : lhs_pattern_) {
+      args[lp.column] = Term::Const(lp.value);
+    }
+    Term y = args[p.column];
+    std::vector<Atom> body;
+    body.push_back(Atom::Relation(relation_, std::move(args)));
+    body.push_back(Atom::Ne(y, Term::Const(p.value)));
+    ConjunctiveQuery q(StrCat("cfd_pat_", relation_, "_c", p.column), {},
+                       std::move(body));
+    out.push_back(ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(q)));
+  }
+  return out;
+}
+
+std::string ConditionalFd::ToString() const {
+  return StrCat("CFD ", relation_, ": ", ColsToString(lhs_),
+                PatternToString(lhs_pattern_), " -> ", ColsToString(rhs_),
+                PatternToString(rhs_pattern_));
+}
+
+// ---------------------------------------------------------------------------
+// DenialConstraint
+
+Result<bool> DenialConstraint::Check(const Database& db) const {
+  RELCOMP_ASSIGN_OR_RETURN(bool violated,
+                           ConjunctiveSatisfiedIn(violation_, db));
+  return !violated;
+}
+
+ContainmentConstraint DenialConstraint::ToContainmentConstraint() const {
+  return ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(violation_));
+}
+
+std::string DenialConstraint::ToString() const {
+  return StrCat("DENIAL not exists [", violation_.ToString(), "]");
+}
+
+// ---------------------------------------------------------------------------
+// InclusionDependency
+
+Result<bool> InclusionDependency::Check(const Database& db) const {
+  ConditionalInd as_cind(lhs_relation_, lhs_cols_, {}, rhs_relation_,
+                         rhs_cols_, {});
+  return as_cind.Check(db);
+}
+
+Result<ContainmentConstraint> InclusionDependency::ToContainmentConstraint(
+    const Schema& db_schema) const {
+  ConditionalInd as_cind(lhs_relation_, lhs_cols_, {}, rhs_relation_,
+                         rhs_cols_, {});
+  return as_cind.ToContainmentConstraint(db_schema);
+}
+
+std::string InclusionDependency::ToString() const {
+  return StrCat("IND ", lhs_relation_, ColsToString(lhs_cols_), " <= ",
+                rhs_relation_, ColsToString(rhs_cols_));
+}
+
+// ---------------------------------------------------------------------------
+// ConditionalInd
+
+Result<bool> ConditionalInd::Check(const Database& db) const {
+  const Relation& lhs = db.Get(lhs_relation_);
+  const Relation& rhs = db.Get(rhs_relation_);
+  for (const Tuple& t1 : lhs) {
+    if (!MatchesPattern(t1, lhs_pattern_)) continue;
+    bool found = false;
+    for (const Tuple& t2 : rhs) {
+      if (!MatchesPattern(t2, rhs_pattern_)) continue;
+      bool agree = true;
+      for (size_t i = 0; i < lhs_cols_.size(); ++i) {
+        if (t1[lhs_cols_[i]] != t2[rhs_cols_[i]]) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<ContainmentConstraint> ConditionalInd::ToContainmentConstraint(
+    const Schema& db_schema) const {
+  const RelationSchema* r1 = nullptr;
+  const RelationSchema* r2 = nullptr;
+  RELCOMP_RETURN_NOT_OK(RequireRelation(db_schema, lhs_relation_, &r1));
+  RELCOMP_RETURN_NOT_OK(RequireRelation(db_schema, rhs_relation_, &r2));
+  if (lhs_cols_.size() != rhs_cols_.size()) {
+    return Status::InvalidArgument("CIND column lists differ in length");
+  }
+  // q(u0..um) := R1(u0..um) & φ(u) & !(exists w0..wk. R2(w...) &
+  //              shared-column equalities & ψ(w))
+  std::vector<std::string> u_names;
+  std::vector<FormulaPtr> conjuncts;
+  std::vector<Term> u_terms;
+  for (size_t i = 0; i < r1->arity(); ++i) {
+    u_names.push_back(StrCat("u", i));
+    u_terms.push_back(Term::Var(u_names.back()));
+  }
+  conjuncts.push_back(Formula::MakeAtom(Atom::Relation(lhs_relation_,
+                                                       u_terms)));
+  for (const AttrPattern& p : lhs_pattern_) {
+    conjuncts.push_back(Formula::MakeAtom(
+        Atom::Eq(u_terms[p.column], Term::Const(p.value))));
+  }
+  std::vector<std::string> w_names;
+  std::vector<Term> w_terms;
+  for (size_t i = 0; i < r2->arity(); ++i) {
+    w_names.push_back(StrCat("w", i));
+    w_terms.push_back(Term::Var(w_names.back()));
+  }
+  std::vector<FormulaPtr> inner;
+  inner.push_back(Formula::MakeAtom(Atom::Relation(rhs_relation_, w_terms)));
+  for (size_t i = 0; i < lhs_cols_.size(); ++i) {
+    inner.push_back(Formula::MakeAtom(
+        Atom::Eq(w_terms[rhs_cols_[i]], u_terms[lhs_cols_[i]])));
+  }
+  for (const AttrPattern& p : rhs_pattern_) {
+    inner.push_back(Formula::MakeAtom(
+        Atom::Eq(w_terms[p.column], Term::Const(p.value))));
+  }
+  conjuncts.push_back(Formula::MakeNot(
+      Formula::MakeExists(w_names, Formula::MakeAnd(std::move(inner)))));
+  FoQuery q(StrCat("cind_", lhs_relation_, "_", rhs_relation_), u_names,
+            Formula::MakeAnd(std::move(conjuncts)));
+  return ContainmentConstraint::SubsetOfEmpty(AnyQuery::Fo(std::move(q)));
+}
+
+std::string ConditionalInd::ToString() const {
+  return StrCat("CIND ", lhs_relation_, ColsToString(lhs_cols_),
+                PatternToString(lhs_pattern_), " <= ", rhs_relation_,
+                ColsToString(rhs_cols_), PatternToString(rhs_pattern_));
+}
+
+// ---------------------------------------------------------------------------
+
+Result<ContainmentConstraint> MakeIndToMaster(
+    const Schema& db_schema, const std::string& db_relation,
+    std::vector<size_t> db_cols, const std::string& master_relation,
+    std::vector<size_t> master_cols) {
+  const RelationSchema* rs = nullptr;
+  RELCOMP_RETURN_NOT_OK(RequireRelation(db_schema, db_relation, &rs));
+  if (db_cols.size() != master_cols.size()) {
+    return Status::InvalidArgument(
+        "IND-to-master column lists differ in length");
+  }
+  std::vector<Term> args = ColumnVars("v", rs->arity());
+  std::vector<Term> head;
+  head.reserve(db_cols.size());
+  for (size_t col : db_cols) {
+    if (col >= rs->arity()) {
+      return Status::InvalidArgument(
+          StrCat("column ", col, " out of range for ", db_relation));
+    }
+    head.push_back(args[col]);
+  }
+  ConjunctiveQuery q(StrCat("ind_", db_relation, "_", master_relation),
+                     std::move(head),
+                     {Atom::Relation(db_relation, std::move(args))});
+  return ContainmentConstraint::Subset(AnyQuery::Cq(std::move(q)),
+                                       master_relation,
+                                       std::move(master_cols));
+}
+
+}  // namespace relcomp

@@ -1,0 +1,204 @@
+#ifndef RELCOMP_CONSTRAINTS_INTEGRITY_CONSTRAINTS_H_
+#define RELCOMP_CONSTRAINTS_INTEGRITY_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/containment_constraint.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A constant pattern on one column: attribute `column` must equal
+/// `value` (the φ(x̄)/ψ(ȳ) conjuncts of CFDs and CINDs).
+struct AttrPattern {
+  size_t column;
+  Value value;
+};
+
+/// Section 2.2 of the paper: the integrity-constraint classes studied
+/// for data consistency, each with direct checking semantics and a
+/// compiler into containment constraints (Proposition 2.1). The
+/// compilers need only an empty master relation, created by
+/// EnsureEmptyMasterRelation below.
+
+/// Name of the reserved empty master relation used by the compiled CCs.
+inline constexpr char kEmptyMasterRelation[] = "_Empty";
+
+/// Adds the nullary reserved empty relation to a master schema if it is
+/// not already present.
+Status EnsureEmptyMasterRelation(Schema* master_schema);
+
+/// A traditional functional dependency R: X -> Y over column indices.
+class FunctionalDependency {
+ public:
+  FunctionalDependency(std::string relation, std::vector<size_t> lhs,
+                       std::vector<size_t> rhs)
+      : relation_(std::move(relation)),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<size_t>& lhs() const { return lhs_; }
+  const std::vector<size_t>& rhs() const { return rhs_; }
+
+  /// Direct semantics: no two tuples agree on X but differ on Y.
+  Result<bool> Check(const Database& db) const;
+
+  /// Proposition 2.1(b) with empty patterns: one CQ CC per Y column.
+  Result<std::vector<ContainmentConstraint>> ToContainmentConstraints(
+      const Schema& db_schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string relation_;
+  std::vector<size_t> lhs_;
+  std::vector<size_t> rhs_;
+};
+
+/// A conditional functional dependency (CFD, Fan et al. 2008):
+/// R: (X -> Y, with pattern φ on X and ψ on Y).
+class ConditionalFd {
+ public:
+  ConditionalFd(std::string relation, std::vector<size_t> lhs,
+                std::vector<AttrPattern> lhs_pattern, std::vector<size_t> rhs,
+                std::vector<AttrPattern> rhs_pattern)
+      : relation_(std::move(relation)),
+        lhs_(std::move(lhs)),
+        lhs_pattern_(std::move(lhs_pattern)),
+        rhs_(std::move(rhs)),
+        rhs_pattern_(std::move(rhs_pattern)) {}
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<size_t>& lhs() const { return lhs_; }
+  const std::vector<AttrPattern>& lhs_pattern() const { return lhs_pattern_; }
+  const std::vector<size_t>& rhs() const { return rhs_; }
+  const std::vector<AttrPattern>& rhs_pattern() const { return rhs_pattern_; }
+
+  /// Direct semantics: for all tuples t1, t2 (including t1 = t2): if
+  /// both match the X pattern and t1[X] = t2[X], then t1[Y] = t2[Y] and
+  /// both match the Y pattern.
+  Result<bool> Check(const Database& db) const;
+
+  /// Proposition 2.1(b): two families of CQ CCs with target ∅ — the
+  /// pair family (one per Y column) and the single-tuple pattern family
+  /// (one per ψ conjunct). Note: the paper's proof text writes the
+  /// single-tuple query with `y = c`; the violation query must use
+  /// `y != c` (a tuple matching φ whose y deviates from the required
+  /// constant), which is what we emit.
+  Result<std::vector<ContainmentConstraint>> ToContainmentConstraints(
+      const Schema& db_schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string relation_;
+  std::vector<size_t> lhs_;
+  std::vector<AttrPattern> lhs_pattern_;
+  std::vector<size_t> rhs_;
+  std::vector<AttrPattern> rhs_pattern_;
+};
+
+/// A denial constraint: ∀x̄ ¬(conjunction); represented by the CQ whose
+/// matches are exactly the violations.
+class DenialConstraint {
+ public:
+  explicit DenialConstraint(ConjunctiveQuery violation)
+      : violation_(std::move(violation)) {}
+
+  const ConjunctiveQuery& violation() const { return violation_; }
+
+  /// Direct semantics: the violation query has no match in D.
+  Result<bool> Check(const Database& db) const;
+
+  /// Proposition 2.1(a): the single CC `violation ⊆ ∅` in CQ.
+  ContainmentConstraint ToContainmentConstraint() const;
+
+  std::string ToString() const;
+
+ private:
+  ConjunctiveQuery violation_;
+};
+
+/// A traditional inclusion dependency R1[X] ⊆ R2[Y] between two
+/// database relations.
+class InclusionDependency {
+ public:
+  InclusionDependency(std::string lhs_relation, std::vector<size_t> lhs_cols,
+                      std::string rhs_relation, std::vector<size_t> rhs_cols)
+      : lhs_relation_(std::move(lhs_relation)),
+        lhs_cols_(std::move(lhs_cols)),
+        rhs_relation_(std::move(rhs_relation)),
+        rhs_cols_(std::move(rhs_cols)) {}
+
+  const std::string& lhs_relation() const { return lhs_relation_; }
+  const std::vector<size_t>& lhs_cols() const { return lhs_cols_; }
+  const std::string& rhs_relation() const { return rhs_relation_; }
+  const std::vector<size_t>& rhs_cols() const { return rhs_cols_; }
+
+  Result<bool> Check(const Database& db) const;
+
+  /// Embeds as a CIND with empty patterns and compiles to an FO CC.
+  Result<ContainmentConstraint> ToContainmentConstraint(
+      const Schema& db_schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string lhs_relation_;
+  std::vector<size_t> lhs_cols_;
+  std::string rhs_relation_;
+  std::vector<size_t> rhs_cols_;
+};
+
+/// A conditional inclusion dependency (CIND, Bravo et al. 2007):
+/// R1[X; φ(Y1)] ⊆ R2[X'; ψ(Y2)].
+class ConditionalInd {
+ public:
+  ConditionalInd(std::string lhs_relation, std::vector<size_t> lhs_cols,
+                 std::vector<AttrPattern> lhs_pattern,
+                 std::string rhs_relation, std::vector<size_t> rhs_cols,
+                 std::vector<AttrPattern> rhs_pattern)
+      : lhs_relation_(std::move(lhs_relation)),
+        lhs_cols_(std::move(lhs_cols)),
+        lhs_pattern_(std::move(lhs_pattern)),
+        rhs_relation_(std::move(rhs_relation)),
+        rhs_cols_(std::move(rhs_cols)),
+        rhs_pattern_(std::move(rhs_pattern)) {}
+
+  const std::string& lhs_relation() const { return lhs_relation_; }
+  const std::string& rhs_relation() const { return rhs_relation_; }
+
+  /// Direct semantics: every R1 tuple matching the lhs pattern has a
+  /// matching R2 tuple agreeing on the shared columns and matching the
+  /// rhs pattern.
+  Result<bool> Check(const Database& db) const;
+
+  /// Proposition 2.1(c): one CC `q ⊆ ∅` where q is the FO query
+  /// R1(x̄,ȳ1,z̄1) ∧ φ(ȳ1) ∧ ∀ȳ2z̄2 (¬R2(x̄,ȳ2,z̄2) ∨ ¬ψ(ȳ2)).
+  Result<ContainmentConstraint> ToContainmentConstraint(
+      const Schema& db_schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string lhs_relation_;
+  std::vector<size_t> lhs_cols_;
+  std::vector<AttrPattern> lhs_pattern_;
+  std::string rhs_relation_;
+  std::vector<size_t> rhs_cols_;
+  std::vector<AttrPattern> rhs_pattern_;
+};
+
+/// Helper for CC sets bounded by master data: builds the IND-form CC
+/// π_{db_cols}(db_relation) ⊆ π_{master_cols}(master_relation).
+Result<ContainmentConstraint> MakeIndToMaster(
+    const Schema& db_schema, const std::string& db_relation,
+    std::vector<size_t> db_cols, const std::string& master_relation,
+    std::vector<size_t> master_cols);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_CONSTRAINTS_INTEGRITY_CONSTRAINTS_H_

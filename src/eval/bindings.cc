@@ -1,0 +1,51 @@
+#include "eval/bindings.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+std::optional<Value> Bindings::Get(const std::string& var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Value> Bindings::Resolve(const Term& t) const {
+  if (t.is_constant()) return t.value();
+  return Get(t.var());
+}
+
+std::optional<Tuple> Bindings::Ground(const std::vector<Term>& terms) const {
+  std::vector<Value> values;
+  values.reserve(terms.size());
+  for (const Term& t : terms) {
+    std::optional<Value> v = Resolve(t);
+    if (!v.has_value()) return std::nullopt;
+    values.push_back(std::move(*v));
+  }
+  return Tuple(std::move(values));
+}
+
+std::optional<bool> Bindings::EvalComparison(const Atom& cmp) const {
+  std::optional<Value> lhs = Resolve(cmp.lhs());
+  std::optional<Value> rhs = Resolve(cmp.rhs());
+  if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+  bool eq = *lhs == *rhs;
+  return cmp.op() == CmpOp::kEq ? eq : !eq;
+}
+
+std::string Bindings::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, value] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var;
+    out += "=";
+    out += value.ToString();
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace relcomp

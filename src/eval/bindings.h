@@ -1,0 +1,61 @@
+#ifndef RELCOMP_EVAL_BINDINGS_H_
+#define RELCOMP_EVAL_BINDINGS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/tuple.h"
+
+namespace relcomp {
+
+/// A partial assignment of values to variable names, used by the
+/// backtracking matcher and by the completeness deciders (the paper's
+/// valuations μ are exactly total Bindings over a tableau's variables).
+class Bindings {
+ public:
+  Bindings() = default;
+  explicit Bindings(std::map<std::string, Value> map)
+      : map_(std::move(map)) {}
+
+  bool Has(const std::string& var) const { return map_.count(var) > 0; }
+
+  /// Value bound to `var`, or nullopt.
+  std::optional<Value> Get(const std::string& var) const;
+
+  /// Binds var := value (overwrites any existing binding).
+  void Set(const std::string& var, Value value) {
+    map_[var] = std::move(value);
+  }
+  void Unset(const std::string& var) { map_.erase(var); }
+
+  size_t size() const { return map_.size(); }
+  const std::map<std::string, Value>& map() const { return map_; }
+
+  /// Resolves a term: constants map to themselves, variables to their
+  /// binding (nullopt if unbound).
+  std::optional<Value> Resolve(const Term& t) const;
+
+  /// Applies the bindings to a term list, producing a ground tuple.
+  /// Returns nullopt if any variable is unbound.
+  std::optional<Tuple> Ground(const std::vector<Term>& terms) const;
+
+  /// Evaluates a comparison atom. Returns nullopt if an operand is
+  /// unbound, true/false otherwise.
+  std::optional<bool> EvalComparison(const Atom& cmp) const;
+
+  /// "{x=1, y="a"}".
+  std::string ToString() const;
+
+  bool operator==(const Bindings& other) const { return map_ == other.map_; }
+  bool operator<(const Bindings& other) const { return map_ < other.map_; }
+
+ private:
+  std::map<std::string, Value> map_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_EVAL_BINDINGS_H_

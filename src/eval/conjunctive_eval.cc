@@ -1,0 +1,170 @@
+#include "eval/conjunctive_eval.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// Backtracking matcher state. Relation atoms are matched one at a
+/// time against the instance; comparison atoms are checked as soon as
+/// both operands are bound.
+class Matcher {
+ public:
+  Matcher(const ConjunctiveQuery& q, const Database& db,
+          const ConjunctiveEvalOptions& options,
+          const std::function<bool(const Bindings&)>& on_match)
+      : db_(db), options_(options), on_match_(on_match) {
+    for (const Atom& a : q.body()) {
+      if (a.is_relation()) {
+        relation_atoms_.push_back(&a);
+      } else {
+        comparisons_.push_back(&a);
+      }
+    }
+  }
+
+  /// Runs the search; returns false if the callback stopped it.
+  bool Run() {
+    std::vector<bool> used(relation_atoms_.size(), false);
+    return Search(used, 0);
+  }
+
+ private:
+  /// Counts bound arguments of `atom` under the current bindings.
+  int BoundScore(const Atom& atom) const {
+    int score = 0;
+    for (const Term& t : atom.args()) {
+      if (t.is_constant() || bindings_.Has(t.var())) ++score;
+    }
+    return score;
+  }
+
+  /// Checks every comparison whose operands are now all bound.
+  bool ComparisonsConsistent() const {
+    for (const Atom* cmp : comparisons_) {
+      std::optional<bool> v = bindings_.EvalComparison(*cmp);
+      if (v.has_value() && !*v) return false;
+    }
+    return true;
+  }
+
+  bool Search(std::vector<bool>& used, size_t depth) {
+    if (depth == relation_atoms_.size()) {
+      // All relation atoms matched; all comparisons must be decidable.
+      for (const Atom* cmp : comparisons_) {
+        std::optional<bool> v = bindings_.EvalComparison(*cmp);
+        if (!v.has_value() || !*v) return true;  // unsatisfied: skip match
+      }
+      return on_match_(bindings_);
+    }
+    // Pick the next atom: most bound arguments; among ties, the
+    // smallest relation (drives joins from deltas and selective atoms).
+    size_t pick = 0;
+    if (options_.reorder_atoms) {
+      int best = -1;
+      size_t best_size = 0;
+      for (size_t i = 0; i < relation_atoms_.size(); ++i) {
+        if (used[i]) continue;
+        int score = BoundScore(*relation_atoms_[i]);
+        size_t size = db_.Get(relation_atoms_[i]->relation()).size();
+        if (score > best || (score == best && size < best_size)) {
+          best = score;
+          best_size = size;
+          pick = i;
+        }
+      }
+    } else {
+      while (pick < used.size() && used[pick]) ++pick;
+    }
+    used[pick] = true;
+    const Atom& atom = *relation_atoms_[pick];
+    const Relation& rel = db_.Get(atom.relation());
+    for (const Tuple& t : rel) {
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.args().size() && ok; ++i) {
+        const Term& arg = atom.args()[i];
+        if (arg.is_constant()) {
+          ok = arg.value() == t[i];
+        } else if (std::optional<Value> bound = bindings_.Get(arg.var())) {
+          ok = *bound == t[i];
+        } else {
+          bindings_.Set(arg.var(), t[i]);
+          newly_bound.push_back(arg.var());
+        }
+      }
+      if (ok && ComparisonsConsistent()) {
+        if (!Search(used, depth + 1)) {
+          for (const std::string& v : newly_bound) bindings_.Unset(v);
+          used[pick] = false;
+          return false;
+        }
+      }
+      for (const std::string& v : newly_bound) bindings_.Unset(v);
+    }
+    used[pick] = false;
+    return true;
+  }
+
+  const Database& db_;
+  const ConjunctiveEvalOptions& options_;
+  const std::function<bool(const Bindings&)>& on_match_;
+  std::vector<const Atom*> relation_atoms_;
+  std::vector<const Atom*> comparisons_;
+  Bindings bindings_;
+};
+
+}  // namespace
+
+Status ForEachMatch(const ConjunctiveQuery& q, const Database& db,
+                    const ConjunctiveEvalOptions& options,
+                    const std::function<bool(const Bindings&)>& on_match) {
+  // Wrap the callback so comparisons over variables that never occur in
+  // a relation atom (possible only for unsafe queries) are rejected
+  // rather than silently accepted.
+  Matcher matcher(q, db, options, on_match);
+  matcher.Run();
+  return Status::OK();
+}
+
+Result<Relation> EvalConjunctive(const ConjunctiveQuery& q,
+                                 const Database& db,
+                                 const ConjunctiveEvalOptions& options) {
+  Relation out(q.arity());
+  Status st = ForEachMatch(q, db, options, [&](const Bindings& b) {
+    std::optional<Tuple> t = b.Ground(q.head());
+    if (t.has_value()) out.Insert(std::move(*t));
+    return true;
+  });
+  RELCOMP_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Relation> EvalUnion(const UnionQuery& q, const Database& db,
+                           const ConjunctiveEvalOptions& options) {
+  Relation out(q.arity());
+  for (const ConjunctiveQuery& cq : q.disjuncts()) {
+    RELCOMP_ASSIGN_OR_RETURN(Relation sub, EvalConjunctive(cq, db, options));
+    out.UnionWith(sub);
+  }
+  return out;
+}
+
+Result<bool> ConjunctiveSatisfiedIn(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const ConjunctiveEvalOptions& options) {
+  bool found = false;
+  Status st = ForEachMatch(q, db, options, [&](const Bindings& b) {
+    if (b.Ground(q.head()).has_value()) {
+      found = true;
+      return false;  // stop
+    }
+    return true;
+  });
+  RELCOMP_RETURN_NOT_OK(st);
+  return found;
+}
+
+}  // namespace relcomp

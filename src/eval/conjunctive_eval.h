@@ -1,0 +1,49 @@
+#ifndef RELCOMP_EVAL_CONJUNCTIVE_EVAL_H_
+#define RELCOMP_EVAL_CONJUNCTIVE_EVAL_H_
+
+#include <functional>
+
+#include "eval/bindings.h"
+#include "query/conjunctive_query.h"
+#include "query/union_query.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Options for the conjunctive matcher.
+struct ConjunctiveEvalOptions {
+  /// If true, relation atoms are greedily reordered at each step to
+  /// maximize bound positions (cheap selectivity heuristic). If false,
+  /// atoms are matched in textual order — the "naive" baseline measured
+  /// in bench_ablation.
+  bool reorder_atoms = true;
+};
+
+/// Evaluates a CQ over `db`, returning the set of head tuples Q(D).
+Result<Relation> EvalConjunctive(
+    const ConjunctiveQuery& q, const Database& db,
+    const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
+
+/// Evaluates a UCQ (union of the disjunct answers).
+Result<Relation> EvalUnion(
+    const UnionQuery& q, const Database& db,
+    const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
+
+/// True iff Q(db) is nonempty (early-exits on the first match).
+Result<bool> ConjunctiveSatisfiedIn(
+    const ConjunctiveQuery& q, const Database& db,
+    const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
+
+/// Enumerates every total assignment of the body variables of `q` that
+/// matches `db` (homomorphisms from the query body into the instance).
+/// The callback returns false to stop the enumeration early.
+/// Used by the constraint checker and by the brute-force oracles.
+Status ForEachMatch(const ConjunctiveQuery& q, const Database& db,
+                    const ConjunctiveEvalOptions& options,
+                    const std::function<bool(const Bindings&)>& on_match);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_EVAL_CONJUNCTIVE_EVAL_H_

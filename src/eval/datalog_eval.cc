@@ -1,0 +1,153 @@
+#include "eval/datalog_eval.h"
+
+#include <map>
+
+#include "eval/conjunctive_eval.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+constexpr char kDeltaSuffix[] = "$delta";
+
+/// Builds a schema holding the EDB relations plus one relation per IDB
+/// predicate and one per-IDB delta relation (for semi-naive rounds).
+Result<std::shared_ptr<Schema>> CombinedSchema(const DatalogProgram& program,
+                                               const Schema& edb) {
+  auto schema = std::make_shared<Schema>();
+  for (const std::string& name : edb.relation_names()) {
+    RELCOMP_RETURN_NOT_OK(schema->AddRelation(*edb.FindRelation(name)));
+  }
+  for (const std::string& pred : program.IdbPredicates()) {
+    int arity = program.IdbArity(pred);
+    RELCOMP_RETURN_NOT_OK(
+        schema->AddRelation(pred, static_cast<size_t>(arity)));
+    RELCOMP_RETURN_NOT_OK(schema->AddRelation(StrCat(pred, kDeltaSuffix),
+                                              static_cast<size_t>(arity)));
+  }
+  return schema;
+}
+
+/// Rule body as a CQ whose head is the rule head args.
+ConjunctiveQuery RuleAsQuery(const DatalogRule& rule) {
+  return ConjunctiveQuery(rule.head_predicate, rule.head_args, rule.body);
+}
+
+/// Variants of `rule` for semi-naive evaluation: for each IDB body atom
+/// position, one variant where that atom reads the delta relation.
+std::vector<ConjunctiveQuery> SemiNaiveVariants(
+    const DatalogRule& rule, const std::set<std::string>& idb) {
+  std::vector<ConjunctiveQuery> variants;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Atom& a = rule.body[i];
+    if (!a.is_relation() || idb.count(a.relation()) == 0) continue;
+    DatalogRule variant = rule;
+    variant.body[i] = Atom::Relation(StrCat(a.relation(), kDeltaSuffix),
+                                     a.args());
+    variants.push_back(RuleAsQuery(variant));
+  }
+  return variants;
+}
+
+}  // namespace
+
+Result<Database> EvalDatalogAll(const DatalogProgram& program,
+                                const Database& db,
+                                const DatalogEvalOptions& options) {
+  RELCOMP_RETURN_NOT_OK(program.Validate(db.schema()));
+  RELCOMP_ASSIGN_OR_RETURN(std::shared_ptr<Schema> schema,
+                           CombinedSchema(program, db.schema()));
+  const std::set<std::string> idb = program.IdbPredicates();
+
+  // `work` holds EDB + derived IDB under real names, plus the previous
+  // round's delta under the $delta names.
+  Database work(schema);
+  for (const std::string& name : db.schema().relation_names()) {
+    for (const Tuple& t : db.Get(name)) work.InsertUnchecked(name, t);
+  }
+
+  ConjunctiveEvalOptions eval_options;
+  std::map<std::string, Relation> delta;
+
+  // Round 0: fire every rule against the current instance (IDB empty).
+  for (const DatalogRule& rule : program.rules()) {
+    ConjunctiveQuery q = RuleAsQuery(rule);
+    RELCOMP_ASSIGN_OR_RETURN(Relation derived,
+                             EvalConjunctive(q, work, eval_options));
+    for (const Tuple& t : derived) {
+      if (work.InsertUnchecked(rule.head_predicate, t)) {
+        auto [it, ignored] = delta.emplace(
+            rule.head_predicate,
+            Relation(static_cast<size_t>(
+                program.IdbArity(rule.head_predicate))));
+        it->second.Insert(t);
+      }
+    }
+  }
+
+  size_t round = 0;
+  while (!delta.empty()) {
+    ++round;
+    if (options.max_rounds > 0 && round > options.max_rounds) {
+      return Status::ResourceExhausted(
+          StrCat("datalog fixpoint exceeded ", options.max_rounds,
+                 " rounds"));
+    }
+    // Install the delta relations.
+    for (const std::string& pred : idb) {
+      std::string dname = StrCat(pred, kDeltaSuffix);
+      // Reset: remove stale delta tuples, then insert the new ones.
+      Relation stale = work.Get(dname);
+      for (const Tuple& t : stale) work.Erase(dname, t);
+      auto it = delta.find(pred);
+      if (it != delta.end()) {
+        for (const Tuple& t : it->second) work.InsertUnchecked(dname, t);
+      }
+    }
+    std::map<std::string, Relation> next_delta;
+    for (const DatalogRule& rule : program.rules()) {
+      std::vector<ConjunctiveQuery> queries;
+      if (options.semi_naive) {
+        queries = SemiNaiveVariants(rule, idb);
+        // Rules without IDB body atoms cannot derive anything new after
+        // round 0, so they contribute no variants — correct to skip.
+      } else {
+        queries.push_back(RuleAsQuery(rule));
+      }
+      for (const ConjunctiveQuery& q : queries) {
+        RELCOMP_ASSIGN_OR_RETURN(Relation derived,
+                                 EvalConjunctive(q, work, eval_options));
+        for (const Tuple& t : derived) {
+          if (work.InsertUnchecked(rule.head_predicate, t)) {
+            auto [it, ignored] = next_delta.emplace(
+                rule.head_predicate,
+                Relation(static_cast<size_t>(
+                    program.IdbArity(rule.head_predicate))));
+            it->second.Insert(t);
+          }
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+
+  // Project out the IDB into a clean result database.
+  auto idb_schema = std::make_shared<Schema>();
+  for (const std::string& pred : idb) {
+    RELCOMP_RETURN_NOT_OK(idb_schema->AddRelation(
+        pred, static_cast<size_t>(program.IdbArity(pred))));
+  }
+  Database out(idb_schema);
+  for (const std::string& pred : idb) {
+    for (const Tuple& t : work.Get(pred)) out.InsertUnchecked(pred, t);
+  }
+  return out;
+}
+
+Result<Relation> EvalDatalog(const DatalogProgram& program, const Database& db,
+                             const DatalogEvalOptions& options) {
+  RELCOMP_ASSIGN_OR_RETURN(Database all, EvalDatalogAll(program, db, options));
+  return all.Get(program.output_predicate());
+}
+
+}  // namespace relcomp

@@ -1,0 +1,38 @@
+#ifndef RELCOMP_EVAL_DATALOG_EVAL_H_
+#define RELCOMP_EVAL_DATALOG_EVAL_H_
+
+#include "query/datalog.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Options for the datalog fixpoint engine.
+struct DatalogEvalOptions {
+  /// Semi-naive evaluation: each round only joins rule bodies against
+  /// at least one delta-tuple derived in the previous round. The naive
+  /// baseline re-derives everything each round (bench_ablation).
+  bool semi_naive = true;
+  /// Safety valve on fixpoint rounds; 0 means unlimited. Positive
+  /// datalog over a finite instance always terminates, so this only
+  /// guards against misuse.
+  size_t max_rounds = 0;
+};
+
+/// Computes the least fixpoint of `program` over the EDB `db` and
+/// returns the instance of the output predicate. For positive programs
+/// (the paper's FP) the least and inflationary fixpoints coincide.
+Result<Relation> EvalDatalog(
+    const DatalogProgram& program, const Database& db,
+    const DatalogEvalOptions& options = DatalogEvalOptions());
+
+/// As EvalDatalog, but returns the full IDB (one relation per IDB
+/// predicate) as a Database over an IDB-only schema.
+Result<Database> EvalDatalogAll(
+    const DatalogProgram& program, const Database& db,
+    const DatalogEvalOptions& options = DatalogEvalOptions());
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_EVAL_DATALOG_EVAL_H_

@@ -1,0 +1,253 @@
+#include "eval/fo_eval.h"
+
+#include <functional>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// For an Exists block whose child is a conjunction with a positive
+/// relation atom over some of the quantified variables, enumeration
+/// can be seeded from the relation instead of the active domain: the
+/// atom must hold anyway, so ∃V (A ∧ φ) ⟺ some tuple of A's relation
+/// matches A and the remaining quantified variables satisfy the child.
+/// Returns the best such atom (covering the most unbound quantified
+/// variables), or nullptr.
+const Atom* FindSeedAtom(const Formula& child,
+                         const std::vector<std::string>& vars,
+                         const Bindings& bindings) {
+  std::set<std::string> unbound;
+  for (const std::string& v : vars) {
+    if (!bindings.Has(v)) unbound.insert(v);
+  }
+  if (unbound.empty()) return nullptr;
+  auto coverage = [&](const Formula& f) -> const Atom* {
+    if (f.kind() != Formula::Kind::kAtom || !f.atom().is_relation()) {
+      return nullptr;
+    }
+    return &f.atom();
+  };
+  std::vector<const Atom*> candidates;
+  if (const Atom* direct = coverage(child)) {
+    candidates.push_back(direct);
+  } else if (child.kind() == Formula::Kind::kAnd) {
+    for (const FormulaPtr& c : child.children()) {
+      if (const Atom* a = coverage(*c)) candidates.push_back(a);
+    }
+  }
+  const Atom* best = nullptr;
+  size_t best_cover = 0;
+  for (const Atom* a : candidates) {
+    size_t cover = 0;
+    bool usable = true;
+    for (const Term& t : a->args()) {
+      if (!t.is_variable()) continue;
+      if (unbound.count(t.var()) > 0) {
+        ++cover;
+      } else if (!bindings.Has(t.var())) {
+        // A free-but-unbound variable of an enclosing scope: leave this
+        // atom to the naive path (which reports the safety error).
+        usable = false;
+        break;
+      }
+    }
+    if (usable && cover > best_cover) {
+      best_cover = cover;
+      best = a;
+    }
+  }
+  return best;
+}
+
+/// Evaluates the quantifier block vars[i..] of `f` (an Exists/Forall
+/// node) and then its child.
+Result<bool> EvalQuantified(const Formula& f, size_t var_index,
+                            const Database& db,
+                            const std::vector<Value>& active_domain,
+                            Bindings* bindings) {
+  bool is_exists = f.kind() == Formula::Kind::kExists;
+  if (var_index == f.quantified_vars().size()) {
+    return EvalFormula(*f.children().front(), db, active_domain, bindings);
+  }
+  if (is_exists && var_index == 0) {
+    // Seeded evaluation: drive the block from a positive relation atom
+    // of the child conjunction when one covers quantified variables.
+    const Formula& child = *f.children().front();
+    if (const Atom* seed = FindSeedAtom(child, f.quantified_vars(),
+                                        *bindings)) {
+      const Relation& rel = db.Get(seed->relation());
+      std::set<std::string> quantified(f.quantified_vars().begin(),
+                                       f.quantified_vars().end());
+      for (const Tuple& t : rel) {
+        std::vector<std::string> newly_bound;
+        bool matches = true;
+        for (size_t i = 0; i < seed->args().size() && matches; ++i) {
+          const Term& arg = seed->args()[i];
+          if (arg.is_constant()) {
+            matches = arg.value() == t[i];
+          } else if (std::optional<Value> bound = bindings->Get(arg.var())) {
+            matches = *bound == t[i];
+          } else if (quantified.count(arg.var()) > 0) {
+            bindings->Set(arg.var(), t[i]);
+            newly_bound.push_back(arg.var());
+          } else {
+            // A free variable of an enclosing scope that is unbound
+            // would make the formula unsafe; bail to the naive path.
+            matches = false;
+          }
+        }
+        if (matches) {
+          // Quantify any remaining unbound block variables naively,
+          // then evaluate the child.
+          std::vector<std::string> rest;
+          for (const std::string& v : f.quantified_vars()) {
+            if (!bindings->Has(v)) rest.push_back(v);
+          }
+          FormulaPtr remainder =
+              rest.empty() ? f.children().front()
+                           : Formula::MakeExists(rest, f.children().front());
+          Result<bool> sub =
+              EvalFormula(*remainder, db, active_domain, bindings);
+          if (!sub.ok()) {
+            for (const std::string& v : newly_bound) bindings->Unset(v);
+            return sub.status();
+          }
+          if (*sub) {
+            for (const std::string& v : newly_bound) bindings->Unset(v);
+            return true;
+          }
+        }
+        for (const std::string& v : newly_bound) bindings->Unset(v);
+      }
+      // No seeded match worked. The seed atom is a conjunct, so the
+      // block cannot be satisfied through any other assignment either.
+      return false;
+    }
+  }
+  const std::string& var = f.quantified_vars()[var_index];
+  // Shadowing: preserve any outer binding of the same name.
+  std::optional<Value> saved = bindings->Get(var);
+  for (const Value& v : active_domain) {
+    bindings->Set(var, v);
+    RELCOMP_ASSIGN_OR_RETURN(
+        bool sub, EvalQuantified(f, var_index + 1, db, active_domain,
+                                 bindings));
+    if (is_exists && sub) {
+      if (saved.has_value()) {
+        bindings->Set(var, *saved);
+      } else {
+        bindings->Unset(var);
+      }
+      return true;
+    }
+    if (!is_exists && !sub) {
+      if (saved.has_value()) {
+        bindings->Set(var, *saved);
+      } else {
+        bindings->Unset(var);
+      }
+      return false;
+    }
+  }
+  if (saved.has_value()) {
+    bindings->Set(var, *saved);
+  } else {
+    bindings->Unset(var);
+  }
+  return !is_exists;
+}
+
+}  // namespace
+
+Result<bool> EvalFormula(const Formula& f, const Database& db,
+                         const std::vector<Value>& active_domain,
+                         Bindings* bindings) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom: {
+      const Atom& a = f.atom();
+      if (a.is_comparison()) {
+        std::optional<bool> v = bindings->EvalComparison(a);
+        if (!v.has_value()) {
+          return Status::InvalidArgument(
+              StrCat("unbound variable in comparison ", a.ToString()));
+        }
+        return *v;
+      }
+      std::optional<Tuple> t = bindings->Ground(a.args());
+      if (!t.has_value()) {
+        return Status::InvalidArgument(
+            StrCat("unbound variable in atom ", a.ToString()));
+      }
+      return db.Contains(a.relation(), *t);
+    }
+    case Formula::Kind::kAnd: {
+      for (const FormulaPtr& c : f.children()) {
+        RELCOMP_ASSIGN_OR_RETURN(bool v,
+                                 EvalFormula(*c, db, active_domain, bindings));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const FormulaPtr& c : f.children()) {
+        RELCOMP_ASSIGN_OR_RETURN(bool v,
+                                 EvalFormula(*c, db, active_domain, bindings));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kNot: {
+      RELCOMP_ASSIGN_OR_RETURN(
+          bool v,
+          EvalFormula(*f.children().front(), db, active_domain, bindings));
+      return !v;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return EvalQuantified(f, 0, db, active_domain, bindings);
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Result<Relation> EvalFo(const FoQuery& q, const Database& db,
+                        const std::set<Value>& extra_constants) {
+  if (q.formula() == nullptr) {
+    return Status::InvalidArgument("FO query has no formula");
+  }
+  std::set<Value> adom_set = extra_constants;
+  db.CollectConstants(&adom_set);
+  q.formula()->CollectConstants(&adom_set);
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+
+  Relation out(q.arity());
+  // Enumerate assignments of the head variables over the active domain.
+  // A head variable may occur in several head positions; only its first
+  // occurrence iterates, later ones copy the binding.
+  std::vector<Value> assignment(q.head_vars().size());
+  Bindings bindings;
+  std::function<Status(size_t)> assign = [&](size_t i) -> Status {
+    if (i == q.head_vars().size()) {
+      RELCOMP_ASSIGN_OR_RETURN(bool holds,
+                               EvalFormula(*q.formula(), db, adom, &bindings));
+      if (holds) out.Insert(Tuple(assignment));
+      return Status::OK();
+    }
+    const std::string& var = q.head_vars()[i];
+    if (std::optional<Value> bound = bindings.Get(var)) {
+      assignment[i] = *bound;
+      return assign(i + 1);
+    }
+    for (const Value& v : adom) {
+      bindings.Set(var, v);
+      assignment[i] = v;
+      RELCOMP_RETURN_NOT_OK(assign(i + 1));
+    }
+    bindings.Unset(var);
+    return Status::OK();
+  };
+  RELCOMP_RETURN_NOT_OK(assign(0));
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,31 @@
+#ifndef RELCOMP_EVAL_FO_EVAL_H_
+#define RELCOMP_EVAL_FO_EVAL_H_
+
+#include <set>
+#include <vector>
+
+#include "eval/bindings.h"
+#include "query/fo_query.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Evaluates a first-order query over `db` under active-domain
+/// semantics: quantifiers range over the constants occurring in the
+/// instance, in the query, and in `extra_constants` (callers such as
+/// the FO containment-constraint checker pass the master data's
+/// constants so CCs can mention values from Dm).
+Result<Relation> EvalFo(const FoQuery& q, const Database& db,
+                        const std::set<Value>& extra_constants = {});
+
+/// Evaluates an FO formula to a truth value under the given (total, for
+/// the formula's free variables) bindings and active domain.
+Result<bool> EvalFormula(const Formula& f, const Database& db,
+                         const std::vector<Value>& active_domain,
+                         Bindings* bindings);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_EVAL_FO_EVAL_H_

@@ -1,0 +1,55 @@
+#include "eval/query_eval.h"
+
+#include "eval/fo_eval.h"
+
+namespace relcomp {
+
+Result<Relation> Evaluate(const AnyQuery& q, const Database& db,
+                          const EvalOptions& options) {
+  switch (q.language()) {
+    case QueryLanguage::kCq:
+      return EvalConjunctive(*q.as_cq(), db, options.conjunctive);
+    case QueryLanguage::kUcq:
+      return EvalUnion(*q.as_ucq(), db, options.conjunctive);
+    case QueryLanguage::kPositive: {
+      // ∃FO+ evaluates through its UCQ unfolding (a backtracking join,
+      // far cheaper than enumerating the active domain per quantifier).
+      // Queries whose unfolding explodes fall back to the active-domain
+      // evaluator, which is correct for the positive fragment too.
+      Result<UnionQuery> unfolded = q.ToUnion();
+      if (unfolded.ok()) {
+        return EvalUnion(*unfolded, db, options.conjunctive);
+      }
+      if (unfolded.status().code() != StatusCode::kResourceExhausted) {
+        return unfolded.status();
+      }
+      return EvalFo(*q.as_fo(), db, options.fo_extra_constants);
+    }
+    case QueryLanguage::kFo:
+      // Active-domain semantics — the standard effective choice.
+      return EvalFo(*q.as_fo(), db, options.fo_extra_constants);
+    case QueryLanguage::kDatalog:
+      return EvalDatalog(*q.as_fp(), db, options.datalog);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> IsNonEmpty(const AnyQuery& q, const Database& db,
+                        const EvalOptions& options) {
+  if (q.language() == QueryLanguage::kCq) {
+    return ConjunctiveSatisfiedIn(*q.as_cq(), db, options.conjunctive);
+  }
+  if (q.language() == QueryLanguage::kUcq) {
+    for (const ConjunctiveQuery& cq : q.as_ucq()->disjuncts()) {
+      RELCOMP_ASSIGN_OR_RETURN(bool sat,
+                               ConjunctiveSatisfiedIn(cq, db,
+                                                      options.conjunctive));
+      if (sat) return true;
+    }
+    return false;
+  }
+  RELCOMP_ASSIGN_OR_RETURN(Relation r, Evaluate(q, db, options));
+  return !r.empty();
+}
+
+}  // namespace relcomp

@@ -1,0 +1,35 @@
+#ifndef RELCOMP_EVAL_QUERY_EVAL_H_
+#define RELCOMP_EVAL_QUERY_EVAL_H_
+
+#include <set>
+
+#include "eval/conjunctive_eval.h"
+#include "eval/datalog_eval.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Options for the language-polymorphic evaluator.
+struct EvalOptions {
+  ConjunctiveEvalOptions conjunctive;
+  DatalogEvalOptions datalog;
+  /// Extra constants added to the active domain for FO evaluation
+  /// (e.g. master-data constants when checking FO containment
+  /// constraints).
+  std::set<Value> fo_extra_constants;
+};
+
+/// Evaluates a query in any of the five languages over `db`.
+/// ∃FO+ queries are evaluated directly on the formula (no DNF blowup).
+Result<Relation> Evaluate(const AnyQuery& q, const Database& db,
+                          const EvalOptions& options = EvalOptions());
+
+/// True iff Q(db) is nonempty.
+Result<bool> IsNonEmpty(const AnyQuery& q, const Database& db,
+                        const EvalOptions& options = EvalOptions());
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_EVAL_QUERY_EVAL_H_

@@ -1,0 +1,266 @@
+#include "incomplete/vtable.h"
+
+#include <algorithm>
+
+#include "completeness/rcdp.h"
+#include "constraints/constraint_check.h"
+#include "eval/query_eval.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+Status VDatabase::Insert(std::string_view relation, VTuple tuple) {
+  const RelationSchema* rs = schema_->FindRelation(relation);
+  if (rs == nullptr) {
+    return Status::NotFound(StrCat("unknown relation: ", relation));
+  }
+  if (tuple.size() != rs->arity()) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch for ", relation, ": v-tuple has ",
+               tuple.size(), " entries, schema has ", rs->arity()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_constant() &&
+        !rs->attribute(i).domain->Contains(tuple[i].value())) {
+      return Status::InvalidArgument(
+          StrCat("constant ", tuple[i].value().ToString(),
+                 " not in domain of ", relation, ".", rs->attribute(i).name));
+    }
+  }
+  tuples_.emplace_back(std::string(relation), std::move(tuple));
+  return Status::OK();
+}
+
+std::vector<std::string> VDatabase::NullLabels() const {
+  std::vector<std::string> labels;
+  std::set<std::string> seen;
+  for (const auto& [relation, tuple] : tuples_) {
+    for (const Term& t : tuple) {
+      if (t.is_variable() && seen.insert(t.var()).second) {
+        labels.push_back(t.var());
+      }
+    }
+  }
+  return labels;
+}
+
+std::map<std::string, std::shared_ptr<const Domain>> VDatabase::NullDomains()
+    const {
+  std::map<std::string, std::shared_ptr<const Domain>> domains;
+  for (const auto& [relation, tuple] : tuples_) {
+    const RelationSchema* rs = schema_->FindRelation(relation);
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (!tuple[i].is_variable()) continue;
+      const std::shared_ptr<const Domain>& col = rs->attribute(i).domain;
+      auto [it, inserted] = domains.emplace(tuple[i].var(), col);
+      if (inserted || !col->is_finite()) continue;
+      if (it->second->is_infinite()) {
+        it->second = col;
+      } else if (it->second != col) {
+        std::vector<Value> inter;
+        std::set_intersection(it->second->finite_values().begin(),
+                              it->second->finite_values().end(),
+                              col->finite_values().begin(),
+                              col->finite_values().end(),
+                              std::back_inserter(inter));
+        it->second = Domain::Enumerated(
+            StrCat(it->second->name(), "&", col->name()), std::move(inter));
+      }
+    }
+  }
+  return domains;
+}
+
+bool VDatabase::IsGround() const {
+  for (const auto& [relation, tuple] : tuples_) {
+    for (const Term& t : tuple) {
+      if (t.is_variable()) return false;
+    }
+  }
+  return true;
+}
+
+Result<Database> VDatabase::Ground(const Bindings& valuation) const {
+  Database out(schema_);
+  for (const auto& [relation, tuple] : tuples_) {
+    std::optional<Tuple> ground = valuation.Ground(tuple);
+    if (!ground.has_value()) {
+      return Status::InvalidArgument(
+          "grounding valuation leaves a null unbound");
+    }
+    RELCOMP_RETURN_NOT_OK(out.Insert(relation, std::move(*ground)));
+  }
+  return out;
+}
+
+void VDatabase::CollectConstants(std::set<Value>* out) const {
+  for (const auto& [relation, tuple] : tuples_) {
+    for (const Term& t : tuple) {
+      if (t.is_constant()) out->insert(t.value());
+    }
+  }
+}
+
+std::string VDatabase::ToString() const {
+  std::string out;
+  for (const auto& [relation, tuple] : tuples_) {
+    out += relation;
+    out.push_back('(');
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += tuple[i].is_variable() ? StrCat("⊥", tuple[i].var())
+                                    : tuple[i].ToString();
+    }
+    out += ")\n";
+  }
+  if (out.empty()) out = "(empty v-database)\n";
+  return out;
+}
+
+Status ForEachWorld(const VDatabase& vdb, const std::vector<Value>& universe,
+                    const std::function<bool(const Database&,
+                                             const Bindings&)>& on_world) {
+  std::vector<std::string> labels = vdb.NullLabels();
+  std::map<std::string, std::shared_ptr<const Domain>> domains =
+      vdb.NullDomains();
+  // Per-null candidate values.
+  std::vector<std::vector<Value>> candidates;
+  candidates.reserve(labels.size());
+  for (const std::string& label : labels) {
+    const std::shared_ptr<const Domain>& dom = domains[label];
+    if (dom != nullptr && dom->is_finite()) {
+      candidates.push_back(dom->finite_values());
+    } else {
+      candidates.push_back(universe);
+    }
+  }
+  Bindings valuation;
+  Status inner;
+  bool stopped = false;
+  std::function<void(size_t)> recurse = [&](size_t i) {
+    if (stopped) return;
+    if (i == labels.size()) {
+      Result<Database> world = vdb.Ground(valuation);
+      if (!world.ok()) {
+        inner = world.status();
+        stopped = true;
+        return;
+      }
+      if (!on_world(*world, valuation)) stopped = true;
+      return;
+    }
+    for (const Value& v : candidates[i]) {
+      valuation.Set(labels[i], v);
+      recurse(i + 1);
+      if (stopped) return;
+    }
+    valuation.Unset(labels[i]);
+  };
+  recurse(0);
+  return inner;
+}
+
+Result<Relation> CertainAnswers(const AnyQuery& query, const VDatabase& vdb,
+                                const std::vector<Value>& universe) {
+  std::optional<Relation> certain;
+  Status inner;
+  RELCOMP_RETURN_NOT_OK(ForEachWorld(
+      vdb, universe, [&](const Database& world, const Bindings&) {
+        Result<Relation> answer = Evaluate(query, world);
+        if (!answer.ok()) {
+          inner = answer.status();
+          return false;
+        }
+        if (!certain.has_value()) {
+          certain = std::move(*answer);
+          return true;
+        }
+        Relation intersection(certain->arity());
+        for (const Tuple& t : *certain) {
+          if (answer->Contains(t)) intersection.Insert(t);
+        }
+        certain = std::move(intersection);
+        return !certain->empty();  // early exit once nothing is certain
+      }));
+  RELCOMP_RETURN_NOT_OK(inner);
+  if (!certain.has_value()) return Relation(query.arity());
+  return *certain;
+}
+
+Result<Relation> PossibleAnswers(const AnyQuery& query, const VDatabase& vdb,
+                                 const std::vector<Value>& universe) {
+  Relation possible(query.arity());
+  Status inner;
+  RELCOMP_RETURN_NOT_OK(ForEachWorld(
+      vdb, universe, [&](const Database& world, const Bindings&) {
+        Result<Relation> answer = Evaluate(query, world);
+        if (!answer.ok()) {
+          inner = answer.status();
+          return false;
+        }
+        possible.UnionWith(*answer);
+        return true;
+      }));
+  RELCOMP_RETURN_NOT_OK(inner);
+  return possible;
+}
+
+std::string WorldCompleteness::ToString() const {
+  return StrCat(worlds, " worlds: ", complete, " complete, ", incomplete,
+                " incomplete, ", not_closed, " not partially closed",
+                CertainlyComplete() ? " => CERTAINLY complete"
+                : PossiblyComplete() ? " => possibly complete"
+                                     : " => not complete in any world");
+}
+
+Result<WorldCompleteness> DecideRcdpOnWorlds(
+    const AnyQuery& query, const VDatabase& vdb, const Database& master,
+    const ConstraintSet& constraints, const std::vector<Value>& universe) {
+  WorldCompleteness report;
+  Status inner;
+  RELCOMP_RETURN_NOT_OK(ForEachWorld(
+      vdb, universe, [&](const Database& world, const Bindings&) {
+        ++report.worlds;
+        Result<bool> closed = Satisfies(constraints, world, master);
+        if (!closed.ok()) {
+          inner = closed.status();
+          return false;
+        }
+        if (!*closed) {
+          ++report.not_closed;
+          return true;
+        }
+        Result<RcdpResult> verdict =
+            DecideRcdp(query, world, master, constraints);
+        if (!verdict.ok()) {
+          inner = verdict.status();
+          return false;
+        }
+        if (verdict->complete) {
+          ++report.complete;
+        } else {
+          ++report.incomplete;
+        }
+        return true;
+      }));
+  RELCOMP_RETURN_NOT_OK(inner);
+  return report;
+}
+
+std::vector<Value> DefaultNullUniverse(const VDatabase& vdb,
+                                       const Database& master,
+                                       const AnyQuery& query,
+                                       size_t extra_fresh) {
+  std::set<Value> values = query.Constants();
+  vdb.CollectConstants(&values);
+  master.CollectConstants(&values);
+  size_t added = 0;
+  size_t next = 0;
+  while (added < extra_fresh) {
+    Value fresh = Value::Str(StrCat("_null$", next++));
+    if (values.insert(fresh).second) ++added;
+  }
+  return std::vector<Value>(values.begin(), values.end());
+}
+
+}  // namespace relcomp

@@ -1,0 +1,132 @@
+#ifndef RELCOMP_INCOMPLETE_VTABLE_H_
+#define RELCOMP_INCOMPLETE_VTABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/containment_constraint.h"
+#include "eval/bindings.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Missing VALUES, on top of the paper's missing-tuples model.
+///
+/// Section 5 of the paper points to representation systems (v-tables /
+/// c-tables, Imieliński & Lipski 1984) for extending relative
+/// completeness to missing values; the follow-up paper (Fan & Geerts,
+/// PODS 2010, "Capturing missing tuples and missing values") develops
+/// it. This module implements the v-table fragment: tuples may carry
+/// *labeled nulls*, a possible world grounds every null to a constant,
+/// and the completeness notions lift world-wise. All enumerations are
+/// bounded by an explicit null universe, in the same spirit as the
+/// Adom ∪ New small-model machinery.
+
+/// A tuple over constants and labeled nulls. Nulls reuse Term's
+/// variable representation: Term::Var("x1") is the labeled null ⊥x1;
+/// the same label denotes the same unknown value everywhere.
+using VTuple = std::vector<Term>;
+
+/// A database instance whose tuples may contain labeled nulls.
+class VDatabase {
+ public:
+  explicit VDatabase(std::shared_ptr<const Schema> schema)
+      : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  /// Inserts a v-tuple (checked: relation, arity, and constants against
+  /// attribute domains; nulls are unconstrained here and constrained at
+  /// grounding time by their columns' domains).
+  Status Insert(std::string_view relation, VTuple tuple);
+
+  const std::vector<std::pair<std::string, VTuple>>& tuples() const {
+    return tuples_;
+  }
+
+  /// All null labels, in first-occurrence order.
+  std::vector<std::string> NullLabels() const;
+
+  /// For each null label, the tightest column domain it appears under
+  /// (finite beats infinite; multiple finite domains intersect).
+  std::map<std::string, std::shared_ptr<const Domain>> NullDomains() const;
+
+  /// True iff no tuple contains a null (the instance is an ordinary
+  /// database).
+  bool IsGround() const;
+
+  /// Grounds every tuple under `valuation` (which must bind every null
+  /// label). Distinct v-tuples may collapse to one ground tuple.
+  Result<Database> Ground(const Bindings& valuation) const;
+
+  /// All constants occurring in the v-tuples.
+  void CollectConstants(std::set<Value>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::pair<std::string, VTuple>> tuples_;
+};
+
+/// Enumerates the possible worlds of `vdb`: every assignment of its
+/// nulls over `universe` (finite-domain columns restrict their nulls
+/// to the domain). The callback returns false to stop. The number of
+/// worlds is |universe|^#nulls — keep instances small.
+Status ForEachWorld(const VDatabase& vdb, const std::vector<Value>& universe,
+                    const std::function<bool(const Database&,
+                                             const Bindings&)>& on_world);
+
+/// Certain answers: ∩ Q(world) over all worlds (the tuples true no
+/// matter how the nulls resolve). Universe-bounded.
+Result<Relation> CertainAnswers(const AnyQuery& query, const VDatabase& vdb,
+                                const std::vector<Value>& universe);
+
+/// Possible answers: ∪ Q(world).
+Result<Relation> PossibleAnswers(const AnyQuery& query, const VDatabase& vdb,
+                                 const std::vector<Value>& universe);
+
+/// Relative completeness lifted to worlds: classify each possible
+/// world as not partially closed / complete / incomplete for Q
+/// relative to (Dm, V).
+struct WorldCompleteness {
+  size_t worlds = 0;
+  size_t not_closed = 0;
+  size_t complete = 0;
+  size_t incomplete = 0;
+
+  /// Every partially closed world is complete (the natural lift of the
+  /// paper's notion: no matter how the missing values resolve, the
+  /// data on hand answers Q).
+  bool CertainlyComplete() const {
+    return worlds > 0 && incomplete == 0 && complete > 0;
+  }
+  /// Some partially closed world is complete.
+  bool PossiblyComplete() const { return complete > 0; }
+
+  std::string ToString() const;
+};
+
+/// Runs the RCDP decider on every world of `vdb` (bounded by
+/// `universe`). Supports the decidable language cells only.
+Result<WorldCompleteness> DecideRcdpOnWorlds(
+    const AnyQuery& query, const VDatabase& vdb, const Database& master,
+    const ConstraintSet& constraints, const std::vector<Value>& universe);
+
+/// A default null universe: the constants of the v-database, the
+/// master data and the query, plus `extra_fresh` fresh values.
+std::vector<Value> DefaultNullUniverse(const VDatabase& vdb,
+                                       const Database& master,
+                                       const AnyQuery& query,
+                                       size_t extra_fresh = 1);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_INCOMPLETE_VTABLE_H_

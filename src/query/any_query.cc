@@ -1,0 +1,138 @@
+#include "query/any_query.h"
+
+#include "query/positive_query.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+const char* QueryLanguageToString(QueryLanguage lang) {
+  switch (lang) {
+    case QueryLanguage::kCq:
+      return "CQ";
+    case QueryLanguage::kUcq:
+      return "UCQ";
+    case QueryLanguage::kPositive:
+      return "EFO+";
+    case QueryLanguage::kFo:
+      return "FO";
+    case QueryLanguage::kDatalog:
+      return "FP";
+  }
+  return "?";
+}
+
+AnyQuery AnyQuery::Cq(ConjunctiveQuery q) {
+  AnyQuery out;
+  out.language_ = QueryLanguage::kCq;
+  out.query_ = std::move(q);
+  return out;
+}
+
+AnyQuery AnyQuery::Ucq(UnionQuery q) {
+  AnyQuery out;
+  out.language_ = QueryLanguage::kUcq;
+  out.query_ = std::move(q);
+  return out;
+}
+
+AnyQuery AnyQuery::Positive(FoQuery q) {
+  AnyQuery out;
+  out.language_ = QueryLanguage::kPositive;
+  out.query_ = std::move(q);
+  return out;
+}
+
+AnyQuery AnyQuery::Fo(FoQuery q) {
+  AnyQuery out;
+  out.language_ = QueryLanguage::kFo;
+  out.query_ = std::move(q);
+  return out;
+}
+
+AnyQuery AnyQuery::Fp(DatalogProgram p) {
+  AnyQuery out;
+  out.language_ = QueryLanguage::kDatalog;
+  out.query_ = std::move(p);
+  return out;
+}
+
+size_t AnyQuery::arity() const {
+  if (const auto* cq = as_cq()) return cq->arity();
+  if (const auto* ucq = as_ucq()) return ucq->arity();
+  if (const auto* fo = as_fo()) return fo->arity();
+  if (const auto* fp = as_fp()) {
+    int a = fp->arity();
+    return a < 0 ? 0 : static_cast<size_t>(a);
+  }
+  return 0;
+}
+
+std::string AnyQuery::name() const {
+  if (const auto* cq = as_cq()) return cq->name();
+  if (const auto* ucq = as_ucq()) return ucq->name();
+  if (const auto* fo = as_fo()) return fo->name();
+  if (const auto* fp = as_fp()) return fp->output_predicate();
+  return "";
+}
+
+Status AnyQuery::Validate(const Schema& schema) const {
+  if (const auto* cq = as_cq()) return cq->Validate(schema);
+  if (const auto* ucq = as_ucq()) return ucq->Validate(schema);
+  if (const auto* fo = as_fo()) {
+    RELCOMP_RETURN_NOT_OK(fo->Validate(schema));
+    if (language_ == QueryLanguage::kPositive &&
+        !fo->IsPositiveExistential()) {
+      return Status::InvalidArgument(
+          "query tagged EFO+ uses negation or universal quantification");
+    }
+    return Status::OK();
+  }
+  if (const auto* fp = as_fp()) return fp->Validate(schema);
+  return Status::Internal("empty AnyQuery");
+}
+
+std::set<Value> AnyQuery::Constants() const {
+  if (const auto* cq = as_cq()) return cq->Constants();
+  if (const auto* ucq = as_ucq()) return ucq->Constants();
+  if (const auto* fo = as_fo()) {
+    std::set<Value> out;
+    if (fo->formula() != nullptr) fo->formula()->CollectConstants(&out);
+    return out;
+  }
+  if (const auto* fp = as_fp()) return fp->Constants();
+  return {};
+}
+
+Result<UnionQuery> AnyQuery::ToUnion(size_t max_disjuncts) const {
+  switch (language_) {
+    case QueryLanguage::kCq:
+      return UnionQuery(*as_cq());
+    case QueryLanguage::kUcq:
+      return *as_ucq();
+    case QueryLanguage::kPositive:
+      return PositiveToUnion(*as_fo(), max_disjuncts);
+    case QueryLanguage::kFo:
+      return Status::Unsupported(
+          "FO queries cannot in general be rewritten to UCQ");
+    case QueryLanguage::kDatalog:
+      return Status::Unsupported(
+          "datalog queries cannot in general be rewritten to UCQ");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string AnyQuery::ToString() const {
+  std::string body;
+  if (const auto* cq = as_cq()) {
+    body = cq->ToString();
+  } else if (const auto* ucq = as_ucq()) {
+    body = ucq->ToString();
+  } else if (const auto* fo = as_fo()) {
+    body = fo->ToString();
+  } else if (const auto* fp = as_fp()) {
+    body = fp->ToString();
+  }
+  return StrCat("[", QueryLanguageToString(language_), "] ", body);
+}
+
+}  // namespace relcomp

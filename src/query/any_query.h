@@ -1,0 +1,83 @@
+#ifndef RELCOMP_QUERY_ANY_QUERY_H_
+#define RELCOMP_QUERY_ANY_QUERY_H_
+
+#include <string>
+#include <variant>
+
+#include "query/conjunctive_query.h"
+#include "query/datalog.h"
+#include "query/fo_query.h"
+#include "query/union_query.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// The query languages studied in the paper, ordered by expressiveness
+/// on the CQ ⊆ UCQ ⊆ ∃FO+ ⊆ FO chain (FP is incomparable with FO).
+enum class QueryLanguage : uint8_t {
+  kCq,          // conjunctive queries
+  kUcq,         // unions of conjunctive queries
+  kPositive,    // positive existential FO (∃FO+)
+  kFo,          // first-order
+  kDatalog,     // datalog / fixpoint (FP)
+};
+
+/// Stable name: "CQ", "UCQ", "EFO+", "FO", "FP".
+const char* QueryLanguageToString(QueryLanguage lang);
+
+/// A query in any of the five languages; the uniform currency of the
+/// containment-constraint and completeness APIs. Value type; cheap to
+/// copy for the instance sizes this library targets.
+class AnyQuery {
+ public:
+  /// Default: the Boolean CQ `Q() :- true` (returns {()} on every DB).
+  AnyQuery() : language_(QueryLanguage::kCq), query_(ConjunctiveQuery()) {}
+
+  static AnyQuery Cq(ConjunctiveQuery q);
+  static AnyQuery Ucq(UnionQuery q);
+  /// Precondition (checked by Validate): q.IsPositiveExistential().
+  static AnyQuery Positive(FoQuery q);
+  static AnyQuery Fo(FoQuery q);
+  static AnyQuery Fp(DatalogProgram p);
+
+  QueryLanguage language() const { return language_; }
+  size_t arity() const;
+  std::string name() const;
+
+  /// Typed accessors; nullptr when the wrapped query has another kind.
+  const ConjunctiveQuery* as_cq() const {
+    return std::get_if<ConjunctiveQuery>(&query_);
+  }
+  const UnionQuery* as_ucq() const { return std::get_if<UnionQuery>(&query_); }
+  const FoQuery* as_fo() const { return std::get_if<FoQuery>(&query_); }
+  const DatalogProgram* as_fp() const {
+    return std::get_if<DatalogProgram>(&query_);
+  }
+
+  /// Validates the wrapped query against the schema, including the
+  /// ∃FO+ membership check for Positive-tagged queries.
+  Status Validate(const Schema& schema) const;
+
+  /// All constants occurring in the query.
+  std::set<Value> Constants() const;
+
+  /// Rewrites into an equivalent UCQ where possible (CQ, UCQ, ∃FO+ via
+  /// DNF unfolding bounded by `max_disjuncts`). Fails for FO/FP.
+  Result<UnionQuery> ToUnion(size_t max_disjuncts = 4096) const;
+
+  /// True for CQ/UCQ/∃FO+ (the languages whose monotonicity the
+  /// decidability results rely on).
+  bool IsMonotone() const {
+    return language_ != QueryLanguage::kFo;
+  }
+
+  std::string ToString() const;
+
+ private:
+  QueryLanguage language_;
+  std::variant<ConjunctiveQuery, UnionQuery, FoQuery, DatalogProgram> query_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_ANY_QUERY_H_

@@ -1,0 +1,28 @@
+#include "query/atom.h"
+
+namespace relcomp {
+
+void Atom::CollectVariables(std::set<std::string>* out) const {
+  for (const Term& t : args_) {
+    if (t.is_variable()) out->insert(t.var());
+  }
+}
+
+std::string Atom::ToString() const {
+  if (is_relation()) {
+    std::string out = relation_;
+    out.push_back('(');
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args_[i].ToString();
+    }
+    out.push_back(')');
+    return out;
+  }
+  std::string out = args_[0].ToString();
+  out += (op_ == CmpOp::kEq) ? " = " : " != ";
+  out += args_[1].ToString();
+  return out;
+}
+
+}  // namespace relcomp

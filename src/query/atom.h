@@ -1,0 +1,78 @@
+#ifndef RELCOMP_QUERY_ATOM_H_
+#define RELCOMP_QUERY_ATOM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/term.h"
+
+namespace relcomp {
+
+/// Comparison operators available in all the paper's languages
+/// (CQ and up all include equality `=` and inequality `!=`).
+enum class CmpOp : uint8_t { kEq, kNe };
+
+/// A body atom: either a relation atom R(t1, ..., tk) or a built-in
+/// comparison t1 = t2 / t1 != t2.
+class Atom {
+ public:
+  enum class Kind : uint8_t { kRelation, kComparison };
+
+  static Atom Relation(std::string relation, std::vector<Term> args) {
+    Atom a;
+    a.kind_ = Kind::kRelation;
+    a.relation_ = std::move(relation);
+    a.args_ = std::move(args);
+    return a;
+  }
+  static Atom Compare(CmpOp op, Term lhs, Term rhs) {
+    Atom a;
+    a.kind_ = Kind::kComparison;
+    a.op_ = op;
+    a.args_ = {std::move(lhs), std::move(rhs)};
+    return a;
+  }
+  static Atom Eq(Term lhs, Term rhs) {
+    return Compare(CmpOp::kEq, std::move(lhs), std::move(rhs));
+  }
+  static Atom Ne(Term lhs, Term rhs) {
+    return Compare(CmpOp::kNe, std::move(lhs), std::move(rhs));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_relation() const { return kind_ == Kind::kRelation; }
+  bool is_comparison() const { return kind_ == Kind::kComparison; }
+
+  /// Precondition: is_relation().
+  const std::string& relation() const { return relation_; }
+  /// Relation arguments, or the two comparison operands.
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>& mutable_args() { return args_; }
+
+  /// Precondition: is_comparison().
+  CmpOp op() const { return op_; }
+  const Term& lhs() const { return args_[0]; }
+  const Term& rhs() const { return args_[1]; }
+
+  /// Adds the names of all variables occurring in this atom to `out`.
+  void CollectVariables(std::set<std::string>* out) const;
+
+  bool operator==(const Atom& other) const {
+    return kind_ == other.kind_ && relation_ == other.relation_ &&
+           op_ == other.op_ && args_ == other.args_;
+  }
+
+  /// "R(x, 1)" or "x != y".
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kRelation;
+  std::string relation_;
+  CmpOp op_ = CmpOp::kEq;
+  std::vector<Term> args_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_ATOM_H_

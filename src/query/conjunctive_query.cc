@@ -1,0 +1,117 @@
+#include "query/conjunctive_query.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+std::set<std::string> ConjunctiveQuery::Variables() const {
+  std::set<std::string> vars;
+  for (const Term& t : head_) {
+    if (t.is_variable()) vars.insert(t.var());
+  }
+  for (const Atom& a : body_) a.CollectVariables(&vars);
+  return vars;
+}
+
+std::set<std::string> ConjunctiveQuery::HeadVariables() const {
+  std::set<std::string> vars;
+  for (const Term& t : head_) {
+    if (t.is_variable()) vars.insert(t.var());
+  }
+  return vars;
+}
+
+std::set<Value> ConjunctiveQuery::Constants() const {
+  std::set<Value> consts;
+  for (const Term& t : head_) {
+    if (t.is_constant()) consts.insert(t.value());
+  }
+  for (const Atom& a : body_) {
+    for (const Term& t : a.args()) {
+      if (t.is_constant()) consts.insert(t.value());
+    }
+  }
+  return consts;
+}
+
+std::vector<const Atom*> ConjunctiveQuery::RelationAtoms() const {
+  std::vector<const Atom*> atoms;
+  for (const Atom& a : body_) {
+    if (a.is_relation()) atoms.push_back(&a);
+  }
+  return atoms;
+}
+
+std::vector<const Atom*> ConjunctiveQuery::ComparisonAtoms() const {
+  std::vector<const Atom*> atoms;
+  for (const Atom& a : body_) {
+    if (a.is_comparison()) atoms.push_back(&a);
+  }
+  return atoms;
+}
+
+Status ConjunctiveQuery::Validate(const Schema& schema) const {
+  std::set<std::string> positive_vars;
+  for (const Atom& a : body_) {
+    if (!a.is_relation()) continue;
+    const RelationSchema* rs = schema.FindRelation(a.relation());
+    if (rs == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("unknown relation in query body: ", a.relation()));
+    }
+    if (a.args().size() != rs->arity()) {
+      return Status::InvalidArgument(
+          StrCat("arity mismatch in atom ", a.ToString(), ": relation ",
+                 a.relation(), " has arity ", rs->arity()));
+    }
+    for (size_t i = 0; i < a.args().size(); ++i) {
+      const Term& t = a.args()[i];
+      if (t.is_variable()) {
+        positive_vars.insert(t.var());
+      } else if (!rs->attribute(i).domain->Contains(t.value())) {
+        return Status::InvalidArgument(
+            StrCat("constant ", t.value().ToString(), " not in domain of ",
+                   a.relation(), ".", rs->attribute(i).name));
+      }
+    }
+  }
+  for (const Term& t : head_) {
+    if (t.is_variable() && positive_vars.count(t.var()) == 0) {
+      return Status::InvalidArgument(
+          StrCat("unsafe query: head variable ", t.var(),
+                 " does not occur in any relation atom"));
+    }
+  }
+  for (const Atom& a : body_) {
+    if (!a.is_comparison()) continue;
+    for (const Term& t : a.args()) {
+      if (t.is_variable() && positive_vars.count(t.var()) == 0) {
+        return Status::InvalidArgument(
+            StrCat("unsafe query: comparison variable ", t.var(),
+                   " does not occur in any relation atom"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = name_.empty() ? "Q" : name_;
+  out.push_back('(');
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_[i].ToString();
+  }
+  out += ") :- ";
+  if (body_.empty()) {
+    out += "true";
+  } else {
+    for (size_t i = 0; i < body_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body_[i].ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace relcomp

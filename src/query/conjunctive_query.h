@@ -1,0 +1,80 @@
+#ifndef RELCOMP_QUERY_CONJUNCTIVE_QUERY_H_
+#define RELCOMP_QUERY_CONJUNCTIVE_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A conjunctive query (CQ) with equality and inequality:
+///
+///   Q(u1, ..., uk) :- A1, ..., Am
+///
+/// where each Ai is a relation atom or a comparison, and each head term
+/// ui is a variable or a constant. Existential quantification is
+/// implicit for body variables not occurring in the head.
+///
+/// This is the central query class: tableau representations (Section
+/// 3.2) and the RCDP/RCQP deciders operate on CQs and unions thereof.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::string name, std::vector<Term> head,
+                   std::vector<Atom> body)
+      : name_(std::move(name)),
+        head_(std::move(head)),
+        body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Term>& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  std::vector<Term>& mutable_head() { return head_; }
+  std::vector<Atom>& mutable_body() { return body_; }
+
+  size_t arity() const { return head_.size(); }
+  bool IsBoolean() const { return head_.empty(); }
+
+  void AddBodyAtom(Atom a) { body_.push_back(std::move(a)); }
+
+  /// All variable names occurring anywhere in the query.
+  std::set<std::string> Variables() const;
+  /// Variables occurring in the head.
+  std::set<std::string> HeadVariables() const;
+  /// All constants occurring in the head or body.
+  std::set<Value> Constants() const;
+
+  /// Relation atoms of the body, in order.
+  std::vector<const Atom*> RelationAtoms() const;
+  /// Comparison atoms of the body, in order.
+  std::vector<const Atom*> ComparisonAtoms() const;
+
+  /// Validates the query against `schema`:
+  ///  * every relation atom names a schema relation with matching arity;
+  ///  * safety/range restriction: every variable occurring in the head
+  ///    or in a comparison also occurs in some relation atom;
+  ///  * constants respect attribute domains where they appear.
+  Status Validate(const Schema& schema) const;
+
+  /// "Q(x, y) :- R(x, z), S(z, y), z != 1".
+  std::string ToString() const;
+
+  bool operator==(const ConjunctiveQuery& other) const {
+    return head_ == other.head_ && body_ == other.body_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Term> head_;
+  std::vector<Atom> body_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_CONJUNCTIVE_QUERY_H_

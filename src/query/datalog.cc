@@ -1,0 +1,128 @@
+#include "query/datalog.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+std::string DatalogRule::ToString() const {
+  std::string out = head_predicate;
+  out.push_back('(');
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_args[i].ToString();
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  return out;
+}
+
+std::set<std::string> DatalogProgram::IdbPredicates() const {
+  std::set<std::string> idb;
+  for (const DatalogRule& r : rules_) idb.insert(r.head_predicate);
+  return idb;
+}
+
+int DatalogProgram::IdbArity(const std::string& predicate) const {
+  for (const DatalogRule& r : rules_) {
+    if (r.head_predicate == predicate) {
+      return static_cast<int>(r.head_args.size());
+    }
+  }
+  return -1;
+}
+
+std::set<Value> DatalogProgram::Constants() const {
+  std::set<Value> consts;
+  for (const DatalogRule& r : rules_) {
+    for (const Term& t : r.head_args) {
+      if (t.is_constant()) consts.insert(t.value());
+    }
+    for (const Atom& a : r.body) {
+      for (const Term& t : a.args()) {
+        if (t.is_constant()) consts.insert(t.value());
+      }
+    }
+  }
+  return consts;
+}
+
+Status DatalogProgram::Validate(const Schema& schema) const {
+  if (rules_.empty()) {
+    return Status::InvalidArgument("datalog program has no rules");
+  }
+  std::set<std::string> idb = IdbPredicates();
+  for (const std::string& p : idb) {
+    if (schema.HasRelation(p)) {
+      return Status::InvalidArgument(
+          StrCat("IDB predicate ", p, " collides with an EDB relation"));
+    }
+  }
+  // Determine arities: first-seen head arity per IDB predicate.
+  std::map<std::string, size_t> arity;
+  for (const DatalogRule& r : rules_) {
+    auto [it, inserted] = arity.emplace(r.head_predicate, r.head_args.size());
+    if (!inserted && it->second != r.head_args.size()) {
+      return Status::InvalidArgument(
+          StrCat("inconsistent arity for IDB predicate ", r.head_predicate));
+    }
+  }
+  for (const DatalogRule& r : rules_) {
+    std::set<std::string> positive_vars;
+    for (const Atom& a : r.body) {
+      if (!a.is_relation()) continue;
+      size_t want;
+      if (const RelationSchema* rs = schema.FindRelation(a.relation())) {
+        want = rs->arity();
+      } else if (auto it = arity.find(a.relation()); it != arity.end()) {
+        want = it->second;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown predicate in rule body: ", a.relation()));
+      }
+      if (a.args().size() != want) {
+        return Status::InvalidArgument(
+            StrCat("arity mismatch in atom ", a.ToString(), " (want ", want,
+                   " args)"));
+      }
+      for (const Term& t : a.args()) {
+        if (t.is_variable()) positive_vars.insert(t.var());
+      }
+    }
+    auto check_safe = [&](const Term& t, const char* where) -> Status {
+      if (t.is_variable() && positive_vars.count(t.var()) == 0) {
+        return Status::InvalidArgument(
+            StrCat("unsafe rule (", where, " variable ", t.var(),
+                   " unbound): ", r.ToString()));
+      }
+      return Status::OK();
+    };
+    for (const Term& t : r.head_args) {
+      RELCOMP_RETURN_NOT_OK(check_safe(t, "head"));
+    }
+    for (const Atom& a : r.body) {
+      if (!a.is_comparison()) continue;
+      RELCOMP_RETURN_NOT_OK(check_safe(a.lhs(), "comparison"));
+      RELCOMP_RETURN_NOT_OK(check_safe(a.rhs(), "comparison"));
+    }
+  }
+  if (output_predicate_.empty() || idb.count(output_predicate_) == 0) {
+    return Status::InvalidArgument(
+        StrCat("output predicate '", output_predicate_,
+               "' is not defined by any rule"));
+  }
+  return Status::OK();
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string out = StrCat("% output: ", output_predicate_, "\n");
+  for (const DatalogRule& r : rules_) {
+    out += r.ToString();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,73 @@
+#ifndef RELCOMP_QUERY_DATALOG_H_
+#define RELCOMP_QUERY_DATALOG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// One datalog rule: head(args) :- body atoms. Body atoms reference EDB
+/// relations (schema relations), IDB predicates (heads of rules in the
+/// same program), or built-in comparisons.
+struct DatalogRule {
+  std::string head_predicate;
+  std::vector<Term> head_args;
+  std::vector<Atom> body;
+
+  std::string ToString() const;
+};
+
+/// A positive datalog program with = and != (the paper's FP: ∃FO+
+/// extended with an inflationary fixpoint operator; for positive
+/// programs the inflationary and least fixpoints coincide).
+class DatalogProgram {
+ public:
+  DatalogProgram() = default;
+
+  void AddRule(DatalogRule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<DatalogRule>& rules() const { return rules_; }
+
+  /// The predicate whose fixpoint is the query answer.
+  const std::string& output_predicate() const { return output_predicate_; }
+  void set_output_predicate(std::string name) {
+    output_predicate_ = std::move(name);
+  }
+
+  /// Names of all IDB predicates (rule heads).
+  std::set<std::string> IdbPredicates() const;
+
+  /// Arity of an IDB predicate, or -1 if it is not an IDB predicate.
+  int IdbArity(const std::string& predicate) const;
+
+  /// Arity of the output predicate (the query arity). -1 if undefined.
+  int arity() const { return IdbArity(output_predicate_); }
+
+  /// All constants in the program.
+  std::set<Value> Constants() const;
+
+  /// Validates the program against `schema`:
+  ///  * IDB predicates do not collide with EDB relation names;
+  ///  * each predicate (IDB or EDB) is used with a consistent arity;
+  ///  * rules are safe (head and comparison variables occur in a
+  ///    positive relational/IDB body atom);
+  ///  * the output predicate is an IDB predicate.
+  Status Validate(const Schema& schema) const;
+
+  /// One rule per line, output predicate noted first.
+  std::string ToString() const;
+
+ private:
+  std::vector<DatalogRule> rules_;
+  std::string output_predicate_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_DATALOG_H_

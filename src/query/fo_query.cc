@@ -1,0 +1,204 @@
+#include "query/fo_query.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+FormulaPtr Formula::MakeAtom(Atom atom) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAtom;
+  f->atom_ = std::move(atom);
+  return f;
+}
+
+FormulaPtr Formula::MakeAnd(std::vector<FormulaPtr> children) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::MakeOr(std::vector<FormulaPtr> children) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kOr;
+  f->children_ = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::MakeNot(FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kNot;
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::MakeExists(std::vector<std::string> vars,
+                               FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kExists;
+  f->vars_ = std::move(vars);
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::MakeForall(std::vector<std::string> vars,
+                               FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kForall;
+  f->vars_ = std::move(vars);
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+std::set<std::string> Formula::FreeVariables() const {
+  std::set<std::string> free;
+  switch (kind_) {
+    case Kind::kAtom:
+      atom_.CollectVariables(&free);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const FormulaPtr& c : children_) {
+        std::set<std::string> sub = c->FreeVariables();
+        free.insert(sub.begin(), sub.end());
+      }
+      break;
+    case Kind::kExists:
+    case Kind::kForall: {
+      free = children_.front()->FreeVariables();
+      for (const std::string& v : vars_) free.erase(v);
+      break;
+    }
+  }
+  return free;
+}
+
+void Formula::CollectConstants(std::set<Value>* out) const {
+  if (kind_ == Kind::kAtom) {
+    for (const Term& t : atom_.args()) {
+      if (t.is_constant()) out->insert(t.value());
+    }
+    return;
+  }
+  for (const FormulaPtr& c : children_) c->CollectConstants(out);
+}
+
+void Formula::CollectRelations(std::set<std::string>* out) const {
+  if (kind_ == Kind::kAtom) {
+    if (atom_.is_relation()) out->insert(atom_.relation());
+    return;
+  }
+  for (const FormulaPtr& c : children_) c->CollectRelations(out);
+}
+
+bool Formula::IsPositiveExistential() const {
+  switch (kind_) {
+    case Kind::kNot:
+    case Kind::kForall:
+      return false;
+    case Kind::kAtom:
+      return true;
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kExists:
+      return std::all_of(children_.begin(), children_.end(),
+                         [](const FormulaPtr& c) {
+                           return c->IsPositiveExistential();
+                         });
+  }
+  return false;
+}
+
+bool Formula::IsConjunctive() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return true;
+    case Kind::kAnd:
+      return std::all_of(children_.begin(), children_.end(),
+                         [](const FormulaPtr& c) {
+                           return c->IsConjunctive();
+                         });
+    case Kind::kExists:
+      return children_.front()->IsConjunctive();
+    default:
+      return false;
+  }
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return atom_.ToString();
+    case Kind::kAnd: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const FormulaPtr& c : children_) parts.push_back(c->ToString());
+      return StrCat("(", StrJoin(parts, " & "), ")");
+    }
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const FormulaPtr& c : children_) parts.push_back(c->ToString());
+      return StrCat("(", StrJoin(parts, " | "), ")");
+    }
+    case Kind::kNot:
+      return StrCat("!", children_.front()->ToString());
+    case Kind::kExists:
+      return StrCat("exists ", StrJoin(vars_, ", "), ". ",
+                    children_.front()->ToString());
+    case Kind::kForall:
+      return StrCat("forall ", StrJoin(vars_, ", "), ". ",
+                    children_.front()->ToString());
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateFormula(const Formula& f, const Schema& schema) {
+  if (f.kind() == Formula::Kind::kAtom) {
+    const Atom& a = f.atom();
+    if (!a.is_relation()) return Status::OK();
+    const RelationSchema* rs = schema.FindRelation(a.relation());
+    if (rs == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("unknown relation in formula: ", a.relation()));
+    }
+    if (a.args().size() != rs->arity()) {
+      return Status::InvalidArgument(
+          StrCat("arity mismatch in atom ", a.ToString()));
+    }
+    return Status::OK();
+  }
+  for (const FormulaPtr& c : f.children()) {
+    RELCOMP_RETURN_NOT_OK(ValidateFormula(*c, schema));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FoQuery::Validate(const Schema& schema) const {
+  if (formula_ == nullptr) {
+    return Status::InvalidArgument("FO query has no formula");
+  }
+  RELCOMP_RETURN_NOT_OK(ValidateFormula(*formula_, schema));
+  std::set<std::string> free = formula_->FreeVariables();
+  std::set<std::string> head(head_vars_.begin(), head_vars_.end());
+  if (free != head) {
+    return Status::InvalidArgument(StrCat(
+        "free variables {", StrJoin(free, ", "),
+        "} do not match head variables {", StrJoin(head_vars_, ", "), "}"));
+  }
+  return Status::OK();
+}
+
+std::string FoQuery::ToString() const {
+  return StrCat(name_.empty() ? "Q" : name_, "(", StrJoin(head_vars_, ", "),
+                ") := ", formula_ == nullptr ? "?" : formula_->ToString());
+}
+
+}  // namespace relcomp

@@ -1,0 +1,112 @@
+#ifndef RELCOMP_QUERY_FO_QUERY_H_
+#define RELCOMP_QUERY_FO_QUERY_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// An immutable first-order formula tree over relation atoms, built-in
+/// comparisons (=, !=), ∧, ∨, ¬, ∃ and ∀. Shared via FormulaPtr.
+///
+/// Positive existential formulas (∃FO+) are FO formulas without ¬ and ∀;
+/// FoQuery::IsPositiveExistential() recognizes them and
+/// PositiveToUnion() (positive_query.h) unfolds them to UCQ.
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+class Formula {
+ public:
+  enum class Kind : uint8_t {
+    kAtom,     // relation atom or comparison
+    kAnd,      // n-ary conjunction
+    kOr,       // n-ary disjunction
+    kNot,      // negation
+    kExists,   // ∃ vars . child
+    kForall,   // ∀ vars . child
+  };
+
+  static FormulaPtr MakeAtom(Atom atom);
+  static FormulaPtr MakeAnd(std::vector<FormulaPtr> children);
+  static FormulaPtr MakeOr(std::vector<FormulaPtr> children);
+  static FormulaPtr MakeNot(FormulaPtr child);
+  static FormulaPtr MakeExists(std::vector<std::string> vars,
+                               FormulaPtr child);
+  static FormulaPtr MakeForall(std::vector<std::string> vars,
+                               FormulaPtr child);
+
+  Kind kind() const { return kind_; }
+
+  /// Precondition: kind() == kAtom.
+  const Atom& atom() const { return atom_; }
+  /// Children of And/Or, or the single child of Not/Exists/Forall.
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  /// Precondition: kind() is kExists or kForall.
+  const std::vector<std::string>& quantified_vars() const { return vars_; }
+
+  /// Free variables of this formula.
+  std::set<std::string> FreeVariables() const;
+  /// All constants occurring in the formula.
+  void CollectConstants(std::set<Value>* out) const;
+  /// All relation names occurring in the formula.
+  void CollectRelations(std::set<std::string>* out) const;
+
+  /// True iff the formula uses no negation and no universal quantifier.
+  bool IsPositiveExistential() const;
+  /// True iff the formula is a conjunction of atoms under optional ∃
+  /// (i.e. expressible as a CQ body).
+  bool IsConjunctive() const;
+
+  std::string ToString() const;
+
+ private:
+  Formula() = default;
+
+  Kind kind_ = Kind::kAtom;
+  Atom atom_;
+  std::vector<FormulaPtr> children_;
+  std::vector<std::string> vars_;
+};
+
+/// A first-order query: head variables plus an FO formula whose free
+/// variables are exactly the head variables.
+class FoQuery {
+ public:
+  FoQuery() = default;
+  FoQuery(std::string name, std::vector<std::string> head_vars,
+          FormulaPtr formula)
+      : name_(std::move(name)),
+        head_vars_(std::move(head_vars)),
+        formula_(std::move(formula)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& head_vars() const { return head_vars_; }
+  const FormulaPtr& formula() const { return formula_; }
+  size_t arity() const { return head_vars_.size(); }
+
+  /// True iff the formula is in the ∃FO+ fragment.
+  bool IsPositiveExistential() const {
+    return formula_ != nullptr && formula_->IsPositiveExistential();
+  }
+
+  /// Checks relation names/arities against `schema` and that the
+  /// formula's free variables are exactly the head variables.
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> head_vars_;
+  FormulaPtr formula_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_FO_QUERY_H_

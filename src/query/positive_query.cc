@@ -1,0 +1,177 @@
+#include "query/positive_query.h"
+
+#include <map>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+FoQuery CqToFoQuery(const ConjunctiveQuery& q) {
+  // Head constants become equality atoms on fresh head variables so the
+  // formula's free variables line up with the head.
+  std::vector<std::string> head_vars;
+  std::vector<FormulaPtr> conjuncts;
+  int fresh = 0;
+  for (const Term& t : q.head()) {
+    if (t.is_variable()) {
+      head_vars.push_back(t.var());
+    } else {
+      std::string hv = StrCat("_hc", fresh++);
+      head_vars.push_back(hv);
+      conjuncts.push_back(Formula::MakeAtom(Atom::Eq(Term::Var(hv), t)));
+    }
+  }
+  for (const Atom& a : q.body()) conjuncts.push_back(Formula::MakeAtom(a));
+  FormulaPtr body = conjuncts.empty()
+                        ? Formula::MakeAnd({})
+                        : (conjuncts.size() == 1 ? conjuncts.front()
+                                                 : Formula::MakeAnd(conjuncts));
+  // Existentially close body variables that are not in the head.
+  std::set<std::string> head_set(head_vars.begin(), head_vars.end());
+  std::vector<std::string> bound;
+  for (const std::string& v : body->FreeVariables()) {
+    if (head_set.count(v) == 0) bound.push_back(v);
+  }
+  if (!bound.empty()) body = Formula::MakeExists(std::move(bound), body);
+  return FoQuery(q.name(), std::move(head_vars), std::move(body));
+}
+
+FoQuery UnionToFoQuery(const UnionQuery& q) {
+  // All disjuncts must expose the same free variables; we canonicalize
+  // each disjunct's head to shared variable names _u0.._uk and add
+  // equalities binding them to the disjunct's own head terms.
+  std::vector<std::string> head_vars;
+  for (size_t i = 0; i < q.arity(); ++i) head_vars.push_back(StrCat("_u", i));
+  std::vector<FormulaPtr> disjuncts;
+  for (const ConjunctiveQuery& cq : q.disjuncts()) {
+    std::vector<FormulaPtr> conjuncts;
+    for (size_t i = 0; i < cq.head().size(); ++i) {
+      conjuncts.push_back(Formula::MakeAtom(
+          Atom::Eq(Term::Var(head_vars[i]), cq.head()[i])));
+    }
+    for (const Atom& a : cq.body()) conjuncts.push_back(Formula::MakeAtom(a));
+    FormulaPtr body = conjuncts.size() == 1 ? conjuncts.front()
+                                            : Formula::MakeAnd(conjuncts);
+    std::set<std::string> head_set(head_vars.begin(), head_vars.end());
+    std::vector<std::string> bound;
+    for (const std::string& v : body->FreeVariables()) {
+      if (head_set.count(v) == 0) bound.push_back(v);
+    }
+    if (!bound.empty()) body = Formula::MakeExists(std::move(bound), body);
+    disjuncts.push_back(body);
+  }
+  FormulaPtr formula = disjuncts.size() == 1 ? disjuncts.front()
+                                             : Formula::MakeOr(disjuncts);
+  return FoQuery(q.name(), std::move(head_vars), std::move(formula));
+}
+
+namespace {
+
+/// A partial DNF: a list of conjunct lists.
+using Dnf = std::vector<std::vector<Atom>>;
+
+Term Rename(const Term& t, const std::map<std::string, std::string>& rename) {
+  if (!t.is_variable()) return t;
+  auto it = rename.find(t.var());
+  return it == rename.end() ? t : Term::Var(it->second);
+}
+
+Atom RenameAtom(const Atom& a,
+                const std::map<std::string, std::string>& rename) {
+  if (a.is_relation()) {
+    std::vector<Term> args;
+    args.reserve(a.args().size());
+    for (const Term& t : a.args()) args.push_back(Rename(t, rename));
+    return Atom::Relation(a.relation(), std::move(args));
+  }
+  return Atom::Compare(a.op(), Rename(a.lhs(), rename),
+                       Rename(a.rhs(), rename));
+}
+
+Status UnfoldDnf(const Formula& f, std::map<std::string, std::string> rename,
+                 int* fresh_counter, size_t max_disjuncts, Dnf* out) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+      out->push_back({RenameAtom(f.atom(), rename)});
+      return Status::OK();
+    case Formula::Kind::kOr: {
+      for (const FormulaPtr& c : f.children()) {
+        Dnf sub;
+        RELCOMP_RETURN_NOT_OK(
+            UnfoldDnf(*c, rename, fresh_counter, max_disjuncts, &sub));
+        for (auto& conj : sub) out->push_back(std::move(conj));
+        if (out->size() > max_disjuncts) {
+          return Status::ResourceExhausted(
+              StrCat("DNF unfolding exceeded ", max_disjuncts, " disjuncts"));
+        }
+      }
+      return Status::OK();
+    }
+    case Formula::Kind::kAnd: {
+      Dnf acc = {{}};
+      for (const FormulaPtr& c : f.children()) {
+        Dnf sub;
+        RELCOMP_RETURN_NOT_OK(
+            UnfoldDnf(*c, rename, fresh_counter, max_disjuncts, &sub));
+        Dnf next;
+        for (const auto& left : acc) {
+          for (const auto& right : sub) {
+            std::vector<Atom> merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_disjuncts) {
+              return Status::ResourceExhausted(StrCat(
+                  "DNF unfolding exceeded ", max_disjuncts, " disjuncts"));
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      for (auto& conj : acc) out->push_back(std::move(conj));
+      return Status::OK();
+    }
+    case Formula::Kind::kExists: {
+      // Rename bound variables apart so distinct quantifier scopes do
+      // not collide once flattened into one CQ body.
+      for (const std::string& v : f.quantified_vars()) {
+        rename[v] = StrCat(v, "$", (*fresh_counter)++);
+      }
+      return UnfoldDnf(*f.children().front(), std::move(rename),
+                       fresh_counter, max_disjuncts, out);
+    }
+    case Formula::Kind::kNot:
+    case Formula::Kind::kForall:
+      return Status::InvalidArgument(
+          "formula is not positive-existential (contains ! or forall)");
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace
+
+Result<UnionQuery> PositiveToUnion(const FoQuery& q, size_t max_disjuncts) {
+  if (q.formula() == nullptr) {
+    return Status::InvalidArgument("query has no formula");
+  }
+  Dnf dnf;
+  int fresh_counter = 0;
+  RELCOMP_RETURN_NOT_OK(UnfoldDnf(*q.formula(), {}, &fresh_counter,
+                                  max_disjuncts, &dnf));
+  std::vector<Term> head;
+  head.reserve(q.head_vars().size());
+  for (const std::string& v : q.head_vars()) head.push_back(Term::Var(v));
+  UnionQuery out;
+  out.set_name(q.name());
+  int disjunct_id = 0;
+  for (auto& conj : dnf) {
+    ConjunctiveQuery cq(StrCat(q.name(), "#", disjunct_id++), head,
+                        std::move(conj));
+    out.AddDisjunct(std::move(cq));
+  }
+  if (out.disjuncts().empty()) {
+    return Status::InvalidArgument("DNF unfolding produced no disjuncts");
+  }
+  return out;
+}
+
+}  // namespace relcomp

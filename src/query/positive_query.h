@@ -1,0 +1,30 @@
+#ifndef RELCOMP_QUERY_POSITIVE_QUERY_H_
+#define RELCOMP_QUERY_POSITIVE_QUERY_H_
+
+#include "query/conjunctive_query.h"
+#include "query/fo_query.h"
+#include "query/union_query.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Conversions along the paper's language lattice CQ ⊆ UCQ ⊆ ∃FO+ ⊆ FO.
+
+/// Embeds a CQ into the formula representation (FO / ∃FO+ view).
+FoQuery CqToFoQuery(const ConjunctiveQuery& q);
+
+/// Embeds a UCQ into the formula representation.
+FoQuery UnionToFoQuery(const UnionQuery& q);
+
+/// Unfolds a positive-existential FO query into an equivalent UCQ
+/// (disjunctive normal form). This can blow up exponentially in the
+/// size of the formula (the paper's Σ₂ᵖ upper-bound algorithm for ∃FO+
+/// avoids the unfolding by guessing disjuncts; we expose both paths and
+/// compare them in bench_ablation). Fails with kResourceExhausted if
+/// more than `max_disjuncts` disjuncts would be produced, and with
+/// kInvalidArgument if the query is not in ∃FO+.
+Result<UnionQuery> PositiveToUnion(const FoQuery& q, size_t max_disjuncts);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_POSITIVE_QUERY_H_

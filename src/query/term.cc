@@ -1,0 +1,9 @@
+#include "query/term.h"
+
+namespace relcomp {
+
+std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+
+}  // namespace relcomp

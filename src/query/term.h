@@ -1,0 +1,70 @@
+#ifndef RELCOMP_QUERY_TERM_H_
+#define RELCOMP_QUERY_TERM_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "relational/value.h"
+
+namespace relcomp {
+
+/// A term of a query: either a constant value or a named variable.
+class Term {
+ public:
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  /// Default-constructs the constant 0.
+  Term() : kind_(Kind::kConstant) {}
+
+  static Term Const(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.value_ = std::move(v);
+    return t;
+  }
+  static Term ConstInt(int64_t v) { return Const(Value::Int(v)); }
+  static Term ConstStr(std::string_view v) { return Const(Value::Str(v)); }
+
+  static Term Var(std::string_view name) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.var_ = std::string(name);
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+
+  /// Precondition: is_constant().
+  const Value& value() const { return value_; }
+  /// Precondition: is_variable().
+  const std::string& var() const { return var_; }
+
+  bool operator==(const Term& other) const {
+    if (kind_ != other.kind_) return false;
+    return is_constant() ? value_ == other.value_ : var_ == other.var_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    return is_constant() ? value_ < other.value_ : var_ < other.var_;
+  }
+
+  /// Variables print as their name, constants via Value::ToString().
+  std::string ToString() const {
+    return is_constant() ? value_.ToString() : var_;
+  }
+
+ private:
+  Kind kind_;
+  Value value_;
+  std::string var_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& t);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_TERM_H_

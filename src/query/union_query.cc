@@ -1,0 +1,40 @@
+#include "query/union_query.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+Status UnionQuery::Validate(const Schema& schema) const {
+  if (disjuncts_.empty()) {
+    return Status::InvalidArgument("UCQ must have at least one disjunct");
+  }
+  size_t arity = disjuncts_.front().arity();
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (q.arity() != arity) {
+      return Status::InvalidArgument(
+          StrCat("UCQ disjunct arity mismatch: ", q.arity(), " vs ", arity));
+    }
+    RELCOMP_RETURN_NOT_OK(q.Validate(schema));
+  }
+  return Status::OK();
+}
+
+std::set<Value> UnionQuery::Constants() const {
+  std::set<Value> consts;
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    std::set<Value> qc = q.Constants();
+    consts.insert(qc.begin(), qc.end());
+  }
+  return consts;
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    out += q.ToString();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,48 @@
+#ifndef RELCOMP_QUERY_UNION_QUERY_H_
+#define RELCOMP_QUERY_UNION_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+
+namespace relcomp {
+
+/// A union of conjunctive queries (UCQ): Q1 ∪ ... ∪ Qk, all of the same
+/// arity. A single-disjunct UCQ is exactly a CQ.
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(ConjunctiveQuery q) { disjuncts_.push_back(std::move(q)); }
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  std::vector<ConjunctiveQuery>& mutable_disjuncts() { return disjuncts_; }
+  void AddDisjunct(ConjunctiveQuery q) { disjuncts_.push_back(std::move(q)); }
+
+  size_t arity() const {
+    return disjuncts_.empty() ? 0 : disjuncts_.front().arity();
+  }
+  bool IsConjunctive() const { return disjuncts_.size() == 1; }
+
+  /// Validates each disjunct and checks all arities agree.
+  Status Validate(const Schema& schema) const;
+
+  /// All constants across all disjuncts.
+  std::set<Value> Constants() const;
+
+  /// One rule per line.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_UNION_QUERY_H_

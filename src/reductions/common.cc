@@ -1,0 +1,55 @@
+#include "reductions/common.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace reductions_internal {
+
+RelationSchema GadgetRelationSchema(const std::string& name, size_t arity) {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back(AttributeDef::Over(StrCat("b", i), Domain::Boolean()));
+  }
+  return RelationSchema(name, std::move(attrs));
+}
+
+Status InsertGadgetTable(const std::string& table,
+                         const std::string& relation, Database* db) {
+  auto insert = [&](std::initializer_list<int64_t> row) -> Status {
+    std::vector<Value> values;
+    for (int64_t v : row) values.push_back(Value::Int(v));
+    return db->Insert(relation, Tuple(std::move(values)));
+  };
+  if (table == "bool01") {
+    RELCOMP_RETURN_NOT_OK(insert({0}));
+    return insert({1});
+  }
+  if (table == "or") {
+    RELCOMP_RETURN_NOT_OK(insert({0, 0, 0}));
+    RELCOMP_RETURN_NOT_OK(insert({0, 1, 1}));
+    RELCOMP_RETURN_NOT_OK(insert({1, 0, 1}));
+    return insert({1, 1, 1});
+  }
+  if (table == "and") {
+    RELCOMP_RETURN_NOT_OK(insert({0, 0, 0}));
+    RELCOMP_RETURN_NOT_OK(insert({0, 1, 0}));
+    RELCOMP_RETURN_NOT_OK(insert({1, 0, 0}));
+    return insert({1, 1, 1});
+  }
+  if (table == "not") {
+    RELCOMP_RETURN_NOT_OK(insert({0, 1}));
+    return insert({1, 0});
+  }
+  if (table == "ic") {
+    // Ic(x, y, 1) iff x = 0, or x = 1 and y = 1.
+    RELCOMP_RETURN_NOT_OK(insert({0, 0, 1}));
+    RELCOMP_RETURN_NOT_OK(insert({0, 1, 1}));
+    RELCOMP_RETURN_NOT_OK(insert({1, 0, 0}));
+    return insert({1, 1, 1});
+  }
+  return Status::InvalidArgument(StrCat("unknown gadget table: ", table));
+}
+
+}  // namespace reductions_internal
+}  // namespace relcomp

@@ -1,0 +1,61 @@
+#ifndef RELCOMP_REDUCTIONS_COMMON_H_
+#define RELCOMP_REDUCTIONS_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "constraints/containment_constraint.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A fully materialized RCDP instance produced by a hardness reduction:
+/// deciding whether `db` is complete for `query` relative to
+/// (`master`, `constraints`) answers the encoded source problem.
+struct EncodedRcdpInstance {
+  std::shared_ptr<const Schema> db_schema;
+  std::shared_ptr<const Schema> master_schema;
+  Database db;
+  Database master;
+  ConstraintSet constraints;
+  AnyQuery query;
+
+  EncodedRcdpInstance()
+      : db(std::make_shared<Schema>()), master(std::make_shared<Schema>()) {}
+};
+
+/// An RCQP instance: deciding whether a relatively complete database
+/// exists for `query` w.r.t. (`master`, `constraints`).
+struct EncodedRcqpInstance {
+  std::shared_ptr<const Schema> db_schema;
+  std::shared_ptr<const Schema> master_schema;
+  Database master;
+  ConstraintSet constraints;
+  AnyQuery query;
+
+  EncodedRcqpInstance() : master(std::make_shared<Schema>()) {}
+};
+
+namespace reductions_internal {
+
+/// Boolean-circuit gadget tables shared by the 3SAT-style reductions
+/// (the proof of Theorem 3.6): I01 = {0,1}, I∨ / I∧ = the disjunction /
+/// conjunction truth tables, I¬ = negation, Ic with Ic(x,y,1) iff
+/// x = 0 or (x = 1 and y = 1).
+
+/// Inserts the truth-table rows for `table` ("bool01", "or", "and",
+/// "not", "ic") into relation `relation` of `*db`.
+Status InsertGadgetTable(const std::string& table,
+                         const std::string& relation, Database* db);
+
+/// Relation schema for a gadget table: all columns over the Boolean
+/// finite domain.
+RelationSchema GadgetRelationSchema(const std::string& name, size_t arity);
+
+}  // namespace reductions_internal
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_COMMON_H_

@@ -1,0 +1,170 @@
+#include "reductions/fixed_rcqp_family.h"
+
+#include <map>
+
+#include "constraints/integrity_constraints.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+using reductions_internal::GadgetRelationSchema;
+using reductions_internal::InsertGadgetTable;
+
+Result<EncodedRcqpInstance> EncodeFixedRcqpFamily(
+    const FixedRcqpFamilyInstance& instance) {
+  const CnfFormula& f = instance.formula;
+  if (instance.nx + instance.nw != f.num_vars) {
+    return Status::InvalidArgument("nx + nw must equal formula.num_vars");
+  }
+  if (f.clauses.empty()) {
+    return Status::InvalidArgument("formula must have at least one clause");
+  }
+  EncodedRcqpInstance out;
+
+  // ---- Fixed database schema. -----------------------------------------
+  auto db_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(RelationSchema(
+      "AsgnX", {AttributeDef::Inf("i"),
+                AttributeDef::Over("v", Domain::Boolean())})));
+  RELCOMP_RETURN_NOT_OK(
+      db_schema->AddRelation(GadgetRelationSchema("BoolR", 1)));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(GadgetRelationSchema("OrT", 3)));
+  RELCOMP_RETURN_NOT_OK(
+      db_schema->AddRelation(GadgetRelationSchema("AndT", 3)));
+  RELCOMP_RETURN_NOT_OK(
+      db_schema->AddRelation(GadgetRelationSchema("NotT", 2)));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(RelationSchema(
+      "Rb", {AttributeDef::Over("u", Domain::Boolean()),
+             AttributeDef::Inf("w")})));
+  out.db_schema = db_schema;
+
+  // ---- Fixed master schema and data. ----------------------------------
+  auto master_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(
+      master_schema->AddRelation(GadgetRelationSchema("Bm", 1)));
+  RELCOMP_RETURN_NOT_OK(
+      master_schema->AddRelation(GadgetRelationSchema("OrTm", 3)));
+  RELCOMP_RETURN_NOT_OK(
+      master_schema->AddRelation(GadgetRelationSchema("AndTm", 3)));
+  RELCOMP_RETURN_NOT_OK(
+      master_schema->AddRelation(GadgetRelationSchema("NotTm", 2)));
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(
+      RelationSchema("Rmb", {AttributeDef::Inf("w")})));
+  out.master_schema = master_schema;
+  out.master = Database(master_schema);
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("bool01", "Bm", &out.master));
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("or", "OrTm", &out.master));
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("and", "AndTm", &out.master));
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("not", "NotTm", &out.master));
+  RELCOMP_RETURN_NOT_OK(out.master.Insert("Rmb", Tuple({Value::Int(0)})));
+
+  // ---- Fixed containment constraints. ---------------------------------
+  // Key on AsgnX: i determines v.
+  {
+    ConjunctiveQuery q(
+        "keyX", {},
+        {Atom::Relation("AsgnX", {Term::Var("i"), Term::Var("u")}),
+         Atom::Relation("AsgnX", {Term::Var("i"), Term::Var("v")}),
+         Atom::Ne(Term::Var("u"), Term::Var("v"))});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(q))));
+  }
+  RELCOMP_ASSIGN_OR_RETURN(ContainmentConstraint cc_v,
+                           MakeIndToMaster(*db_schema, "AsgnX", {1}, "Bm",
+                                           {0}));
+  out.constraints.Add(std::move(cc_v));
+  RELCOMP_ASSIGN_OR_RETURN(ContainmentConstraint cc_b,
+                           MakeIndToMaster(*db_schema, "BoolR", {0}, "Bm",
+                                           {0}));
+  out.constraints.Add(std::move(cc_b));
+  for (const auto& [rel, master_rel] :
+       std::map<std::string, std::string>{
+           {"OrT", "OrTm"}, {"AndT", "AndTm"}, {"NotT", "NotTm"}}) {
+    const size_t arity = db_schema->FindRelation(rel)->arity();
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < arity; ++c) cols.push_back(c);
+    RELCOMP_ASSIGN_OR_RETURN(
+        ContainmentConstraint cc,
+        MakeIndToMaster(*db_schema, rel, cols, master_rel, cols));
+    out.constraints.Add(std::move(cc));
+  }
+  // Pump guard: Rb(1, w) rows are bounded by Rmb = {(0)}.
+  {
+    ConjunctiveQuery q(
+        "pump_guard", {Term::Var("w")},
+        {Atom::Relation("Rb", {Term::Var("u"), Term::Var("w")}),
+         Atom::Eq(Term::Var("u"), Term::ConstInt(1))});
+    out.constraints.Add(ContainmentConstraint::Subset(
+        AnyQuery::Cq(std::move(q)), "Rmb", {0}));
+  }
+
+  // ---- The query (varies with the formula). ---------------------------
+  std::vector<Atom> body;
+  auto var_term = [](size_t v) { return Term::Var(StrCat("v", v)); };
+  for (size_t i = 0; i < instance.nx; ++i) {
+    body.push_back(Atom::Relation(
+        "AsgnX",
+        {Term::ConstInt(static_cast<int64_t>(i)), var_term(i)}));
+  }
+  for (size_t j = instance.nx; j < f.num_vars; ++j) {
+    body.push_back(Atom::Relation("BoolR", {var_term(j)}));
+  }
+  std::map<size_t, Term> negated;
+  auto literal_term = [&](const Literal& lit) {
+    if (!lit.negated) return var_term(lit.var);
+    auto it = negated.find(lit.var);
+    if (it == negated.end()) {
+      Term nv = Term::Var(StrCat("nv", lit.var));
+      body.push_back(Atom::Relation("NotT", {var_term(lit.var), nv}));
+      it = negated.emplace(lit.var, nv).first;
+    }
+    return it->second;
+  };
+  std::vector<Term> clause_terms;
+  for (size_t c = 0; c < f.clauses.size(); ++c) {
+    std::vector<Literal> clause = f.clauses[c];
+    while (clause.size() < 3) clause.push_back(clause.back());
+    Term a = literal_term(clause[0]);
+    Term b = literal_term(clause[1]);
+    Term d = literal_term(clause[2]);
+    Term o1 = Term::Var(StrCat("or", c, "_1"));
+    Term ci = Term::Var(StrCat("cl", c));
+    body.push_back(Atom::Relation("OrT", {a, b, o1}));
+    body.push_back(Atom::Relation("OrT", {o1, d, ci}));
+    clause_terms.push_back(ci);
+  }
+  Term z = clause_terms.front();
+  for (size_t c = 1; c < clause_terms.size(); ++c) {
+    Term next = Term::Var(StrCat("and", c));
+    body.push_back(Atom::Relation("AndT", {z, clause_terms[c], next}));
+    z = next;
+  }
+  body.push_back(Atom::Relation("Rb", {z, Term::Var("w")}));
+  ConjunctiveQuery q("Qfixed", {Term::Var("w")}, std::move(body));
+  RELCOMP_RETURN_NOT_OK(q.Validate(*db_schema));
+  out.query = AnyQuery::Cq(std::move(q));
+  return out;
+}
+
+Result<Database> BuildFixedFamilyWitness(
+    const FixedRcqpFamilyInstance& instance, const std::vector<bool>& chi,
+    const EncodedRcqpInstance& encoded) {
+  if (chi.size() != instance.nx) {
+    return Status::InvalidArgument("chi must assign exactly the ∃-block");
+  }
+  Database db(encoded.db_schema);
+  for (size_t i = 0; i < instance.nx; ++i) {
+    RELCOMP_RETURN_NOT_OK(db.Insert(
+        "AsgnX", Tuple({Value::Int(static_cast<int64_t>(i)),
+                        Value::Int(chi[i] ? 1 : 0)})));
+  }
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("bool01", "BoolR", &db));
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("or", "OrT", &db));
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("and", "AndT", &db));
+  RELCOMP_RETURN_NOT_OK(InsertGadgetTable("not", "NotT", &db));
+  RELCOMP_RETURN_NOT_OK(
+      db.Insert("Rb", Tuple({Value::Int(1), Value::Int(0)})));
+  return db;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,53 @@
+#ifndef RELCOMP_REDUCTIONS_FIXED_RCQP_FAMILY_H_
+#define RELCOMP_REDUCTIONS_FIXED_RCQP_FAMILY_H_
+
+#include "reductions/common.h"
+#include "reductions/sat.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A hardness family for RCQP(CQ, CQ) with *fixed* master data and
+/// *fixed* containment constraints (only the query varies), in the
+/// spirit of Corollary 4.6.
+///
+/// The paper proves Π₃ᵖ-completeness for this setting by a reduction
+/// from ∃∀∃3SAT. Its published construction, however, leaves the
+/// Rb(0, ·) rows unconstrained, which lets extensions pump fresh
+/// answers through the q = 0 branch whenever some inner assignment
+/// falsifies the matrix — collapsing the intended ∀Y∃Z alternation
+/// (see DESIGN.md). We therefore implement the alternation we can
+/// prove: an ∃X∀W family (still beyond NP, and still with fixed Dm
+/// and V) such that
+///
+///   RCQ(Q, Dm, V) is nonempty  iff  ∃X ∀W φ(X, W) is true.
+///
+/// Construction: AsgnX(i, v) stores an X-assignment (i is a key by a
+/// fixed CQ CC; v is IND-bounded to {0,1}); BoolR generates W values;
+/// OrT/AndT/NotT are IND-bounded circuit tables; the query evaluates
+/// φ's circuit to z and joins Rb(z, w). The fixed CC bounds Rb(1, ·)
+/// by {(0)}, so fresh w-values can only be pumped through z = 0
+/// derivations — which exist for some extension iff ∃W ¬φ(χ, W) for
+/// the (unique, key-enforced) stored assignment χ, or iff χ can still
+/// be completed adversarially.
+struct FixedRcqpFamilyInstance {
+  CnfFormula formula;
+  size_t nx = 0;  // ∃-block: variables 0..nx-1
+  size_t nw = 0;  // ∀-block: variables nx..nx+nw-1
+};
+
+/// Builds the RCQP instance (fixed Dm and V; Q varies with φ).
+Result<EncodedRcqpInstance> EncodeFixedRcqpFamily(
+    const FixedRcqpFamilyInstance& instance);
+
+/// Builds the candidate witness for the ∃-assignment `chi` (values of
+/// variables 0..nx-1): the stored assignment, the circuit tables, and
+/// Rb = {(1, 0)}. By the family's correctness property, the witness is
+/// complete for the encoded query iff ∀W φ(chi, W) holds.
+Result<Database> BuildFixedFamilyWitness(
+    const FixedRcqpFamilyInstance& instance, const std::vector<bool>& chi,
+    const EncodedRcqpInstance& encoded);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_FIXED_RCQP_FAMILY_H_

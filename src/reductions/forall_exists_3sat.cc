@@ -1,0 +1,115 @@
+#include "reductions/forall_exists_3sat.h"
+
+#include <map>
+
+#include "constraints/integrity_constraints.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+using reductions_internal::GadgetRelationSchema;
+using reductions_internal::InsertGadgetTable;
+
+Result<EncodedRcdpInstance> EncodeForallExists3Sat(
+    const ForallExists3SatInstance& instance) {
+  const CnfFormula& f = instance.formula;
+  if (instance.nx + instance.ny != f.num_vars) {
+    return Status::InvalidArgument("nx + ny must equal formula.num_vars");
+  }
+  if (f.clauses.empty()) {
+    return Status::InvalidArgument("formula must have at least one clause");
+  }
+  EncodedRcdpInstance out;
+
+  // Schemas: R1(x), R2/R3/R5 ternary, R4 binary, R6(x); Rm mirrors R.
+  auto db_schema = std::make_shared<Schema>();
+  auto master_schema = std::make_shared<Schema>();
+  const std::vector<std::pair<std::string, size_t>> relations = {
+      {"R1", 1}, {"R2", 3}, {"R3", 3}, {"R4", 2}, {"R5", 3}, {"R6", 1}};
+  for (const auto& [name, arity] : relations) {
+    RELCOMP_RETURN_NOT_OK(
+        db_schema->AddRelation(GadgetRelationSchema(name, arity)));
+    RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(
+        GadgetRelationSchema(StrCat(name, "m"), arity)));
+  }
+  out.db_schema = db_schema;
+  out.master_schema = master_schema;
+  out.db = Database(db_schema);
+  out.master = Database(master_schema);
+
+  // Fixed instances: D and Dm agree except R6 = {1} vs R6m = {0,1}.
+  const std::vector<std::pair<std::string, std::string>> tables = {
+      {"R1", "bool01"}, {"R2", "or"}, {"R3", "and"},
+      {"R4", "not"},    {"R5", "ic"}};
+  for (const auto& [name, table] : tables) {
+    RELCOMP_RETURN_NOT_OK(InsertGadgetTable(table, name, &out.db));
+    RELCOMP_RETURN_NOT_OK(
+        InsertGadgetTable(table, StrCat(name, "m"), &out.master));
+  }
+  RELCOMP_RETURN_NOT_OK(out.db.Insert("R6", Tuple({Value::Int(1)})));
+  RELCOMP_RETURN_NOT_OK(
+      InsertGadgetTable("bool01", "R6m", &out.master));
+
+  // Fixed constraints: the full-width INDs Ri ⊆ Rim.
+  for (const auto& [name, arity] : relations) {
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < arity; ++c) cols.push_back(c);
+    RELCOMP_ASSIGN_OR_RETURN(
+        ContainmentConstraint cc,
+        MakeIndToMaster(*db_schema, name, cols, StrCat(name, "m"), cols));
+    out.constraints.Add(std::move(cc));
+  }
+
+  // The query: clause circuit + the R6/R5 selection gadget.
+  std::vector<Atom> body;
+  auto var_term = [](size_t v) { return Term::Var(StrCat("v", v)); };
+  for (size_t v = 0; v < f.num_vars; ++v) {
+    body.push_back(Atom::Relation("R1", {var_term(v)}));
+  }
+  // Negated-literal terms, one R4 row per negated variable (cached).
+  std::map<size_t, Term> negated;
+  auto literal_term = [&](const Literal& lit) {
+    if (!lit.negated) return var_term(lit.var);
+    auto it = negated.find(lit.var);
+    if (it == negated.end()) {
+      Term nv = Term::Var(StrCat("nv", lit.var));
+      body.push_back(Atom::Relation("R4", {var_term(lit.var), nv}));
+      it = negated.emplace(lit.var, nv).first;
+    }
+    return it->second;
+  };
+  // Clause values c_i via OR chains.
+  std::vector<Term> clause_terms;
+  for (size_t c = 0; c < f.clauses.size(); ++c) {
+    std::vector<Literal> clause = f.clauses[c];
+    while (clause.size() < 3) clause.push_back(clause.back());
+    Term a = literal_term(clause[0]);
+    Term b = literal_term(clause[1]);
+    Term d = literal_term(clause[2]);
+    Term o1 = Term::Var(StrCat("or", c, "_1"));
+    Term ci = Term::Var(StrCat("cl", c));
+    body.push_back(Atom::Relation("R2", {a, b, o1}));
+    body.push_back(Atom::Relation("R2", {o1, d, ci}));
+    clause_terms.push_back(ci);
+  }
+  // Conjunction chain over the clause values yields z.
+  Term z = clause_terms.front();
+  for (size_t c = 1; c < clause_terms.size(); ++c) {
+    Term next = Term::Var(StrCat("and", c));
+    body.push_back(Atom::Relation("R3", {z, clause_terms[c], next}));
+    z = next;
+  }
+  // Selection: R6(z') × R5(z', z, 1).
+  Term zp = Term::Var("zp");
+  body.push_back(Atom::Relation("R6", {zp}));
+  body.push_back(Atom::Relation("R5", {zp, z, Term::ConstInt(1)}));
+
+  std::vector<Term> head;
+  for (size_t v = 0; v < instance.nx; ++v) head.push_back(var_term(v));
+  ConjunctiveQuery q("Qfe3sat", std::move(head), std::move(body));
+  RELCOMP_RETURN_NOT_OK(q.Validate(*db_schema));
+  out.query = AnyQuery::Cq(std::move(q));
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,38 @@
+#ifndef RELCOMP_REDUCTIONS_FORALL_EXISTS_3SAT_H_
+#define RELCOMP_REDUCTIONS_FORALL_EXISTS_3SAT_H_
+
+#include "reductions/common.h"
+#include "reductions/sat.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A ∀X ∃Y 3SAT instance: variables 0..nx-1 are universally
+/// quantified, nx..nx+ny-1 existentially.
+struct ForallExists3SatInstance {
+  CnfFormula formula;
+  size_t nx = 0;
+  size_t ny = 0;
+};
+
+/// The Σ₂ᵖ-hardness reduction of Theorem 3.6(1): encodes a ∀∃3SAT
+/// instance as an RCDP(CQ, INDs) instance with *fixed* master data and
+/// *fixed* containment constraints (only the query varies with the
+/// formula — this is also the Corollary 3.7 fixed-(Dm,V) family).
+///
+///   D is complete for Q relative to (Dm, V)  iff  ∀X ∃Y φ is true.
+///
+/// Construction (Boolean-domain columns throughout, which the paper
+/// permits — see DESIGN.md):
+///   R1 = {0,1}, R2 = OR, R3 = AND, R4 = NOT, R5 = Ic in both D and Dm;
+///   R6 = {1} in D but {0,1} in Dm; V = {Ri ⊆ Rmi : i ∈ [1,6]}.
+///   Q(x̄) walks the clause circuit with R2/R3/R4, producing the truth
+///   value z of φ under (x̄, ȳ), and selects x̄ via R6(z') ∧ R5(z', z, 1):
+///   with R6 = {1} only satisfying assignments are returned; extending
+///   R6 with {0} returns every assignment.
+Result<EncodedRcdpInstance> EncodeForallExists3Sat(
+    const ForallExists3SatInstance& instance);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_FORALL_EXISTS_3SAT_H_

@@ -1,0 +1,108 @@
+#include "reductions/sat.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+bool CnfFormula::Eval(const std::vector<bool>& assignment) const {
+  for (const std::vector<Literal>& clause : clauses) {
+    bool clause_true = false;
+    for (const Literal& lit : clause) {
+      bool v = assignment[lit.var];
+      if (lit.negated ? !v : v) {
+        clause_true = true;
+        break;
+      }
+    }
+    if (!clause_true) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) out += " & ";
+    out += "(";
+    for (size_t l = 0; l < clauses[c].size(); ++l) {
+      if (l > 0) out += " | ";
+      if (clauses[c][l].negated) out += "!";
+      out += StrCat("x", clauses[c][l].var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+/// Iterates over all assignments of variables [from, from+count) on top
+/// of `assignment`, returning true if `pred` holds for (exists ? some :
+/// every) one of them.
+template <typename Pred>
+bool Quantify(std::vector<bool>* assignment, size_t from, size_t count,
+              bool exists, const Pred& pred) {
+  if (count == 0) return pred(*assignment);
+  for (uint64_t bits = 0; bits < (1ULL << count); ++bits) {
+    for (size_t i = 0; i < count; ++i) {
+      (*assignment)[from + i] = ((bits >> i) & 1) != 0;
+    }
+    bool sub = pred(*assignment);
+    if (exists && sub) return true;
+    if (!exists && !sub) return false;
+  }
+  return !exists;
+}
+
+}  // namespace
+
+bool SatBruteForce(const CnfFormula& f) {
+  std::vector<bool> assignment(f.num_vars, false);
+  return Quantify(&assignment, 0, f.num_vars, /*exists=*/true,
+                  [&f](const std::vector<bool>& a) { return f.Eval(a); });
+}
+
+bool ForallExistsBruteForce(const CnfFormula& f, size_t nx, size_t ny) {
+  std::vector<bool> assignment(f.num_vars, false);
+  return Quantify(&assignment, 0, nx, /*exists=*/false,
+                  [&](const std::vector<bool>&) {
+                    return Quantify(&assignment, nx, ny, /*exists=*/true,
+                                    [&](const std::vector<bool>& a) {
+                                      return f.Eval(a);
+                                    });
+                  });
+}
+
+bool ExistsForallExistsBruteForce(const CnfFormula& f, size_t nx, size_t ny,
+                                  size_t nz) {
+  std::vector<bool> assignment(f.num_vars, false);
+  return Quantify(
+      &assignment, 0, nx, /*exists=*/true, [&](const std::vector<bool>&) {
+        return Quantify(
+            &assignment, nx, ny, /*exists=*/false,
+            [&](const std::vector<bool>&) {
+              return Quantify(&assignment, nx + ny, nz, /*exists=*/true,
+                              [&](const std::vector<bool>& a) {
+                                return f.Eval(a);
+                              });
+            });
+      });
+}
+
+CnfFormula RandomCnf(size_t num_vars, size_t num_clauses,
+                     std::mt19937_64* rng) {
+  CnfFormula f;
+  f.num_vars = num_vars;
+  std::uniform_int_distribution<size_t> var_dist(0, num_vars - 1);
+  std::uniform_int_distribution<int> sign_dist(0, 1);
+  for (size_t c = 0; c < num_clauses; ++c) {
+    std::vector<Literal> clause;
+    for (int l = 0; l < 3; ++l) {
+      clause.push_back(Literal{var_dist(*rng), sign_dist(*rng) == 1});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+}  // namespace relcomp

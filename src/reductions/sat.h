@@ -1,0 +1,47 @@
+#ifndef RELCOMP_REDUCTIONS_SAT_H_
+#define RELCOMP_REDUCTIONS_SAT_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace relcomp {
+
+/// A literal: 0-based variable index, possibly negated.
+struct Literal {
+  size_t var = 0;
+  bool negated = false;
+};
+
+/// A 3-CNF formula over variables 0..num_vars-1. Clauses may have
+/// fewer than three literals; the encoders pad by repetition.
+struct CnfFormula {
+  size_t num_vars = 0;
+  std::vector<std::vector<Literal>> clauses;
+
+  /// Evaluates under a total assignment (assignment[v] is var v).
+  bool Eval(const std::vector<bool>& assignment) const;
+
+  /// "(x0 | !x1 | x2) & (...)".
+  std::string ToString() const;
+};
+
+/// Brute-force SAT: ∃ assignment making the formula true.
+bool SatBruteForce(const CnfFormula& f);
+
+/// Brute-force Π₂ check for ∀X ∃Y φ, where X is variables 0..nx-1 and
+/// Y is nx..nx+ny-1 (nx + ny == f.num_vars).
+bool ForallExistsBruteForce(const CnfFormula& f, size_t nx, size_t ny);
+
+/// Brute-force Σ₃ check for ∃X ∀Y ∃Z φ with the variable blocks
+/// X = 0..nx-1, Y = nx..nx+ny-1, Z = the rest.
+bool ExistsForallExistsBruteForce(const CnfFormula& f, size_t nx, size_t ny,
+                                  size_t nz);
+
+/// A reproducible random 3-CNF with exactly 3 literals per clause.
+CnfFormula RandomCnf(size_t num_vars, size_t num_clauses, std::mt19937_64* rng);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_SAT_H_

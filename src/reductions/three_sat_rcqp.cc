@@ -1,0 +1,101 @@
+#include "reductions/three_sat_rcqp.h"
+
+#include "constraints/integrity_constraints.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+using reductions_internal::GadgetRelationSchema;
+
+Result<EncodedRcqpInstance> EncodeThreeSatRcqp(const CnfFormula& f) {
+  if (f.num_vars == 0 || f.clauses.empty()) {
+    return Status::InvalidArgument(
+        "formula must have at least one variable and one clause");
+  }
+  EncodedRcqpInstance out;
+
+  auto db_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(GadgetRelationSchema("Rt", 2)));
+  RELCOMP_RETURN_NOT_OK(
+      db_schema->AddRelation(GadgetRelationSchema("Ror", 3)));
+  {
+    // R(A, x1, x̄1, ..., xn, x̄n): A infinite, variable columns Boolean.
+    std::vector<AttributeDef> attrs;
+    attrs.push_back(AttributeDef::Inf("A"));
+    for (size_t v = 0; v < f.num_vars; ++v) {
+      attrs.push_back(AttributeDef::Over(StrCat("x", v), Domain::Boolean()));
+      attrs.push_back(AttributeDef::Over(StrCat("nx", v), Domain::Boolean()));
+    }
+    RELCOMP_RETURN_NOT_OK(
+        db_schema->AddRelation(RelationSchema("R", std::move(attrs))));
+  }
+  out.db_schema = db_schema;
+
+  auto master_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(
+      master_schema->AddRelation(GadgetRelationSchema("Rtm", 2)));
+  RELCOMP_RETURN_NOT_OK(
+      master_schema->AddRelation(GadgetRelationSchema("Rorm", 3)));
+  out.master_schema = master_schema;
+  out.master = Database(master_schema);
+
+  // Fixed master data: the truth-pair table and the seven satisfying
+  // rows of l1 ∨ l2 ∨ l3.
+  RELCOMP_RETURN_NOT_OK(
+      out.master.Insert("Rtm", Tuple({Value::Int(0), Value::Int(1)})));
+  RELCOMP_RETURN_NOT_OK(
+      out.master.Insert("Rtm", Tuple({Value::Int(1), Value::Int(0)})));
+  for (int64_t a = 0; a <= 1; ++a) {
+    for (int64_t b = 0; b <= 1; ++b) {
+      for (int64_t c = 0; c <= 1; ++c) {
+        if (a == 0 && b == 0 && c == 0) continue;
+        RELCOMP_RETURN_NOT_OK(out.master.Insert(
+            "Rorm",
+            Tuple({Value::Int(a), Value::Int(b), Value::Int(c)})));
+      }
+    }
+  }
+
+  // Fixed IND constraints: Rt ⊆ Rtm and Ror ⊆ Rorm.
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint cc_rt,
+      MakeIndToMaster(*db_schema, "Rt", {0, 1}, "Rtm", {0, 1}));
+  out.constraints.Add(std::move(cc_rt));
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint cc_or,
+      MakeIndToMaster(*db_schema, "Ror", {0, 1, 2}, "Rorm", {0, 1, 2}));
+  out.constraints.Add(std::move(cc_or));
+
+  // Q(z) :- R(z, x0, nx0, ...), Rt(x0, nx0), ..., Ror per clause.
+  std::vector<Atom> body;
+  auto pos = [](size_t v) { return Term::Var(StrCat("x", v)); };
+  auto neg = [](size_t v) { return Term::Var(StrCat("nx", v)); };
+  {
+    std::vector<Term> r_args;
+    r_args.push_back(Term::Var("z"));
+    for (size_t v = 0; v < f.num_vars; ++v) {
+      r_args.push_back(pos(v));
+      r_args.push_back(neg(v));
+    }
+    body.push_back(Atom::Relation("R", std::move(r_args)));
+  }
+  for (size_t v = 0; v < f.num_vars; ++v) {
+    body.push_back(Atom::Relation("Rt", {pos(v), neg(v)}));
+  }
+  for (const std::vector<Literal>& clause : f.clauses) {
+    std::vector<Literal> padded = clause;
+    while (padded.size() < 3) padded.push_back(padded.back());
+    std::vector<Term> args;
+    for (int l = 0; l < 3; ++l) {
+      args.push_back(padded[l].negated ? neg(padded[l].var)
+                                       : pos(padded[l].var));
+    }
+    body.push_back(Atom::Relation("Ror", std::move(args)));
+  }
+  ConjunctiveQuery q("Q3sat", {Term::Var("z")}, std::move(body));
+  RELCOMP_RETURN_NOT_OK(q.Validate(*db_schema));
+  out.query = AnyQuery::Cq(std::move(q));
+  return out;
+}
+
+}  // namespace relcomp

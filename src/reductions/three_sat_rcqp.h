@@ -1,0 +1,29 @@
+#ifndef RELCOMP_REDUCTIONS_THREE_SAT_RCQP_H_
+#define RELCOMP_REDUCTIONS_THREE_SAT_RCQP_H_
+
+#include "reductions/common.h"
+#include "reductions/sat.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// The coNP-hardness reduction of Theorem 4.5(1): encodes a 3SAT
+/// formula φ as an RCQP(CQ, INDs) instance with fixed master data and
+/// fixed IND constraints such that
+///
+///   RCQ(Q, Dm, V) is empty  iff  φ is satisfiable.
+///
+/// Construction: Rt(x, x̄) is bounded by the master truth-pair table
+/// {(0,1), (1,0)}; Ror(l1,l2,l3) by the seven satisfying rows of a
+/// disjunction; R(A, x1, x̄1, ..., xn, x̄n) carries an infinite-domain
+/// attribute A that no IND bounds. Q(z) selects A-values of R rows
+/// whose variable columns encode a satisfying assignment. If φ is
+/// satisfiable the head variable z is realizable but unbounded (fresh
+/// A-values keep changing the answer — no complete database exists);
+/// if φ is unsatisfiable Q returns ∅ on every partially closed
+/// database, and the empty database is complete.
+Result<EncodedRcqpInstance> EncodeThreeSatRcqp(const CnfFormula& formula);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_THREE_SAT_RCQP_H_

@@ -1,0 +1,356 @@
+#include "reductions/tiling.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "constraints/integrity_constraints.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// Relation name of rank-i hypertiles.
+std::string RankRelation(size_t i) { return StrCat("R", i); }
+
+/// Arity of the rank-i relation: R1(id, X1..X4, Z) is 6-ary; higher
+/// ranks are 11-ary (id, id1..id4, id12, id13, id24, id34, id1234, Z).
+size_t RankArity(size_t i) { return i == 1 ? 6 : 11; }
+
+}  // namespace
+
+std::optional<std::vector<size_t>> SolveTiling(const TilingInstance& t) {
+  const size_t w = 1ULL << t.n;
+  std::set<std::pair<size_t, size_t>> v_ok(t.vertical.begin(),
+                                           t.vertical.end());
+  std::set<std::pair<size_t, size_t>> h_ok(t.horizontal.begin(),
+                                           t.horizontal.end());
+  std::vector<size_t> grid(w * w, 0);
+  std::function<bool(size_t)> place = [&](size_t pos) {
+    if (pos == w * w) return true;
+    size_t r = pos / w;
+    size_t c = pos % w;
+    for (size_t tile = 0; tile < t.num_tiles; ++tile) {
+      if (r == 0 && c == 0 && tile != t.t0) continue;
+      if (c > 0 && h_ok.count({grid[pos - 1], tile}) == 0) continue;
+      if (r > 0 && v_ok.count({grid[pos - w], tile}) == 0) continue;
+      grid[pos] = tile;
+      if (place(pos + 1)) return true;
+    }
+    return false;
+  };
+  if (!place(0)) return std::nullopt;
+  return grid;
+}
+
+Result<EncodedRcqpInstance> EncodeTilingRcqp(const TilingInstance& t) {
+  if (t.n < 1) return Status::InvalidArgument("tiling rank n must be >= 1");
+  if (t.num_tiles == 0 || t.t0 >= t.num_tiles) {
+    return Status::InvalidArgument("bad tile set / t0");
+  }
+  EncodedRcqpInstance out;
+  auto tile_domain = Domain::FiniteInts("tiles",
+                                        static_cast<int64_t>(t.num_tiles));
+
+  // ---- Schemas. -------------------------------------------------------
+  auto db_schema = std::make_shared<Schema>();
+  {
+    std::vector<AttributeDef> attrs = {
+        AttributeDef::Inf("id"),
+        AttributeDef::Over("X1", tile_domain),
+        AttributeDef::Over("X2", tile_domain),
+        AttributeDef::Over("X3", tile_domain),
+        AttributeDef::Over("X4", tile_domain),
+        AttributeDef::Over("Z", tile_domain)};
+    RELCOMP_RETURN_NOT_OK(
+        db_schema->AddRelation(RelationSchema("R1", std::move(attrs))));
+  }
+  for (size_t i = 2; i <= t.n; ++i) {
+    std::vector<AttributeDef> attrs = {AttributeDef::Inf("id")};
+    for (const char* sub :
+         {"id1", "id2", "id3", "id4", "id12", "id13", "id24", "id34",
+          "id1234"}) {
+      attrs.push_back(AttributeDef::Inf(sub));
+    }
+    attrs.push_back(AttributeDef::Over("Z", tile_domain));
+    RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(
+        RelationSchema(RankRelation(i), std::move(attrs))));
+  }
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(
+      RelationSchema("Rb", {AttributeDef::Inf("w")})));
+  out.db_schema = db_schema;
+
+  auto master_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(
+      RelationSchema("RmT", {AttributeDef::Over("t", tile_domain)})));
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(RelationSchema(
+      "RmV", {AttributeDef::Over("a", tile_domain),
+              AttributeDef::Over("b", tile_domain)})));
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(RelationSchema(
+      "RmH", {AttributeDef::Over("a", tile_domain),
+              AttributeDef::Over("b", tile_domain)})));
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(
+      RelationSchema("Rmb", {AttributeDef::Inf("w")})));
+  out.master_schema = master_schema;
+
+  // ---- Master data. ---------------------------------------------------
+  out.master = Database(master_schema);
+  for (size_t tile = 0; tile < t.num_tiles; ++tile) {
+    RELCOMP_RETURN_NOT_OK(out.master.Insert(
+        "RmT", Tuple({Value::Int(static_cast<int64_t>(tile))})));
+  }
+  for (const auto& [a, b] : t.vertical) {
+    RELCOMP_RETURN_NOT_OK(out.master.Insert(
+        "RmV", Tuple({Value::Int(static_cast<int64_t>(a)),
+                      Value::Int(static_cast<int64_t>(b))})));
+  }
+  for (const auto& [a, b] : t.horizontal) {
+    RELCOMP_RETURN_NOT_OK(out.master.Insert(
+        "RmH", Tuple({Value::Int(static_cast<int64_t>(a)),
+                      Value::Int(static_cast<int64_t>(b))})));
+  }
+  RELCOMP_RETURN_NOT_OK(out.master.Insert("Rmb", Tuple({Value::Int(0)})));
+
+  // ---- Containment constraints. ---------------------------------------
+  // Rank-1 compatibility INDs.
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint v1,
+      MakeIndToMaster(*db_schema, "R1", {1, 3}, "RmV", {0, 1}));
+  out.constraints.Add(std::move(v1));
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint v2,
+      MakeIndToMaster(*db_schema, "R1", {2, 4}, "RmV", {0, 1}));
+  out.constraints.Add(std::move(v2));
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint h1,
+      MakeIndToMaster(*db_schema, "R1", {1, 2}, "RmH", {0, 1}));
+  out.constraints.Add(std::move(h1));
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint h2,
+      MakeIndToMaster(*db_schema, "R1", {3, 4}, "RmH", {0, 1}));
+  out.constraints.Add(std::move(h2));
+
+  // Top-left marker: Z = X1 on R1.
+  {
+    std::vector<Term> args = {Term::Var("id"), Term::Var("x1"),
+                              Term::Var("x2"), Term::Var("x3"),
+                              Term::Var("x4"), Term::Var("z")};
+    ConjunctiveQuery q("topl", {},
+                       {Atom::Relation("R1", args),
+                        Atom::Ne(Term::Var("x1"), Term::Var("z"))});
+    out.constraints.Add(
+        ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(q))));
+  }
+
+  // Keys: id determines every other column, at every rank.
+  for (size_t i = 1; i <= t.n; ++i) {
+    size_t arity = RankArity(i);
+    for (size_t col = 1; col < arity; ++col) {
+      std::vector<Term> args1 = {Term::Var("id")};
+      std::vector<Term> args2 = {Term::Var("id")};
+      for (size_t c = 1; c < arity; ++c) {
+        args1.push_back(Term::Var(StrCat("u", c)));
+        args2.push_back(c == col ? Term::Var("u_alt")
+                                 : Term::Var(StrCat("w", c)));
+      }
+      ConjunctiveQuery q(
+          StrCat("key_R", i, "_c", col), {},
+          {Atom::Relation(RankRelation(i), std::move(args1)),
+           Atom::Relation(RankRelation(i), std::move(args2)),
+           Atom::Ne(Term::Var(StrCat("u", col)), Term::Var("u_alt"))});
+      out.constraints.Add(
+          ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(q))));
+    }
+  }
+
+  // Glue equations at every rank >= 2. quad(x) is columns 1..4 of the
+  // row with id x (uniform across ranks); the equations are:
+  //   quad(id12)   = (a2, b1, a4, b3)
+  //   quad(id13)   = (a3, a4, c1, c2)
+  //   quad(id24)   = (b3, b4, d1, d2)
+  //   quad(id34)   = (c2, d1, c4, d3)
+  //   quad(id1234) = (a4, b3, c3, d1)
+  //   Z(id)        = Z(id1)
+  // where a/b/c/d abbreviate quad(id1)/quad(id2)/quad(id3)/quad(id4).
+  for (size_t i = 2; i <= t.n; ++i) {
+    const size_t sub_arity = RankArity(i - 1);
+    const std::string sub_rel = RankRelation(i - 1);
+    // Ri atom binding all id columns and Z.
+    auto ri_atom = [&]() {
+      std::vector<Term> args = {Term::Var("id")};
+      for (const char* sub :
+           {"id1", "id2", "id3", "id4", "id12", "id13", "id24", "id34",
+            "id1234"}) {
+        args.push_back(Term::Var(sub));
+      }
+      args.push_back(Term::Var("zz"));
+      return Atom::Relation(RankRelation(i), std::move(args));
+    };
+    // Sub-row atom binding quad columns 1..4 as <prefix>1..<prefix>4
+    // and nothing else (anonymous vars elsewhere).
+    int anon = 0;
+    auto sub_atom = [&](const std::string& id_var,
+                        const std::string& prefix) {
+      std::vector<Term> args = {Term::Var(id_var)};
+      for (size_t c = 1; c < sub_arity; ++c) {
+        if (c >= 1 && c <= 4) {
+          args.push_back(Term::Var(StrCat(prefix, c)));
+        } else {
+          args.push_back(Term::Var(StrCat("_g", anon++)));
+        }
+      }
+      return Atom::Relation(sub_rel, std::move(args));
+    };
+    struct GlueSpec {
+      const char* glue_id;
+      // For each of the four quad positions of the glue row: which
+      // source sub-row ("a".."d") and which of its quad components.
+      const char* source[4];
+      int component[4];
+    };
+    const GlueSpec specs[] = {
+        {"id12", {"a", "b", "a", "b"}, {2, 1, 4, 3}},
+        {"id13", {"a", "a", "c", "c"}, {3, 4, 1, 2}},
+        {"id24", {"b", "b", "d", "d"}, {3, 4, 1, 2}},
+        {"id34", {"c", "d", "c", "d"}, {2, 1, 4, 3}},
+        // The paper prints (a4, b3, c3, d1) here, but with row-major
+        // quads the block at the center position is (a4, b3, c2, d1);
+        // c3 does not touch the id1234 square.
+        {"id1234", {"a", "b", "c", "d"}, {4, 3, 2, 1}},
+    };
+    const std::map<std::string, std::string> quad_of_source = {
+        {"a", "id1"}, {"b", "id2"}, {"c", "id3"}, {"d", "id4"}};
+    for (const GlueSpec& spec : specs) {
+      for (int pos = 1; pos <= 4; ++pos) {
+        // CC: Ri(...), sub(source_id, s1..s4, ...), sub(glue_id,
+        // e1..e4, ...), e_pos != s_{component} ⊆ ∅.
+        std::vector<Atom> body;
+        body.push_back(ri_atom());
+        std::string source = spec.source[pos - 1];
+        body.push_back(sub_atom(quad_of_source.at(source), "s"));
+        body.push_back(sub_atom(spec.glue_id, "e"));
+        body.push_back(Atom::Ne(Term::Var(StrCat("e", pos)),
+                                Term::Var(StrCat(
+                                    "s", spec.component[pos - 1]))));
+        ConjunctiveQuery q(StrCat("glue_R", i, "_", spec.glue_id, "_", pos),
+                           {}, std::move(body));
+        out.constraints.Add(ContainmentConstraint::SubsetOfEmpty(
+            AnyQuery::Cq(std::move(q))));
+      }
+    }
+    // Z(id) = Z(id1).
+    {
+      std::vector<Atom> body;
+      body.push_back(ri_atom());
+      std::vector<Term> args = {Term::Var("id1")};
+      for (size_t c = 1; c < sub_arity - 1; ++c) {
+        args.push_back(Term::Var(StrCat("_z", c)));
+      }
+      args.push_back(Term::Var("subz"));
+      body.push_back(Atom::Relation(sub_rel, std::move(args)));
+      body.push_back(Atom::Ne(Term::Var("zz"), Term::Var("subz")));
+      ConjunctiveQuery q(StrCat("ztop_R", i), {}, std::move(body));
+      out.constraints.Add(ContainmentConstraint::SubsetOfEmpty(
+          AnyQuery::Cq(std::move(q))));
+    }
+  }
+
+  // The final CC φ: if a fully traced rank-n hierarchy with top-left
+  // tile t0 exists, Rb is bounded by Rmb = {(0)}.
+  {
+    std::vector<Atom> body;
+    int fresh = 0;
+    // Emits the trace atom for a row of rank i with the given id term;
+    // returns nothing (appends to body), recursing over children.
+    std::function<void(size_t, const Term&, bool)> emit =
+        [&](size_t i, const Term& id_term, bool top) {
+          std::vector<Term> args = {id_term};
+          std::vector<Term> child_ids;
+          if (i == 1) {
+            for (int c = 1; c <= 4; ++c) {
+              args.push_back(Term::Var(StrCat("_t", fresh++)));
+            }
+          } else {
+            for (int c = 1; c <= 9; ++c) {
+              Term child = Term::Var(StrCat("_id", fresh++));
+              args.push_back(child);
+              child_ids.push_back(child);
+            }
+          }
+          // Z column: the top row must carry tile t0.
+          if (top) {
+            args.push_back(Term::ConstInt(static_cast<int64_t>(t.t0)));
+          } else {
+            args.push_back(Term::Var(StrCat("_t", fresh++)));
+          }
+          body.push_back(Atom::Relation(RankRelation(i), std::move(args)));
+          for (const Term& child : child_ids) {
+            emit(i - 1, child, false);
+          }
+        };
+    emit(t.n, Term::Var("top_id"), true);
+    body.push_back(Atom::Relation("Rb", {Term::Var("w")}));
+    ConjunctiveQuery q("phi_trace", {Term::Var("w")}, std::move(body));
+    out.constraints.Add(
+        ContainmentConstraint::Subset(AnyQuery::Cq(std::move(q)), "Rmb",
+                                      {0}));
+  }
+
+  // The query simply returns Rb.
+  ConjunctiveQuery q("Qtile", {Term::Var("w")},
+                     {Atom::Relation("Rb", {Term::Var("w")})});
+  RELCOMP_RETURN_NOT_OK(q.Validate(*db_schema));
+  out.query = AnyQuery::Cq(std::move(q));
+  for (const ContainmentConstraint& cc : out.constraints.constraints()) {
+    RELCOMP_RETURN_NOT_OK(cc.Validate(*db_schema, *master_schema));
+  }
+  return out;
+}
+
+Result<Database> BuildTilingWitness(const TilingInstance& t,
+                                    const std::vector<size_t>& grid,
+                                    const EncodedRcqpInstance& encoded) {
+  const size_t w = 1ULL << t.n;
+  if (grid.size() != w * w) {
+    return Status::InvalidArgument("grid size does not match 2^n x 2^n");
+  }
+  Database db(encoded.db_schema);
+  auto tile = [&](size_t r, size_t c) {
+    return Value::Int(static_cast<int64_t>(grid[r * w + c]));
+  };
+  auto id_of = [](size_t rank, size_t r, size_t c) {
+    return Value::Str(StrCat("h", rank, "_", r, "_", c));
+  };
+  // Rank 1: every 2x2 block at every position.
+  for (size_t r = 0; r + 1 < w; ++r) {
+    for (size_t c = 0; c + 1 < w; ++c) {
+      RELCOMP_RETURN_NOT_OK(db.Insert(
+          "R1", Tuple({id_of(1, r, c), tile(r, c), tile(r, c + 1),
+                       tile(r + 1, c), tile(r + 1, c + 1), tile(r, c)})));
+    }
+  }
+  // Higher ranks at every admissible position.
+  for (size_t i = 2; i <= t.n; ++i) {
+    const size_t size = 1ULL << i;       // tiles covered per side
+    const size_t half = size / 2;        // child stride
+    const size_t quarter = half / 2;     // glue offset
+    for (size_t r = 0; r + size <= w; ++r) {
+      for (size_t c = 0; c + size <= w; ++c) {
+        RELCOMP_RETURN_NOT_OK(db.Insert(
+            RankRelation(i),
+            Tuple({id_of(i, r, c), id_of(i - 1, r, c),
+                   id_of(i - 1, r, c + half), id_of(i - 1, r + half, c),
+                   id_of(i - 1, r + half, c + half),
+                   id_of(i - 1, r, c + quarter),
+                   id_of(i - 1, r + quarter, c),
+                   id_of(i - 1, r + quarter, c + half),
+                   id_of(i - 1, r + half, c + quarter),
+                   id_of(i - 1, r + quarter, c + quarter), tile(r, c)})));
+      }
+    }
+  }
+  RELCOMP_RETURN_NOT_OK(db.Insert("Rb", Tuple({Value::Int(0)})));
+  return db;
+}
+
+}  // namespace relcomp

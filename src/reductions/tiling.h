@@ -1,0 +1,56 @@
+#ifndef RELCOMP_REDUCTIONS_TILING_H_
+#define RELCOMP_REDUCTIONS_TILING_H_
+
+#include <optional>
+#include <vector>
+
+#include "reductions/common.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A 2^n × 2^n tiling instance: tiles 0..num_tiles-1, a designated
+/// top-left tile t0, and the binary compatibility relations V and H
+/// (V(a, b): b may sit directly below a; H(a, b): b may sit directly
+/// to the right of a).
+struct TilingInstance {
+  size_t n = 1;  // grid is 2^n × 2^n
+  size_t num_tiles = 2;
+  size_t t0 = 0;
+  std::vector<std::pair<size_t, size_t>> vertical;
+  std::vector<std::pair<size_t, size_t>> horizontal;
+};
+
+/// Backtracking solver for the source problem. Returns the tiling as a
+/// row-major grid of tile ids, or nullopt. Exponential; intended for
+/// n ≤ 2 cross-checks.
+std::optional<std::vector<size_t>> SolveTiling(const TilingInstance& t);
+
+/// The NEXPTIME-hardness reduction of Theorem 4.5(2): encodes a tiling
+/// instance as an RCQP(CQ, CQ) instance such that
+///
+///   RCQ(Q, Dm, V) is nonempty  iff  a tiling exists.
+///
+/// Construction (following Dantsin-Voronkov as in the paper): relation
+/// R1(id, X1, X2, X3, X4, Z) stores rank-1 hypertiles (2×2 squares,
+/// top-left tile Z = X1) and Ri (i ≥ 2) stores rank-i hypertiles as
+/// quadruples of rank-(i-1) ids plus the five overlapping "glue"
+/// hypertiles that enforce border compatibility. Key CCs make each id
+/// unique, IND CCs bound rank-1 tiles by the master tile/compatibility
+/// tables, CQ CCs enforce the glue equations, and the final CC bounds
+/// Rb by {(0)} exactly when a fully traced hierarchy with top-left t0
+/// exists. The query returns Rb, whose infinite-domain attribute can
+/// only be "pumped" when no tiling hierarchy is present.
+Result<EncodedRcqpInstance> EncodeTilingRcqp(const TilingInstance& t);
+
+/// Builds the hierarchical witness database for a solved tiling (the
+/// proof's "complete D"): hypertile rows of every rank at every
+/// admissible position, plus Rb = {(0)}. The result is complete for
+/// the encoded query iff `grid` is a valid tiling.
+Result<Database> BuildTilingWitness(const TilingInstance& t,
+                                    const std::vector<size_t>& grid,
+                                    const EncodedRcqpInstance& encoded);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_TILING_H_

@@ -1,0 +1,123 @@
+#include "relational/database.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+Database::Database(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {}
+
+Status Database::Insert(std::string_view relation, Tuple tuple) {
+  const RelationSchema* rs = schema_->FindRelation(relation);
+  if (rs == nullptr) {
+    return Status::NotFound(StrCat("unknown relation: ", relation));
+  }
+  if (tuple.arity() != rs->arity()) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch for ", relation, ": tuple has ", tuple.arity(),
+               " values, schema has ", rs->arity()));
+  }
+  for (size_t i = 0; i < tuple.arity(); ++i) {
+    if (!rs->attribute(i).domain->Contains(tuple[i])) {
+      return Status::InvalidArgument(
+          StrCat("value ", tuple[i].ToString(), " not in domain ",
+                 rs->attribute(i).domain->name(), " of ", relation, ".",
+                 rs->attribute(i).name));
+    }
+  }
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    it = relations_.emplace(std::string(relation), Relation(rs->arity()))
+             .first;
+  }
+  it->second.Insert(std::move(tuple));
+  return Status::OK();
+}
+
+bool Database::InsertUnchecked(std::string_view relation, Tuple tuple) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    const RelationSchema* rs = schema_->FindRelation(relation);
+    if (rs == nullptr) return false;
+    it = relations_.emplace(std::string(relation), Relation(rs->arity()))
+             .first;
+  }
+  return it->second.Insert(std::move(tuple));
+}
+
+bool Database::Contains(std::string_view relation, const Tuple& tuple) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  return it->second.Contains(tuple);
+}
+
+bool Database::Erase(std::string_view relation, const Tuple& tuple) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  return it->second.Erase(tuple);
+}
+
+const Relation& Database::Get(std::string_view relation) const {
+  auto it = relations_.find(relation);
+  if (it != relations_.end()) return it->second;
+  auto cached = empty_cache_.find(relation);
+  if (cached != empty_cache_.end()) return cached->second;
+  const RelationSchema* rs = schema_->FindRelation(relation);
+  size_t arity = rs != nullptr ? rs->arity() : 0;
+  return empty_cache_.emplace(std::string(relation), Relation(arity))
+      .first->second;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+bool Database::IsSubsetOf(const Database& other) const {
+  for (const auto& [name, rel] : relations_) {
+    if (rel.empty()) continue;
+    if (!rel.IsSubsetOf(other.Get(name))) return false;
+  }
+  return true;
+}
+
+void Database::UnionWith(const Database& other) {
+  for (const auto& [name, rel] : other.relations_) {
+    if (rel.empty()) continue;
+    auto it = relations_.find(name);
+    if (it == relations_.end()) {
+      relations_.emplace(name, rel);
+    } else {
+      it->second.UnionWith(rel);
+    }
+  }
+}
+
+bool Database::operator==(const Database& other) const {
+  return IsSubsetOf(other) && other.IsSubsetOf(*this);
+}
+
+void Database::CollectConstants(std::set<Value>* out) const {
+  for (const auto& [name, rel] : relations_) {
+    for (const Tuple& t : rel) {
+      for (const Value& v : t.values()) out->insert(v);
+    }
+  }
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const std::string& name : schema_->relation_names()) {
+    const Relation& rel = Get(name);
+    if (rel.empty()) continue;
+    out += name;
+    out += " = ";
+    out += rel.ToString();
+    out.push_back('\n');
+  }
+  if (out.empty()) out = "(empty database)\n";
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,74 @@
+#ifndef RELCOMP_RELATIONAL_DATABASE_H_
+#define RELCOMP_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A database instance D = (I1, ..., In) of a Schema. Also used for
+/// master data instances Dm. Holds one Relation per relation schema;
+/// relations for which no tuples were inserted are empty instances.
+class Database {
+ public:
+  Database() : schema_(std::make_shared<Schema>()) {}
+  explicit Database(std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  /// Inserts a tuple into the named relation, validating existence,
+  /// arity, and per-attribute domain membership.
+  Status Insert(std::string_view relation, Tuple tuple);
+
+  /// Unchecked fast-path insert used by the deciders on tuples that were
+  /// already validated (e.g. instantiated tableau rows). Returns true if
+  /// newly added; false if the relation is unknown, the arity mismatches,
+  /// or the tuple was already present.
+  bool InsertUnchecked(std::string_view relation, Tuple tuple);
+
+  bool Contains(std::string_view relation, const Tuple& tuple) const;
+  bool Erase(std::string_view relation, const Tuple& tuple);
+
+  /// The instance of `relation`; an empty relation of the schema arity
+  /// if nothing was inserted. Precondition: the relation exists.
+  const Relation& Get(std::string_view relation) const;
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const;
+  bool Empty() const { return TotalTuples() == 0; }
+
+  /// Instance containment D ⊆ D' (same schema assumed).
+  bool IsSubsetOf(const Database& other) const;
+
+  /// Adds every tuple of `other` (schemas must agree on shared names).
+  void UnionWith(const Database& other);
+
+  bool operator==(const Database& other) const;
+  bool operator!=(const Database& other) const { return !(*this == other); }
+
+  /// All constants occurring in some tuple of this instance.
+  void CollectConstants(std::set<Value>* out) const;
+
+  /// Multi-line rendering of all non-empty relations.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  /// Lazily populated; absent entries denote empty instances.
+  std::map<std::string, Relation, std::less<>> relations_;
+  /// Scratch empty relations returned by Get() for untouched names.
+  mutable std::map<std::string, Relation, std::less<>> empty_cache_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_DATABASE_H_

@@ -1,0 +1,41 @@
+#include "relational/domain.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+std::shared_ptr<const Domain> Domain::Infinite() {
+  static const std::shared_ptr<const Domain>& kInfinite =
+      *new std::shared_ptr<const Domain>(
+          new Domain("d", std::nullopt));
+  return kInfinite;
+}
+
+std::shared_ptr<const Domain> Domain::Boolean() {
+  static const std::shared_ptr<const Domain>& kBoolean =
+      *new std::shared_ptr<const Domain>(new Domain(
+          "bool", std::vector<Value>{Value::Int(0), Value::Int(1)}));
+  return kBoolean;
+}
+
+std::shared_ptr<const Domain> Domain::FiniteInts(const std::string& name,
+                                                 int64_t n) {
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) values.push_back(Value::Int(i));
+  return std::shared_ptr<const Domain>(new Domain(name, std::move(values)));
+}
+
+std::shared_ptr<const Domain> Domain::Enumerated(const std::string& name,
+                                                 std::vector<Value> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return std::shared_ptr<const Domain>(new Domain(name, std::move(values)));
+}
+
+bool Domain::Contains(const Value& v) const {
+  if (is_infinite()) return true;
+  return std::binary_search(finite_values_->begin(), finite_values_->end(), v);
+}
+
+}  // namespace relcomp

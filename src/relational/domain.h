@@ -1,0 +1,58 @@
+#ifndef RELCOMP_RELATIONAL_DOMAIN_H_
+#define RELCOMP_RELATIONAL_DOMAIN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace relcomp {
+
+/// An attribute domain. The paper distinguishes a countably infinite
+/// domain `d` from finite domains `d_f` (with at least two elements);
+/// this distinction drives the completeness characterizations: a
+/// variable ranging over a finite domain is trivially bounded, whereas
+/// an infinite-domain variable must be bounded by master data via the
+/// containment constraints.
+class Domain {
+ public:
+  /// The shared countably-infinite domain `d`.
+  static std::shared_ptr<const Domain> Infinite();
+
+  /// The Boolean domain {0, 1}, the most common finite domain in the
+  /// paper's reductions.
+  static std::shared_ptr<const Domain> Boolean();
+
+  /// A finite domain with integer elements {0, ..., n-1}. n >= 1.
+  static std::shared_ptr<const Domain> FiniteInts(const std::string& name,
+                                                  int64_t n);
+
+  /// A finite domain with the given (deduplicated, sorted) elements.
+  static std::shared_ptr<const Domain> Enumerated(const std::string& name,
+                                                  std::vector<Value> values);
+
+  const std::string& name() const { return name_; }
+
+  /// True for the infinite domain `d`.
+  bool is_infinite() const { return !finite_values_.has_value(); }
+  bool is_finite() const { return finite_values_.has_value(); }
+
+  /// Precondition: is_finite(). Sorted, deduplicated.
+  const std::vector<Value>& finite_values() const { return *finite_values_; }
+
+  /// True iff `v` is a member of this domain (always true if infinite).
+  bool Contains(const Value& v) const;
+
+ private:
+  Domain(std::string name, std::optional<std::vector<Value>> values)
+      : name_(std::move(name)), finite_values_(std::move(values)) {}
+
+  std::string name_;
+  std::optional<std::vector<Value>> finite_values_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_DOMAIN_H_

@@ -1,0 +1,29 @@
+#include "relational/relation.h"
+
+namespace relcomp {
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+void Relation::UnionWith(const Relation& other) {
+  for (const Tuple& t : other.tuples_) tuples_.insert(t);
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& t : tuples_) {
+    if (!first) out += ", ";
+    first = false;
+    out += t.ToString();
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,62 @@
+#ifndef RELCOMP_RELATIONAL_RELATION_H_
+#define RELCOMP_RELATIONAL_RELATION_H_
+
+#include <set>
+#include <string>
+
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A finite set of tuples of a fixed arity (set semantics, as in the
+/// paper). Backed by an ordered set so iteration is deterministic; all
+/// deciders rely on deterministic enumeration for reproducible
+/// counterexamples.
+class Relation {
+ public:
+  /// Creates an empty relation of the given arity.
+  explicit Relation(size_t arity = 0) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple; returns true if it was newly added. The tuple's
+  /// arity must match (checked; mismatches are dropped with false --
+  /// use Database::Insert for a checked Status API).
+  bool Insert(Tuple t) {
+    if (t.arity() != arity_) return false;
+    return tuples_.insert(std::move(t)).second;
+  }
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  bool Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+
+  /// Subset test: every tuple of *this is in `other`.
+  bool IsSubsetOf(const Relation& other) const;
+
+  /// Adds every tuple of `other` (arity must match; mismatched tuples
+  /// are impossible if both relations were built through checked APIs).
+  void UnionWith(const Relation& other);
+
+  bool operator==(const Relation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  using const_iterator = std::set<Tuple>::const_iterator;
+  const_iterator begin() const { return tuples_.begin(); }
+  const_iterator end() const { return tuples_.end(); }
+
+  /// "{(1, 2), (3, 4)}".
+  std::string ToString() const;
+
+ private:
+  size_t arity_;
+  std::set<Tuple> tuples_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_RELATION_H_

@@ -1,0 +1,69 @@
+#include "relational/schema.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+
+int RelationSchema::AttributeIndex(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_;
+  out.push_back('(');
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += attributes_[i].domain->name();
+  }
+  out.push_back(')');
+  return out;
+}
+
+Status Schema::AddRelation(RelationSchema relation) {
+  if (relation.name().empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  const std::string name = relation.name();
+  if (relations_.count(name) > 0) {
+    return Status::InvalidArgument(
+        StrCat("duplicate relation schema: ", name));
+  }
+  relations_.emplace(name, std::move(relation));
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Status Schema::AddRelation(const std::string& name, size_t arity) {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs.push_back(AttributeDef::Inf(StrCat("a", i)));
+  }
+  return AddRelation(RelationSchema(name, std::move(attrs)));
+}
+
+bool Schema::HasRelation(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+const RelationSchema* Schema::FindRelation(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    out += FindRelation(name)->ToString();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace relcomp

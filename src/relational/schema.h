@@ -1,0 +1,85 @@
+#ifndef RELCOMP_RELATIONAL_SCHEMA_H_
+#define RELCOMP_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/domain.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// One attribute of a relation schema: a name plus its domain.
+struct AttributeDef {
+  std::string name;
+  std::shared_ptr<const Domain> domain;
+
+  /// Infinite-domain attribute.
+  static AttributeDef Inf(std::string name) {
+    return AttributeDef{std::move(name), Domain::Infinite()};
+  }
+  /// Attribute over an explicit domain.
+  static AttributeDef Over(std::string name,
+                           std::shared_ptr<const Domain> domain) {
+    return AttributeDef{std::move(name), std::move(domain)};
+  }
+};
+
+/// Schema of a single relation: a name and an ordered attribute list.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute named `name`, or -1 if absent.
+  int AttributeIndex(std::string_view name) const;
+
+  /// "R(a: d, b: bool)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+/// A catalog of relation schemas (the paper's R = (R1, ..., Rn)).
+/// Immutable once built; shared by Database instances via shared_ptr.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation schema. Fails on duplicate names.
+  Status AddRelation(RelationSchema relation);
+
+  /// Convenience: adds a relation whose attributes all range over the
+  /// infinite domain. Attribute names are a0..a{arity-1}.
+  Status AddRelation(const std::string& name, size_t arity);
+
+  bool HasRelation(std::string_view name) const;
+
+  /// nullptr if absent.
+  const RelationSchema* FindRelation(std::string_view name) const;
+
+  /// Names in insertion order.
+  const std::vector<std::string>& relation_names() const { return order_; }
+  size_t size() const { return order_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationSchema, std::less<>> relations_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_SCHEMA_H_

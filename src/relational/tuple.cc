@@ -1,0 +1,19 @@
+#include "relational/tuple.h"
+
+namespace relcomp {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace relcomp

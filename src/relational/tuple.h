@@ -1,0 +1,62 @@
+#ifndef RELCOMP_RELATIONAL_TUPLE_H_
+#define RELCOMP_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace relcomp {
+
+/// An ordered list of values; one row of a relation (or a query answer).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  /// Convenience constructors for test/example code.
+  static Tuple Ints(std::initializer_list<int64_t> ints) {
+    std::vector<Value> vs;
+    vs.reserve(ints.size());
+    for (int64_t i : ints) vs.push_back(Value::Int(i));
+    return Tuple(std::move(vs));
+  }
+
+  size_t arity() const { return values_.size(); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// "(1, "abc", 3)".
+  std::string ToString() const;
+
+  size_t Hash() const {
+    size_t h = 0x811c9dc5;
+    for (const Value& v : values_) h = h * 1099511628211ULL + v.Hash();
+    return h;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_TUPLE_H_

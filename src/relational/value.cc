@@ -1,0 +1,21 @@
+#include "relational/value.h"
+
+#include <sstream>
+
+namespace relcomp {
+
+std::string Value::ToString() const {
+  if (kind_ == Kind::kInt) return std::to_string(int_);
+  std::string out;
+  out.reserve(str_.size() + 2);
+  out.push_back('"');
+  out += str_;
+  out.push_back('"');
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace relcomp

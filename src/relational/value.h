@@ -1,0 +1,90 @@
+#ifndef RELCOMP_RELATIONAL_VALUE_H_
+#define RELCOMP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace relcomp {
+
+/// A single constant in a database: either a 64-bit integer or a string.
+///
+/// The paper works over abstract domains (a countably infinite domain `d`
+/// and a finite domain `d_f`). We realize constants as integers and
+/// strings; both kinds live in one ordered value space so relations can
+/// mix them. "Fresh" values (the paper's `New` set, one per query
+/// variable) are minted by ActiveDomain outside the constants occurring
+/// in D, Dm, Q and V.
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kString = 1 };
+
+  /// Default-constructs the integer 0.
+  Value() : kind_(Kind::kInt), int_(0) {}
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+
+  static Value Str(std::string_view v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.str_ = std::string(v);
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Precondition: is_int().
+  int64_t AsInt() const { return int_; }
+  /// Precondition: is_string().
+  const std::string& AsString() const { return str_; }
+
+  /// Total order: all ints before all strings; then natural order.
+  bool operator<(const Value& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    if (kind_ == Kind::kInt) return int_ < other.int_;
+    return str_ < other.str_;
+  }
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == Kind::kInt) return int_ == other.int_;
+    return str_ == other.str_;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// Renders ints as decimal and strings with surrounding quotes.
+  std::string ToString() const;
+
+  size_t Hash() const {
+    if (kind_ == Kind::kInt) {
+      return std::hash<int64_t>()(int_) * 0x9e3779b97f4a7c15ULL;
+    }
+    return std::hash<std::string>()(str_) ^ 0x5851f42d4c957f2dULL;
+  }
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  std::string str_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_VALUE_H_

@@ -1,0 +1,48 @@
+#ifndef RELCOMP_RELCOMP_H_
+#define RELCOMP_RELCOMP_H_
+
+/// Umbrella header for the relcomp library: the public API for
+/// relative information completeness (Fan & Geerts, PODS 2009 /
+/// TODS 2010). Include the individual headers instead when compile
+/// time matters.
+
+// Relational substrate.
+#include "relational/database.h"
+#include "relational/domain.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+// Query languages, parsing, evaluation.
+#include "eval/query_eval.h"
+#include "query/any_query.h"
+#include "query/parser.h"
+#include "query/positive_query.h"
+
+// Tableau machinery and containment.
+#include "tableau/containment.h"
+#include "tableau/minimize.h"
+#include "tableau/single_relation.h"
+#include "tableau/tableau.h"
+
+// Containment constraints and integrity-constraint compilation.
+#include "constraints/constraint_check.h"
+#include "constraints/containment_constraint.h"
+#include "constraints/integrity_constraints.h"
+
+// The core: relative-completeness deciders and characterizations.
+#include "completeness/brute_force.h"
+#include "completeness/characterizations.h"
+#include "completeness/rcdp.h"
+#include "completeness/rcqp.h"
+
+// Extensions.
+#include "incomplete/vtable.h"
+#include "spec/spec_parser.h"
+
+// Scenario builders.
+#include "workload/crm_scenario.h"
+#include "workload/generators.h"
+
+#endif  // RELCOMP_RELCOMP_H_

@@ -1,0 +1,63 @@
+#ifndef RELCOMP_SPEC_SPEC_PARSER_H_
+#define RELCOMP_SPEC_SPEC_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "constraints/containment_constraint.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A fully parsed completeness-checking problem: the textual front end
+/// for the relcheck tool and for users who prefer files over the C++
+/// builder APIs.
+///
+/// Spec syntax — one statement per line; `%` or `#` starts a comment:
+///
+///   relation Cust(cid, name, cc, ac, phn)
+///   relation Flag(f: bool, note)              % finite-domain column
+///   relation Slot(s: int(4), v)               % finite domain {0..3}
+///   master relation DCust(cid, name, ac, phn)
+///
+///   fact Cust("c0", "n0", "01", "908", "p0")
+///   master fact DCust("c0", "n0", "908", "p0")
+///
+///   constraint q0(c) :- Cust(c, n, cc, a, p), cc = "01" |= DCust[0]
+///   constraint amo() :- Supt(e, d1, c1), Supt(e, d2, c2), c1 != c2 |= empty
+///
+///   query cq   Q1(c) :- Cust(c, n, cc, a, p), a = "908"
+///   query ucq  Q2(c) :- Supt(e, d, c), e = "e0". Q2(c) :- Supt(e, d, c), e = "e1"
+///   query fo   Qf(x) := exists y. (R(x, y) & !S(y))
+///   query fp   Above(x) :- Manage(x, y), y = "e0". Above(x) :- Manage(x, y), Above(y)
+///
+/// Multiple `query` lines are allowed; each is checked in order.
+struct CompletenessSpec {
+  std::shared_ptr<Schema> db_schema;
+  std::shared_ptr<Schema> master_schema;
+  Database db;
+  Database master;
+  ConstraintSet constraints;
+  std::vector<AnyQuery> queries;
+
+  CompletenessSpec()
+      : db_schema(std::make_shared<Schema>()),
+        master_schema(std::make_shared<Schema>()),
+        db(db_schema),
+        master(master_schema) {}
+};
+
+/// Parses a spec from text. Errors carry 1-based line numbers.
+Result<CompletenessSpec> ParseCompletenessSpec(std::string_view text);
+
+/// Reads and parses a spec file.
+Result<CompletenessSpec> LoadCompletenessSpec(const std::string& path);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_SPEC_SPEC_PARSER_H_

@@ -1,0 +1,168 @@
+#include "tableau/containment.h"
+
+#include <functional>
+
+#include "eval/conjunctive_eval.h"
+#include "tableau/homomorphism.h"
+#include "tableau/tableau.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// True iff any disjunct of `u` has an inequality atom.
+bool HasDisequalities(const UnionQuery& u) {
+  for (const ConjunctiveQuery& q : u.disjuncts()) {
+    for (const Atom& a : q.body()) {
+      if (a.is_comparison() && a.op() == CmpOp::kNe) return true;
+    }
+  }
+  return false;
+}
+
+/// Evaluates whether `summary` is in u(db).
+Result<bool> SummaryInUnion(const Tuple& summary, const UnionQuery& u,
+                            const Database& db) {
+  for (const ConjunctiveQuery& q : u.disjuncts()) {
+    RELCOMP_ASSIGN_OR_RETURN(Relation answers, EvalConjunctive(q, db));
+    if (answers.Contains(summary)) return true;
+  }
+  return false;
+}
+
+/// The fast Chandra-Merlin path: freeze q1's tableau into its canonical
+/// instance and test the frozen summary. Exact when `u` is free of
+/// inequalities and q1 has no finite-domain variables.
+Result<bool> ContainedByFreezing(const TableauQuery& t1, const UnionQuery& u,
+                                 const Schema& schema) {
+  Database canonical(std::shared_ptr<const Schema>(&schema,
+                                                   [](const Schema*) {}));
+  Bindings frozen;
+  RELCOMP_RETURN_NOT_OK(FreezeTableau(t1, &canonical, &frozen));
+  RELCOMP_ASSIGN_OR_RETURN(Tuple summary, t1.SummaryTuple(frozen));
+  return SummaryInUnion(summary, u, canonical);
+}
+
+/// The exact path: enumerate valuations of q1's variables over the
+/// constants of both queries plus one fresh value per variable (the
+/// small-model identification patterns), and require the instantiated
+/// summary to be answered by `u` on every q1-valid instantiation.
+Result<bool> ContainedByEnumeration(const TableauQuery& t1,
+                                    const UnionQuery& u, const Schema& schema,
+                                    const ContainmentOptions& options) {
+  const std::vector<std::string>& vars = t1.variables();
+  if (vars.size() > options.max_partition_variables) {
+    return Status::ResourceExhausted(
+        StrCat("containment check over ", vars.size(),
+               " variables exceeds the configured bound of ",
+               options.max_partition_variables));
+  }
+  std::set<Value> adom_set = t1.Constants();
+  std::set<Value> u_consts = u.Constants();
+  adom_set.insert(u_consts.begin(), u_consts.end());
+
+  // Per-variable candidate values. Every infinite-domain variable may
+  // take any constant of either query or any of the fresh values; the
+  // fresh values are shared across variables so identification patterns
+  // (two variables mapped to the same non-constant) are covered.
+  std::vector<Value> fresh;
+  fresh.reserve(vars.size());
+  for (const std::string& v : vars) fresh.push_back(Value::Str(StrCat("_cm$", v)));
+  std::vector<std::vector<Value>> candidates(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    std::shared_ptr<const Domain> dom = t1.VariableDomain(vars[i]);
+    if (dom->is_finite()) {
+      candidates[i] = dom->finite_values();
+    } else {
+      candidates[i].assign(adom_set.begin(), adom_set.end());
+      candidates[i].insert(candidates[i].end(), fresh.begin(), fresh.end());
+    }
+  }
+
+  Bindings valuation;
+  bool contained = true;
+  std::function<Result<bool>(size_t)> recurse =
+      [&](size_t i) -> Result<bool> {
+    if (!contained) return true;
+    if (i == vars.size()) {
+      if (!t1.IsValidValuation(valuation)) return true;  // not a q1 match
+      Database db(std::shared_ptr<const Schema>(&schema,
+                                                [](const Schema*) {}));
+      RELCOMP_RETURN_NOT_OK(t1.InstantiateInto(valuation, &db));
+      RELCOMP_ASSIGN_OR_RETURN(Tuple summary, t1.SummaryTuple(valuation));
+      RELCOMP_ASSIGN_OR_RETURN(bool in_u, SummaryInUnion(summary, u, db));
+      if (!in_u) contained = false;
+      return true;
+    }
+    for (const Value& v : candidates[i]) {
+      valuation.Set(vars[i], v);
+      RELCOMP_ASSIGN_OR_RETURN(bool ignored, recurse(i + 1));
+      (void)ignored;
+      if (!contained) break;
+    }
+    valuation.Unset(vars[i]);
+    return true;
+  };
+  RELCOMP_ASSIGN_OR_RETURN(bool ignored, recurse(0));
+  (void)ignored;
+  return contained;
+}
+
+Result<bool> ContainedInUnionImpl(const ConjunctiveQuery& q1,
+                                  const UnionQuery& u, const Schema& schema,
+                                  const ContainmentOptions& options) {
+  if (q1.arity() != u.arity()) {
+    return Status::InvalidArgument(
+        StrCat("containment between different arities: ", q1.arity(), " vs ",
+               u.arity()));
+  }
+  RELCOMP_ASSIGN_OR_RETURN(TableauQuery t1,
+                           TableauQuery::FromConjunctive(q1, schema));
+  if (!t1.satisfiable()) return true;  // ∅ ⊆ anything
+  bool has_finite_vars = false;
+  for (const std::string& v : t1.variables()) {
+    if (t1.VariableDomain(v)->is_finite()) {
+      has_finite_vars = true;
+      break;
+    }
+  }
+  if (!HasDisequalities(u) && !has_finite_vars) {
+    return ContainedByFreezing(t1, u, schema);
+  }
+  return ContainedByEnumeration(t1, u, schema, options);
+}
+
+}  // namespace
+
+Result<bool> CqContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2, const Schema& schema,
+                         const ContainmentOptions& options) {
+  return ContainedInUnionImpl(q1, UnionQuery(q2), schema, options);
+}
+
+Result<bool> CqContainedInUnion(const ConjunctiveQuery& q,
+                                const UnionQuery& u, const Schema& schema,
+                                const ContainmentOptions& options) {
+  return ContainedInUnionImpl(q, u, schema, options);
+}
+
+Result<bool> UnionContained(const UnionQuery& u1, const UnionQuery& u2,
+                            const Schema& schema,
+                            const ContainmentOptions& options) {
+  for (const ConjunctiveQuery& q : u1.disjuncts()) {
+    RELCOMP_ASSIGN_OR_RETURN(bool sub,
+                             ContainedInUnionImpl(q, u2, schema, options));
+    if (!sub) return false;
+  }
+  return true;
+}
+
+Result<bool> CqEquivalent(const ConjunctiveQuery& q1,
+                          const ConjunctiveQuery& q2, const Schema& schema,
+                          const ContainmentOptions& options) {
+  RELCOMP_ASSIGN_OR_RETURN(bool forward, CqContained(q1, q2, schema, options));
+  if (!forward) return false;
+  return CqContained(q2, q1, schema, options);
+}
+
+}  // namespace relcomp

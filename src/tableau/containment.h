@@ -1,0 +1,46 @@
+#ifndef RELCOMP_TABLEAU_CONTAINMENT_H_
+#define RELCOMP_TABLEAU_CONTAINMENT_H_
+
+#include "query/conjunctive_query.h"
+#include "query/union_query.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Options for the containment checker.
+struct ContainmentOptions {
+  /// Exact containment in the presence of inequality atoms requires
+  /// checking every identification pattern (set partition) of the
+  /// contained query's variables; the number of partitions is the Bell
+  /// number, so we cap the variable count.
+  size_t max_partition_variables = 12;
+};
+
+/// Decides Q1 ⊆ Q2 over all database instances (Chandra-Merlin, NP).
+/// Variables are treated as ranging over the infinite domain.
+/// With `!=` atoms present the checker enumerates identification
+/// patterns of Q1's variables (exact, but exponential; bounded by
+/// options.max_partition_variables).
+Result<bool> CqContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2, const Schema& schema,
+                         const ContainmentOptions& options = {});
+
+/// Decides containment of a CQ in a UCQ: Q ⊆ Q1 ∪ ... ∪ Qk.
+Result<bool> CqContainedInUnion(const ConjunctiveQuery& q,
+                                const UnionQuery& u, const Schema& schema,
+                                const ContainmentOptions& options = {});
+
+/// Decides UCQ containment disjunct-wise.
+Result<bool> UnionContained(const UnionQuery& u1, const UnionQuery& u2,
+                            const Schema& schema,
+                            const ContainmentOptions& options = {});
+
+/// Decides CQ equivalence (mutual containment).
+Result<bool> CqEquivalent(const ConjunctiveQuery& q1,
+                          const ConjunctiveQuery& q2, const Schema& schema,
+                          const ContainmentOptions& options = {});
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_TABLEAU_CONTAINMENT_H_

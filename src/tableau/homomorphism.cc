@@ -1,0 +1,40 @@
+#include "tableau/homomorphism.h"
+
+#include "eval/conjunctive_eval.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+Status ForEachHomomorphism(const TableauQuery& tableau, const Database& db,
+                           const std::function<bool(const Bindings&)>& fn) {
+  if (!tableau.satisfiable()) return Status::OK();
+  // The matcher on the reconstructed CQ enumerates exactly the
+  // homomorphisms: rows are matched against db and disequalities are
+  // the CQ's != atoms.
+  ConjunctiveQuery q = tableau.ToConjunctive("hom");
+  return ForEachMatch(q, db, ConjunctiveEvalOptions(), fn);
+}
+
+Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
+                                                 const Database& db) {
+  std::optional<Bindings> found;
+  RELCOMP_RETURN_NOT_OK(
+      ForEachHomomorphism(tableau, db, [&](const Bindings& b) {
+        found = b;
+        return false;  // stop at the first homomorphism
+      }));
+  return found;
+}
+
+Status FreezeTableau(const TableauQuery& tableau, Database* out,
+                     Bindings* frozen) {
+  // Canonical-instance freezing treats every variable as ranging over
+  // the infinite domain (the classical Chandra-Merlin setting); each
+  // variable becomes a distinct fresh string constant.
+  for (const std::string& v : tableau.variables()) {
+    frozen->Set(v, Value::Str(StrCat("_frz$", v)));
+  }
+  return tableau.InstantiateInto(*frozen, out);
+}
+
+}  // namespace relcomp

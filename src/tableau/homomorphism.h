@@ -1,0 +1,34 @@
+#ifndef RELCOMP_TABLEAU_HOMOMORPHISM_H_
+#define RELCOMP_TABLEAU_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+
+#include "eval/bindings.h"
+#include "relational/database.h"
+#include "tableau/tableau.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Searches for a homomorphism from the tableau into the instance: a
+/// valuation of the tableau's variables such that every row maps to a
+/// tuple of `db` and every disequality holds. Returns nullopt if none
+/// exists (or the tableau is unsatisfiable).
+Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
+                                                 const Database& db);
+
+/// Enumerates all homomorphisms; the callback returns false to stop.
+Status ForEachHomomorphism(const TableauQuery& tableau, const Database& db,
+                           const std::function<bool(const Bindings&)>& fn);
+
+/// Freezes the tableau into its canonical instance: each variable is
+/// replaced by a distinct fresh constant (reported in *frozen), and the
+/// rows become tuples of `*out`. Requires *out's schema to cover the
+/// tableau's relations.
+Status FreezeTableau(const TableauQuery& tableau, Database* out,
+                     Bindings* frozen);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_TABLEAU_HOMOMORPHISM_H_

@@ -1,0 +1,75 @@
+#include "tableau/minimize.h"
+
+#include <set>
+
+#include "tableau/containment.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// True iff dropping body atom `index` keeps the query safe: every
+/// head/comparison variable still occurs in some remaining relation
+/// atom.
+bool DropKeepsSafety(const ConjunctiveQuery& q, size_t index) {
+  std::set<std::string> remaining_vars;
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    if (i == index || !q.body()[i].is_relation()) continue;
+    q.body()[i].CollectVariables(&remaining_vars);
+  }
+  std::set<std::string> needed;
+  for (const Term& t : q.head()) {
+    if (t.is_variable()) needed.insert(t.var());
+  }
+  for (const Atom& a : q.body()) {
+    if (a.is_comparison()) a.CollectVariables(&needed);
+  }
+  for (const std::string& v : needed) {
+    if (remaining_vars.count(v) == 0) return false;
+  }
+  return true;
+}
+
+ConjunctiveQuery WithoutAtom(const ConjunctiveQuery& q, size_t index) {
+  std::vector<Atom> body;
+  body.reserve(q.body().size() - 1);
+  for (size_t i = 0; i < q.body().size(); ++i) {
+    if (i != index) body.push_back(q.body()[i]);
+  }
+  return ConjunctiveQuery(q.name(), q.head(), std::move(body));
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q,
+                                    const Schema& schema,
+                                    const MinimizeOptions& options) {
+  RELCOMP_RETURN_NOT_OK(q.Validate(schema));
+  ContainmentOptions containment;
+  containment.max_partition_variables = options.max_partition_variables;
+
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.body().size(); ++i) {
+      if (!current.body()[i].is_relation()) continue;
+      if (current.RelationAtoms().size() <= 1) break;
+      if (!DropKeepsSafety(current, i)) continue;
+      ConjunctiveQuery candidate = WithoutAtom(current, i);
+      // Dropping an atom can only widen the query (candidate ⊇ current
+      // by monotonicity); equivalence needs candidate ⊆ current.
+      RELCOMP_ASSIGN_OR_RETURN(
+          bool contained,
+          CqContained(candidate, current, schema, containment));
+      if (contained) {
+        current = std::move(candidate);
+        changed = true;
+        break;  // restart the scan over the shrunken body
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace relcomp

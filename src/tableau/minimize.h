@@ -1,0 +1,33 @@
+#ifndef RELCOMP_TABLEAU_MINIMIZE_H_
+#define RELCOMP_TABLEAU_MINIMIZE_H_
+
+#include "query/conjunctive_query.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Options for CQ minimization.
+struct MinimizeOptions {
+  /// Each redundancy check is a containment test; inequalities force
+  /// the identification-pattern path, bounded by this variable cap
+  /// (see ContainmentOptions).
+  size_t max_partition_variables = 12;
+};
+
+/// Computes an equivalent minimal conjunctive query (the core of the
+/// tableau): greedily drops relation atoms whose removal preserves
+/// equivalence. By the Chandra–Merlin theorem the result is unique up
+/// to isomorphism for inequality-free queries; with inequalities the
+/// procedure still returns an equivalent query with no removable atom.
+///
+/// Minimization matters here because the RCDP/RCQP search spaces are
+/// exponential in the number of tableau variables: minimizing Q first
+/// shrinks |T_Q| and with it the paper's Adom ∪ New machinery.
+Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q,
+                                    const Schema& schema,
+                                    const MinimizeOptions& options = {});
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_TABLEAU_MINIMIZE_H_

@@ -1,0 +1,91 @@
+#include "tableau/single_relation.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+Result<SingleRelationEncoding> SingleRelationEncoding::Create(
+    std::shared_ptr<const Schema> source, const std::string& wide_name) {
+  if (source->HasRelation(wide_name)) {
+    return Status::InvalidArgument(
+        StrCat("wide relation name collides with source relation: ",
+               wide_name));
+  }
+  SingleRelationEncoding enc;
+  enc.source_ = std::move(source);
+  enc.wide_name_ = wide_name;
+  for (const std::string& name : enc.source_->relation_names()) {
+    enc.payload_arity_ =
+        std::max(enc.payload_arity_, enc.source_->FindRelation(name)->arity());
+  }
+  auto wide = std::make_shared<Schema>();
+  std::vector<AttributeDef> attrs;
+  attrs.push_back(AttributeDef::Inf("rel_tag"));
+  for (size_t i = 0; i < enc.payload_arity_; ++i) {
+    attrs.push_back(AttributeDef::Inf(StrCat("c", i)));
+  }
+  RELCOMP_RETURN_NOT_OK(
+      wide->AddRelation(RelationSchema(wide_name, std::move(attrs))));
+  enc.wide_schema_ = std::move(wide);
+  return enc;
+}
+
+Result<Database> SingleRelationEncoding::TransformDatabase(
+    const Database& db) const {
+  Database out(wide_schema_);
+  for (const std::string& name : source_->relation_names()) {
+    for (const Tuple& t : db.Get(name)) {
+      Tuple wide;
+      wide.Append(Value::Str(name));
+      for (const Value& v : t.values()) wide.Append(v);
+      for (size_t i = t.arity(); i < payload_arity_; ++i) {
+        wide.Append(PadValue());
+      }
+      out.InsertUnchecked(wide_name_, std::move(wide));
+    }
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> SingleRelationEncoding::TransformQuery(
+    const ConjunctiveQuery& q) const {
+  std::vector<Atom> body;
+  int pad_var = 0;
+  for (const Atom& a : q.body()) {
+    if (a.is_comparison()) {
+      body.push_back(a);
+      continue;
+    }
+    const RelationSchema* rs = source_->FindRelation(a.relation());
+    if (rs == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("unknown relation in query: ", a.relation()));
+    }
+    std::vector<Term> args;
+    args.push_back(Term::ConstStr(a.relation()));
+    for (const Term& t : a.args()) args.push_back(t);
+    for (size_t i = a.args().size(); i < payload_arity_; ++i) {
+      // Padding positions are matched with throwaway variables rather
+      // than the pad constant so the transform also accepts databases
+      // padded differently; f_D always pads with PadValue().
+      args.push_back(Term::Var(StrCat("_pad$", pad_var++)));
+    }
+    body.push_back(Atom::Relation(wide_name_, std::move(args)));
+  }
+  return ConjunctiveQuery(q.name(), q.head(), std::move(body));
+}
+
+Result<UnionQuery> SingleRelationEncoding::TransformQuery(
+    const UnionQuery& q) const {
+  UnionQuery out;
+  out.set_name(q.name());
+  for (const ConjunctiveQuery& cq : q.disjuncts()) {
+    RELCOMP_ASSIGN_OR_RETURN(ConjunctiveQuery tq, TransformQuery(cq));
+    out.AddDisjunct(std::move(tq));
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,59 @@
+#ifndef RELCOMP_TABLEAU_SINGLE_RELATION_H_
+#define RELCOMP_TABLEAU_SINGLE_RELATION_H_
+
+#include <memory>
+#include <string>
+
+#include "query/conjunctive_query.h"
+#include "query/union_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Lemma 3.2 of the paper: every multi-relation schema R = (R1,...,Rn)
+/// can be packed into a single wide relation R such that a linear-time
+/// database transform f_D and query transform f_Q satisfy
+/// Q(D) = f_Q(Q)(f_D(D)) for every CQ Q and instance D.
+///
+/// Our packing: the wide relation `wide_name` has one column per
+/// attribute of the widest source relation, padded with a reserved
+/// constant, plus a leading tag column holding the source relation's
+/// name. Each atom Rj(x...) becomes Wide("Rj", x..., pad...).
+class SingleRelationEncoding {
+ public:
+  /// Builds the encoding for `source`. `wide_name` must not collide
+  /// with an existing relation.
+  static Result<SingleRelationEncoding> Create(
+      std::shared_ptr<const Schema> source,
+      const std::string& wide_name = "WideR");
+
+  /// The one-relation target schema.
+  const std::shared_ptr<const Schema>& wide_schema() const {
+    return wide_schema_;
+  }
+
+  /// f_D: packs an instance of the source schema.
+  Result<Database> TransformDatabase(const Database& db) const;
+
+  /// f_Q: rewrites a CQ over the source schema.
+  Result<ConjunctiveQuery> TransformQuery(const ConjunctiveQuery& q) const;
+
+  /// f_Q lifted to UCQ.
+  Result<UnionQuery> TransformQuery(const UnionQuery& q) const;
+
+  /// The reserved padding constant.
+  static Value PadValue() { return Value::Str("_pad"); }
+
+ private:
+  SingleRelationEncoding() = default;
+
+  std::shared_ptr<const Schema> source_;
+  std::shared_ptr<const Schema> wide_schema_;
+  std::string wide_name_;
+  size_t payload_arity_ = 0;  // widest source arity
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_TABLEAU_SINGLE_RELATION_H_

@@ -1,0 +1,295 @@
+#include "tableau/tableau.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+std::string TableauRow::ToString() const {
+  std::string out = relation;
+  out.push_back('(');
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  out.push_back(')');
+  return out;
+}
+
+namespace {
+
+/// Union-find over variable names with an optional constant per class.
+class EqClasses {
+ public:
+  std::string Find(const std::string& var) {
+    auto it = parent_.find(var);
+    if (it == parent_.end()) {
+      parent_[var] = var;
+      return var;
+    }
+    if (it->second == var) return var;
+    std::string root = Find(it->second);
+    parent_[var] = root;
+    return root;
+  }
+
+  /// Merges the classes of a and b. Returns false on constant conflict.
+  bool Union(const std::string& a, const std::string& b) {
+    std::string ra = Find(a);
+    std::string rb = Find(b);
+    if (ra == rb) return true;
+    auto ca = constant_.find(ra);
+    auto cb = constant_.find(rb);
+    if (ca != constant_.end() && cb != constant_.end() &&
+        ca->second != cb->second) {
+      return false;
+    }
+    parent_[rb] = ra;
+    if (cb != constant_.end()) {
+      constant_[ra] = cb->second;
+      constant_.erase(rb);
+    }
+    return true;
+  }
+
+  /// Binds the class of `var` to `value`. False on conflict.
+  bool Assign(const std::string& var, const Value& value) {
+    std::string root = Find(var);
+    auto it = constant_.find(root);
+    if (it != constant_.end()) return it->second == value;
+    constant_[root] = value;
+    return true;
+  }
+
+  /// The normalized term for `var`: its class constant if any, else the
+  /// class representative variable.
+  Term Normalize(const std::string& var) {
+    std::string root = Find(var);
+    auto it = constant_.find(root);
+    if (it != constant_.end()) return Term::Const(it->second);
+    return Term::Var(root);
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+  std::map<std::string, Value> constant_;
+};
+
+}  // namespace
+
+Result<TableauQuery> TableauQuery::FromConjunctive(const ConjunctiveQuery& q,
+                                                   const Schema& schema) {
+  TableauQuery out;
+  EqClasses eq;
+  // Pass 1: process equalities.
+  for (const Atom& a : q.body()) {
+    if (!a.is_comparison() || a.op() != CmpOp::kEq) continue;
+    const Term& l = a.lhs();
+    const Term& r = a.rhs();
+    bool ok = true;
+    if (l.is_variable() && r.is_variable()) {
+      ok = eq.Union(l.var(), r.var());
+    } else if (l.is_variable()) {
+      ok = eq.Assign(l.var(), r.value());
+    } else if (r.is_variable()) {
+      ok = eq.Assign(r.var(), l.value());
+    } else {
+      ok = l.value() == r.value();
+    }
+    if (!ok) {
+      out.satisfiable_ = false;
+    }
+  }
+  auto normalize = [&eq](const Term& t) {
+    return t.is_variable() ? eq.Normalize(t.var()) : t;
+  };
+  // Pass 2: rewrite relation atoms into rows.
+  for (const Atom& a : q.body()) {
+    if (!a.is_relation()) continue;
+    const RelationSchema* rs = schema.FindRelation(a.relation());
+    if (rs == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("unknown relation in query: ", a.relation()));
+    }
+    if (a.args().size() != rs->arity()) {
+      return Status::InvalidArgument(
+          StrCat("arity mismatch in atom ", a.ToString()));
+    }
+    TableauRow row;
+    row.relation = a.relation();
+    row.terms.reserve(a.args().size());
+    for (const Term& t : a.args()) row.terms.push_back(normalize(t));
+    out.rows_.push_back(std::move(row));
+  }
+  // Pass 3: rewrite the summary.
+  out.summary_.reserve(q.head().size());
+  for (const Term& t : q.head()) out.summary_.push_back(normalize(t));
+  // Pass 4: disequalities.
+  for (const Atom& a : q.body()) {
+    if (!a.is_comparison() || a.op() != CmpOp::kNe) continue;
+    Term l = normalize(a.lhs());
+    Term r = normalize(a.rhs());
+    if (l == r) {
+      out.satisfiable_ = false;
+      continue;
+    }
+    if (l.is_constant() && r.is_constant()) continue;  // trivially true
+    out.disequalities_.emplace_back(std::move(l), std::move(r));
+  }
+  // Pass 5: collect variables (rows first, then summary) and domains.
+  std::set<std::string> seen;
+  auto add_var = [&](const Term& t) {
+    if (t.is_variable() && seen.insert(t.var()).second) {
+      out.variables_.push_back(t.var());
+    }
+  };
+  for (const TableauRow& row : out.rows_) {
+    const RelationSchema* rs = schema.FindRelation(row.relation);
+    for (size_t i = 0; i < row.terms.size(); ++i) {
+      const Term& t = row.terms[i];
+      add_var(t);
+      if (!t.is_variable()) {
+        // A constant outside a finite column's domain makes the query
+        // unsatisfiable.
+        if (!rs->attribute(i).domain->Contains(t.value())) {
+          out.satisfiable_ = false;
+        }
+        continue;
+      }
+      const std::shared_ptr<const Domain>& col = rs->attribute(i).domain;
+      auto [it, inserted] = out.domains_.emplace(t.var(), col);
+      if (!inserted && col->is_finite()) {
+        if (it->second->is_infinite()) {
+          it->second = col;
+        } else if (it->second != col) {
+          // Variable constrained by two finite columns: intersect.
+          std::vector<Value> inter;
+          std::set_intersection(it->second->finite_values().begin(),
+                                it->second->finite_values().end(),
+                                col->finite_values().begin(),
+                                col->finite_values().end(),
+                                std::back_inserter(inter));
+          if (inter.empty()) out.satisfiable_ = false;
+          it->second = Domain::Enumerated(
+              StrCat(it->second->name(), "&", col->name()), std::move(inter));
+        }
+      }
+    }
+  }
+  for (const Term& t : out.summary_) add_var(t);
+  for (const std::string& v : out.variables_) {
+    out.domains_.emplace(v, Domain::Infinite());
+  }
+  return out;
+}
+
+std::shared_ptr<const Domain> TableauQuery::VariableDomain(
+    const std::string& var) const {
+  auto it = domains_.find(var);
+  return it == domains_.end() ? Domain::Infinite() : it->second;
+}
+
+std::set<Value> TableauQuery::Constants() const {
+  std::set<Value> out;
+  auto add = [&out](const Term& t) {
+    if (t.is_constant()) out.insert(t.value());
+  };
+  for (const TableauRow& row : rows_) {
+    for (const Term& t : row.terms) add(t);
+  }
+  for (const Term& t : summary_) add(t);
+  for (const auto& [l, r] : disequalities_) {
+    add(l);
+    add(r);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, Tuple>>> TableauQuery::Instantiate(
+    const Bindings& valuation) const {
+  std::vector<std::pair<std::string, Tuple>> out;
+  out.reserve(rows_.size());
+  for (const TableauRow& row : rows_) {
+    std::optional<Tuple> t = valuation.Ground(row.terms);
+    if (!t.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("valuation leaves a variable of row ", row.ToString(),
+                 " unbound"));
+    }
+    out.emplace_back(row.relation, std::move(*t));
+  }
+  return out;
+}
+
+Status TableauQuery::InstantiateInto(const Bindings& valuation,
+                                     Database* db) const {
+  RELCOMP_ASSIGN_OR_RETURN(auto tuples, Instantiate(valuation));
+  for (auto& [relation, tuple] : tuples) {
+    db->InsertUnchecked(relation, std::move(tuple));
+  }
+  return Status::OK();
+}
+
+Result<Tuple> TableauQuery::SummaryTuple(const Bindings& valuation) const {
+  std::optional<Tuple> t = valuation.Ground(summary_);
+  if (!t.has_value()) {
+    return Status::InvalidArgument(
+        "valuation leaves a summary variable unbound");
+  }
+  return *t;
+}
+
+bool TableauQuery::IsValidValuation(const Bindings& valuation) const {
+  if (!satisfiable_) return false;
+  for (const std::string& v : variables_) {
+    std::optional<Value> bound = valuation.Get(v);
+    if (!bound.has_value()) return false;
+    if (!VariableDomain(v)->Contains(*bound)) return false;
+  }
+  for (const auto& [l, r] : disequalities_) {
+    std::optional<Value> lv = valuation.Resolve(l);
+    std::optional<Value> rv = valuation.Resolve(r);
+    if (!lv.has_value() || !rv.has_value()) return false;
+    if (*lv == *rv) return false;
+  }
+  return true;
+}
+
+ConjunctiveQuery TableauQuery::ToConjunctive(const std::string& name) const {
+  std::vector<Atom> body;
+  for (const TableauRow& row : rows_) {
+    body.push_back(Atom::Relation(row.relation, row.terms));
+  }
+  for (const auto& [l, r] : disequalities_) {
+    body.push_back(Atom::Ne(l, r));
+  }
+  return ConjunctiveQuery(name, summary_, std::move(body));
+}
+
+std::string TableauQuery::ToString() const {
+  std::string out = "T = {";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rows_[i].ToString();
+  }
+  out += "}, u = (";
+  for (size_t i = 0; i < summary_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += summary_[i].ToString();
+  }
+  out += ")";
+  if (!disequalities_.empty()) {
+    out += ", where ";
+    for (size_t i = 0; i < disequalities_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += disequalities_[i].first.ToString();
+      out += " != ";
+      out += disequalities_[i].second.ToString();
+    }
+  }
+  if (!satisfiable_) out += " [UNSATISFIABLE]";
+  return out;
+}
+
+}  // namespace relcomp

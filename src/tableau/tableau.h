@@ -1,0 +1,103 @@
+#ifndef RELCOMP_TABLEAU_TABLEAU_H_
+#define RELCOMP_TABLEAU_TABLEAU_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/bindings.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// One tuple template of a tableau: a relation name plus terms.
+struct TableauRow {
+  std::string relation;
+  std::vector<Term> terms;
+
+  std::string ToString() const;
+};
+
+/// The paper's tableau representation (T_Q, u_Q) of a CQ (Section 3.2):
+///
+///  * equality atoms are normalized away: variables equated by `=` are
+///    merged into one representative (the eq() classes), and variables
+///    equated with a constant are substituted by it;
+///  * the remaining rows are the relation-atom tuple templates T_Q;
+///  * u_Q is the output summary (head terms after normalization);
+///  * inequality atoms are kept aside as disequality constraints that
+///    valid valuations must observe.
+///
+/// FromConjunctive detects unsatisfiable queries (e.g. x = 1, x = 2 or
+/// x = y, x != y) — for those the paper treats completeness trivially.
+class TableauQuery {
+ public:
+  /// Builds the tableau of `q`, resolving per-variable domains against
+  /// `schema` (adom(y) is finite iff y occurs in a finite-domain
+  /// column). Fails only on malformed queries; an inconsistent equality
+  /// system yields satisfiable() == false, not an error.
+  static Result<TableauQuery> FromConjunctive(const ConjunctiveQuery& q,
+                                              const Schema& schema);
+
+  /// False iff the equality/inequality system of the query is
+  /// inconsistent (the query returns ∅ on every database).
+  bool satisfiable() const { return satisfiable_; }
+
+  const std::vector<TableauRow>& rows() const { return rows_; }
+  /// The output summary u_Q.
+  const std::vector<Term>& summary() const { return summary_; }
+  /// Disequality constraints (t1, t2) meaning t1 != t2, normalized.
+  const std::vector<std::pair<Term, Term>>& disequalities() const {
+    return disequalities_;
+  }
+
+  /// Distinct variables of the tableau, in first-occurrence order
+  /// (rows first, then summary).
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  /// Domain of a variable: the (first) finite domain of a column it
+  /// occurs in, or the infinite domain. Precondition: `var` occurs.
+  std::shared_ptr<const Domain> VariableDomain(const std::string& var) const;
+
+  /// Constants appearing in rows, summary, or disequalities.
+  std::set<Value> Constants() const;
+
+  /// Instantiates the tableau under a (total) valuation: returns the
+  /// ground tuples μ(T_Q) as (relation, tuple) pairs. Fails if a
+  /// variable is unbound.
+  Result<std::vector<std::pair<std::string, Tuple>>> Instantiate(
+      const Bindings& valuation) const;
+
+  /// Inserts μ(T_Q) into `db` (unchecked inserts). Fails on unbound
+  /// variables.
+  Status InstantiateInto(const Bindings& valuation, Database* db) const;
+
+  /// Applies the valuation to the summary u_Q. Fails on unbound vars.
+  Result<Tuple> SummaryTuple(const Bindings& valuation) const;
+
+  /// True iff the valuation observes every disequality constraint and
+  /// binds each variable inside its domain — the per-query part of the
+  /// paper's "valid valuation" condition (Q(μ(T_Q)) nonempty).
+  bool IsValidValuation(const Bindings& valuation) const;
+
+  /// Reconstructs an equivalent CQ (for evaluation/printing).
+  ConjunctiveQuery ToConjunctive(const std::string& name = "Q") const;
+
+  std::string ToString() const;
+
+ private:
+  bool satisfiable_ = true;
+  std::vector<TableauRow> rows_;
+  std::vector<Term> summary_;
+  std::vector<std::pair<Term, Term>> disequalities_;
+  std::vector<std::string> variables_;
+  std::map<std::string, std::shared_ptr<const Domain>> domains_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_TABLEAU_TABLEAU_H_

@@ -1,0 +1,118 @@
+#ifndef RELCOMP_UTIL_STATUS_H_
+#define RELCOMP_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relcomp {
+
+/// Error categories used across the library. Following the Arrow/RocksDB
+/// idiom, fallible public APIs return Status or Result<T> rather than
+/// throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (unknown relation, arity
+  /// mismatch, unsafe query, ...).
+  kInvalidArgument,
+  /// The requested entity does not exist.
+  kNotFound,
+  /// An algorithm exceeded its configured resource budget (e.g. the
+  /// RCQP valuation-set search or an undecidable-cell semi-decision).
+  kResourceExhausted,
+  /// The input is valid but outside the supported fragment (e.g. asking
+  /// the RCDP decider to decide an undecidable language pair exactly).
+  kUnsupported,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Exactly one of value/status-error is held.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Precondition: ok(). Alias mirroring StatusOr.
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;  // OK iff value_ holds.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define RELCOMP_RETURN_NOT_OK(expr)               \
+  do {                                            \
+    ::relcomp::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define RELCOMP_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto RELCOMP_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!RELCOMP_CONCAT_(_res_, __LINE__).ok())     \
+    return RELCOMP_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(RELCOMP_CONCAT_(_res_, __LINE__)).value()
+
+#define RELCOMP_CONCAT_IMPL_(a, b) a##b
+#define RELCOMP_CONCAT_(a, b) RELCOMP_CONCAT_IMPL_(a, b)
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_UTIL_STATUS_H_

@@ -1,0 +1,49 @@
+#include "util/str.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace relcomp {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view input, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delim, start);
+    std::string_view piece = (pos == std::string_view::npos)
+                                 ? input.substr(start)
+                                 : input.substr(start, pos - start);
+    pieces.emplace_back(TrimWhitespace(piece));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,57 @@
+#ifndef RELCOMP_UTIL_STR_H_
+#define RELCOMP_UTIL_STR_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relcomp {
+
+namespace internal_str {
+inline void AppendPieces(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  AppendPieces(os, rest...);
+}
+}  // namespace internal_str
+
+/// Concatenates streamable pieces into a string, e.g.
+/// StrCat("arity mismatch: got ", n, ", want ", m).
+template <typename... Pieces>
+std::string StrCat(const Pieces&... pieces) {
+  std::ostringstream os;
+  internal_str::AppendPieces(os, pieces...);
+  return os.str();
+}
+
+/// Joins the elements of `items` with `sep`, using operator<< on each.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Splits `input` on `delim`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" yields {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True iff `s` parses entirely as a signed 64-bit decimal integer;
+/// stores the value in *out on success.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_UTIL_STR_H_

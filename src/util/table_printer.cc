@@ -1,0 +1,62 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace relcomp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+void PrintSeparator(std::ostream& os, const std::vector<size_t>& widths) {
+  os << '+';
+  for (size_t w : widths) {
+    for (size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void PrintRow(std::ostream& os, const std::vector<std::string>& cells,
+              const std::vector<size_t>& widths) {
+  os << '|';
+  for (size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    os << ' ' << cell;
+    for (size_t i = cell.size(); i < widths[c] + 1; ++i) os << ' ';
+    os << '|';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  PrintSeparator(os, widths);
+  PrintRow(os, headers_, widths);
+  PrintSeparator(os, widths);
+  for (const auto& row : rows_) PrintRow(os, row, widths);
+  PrintSeparator(os, widths);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace relcomp

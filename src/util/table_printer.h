@@ -1,0 +1,39 @@
+#ifndef RELCOMP_UTIL_TABLE_PRINTER_H_
+#define RELCOMP_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace relcomp {
+
+/// Accumulates rows of strings and prints them as an aligned ASCII table.
+/// Used by the benchmark harnesses to regenerate the paper's Tables I/II
+/// with measured columns appended.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same number of cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the aligned table, e.g.
+  ///   +------+-----+
+  ///   | a    | b   |
+  ///   +------+-----+
+  ///   | x    | yyy |
+  ///   +------+-----+
+  void Print(std::ostream& os) const;
+
+  /// Convenience: renders to a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_UTIL_TABLE_PRINTER_H_

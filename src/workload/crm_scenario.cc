@@ -1,0 +1,195 @@
+#include "workload/crm_scenario.h"
+
+#include "constraints/integrity_constraints.h"
+#include "query/parser.h"
+#include "util/str.h"
+
+namespace relcomp {
+
+Result<CrmScenario> CrmScenario::Make(const CrmOptions& options) {
+  CrmScenario s;
+  s.options_ = options;
+
+  auto db_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(RelationSchema(
+      "Cust", {AttributeDef::Inf("cid"), AttributeDef::Inf("name"),
+               AttributeDef::Inf("cc"), AttributeDef::Inf("ac"),
+               AttributeDef::Inf("phn")})));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(RelationSchema(
+      "Supt", {AttributeDef::Inf("eid"), AttributeDef::Inf("dept"),
+               AttributeDef::Inf("cid")})));
+  RELCOMP_RETURN_NOT_OK(db_schema->AddRelation(RelationSchema(
+      "Manage", {AttributeDef::Inf("eid1"), AttributeDef::Inf("eid2")})));
+  s.db_schema_ = db_schema;
+
+  auto master_schema = std::make_shared<Schema>();
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(RelationSchema(
+      "DCust", {AttributeDef::Inf("cid"), AttributeDef::Inf("name"),
+                AttributeDef::Inf("ac"), AttributeDef::Inf("phn")})));
+  RELCOMP_RETURN_NOT_OK(master_schema->AddRelation(RelationSchema(
+      "Managem", {AttributeDef::Inf("eid1"), AttributeDef::Inf("eid2")})));
+  RELCOMP_RETURN_NOT_OK(EnsureEmptyMasterRelation(master_schema.get()));
+  s.master_schema_ = master_schema;
+
+  s.db_ = Database(db_schema);
+  s.master_ = Database(master_schema);
+
+  // Master data: all domestic customers.
+  for (size_t i = 0; i < options.num_domestic; ++i) {
+    std::string ac = (options.ac908_every > 0 && i % options.ac908_every == 0)
+                         ? "908"
+                         : "201";
+    RELCOMP_RETURN_NOT_OK(s.master_.Insert(
+        "DCust", Tuple({Value::Str(StrCat("c", i)),
+                        Value::Str(StrCat("n", i)), Value::Str(ac),
+                        Value::Str(StrCat("555-", 1000 + i))})));
+  }
+  // Master data: the management chain e0 <- e1 <- ... (ei+1 manages ei:
+  // Managem(eid1, eid2) says eid2 reports directly to eid1).
+  for (size_t i = 0; i + 1 < options.manage_chain; ++i) {
+    RELCOMP_RETURN_NOT_OK(s.master_.Insert(
+        "Managem", Tuple({Value::Str(StrCat("e", i + 1)),
+                          Value::Str(StrCat("e", i))})));
+  }
+
+  // Database: every domestic customer (cc = "01") plus the
+  // international ones (cc = "44").
+  for (size_t i = 0; i < options.num_domestic; ++i) {
+    std::string ac = (options.ac908_every > 0 && i % options.ac908_every == 0)
+                         ? "908"
+                         : "201";
+    RELCOMP_RETURN_NOT_OK(s.db_.Insert(
+        "Cust", Tuple({Value::Str(StrCat("c", i)),
+                       Value::Str(StrCat("n", i)), Value::Str("01"),
+                       Value::Str(ac),
+                       Value::Str(StrCat("555-", 1000 + i))})));
+  }
+  for (size_t i = 0; i < options.num_international; ++i) {
+    RELCOMP_RETURN_NOT_OK(s.db_.Insert(
+        "Cust", Tuple({Value::Str(StrCat("x", i)),
+                       Value::Str(StrCat("xn", i)), Value::Str("44"),
+                       Value::Str("20"),
+                       Value::Str(StrCat("777-", 1000 + i))})));
+  }
+  // Support assignments, round-robin over the domestic customers.
+  size_t cust_cursor = 0;
+  for (size_t e = 0; e < options.num_employees; ++e) {
+    for (size_t j = 0;
+         j < options.support_per_employee && options.num_domestic > 0; ++j) {
+      size_t c = cust_cursor++ % options.num_domestic;
+      RELCOMP_RETURN_NOT_OK(s.db_.Insert(
+          "Supt", Tuple({Value::Str(StrCat("e", e)),
+                         Value::Str(StrCat("d", e % 2)),
+                         Value::Str(StrCat("c", c))})));
+    }
+  }
+  // Manage mirrors the master chain (it contains all of Managem).
+  for (size_t i = 0; i + 1 < options.manage_chain; ++i) {
+    RELCOMP_RETURN_NOT_OK(s.db_.Insert(
+        "Manage", Tuple({Value::Str(StrCat("e", i + 1)),
+                         Value::Str(StrCat("e", i))})));
+  }
+  return s;
+}
+
+Result<ContainmentConstraint> CrmScenario::Phi0() const {
+  RELCOMP_ASSIGN_OR_RETURN(
+      ConjunctiveQuery q,
+      ParseConjunctiveQuery(
+          R"(q0(c) :- Cust(c, n, cc, a, p), Supt(e, d, c), cc = "01".)"));
+  RELCOMP_RETURN_NOT_OK(q.Validate(*db_schema_));
+  return ContainmentConstraint::Subset(AnyQuery::Cq(std::move(q)), "DCust",
+                                       {0});
+}
+
+Result<ContainmentConstraint> CrmScenario::Phi1(size_t k) const {
+  // q(e) :- Supt(e, d1, c1), ..., Supt(e, d_{k+1}, c_{k+1}),
+  //         ci != cj for i < j   ⊆ ∅
+  std::vector<Atom> body;
+  for (size_t i = 0; i <= k; ++i) {
+    body.push_back(Atom::Relation(
+        "Supt", {Term::Var("e"), Term::Var(StrCat("d", i)),
+                 Term::Var(StrCat("c", i))}));
+  }
+  for (size_t i = 0; i <= k; ++i) {
+    for (size_t j = i + 1; j <= k; ++j) {
+      body.push_back(
+          Atom::Ne(Term::Var(StrCat("c", i)), Term::Var(StrCat("c", j))));
+    }
+  }
+  ConjunctiveQuery q(StrCat("phi1_k", k), {Term::Var("e")}, std::move(body));
+  RELCOMP_RETURN_NOT_OK(q.Validate(*db_schema_));
+  return ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(std::move(q)));
+}
+
+Result<ConstraintSet> CrmScenario::FdSigma2() const {
+  // Supt: eid -> dept, cid (columns 0 -> 1, 2).
+  FunctionalDependency fd("Supt", {0}, {1, 2});
+  RELCOMP_ASSIGN_OR_RETURN(std::vector<ContainmentConstraint> ccs,
+                           fd.ToContainmentConstraints(*db_schema_));
+  ConstraintSet set;
+  for (ContainmentConstraint& cc : ccs) set.Add(std::move(cc));
+  return set;
+}
+
+Result<ConstraintSet> CrmScenario::IndConstraints() const {
+  ConstraintSet set;
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint supt_cc,
+      MakeIndToMaster(*db_schema_, "Supt", {2}, "DCust", {0}));
+  set.Add(std::move(supt_cc));
+  RELCOMP_ASSIGN_OR_RETURN(
+      ContainmentConstraint manage_cc,
+      MakeIndToMaster(*db_schema_, "Manage", {0, 1}, "Managem", {0, 1}));
+  set.Add(std::move(manage_cc));
+  return set;
+}
+
+namespace {
+
+Result<AnyQuery> ParseValidatedCq(const std::string& text,
+                                  const Schema& schema) {
+  RELCOMP_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseConjunctiveQuery(text));
+  RELCOMP_RETURN_NOT_OK(q.Validate(schema));
+  return AnyQuery::Cq(std::move(q));
+}
+
+}  // namespace
+
+Result<AnyQuery> CrmScenario::Q0() const {
+  return ParseValidatedCq(
+      R"(Q0(c, n) :- Cust(c, n, cc, a, p), a = "908".)", *db_schema_);
+}
+
+Result<AnyQuery> CrmScenario::Q1() const {
+  return ParseValidatedCq(
+      R"(Q1(c) :- Cust(c, n, cc, a, p), Supt(e, d, c), a = "908",
+                  cc = "01", e = "e0".)",
+      *db_schema_);
+}
+
+Result<AnyQuery> CrmScenario::Q2() const {
+  return ParseValidatedCq(R"(Q2(c) :- Supt(e, d, c), e = "e0".)",
+                          *db_schema_);
+}
+
+Result<AnyQuery> CrmScenario::Q3Datalog() const {
+  RELCOMP_ASSIGN_OR_RETURN(DatalogProgram p, ParseDatalogProgram(R"(
+      Above(x) :- Manage(x, y), y = "e0".
+      Above(x) :- Manage(x, y), Above(y).
+  )"));
+  RELCOMP_RETURN_NOT_OK(p.Validate(*db_schema_));
+  return AnyQuery::Fp(std::move(p));
+}
+
+Result<AnyQuery> CrmScenario::Q3Cq() const {
+  return ParseValidatedCq(R"(Q3(x) :- Manage(x, y), y = "e0".)",
+                          *db_schema_);
+}
+
+Result<AnyQuery> CrmScenario::Q4() const {
+  return ParseValidatedCq(
+      R"(Q4(e, d, c) :- Supt(e, d, c), e = "e0", d = "d0".)", *db_schema_);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,103 @@
+#ifndef RELCOMP_WORKLOAD_CRM_SCENARIO_H_
+#define RELCOMP_WORKLOAD_CRM_SCENARIO_H_
+
+#include <memory>
+#include <string>
+
+#include "constraints/containment_constraint.h"
+#include "query/any_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Parameters for the synthetic CRM workload modeled on the paper's
+/// running example (Examples 1.1, 2.1, 2.2 and Section 2.3).
+struct CrmOptions {
+  /// Domestic customers in master relation DCust (ids c0..c{n-1}).
+  size_t num_domestic = 4;
+  /// International customers present only in Cust.
+  size_t num_international = 2;
+  /// Employees e0..e{m-1}.
+  size_t num_employees = 2;
+  /// Supt tuples per employee (assigned round-robin over customers).
+  size_t support_per_employee = 2;
+  /// The "an employee supports at most k customers" bound of CC φ1.
+  size_t k_limit = 3;
+  /// Share of domestic customers with area code 908 (the NJ query);
+  /// every `ac908_every`-th domestic customer gets ac = "908".
+  size_t ac908_every = 2;
+  /// Depth of the management chain in Manage/Managem.
+  size_t manage_chain = 3;
+};
+
+/// The paper's CRM scenario, fully materialized:
+///
+///   database schema R:  Cust(cid, name, cc, ac, phn),
+///                       Supt(eid, dept, cid),
+///                       Manage(eid1, eid2)
+///   master schema  Rm:  DCust(cid, name, ac, phn),
+///                       Managem(eid1, eid2),
+///                       _Empty()
+///
+/// with master data Dm (all domestic customers; the management
+/// hierarchy), a partially closed database D, the containment
+/// constraints of Example 2.1 and the queries of Examples 1.1/2.3.
+class CrmScenario {
+ public:
+  static Result<CrmScenario> Make(const CrmOptions& options = CrmOptions());
+
+  const CrmOptions& options() const { return options_; }
+  const std::shared_ptr<const Schema>& db_schema() const { return db_schema_; }
+  const std::shared_ptr<const Schema>& master_schema() const {
+    return master_schema_;
+  }
+  const Database& db() const { return db_; }
+  const Database& master() const { return master_; }
+  Database& mutable_db() { return db_; }
+
+  // ---- Containment constraints (Example 2.1) -------------------------
+
+  /// φ0: domestic supported customers are bounded by DCust:
+  ///   q(c) :- Cust(c,n,cc,a,p), Supt(e,d,c), cc = "01"  ⊆  π_cid(DCust).
+  Result<ContainmentConstraint> Phi0() const;
+
+  /// φ1: each employee supports at most k customers (CC with target ∅,
+  /// built over k+1 Supt atoms with pairwise-distinct cids).
+  Result<ContainmentConstraint> Phi1(size_t k) const;
+
+  /// The FD eid -> dept, cid on Supt, compiled to CQ CCs (Prop 2.1).
+  Result<ConstraintSet> FdSigma2() const;
+
+  /// Pure-IND variant used by the IND rows of Tables I/II:
+  ///   π_cid(Supt) ⊆ π_cid(DCust)  and  π_{eid1,eid2}(Manage) ⊆ Managem.
+  Result<ConstraintSet> IndConstraints() const;
+
+  // ---- Queries (Examples 1.1 and Section 2.3) ------------------------
+
+  /// Q0: all customers with ac = "908" (over Cust alone).
+  Result<AnyQuery> Q0() const;
+  /// Q1: customers with ac = "908" supported by employee e0.
+  Result<AnyQuery> Q1() const;
+  /// Q2: all customers supported by employee e0.
+  Result<AnyQuery> Q2() const;
+  /// Q3 (datalog): everybody above e0 in the management hierarchy.
+  Result<AnyQuery> Q3Datalog() const;
+  /// Q3 (CQ): direct managers of e0 only (the paper's point: the CQ
+  /// version cannot be complete unless Manage holds the transitive
+  /// closure).
+  Result<AnyQuery> Q3Cq() const;
+  /// Q4: Supt tuples with eid = e0 and dept = d0 (Example 4.1).
+  Result<AnyQuery> Q4() const;
+
+ private:
+  CrmOptions options_;
+  std::shared_ptr<const Schema> db_schema_;
+  std::shared_ptr<const Schema> master_schema_;
+  Database db_;
+  Database master_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_WORKLOAD_CRM_SCENARIO_H_

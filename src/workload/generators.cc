@@ -1,0 +1,129 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "constraints/integrity_constraints.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+size_t UniformSize(Rng* rng, size_t lo, size_t hi) {
+  return std::uniform_int_distribution<size_t>(lo, hi)(*rng);
+}
+
+bool Percent(Rng* rng, int pct) {
+  return std::uniform_int_distribution<int>(0, 99)(*rng) < pct;
+}
+
+Value RandomValue(Rng* rng, size_t pool) {
+  return Value::Int(static_cast<int64_t>(UniformSize(rng, 0, pool - 1)));
+}
+
+}  // namespace
+
+std::shared_ptr<Schema> RandomSchema(const RandomInstanceOptions& options,
+                                     Rng* rng) {
+  auto schema = std::make_shared<Schema>();
+  for (size_t i = 0; i < options.num_relations; ++i) {
+    size_t arity = UniformSize(rng, options.min_arity, options.max_arity);
+    // AddRelation with generated names cannot fail here.
+    Status st = schema->AddRelation(StrCat("R", i), arity);
+    (void)st;
+  }
+  return schema;
+}
+
+Database RandomDatabase(std::shared_ptr<const Schema> schema,
+                        const RandomInstanceOptions& options, Rng* rng) {
+  Database db(schema);
+  for (const std::string& name : db.schema().relation_names()) {
+    const RelationSchema* rs = db.schema().FindRelation(name);
+    for (size_t i = 0; i < options.tuples_per_relation; ++i) {
+      std::vector<Value> values;
+      values.reserve(rs->arity());
+      for (size_t c = 0; c < rs->arity(); ++c) {
+        values.push_back(RandomValue(rng, options.value_pool));
+      }
+      db.InsertUnchecked(name, Tuple(std::move(values)));
+    }
+  }
+  return db;
+}
+
+ConjunctiveQuery RandomCq(const Schema& schema, const RandomCqOptions& options,
+                          Rng* rng) {
+  std::vector<std::string> var_names;
+  for (size_t i = 0; i < options.num_variables; ++i) {
+    var_names.push_back(StrCat("v", i));
+  }
+  const std::vector<std::string>& relations = schema.relation_names();
+  std::vector<Atom> body;
+  std::set<std::string> used_vars;
+  for (size_t a = 0; a < options.num_atoms; ++a) {
+    const std::string& rel =
+        relations[UniformSize(rng, 0, relations.size() - 1)];
+    const RelationSchema* rs = schema.FindRelation(rel);
+    std::vector<Term> args;
+    for (size_t c = 0; c < rs->arity(); ++c) {
+      if (Percent(rng, options.constant_pct)) {
+        args.push_back(Term::Const(RandomValue(rng, options.value_pool)));
+      } else {
+        const std::string& v =
+            var_names[UniformSize(rng, 0, var_names.size() - 1)];
+        used_vars.insert(v);
+        args.push_back(Term::Var(v));
+      }
+    }
+    body.push_back(Atom::Relation(rel, std::move(args)));
+  }
+  std::vector<std::string> bound(used_vars.begin(), used_vars.end());
+  if (!bound.empty() && Percent(rng, options.disequality_pct)) {
+    const std::string& v1 = bound[UniformSize(rng, 0, bound.size() - 1)];
+    const std::string& v2 = bound[UniformSize(rng, 0, bound.size() - 1)];
+    if (v1 != v2) body.push_back(Atom::Ne(Term::Var(v1), Term::Var(v2)));
+  }
+  std::vector<Term> head;
+  for (size_t h = 0; h < options.num_head_terms && !bound.empty(); ++h) {
+    head.push_back(Term::Var(bound[UniformSize(rng, 0, bound.size() - 1)]));
+  }
+  return ConjunctiveQuery("Qr", std::move(head), std::move(body));
+}
+
+Result<ConstraintSet> RandomIndConstraints(const Schema& db_schema,
+                                           const Schema& master_schema,
+                                           size_t count, Rng* rng) {
+  ConstraintSet set;
+  const std::vector<std::string>& db_rels = db_schema.relation_names();
+  std::vector<std::string> master_rels;
+  for (const std::string& name : master_schema.relation_names()) {
+    if (master_schema.FindRelation(name)->arity() > 0) {
+      master_rels.push_back(name);
+    }
+  }
+  if (db_rels.empty() || master_rels.empty()) return set;
+  for (size_t i = 0; i < count; ++i) {
+    const std::string& db_rel =
+        db_rels[UniformSize(rng, 0, db_rels.size() - 1)];
+    const std::string& m_rel =
+        master_rels[UniformSize(rng, 0, master_rels.size() - 1)];
+    size_t width = std::min(db_schema.FindRelation(db_rel)->arity(),
+                            master_schema.FindRelation(m_rel)->arity());
+    if (width == 0) continue;
+    size_t cols = UniformSize(rng, 1, width);
+    std::vector<size_t> db_cols(cols), m_cols(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      db_cols[c] = c;
+      m_cols[c] = c;
+    }
+    RELCOMP_ASSIGN_OR_RETURN(
+        ContainmentConstraint cc,
+        MakeIndToMaster(db_schema, db_rel, std::move(db_cols), m_rel,
+                        std::move(m_cols)));
+    set.Add(std::move(cc));
+  }
+  return set;
+}
+
+}  // namespace relcomp

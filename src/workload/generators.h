@@ -1,0 +1,65 @@
+#ifndef RELCOMP_WORKLOAD_GENERATORS_H_
+#define RELCOMP_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "constraints/containment_constraint.h"
+#include "query/conjunctive_query.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Deterministic pseudo-random generators for property tests and
+/// scaling benchmarks. All generators take an explicit engine so runs
+/// are reproducible from a seed.
+using Rng = std::mt19937_64;
+
+/// Parameters for random relational instances.
+struct RandomInstanceOptions {
+  size_t num_relations = 2;
+  size_t min_arity = 1;
+  size_t max_arity = 3;
+  /// Values are Int(0..value_pool-1).
+  size_t value_pool = 4;
+  size_t tuples_per_relation = 3;
+};
+
+/// A random schema with relations R0..R{n-1} over the infinite domain.
+std::shared_ptr<Schema> RandomSchema(const RandomInstanceOptions& options,
+                                     Rng* rng);
+
+/// A random instance of `schema` with values drawn from the pool.
+Database RandomDatabase(std::shared_ptr<const Schema> schema,
+                        const RandomInstanceOptions& options, Rng* rng);
+
+/// Parameters for random conjunctive queries.
+struct RandomCqOptions {
+  size_t num_atoms = 2;
+  size_t num_variables = 3;
+  size_t num_head_terms = 2;
+  /// Probability (percent) that an atom argument is a constant.
+  int constant_pct = 20;
+  /// Probability (percent) of appending one disequality atom.
+  int disequality_pct = 30;
+  size_t value_pool = 4;
+};
+
+/// A random safe CQ over `schema`. Head terms are variables occurring
+/// in the body (safety holds by construction).
+ConjunctiveQuery RandomCq(const Schema& schema, const RandomCqOptions& options,
+                          Rng* rng);
+
+/// A random set of IND containment constraints from `db_schema`
+/// relations into `master_schema` relations (matching arities by
+/// truncation to the shorter; skips pairs that cannot align).
+Result<ConstraintSet> RandomIndConstraints(const Schema& db_schema,
+                                           const Schema& master_schema,
+                                           size_t count, Rng* rng);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "completeness/characterizations.h"
+#include "completeness/rcdp.h"
+#include "completeness/rcqp.h"
+#include "constraints/integrity_constraints.h"
+#include "query/parser.h"
+#include "reductions/fixed_rcqp_family.h"
+#include "workload/crm_scenario.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace {
+
+class CharacterizationsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(db_schema->AddRelation("R", 2).ok());
+    ASSERT_TRUE(db_schema
+                    ->AddRelation(RelationSchema(
+                        "B", {AttributeDef::Over("b", Domain::Boolean())}))
+                    .ok());
+    db_schema_ = db_schema;
+    auto master_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(master_schema->AddRelation("M", 1).ok());
+    master_schema_ = master_schema;
+    db_ = Database(db_schema_);
+    master_ = Database(master_schema_);
+  }
+
+  std::shared_ptr<const Schema> db_schema_;
+  std::shared_ptr<const Schema> master_schema_;
+  Database db_;
+  Database master_;
+};
+
+TEST_F(CharacterizationsTest, C1ForEmptyAnswer) {
+  // Q(x) :- R(x, x); D = ∅; V = ∅: C1 fails (extensions can answer).
+  auto q = ParseQuery("Q(x) :- R(x, x).", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  ConstraintSet none;
+  auto report = CheckBoundedDatabase(*q, db_, master_, none);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->condition, "C1");
+  EXPECT_FALSE(report->bounded);
+  ASSERT_TRUE(report->violating_valuation.has_value());
+
+  // Blocking all R tuples via an empty-master IND makes C1 hold.
+  ConstraintSet v;
+  auto ind = MakeIndToMaster(*db_schema_, "R", {0}, "M", {0});
+  ASSERT_TRUE(ind.ok());
+  v.Add(*ind);
+  auto bounded = CheckBoundedDatabase(*q, db_, master_, v);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(bounded->bounded);
+  EXPECT_EQ(bounded->condition, "C3");  // IND specialization kicks in
+}
+
+TEST_F(CharacterizationsTest, C2ForNonemptyAnswer) {
+  ASSERT_TRUE(master_.Insert("M", Tuple::Ints({1})).ok());
+  ASSERT_TRUE(db_.Insert("R", Tuple::Ints({1, 5})).ok());
+  ConstraintSet none;
+  auto q = ParseQuery("Q(x) :- R(x, y).", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  auto report = CheckBoundedDatabase(*q, db_, master_, none);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->condition, "C2");
+  EXPECT_FALSE(report->bounded);
+}
+
+TEST_F(CharacterizationsTest, AgreesWithDeciderOnCrmWorkloads) {
+  auto crm = CrmScenario::Make();
+  ASSERT_TRUE(crm.ok());
+  auto phi1 = crm->Phi1(2);
+  ASSERT_TRUE(phi1.ok());
+  ConstraintSet v;
+  v.Add(*phi1);
+  for (auto query : {crm->Q2(), crm->Q4()}) {
+    ASSERT_TRUE(query.ok());
+    auto decided = DecideRcdp(*query, crm->db(), crm->master(), v);
+    ASSERT_TRUE(decided.ok()) << decided.status().ToString();
+    auto characterized =
+        CheckBoundedDatabase(*query, crm->db(), crm->master(), v);
+    ASSERT_TRUE(characterized.ok()) << characterized.status().ToString();
+    EXPECT_EQ(decided->complete, characterized->bounded)
+        << query->ToString();
+  }
+}
+
+TEST_F(CharacterizationsTest, AgreesWithDeciderOnRandomInstances) {
+  Rng rng(41);
+  RandomInstanceOptions db_options;
+  db_options.num_relations = 1;
+  db_options.min_arity = 2;
+  db_options.max_arity = 2;
+  db_options.value_pool = 2;
+  db_options.tuples_per_relation = 2;
+  auto schema = RandomSchema(db_options, &rng);
+  auto master_schema = std::make_shared<Schema>();
+  ASSERT_TRUE(master_schema->AddRelation("M", 1).ok());
+  RandomCqOptions cq_options;
+  cq_options.num_atoms = 2;
+  cq_options.num_variables = 2;
+  cq_options.num_head_terms = 1;
+
+  int checked = 0;
+  for (int attempt = 0; attempt < 40 && checked < 8; ++attempt) {
+    Database db = RandomDatabase(schema, db_options, &rng);
+    Database master(master_schema);
+    master.InsertUnchecked("M", Tuple::Ints({0}));
+    auto constraints =
+        RandomIndConstraints(*schema, *master_schema, 1, &rng);
+    ASSERT_TRUE(constraints.ok());
+    ConjunctiveQuery cq = RandomCq(*schema, cq_options, &rng);
+    if (!cq.Validate(*schema).ok()) continue;
+    AnyQuery q = AnyQuery::Cq(cq);
+    auto closed = Satisfies(*constraints, db, master);
+    ASSERT_TRUE(closed.ok());
+    if (!*closed) continue;
+    auto decided = DecideRcdp(q, db, master, *constraints);
+    ASSERT_TRUE(decided.ok());
+    auto characterized = CheckBoundedDatabase(q, db, master, *constraints);
+    ASSERT_TRUE(characterized.ok());
+    EXPECT_EQ(decided->complete, characterized->bounded)
+        << cq.ToString() << "\n" << db.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(CharacterizationsTest, E1DetectsFiniteHeads) {
+  auto finite = ParseQuery("Q(b) :- B(b).", QueryLanguage::kCq);
+  auto infinite = ParseQuery("Q(x) :- R(x, y).", QueryLanguage::kCq);
+  ASSERT_TRUE(finite.ok());
+  ASSERT_TRUE(infinite.ok());
+  auto yes = CheckAllHeadVariablesFinite(*finite, *db_schema_);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->bounded);
+  EXPECT_EQ(yes->condition, "E1");
+  auto no = CheckAllHeadVariablesFinite(*infinite, *db_schema_);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->bounded);
+}
+
+TEST_F(CharacterizationsTest, E3E4MatchesRcqpIndVerdict) {
+  ASSERT_TRUE(master_.Insert("M", Tuple::Ints({1})).ok());
+  ConstraintSet v;
+  auto ind = MakeIndToMaster(*db_schema_, "R", {0}, "M", {0});
+  ASSERT_TRUE(ind.ok());
+  v.Add(*ind);
+  auto bounded_q = ParseQuery("Q(x) :- R(x, y).", QueryLanguage::kCq);
+  auto unbounded_q = ParseQuery("Q(y) :- R(x, y).", QueryLanguage::kCq);
+  ASSERT_TRUE(bounded_q.ok());
+  ASSERT_TRUE(unbounded_q.ok());
+
+  auto b = CheckIndBoundedQuery(*bounded_q, v, *db_schema_);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->bounded);
+  auto u = CheckIndBoundedQuery(*unbounded_q, v, *db_schema_);
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(u->bounded);
+
+  // Cross-check with the full decider.
+  auto exists = DecideRcqp(*bounded_q, db_schema_, master_, v);
+  auto not_exists = DecideRcqp(*unbounded_q, db_schema_, master_, v);
+  ASSERT_TRUE(exists.ok());
+  ASSERT_TRUE(not_exists.ok());
+  EXPECT_TRUE(exists->exists);
+  EXPECT_FALSE(not_exists->exists);
+}
+
+TEST_F(CharacterizationsTest, E2AcceptsTheFixedFamilyWitness) {
+  // The Prop 4.2 content on a real instance: the ∃∀ family's witness
+  // database is E2-bounding exactly when ∀W φ(χ) holds.
+  Rng rng(5);
+  FixedRcqpFamilyInstance instance;
+  instance.nx = 1;
+  instance.nw = 1;
+  instance.formula.num_vars = 2;
+  // φ = (x0 | w0) & (x0 | !w0): ∀w φ(1), but not ∀w φ(0).
+  instance.formula.clauses = {{{0, false}, {1, false}},
+                              {{0, false}, {1, true}}};
+  auto encoded = EncodeFixedRcqpFamily(instance);
+  ASSERT_TRUE(encoded.ok());
+
+  auto good = BuildFixedFamilyWitness(instance, {true}, *encoded);
+  ASSERT_TRUE(good.ok());
+  auto good_e2 = CheckBoundingDatabaseE2(encoded->query, *good,
+                                         encoded->master,
+                                         encoded->constraints);
+  ASSERT_TRUE(good_e2.ok()) << good_e2.status().ToString();
+  EXPECT_TRUE(*good_e2);
+
+  auto bad = BuildFixedFamilyWitness(instance, {false}, *encoded);
+  ASSERT_TRUE(bad.ok());
+  auto bad_e2 = CheckBoundingDatabaseE2(encoded->query, *bad,
+                                        encoded->master,
+                                        encoded->constraints);
+  ASSERT_TRUE(bad_e2.ok());
+  EXPECT_FALSE(*bad_e2);
+}
+
+TEST_F(CharacterizationsTest, E2RejectsNonClosedCandidates) {
+  // A candidate that itself violates V is never E2-bounding.
+  ConstraintSet v;
+  auto ind = MakeIndToMaster(*db_schema_, "R", {0}, "M", {0});
+  ASSERT_TRUE(ind.ok());
+  v.Add(*ind);
+  Database dv(db_schema_);
+  ASSERT_TRUE(dv.Insert("R", Tuple::Ints({9, 9})).ok());  // 9 ∉ M
+  auto q = ParseQuery("Q(x) :- R(x, y).", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  auto e2 = CheckBoundingDatabaseE2(*q, dv, master_, v);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_FALSE(*e2);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_check.h"
+#include "constraints/containment_constraint.h"
+#include "constraints/integrity_constraints.h"
+#include "query/parser.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(db_schema->AddRelation("Ord", 3).ok());   // (cust, item, qty)
+    ASSERT_TRUE(db_schema->AddRelation("Item", 2).ok());  // (item, price)
+    db_schema_ = db_schema;
+    auto master_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(master_schema->AddRelation("MCust", 2).ok());
+    ASSERT_TRUE(EnsureEmptyMasterRelation(master_schema.get()).ok());
+    master_schema_ = master_schema;
+    db_ = Database(db_schema_);
+    master_ = Database(master_schema_);
+  }
+
+  std::shared_ptr<const Schema> db_schema_;
+  std::shared_ptr<const Schema> master_schema_;
+  Database db_;
+  Database master_;
+};
+
+TEST_F(ConstraintsTest, IndClassification) {
+  auto proj = ParseConjunctiveQuery("q(c) :- Ord(c, i, q).");
+  ASSERT_TRUE(proj.ok());
+  ContainmentConstraint ind =
+      ContainmentConstraint::Subset(AnyQuery::Cq(*proj), "MCust", {0});
+  EXPECT_TRUE(ind.IsInd());
+
+  auto with_const = ParseConjunctiveQuery("q(c) :- Ord(c, i, 5).");
+  ASSERT_TRUE(with_const.ok());
+  EXPECT_FALSE(ContainmentConstraint::Subset(AnyQuery::Cq(*with_const),
+                                             "MCust", {0})
+                   .IsInd());
+
+  auto join = ParseConjunctiveQuery("q(c) :- Ord(c, i, q), Item(i, p).");
+  ASSERT_TRUE(join.ok());
+  EXPECT_FALSE(
+      ContainmentConstraint::Subset(AnyQuery::Cq(*join), "MCust", {0})
+          .IsInd());
+
+  auto repeated = ParseConjunctiveQuery("q(c) :- Ord(c, c, q).");
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_FALSE(
+      ContainmentConstraint::Subset(AnyQuery::Cq(*repeated), "MCust", {0})
+          .IsInd());
+}
+
+TEST_F(ConstraintsTest, ValidateCatchesBadProjections) {
+  auto proj = ParseConjunctiveQuery("q(c) :- Ord(c, i, q).");
+  ASSERT_TRUE(proj.ok());
+  ContainmentConstraint bad_col =
+      ContainmentConstraint::Subset(AnyQuery::Cq(*proj), "MCust", {7});
+  EXPECT_FALSE(bad_col.Validate(*db_schema_, *master_schema_).ok());
+  ContainmentConstraint bad_arity =
+      ContainmentConstraint::Subset(AnyQuery::Cq(*proj), "MCust", {0, 1});
+  EXPECT_FALSE(bad_arity.Validate(*db_schema_, *master_schema_).ok());
+  ContainmentConstraint unknown =
+      ContainmentConstraint::Subset(AnyQuery::Cq(*proj), "Nope", {0});
+  EXPECT_FALSE(unknown.Validate(*db_schema_, *master_schema_).ok());
+}
+
+TEST_F(ConstraintsTest, CheckSubsetConstraint) {
+  ASSERT_TRUE(master_.Insert("MCust", Tuple::Ints({1, 10})).ok());
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 5, 2})).ok());
+  auto cc = MakeIndToMaster(*db_schema_, "Ord", {0}, "MCust", {0});
+  ASSERT_TRUE(cc.ok());
+  auto ok = CheckConstraint(*cc, db_, master_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  // An order by an unknown customer violates the CC.
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({9, 5, 2})).ok());
+  auto violated = CheckConstraint(*cc, db_, master_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+}
+
+TEST_F(ConstraintsTest, CheckConstraintsReportsWitness) {
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({9, 5, 2})).ok());
+  ConstraintSet set;
+  auto cc = MakeIndToMaster(*db_schema_, "Ord", {0}, "MCust", {0});
+  ASSERT_TRUE(cc.ok());
+  set.Add(*cc);
+  auto result = CheckConstraints(set, db_, master_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfied);
+  EXPECT_EQ(result->violated_index, 0);
+  ASSERT_TRUE(result->witness.has_value());
+  EXPECT_EQ(*result->witness, Tuple::Ints({9}));
+}
+
+TEST_F(ConstraintsTest, EmptyTargetConstraint) {
+  auto q = ParseConjunctiveQuery("q() :- Ord(c, i, q), q = 0.");
+  ASSERT_TRUE(q.ok());
+  ContainmentConstraint cc =
+      ContainmentConstraint::SubsetOfEmpty(AnyQuery::Cq(*q));
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 2, 3})).ok());
+  auto ok = CheckConstraint(cc, db_, master_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 2, 0})).ok());
+  auto violated = CheckConstraint(cc, db_, master_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+}
+
+TEST_F(ConstraintsTest, ConstraintSetLanguageLub) {
+  ConstraintSet set;
+  auto ind = MakeIndToMaster(*db_schema_, "Ord", {0}, "MCust", {0});
+  ASSERT_TRUE(ind.ok());
+  set.Add(*ind);
+  EXPECT_EQ(set.Language(), QueryLanguage::kCq);
+  EXPECT_TRUE(set.IsIndsOnly());
+  auto fo = ParseFoQuery("q(c) := exists i, q. (Ord(c, i, q) & !Item(i, q))");
+  ASSERT_TRUE(fo.ok());
+  set.Add(ContainmentConstraint::SubsetOfEmpty(AnyQuery::Fo(*fo)));
+  EXPECT_EQ(set.Language(), QueryLanguage::kFo);
+  EXPECT_FALSE(set.IsIndsOnly());
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 2.1: integrity constraints compile to containment
+// constraints. For each class we check, on hand instances and then on
+// random sweeps, that Check(D) agrees with the compiled CCs.
+
+TEST_F(ConstraintsTest, FdDirectSemantics) {
+  FunctionalDependency fd("Ord", {0}, {1});
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 2, 3})).ok());
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 2, 4})).ok());
+  auto ok = fd.Check(db_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 9, 3})).ok());
+  auto violated = fd.Check(db_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+}
+
+TEST_F(ConstraintsTest, CfdPatternSemantics) {
+  // dept-style pattern: if qty = 7 then item determines cust, and cust
+  // must be 1.
+  ConditionalFd cfd("Ord", {1}, {AttrPattern{2, Value::Int(7)}}, {0},
+                    {AttrPattern{0, Value::Int(1)}});
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 2, 7})).ok());
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({5, 2, 3})).ok());  // no pattern
+  auto ok = cfd.Check(db_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  // A second matching tuple with a different cust violates.
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({2, 2, 7})).ok());
+  auto violated = cfd.Check(db_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+}
+
+TEST_F(ConstraintsTest, CfdSingleTuplePatternViolation) {
+  // Pattern on the RHS alone: any qty-7 tuple must have cust 1.
+  ConditionalFd cfd("Ord", {}, {AttrPattern{2, Value::Int(7)}}, {},
+                    {AttrPattern{0, Value::Int(1)}});
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({2, 2, 7})).ok());
+  auto violated = cfd.Check(db_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+}
+
+TEST_F(ConstraintsTest, DenialConstraint) {
+  auto violation = ParseConjunctiveQuery("bad() :- Item(i, p), p = 0.");
+  ASSERT_TRUE(violation.ok());
+  DenialConstraint dc(*violation);
+  ASSERT_TRUE(db_.Insert("Item", Tuple::Ints({1, 10})).ok());
+  auto ok = dc.Check(db_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  ASSERT_TRUE(db_.Insert("Item", Tuple::Ints({2, 0})).ok());
+  auto violated = dc.Check(db_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+}
+
+TEST_F(ConstraintsTest, IndAndCindSemantics) {
+  InclusionDependency ind("Ord", {1}, "Item", {0});
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 2, 3})).ok());
+  ASSERT_TRUE(db_.Insert("Item", Tuple::Ints({2, 10})).ok());
+  auto ok = ind.Check(db_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 9, 3})).ok());
+  auto violated = ind.Check(db_);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_FALSE(*violated);
+
+  // CIND: only qty-7 orders need a priced item with price 10.
+  ConditionalInd cind("Ord", {1}, {AttrPattern{2, Value::Int(7)}}, "Item",
+                      {0}, {AttrPattern{1, Value::Int(10)}});
+  auto cind_ok = cind.Check(db_);
+  ASSERT_TRUE(cind_ok.ok());
+  EXPECT_TRUE(*cind_ok);  // no qty-7 orders yet
+  ASSERT_TRUE(db_.Insert("Ord", Tuple::Ints({1, 5, 7})).ok());
+  auto cind_violated = cind.Check(db_);
+  ASSERT_TRUE(cind_violated.ok());
+  EXPECT_FALSE(*cind_violated);
+}
+
+/// Shared harness: verify D |= ic iff (D, Dm) |= compiled CCs over a
+/// randomized sweep of small instances.
+class Prop21Test : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    auto db_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(db_schema->AddRelation("Ord", 3).ok());
+    ASSERT_TRUE(db_schema->AddRelation("Item", 2).ok());
+    db_schema_ = db_schema;
+    auto master_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(EnsureEmptyMasterRelation(master_schema.get()).ok());
+    master_schema_ = master_schema;
+    master_ = Database(master_schema_);
+  }
+
+  Database RandomDb(Rng* rng) {
+    RandomInstanceOptions options;
+    options.value_pool = 3;
+    options.tuples_per_relation = 4;
+    Database db(db_schema_);
+    std::uniform_int_distribution<int64_t> value(0, 2);
+    for (const std::string& name : db_schema_->relation_names()) {
+      const RelationSchema* rs = db_schema_->FindRelation(name);
+      for (size_t i = 0; i < options.tuples_per_relation; ++i) {
+        std::vector<Value> values;
+        for (size_t c = 0; c < rs->arity(); ++c) {
+          values.push_back(Value::Int(value(*rng)));
+        }
+        db.InsertUnchecked(name, Tuple(std::move(values)));
+      }
+    }
+    return db;
+  }
+
+  std::shared_ptr<const Schema> db_schema_;
+  std::shared_ptr<const Schema> master_schema_;
+  Database master_;
+};
+
+TEST_P(Prop21Test, FdCompilesToEquivalentCcs) {
+  Rng rng(GetParam());
+  FunctionalDependency fd("Ord", {0}, {1, 2});
+  auto ccs = fd.ToContainmentConstraints(*db_schema_);
+  ASSERT_TRUE(ccs.ok());
+  ConstraintSet set;
+  for (auto& cc : *ccs) set.Add(std::move(cc));
+  for (int i = 0; i < 20; ++i) {
+    Database db = RandomDb(&rng);
+    auto direct = fd.Check(db);
+    auto via_ccs = Satisfies(set, db, master_);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_ccs.ok());
+    EXPECT_EQ(*direct, *via_ccs) << db.ToString();
+  }
+}
+
+TEST_P(Prop21Test, CfdCompilesToEquivalentCcs) {
+  Rng rng(GetParam() + 100);
+  ConditionalFd cfd("Ord", {0}, {AttrPattern{2, Value::Int(1)}}, {1},
+                    {AttrPattern{1, Value::Int(2)}});
+  auto ccs = cfd.ToContainmentConstraints(*db_schema_);
+  ASSERT_TRUE(ccs.ok());
+  ConstraintSet set;
+  for (auto& cc : *ccs) set.Add(std::move(cc));
+  for (int i = 0; i < 20; ++i) {
+    Database db = RandomDb(&rng);
+    auto direct = cfd.Check(db);
+    auto via_ccs = Satisfies(set, db, master_);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_ccs.ok());
+    EXPECT_EQ(*direct, *via_ccs) << db.ToString();
+  }
+}
+
+TEST_P(Prop21Test, DenialCompilesToEquivalentCc) {
+  Rng rng(GetParam() + 200);
+  auto violation =
+      ParseConjunctiveQuery("bad() :- Ord(c, i, q), Item(i, p), p = q.");
+  ASSERT_TRUE(violation.ok());
+  DenialConstraint dc(*violation);
+  ConstraintSet set;
+  set.Add(dc.ToContainmentConstraint());
+  for (int i = 0; i < 20; ++i) {
+    Database db = RandomDb(&rng);
+    auto direct = dc.Check(db);
+    auto via_ccs = Satisfies(set, db, master_);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_ccs.ok());
+    EXPECT_EQ(*direct, *via_ccs) << db.ToString();
+  }
+}
+
+TEST_P(Prop21Test, CindCompilesToEquivalentFoCc) {
+  Rng rng(GetParam() + 300);
+  ConditionalInd cind("Ord", {1}, {AttrPattern{2, Value::Int(1)}}, "Item",
+                      {0}, {AttrPattern{1, Value::Int(2)}});
+  auto cc = cind.ToContainmentConstraint(*db_schema_);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(cc->language(), QueryLanguage::kFo);
+  ConstraintSet set;
+  set.Add(*cc);
+  for (int i = 0; i < 20; ++i) {
+    Database db = RandomDb(&rng);
+    auto direct = cind.Check(db);
+    auto via_ccs = Satisfies(set, db, master_);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_ccs.ok());
+    EXPECT_EQ(*direct, *via_ccs) << db.ToString();
+  }
+}
+
+TEST_P(Prop21Test, IndCompilesToEquivalentFoCc) {
+  Rng rng(GetParam() + 400);
+  InclusionDependency ind("Ord", {1, 2}, "Item", {0, 1});
+  auto cc = ind.ToContainmentConstraint(*db_schema_);
+  ASSERT_TRUE(cc.ok());
+  ConstraintSet set;
+  set.Add(*cc);
+  for (int i = 0; i < 20; ++i) {
+    Database db = RandomDb(&rng);
+    auto direct = ind.Check(db);
+    auto via_ccs = Satisfies(set, db, master_);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_ccs.ok());
+    EXPECT_EQ(*direct, *via_ccs) << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop21Test, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "eval/conjunctive_eval.h"
+#include "eval/datalog_eval.h"
+#include "eval/fo_eval.h"
+#include "eval/query_eval.h"
+#include "query/parser.h"
+#include "query/positive_query.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = std::make_shared<Schema>();
+    ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+    ASSERT_TRUE(schema->AddRelation("S", 1).ok());
+    db_ = Database(schema);
+    // R = {(1,2), (2,3), (3,4)}, S = {(2), (4)}.
+    ASSERT_TRUE(db_.Insert("R", Tuple::Ints({1, 2})).ok());
+    ASSERT_TRUE(db_.Insert("R", Tuple::Ints({2, 3})).ok());
+    ASSERT_TRUE(db_.Insert("R", Tuple::Ints({3, 4})).ok());
+    ASSERT_TRUE(db_.Insert("S", Tuple::Ints({2})).ok());
+    ASSERT_TRUE(db_.Insert("S", Tuple::Ints({4})).ok());
+  }
+
+  Relation EvalCqText(const std::string& text) {
+    auto q = ParseConjunctiveQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto result = EvalConjunctive(*q, db_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  Database db_;
+};
+
+TEST_F(EvalTest, SingleAtomScan) {
+  Relation r = EvalCqText("Q(x, y) :- R(x, y).");
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(EvalTest, JoinAndProjection) {
+  Relation r = EvalCqText("Q(x) :- R(x, y), S(y).");
+  EXPECT_EQ(r.size(), 2u);  // x=1 (y=2), x=3 (y=4)
+  EXPECT_TRUE(r.Contains(Tuple::Ints({1})));
+  EXPECT_TRUE(r.Contains(Tuple::Ints({3})));
+}
+
+TEST_F(EvalTest, SelfJoinPath) {
+  Relation r = EvalCqText("Q(x, z) :- R(x, y), R(y, z).");
+  EXPECT_EQ(r.size(), 2u);  // (1,3), (2,4)
+}
+
+TEST_F(EvalTest, ConstantsAndComparisons) {
+  Relation r = EvalCqText("Q(y) :- R(1, y).");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple::Ints({2})));
+  Relation ne = EvalCqText("Q(x, y) :- R(x, y), x != 2.");
+  EXPECT_EQ(ne.size(), 2u);
+  Relation eq = EvalCqText("Q(x) :- R(x, y), y = 3.");
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_TRUE(eq.Contains(Tuple::Ints({2})));
+}
+
+TEST_F(EvalTest, BooleanQueries) {
+  Relation yes = EvalCqText("Q() :- R(x, y), S(y).");
+  EXPECT_EQ(yes.size(), 1u);  // {()}
+  Relation no = EvalCqText("Q() :- R(x, x).");
+  EXPECT_TRUE(no.empty());
+}
+
+TEST_F(EvalTest, EmptyBodyYieldsUnitTuple) {
+  Relation r = EvalCqText("Q() :- .");
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(EvalTest, DuplicateAnswersCollapse) {
+  Relation r = EvalCqText("Q(y) :- R(x, y), S(y).");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(EvalTest, NaiveAndReorderedAgree) {
+  auto q = ParseConjunctiveQuery("Q(x, z) :- R(x, y), R(y, z), S(z).");
+  ASSERT_TRUE(q.ok());
+  ConjunctiveEvalOptions naive;
+  naive.reorder_atoms = false;
+  auto a = EvalConjunctive(*q, db_, naive);
+  auto b = EvalConjunctive(*q, db_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(EvalTest, UnionQuery) {
+  auto u = ParseUnionQuery("Q(x) :- S(x).\nQ(x) :- R(x, 2).");
+  ASSERT_TRUE(u.ok());
+  auto r = EvalUnion(*u, db_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // {2, 4} ∪ {1}
+}
+
+TEST_F(EvalTest, SatisfiedInShortCircuits) {
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x, y), S(y).");
+  ASSERT_TRUE(q.ok());
+  auto sat = ConjunctiveSatisfiedIn(*q, db_);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+  auto q2 = ParseConjunctiveQuery("Q(x) :- R(x, x).");
+  ASSERT_TRUE(q2.ok());
+  auto unsat = ConjunctiveSatisfiedIn(*q2, db_);
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_FALSE(*unsat);
+}
+
+TEST_F(EvalTest, FoNegation) {
+  // x in S with no outgoing R edge: S = {2,4}; R sources = {1,2,3} → {4}.
+  auto q = ParseFoQuery("Q(x) := S(x) & !(exists y. R(x, y))");
+  ASSERT_TRUE(q.ok());
+  auto r = EvalFo(*q, db_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple::Ints({4})));
+}
+
+TEST_F(EvalTest, FoUniversal) {
+  // Boolean: every S element has an incoming R edge. S={2,4}: 2←1, 4←3 ✓.
+  auto q = ParseFoQuery("Q() := forall x. (!S(x) | exists y. R(y, x))");
+  ASSERT_TRUE(q.ok());
+  auto r = EvalFo(*q, db_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(EvalTest, FoAgreesWithCqOnPositiveFragment) {
+  auto cq = ParseConjunctiveQuery("Q(x) :- R(x, y), S(y), x != 2.");
+  ASSERT_TRUE(cq.ok());
+  auto direct = EvalConjunctive(*cq, db_);
+  ASSERT_TRUE(direct.ok());
+  FoQuery as_fo = CqToFoQuery(*cq);
+  auto via_fo = EvalFo(as_fo, db_);
+  ASSERT_TRUE(via_fo.ok());
+  EXPECT_EQ(*direct, *via_fo);
+}
+
+TEST_F(EvalTest, DatalogTransitiveClosure) {
+  auto p = ParseDatalogProgram(
+      "T(x, y) :- R(x, y).\nT(x, z) :- R(x, y), T(y, z).");
+  ASSERT_TRUE(p.ok());
+  auto r = EvalDatalog(*p, db_);
+  ASSERT_TRUE(r.ok());
+  // Chain 1→2→3→4: TC has 3+2+1 = 6 pairs.
+  EXPECT_EQ(r->size(), 6u);
+  EXPECT_TRUE(r->Contains(Tuple::Ints({1, 4})));
+}
+
+TEST_F(EvalTest, DatalogNaiveAndSemiNaiveAgree) {
+  auto p = ParseDatalogProgram(
+      "T(x, y) :- R(x, y).\nT(x, z) :- T(x, y), T(y, z).");
+  ASSERT_TRUE(p.ok());
+  DatalogEvalOptions naive;
+  naive.semi_naive = false;
+  auto a = EvalDatalog(*p, db_, naive);
+  auto b = EvalDatalog(*p, db_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(EvalTest, DatalogWithComparisonsAndConstants) {
+  auto p = ParseDatalogProgram(
+      "Reach(y) :- R(x, y), x = 1.\nReach(y) :- R(x, y), Reach(x), y != 3.");
+  ASSERT_TRUE(p.ok());
+  auto r = EvalDatalog(*p, db_);
+  ASSERT_TRUE(r.ok());
+  // From 1: reach 2; from 2: 3 blocked (y != 3) → {2}.
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple::Ints({2})));
+}
+
+TEST_F(EvalTest, DatalogMultipleIdbPredicates) {
+  auto p = ParseDatalogProgram(
+      "A(x) :- S(x).\nB(x) :- A(x), R(y, x).\nOut(x) :- B(x).");
+  ASSERT_TRUE(p.ok());
+  p->set_output_predicate("Out");
+  auto r = EvalDatalog(*p, db_);
+  ASSERT_TRUE(r.ok());
+  // S = {2,4}; with incoming edges: both.
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(EvalTest, PolymorphicEvaluateDispatches) {
+  auto cq = ParseQuery("Q(x) :- S(x).", QueryLanguage::kCq);
+  ASSERT_TRUE(cq.ok());
+  auto r = Evaluate(*cq, db_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  auto nonempty = IsNonEmpty(*cq, db_);
+  ASSERT_TRUE(nonempty.ok());
+  EXPECT_TRUE(*nonempty);
+}
+
+TEST_F(EvalTest, PositiveFormulaEvaluatesWithoutUnfolding) {
+  auto q = ParseQuery("Q(x) := S(x) | exists y. R(x, y)",
+                      QueryLanguage::kPositive);
+  ASSERT_TRUE(q.ok());
+  auto direct = Evaluate(*q, db_);
+  ASSERT_TRUE(direct.ok());
+  auto unfolded = q->ToUnion(100);
+  ASSERT_TRUE(unfolded.ok());
+  auto via_union = EvalUnion(*unfolded, db_);
+  ASSERT_TRUE(via_union.ok());
+  EXPECT_EQ(*direct, *via_union);
+}
+
+// Property sweep: on random instances, ∃FO+ evaluation via the formula
+// evaluator agrees with evaluation of the DNF-unfolded UCQ, and the
+// naive/reordered conjunctive matchers agree.
+class EvalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalPropertyTest, MatcherModesAgreeOnRandomInstances) {
+  Rng rng(GetParam());
+  RandomInstanceOptions db_options;
+  auto schema = RandomSchema(db_options, &rng);
+  Database db = RandomDatabase(schema, db_options, &rng);
+  RandomCqOptions cq_options;
+  for (int i = 0; i < 10; ++i) {
+    ConjunctiveQuery q = RandomCq(*schema, cq_options, &rng);
+    if (!q.Validate(*schema).ok()) continue;
+    ConjunctiveEvalOptions naive;
+    naive.reorder_atoms = false;
+    auto a = EvalConjunctive(q, db, naive);
+    auto b = EvalConjunctive(q, db);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << q.ToString();
+  }
+}
+
+TEST_P(EvalPropertyTest, CqMatchesItsFoEmbedding) {
+  Rng rng(GetParam() + 1000);
+  RandomInstanceOptions db_options;
+  db_options.value_pool = 3;
+  auto schema = RandomSchema(db_options, &rng);
+  Database db = RandomDatabase(schema, db_options, &rng);
+  RandomCqOptions cq_options;
+  cq_options.num_atoms = 2;
+  for (int i = 0; i < 5; ++i) {
+    ConjunctiveQuery q = RandomCq(*schema, cq_options, &rng);
+    if (!q.Validate(*schema).ok()) continue;
+    auto direct = EvalConjunctive(q, db);
+    ASSERT_TRUE(direct.ok());
+    auto via_fo = EvalFo(CqToFoQuery(q), db);
+    ASSERT_TRUE(via_fo.ok());
+    EXPECT_EQ(*direct, *via_fo) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace relcomp

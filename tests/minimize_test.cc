@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "eval/conjunctive_eval.h"
+#include "query/parser.h"
+#include "tableau/containment.h"
+#include "tableau/minimize.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace {
+
+std::shared_ptr<Schema> GraphSchema() {
+  auto schema = std::make_shared<Schema>();
+  EXPECT_TRUE(schema->AddRelation("E", 2).ok());
+  EXPECT_TRUE(schema->AddRelation("L", 1).ok());
+  return schema;
+}
+
+ConjunctiveQuery Parse(const std::string& text) {
+  auto q = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+TEST(MinimizeTest, DropsFoldableAtoms) {
+  auto schema = GraphSchema();
+  // E(x, y), E(x, z): the second atom folds onto the first (z ↦ y).
+  ConjunctiveQuery q = Parse("Q(x) :- E(x, y), E(x, z).");
+  auto minimized = MinimizeCq(q, *schema);
+  ASSERT_TRUE(minimized.ok()) << minimized.status().ToString();
+  EXPECT_EQ(minimized->RelationAtoms().size(), 1u);
+  auto equivalent = CqEquivalent(q, *minimized, *schema);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(MinimizeTest, KeepsGenuinePathAtoms) {
+  auto schema = GraphSchema();
+  // A genuine 2-path has no redundant atom.
+  ConjunctiveQuery q = Parse("Q(x, z) :- E(x, y), E(y, z).");
+  auto minimized = MinimizeCq(q, *schema);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->RelationAtoms().size(), 2u);
+}
+
+TEST(MinimizeTest, ClassicTriangleExample) {
+  auto schema = GraphSchema();
+  // E(x, y), E(y, z), E(x, w), E(w, z): the (x, w, z) path folds onto
+  // the (x, y, z) path.
+  ConjunctiveQuery q =
+      Parse("Q(x, z) :- E(x, y), E(y, z), E(x, w), E(w, z).");
+  auto minimized = MinimizeCq(q, *schema);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->RelationAtoms().size(), 2u);
+}
+
+TEST(MinimizeTest, SafetyBlocksDroppingBindingAtoms) {
+  auto schema = GraphSchema();
+  // L(x) is subsumed by nothing, and dropping E(x, y) would leave the
+  // head variable... here both atoms are needed: E binds y? No head y.
+  // E(x, y), L(x): E is NOT redundant (it requires an outgoing edge).
+  ConjunctiveQuery q = Parse("Q(x) :- E(x, y), L(x).");
+  auto minimized = MinimizeCq(q, *schema);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->RelationAtoms().size(), 2u);
+}
+
+TEST(MinimizeTest, InequalitiesArePreserved) {
+  auto schema = GraphSchema();
+  // E(x, y) folds away (the free y can coincide with z), but E(x, z)
+  // must survive: it binds the comparison variable, so safety forbids
+  // dropping it — and the result stays equivalent.
+  ConjunctiveQuery q = Parse("Q(x) :- E(x, y), E(x, z), z != x.");
+  auto minimized = MinimizeCq(q, *schema);
+  ASSERT_TRUE(minimized.ok());
+  ASSERT_EQ(minimized->RelationAtoms().size(), 1u);
+  // The surviving atom carries z (the comparison stays checkable).
+  std::set<std::string> vars = minimized->Variables();
+  EXPECT_TRUE(vars.count("z") > 0);
+  auto equivalent = CqEquivalent(q, *minimized, *schema);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+
+  // With both variables pinned in the head nothing can fold.
+  ConjunctiveQuery pinned = Parse("Q(y, z) :- E(x, y), E(x, z), z != y.");
+  auto pinned_min = MinimizeCq(pinned, *schema);
+  ASSERT_TRUE(pinned_min.ok());
+  EXPECT_EQ(pinned_min->RelationAtoms().size(), 2u);
+}
+
+TEST(MinimizeTest, MinimizedQueriesStayEquivalentOnRandomInstances) {
+  Rng rng(123);
+  RandomInstanceOptions db_options;
+  db_options.num_relations = 2;
+  db_options.value_pool = 3;
+  auto schema = RandomSchema(db_options, &rng);
+  RandomCqOptions cq_options;
+  cq_options.num_atoms = 4;
+  cq_options.num_variables = 3;
+  cq_options.disequality_pct = 0;  // keep the containment checks cheap
+  int minimized_something = 0;
+  for (int i = 0; i < 20; ++i) {
+    ConjunctiveQuery q = RandomCq(*schema, cq_options, &rng);
+    if (!q.Validate(*schema).ok()) continue;
+    auto minimized = MinimizeCq(q, *schema);
+    ASSERT_TRUE(minimized.ok()) << q.ToString();
+    if (minimized->RelationAtoms().size() < q.RelationAtoms().size()) {
+      ++minimized_something;
+    }
+    for (int d = 0; d < 3; ++d) {
+      Database db = RandomDatabase(schema, db_options, &rng);
+      auto before = EvalConjunctive(q, db);
+      auto after = EvalConjunctive(*minimized, db);
+      ASSERT_TRUE(before.ok());
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(*before, *after)
+          << q.ToString() << "\n-> " << minimized->ToString();
+    }
+  }
+  // Random 4-atom queries over 3 variables fold often.
+  EXPECT_GT(minimized_something, 0);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "query/any_query.h"
+#include "query/parser.h"
+#include "query/positive_query.h"
+
+namespace relcomp {
+namespace {
+
+std::shared_ptr<Schema> TwoRelationSchema() {
+  auto schema = std::make_shared<Schema>();
+  EXPECT_TRUE(schema->AddRelation("R", 2).ok());
+  EXPECT_TRUE(schema->AddRelation("S", 1).ok());
+  return schema;
+}
+
+TEST(ParserTest, ParsesConjunctiveQuery) {
+  auto q = ParseConjunctiveQuery(R"(Q(x) :- R(x, y), S(y), y != "a".)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->name(), "Q");
+  EXPECT_EQ(q->arity(), 1u);
+  EXPECT_EQ(q->body().size(), 3u);
+  EXPECT_EQ(q->RelationAtoms().size(), 2u);
+  EXPECT_EQ(q->ComparisonAtoms().size(), 1u);
+  EXPECT_EQ(q->ToString(), "Q(x) :- R(x, y), S(y), y != \"a\"");
+}
+
+TEST(ParserTest, ParsesConstantsAndAnonymousVariables) {
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x, 5), S(_), R(_, -3).");
+  ASSERT_TRUE(q.ok());
+  const Atom& first = q->body()[0];
+  EXPECT_EQ(first.args()[1].value(), Value::Int(5));
+  // The two anonymous variables must be distinct.
+  EXPECT_NE(q->body()[1].args()[0].var(), q->body()[2].args()[0].var());
+}
+
+TEST(ParserTest, CommentsAndOptionalDots) {
+  auto q = ParseConjunctiveQuery(
+      "% header comment\nQ(x) :- R(x, y) % trailing\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->body().size(), 1u);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) :-").ok() &&
+               false);  // empty body is allowed; check real errors below
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x :- R(x)").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("Q(x) : R(x)").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery(R"(Q(x) :- R(x, "unterminated)").ok());
+}
+
+TEST(ParserTest, ParsesUnionQuery) {
+  auto u = ParseUnionQuery("Q(x) :- R(x, y).\nQ(x) :- S(x).");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->disjuncts().size(), 2u);
+  EXPECT_EQ(u->arity(), 1u);
+  // Mismatched head predicate is rejected.
+  EXPECT_FALSE(ParseUnionQuery("Q(x) :- R(x, y).\nP(x) :- S(x).").ok());
+}
+
+TEST(ParserTest, ParsesDatalog) {
+  auto p = ParseDatalogProgram(
+      "T(x, y) :- R(x, y).\nT(x, z) :- R(x, y), T(y, z).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rules().size(), 2u);
+  EXPECT_EQ(p->output_predicate(), "T");
+  EXPECT_EQ(p->IdbArity("T"), 2);
+}
+
+TEST(ParserTest, ParsesFoQuery) {
+  auto q = ParseFoQuery("Q(x) := exists y. (R(x, y) & !(S(y) | x = y))");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->arity(), 1u);
+  EXPECT_FALSE(q->IsPositiveExistential());
+  auto pos = ParseFoQuery("Q(x) := exists y. (R(x, y) & (S(y) | S(x)))");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_TRUE(pos->IsPositiveExistential());
+}
+
+TEST(ParserTest, ForallBindsRight) {
+  auto q = ParseFoQuery("Q(x) := S(x) & forall y. (R(x, y) | S(y))");
+  ASSERT_TRUE(q.ok());
+  // 'forall' extends to the end, so the top level is the conjunction.
+  EXPECT_EQ(q->formula()->kind(), Formula::Kind::kAnd);
+}
+
+TEST(ValidationTest, SafetyIsEnforced) {
+  auto schema = TwoRelationSchema();
+  auto unsafe = ParseConjunctiveQuery("Q(z) :- R(x, y).");
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_EQ(unsafe->Validate(*schema).code(), StatusCode::kInvalidArgument);
+  auto unsafe_cmp = ParseConjunctiveQuery("Q(x) :- R(x, y), z != 1.");
+  ASSERT_TRUE(unsafe_cmp.ok());
+  EXPECT_FALSE(unsafe_cmp->Validate(*schema).ok());
+}
+
+TEST(ValidationTest, ArityAndUnknownRelations) {
+  auto schema = TwoRelationSchema();
+  auto bad_arity = ParseConjunctiveQuery("Q(x) :- R(x).");
+  ASSERT_TRUE(bad_arity.ok());
+  EXPECT_FALSE(bad_arity->Validate(*schema).ok());
+  auto unknown = ParseConjunctiveQuery("Q(x) :- ZZZ(x).");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown->Validate(*schema).ok());
+}
+
+TEST(ValidationTest, DatalogSafetyAndArities) {
+  auto schema = TwoRelationSchema();
+  auto p = ParseDatalogProgram("T(x, z) :- R(x, y), T(y, z).\nT(x, y) :- R(x, y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Validate(*schema).ok());
+  auto unsafe = ParseDatalogProgram("T(x, z) :- R(x, y).");
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_FALSE(unsafe->Validate(*schema).ok());
+  auto collision = ParseDatalogProgram("R(x, y) :- S(x), S(y).");
+  ASSERT_TRUE(collision.ok());
+  EXPECT_FALSE(collision->Validate(*schema).ok());
+}
+
+TEST(AnyQueryTest, LanguageTagsAndConversion) {
+  auto cq = ParseConjunctiveQuery("Q(x) :- R(x, y).");
+  ASSERT_TRUE(cq.ok());
+  AnyQuery q = AnyQuery::Cq(*cq);
+  EXPECT_EQ(q.language(), QueryLanguage::kCq);
+  EXPECT_TRUE(q.IsMonotone());
+  auto as_union = q.ToUnion();
+  ASSERT_TRUE(as_union.ok());
+  EXPECT_EQ(as_union->disjuncts().size(), 1u);
+}
+
+TEST(AnyQueryTest, PositiveTagRejectsNegation) {
+  auto schema = TwoRelationSchema();
+  auto fo = ParseFoQuery("Q(x) := S(x) & !S(x)");
+  ASSERT_TRUE(fo.ok());
+  AnyQuery q = AnyQuery::Positive(*fo);
+  EXPECT_FALSE(q.Validate(*schema).ok());
+}
+
+TEST(DnfTest, UnfoldsPositiveQueryToUnion) {
+  auto fo = ParseFoQuery("Q(x) := (S(x) | exists y. R(x, y)) & S(x)");
+  ASSERT_TRUE(fo.ok());
+  ASSERT_TRUE(fo->IsPositiveExistential());
+  auto u = PositiveToUnion(*fo, 100);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->disjuncts().size(), 2u);
+}
+
+TEST(DnfTest, RenamesQuantifiedVariablesApart) {
+  // Both disjuncts bind y; after unfolding into one namespace the
+  // occurrences must not collide with the free x or each other.
+  auto fo = ParseFoQuery(
+      "Q(x) := (exists y. R(x, y)) & (exists y. S(y))");
+  ASSERT_TRUE(fo.ok());
+  auto u = PositiveToUnion(*fo, 100);
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->disjuncts().size(), 1u);
+  const ConjunctiveQuery& cq = u->disjuncts()[0];
+  const std::string y1 = cq.body()[0].args()[1].var();
+  const std::string y2 = cq.body()[1].args()[0].var();
+  EXPECT_NE(y1, y2);
+}
+
+TEST(DnfTest, RespectsDisjunctCap) {
+  // (a|b) & (c|d) & (e|f) has 8 disjuncts.
+  auto fo = ParseFoQuery(
+      "Q(x) := (S(x) | S(x)) & (S(x) | S(x)) & (S(x) | S(x))");
+  ASSERT_TRUE(fo.ok());
+  EXPECT_TRUE(PositiveToUnion(*fo, 8).ok());
+  EXPECT_EQ(PositiveToUnion(*fo, 7).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DnfTest, RejectsNegation) {
+  auto fo = ParseFoQuery("Q(x) := S(x) & !S(x)");
+  ASSERT_TRUE(fo.ok());
+  EXPECT_FALSE(PositiveToUnion(*fo, 100).ok());
+}
+
+TEST(FormulaTest, FreeVariablesRespectShadowing) {
+  auto fo = ParseFoQuery("Q(x) := R(x, x) & exists x. S(x)");
+  ASSERT_TRUE(fo.ok());
+  std::set<std::string> free = fo->formula()->FreeVariables();
+  EXPECT_EQ(free, std::set<std::string>{"x"});
+}
+
+TEST(FormulaTest, ValidateChecksFreeVariablesMatchHead) {
+  auto schema = TwoRelationSchema();
+  auto fo = ParseFoQuery("Q(x, z) := R(x, y)");
+  ASSERT_TRUE(fo.ok());
+  EXPECT_FALSE(fo->Validate(*schema).ok());
+}
+
+}  // namespace
+}  // namespace relcomp

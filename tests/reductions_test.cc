@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "completeness/brute_force.h"
+#include "completeness/rcdp.h"
+#include "completeness/rcqp.h"
+#include "reductions/fixed_rcqp_family.h"
+#include "reductions/forall_exists_3sat.h"
+#include "reductions/sat.h"
+#include "reductions/three_sat_rcqp.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SAT substrate.
+
+TEST(SatTest, EvalAndBruteForce) {
+  // (x0 | x1) & (!x0 | x1): satisfiable with x1 = 1.
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{{0, false}, {1, false}},
+               {{0, true}, {1, false}}};
+  EXPECT_TRUE(f.Eval({false, true}));
+  EXPECT_FALSE(f.Eval({true, false}));
+  EXPECT_TRUE(SatBruteForce(f));
+
+  // x0 & !x0: unsatisfiable.
+  CnfFormula g;
+  g.num_vars = 1;
+  g.clauses = {{{0, false}}, {{0, true}}};
+  EXPECT_FALSE(SatBruteForce(g));
+}
+
+TEST(SatTest, QuantifiedBruteForce) {
+  // ∀x0 ∃x1: x0 != x1 as (x0 | x1) & (!x0 | !x1): true.
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{{0, false}, {1, false}},
+               {{0, true}, {1, true}}};
+  EXPECT_TRUE(ForallExistsBruteForce(f, 1, 1));
+  // ∀x0 ∃x1: x0 & x1: false (x0 = 0 falsifies).
+  CnfFormula g;
+  g.num_vars = 2;
+  g.clauses = {{{0, false}}, {{1, false}}};
+  EXPECT_FALSE(ForallExistsBruteForce(g, 1, 1));
+  // ∃x0 ∀x1: x0 | x1 — x0 = 1 works.
+  CnfFormula h;
+  h.num_vars = 2;
+  h.clauses = {{{0, false}, {1, false}}};
+  EXPECT_TRUE(ExistsForallExistsBruteForce(h, 1, 1, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.6 lower bound: ∀∃3SAT → RCDP(CQ, INDs).
+
+class ForallExists3SatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForallExists3SatTest, ReductionMatchesBruteForceOnRandomFormulas) {
+  Rng rng(GetParam());
+  std::uniform_int_distribution<size_t> nx_dist(0, 2);
+  ForallExists3SatInstance instance;
+  instance.nx = nx_dist(rng);
+  instance.ny = 3 - instance.nx;
+  instance.formula = RandomCnf(3, 3, &rng);
+  bool expected = ForallExistsBruteForce(instance.formula, instance.nx,
+                                         instance.ny);
+  auto encoded = EncodeForallExists3Sat(instance);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto result = DecideRcdp(encoded->query, encoded->db, encoded->master,
+                           encoded->constraints);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->complete, expected)
+      << instance.formula.ToString() << " with nx=" << instance.nx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForallExists3SatTest,
+                         ::testing::Range(1, 21));
+
+TEST(ForallExists3SatFixedTest, MasterAndConstraintsAreFormulaIndependent) {
+  // Corollary 3.7: the reduction uses fixed Dm and V — check that two
+  // different formulas produce identical master data and constraints.
+  Rng rng(99);
+  ForallExists3SatInstance a{RandomCnf(3, 2, &rng), 1, 2};
+  ForallExists3SatInstance b{RandomCnf(3, 4, &rng), 2, 1};
+  auto ea = EncodeForallExists3Sat(a);
+  auto eb = EncodeForallExists3Sat(b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->master, eb->master);
+  EXPECT_EQ(ea->db, eb->db);
+  EXPECT_EQ(ea->constraints.ToString(), eb->constraints.ToString());
+}
+
+TEST(ForallExists3SatTestHand, TautologyAndContradiction) {
+  // ∀x0 ∃y0: (x0 | !x0) — trivially true ⇒ complete.
+  ForallExists3SatInstance taut;
+  taut.nx = 1;
+  taut.ny = 1;
+  taut.formula.num_vars = 2;
+  taut.formula.clauses = {{{0, false}, {0, true}}};
+  auto enc = EncodeForallExists3Sat(taut);
+  ASSERT_TRUE(enc.ok());
+  auto result = DecideRcdp(enc->query, enc->db, enc->master,
+                           enc->constraints);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->complete);
+
+  // ∀x0 ∃y0: x0 — false (x0 = 0) ⇒ incomplete.
+  ForallExists3SatInstance contra;
+  contra.nx = 1;
+  contra.ny = 1;
+  contra.formula.num_vars = 2;
+  contra.formula.clauses = {{{0, false}}};
+  auto enc2 = EncodeForallExists3Sat(contra);
+  ASSERT_TRUE(enc2.ok());
+  auto result2 = DecideRcdp(enc2->query, enc2->db, enc2->master,
+                            enc2->constraints);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_FALSE(result2->complete);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.5(1) lower bound: 3SAT → RCQP(CQ, INDs); RCQ empty iff
+// satisfiable.
+
+class ThreeSatRcqpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeSatRcqpTest, ReductionMatchesBruteForceOnRandomFormulas) {
+  Rng rng(GetParam() * 31);
+  CnfFormula f = RandomCnf(3, 4, &rng);
+  bool satisfiable = SatBruteForce(f);
+  auto encoded = EncodeThreeSatRcqp(f);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto result = DecideRcqp(encoded->query, encoded->db_schema,
+                           encoded->master, encoded->constraints);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->exists, !satisfiable) << f.ToString();
+  EXPECT_TRUE(result->exhaustive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeSatRcqpTest, ::testing::Range(1, 21));
+
+TEST(ThreeSatRcqpHandTest, SatisfiableMeansNoCompleteDatabase) {
+  CnfFormula sat;
+  sat.num_vars = 1;
+  sat.clauses = {{{0, false}}};
+  auto enc = EncodeThreeSatRcqp(sat);
+  ASSERT_TRUE(enc.ok());
+  auto result = DecideRcqp(enc->query, enc->db_schema, enc->master,
+                           enc->constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exists);
+  ASSERT_FALSE(result->unbounded_variables.empty());
+  EXPECT_EQ(result->unbounded_variables[0].variable, "z");
+
+  CnfFormula unsat;
+  unsat.num_vars = 1;
+  unsat.clauses = {{{0, false}}, {{0, true}}};
+  auto enc2 = EncodeThreeSatRcqp(unsat);
+  ASSERT_TRUE(enc2.ok());
+  auto result2 = DecideRcqp(enc2->query, enc2->db_schema, enc2->master,
+                            enc2->constraints);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_TRUE(result2->exists);
+}
+
+// ---------------------------------------------------------------------------
+// The fixed-(Dm, V) family for Corollary 4.6 (∃X ∀W variant; see the
+// header of reductions/fixed_rcqp_family.h for why the paper's Σ₃
+// construction is not implemented as written).
+
+class FixedFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedFamilyTest, WitnessCompleteIffForallHolds) {
+  // Per-χ validation: the χ-witness is complete iff ∀W φ(χ, W).
+  Rng rng(GetParam() * 7);
+  FixedRcqpFamilyInstance instance;
+  instance.nx = 1;
+  instance.nw = 2;
+  instance.formula = RandomCnf(3, 3, &rng);
+  auto encoded = EncodeFixedRcqpFamily(instance);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+
+  for (int chi_bits = 0; chi_bits < 2; ++chi_bits) {
+    std::vector<bool> chi = {chi_bits == 1};
+    auto witness = BuildFixedFamilyWitness(instance, chi, *encoded);
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+    // ∀W φ(χ, W) by brute force.
+    bool forall = true;
+    for (int w_bits = 0; w_bits < 4 && forall; ++w_bits) {
+      std::vector<bool> assignment = {chi[0], (w_bits & 1) != 0,
+                                      (w_bits & 2) != 0};
+      forall = instance.formula.Eval(assignment);
+    }
+    auto result = DecideRcdp(encoded->query, *witness, encoded->master,
+                             encoded->constraints);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->complete, forall)
+        << instance.formula.ToString() << " chi=" << chi_bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedFamilyTest, ::testing::Range(1, 16));
+
+TEST(FixedFamilyFixedPartsTest, MasterAndConstraintsAreFormulaIndependent) {
+  Rng rng(5);
+  FixedRcqpFamilyInstance a{RandomCnf(3, 2, &rng), 1, 2};
+  FixedRcqpFamilyInstance b{RandomCnf(4, 5, &rng), 2, 2};
+  auto ea = EncodeFixedRcqpFamily(a);
+  auto eb = EncodeFixedRcqpFamily(b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->master, eb->master);
+  EXPECT_EQ(ea->constraints.ToString(), eb->constraints.ToString());
+}
+
+TEST(FixedFamilyHandTest, ExistsForallDecidesViaWitnesses) {
+  // φ = (x0 | w0) & (x0 | !w0): ∃x0 ∀w0 φ holds with x0 = 1.
+  FixedRcqpFamilyInstance instance;
+  instance.nx = 1;
+  instance.nw = 1;
+  instance.formula.num_vars = 2;
+  instance.formula.clauses = {{{0, false}, {1, false}},
+                              {{0, false}, {1, true}}};
+  auto encoded = EncodeFixedRcqpFamily(instance);
+  ASSERT_TRUE(encoded.ok());
+
+  auto witness_true = BuildFixedFamilyWitness(instance, {true}, *encoded);
+  ASSERT_TRUE(witness_true.ok());
+  auto complete = DecideRcdp(encoded->query, *witness_true, encoded->master,
+                             encoded->constraints);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(complete->complete);
+
+  auto witness_false = BuildFixedFamilyWitness(instance, {false}, *encoded);
+  ASSERT_TRUE(witness_false.ok());
+  auto incomplete = DecideRcdp(encoded->query, *witness_false,
+                               encoded->master, encoded->constraints);
+  ASSERT_TRUE(incomplete.ok());
+  EXPECT_FALSE(incomplete->complete);
+}
+
+}  // namespace
+}  // namespace relcomp

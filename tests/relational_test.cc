@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/domain.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace relcomp {
+namespace {
+
+TEST(ValueTest, OrderingAndEquality) {
+  Value a = Value::Int(1);
+  Value b = Value::Int(2);
+  Value s = Value::Str("x");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, s);  // ints before strings
+  EXPECT_EQ(a, Value::Int(1));
+  EXPECT_NE(a, Value::Str("1"));
+  EXPECT_EQ(a.ToString(), "1");
+  EXPECT_EQ(s.ToString(), "\"x\"");
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Str("1").Hash());
+}
+
+TEST(DomainTest, BooleanIsFiniteWithTwoValues) {
+  auto boolean = Domain::Boolean();
+  ASSERT_TRUE(boolean->is_finite());
+  EXPECT_EQ(boolean->finite_values().size(), 2u);
+  EXPECT_TRUE(boolean->Contains(Value::Int(0)));
+  EXPECT_TRUE(boolean->Contains(Value::Int(1)));
+  EXPECT_FALSE(boolean->Contains(Value::Int(2)));
+}
+
+TEST(DomainTest, InfiniteContainsEverything) {
+  auto inf = Domain::Infinite();
+  EXPECT_TRUE(inf->is_infinite());
+  EXPECT_TRUE(inf->Contains(Value::Str("anything")));
+}
+
+TEST(DomainTest, EnumeratedDeduplicatesAndSorts) {
+  auto dom = Domain::Enumerated(
+      "d", {Value::Int(3), Value::Int(1), Value::Int(3)});
+  ASSERT_EQ(dom->finite_values().size(), 2u);
+  EXPECT_EQ(dom->finite_values()[0], Value::Int(1));
+  EXPECT_EQ(dom->finite_values()[1], Value::Int(3));
+}
+
+TEST(TupleTest, Basics) {
+  Tuple t = Tuple::Ints({1, 2, 3});
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t[1], Value::Int(2));
+  EXPECT_EQ(t.ToString(), "(1, 2, 3)");
+  EXPECT_LT(Tuple::Ints({1, 2}), Tuple::Ints({1, 3}));
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(Tuple::Ints({1, 2})));
+  EXPECT_FALSE(r.Insert(Tuple::Ints({1, 2})));  // duplicate
+  EXPECT_FALSE(r.Insert(Tuple::Ints({1})));     // arity mismatch
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple::Ints({1, 2})));
+}
+
+TEST(RelationTest, SubsetAndUnion) {
+  Relation a(1);
+  Relation b(1);
+  a.Insert(Tuple::Ints({1}));
+  b.Insert(Tuple::Ints({1}));
+  b.Insert(Tuple::Ints({2}));
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  a.UnionWith(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  EXPECT_FALSE(schema.AddRelation("R", 3).ok());  // duplicate
+  ASSERT_TRUE(schema.HasRelation("R"));
+  EXPECT_EQ(schema.FindRelation("R")->arity(), 2u);
+  EXPECT_EQ(schema.FindRelation("R")->AttributeIndex("a1"), 1);
+  EXPECT_EQ(schema.FindRelation("R")->AttributeIndex("zz"), -1);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = std::make_shared<Schema>();
+    ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+    ASSERT_TRUE(schema
+                    ->AddRelation(RelationSchema(
+                        "B", {AttributeDef::Over("b", Domain::Boolean())}))
+                    .ok());
+    db_ = Database(schema);
+  }
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CheckedInsertValidates) {
+  EXPECT_TRUE(db_.Insert("R", Tuple::Ints({1, 2})).ok());
+  EXPECT_EQ(db_.Insert("nope", Tuple::Ints({1})).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Insert("R", Tuple::Ints({1})).code(),
+            StatusCode::kInvalidArgument);
+  // Domain violation on the Boolean column.
+  EXPECT_EQ(db_.Insert("B", Tuple::Ints({7})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db_.Insert("B", Tuple::Ints({1})).ok());
+}
+
+TEST_F(DatabaseTest, ContainmentAndUnion) {
+  ASSERT_TRUE(db_.Insert("R", Tuple::Ints({1, 2})).ok());
+  Database bigger = db_;
+  ASSERT_TRUE(bigger.Insert("R", Tuple::Ints({3, 4})).ok());
+  EXPECT_TRUE(db_.IsSubsetOf(bigger));
+  EXPECT_FALSE(bigger.IsSubsetOf(db_));
+  db_.UnionWith(bigger);
+  EXPECT_TRUE(bigger.IsSubsetOf(db_));
+  EXPECT_EQ(db_, bigger);
+}
+
+TEST_F(DatabaseTest, CollectConstants) {
+  ASSERT_TRUE(db_.Insert("R", Tuple::Ints({1, 2})).ok());
+  std::set<Value> constants;
+  db_.CollectConstants(&constants);
+  EXPECT_EQ(constants.size(), 2u);
+  EXPECT_TRUE(constants.count(Value::Int(1)) > 0);
+}
+
+TEST_F(DatabaseTest, GetOnEmptyRelationHasSchemaArity) {
+  EXPECT_EQ(db_.Get("R").arity(), 2u);
+  EXPECT_TRUE(db_.Get("R").empty());
+  EXPECT_EQ(db_.TotalTuples(), 0u);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "completeness/rcdp.h"
+#include "constraints/constraint_check.h"
+#include "eval/query_eval.h"
+#include "spec/spec_parser.h"
+
+namespace relcomp {
+namespace {
+
+constexpr char kCrmSpec[] = R"spec(
+% comment line
+relation Cust(cid, name, cc, ac, phn)
+relation Supt(eid, dept, cid)
+master relation DCust(cid, name, ac, phn)
+
+master fact DCust("c0", "n0", "908", "p0")   % trailing comment
+master fact DCust("c1", "n1", "201", "p1")
+fact Cust("c0", "n0", "01", "908", "p0")
+fact Supt("e0", "d0", "c0")
+
+constraint q0(c) :- Cust(c, n, cc, a, p), Supt(e, d, c), cc = "01" |= DCust[0]
+constraint amo() :- Supt(e, d1, c1), Supt(e, d2, c2), c1 != c2 |= empty
+
+query cq Q1(c) :- Supt(e, d, c), e = "e0"
+)spec";
+
+TEST(SpecParserTest, ParsesTheCrmSpec) {
+  auto spec = ParseCompletenessSpec(kCrmSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->db_schema->size(), 2u);
+  EXPECT_EQ(spec->master_schema->size(), 1u);
+  EXPECT_EQ(spec->db.TotalTuples(), 2u);
+  EXPECT_EQ(spec->master.TotalTuples(), 2u);
+  EXPECT_EQ(spec->constraints.size(), 2u);
+  ASSERT_EQ(spec->queries.size(), 1u);
+  EXPECT_EQ(spec->queries[0].language(), QueryLanguage::kCq);
+
+  auto closed = Satisfies(spec->constraints, spec->db, spec->master);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(*closed);
+
+  // The parsed artifacts drive the decider end to end: the at-most-one
+  // constraint plus e0's existing tuple make Q1 complete (the paper's
+  // Example 3.1 pattern).
+  auto verdict = DecideRcdp(spec->queries[0], spec->db, spec->master,
+                            spec->constraints);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->complete);
+
+  // Dropping the at-most-one constraint reopens the query.
+  ConstraintSet phi0_only;
+  phi0_only.Add(spec->constraints.constraints()[0]);
+  auto open_verdict = DecideRcdp(spec->queries[0], spec->db, spec->master,
+                                 phi0_only);
+  ASSERT_TRUE(open_verdict.ok());
+  EXPECT_FALSE(open_verdict->complete);
+}
+
+TEST(SpecParserTest, DomainAnnotations) {
+  auto spec = ParseCompletenessSpec(R"(
+relation Flag(f: bool, note)
+relation Slot(s: int(4), v: inf)
+fact Flag(1, "on")
+fact Slot(3, "x")
+query cq Q(f) :- Flag(f, n)
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const RelationSchema* flag = spec->db_schema->FindRelation("Flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(flag->attribute(0).domain->is_finite());
+  EXPECT_TRUE(flag->attribute(1).domain->is_infinite());
+  const RelationSchema* slot = spec->db_schema->FindRelation("Slot");
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->attribute(0).domain->finite_values().size(), 4u);
+  // Out-of-domain facts are rejected with the line number.
+  auto bad = ParseCompletenessSpec(
+      "relation Flag(f: bool)\nfact Flag(7)\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SpecParserTest, AllQueryLanguages) {
+  auto spec = ParseCompletenessSpec(R"(
+relation R(a, b)
+relation S(a)
+query cq   Qc(x) :- R(x, y)
+query ucq  Qu(x) :- R(x, y). Qu(x) :- S(x)
+query efo  Qe(x) := S(x) | exists y. R(x, y)
+query fo   Qf(x) := S(x) & !(exists y. R(x, y))
+query fp   T(x) :- S(x). T(x) :- R(x, y), T(y)
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->queries.size(), 5u);
+  EXPECT_EQ(spec->queries[0].language(), QueryLanguage::kCq);
+  EXPECT_EQ(spec->queries[1].language(), QueryLanguage::kUcq);
+  EXPECT_EQ(spec->queries[2].language(), QueryLanguage::kPositive);
+  EXPECT_EQ(spec->queries[3].language(), QueryLanguage::kFo);
+  EXPECT_EQ(spec->queries[4].language(), QueryLanguage::kDatalog);
+}
+
+TEST(SpecParserTest, FoConstraintsGetTaggedByFragment) {
+  auto spec = ParseCompletenessSpec(R"(
+relation R(a, b)
+constraint q(x) := exists y. R(x, y) |= empty
+constraint p(x) := R(x, x) & !(exists y. R(x, y)) |= empty
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->constraints.size(), 2u);
+  EXPECT_EQ(spec->constraints.constraints()[0].language(),
+            QueryLanguage::kPositive);
+  EXPECT_EQ(spec->constraints.constraints()[1].language(),
+            QueryLanguage::kFo);
+}
+
+TEST(SpecParserTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* expect;
+  };
+  Case cases[] = {
+      {"relatoin R(a)\n", "line 1"},
+      {"relation R(a)\nfact R(x)\n", "line 2"},      // variable in fact
+      {"relation R(a)\nconstraint q() :- R(x)\n", "line 2"},  // missing |=
+      {"relation R(a)\nquery zz Q(x) :- R(x)\n", "unknown query language"},
+      {"relation R(a)\nrelation R(b)\n", "line 2"},  // duplicate
+      {"relation R(a)\nconstraint q(x) :- R(x) |= M[0]\n", "line 2"},
+  };
+  for (const Case& c : cases) {
+    auto spec = ParseCompletenessSpec(c.text);
+    ASSERT_FALSE(spec.ok()) << c.text;
+    EXPECT_NE(spec.status().message().find(c.expect), std::string::npos)
+        << spec.status().ToString();
+  }
+}
+
+TEST(SpecParserTest, CommentCharactersInsideStringsSurvive) {
+  auto spec = ParseCompletenessSpec(R"(
+relation R(a)
+fact R("100% #1")
+query cq Q(x) :- R(x)
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->db.Contains("R", Tuple({Value::Str("100% #1")})));
+}
+
+TEST(SpecParserTest, LoadsTheShippedExampleSpec) {
+  auto spec = LoadCompletenessSpec(
+      std::string(RELCOMP_SOURCE_DIR) + "/examples/specs/crm.rcspec");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->queries.size(), 2u);
+  auto closed = Satisfies(spec->constraints, spec->db, spec->master);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(*closed);
+}
+
+}  // namespace
+}  // namespace relcomp

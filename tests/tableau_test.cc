@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "eval/conjunctive_eval.h"
+#include "query/parser.h"
+#include "tableau/containment.h"
+#include "tableau/homomorphism.h"
+#include "tableau/single_relation.h"
+#include "tableau/tableau.h"
+#include "workload/generators.h"
+
+namespace relcomp {
+namespace {
+
+std::shared_ptr<Schema> TestSchema() {
+  auto schema = std::make_shared<Schema>();
+  EXPECT_TRUE(schema->AddRelation("R", 2).ok());
+  EXPECT_TRUE(schema->AddRelation("S", 1).ok());
+  EXPECT_TRUE(schema
+                  ->AddRelation(RelationSchema(
+                      "B", {AttributeDef::Over("b", Domain::Boolean()),
+                            AttributeDef::Inf("v")}))
+                  .ok());
+  return schema;
+}
+
+TableauQuery MakeTableau(const std::string& text, const Schema& schema) {
+  auto q = ParseConjunctiveQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto t = TableauQuery::FromConjunctive(*q, schema);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+TEST(TableauTest, NormalizesEqualityClasses) {
+  auto schema = TestSchema();
+  // x = y and y = 1 should substitute the constant everywhere.
+  TableauQuery t =
+      MakeTableau("Q(x) :- R(x, y), x = y, y = 1.", *schema);
+  ASSERT_TRUE(t.satisfiable());
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_TRUE(t.rows()[0].terms[0].is_constant());
+  EXPECT_EQ(t.rows()[0].terms[0].value(), Value::Int(1));
+  EXPECT_TRUE(t.summary()[0].is_constant());
+  EXPECT_TRUE(t.variables().empty());
+}
+
+TEST(TableauTest, MergesVariablesIntoOneRepresentative) {
+  auto schema = TestSchema();
+  TableauQuery t = MakeTableau("Q(x, y) :- R(x, z), R(z, y), x = y.", *schema);
+  ASSERT_TRUE(t.satisfiable());
+  EXPECT_EQ(t.summary()[0], t.summary()[1]);
+}
+
+TEST(TableauTest, DetectsConstantConflicts) {
+  auto schema = TestSchema();
+  EXPECT_FALSE(
+      MakeTableau("Q() :- R(x, y), x = 1, x = 2.", *schema).satisfiable());
+  EXPECT_FALSE(
+      MakeTableau("Q() :- R(x, y), x = y, x != y.", *schema).satisfiable());
+  EXPECT_FALSE(MakeTableau("Q() :- R(x, x), x = 1, x != 1.", *schema)
+                   .satisfiable());
+}
+
+TEST(TableauTest, ConstantConstantComparisons) {
+  auto schema = TestSchema();
+  EXPECT_FALSE(MakeTableau("Q() :- R(x, y), 1 = 2.", *schema).satisfiable());
+  EXPECT_TRUE(MakeTableau("Q() :- R(x, y), 1 != 2.", *schema).satisfiable());
+}
+
+TEST(TableauTest, OutOfDomainConstantIsUnsatisfiable) {
+  auto schema = TestSchema();
+  EXPECT_FALSE(MakeTableau("Q() :- B(5, v).", *schema).satisfiable());
+  EXPECT_TRUE(MakeTableau("Q() :- B(1, v).", *schema).satisfiable());
+}
+
+TEST(TableauTest, VariableDomainsComeFromColumns) {
+  auto schema = TestSchema();
+  TableauQuery t = MakeTableau("Q(b, v) :- B(b, v).", *schema);
+  EXPECT_TRUE(t.VariableDomain("b")->is_finite());
+  EXPECT_TRUE(t.VariableDomain("v")->is_infinite());
+}
+
+TEST(TableauTest, InstantiateAndSummary) {
+  auto schema = TestSchema();
+  TableauQuery t = MakeTableau("Q(x) :- R(x, y), S(y), x != y.", *schema);
+  Bindings mu;
+  mu.Set("x", Value::Int(1));
+  mu.Set("y", Value::Int(2));
+  EXPECT_TRUE(t.IsValidValuation(mu));
+  auto rows = t.Instantiate(mu);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  auto summary = t.SummaryTuple(mu);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(*summary, Tuple::Ints({1}));
+  // Violating the disequality invalidates the valuation.
+  mu.Set("y", Value::Int(1));
+  EXPECT_FALSE(t.IsValidValuation(mu));
+}
+
+TEST(TableauTest, RoundTripsToConjunctiveQuery) {
+  auto schema = TestSchema();
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x, y), S(y), x != y.");
+  ASSERT_TRUE(q.ok());
+  auto t = TableauQuery::FromConjunctive(*q, *schema);
+  ASSERT_TRUE(t.ok());
+  ConjunctiveQuery back = t->ToConjunctive("Q");
+  auto equivalent = CqEquivalent(*q, back, *schema);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(HomomorphismTest, FindsMatchIntoInstance) {
+  auto schema = TestSchema();
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("R", Tuple::Ints({1, 2})).ok());
+  ASSERT_TRUE(db.Insert("S", Tuple::Ints({2})).ok());
+  TableauQuery t = MakeTableau("Q(x) :- R(x, y), S(y).", *schema);
+  auto hom = FindHomomorphism(t, db);
+  ASSERT_TRUE(hom.ok());
+  ASSERT_TRUE(hom->has_value());
+  EXPECT_EQ((*hom)->Get("x"), Value::Int(1));
+  TableauQuery none = MakeTableau("Q(x) :- R(x, x).", *schema);
+  auto no_hom = FindHomomorphism(none, db);
+  ASSERT_TRUE(no_hom.ok());
+  EXPECT_FALSE(no_hom->has_value());
+}
+
+TEST(ContainmentTest, ClassicProjectionContainment) {
+  auto schema = TestSchema();
+  auto q1 = ParseConjunctiveQuery("Q(x) :- R(x, y), S(y).");
+  auto q2 = ParseConjunctiveQuery("Q(x) :- R(x, y).");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto forward = CqContained(*q1, *q2, *schema);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(*forward);  // extra atom ⇒ more restrictive
+  auto backward = CqContained(*q2, *q1, *schema);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_FALSE(*backward);
+}
+
+TEST(ContainmentTest, InequalityOnContainerSideNeedsIdentification) {
+  auto schema = TestSchema();
+  // Q1(x,y) :- R(x,y) is NOT contained in Q2(x,y) :- R(x,y), x != y:
+  // the instance {R(a,a)} separates them. The naive freeze would miss
+  // this; the identification-pattern path must catch it.
+  auto q1 = ParseConjunctiveQuery("Q(x, y) :- R(x, y).");
+  auto q2 = ParseConjunctiveQuery("Q(x, y) :- R(x, y), x != y.");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto contained = CqContained(*q1, *q2, *schema);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_FALSE(*contained);
+  auto reverse = CqContained(*q2, *q1, *schema);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_TRUE(*reverse);
+}
+
+TEST(ContainmentTest, ConstantsOnContainerSide) {
+  auto schema = TestSchema();
+  auto q1 = ParseConjunctiveQuery("Q(x) :- S(x).");
+  auto q2 = ParseConjunctiveQuery("Q(x) :- S(x), x != 1.");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto contained = CqContained(*q1, *q2, *schema);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_FALSE(*contained);  // {S(1)} separates
+}
+
+TEST(ContainmentTest, UnsatisfiableQueryContainedInEverything) {
+  auto schema = TestSchema();
+  auto q1 = ParseConjunctiveQuery("Q(x) :- S(x), x = 1, x = 2.");
+  auto q2 = ParseConjunctiveQuery("Q(x) :- R(x, x).");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto contained = CqContained(*q1, *q2, *schema);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(*contained);
+}
+
+TEST(ContainmentTest, UnionContainment) {
+  auto schema = TestSchema();
+  auto q = ParseConjunctiveQuery("Q(x) :- S(x).");
+  auto u = ParseUnionQuery("Q(x) :- S(x), x = 1.\nQ(x) :- S(x), x != 1.");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(u.ok());
+  auto contained = CqContainedInUnion(*q, *u, *schema);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(*contained);  // the two disjuncts cover all of S
+  auto u_in_q = UnionContained(*u, UnionQuery(*q), *schema);
+  ASSERT_TRUE(u_in_q.ok());
+  EXPECT_TRUE(*u_in_q);
+}
+
+TEST(ContainmentTest, RespectsVariableCap) {
+  auto schema = TestSchema();
+  // 13 distinct variables with a disequality forces the enumeration
+  // path past the default cap of 12.
+  std::string body = "Q() :- R(v0, v1), R(v2, v3), R(v4, v5), R(v6, v7), "
+                     "R(v8, v9), R(v10, v11), S(v12), v0 != v1.";
+  auto q1 = ParseConjunctiveQuery(body);
+  auto q2 = ParseConjunctiveQuery("Q() :- R(x, y), x != y.");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto result = CqContained(*q1, *q2, *schema);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Containment decisions must agree with direct evaluation on random
+// instances: if Q1 ⊆ Q2 then Q1(D) ⊆ Q2(D) for every sampled D, and if
+// not contained, some sampled D often separates them (checked only in
+// the sound direction).
+class ContainmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentPropertyTest, ContainmentIsSoundOnRandomInstances) {
+  Rng rng(GetParam());
+  RandomInstanceOptions db_options;
+  db_options.num_relations = 2;
+  db_options.value_pool = 3;
+  auto schema = RandomSchema(db_options, &rng);
+  RandomCqOptions cq_options;
+  cq_options.num_atoms = 2;
+  cq_options.num_variables = 3;
+  for (int i = 0; i < 5; ++i) {
+    ConjunctiveQuery q1 = RandomCq(*schema, cq_options, &rng);
+    ConjunctiveQuery q2 = RandomCq(*schema, cq_options, &rng);
+    if (!q1.Validate(*schema).ok() || !q2.Validate(*schema).ok()) continue;
+    if (q1.arity() != q2.arity()) continue;
+    auto contained = CqContained(q1, q2, *schema);
+    if (!contained.ok() || !*contained) continue;
+    for (int d = 0; d < 5; ++d) {
+      Database db = RandomDatabase(schema, db_options, &rng);
+      auto a1 = EvalConjunctive(q1, db);
+      auto a2 = EvalConjunctive(q2, db);
+      ASSERT_TRUE(a1.ok());
+      ASSERT_TRUE(a2.ok());
+      EXPECT_TRUE(a1->IsSubsetOf(*a2))
+          << q1.ToString() << "\n" << q2.ToString() << "\n" << db.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Range(1, 16));
+
+TEST(SingleRelationTest, PreservesQueryAnswers) {
+  auto schema = TestSchema();
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("R", Tuple::Ints({1, 2})).ok());
+  ASSERT_TRUE(db.Insert("R", Tuple::Ints({2, 3})).ok());
+  ASSERT_TRUE(db.Insert("S", Tuple::Ints({2})).ok());
+  auto enc = SingleRelationEncoding::Create(schema);
+  ASSERT_TRUE(enc.ok());
+  auto wide_db = enc->TransformDatabase(db);
+  ASSERT_TRUE(wide_db.ok());
+  EXPECT_EQ(wide_db->TotalTuples(), 3u);
+
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x, y), S(y), x != 3.");
+  ASSERT_TRUE(q.ok());
+  auto wide_q = enc->TransformQuery(*q);
+  ASSERT_TRUE(wide_q.ok());
+  auto original = EvalConjunctive(*q, db);
+  auto transformed = EvalConjunctive(*wide_q, *wide_db);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_EQ(*original, *transformed);
+}
+
+TEST(SingleRelationTest, Lemma32OnRandomInstances) {
+  Rng rng(7);
+  RandomInstanceOptions db_options;
+  auto schema = RandomSchema(db_options, &rng);
+  auto enc = SingleRelationEncoding::Create(schema);
+  ASSERT_TRUE(enc.ok());
+  RandomCqOptions cq_options;
+  for (int i = 0; i < 20; ++i) {
+    Database db = RandomDatabase(schema, db_options, &rng);
+    ConjunctiveQuery q = RandomCq(*schema, cq_options, &rng);
+    if (!q.Validate(*schema).ok()) continue;
+    auto wide_db = enc->TransformDatabase(db);
+    auto wide_q = enc->TransformQuery(q);
+    ASSERT_TRUE(wide_db.ok());
+    ASSERT_TRUE(wide_q.ok());
+    auto original = EvalConjunctive(q, db);
+    auto transformed = EvalConjunctive(*wide_q, *wide_db);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(transformed.ok());
+    EXPECT_EQ(*original, *transformed) << q.ToString();
+  }
+}
+
+TEST(SingleRelationTest, RejectsNameCollision) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("WideR", 1).ok());
+  EXPECT_FALSE(SingleRelationEncoding::Create(schema).ok());
+}
+
+}  // namespace
+}  // namespace relcomp

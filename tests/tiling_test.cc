@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "completeness/rcdp.h"
+#include "completeness/rcqp.h"
+#include "constraints/constraint_check.h"
+#include "eval/query_eval.h"
+#include "reductions/tiling.h"
+
+namespace relcomp {
+namespace {
+
+/// All-pairs compatibility: every tile may sit next to every tile.
+TilingInstance FreeInstance(size_t n, size_t num_tiles) {
+  TilingInstance t;
+  t.n = n;
+  t.num_tiles = num_tiles;
+  t.t0 = 0;
+  for (size_t a = 0; a < num_tiles; ++a) {
+    for (size_t b = 0; b < num_tiles; ++b) {
+      t.vertical.emplace_back(a, b);
+      t.horizontal.emplace_back(a, b);
+    }
+  }
+  return t;
+}
+
+/// A checkerboard instance: adjacent tiles must differ. Solvable for
+/// any grid when num_tiles >= 2.
+TilingInstance CheckerboardInstance(size_t n) {
+  TilingInstance t;
+  t.n = n;
+  t.num_tiles = 2;
+  t.t0 = 0;
+  for (size_t a = 0; a < 2; ++a) {
+    for (size_t b = 0; b < 2; ++b) {
+      if (a != b) {
+        t.vertical.emplace_back(a, b);
+        t.horizontal.emplace_back(a, b);
+      }
+    }
+  }
+  return t;
+}
+
+/// Unsolvable: tile 0 has no compatible right neighbor.
+TilingInstance BlockedInstance(size_t n) {
+  TilingInstance t;
+  t.n = n;
+  t.num_tiles = 2;
+  t.t0 = 0;
+  t.vertical = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  t.horizontal = {};  // nothing may sit to the right of anything
+  return t;
+}
+
+TEST(TilingSolverTest, SolvesAndRefutes) {
+  auto free_solution = SolveTiling(FreeInstance(1, 2));
+  ASSERT_TRUE(free_solution.has_value());
+  EXPECT_EQ(free_solution->size(), 4u);
+  EXPECT_EQ((*free_solution)[0], 0u);  // top-left is t0
+
+  auto checker = SolveTiling(CheckerboardInstance(2));
+  ASSERT_TRUE(checker.has_value());
+  // Verify the checkerboard property.
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c + 1 < 4; ++c) {
+      EXPECT_NE((*checker)[r * 4 + c], (*checker)[r * 4 + c + 1]);
+    }
+  }
+
+  EXPECT_FALSE(SolveTiling(BlockedInstance(1)).has_value());
+}
+
+TEST(TilingEncodingTest, WitnessIsPartiallyClosedAndComplete) {
+  TilingInstance t = CheckerboardInstance(1);
+  auto solution = SolveTiling(t);
+  ASSERT_TRUE(solution.has_value());
+  auto encoded = EncodeTilingRcqp(t);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto witness = BuildTilingWitness(t, *solution, *encoded);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+
+  auto closed = Satisfies(encoded->constraints, *witness, encoded->master);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_TRUE(*closed);
+
+  auto answer = Evaluate(encoded->query, *witness);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 1u);  // Rb = {(0)}
+
+  auto complete = DecideRcdp(encoded->query, *witness, encoded->master,
+                             encoded->constraints);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(complete->complete);
+}
+
+TEST(TilingEncodingTest, Rank2WitnessIsPartiallyClosedAndComplete) {
+  TilingInstance t = CheckerboardInstance(2);
+  auto solution = SolveTiling(t);
+  ASSERT_TRUE(solution.has_value());
+  auto encoded = EncodeTilingRcqp(t);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto witness = BuildTilingWitness(t, *solution, *encoded);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+
+  auto closed = Satisfies(encoded->constraints, *witness, encoded->master);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_TRUE(*closed);
+
+  auto complete = DecideRcdp(encoded->query, *witness, encoded->master,
+                             encoded->constraints);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(complete->complete);
+}
+
+TEST(TilingEncodingTest, BadGridViolatesConstraints) {
+  TilingInstance t = CheckerboardInstance(1);
+  // An all-zeros grid breaks the checkerboard compatibilities.
+  std::vector<size_t> bad_grid = {0, 0, 0, 0};
+  auto encoded = EncodeTilingRcqp(t);
+  ASSERT_TRUE(encoded.ok());
+  auto witness = BuildTilingWitness(t, bad_grid, *encoded);
+  ASSERT_TRUE(witness.ok());
+  auto closed = Satisfies(encoded->constraints, *witness, encoded->master);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_FALSE(*closed);
+}
+
+TEST(TilingEncodingTest, NoTilingMeansEveryDatabaseIncomplete) {
+  TilingInstance t = BlockedInstance(1);
+  ASSERT_FALSE(SolveTiling(t).has_value());
+  auto encoded = EncodeTilingRcqp(t);
+  ASSERT_TRUE(encoded.ok());
+  // The empty database satisfies V but is incomplete: Rb can always be
+  // pumped because no traced hierarchy can ever exist.
+  Database empty(encoded->db_schema);
+  auto closed = Satisfies(encoded->constraints, empty, encoded->master);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(*closed);
+  auto result = DecideRcdp(encoded->query, empty, encoded->master,
+                           encoded->constraints);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->complete);
+
+  // Adding any R1 rows that satisfy V still leaves Rb pumpable.
+  Database attempt(encoded->db_schema);
+  ASSERT_TRUE(attempt
+                  .Insert("R1", Tuple({Value::Str("h"), Value::Int(0),
+                                       Value::Int(0), Value::Int(0),
+                                       Value::Int(0), Value::Int(0)}))
+                  .ok());
+  auto attempt_closed =
+      Satisfies(encoded->constraints, attempt, encoded->master);
+  ASSERT_TRUE(attempt_closed.ok());
+  // The all-zero 2x2 block violates the horizontal compatibility (the
+  // blocked instance has no horizontal pairs) — not even partially
+  // closed.
+  EXPECT_FALSE(*attempt_closed);
+}
+
+TEST(TilingEncodingTest, SolvableInstanceWitnessBeatsNonWitness) {
+  // For a solvable instance the witness is complete, while a database
+  // holding only Rb (no hierarchy) is incomplete — the hierarchy is
+  // what pins Rb down.
+  TilingInstance t = FreeInstance(1, 2);
+  auto encoded = EncodeTilingRcqp(t);
+  ASSERT_TRUE(encoded.ok());
+  Database only_rb(encoded->db_schema);
+  ASSERT_TRUE(only_rb.Insert("Rb", Tuple({Value::Int(0)})).ok());
+  auto result = DecideRcdp(encoded->query, only_rb, encoded->master,
+                           encoded->constraints);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->complete);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "automata/two_head_dfa.h"
+#include "completeness/brute_force.h"
+#include "completeness/rcqp.h"
+#include "constraints/constraint_check.h"
+#include "eval/query_eval.h"
+
+namespace relcomp {
+namespace {
+
+/// Accepts exactly the string "1" (both heads read it, then park).
+TwoHeadDfa SingleOneDfa() {
+  TwoHeadDfa a;
+  a.num_states = 3;
+  a.initial_state = 0;
+  a.accepting_state = 2;
+  a.AddTransition(0, 1, 1, 1, 1, 1);
+  a.AddTransition(1, TwoHeadDfa::kEpsilon, TwoHeadDfa::kEpsilon, 2, 0, 0);
+  return a;
+}
+
+TwoHeadDfa EmptyDfa() {
+  TwoHeadDfa a;
+  a.num_states = 2;
+  a.initial_state = 0;
+  a.accepting_state = 1;
+  for (int sym : {0, 1}) a.AddTransition(0, sym, sym, 0, 1, 1);
+  return a;
+}
+
+TEST(TwoHeadDfaRcqpTest, ConstraintsAreFixedAcrossAutomata) {
+  auto e1 = EncodeTwoHeadDfaRcqp(SingleOneDfa());
+  auto e2 = EncodeTwoHeadDfaRcqp(EmptyDfa());
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e1->constraints.ToString(), e2->constraints.ToString());
+  EXPECT_EQ(e1->master, e2->master);
+  // The constraint set mixes CQ well-formedness with the fixed FO
+  // transitive-closure constraints.
+  EXPECT_EQ(e1->constraints.Language(), QueryLanguage::kFo);
+}
+
+TEST(TwoHeadDfaRcqpTest, DecidersRefuseTheUndecidableCell) {
+  auto encoded = EncodeTwoHeadDfaRcqp(SingleOneDfa());
+  ASSERT_TRUE(encoded.ok());
+  auto refused = DecideRcqp(encoded->query, encoded->db_schema,
+                            encoded->master, encoded->constraints);
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TwoHeadDfaRcqpTest, WitnessSatisfiesTheFixedConstraints) {
+  TwoHeadDfa a = SingleOneDfa();
+  auto encoded = EncodeTwoHeadDfaRcqp(a);
+  ASSERT_TRUE(encoded.ok());
+  auto witness = BuildTwoHeadDfaWitness(a, {1}, *encoded);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  // The FO transitive-closure constraints V5/V6 and the CQ
+  // well-formedness constraints all hold on the constructed witness.
+  auto closed = CheckConstraints(encoded->constraints, *witness,
+                                 encoded->master);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_TRUE(closed->satisfied) << closed->ToString();
+}
+
+TEST(TwoHeadDfaRcqpTest, WitnessAnswersAccept) {
+  TwoHeadDfa a = SingleOneDfa();
+  auto encoded = EncodeTwoHeadDfaRcqp(a);
+  ASSERT_TRUE(encoded.ok());
+  auto witness = BuildTwoHeadDfaWitness(a, {1}, *encoded);
+  ASSERT_TRUE(witness.ok());
+  auto answer = Evaluate(encoded->query, *witness);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  Tuple accept({Value::Str("ACCEPT"), Value::Str("ACCEPT"),
+                Value::Str("ACCEPT"), Value::Str("ACCEPT"),
+                Value::Str("ACCEPT"), Value::Str("ACCEPT")});
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_TRUE(answer->Contains(accept));
+}
+
+TEST(TwoHeadDfaRcqpTest, NonGoodDatabaseMirrorsRdAndIsPumpable) {
+  TwoHeadDfa a = SingleOneDfa();
+  auto encoded = EncodeTwoHeadDfaRcqp(a);
+  ASSERT_TRUE(encoded.ok());
+  // The empty database is not good: the query mirrors (empty) RD.
+  Database empty(encoded->db_schema);
+  auto answer = Evaluate(encoded->query, empty);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+
+  // Pump: add a self-looping RD row plus its RDstar companion — the
+  // constraints stay satisfied and the answer changes. This is the
+  // paper's argument that non-good databases are never complete.
+  Database pumped = empty;
+  Tuple loop({Value::Str("zz"), Value::Int(9), Value::Int(9),
+              Value::Str("zz"), Value::Int(9), Value::Int(9)});
+  ASSERT_TRUE(pumped.Insert("RD", loop).ok());
+  ASSERT_TRUE(pumped.Insert("RDstar", loop).ok());
+  auto closed = Satisfies(encoded->constraints, pumped, encoded->master);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_TRUE(*closed);
+  auto pumped_answer = Evaluate(encoded->query, pumped);
+  ASSERT_TRUE(pumped_answer.ok());
+  EXPECT_NE(*answer, *pumped_answer);
+}
+
+TEST(TwoHeadDfaRcqpTest, WitnessResistsSingleTupleExtensions) {
+  // Bounded completeness evidence: no single-tuple extension over a
+  // small universe changes the witness's answer (Good is monotone, so
+  // the answer stays {ACCEPT...}).
+  TwoHeadDfa a = SingleOneDfa();
+  auto encoded = EncodeTwoHeadDfaRcqp(a);
+  ASSERT_TRUE(encoded.ok());
+  auto witness = BuildTwoHeadDfaWitness(a, {1}, *encoded);
+  ASSERT_TRUE(witness.ok());
+  BruteForceOptions bf;
+  bf.universe = {Value::Int(0), Value::Int(1), Value::Str("q0"),
+                 Value::Str("q2")};
+  bf.max_delta_tuples = 1;
+  auto oracle = BruteForceRcdp(encoded->query, *witness, encoded->master,
+                               encoded->constraints, bf);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_TRUE(oracle->complete);
+}
+
+TEST(TwoHeadDfaRcqpTest, WitnessBuilderRejectsUnacceptedInputs) {
+  TwoHeadDfa a = SingleOneDfa();
+  auto encoded = EncodeTwoHeadDfaRcqp(a);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_FALSE(BuildTwoHeadDfaWitness(a, {0}, *encoded).ok());
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,22 @@
+#include <gtest/gtest.h>
+
+#include "relcomp.h"
+
+namespace relcomp {
+namespace {
+
+// The umbrella header must be self-contained and expose the whole
+// public API; this test exercises one symbol from each layer.
+TEST(UmbrellaHeaderTest, ExposesThePublicApi) {
+  Value v = Value::Int(1);
+  EXPECT_TRUE(Domain::Boolean()->Contains(v));
+  auto q = ParseConjunctiveQuery("Q(x) :- R(x).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(AnyQuery::Cq(*q).language(), QueryLanguage::kCq);
+  EXPECT_EQ(RcdpOptions().prune, true);
+  EXPECT_EQ(RcqpOptions().max_chase_rounds, 32u);
+  EXPECT_EQ(BruteForceOptions().extra_fresh, 2u);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/str.h"
+#include "util/table_printer.h"
+
+namespace relcomp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "INVALID_ARGUMENT: bad arity");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::NotFound("missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  RELCOMP_ASSIGN_OR_RETURN(int half, Halve(x));
+  return Halve(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(StrTest, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "b"), "a1b");
+  std::vector<std::string> parts = {"x", "y"};
+  EXPECT_EQ(StrJoin(parts, ", "), "x, y");
+}
+
+TEST(StrTest, SplitAndTrim) {
+  auto parts = SplitAndTrim(" a, b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrTest, ParseInt64) {
+  int64_t out = 0;
+  EXPECT_TRUE(ParseInt64("-42", &out));
+  EXPECT_EQ(out, -42);
+  EXPECT_FALSE(ParseInt64("12x", &out));
+  EXPECT_FALSE(ParseInt64("", &out));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"x", "1"});
+  printer.AddRow({"longer", "22"});
+  std::string table = printer.ToString();
+  EXPECT_NE(table.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(table.find("| longer | 22    |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "constraints/integrity_constraints.h"
+#include "incomplete/vtable.h"
+#include "query/parser.h"
+
+namespace relcomp {
+namespace {
+
+class VTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = std::make_shared<Schema>();
+    ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+    ASSERT_TRUE(schema
+                    ->AddRelation(RelationSchema(
+                        "B", {AttributeDef::Over("b", Domain::Boolean()),
+                              AttributeDef::Inf("v")}))
+                    .ok());
+    schema_ = schema;
+    auto master_schema = std::make_shared<Schema>();
+    ASSERT_TRUE(master_schema->AddRelation("M", 1).ok());
+    master_schema_ = master_schema;
+    master_ = Database(master_schema_);
+  }
+
+  std::shared_ptr<const Schema> schema_;
+  std::shared_ptr<const Schema> master_schema_;
+  Database master_;
+};
+
+TEST_F(VTableTest, InsertValidates) {
+  VDatabase vdb(schema_);
+  EXPECT_TRUE(vdb.Insert("R", {Term::ConstInt(1), Term::Var("x")}).ok());
+  EXPECT_FALSE(vdb.Insert("nope", {Term::ConstInt(1)}).ok());
+  EXPECT_FALSE(vdb.Insert("R", {Term::ConstInt(1)}).ok());  // arity
+  // Constant outside a finite column domain.
+  EXPECT_FALSE(vdb.Insert("B", {Term::ConstInt(7), Term::Var("y")}).ok());
+  EXPECT_FALSE(vdb.IsGround());
+}
+
+TEST_F(VTableTest, NullLabelsAndDomains) {
+  VDatabase vdb(schema_);
+  ASSERT_TRUE(vdb.Insert("R", {Term::Var("x"), Term::Var("y")}).ok());
+  ASSERT_TRUE(vdb.Insert("B", {Term::Var("f"), Term::Var("x")}).ok());
+  auto labels = vdb.NullLabels();
+  EXPECT_EQ(labels, (std::vector<std::string>{"x", "y", "f"}));
+  auto domains = vdb.NullDomains();
+  EXPECT_TRUE(domains["x"]->is_infinite());
+  EXPECT_TRUE(domains["f"]->is_finite());  // Boolean column
+}
+
+TEST_F(VTableTest, WorldEnumerationCountsAndCollapse) {
+  VDatabase vdb(schema_);
+  // Two tuples sharing null x: worlds = |universe| (for x) × 2 (for f,
+  // Boolean column); the shared label takes one value per world.
+  ASSERT_TRUE(vdb.Insert("R", {Term::ConstInt(1), Term::Var("x")}).ok());
+  ASSERT_TRUE(vdb.Insert("R", {Term::Var("x"), Term::ConstInt(1)}).ok());
+  ASSERT_TRUE(vdb.Insert("B", {Term::Var("f"), Term::ConstInt(9)}).ok());
+  std::vector<Value> universe = {Value::Int(1), Value::Int(2),
+                                 Value::Int(3)};
+  size_t worlds = 0;
+  size_t collapsed = 0;
+  ASSERT_TRUE(ForEachWorld(vdb, universe,
+                           [&](const Database& world, const Bindings& nu) {
+                             ++worlds;
+                             // x = 1 collapses R(1, x) and R(x, 1).
+                             if (world.Get("R").size() == 1) ++collapsed;
+                             EXPECT_TRUE(nu.Has("x"));
+                             EXPECT_TRUE(nu.Has("f"));
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(worlds, 6u);     // 3 × 2
+  EXPECT_EQ(collapsed, 2u);  // x = 1, both f values
+}
+
+TEST_F(VTableTest, CertainAndPossibleAnswers) {
+  VDatabase vdb(schema_);
+  ASSERT_TRUE(vdb.Insert("R", {Term::ConstInt(1), Term::Var("x")}).ok());
+  ASSERT_TRUE(vdb.Insert("R", {Term::ConstInt(2), Term::ConstInt(5)}).ok());
+  auto q = ParseQuery("Q(a) :- R(a, b).", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  std::vector<Value> universe = {Value::Int(5), Value::Int(6)};
+  auto certain = CertainAnswers(*q, vdb, universe);
+  ASSERT_TRUE(certain.ok());
+  // (1) and (2) hold in every world regardless of x.
+  EXPECT_EQ(certain->size(), 2u);
+
+  auto q2 = ParseQuery("Q(a) :- R(a, b), b = 5.", QueryLanguage::kCq);
+  ASSERT_TRUE(q2.ok());
+  auto certain2 = CertainAnswers(*q2, vdb, universe);
+  auto possible2 = PossibleAnswers(*q2, vdb, universe);
+  ASSERT_TRUE(certain2.ok());
+  ASSERT_TRUE(possible2.ok());
+  // (2) certain; (1) only when x grounds to 5.
+  EXPECT_EQ(certain2->size(), 1u);
+  EXPECT_TRUE(certain2->Contains(Tuple::Ints({2})));
+  EXPECT_EQ(possible2->size(), 2u);
+}
+
+TEST_F(VTableTest, GroundInstanceHasSingleWorldSemantics) {
+  VDatabase vdb(schema_);
+  ASSERT_TRUE(vdb.Insert("R", {Term::ConstInt(1), Term::ConstInt(2)}).ok());
+  EXPECT_TRUE(vdb.IsGround());
+  auto q = ParseQuery("Q(a, b) :- R(a, b).", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  std::vector<Value> universe = {Value::Int(0)};
+  auto certain = CertainAnswers(*q, vdb, universe);
+  auto possible = PossibleAnswers(*q, vdb, universe);
+  ASSERT_TRUE(certain.ok());
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(*certain, *possible);
+  EXPECT_EQ(certain->size(), 1u);
+}
+
+TEST_F(VTableTest, CompletenessAcrossWorlds) {
+  // V: π0(R) ⊆ M with M = {1}. v-database: R(⊥x, 7).
+  //  * world x = 1: partially closed; Q(a) :- R(a, b) answers {1};
+  //    further additions must keep column 0 in {1} — complete.
+  //  * world x = 2: not partially closed.
+  ASSERT_TRUE(master_.Insert("M", Tuple::Ints({1})).ok());
+  ConstraintSet v;
+  auto ind = MakeIndToMaster(*schema_, "R", {0}, "M", {0});
+  ASSERT_TRUE(ind.ok());
+  v.Add(*ind);
+  VDatabase vdb(schema_);
+  ASSERT_TRUE(vdb.Insert("R", {Term::Var("x"), Term::ConstInt(7)}).ok());
+  auto q = ParseQuery("Q(a) :- R(a, b).", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  std::vector<Value> universe = {Value::Int(1), Value::Int(2)};
+  auto report = DecideRcdpOnWorlds(*q, vdb, master_, v, universe);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->worlds, 2u);
+  EXPECT_EQ(report->complete, 1u);
+  EXPECT_EQ(report->not_closed, 1u);
+  EXPECT_EQ(report->incomplete, 0u);
+  EXPECT_TRUE(report->CertainlyComplete());
+
+  // Adding a second column null makes the head variable... the head is
+  // column 0; Q(a,b) exposes the unconstrained column: every closed
+  // world is now incomplete.
+  auto q2 = ParseQuery("Q(a, b) :- R(a, b).", QueryLanguage::kCq);
+  ASSERT_TRUE(q2.ok());
+  auto report2 = DecideRcdpOnWorlds(*q2, vdb, master_, v, universe);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2->complete, 0u);
+  EXPECT_EQ(report2->incomplete, 1u);
+  EXPECT_FALSE(report2->PossiblyComplete());
+}
+
+TEST_F(VTableTest, DefaultUniverseCoversConstantsPlusFresh) {
+  VDatabase vdb(schema_);
+  ASSERT_TRUE(vdb.Insert("R", {Term::ConstInt(3), Term::Var("x")}).ok());
+  ASSERT_TRUE(master_.Insert("M", Tuple::Ints({1})).ok());
+  auto q = ParseQuery("Q(a) :- R(a, b), a = 9.", QueryLanguage::kCq);
+  ASSERT_TRUE(q.ok());
+  std::vector<Value> universe = DefaultNullUniverse(vdb, master_, *q, 2);
+  std::set<Value> set(universe.begin(), universe.end());
+  EXPECT_TRUE(set.count(Value::Int(3)) > 0);
+  EXPECT_TRUE(set.count(Value::Int(1)) > 0);
+  EXPECT_TRUE(set.count(Value::Int(9)) > 0);
+  EXPECT_EQ(universe.size(), 5u);  // 3 constants + 2 fresh
+}
+
+}  // namespace
+}  // namespace relcomp
