@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ic_compile.dir/bench_ic_compile.cc.o"
+  "CMakeFiles/bench_ic_compile.dir/bench_ic_compile.cc.o.d"
+  "bench_ic_compile"
+  "bench_ic_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ic_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

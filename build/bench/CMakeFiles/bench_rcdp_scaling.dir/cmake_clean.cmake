@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rcdp_scaling.dir/bench_rcdp_scaling.cc.o"
+  "CMakeFiles/bench_rcdp_scaling.dir/bench_rcdp_scaling.cc.o.d"
+  "bench_rcdp_scaling"
+  "bench_rcdp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rcdp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rcdp.dir/bench_table1_rcdp.cc.o"
+  "CMakeFiles/bench_table1_rcdp.dir/bench_table1_rcdp.cc.o.d"
+  "bench_table1_rcdp"
+  "bench_table1_rcdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rcdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rcqp.dir/bench_table2_rcqp.cc.o"
+  "CMakeFiles/bench_table2_rcqp.dir/bench_table2_rcqp.cc.o.d"
+  "bench_table2_rcqp"
+  "bench_table2_rcqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rcqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

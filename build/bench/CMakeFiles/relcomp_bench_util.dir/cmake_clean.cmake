@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relcomp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/relcomp_bench_util.dir/bench_util.cc.o.d"
+  "librelcomp_bench_util.a"
+  "librelcomp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relcomp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

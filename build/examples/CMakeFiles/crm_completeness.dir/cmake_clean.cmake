@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crm_completeness.dir/crm_completeness.cpp.o"
+  "CMakeFiles/crm_completeness.dir/crm_completeness.cpp.o.d"
+  "crm_completeness"
+  "crm_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crm_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

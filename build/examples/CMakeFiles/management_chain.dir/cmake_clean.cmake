@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/management_chain.dir/management_chain.cpp.o"
+  "CMakeFiles/management_chain.dir/management_chain.cpp.o.d"
+  "management_chain"
+  "management_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/management_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

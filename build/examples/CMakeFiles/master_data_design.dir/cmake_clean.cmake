@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_data_design.dir/master_data_design.cpp.o"
+  "CMakeFiles/master_data_design.dir/master_data_design.cpp.o.d"
+  "master_data_design"
+  "master_data_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_data_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

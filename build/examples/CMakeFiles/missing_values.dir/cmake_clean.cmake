@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_values.dir/missing_values.cpp.o"
+  "CMakeFiles/missing_values.dir/missing_values.cpp.o.d"
+  "missing_values"
+  "missing_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

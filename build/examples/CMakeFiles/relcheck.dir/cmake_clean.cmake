@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relcheck.dir/relcheck.cpp.o"
+  "CMakeFiles/relcheck.dir/relcheck.cpp.o.d"
+  "relcheck"
+  "relcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/two_head_dfa.cc" "src/CMakeFiles/relcomp.dir/automata/two_head_dfa.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/automata/two_head_dfa.cc.o.d"
+  "/root/repo/src/completeness/active_domain.cc" "src/CMakeFiles/relcomp.dir/completeness/active_domain.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/completeness/active_domain.cc.o.d"
+  "/root/repo/src/completeness/brute_force.cc" "src/CMakeFiles/relcomp.dir/completeness/brute_force.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/completeness/brute_force.cc.o.d"
+  "/root/repo/src/completeness/characterizations.cc" "src/CMakeFiles/relcomp.dir/completeness/characterizations.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/completeness/characterizations.cc.o.d"
+  "/root/repo/src/completeness/rcdp.cc" "src/CMakeFiles/relcomp.dir/completeness/rcdp.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/completeness/rcdp.cc.o.d"
+  "/root/repo/src/completeness/rcqp.cc" "src/CMakeFiles/relcomp.dir/completeness/rcqp.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/completeness/rcqp.cc.o.d"
+  "/root/repo/src/completeness/valuation_search.cc" "src/CMakeFiles/relcomp.dir/completeness/valuation_search.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/completeness/valuation_search.cc.o.d"
+  "/root/repo/src/constraints/constraint_check.cc" "src/CMakeFiles/relcomp.dir/constraints/constraint_check.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/constraints/constraint_check.cc.o.d"
+  "/root/repo/src/constraints/containment_constraint.cc" "src/CMakeFiles/relcomp.dir/constraints/containment_constraint.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/constraints/containment_constraint.cc.o.d"
+  "/root/repo/src/constraints/integrity_constraints.cc" "src/CMakeFiles/relcomp.dir/constraints/integrity_constraints.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/constraints/integrity_constraints.cc.o.d"
+  "/root/repo/src/eval/bindings.cc" "src/CMakeFiles/relcomp.dir/eval/bindings.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/eval/bindings.cc.o.d"
+  "/root/repo/src/eval/conjunctive_eval.cc" "src/CMakeFiles/relcomp.dir/eval/conjunctive_eval.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/eval/conjunctive_eval.cc.o.d"
+  "/root/repo/src/eval/datalog_eval.cc" "src/CMakeFiles/relcomp.dir/eval/datalog_eval.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/eval/datalog_eval.cc.o.d"
+  "/root/repo/src/eval/fo_eval.cc" "src/CMakeFiles/relcomp.dir/eval/fo_eval.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/eval/fo_eval.cc.o.d"
+  "/root/repo/src/eval/query_eval.cc" "src/CMakeFiles/relcomp.dir/eval/query_eval.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/eval/query_eval.cc.o.d"
+  "/root/repo/src/incomplete/vtable.cc" "src/CMakeFiles/relcomp.dir/incomplete/vtable.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/incomplete/vtable.cc.o.d"
+  "/root/repo/src/query/any_query.cc" "src/CMakeFiles/relcomp.dir/query/any_query.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/any_query.cc.o.d"
+  "/root/repo/src/query/atom.cc" "src/CMakeFiles/relcomp.dir/query/atom.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/atom.cc.o.d"
+  "/root/repo/src/query/conjunctive_query.cc" "src/CMakeFiles/relcomp.dir/query/conjunctive_query.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/conjunctive_query.cc.o.d"
+  "/root/repo/src/query/datalog.cc" "src/CMakeFiles/relcomp.dir/query/datalog.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/datalog.cc.o.d"
+  "/root/repo/src/query/fo_query.cc" "src/CMakeFiles/relcomp.dir/query/fo_query.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/fo_query.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/relcomp.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/positive_query.cc" "src/CMakeFiles/relcomp.dir/query/positive_query.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/positive_query.cc.o.d"
+  "/root/repo/src/query/term.cc" "src/CMakeFiles/relcomp.dir/query/term.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/term.cc.o.d"
+  "/root/repo/src/query/union_query.cc" "src/CMakeFiles/relcomp.dir/query/union_query.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/query/union_query.cc.o.d"
+  "/root/repo/src/reductions/common.cc" "src/CMakeFiles/relcomp.dir/reductions/common.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/reductions/common.cc.o.d"
+  "/root/repo/src/reductions/fixed_rcqp_family.cc" "src/CMakeFiles/relcomp.dir/reductions/fixed_rcqp_family.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/reductions/fixed_rcqp_family.cc.o.d"
+  "/root/repo/src/reductions/forall_exists_3sat.cc" "src/CMakeFiles/relcomp.dir/reductions/forall_exists_3sat.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/reductions/forall_exists_3sat.cc.o.d"
+  "/root/repo/src/reductions/sat.cc" "src/CMakeFiles/relcomp.dir/reductions/sat.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/reductions/sat.cc.o.d"
+  "/root/repo/src/reductions/three_sat_rcqp.cc" "src/CMakeFiles/relcomp.dir/reductions/three_sat_rcqp.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/reductions/three_sat_rcqp.cc.o.d"
+  "/root/repo/src/reductions/tiling.cc" "src/CMakeFiles/relcomp.dir/reductions/tiling.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/reductions/tiling.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/relcomp.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/domain.cc" "src/CMakeFiles/relcomp.dir/relational/domain.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/relational/domain.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/relcomp.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/relcomp.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/relcomp.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/relcomp.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/relational/value.cc.o.d"
+  "/root/repo/src/spec/spec_parser.cc" "src/CMakeFiles/relcomp.dir/spec/spec_parser.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/spec/spec_parser.cc.o.d"
+  "/root/repo/src/tableau/containment.cc" "src/CMakeFiles/relcomp.dir/tableau/containment.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/tableau/containment.cc.o.d"
+  "/root/repo/src/tableau/homomorphism.cc" "src/CMakeFiles/relcomp.dir/tableau/homomorphism.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/tableau/homomorphism.cc.o.d"
+  "/root/repo/src/tableau/minimize.cc" "src/CMakeFiles/relcomp.dir/tableau/minimize.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/tableau/minimize.cc.o.d"
+  "/root/repo/src/tableau/single_relation.cc" "src/CMakeFiles/relcomp.dir/tableau/single_relation.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/tableau/single_relation.cc.o.d"
+  "/root/repo/src/tableau/tableau.cc" "src/CMakeFiles/relcomp.dir/tableau/tableau.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/tableau/tableau.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/relcomp.dir/util/status.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/util/status.cc.o.d"
+  "/root/repo/src/util/str.cc" "src/CMakeFiles/relcomp.dir/util/str.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/util/str.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/relcomp.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/workload/crm_scenario.cc" "src/CMakeFiles/relcomp.dir/workload/crm_scenario.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/workload/crm_scenario.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/relcomp.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/relcomp.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

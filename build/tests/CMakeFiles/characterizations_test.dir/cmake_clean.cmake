@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterizations_test.dir/characterizations_test.cc.o"
+  "CMakeFiles/characterizations_test.dir/characterizations_test.cc.o.d"
+  "characterizations_test"
+  "characterizations_test.pdb"
+  "characterizations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterizations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crm_scenario_test.dir/crm_scenario_test.cc.o"
+  "CMakeFiles/crm_scenario_test.dir/crm_scenario_test.cc.o.d"
+  "crm_scenario_test"
+  "crm_scenario_test.pdb"
+  "crm_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crm_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

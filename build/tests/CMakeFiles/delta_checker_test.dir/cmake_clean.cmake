@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_checker_test.dir/delta_checker_test.cc.o"
+  "CMakeFiles/delta_checker_test.dir/delta_checker_test.cc.o.d"
+  "delta_checker_test"
+  "delta_checker_test.pdb"
+  "delta_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

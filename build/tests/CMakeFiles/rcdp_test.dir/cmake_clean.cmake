@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcdp_test.dir/rcdp_test.cc.o"
+  "CMakeFiles/rcdp_test.dir/rcdp_test.cc.o.d"
+  "rcdp_test"
+  "rcdp_test.pdb"
+  "rcdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcqp_property_test.dir/rcqp_property_test.cc.o"
+  "CMakeFiles/rcqp_property_test.dir/rcqp_property_test.cc.o.d"
+  "rcqp_property_test"
+  "rcqp_property_test.pdb"
+  "rcqp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcqp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

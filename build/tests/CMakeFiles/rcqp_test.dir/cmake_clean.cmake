@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcqp_test.dir/rcqp_test.cc.o"
+  "CMakeFiles/rcqp_test.dir/rcqp_test.cc.o.d"
+  "rcqp_test"
+  "rcqp_test.pdb"
+  "rcqp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcqp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

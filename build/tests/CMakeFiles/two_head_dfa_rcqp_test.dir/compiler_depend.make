@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for two_head_dfa_rcqp_test.
+# This may be replaced when dependencies are built.

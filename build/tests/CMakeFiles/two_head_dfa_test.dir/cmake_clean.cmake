@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_head_dfa_test.dir/two_head_dfa_test.cc.o"
+  "CMakeFiles/two_head_dfa_test.dir/two_head_dfa_test.cc.o.d"
+  "two_head_dfa_test"
+  "two_head_dfa_test.pdb"
+  "two_head_dfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_head_dfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

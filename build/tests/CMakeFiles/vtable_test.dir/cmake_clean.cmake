@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtable_test.dir/vtable_test.cc.o"
+  "CMakeFiles/vtable_test.dir/vtable_test.cc.o.d"
+  "vtable_test"
+  "vtable_test.pdb"
+  "vtable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

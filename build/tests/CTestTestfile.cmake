@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/tableau_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/rcdp_test[1]_include.cmake")
+include("/root/repo/build/tests/rcqp_test[1]_include.cmake")
+include("/root/repo/build/tests/reductions_test[1]_include.cmake")
+include("/root/repo/build/tests/tiling_test[1]_include.cmake")
+include("/root/repo/build/tests/two_head_dfa_test[1]_include.cmake")
+include("/root/repo/build/tests/crm_scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/characterizations_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/vtable_test[1]_include.cmake")
+include("/root/repo/build/tests/completeness_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/rcqp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/two_head_dfa_rcqp_test[1]_include.cmake")
+include("/root/repo/build/tests/delta_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_seeding_test[1]_include.cmake")
+include("/root/repo/build/tests/minimize_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
