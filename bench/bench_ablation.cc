@@ -36,14 +36,18 @@ void RunRcdpConfig(benchmark::State& state, const RcdpOptions& options) {
   ConstraintSet v;
   v.Add(ValueOrDie(crm.Phi0(), "phi0"));
   AnyQuery q1 = ValueOrDie(crm.Q1(), "q1");
-  size_t bindings = 0;
+  ValuationSearchStats stats;
   for (auto _ : state) {
     auto verdict = DecideRcdp(q1, crm.db(), crm.master(), v, options);
     CheckOk(verdict.status(), "decide");
-    bindings = verdict->stats.bindings_tried;
+    stats = verdict->stats;
     benchmark::DoNotOptimize(verdict->complete);
   }
-  state.counters["search_steps"] = static_cast<double>(bindings);
+  state.counters["search_steps"] = static_cast<double>(stats.bindings_tried);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["relation_scans"] =
+      static_cast<double>(stats.relation_scans);
+  state.counters["overlay_hits"] = static_cast<double>(stats.overlay_hits);
 }
 
 void BM_RcdpDefault(benchmark::State& state) {
@@ -65,14 +69,31 @@ void BM_RcdpNoDeltaCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_RcdpNoDeltaCheck);
 
+void BM_RcdpNoIndexes(benchmark::State& state) {
+  RcdpOptions options;
+  options.use_indexes = false;
+  RunRcdpConfig(state, options);
+}
+BENCHMARK(BM_RcdpNoIndexes);
+
+void BM_RcdpNoOverlay(benchmark::State& state) {
+  RcdpOptions options;
+  options.use_overlay = false;
+  RunRcdpConfig(state, options);
+}
+BENCHMARK(BM_RcdpNoOverlay);
+
 /// The literal paper algorithm: enumerate every valuation over the
 /// full Adom, then check (no pruning, no collapse, no incremental
-/// constraint checks, no symmetry breaking).
+/// constraint checks, no symmetry breaking, no column indexes, and
+/// a full database copy per candidate instead of an overlay).
 void BM_RcdpPaperLiteral(benchmark::State& state) {
   RcdpOptions options;
   options.prune = false;
   options.collapse_dont_care = false;
   options.delta_constraint_check = false;
+  options.use_indexes = false;
+  options.use_overlay = false;
   RunRcdpConfig(state, options);
 }
 BENCHMARK(BM_RcdpPaperLiteral);
@@ -140,9 +161,10 @@ void BM_PositiveEvalActiveDomain(benchmark::State& state) {
 }
 BENCHMARK(BM_PositiveEvalActiveDomain);
 
-/// Conjunctive matcher: greedy atom reordering vs textual order on a
-/// selective join.
-void RunMatcherConfig(benchmark::State& state, bool reorder) {
+/// Conjunctive matcher: greedy atom reordering and column-index
+/// probing vs textual order and full scans on a selective join.
+void RunMatcherConfig(benchmark::State& state, bool reorder,
+                      bool use_indexes) {
   CrmOptions options;
   options.num_domestic = 32;
   options.num_employees = 4;
@@ -152,24 +174,45 @@ void RunMatcherConfig(benchmark::State& state, bool reorder) {
       R"(J(c, n) :- Cust(c, n, cc, a, p), Supt(e, d, c), e = "e0",
                     a = "908".)");
   CheckOk(q.status(), "q");
+  EvalCounters counters;
   ConjunctiveEvalOptions eval_options;
   eval_options.reorder_atoms = reorder;
+  eval_options.use_indexes = use_indexes;
+  eval_options.counters = &counters;
   for (auto _ : state) {
+    counters = EvalCounters();
     auto answer = EvalConjunctive(*q, crm.db(), eval_options);
     CheckOk(answer.status(), "eval");
     benchmark::DoNotOptimize(answer->size());
   }
+  state.counters["index_probes"] = static_cast<double>(counters.index_probes);
+  state.counters["relation_scans"] =
+      static_cast<double>(counters.relation_scans);
+  state.counters["rows_considered"] =
+      static_cast<double>(counters.base_rows_considered);
 }
 
 void BM_MatcherReordered(benchmark::State& state) {
-  RunMatcherConfig(state, true);
+  RunMatcherConfig(state, /*reorder=*/true, /*use_indexes=*/true);
 }
 BENCHMARK(BM_MatcherReordered);
 
 void BM_MatcherTextualOrder(benchmark::State& state) {
-  RunMatcherConfig(state, false);
+  RunMatcherConfig(state, /*reorder=*/false, /*use_indexes=*/true);
 }
 BENCHMARK(BM_MatcherTextualOrder);
+
+void BM_MatcherNoIndexes(benchmark::State& state) {
+  RunMatcherConfig(state, /*reorder=*/true, /*use_indexes=*/false);
+}
+BENCHMARK(BM_MatcherNoIndexes);
+
+/// The naive textual-order, scan-only matcher — the paper-literal
+/// baseline the indexed path is compared against.
+void BM_MatcherPaperLiteral(benchmark::State& state) {
+  RunMatcherConfig(state, /*reorder=*/false, /*use_indexes=*/false);
+}
+BENCHMARK(BM_MatcherPaperLiteral);
 
 }  // namespace ablation
 }  // namespace relcomp

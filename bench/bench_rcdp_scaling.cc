@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "bench_util.h"
 #include "completeness/rcdp.h"
 #include "query/parser.h"
@@ -18,25 +22,53 @@ namespace scaling {
 using bench::CheckOk;
 using bench::ValueOrDie;
 
+/// The configuration the growth seed effectively ran: no column
+/// indexes, no overlay — candidate checks copy the database (or scan).
+RcdpOptions SeedConfig() {
+  RcdpOptions options;
+  options.use_indexes = false;
+  options.use_overlay = false;
+  return options;
+}
+
 /// Data complexity: fixed Q1 and φ0, growing master data + database.
-void BM_DataComplexity(benchmark::State& state) {
-  CrmOptions options;
-  options.num_domestic = static_cast<size_t>(state.range(0));
-  options.num_international = static_cast<size_t>(state.range(0)) / 2;
-  options.num_employees = 2;
-  options.support_per_employee = 2;
-  CrmScenario crm = ValueOrDie(CrmScenario::Make(options), "crm");
+void RunDataComplexity(benchmark::State& state, const RcdpOptions& options) {
+  CrmOptions crm_options;
+  crm_options.num_domestic = static_cast<size_t>(state.range(0));
+  crm_options.num_international = static_cast<size_t>(state.range(0)) / 2;
+  crm_options.num_employees = 2;
+  crm_options.support_per_employee = 2;
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(crm_options), "crm");
   ConstraintSet v;
   v.Add(ValueOrDie(crm.Phi0(), "phi0"));
   AnyQuery q1 = ValueOrDie(crm.Q1(), "q1");
+  ValuationSearchStats stats;
   for (auto _ : state) {
-    auto verdict = DecideRcdp(q1, crm.db(), crm.master(), v);
+    auto verdict = DecideRcdp(q1, crm.db(), crm.master(), v, options);
     CheckOk(verdict.status(), "decide");
+    stats = verdict->stats;
     benchmark::DoNotOptimize(verdict->complete);
   }
+  state.counters["search_steps"] = static_cast<double>(stats.bindings_tried);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["overlay_hits"] = static_cast<double>(stats.overlay_hits);
   state.SetComplexityN(state.range(0));
 }
+
+void BM_DataComplexity(benchmark::State& state) {
+  RunDataComplexity(state, RcdpOptions());
+}
 BENCHMARK(BM_DataComplexity)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity(benchmark::oAuto);
+
+/// The same series under the seed configuration (indexes and overlay
+/// off) — the denominator of the BENCH_relcore.json speedup.
+void BM_DataComplexitySeedConfig(benchmark::State& state) {
+  RunDataComplexity(state, SeedConfig());
+}
+BENCHMARK(BM_DataComplexitySeedConfig)
     ->RangeMultiplier(2)
     ->Range(2, 16)
     ->Complexity(benchmark::oAuto);
@@ -106,7 +138,117 @@ void BM_ChaseToCompleteness(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaseToCompleteness)->Arg(2)->Arg(4)->Arg(8);
 
+/// One timed configuration of the largest data-complexity instance,
+/// measured directly (steady_clock over a fixed wall budget) so the
+/// JSON report does not depend on google-benchmark's output format.
+struct MeasuredConfig {
+  double ns_per_op = 0;
+  size_t iterations = 0;
+  ValuationSearchStats stats;
+};
+
+MeasuredConfig MeasureDataComplexity(size_t n, const RcdpOptions& options,
+                                     double min_seconds) {
+  CrmOptions crm_options;
+  crm_options.num_domestic = n;
+  crm_options.num_international = n / 2;
+  crm_options.num_employees = 2;
+  crm_options.support_per_employee = 2;
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(crm_options), "crm");
+  ConstraintSet v;
+  v.Add(ValueOrDie(crm.Phi0(), "phi0"));
+  AnyQuery q1 = ValueOrDie(crm.Q1(), "q1");
+
+  MeasuredConfig out;
+  using Clock = std::chrono::steady_clock;
+  // Warm-up decide (not timed), also captures the work counters.
+  {
+    auto verdict = DecideRcdp(q1, crm.db(), crm.master(), v, options);
+    CheckOk(verdict.status(), "decide");
+    out.stats = verdict->stats;
+  }
+  Clock::time_point start = Clock::now();
+  double elapsed_ns = 0;
+  while (elapsed_ns < min_seconds * 1e9) {
+    auto verdict = DecideRcdp(q1, crm.db(), crm.master(), v, options);
+    CheckOk(verdict.status(), "decide");
+    benchmark::DoNotOptimize(verdict->complete);
+    ++out.iterations;
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  }
+  out.ns_per_op = elapsed_ns / static_cast<double>(out.iterations);
+  return out;
+}
+
+void AppendConfigJson(std::string* json, const char* name,
+                      const MeasuredConfig& m) {
+  *json += StrCat("    \"", name, "\": {\n");
+  *json += StrCat("      \"ns_per_op\": ",
+                  static_cast<size_t>(m.ns_per_op), ",\n");
+  *json += StrCat("      \"iterations\": ", m.iterations, ",\n");
+  *json += StrCat("      \"bindings_tried\": ", m.stats.bindings_tried,
+                  ",\n");
+  *json += StrCat("      \"totals_delivered\": ", m.stats.totals_delivered,
+                  ",\n");
+  *json += StrCat("      \"prunes\": ", m.stats.prunes, ",\n");
+  *json += StrCat("      \"index_probes\": ", m.stats.index_probes, ",\n");
+  *json += StrCat("      \"relation_scans\": ", m.stats.relation_scans,
+                  ",\n");
+  *json += StrCat("      \"overlay_hits\": ", m.stats.overlay_hits, "\n");
+  *json += "    }";
+}
+
+/// Measures the largest BM_DataComplexity instance under the default
+/// (indexed + overlay) and seed (neither) configurations and writes
+/// BENCH_relcore.json. Output path overridable via RELCOMP_BENCH_JSON.
+void WriteRelcoreJson() {
+  const size_t n = 16;  // largest instance of the BM_DataComplexity range
+  const double min_seconds = 1.0;
+  MeasuredConfig optimized =
+      MeasureDataComplexity(n, RcdpOptions(), min_seconds);
+  MeasuredConfig seed = MeasureDataComplexity(n, SeedConfig(), min_seconds);
+  const double speedup =
+      optimized.ns_per_op > 0 ? seed.ns_per_op / optimized.ns_per_op : 0;
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"rcdp_data_complexity\",\n";
+  json += StrCat("  \"instance\": { \"num_domestic\": ", n,
+                 ", \"num_international\": ", n / 2,
+                 ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");
+  json += "  \"configs\": {\n";
+  AppendConfigJson(&json, "optimized", optimized);
+  json += ",\n";
+  AppendConfigJson(&json, "seed", seed);
+  json += "\n  },\n";
+  char speedup_buf[32];
+  std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2f", speedup);
+  json += StrCat("  \"speedup_optimized_vs_seed\": ", speedup_buf, "\n");
+  json += "}\n";
+
+  const char* path = std::getenv("RELCOMP_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_relcore.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (speedup optimized vs seed at n=%zu: %sx)\n", path, n,
+              speedup_buf);
+}
+
 }  // namespace scaling
 }  // namespace relcomp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  relcomp::scaling::WriteRelcoreJson();
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: configure + build + test the default preset, then the
+# asan preset (Debug, ASan+UBSan, recover disabled). Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "== $*"
+  "$@"
+}
+
+for preset in default asan; do
+  run cmake --preset "$preset"
+  run cmake --build --preset "$preset" -j "$(nproc)"
+  run ctest --preset "$preset"
+done
+
+echo "All checks passed."

@@ -29,7 +29,15 @@ ActiveDomain ActiveDomain::Build(const Database& db, const Database& master,
     std::set<Value> cc_consts = cc.query().Constants();
     base.insert(cc_consts.begin(), cc_consts.end());
   }
-  return Build(base, num_fresh);
+  ActiveDomain out = Build(base, num_fresh);
+  // Register the fresh values in the database family's interner up
+  // front, in the reserved high id range: valuations stage tuples mixing
+  // D-values and fresh values, and pre-interning keeps the matcher's
+  // IdOf probes hits without growing the low (data) id space.
+  if (db.interner() != nullptr) {
+    for (const Value& v : out.fresh()) db.interner()->InternFresh(v);
+  }
+  return out;
 }
 
 bool ActiveDomain::IsFresh(const Value& v) const {

@@ -91,6 +91,10 @@ Result<BruteForceRcdpResult> BruteForceRcdp(const AnyQuery& query,
   std::vector<size_t> chosen;
   Status inner;
   bool done = false;
+  // Candidate extensions are staged on one overlay over D — no database
+  // copies in the enumeration loop; Δ is materialized only for the
+  // counterexample actually returned.
+  DatabaseOverlay view(&db);
   std::function<void(size_t, size_t)> search = [&](size_t start,
                                                    size_t remaining) {
     if (done) return;
@@ -101,26 +105,28 @@ Result<BruteForceRcdpResult> BruteForceRcdp(const AnyQuery& query,
         done = true;
         return;
       }
-      Database extended = db;
-      Database delta(db.schema_ptr());
+      view.Clear();
       for (size_t idx : chosen) {
-        extended.InsertUnchecked(pool[idx].first, pool[idx].second);
-        delta.InsertUnchecked(pool[idx].first, pool[idx].second);
+        view.Add(pool[idx].first, pool[idx].second);
       }
-      Result<bool> closed = Satisfies(constraints, extended, master);
+      Result<bool> closed = Satisfies(constraints, view, master);
       if (!closed.ok()) {
         inner = closed.status();
         done = true;
         return;
       }
       if (!*closed) return;
-      Result<Relation> answer = Evaluate(query, extended);
+      Result<Relation> answer = Evaluate(query, view);
       if (!answer.ok()) {
         inner = answer.status();
         done = true;
         return;
       }
       if (*answer != base_answer) {
+        Database delta(db.schema_ptr());
+        for (size_t idx : chosen) {
+          delta.InsertUnchecked(pool[idx].first, pool[idx].second);
+        }
         result.complete = false;
         result.counterexample_delta = std::move(delta);
         done = true;
@@ -158,22 +164,27 @@ Result<BruteForceRcqpResult> BruteForceRcqp(
   std::vector<size_t> chosen;
   Status inner;
   bool done = false;
+  // Partial-closure filtering runs on an overlay over ∅; the candidate
+  // database is materialized only for the (rare) closed candidates that
+  // reach the nested RCDP check.
+  DatabaseOverlay view(&empty);
   std::function<void(size_t, size_t)> search = [&](size_t start,
                                                    size_t remaining) {
     if (done) return;
     if (remaining == 0) {
       ++result.candidates_checked;
-      Database candidate(db_schema);
+      view.Clear();
       for (size_t idx : chosen) {
-        candidate.InsertUnchecked(pool[idx].first, pool[idx].second);
+        view.Add(pool[idx].first, pool[idx].second);
       }
-      Result<bool> closed = Satisfies(constraints, candidate, master);
+      Result<bool> closed = Satisfies(constraints, view, master);
       if (!closed.ok()) {
         inner = closed.status();
         done = true;
         return;
       }
       if (!*closed) return;
+      Database candidate = view.Materialize();
       BruteForceOptions rcdp_options = options;
       rcdp_options.universe = universe;
       Result<BruteForceRcdpResult> rcdp =

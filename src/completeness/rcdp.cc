@@ -121,6 +121,7 @@ class DisjunctSearch {
   DisjunctSearch(const TableauQuery& tableau, const Database& db,
                  const Database& master, const ConstraintSet& constraints,
                  const DeltaConstraintChecker* delta_checker,
+                 const CompiledConstraintCheck* compiled,
                  const Relation& current_answer, const ActiveDomain& adom,
                  const RcdpOptions& options)
       : tableau_(tableau),
@@ -128,16 +129,32 @@ class DisjunctSearch {
         master_(master),
         constraints_(constraints),
         delta_checker_(delta_checker),
+        compiled_(compiled),
         current_answer_(current_answer),
         adom_(adom),
-        options_(options) {}
+        options_(options) {
+    eval_options_.use_indexes = options.use_indexes;
+    eval_options_.counters = &counters_;
+  }
 
   /// Runs the search; fills *result on success (counterexample found).
   Result<bool> Run(RcdpResult* result,
                    const std::map<std::string, std::vector<Value>>*
                        candidate_overrides) {
     if (delta_checker_ != nullptr) {
-      session_.emplace(delta_checker_->NewSession(db_, master_));
+      session_.emplace(delta_checker_->NewSession(
+          db_, master_, options_.use_overlay, eval_options_));
+    } else if (options_.use_overlay) {
+      // No delta session: candidates are staged on a scratch overlay —
+      // over ∅ for the Corollary 3.4 IND fast path (only μ(T) is
+      // checked), over D otherwise. Either way the base relations'
+      // column indexes survive across candidates.
+      if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
+        empty_db_.emplace(db_.schema_ptr());
+        scratch_.emplace(&*empty_db_);
+      } else {
+        scratch_.emplace(&db_);
+      }
     }
     ValuationEnumerator::Options enum_options;
     enum_options.pruned = options_.prune;
@@ -203,12 +220,50 @@ class DisjunctSearch {
     result->stats.bindings_tried += enumerator.stats().bindings_tried;
     result->stats.totals_delivered += enumerator.stats().totals_delivered;
     result->stats.prunes += enumerator.stats().prunes;
+    result->stats.index_probes += counters_.index_probes;
+    result->stats.relation_scans += counters_.relation_scans;
+    result->stats.overlay_hits += counters_.overlay_hits;
     RELCOMP_RETURN_NOT_OK(inner_error);
     RELCOMP_RETURN_NOT_OK(st);
     return found;
   }
 
  private:
+  /// Checks V on the extension given by `tuples`: (D ∪ tuples, Dm) on
+  /// the general path, (tuples, Dm) alone on the IND fast path
+  /// (Corollary 3.4 — callers pass μ(T) there). Dispatches to the
+  /// delta session, the scratch overlay + compiled check, or — with
+  /// use_overlay off — the legacy copy-per-candidate path.
+  Result<bool> ExtensionSatisfiesV(
+      const std::vector<std::pair<std::string, Tuple>>& tuples) {
+    if (session_.has_value()) {
+      return session_->Check(tuples);
+    }
+    const bool ind = options_.ind_fast_path && constraints_.IsIndsOnly();
+    if (scratch_.has_value()) {
+      scratch_->Clear();
+      for (const auto& [relation, tuple] : tuples) {
+        scratch_->Add(relation, tuple);
+      }
+      if (compiled_ != nullptr) {
+        return compiled_->Satisfied(*scratch_, eval_options_);
+      }
+      return Satisfies(constraints_, *scratch_, master_);
+    }
+    if (ind) {
+      Database mu_t(db_.schema_ptr());
+      for (const auto& [relation, tuple] : tuples) {
+        mu_t.InsertUnchecked(relation, tuple);
+      }
+      return Satisfies(constraints_, mu_t, master_);
+    }
+    Database extended = db_;
+    for (const auto& [relation, tuple] : tuples) {
+      extended.InsertUnchecked(relation, tuple);
+    }
+    return Satisfies(constraints_, extended, master_);
+  }
+
   /// Instantiates the rows fully bound at positions <= pos and checks
   /// V on D plus those rows alone.
   Result<bool> PartialRowsSatisfyV(const Bindings& partial, size_t pos,
@@ -224,21 +279,7 @@ class DisjunctSearch {
       }
     }
     if (delta.empty()) return true;
-    if (session_.has_value()) {
-      return session_->Check(delta);
-    }
-    if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
-      Database mu_t(db_.schema_ptr());
-      for (auto& [relation, tuple] : delta) {
-        mu_t.InsertUnchecked(relation, tuple);
-      }
-      return Satisfies(constraints_, mu_t, master_);
-    }
-    Database extended = db_;
-    for (auto& [relation, tuple] : delta) {
-      extended.InsertUnchecked(relation, tuple);
-    }
-    return Satisfies(constraints_, extended, master_);
+    return ExtensionSatisfiesV(delta);
   }
 
   Result<bool> IsCounterexample(const Bindings& valuation,
@@ -258,24 +299,13 @@ class DisjunctSearch {
     }
     if (delta.empty()) return false;
     bool satisfied = false;
-    if (session_.has_value()) {
-      RELCOMP_ASSIGN_OR_RETURN(satisfied, session_->Check(delta));
-    } else if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
+    if (!session_.has_value() &&
+        options_.ind_fast_path && constraints_.IsIndsOnly()) {
       // Corollary 3.4: for INDs, (D ∪ μ(T), Dm) |= V iff
       // (D, Dm) |= V (precondition) and (μ(T), Dm) |= V.
-      Database mu_t(db_.schema_ptr());
-      for (auto& [relation, tuple] : rows) {
-        mu_t.InsertUnchecked(relation, tuple);
-      }
-      RELCOMP_ASSIGN_OR_RETURN(satisfied,
-                               Satisfies(constraints_, mu_t, master_));
+      RELCOMP_ASSIGN_OR_RETURN(satisfied, ExtensionSatisfiesV(rows));
     } else {
-      Database extended = db_;
-      for (auto& [relation, tuple] : delta) {
-        extended.InsertUnchecked(relation, tuple);
-      }
-      RELCOMP_ASSIGN_OR_RETURN(satisfied,
-                               Satisfies(constraints_, extended, master_));
+      RELCOMP_ASSIGN_OR_RETURN(satisfied, ExtensionSatisfiesV(delta));
     }
     if (!satisfied) return false;
     result->complete = false;
@@ -293,7 +323,14 @@ class DisjunctSearch {
   const Database& master_;
   const ConstraintSet& constraints_;
   const DeltaConstraintChecker* delta_checker_;
+  const CompiledConstraintCheck* compiled_;
   std::optional<DeltaConstraintChecker::Session> session_;
+  /// Overlay-mode scratch state (no delta session): IND fast path
+  /// stages candidates over an empty base, the general path over D.
+  std::optional<Database> empty_db_;
+  std::optional<DatabaseOverlay> scratch_;
+  EvalCounters counters_;
+  ConjunctiveEvalOptions eval_options_;
   const Relation& current_answer_;
   const ActiveDomain& adom_;
   const RcdpOptions& options_;
@@ -332,11 +369,15 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
 
   RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq,
                            query.ToUnion(options.max_union_disjuncts));
-  RELCOMP_ASSIGN_OR_RETURN(Relation current_answer,
-                           EvalUnion(ucq, db));
-
   RcdpResult result;
   result.complete = true;
+
+  EvalCounters main_counters;
+  ConjunctiveEvalOptions main_eval;
+  main_eval.use_indexes = options.use_indexes;
+  main_eval.counters = &main_counters;
+  RELCOMP_ASSIGN_OR_RETURN(Relation current_answer,
+                           EvalUnion(ucq, db, main_eval));
 
   // Build the incremental constraint checker once (skipped for the
   // IND fast path, which checks μ(T) in isolation and is cheaper).
@@ -349,6 +390,23 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
         DeltaConstraintChecker::Make(constraints, db.schema_ptr(),
                                      options.max_union_disjuncts));
     delta_checker = std::move(checker);
+  }
+
+  // Without a delta session, per-candidate checks go through a
+  // CompiledConstraintCheck (UCQ unfoldings and master-side target
+  // projections materialized once, here) over the scratch overlay.
+  // If compilation fails — an ∃FO+ constraint whose unfolding blows
+  // the cap — candidates fall back to uncompiled overlay checks.
+  std::optional<CompiledConstraintCheck> compiled;
+  if (options.use_overlay && !delta_checker.has_value()) {
+    Result<CompiledConstraintCheck> c = CompiledConstraintCheck::Make(
+        constraints, master, options.max_union_disjuncts);
+    if (c.ok()) {
+      compiled = std::move(*c);
+    } else if (c.status().code() != StatusCode::kResourceExhausted &&
+               c.status().code() != StatusCode::kUnsupported) {
+      return c.status();
+    }
   }
 
   std::map<std::string, std::set<size_t>> sensitive;
@@ -376,15 +434,16 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
     DisjunctSearch search(tableau, db, master, constraints,
                           delta_checker.has_value() ? &*delta_checker
                                                     : nullptr,
+                          compiled.has_value() ? &*compiled : nullptr,
                           current_answer, adom, options);
     RELCOMP_ASSIGN_OR_RETURN(
         bool found,
         search.Run(&result, overrides.empty() ? nullptr : &overrides));
-    if (found) {
-      result.complete = false;
-      return result;
-    }
+    if (found) break;
   }
+  result.stats.index_probes += main_counters.index_probes;
+  result.stats.relation_scans += main_counters.relation_scans;
+  result.stats.overlay_hits += main_counters.overlay_hits;
   return result;
 }
 

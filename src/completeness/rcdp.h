@@ -40,6 +40,14 @@ struct RcdpOptions {
   /// dedicated fresh value. Sound and complete; a major pruning lever
   /// for star-shaped queries (bench_ablation).
   bool collapse_dont_care = true;
+  /// Probe the relations' lazily built column indexes on bound atom
+  /// positions during constraint checks and query evaluation. Disable
+  /// to scan every atom, as the pre-index matcher did (bench_ablation).
+  bool use_indexes = true;
+  /// Stage candidate extensions on a copy-on-write DatabaseOverlay over
+  /// D instead of copying D per valuation. Disable for the legacy
+  /// copy-per-candidate paths (bench_ablation).
+  bool use_overlay = true;
   /// Budget on valuation-search binding steps per disjunct
   /// (0 = unlimited).
   size_t max_bindings = 0;

@@ -90,27 +90,43 @@ std::vector<VariableBoundedness> AnalyzeTableau(
   return out;
 }
 
+/// Checks (μ(T), Dm) |= V for one valuation by staging the instantiated
+/// rows on `scratch` (an overlay over an empty database over the
+/// db schema), going through the compiled check when available.
+Result<bool> ValuationRealizable(const TableauQuery& tableau,
+                                 const Bindings& valuation,
+                                 const Database& master,
+                                 const ConstraintSet& constraints,
+                                 const CompiledConstraintCheck* compiled,
+                                 DatabaseOverlay* scratch) {
+  RELCOMP_ASSIGN_OR_RETURN(auto rows, tableau.Instantiate(valuation));
+  scratch->Clear();
+  for (const auto& [relation, tuple] : rows) {
+    scratch->Add(relation, tuple);
+  }
+  if (compiled != nullptr) return compiled->Satisfied(*scratch);
+  return Satisfies(constraints, *scratch, master);
+}
+
 /// Searches for a valid valuation μ of `tableau` with (μ(T), Dm) |= V.
 /// Returns the valuation if found.
 Result<std::optional<Bindings>> FindRealizableValuation(
     const TableauQuery& tableau, const Database& master,
-    const ConstraintSet& constraints,
+    const ConstraintSet& constraints, const CompiledConstraintCheck* compiled,
     const std::shared_ptr<const Schema>& db_schema, const ActiveDomain& adom,
     size_t max_bindings) {
   ValuationEnumerator::Options options;
   options.max_bindings = max_bindings;
   ValuationEnumerator enumerator(&tableau, &adom, options);
+  Database empty_db(db_schema);
+  DatabaseOverlay scratch(&empty_db);
   std::optional<Bindings> found;
   Status inner;
   RELCOMP_RETURN_NOT_OK(enumerator.Enumerate(
       nullptr, [&](const Bindings& valuation) {
-        Database mu_t(db_schema);
-        Status st = tableau.InstantiateInto(valuation, &mu_t);
-        if (!st.ok()) {
-          inner = st;
-          return false;
-        }
-        Result<bool> sat = Satisfies(constraints, mu_t, master);
+        Result<bool> sat = ValuationRealizable(tableau, valuation, master,
+                                               constraints, compiled,
+                                               &scratch);
         if (!sat.ok()) {
           inner = sat.status();
           return false;
@@ -126,15 +142,19 @@ Result<std::optional<Bindings>> FindRealizableValuation(
 }
 
 /// Builds the Prop 4.3 witness for one bounded, realizable disjunct:
-/// one instantiated tableau per achievable summary tuple.
+/// one instantiated tableau per achievable summary tuple. Rows are
+/// materialized into `witness` only for valuations that realize.
 Status AccumulateIndWitness(const TableauQuery& tableau,
                             const Database& master,
                             const ConstraintSet& constraints,
+                            const CompiledConstraintCheck* compiled,
                             const ActiveDomain& adom, size_t max_bindings,
                             Database* witness) {
   ValuationEnumerator::Options options;
   options.max_bindings = max_bindings;
   ValuationEnumerator enumerator(&tableau, &adom, options);
+  Database empty_db(witness->schema_ptr());
+  DatabaseOverlay scratch(&empty_db);
   std::set<Tuple> covered;
   Status inner;
   RELCOMP_RETURN_NOT_OK(enumerator.Enumerate(
@@ -145,20 +165,20 @@ Status AccumulateIndWitness(const TableauQuery& tableau,
           return false;
         }
         if (covered.count(*summary) > 0) return true;
-        Database mu_t(witness->schema_ptr());
-        Status st = tableau.InstantiateInto(valuation, &mu_t);
-        if (!st.ok()) {
-          inner = st;
-          return false;
-        }
-        Result<bool> sat = Satisfies(constraints, mu_t, master);
+        Result<bool> sat = ValuationRealizable(tableau, valuation, master,
+                                               constraints, compiled,
+                                               &scratch);
         if (!sat.ok()) {
           inner = sat.status();
           return false;
         }
         if (*sat) {
           covered.insert(*summary);
-          witness->UnionWith(mu_t);
+          Status st = tableau.InstantiateInto(valuation, witness);
+          if (!st.ok()) {
+            inner = st;
+            return false;
+          }
         }
         return true;
       }));
@@ -364,6 +384,21 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
 
   // ---- Exact IND path (Prop 4.3 / Theorem 4.5(1)). -------------------
   if (constraints.IsIndsOnly()) {
+    // INDs are CQ constraints: compile once (targets materialized from
+    // Dm here) and reuse across every valuation probe below.
+    std::optional<CompiledConstraintCheck> compiled;
+    {
+      Result<CompiledConstraintCheck> c = CompiledConstraintCheck::Make(
+          constraints, master, options.rcdp.max_union_disjuncts);
+      if (c.ok()) {
+        compiled = std::move(*c);
+      } else if (c.status().code() != StatusCode::kResourceExhausted &&
+                 c.status().code() != StatusCode::kUnsupported) {
+        return c.status();
+      }
+    }
+    const CompiledConstraintCheck* compiled_ptr =
+        compiled.has_value() ? &*compiled : nullptr;
     std::map<std::string, std::set<size_t>> projected =
         IndProjectedColumns(constraints);
     bool all_ok = true;
@@ -376,8 +411,8 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
       if (bounded) continue;
       RELCOMP_ASSIGN_OR_RETURN(
           std::optional<Bindings> realizable,
-          FindRealizableValuation(tableau, master, constraints, db_schema,
-                                  adom, options.max_valuations));
+          FindRealizableValuation(tableau, master, constraints, compiled_ptr,
+                                  db_schema, adom, options.max_valuations));
       if (realizable.has_value()) {
         all_ok = false;
         for (VariableBoundedness& vb : analysis) {
@@ -396,8 +431,8 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
       Database witness(db_schema);
       for (const TableauQuery& tableau : tableaux) {
         RELCOMP_RETURN_NOT_OK(
-            AccumulateIndWitness(tableau, master, constraints, adom,
-                                 options.max_valuations, &witness));
+            AccumulateIndWitness(tableau, master, constraints, compiled_ptr,
+                                 adom, options.max_valuations, &witness));
       }
       result.witness = std::move(witness);
     }

@@ -14,6 +14,9 @@
 namespace relcomp {
 
 /// Counters reported by the valuation search; surfaced by the benches.
+/// The last three are aggregated from the relational core's
+/// EvalCounters by the deciders (constraint checks and query evals
+/// issued while judging valuations).
 struct ValuationSearchStats {
   /// Number of variable-binding steps taken.
   size_t bindings_tried = 0;
@@ -21,6 +24,12 @@ struct ValuationSearchStats {
   size_t totals_delivered = 0;
   /// Subtrees cut by disequality or caller pruning.
   size_t prunes = 0;
+  /// Column-index probes issued against base relations.
+  size_t index_probes = 0;
+  /// Full relation scans (no bound position, or indexes disabled).
+  size_t relation_scans = 0;
+  /// Atom matches served by overlay-staged rows.
+  size_t overlay_hits = 0;
 };
 
 /// Enumerates the paper's valid valuations of a tableau: total

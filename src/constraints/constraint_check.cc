@@ -26,6 +26,47 @@ Relation EvalProjection(const ContainmentConstraint& cc,
   return out;
 }
 
+namespace {
+
+/// Materializes π_{projection}(master_relation) over the master data.
+Relation ProjectMaster(const Database& master,
+                       const std::string& master_relation,
+                       const std::vector<size_t>& projection) {
+  const Relation& source = master.Get(master_relation);
+  Relation out(projection.size());
+  for (const Tuple& t : source) {
+    std::vector<Value> values;
+    values.reserve(projection.size());
+    for (size_t col : projection) values.push_back(t[col]);
+    out.Insert(Tuple(std::move(values)));
+  }
+  return out;
+}
+
+/// Checks one disjunct of a constraint query against a target: true iff
+/// some match's head tuple falls outside the target (or, with a null
+/// target, iff any match exists — the q ⊆ ∅ form). Early-exits on the
+/// first violation.
+Result<bool> DisjunctViolates(const ConjunctiveQuery& cq,
+                              const DatabaseOverlay& view,
+                              const Relation* target,
+                              const ConjunctiveEvalOptions& options) {
+  bool violated = false;
+  Status st = ForEachMatch(cq, view, options, [&](const Bindings& b) {
+    std::optional<Tuple> head = b.Ground(cq.head());
+    if (!head.has_value()) return true;
+    if (target == nullptr || !target->Contains(*head)) {
+      violated = true;
+      return false;  // stop
+    }
+    return true;
+  });
+  RELCOMP_RETURN_NOT_OK(st);
+  return violated;
+}
+
+}  // namespace
+
 Result<bool> CheckConstraint(const ContainmentConstraint& cc,
                              const Database& db, const Database& master,
                              const EvalOptions& options) {
@@ -83,6 +124,60 @@ Result<bool> Satisfies(const ConstraintSet& set, const Database& db,
   return result.satisfied;
 }
 
+Result<bool> Satisfies(const ConstraintSet& set, const DatabaseOverlay& db,
+                       const Database& master, const EvalOptions& options) {
+  for (const ContainmentConstraint& cc : set.constraints()) {
+    EvalOptions local = options;
+    if (cc.language() == QueryLanguage::kFo) {
+      master.CollectConstants(&local.fo_extra_constants);
+    }
+    // Evaluate(…, DatabaseOverlay, …) runs CQ-convertible queries on
+    // the view and materializes only for FO/Datalog.
+    RELCOMP_ASSIGN_OR_RETURN(Relation answers,
+                             Evaluate(cc.query(), db, local));
+    if (cc.has_empty_target()) {
+      if (!answers.empty()) return false;
+      continue;
+    }
+    Relation target = EvalProjection(cc, master);
+    if (!answers.IsSubsetOf(target)) return false;
+  }
+  return true;
+}
+
+Result<CompiledConstraintCheck> CompiledConstraintCheck::Make(
+    const ConstraintSet& set, const Database& master,
+    size_t max_union_disjuncts) {
+  CompiledConstraintCheck compiled;
+  compiled.entries_.reserve(set.constraints().size());
+  for (const ContainmentConstraint& cc : set.constraints()) {
+    RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq,
+                             cc.query().ToUnion(max_union_disjuncts));
+    Entry entry;
+    entry.ucq = std::move(ucq);
+    entry.empty_target = cc.has_empty_target();
+    if (!entry.empty_target) {
+      entry.target = EvalProjection(cc, master);
+    }
+    compiled.entries_.push_back(std::move(entry));
+  }
+  return compiled;
+}
+
+Result<bool> CompiledConstraintCheck::Satisfied(
+    const DatabaseOverlay& view,
+    const ConjunctiveEvalOptions& options) const {
+  for (const Entry& entry : entries_) {
+    const Relation* target = entry.empty_target ? nullptr : &entry.target;
+    for (const ConjunctiveQuery& cq : entry.ucq.disjuncts()) {
+      RELCOMP_ASSIGN_OR_RETURN(bool violated,
+                               DisjunctViolates(cq, view, target, options));
+      if (violated) return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 constexpr char kCcDeltaSuffix[] = "$ccdelta";
 }  // namespace
@@ -124,50 +219,105 @@ Result<DeltaConstraintChecker> DeltaConstraintChecker::Make(
   return checker;
 }
 
-DeltaConstraintChecker::Session::Session(const DeltaConstraintChecker* checker,
-                                         const Database& base,
-                                         const Database& master)
-    : checker_(checker), master_(&master),
-      work_(checker->extended_schema_) {
-  for (const std::string& name : checker->base_schema_->relation_names()) {
-    for (const Tuple& t : base.Get(name)) work_.InsertUnchecked(name, t);
+DeltaConstraintChecker::Session::Session(
+    const DeltaConstraintChecker* checker, const Database& base,
+    const Database& master, bool use_overlay,
+    const ConjunctiveEvalOptions& eval_options)
+    : checker_(checker), master_(&master), eval_options_(eval_options),
+      use_overlay_(use_overlay),
+      targets_(checker->constraints_.size()) {
+  if (use_overlay_) {
+    // The view stages candidate rows under both the real relation name
+    // and its $ccdelta alias; the base — with its column indexes — is
+    // never copied.
+    view_.emplace(&base);
+  } else {
+    work_.emplace(checker->extended_schema_);
+    for (const std::string& name : checker->base_schema_->relation_names()) {
+      for (const Tuple& t : base.Get(name)) work_->InsertUnchecked(name, t);
+    }
   }
+}
+
+const Relation& DeltaConstraintChecker::Session::TargetFor(size_t cc_index) {
+  std::optional<Relation>& slot = targets_[cc_index];
+  if (!slot.has_value()) {
+    const CcVariants& cc = checker_->constraints_[cc_index];
+    slot = ProjectMaster(*master_, cc.master_relation, cc.projection);
+  }
+  return *slot;
 }
 
 Result<bool> DeltaConstraintChecker::Session::Check(
     const std::vector<std::pair<std::string, Tuple>>& delta) {
-  // Apply the delta in place; remember exactly what to roll back.
+  if (use_overlay_) {
+    view_->Clear();
+    for (const auto& [relation, tuple] : delta) {
+      // Add() filters tuples already in the base (and duplicates within
+      // the delta); only genuinely new tuples reach the $ccdelta alias,
+      // which is virtual — absent from the base schema — so it is
+      // served purely from the staged rows.
+      if (view_->Add(relation, tuple)) {
+        view_->Add(StrCat(relation, kCcDeltaSuffix), tuple);
+      }
+    }
+    if (!view_->HasPending()) return true;  // base already satisfies V
+    for (size_t c = 0; c < checker_->constraints_.size(); ++c) {
+      const CcVariants& cc = checker_->constraints_[c];
+      for (size_t v = 0; v < cc.variants.size(); ++v) {
+        if (view_->Pending(cc.variant_delta_relations[v]).empty()) continue;
+        const Relation* target =
+            cc.empty_target ? nullptr : &TargetFor(c);
+        Result<bool> violated = DisjunctViolates(cc.variants[v], *view_,
+                                                 target, eval_options_);
+        if (!violated.ok()) {
+          view_->Clear();
+          return violated.status();
+        }
+        if (*violated) {
+          view_->Clear();
+          return false;
+        }
+      }
+    }
+    view_->Clear();
+    return true;
+  }
+
+  // Legacy copy mode: apply the delta in place; remember exactly what
+  // to roll back.
   std::vector<std::pair<std::string, const Tuple*>> applied;
   std::vector<std::pair<std::string, const Tuple*>> applied_delta;
   applied.reserve(delta.size());
   applied_delta.reserve(delta.size());
   for (const auto& [relation, tuple] : delta) {
-    if (work_.InsertUnchecked(relation, tuple)) {
+    if (work_->InsertUnchecked(relation, tuple)) {
       applied.emplace_back(relation, &tuple);
       std::string delta_name = StrCat(relation, kCcDeltaSuffix);
-      if (work_.InsertUnchecked(delta_name, tuple)) {
+      if (work_->InsertUnchecked(delta_name, tuple)) {
         applied_delta.emplace_back(std::move(delta_name), &tuple);
       }
     }
   }
   auto rollback = [&]() {
     for (const auto& [relation, tuple] : applied) {
-      work_.Erase(relation, *tuple);
+      work_->Erase(relation, *tuple);
     }
     for (const auto& [relation, tuple] : applied_delta) {
-      work_.Erase(relation, *tuple);
+      work_->Erase(relation, *tuple);
     }
   };
   if (applied.empty()) {
     rollback();
     return true;  // nothing new: base already satisfies V
   }
-  for (const CcVariants& cc : checker_->constraints_) {
-    std::optional<Relation> target;
+  for (size_t c = 0; c < checker_->constraints_.size(); ++c) {
+    const CcVariants& cc = checker_->constraints_[c];
     for (size_t v = 0; v < cc.variants.size(); ++v) {
-      if (work_.Get(cc.variant_delta_relations[v]).empty()) continue;
+      if (work_->Get(cc.variant_delta_relations[v]).empty()) continue;
       const ConjunctiveQuery& variant = cc.variants[v];
-      Result<Relation> answers = EvalConjunctive(variant, work_);
+      Result<Relation> answers = EvalConjunctive(variant, *work_,
+                                                 eval_options_);
       if (!answers.ok()) {
         rollback();
         return answers.status();
@@ -177,18 +327,7 @@ Result<bool> DeltaConstraintChecker::Session::Check(
         rollback();
         return false;
       }
-      if (!target.has_value()) {
-        const Relation& source = master_->Get(cc.master_relation);
-        Relation projected(cc.projection.size());
-        for (const Tuple& t : source) {
-          std::vector<Value> values;
-          values.reserve(cc.projection.size());
-          for (size_t col : cc.projection) values.push_back(t[col]);
-          projected.Insert(Tuple(std::move(values)));
-        }
-        target = std::move(projected);
-      }
-      if (!answers->IsSubsetOf(*target)) {
+      if (!answers->IsSubsetOf(TargetFor(c))) {
         rollback();
         return false;
       }
@@ -201,33 +340,28 @@ Result<bool> DeltaConstraintChecker::Session::Check(
 Result<bool> DeltaConstraintChecker::Check(const Database& extended,
                                            const Database& delta,
                                            const Database& master) const {
-  Database work(extended_schema_);
+  // `extended` already holds D ∪ Δ; only the $ccdelta aliases need
+  // staging, and they are virtual relations of the overlay.
+  DatabaseOverlay view(&extended);
   for (const std::string& name : base_schema_->relation_names()) {
-    for (const Tuple& t : extended.Get(name)) work.InsertUnchecked(name, t);
+    std::string delta_name = StrCat(name, kCcDeltaSuffix);
     for (const Tuple& t : delta.Get(name)) {
-      work.InsertUnchecked(StrCat(name, kCcDeltaSuffix), t);
+      view.Add(delta_name, t);
     }
   }
   for (const CcVariants& cc : constraints_) {
     std::optional<Relation> target;
-    for (const ConjunctiveQuery& variant : cc.variants) {
-      RELCOMP_ASSIGN_OR_RETURN(Relation answers,
-                               EvalConjunctive(variant, work));
-      if (answers.empty()) continue;
-      if (cc.empty_target) return false;
-      if (!target.has_value()) {
-        // Materialize the projection once per constraint.
-        const Relation& source = master.Get(cc.master_relation);
-        Relation projected(cc.projection.size());
-        for (const Tuple& t : source) {
-          std::vector<Value> values;
-          values.reserve(cc.projection.size());
-          for (size_t col : cc.projection) values.push_back(t[col]);
-          projected.Insert(Tuple(std::move(values)));
-        }
-        target = std::move(projected);
+    for (size_t v = 0; v < cc.variants.size(); ++v) {
+      if (view.Pending(cc.variant_delta_relations[v]).empty()) continue;
+      if (!cc.empty_target && !target.has_value()) {
+        target = ProjectMaster(master, cc.master_relation, cc.projection);
       }
-      if (!answers.IsSubsetOf(*target)) return false;
+      RELCOMP_ASSIGN_OR_RETURN(
+          bool violated,
+          DisjunctViolates(cc.variants[v], view,
+                           cc.empty_target ? nullptr : &*target,
+                           ConjunctiveEvalOptions()));
+      if (violated) return false;
     }
   }
   return true;

@@ -3,10 +3,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "constraints/containment_constraint.h"
 #include "eval/query_eval.h"
 #include "relational/database.h"
+#include "relational/database_overlay.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -41,6 +43,48 @@ Result<bool> Satisfies(const ConstraintSet& set, const Database& db,
                        const Database& master,
                        const EvalOptions& options = EvalOptions());
 
+/// Overlay form: checks (base ∪ staged, Dm) |= V without materializing
+/// the extension. CQ-convertible constraint queries evaluate on the
+/// view; FO constraints fall back to a materialized copy.
+Result<bool> Satisfies(const ConstraintSet& set, const DatabaseOverlay& db,
+                       const Database& master,
+                       const EvalOptions& options = EvalOptions());
+
+/// A constraint set compiled for repeated checking: each CC's query is
+/// unfolded to a UCQ once and its master-side target projection p(Dm)
+/// is materialized once (into an indexed Relation), after which
+/// Satisfied() can be called per candidate instance — the deciders
+/// call it once per valuation, against an overlay over D (or over ∅
+/// for the Corollary 3.4 IND fast path).
+///
+/// Violation checks early-exit: matches of a constraint query are
+/// enumerated and the first head tuple outside the target stops the
+/// evaluation, so nothing is materialized per candidate.
+class CompiledConstraintCheck {
+ public:
+  /// Fails with kUnsupported for FO/FP constraints (not CQ-convertible)
+  /// and propagates kResourceExhausted from the UCQ unfolding cap.
+  static Result<CompiledConstraintCheck> Make(const ConstraintSet& set,
+                                              const Database& master,
+                                              size_t max_union_disjuncts =
+                                                  4096);
+
+  /// Returns (view, Dm) |= V. `options` carries the index toggle and
+  /// the counter sink.
+  Result<bool> Satisfied(const DatabaseOverlay& view,
+                         const ConjunctiveEvalOptions& options =
+                             ConjunctiveEvalOptions()) const;
+
+ private:
+  struct Entry {
+    UnionQuery ucq;
+    bool empty_target = true;
+    /// Materialized p(Dm); unused when empty_target.
+    Relation target;
+  };
+  std::vector<Entry> entries_;
+};
+
 /// Incremental constraint checking for the deciders' inner loop.
 ///
 /// Given a base database D already known to satisfy V, checks whether
@@ -62,14 +106,19 @@ class DeltaConstraintChecker {
   Result<bool> Check(const Database& extended, const Database& delta,
                      const Database& master) const;
 
-  /// A reusable checking session over a fixed base database: the base
-  /// is copied in once and candidate deltas are applied and rolled
-  /// back in place, avoiding per-candidate database copies (the RCDP
-  /// decider calls Check once per leaf of the valuation search).
+  /// A reusable checking session over a fixed base database. In
+  /// overlay mode (the default) candidate deltas are staged on a
+  /// DatabaseOverlay over the base — zero-copy, and the base
+  /// relations' column indexes stay valid across checks. In legacy
+  /// copy mode (use_overlay = false, kept for bench_ablation) the base
+  /// is copied in once and deltas are applied and rolled back in
+  /// place, as the pre-overlay implementation did.
   class Session {
    public:
     Session(const DeltaConstraintChecker* checker, const Database& base,
-            const Database& master);
+            const Database& master, bool use_overlay = true,
+            const ConjunctiveEvalOptions& eval_options =
+                ConjunctiveEvalOptions());
 
     /// Returns (base ∪ delta, Dm) |= V. Tuples already in the base are
     /// ignored. The work state is restored before returning.
@@ -77,15 +126,29 @@ class DeltaConstraintChecker {
         const std::vector<std::pair<std::string, Tuple>>& delta);
 
    private:
+    /// Target projection p(Dm) of constraint `cc_index`, materialized
+    /// lazily once per session and reused across checks.
+    const Relation& TargetFor(size_t cc_index);
+
     const DeltaConstraintChecker* checker_;
     const Database* master_;
-    Database work_;
+    ConjunctiveEvalOptions eval_options_;
+    bool use_overlay_;
+    /// Overlay mode: the zero-copy view over the caller's base.
+    std::optional<DatabaseOverlay> view_;
+    /// Legacy mode: a mutable copy of the base over the extended
+    /// schema.
+    std::optional<Database> work_;
+    std::vector<std::optional<Relation>> targets_;
   };
 
   /// Creates a session; `base` is the decider's D, already known to
   /// satisfy V together with `master`.
-  Session NewSession(const Database& base, const Database& master) const {
-    return Session(this, base, master);
+  Session NewSession(const Database& base, const Database& master,
+                     bool use_overlay = true,
+                     const ConjunctiveEvalOptions& eval_options =
+                         ConjunctiveEvalOptions()) const {
+    return Session(this, base, master, use_overlay, eval_options);
   }
 
  private:

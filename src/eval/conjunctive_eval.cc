@@ -1,18 +1,27 @@
 #include "eval/conjunctive_eval.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/str.h"
 
 namespace relcomp {
 namespace {
 
-/// Backtracking matcher state. Relation atoms are matched one at a
-/// time against the instance; comparison atoms are checked as soon as
-/// both operands are bound.
+/// Backtracking matcher state over an overlay view (a plain Database
+/// is matched through a pending-free overlay). Relation atoms are
+/// matched one at a time; comparison atoms are checked as soon as both
+/// operands are bound.
+///
+/// Per atom, base rows are matched on the interned ValueId plane:
+/// positions bound before the atom (constants and already-bound
+/// variables) are resolved to ids once, then candidate rows — an index
+/// probe's posting list when a position is bound and indexes are
+/// enabled, the full relation otherwise — are filtered by 32-bit id
+/// comparison. Overlay-staged rows (few) are matched on Values.
 class Matcher {
  public:
-  Matcher(const ConjunctiveQuery& q, const Database& db,
+  Matcher(const ConjunctiveQuery& q, const DatabaseOverlay& db,
           const ConjunctiveEvalOptions& options,
           const std::function<bool(const Bindings&)>& on_match)
       : db_(db), options_(options), on_match_(on_match) {
@@ -50,6 +59,49 @@ class Matcher {
     return true;
   }
 
+  /// Matches one candidate row of `atom` given the pre-resolved bound
+  /// values, then recurses. `get_value` yields the row's value at a
+  /// position; `id_eq` (base rows only) short-circuits bound-position
+  /// comparison on ids. Returns false iff the search was stopped.
+  template <typename GetValue, typename IdEq>
+  bool TryRow(const Atom& atom, std::vector<bool>& used, size_t depth,
+              size_t pick, const std::vector<const Value*>& bound,
+              const GetValue& get_value, const IdEq& id_eq, bool* matched) {
+    const std::vector<Term>& args = atom.args();
+    newly_bound_.clear();
+    bool ok = true;
+    for (size_t i = 0; i < args.size() && ok; ++i) {
+      if (bound[i] != nullptr) {
+        ok = id_eq(i, *bound[i]);
+      } else {
+        const std::string& var = args[i].var();
+        if (std::optional<Value> b = bindings_.Get(var)) {
+          // Repeated variable within this atom, bound at an earlier
+          // position of the same row.
+          ok = *b == get_value(i);
+        } else {
+          bindings_.Set(var, get_value(i));
+          newly_bound_.push_back(var);
+        }
+      }
+    }
+    if (ok && ComparisonsConsistent()) {
+      *matched = true;
+      // Unbinding happens before returning in both branches; save the
+      // names since newly_bound_ is reused by the recursion.
+      std::vector<std::string> bound_here = newly_bound_;
+      if (!Search(used, depth + 1)) {
+        for (const std::string& v : bound_here) bindings_.Unset(v);
+        used[pick] = false;
+        return false;
+      }
+      for (const std::string& v : bound_here) bindings_.Unset(v);
+    } else {
+      for (const std::string& v : newly_bound_) bindings_.Unset(v);
+    }
+    return true;
+  }
+
   bool Search(std::vector<bool>& used, size_t depth) {
     if (depth == relation_atoms_.size()) {
       // All relation atoms matched; all comparisons must be decidable.
@@ -68,7 +120,7 @@ class Matcher {
       for (size_t i = 0; i < relation_atoms_.size(); ++i) {
         if (used[i]) continue;
         int score = BoundScore(*relation_atoms_[i]);
-        size_t size = db_.Get(relation_atoms_[i]->relation()).size();
+        size_t size = db_.Size(relation_atoms_[i]->relation());
         if (score > best || (score == best && size < best_size)) {
           best = score;
           best_size = size;
@@ -80,57 +132,134 @@ class Matcher {
     }
     used[pick] = true;
     const Atom& atom = *relation_atoms_[pick];
-    const Relation& rel = db_.Get(atom.relation());
-    for (const Tuple& t : rel) {
-      std::vector<std::string> newly_bound;
-      bool ok = true;
-      for (size_t i = 0; i < atom.args().size() && ok; ++i) {
-        const Term& arg = atom.args()[i];
-        if (arg.is_constant()) {
-          ok = arg.value() == t[i];
-        } else if (std::optional<Value> bound = bindings_.Get(arg.var())) {
-          ok = *bound == t[i];
-        } else {
-          bindings_.Set(arg.var(), t[i]);
-          newly_bound.push_back(arg.var());
-        }
+    const std::vector<Term>& args = atom.args();
+    const Relation& rel = db_.BaseRelation(atom.relation());
+    const std::vector<Tuple>& staged = db_.Pending(atom.relation());
+
+    // Pre-resolve the positions bound before this atom: constants and
+    // variables bound at shallower depths.
+    std::vector<const Value*> bound(args.size(), nullptr);
+    std::vector<Value> bound_storage(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].is_constant()) {
+        bound[i] = &args[i].value();
+      } else if (std::optional<Value> b = bindings_.Get(args[i].var())) {
+        bound_storage[i] = std::move(*b);
+        bound[i] = &bound_storage[i];
       }
-      if (ok && ComparisonsConsistent()) {
-        if (!Search(used, depth + 1)) {
-          for (const std::string& v : newly_bound) bindings_.Unset(v);
-          used[pick] = false;
-          return false;
-        }
-      }
-      for (const std::string& v : newly_bound) bindings_.Unset(v);
     }
+
+    // --- Base rows, on the id plane. --------------------------------
+    if (!rel.empty() && rel.arity() == args.size()) {
+      bool base_possible = true;
+      std::vector<ValueId> bound_ids(args.size(), kInvalidValueId);
+      for (size_t i = 0; i < args.size() && base_possible; ++i) {
+        if (bound[i] == nullptr) continue;
+        std::optional<ValueId> id = rel.IdOf(*bound[i]);
+        if (!id.has_value()) {
+          base_possible = false;  // value never interned: no base row
+        } else {
+          bound_ids[i] = *id;
+        }
+      }
+      if (base_possible) {
+        // Candidate rows: the shortest posting list over the bound
+        // positions, or a full scan when nothing is bound / indexes
+        // are disabled.
+        const std::vector<uint32_t>* probe_rows = nullptr;
+        if (options_.use_indexes) {
+          for (size_t i = 0; i < args.size(); ++i) {
+            if (bound[i] == nullptr) continue;
+            const std::vector<uint32_t>* rows = rel.Probe(i, *bound[i]);
+            if (options_.counters != nullptr) {
+              ++options_.counters->index_probes;
+            }
+            if (rows == nullptr) {
+              probe_rows = nullptr;
+              base_possible = false;  // bound value absent from column
+              break;
+            }
+            if (probe_rows == nullptr || rows->size() < probe_rows->size()) {
+              probe_rows = rows;
+            }
+          }
+        }
+        auto try_base_row = [&](uint32_t row) {
+          if (options_.counters != nullptr) {
+            ++options_.counters->base_rows_considered;
+          }
+          const ValueId* ids = rel.RowIds(row);
+          bool matched = false;
+          return TryRow(
+              atom, used, depth, pick, bound,
+              [&](size_t i) -> const Value& { return rel.Resolve(ids[i]); },
+              [&](size_t i, const Value&) { return ids[i] == bound_ids[i]; },
+              &matched);
+        };
+        if (probe_rows != nullptr) {
+          for (uint32_t row : *probe_rows) {
+            if (!try_base_row(row)) return false;
+          }
+        } else if (base_possible) {
+          if (options_.counters != nullptr) {
+            ++options_.counters->relation_scans;
+          }
+          for (uint32_t row = 0; row < rel.size(); ++row) {
+            if (!try_base_row(row)) return false;
+          }
+        }
+      }
+    }
+
+    // --- Overlay-staged rows, on Values. ----------------------------
+    for (const Tuple& t : staged) {
+      if (t.arity() != args.size()) continue;
+      if (options_.counters != nullptr) {
+        ++options_.counters->overlay_rows_considered;
+      }
+      bool matched = false;
+      bool keep_going = TryRow(
+          atom, used, depth, pick, bound,
+          [&](size_t i) -> const Value& { return t[i]; },
+          [&](size_t i, const Value& v) { return v == t[i]; }, &matched);
+      if (matched && options_.counters != nullptr) {
+        ++options_.counters->overlay_hits;
+      }
+      if (!keep_going) return false;
+    }
+
     used[pick] = false;
     return true;
   }
 
-  const Database& db_;
+  const DatabaseOverlay& db_;
   const ConjunctiveEvalOptions& options_;
   const std::function<bool(const Bindings&)>& on_match_;
   std::vector<const Atom*> relation_atoms_;
   std::vector<const Atom*> comparisons_;
+  std::vector<std::string> newly_bound_;
   Bindings bindings_;
 };
 
 }  // namespace
 
-Status ForEachMatch(const ConjunctiveQuery& q, const Database& db,
+Status ForEachMatch(const ConjunctiveQuery& q, const DatabaseOverlay& db,
                     const ConjunctiveEvalOptions& options,
                     const std::function<bool(const Bindings&)>& on_match) {
-  // Wrap the callback so comparisons over variables that never occur in
-  // a relation atom (possible only for unsafe queries) are rejected
-  // rather than silently accepted.
   Matcher matcher(q, db, options, on_match);
   matcher.Run();
   return Status::OK();
 }
 
+Status ForEachMatch(const ConjunctiveQuery& q, const Database& db,
+                    const ConjunctiveEvalOptions& options,
+                    const std::function<bool(const Bindings&)>& on_match) {
+  DatabaseOverlay view(&db);
+  return ForEachMatch(q, view, options, on_match);
+}
+
 Result<Relation> EvalConjunctive(const ConjunctiveQuery& q,
-                                 const Database& db,
+                                 const DatabaseOverlay& db,
                                  const ConjunctiveEvalOptions& options) {
   Relation out(q.arity());
   Status st = ForEachMatch(q, db, options, [&](const Bindings& b) {
@@ -142,7 +271,14 @@ Result<Relation> EvalConjunctive(const ConjunctiveQuery& q,
   return out;
 }
 
-Result<Relation> EvalUnion(const UnionQuery& q, const Database& db,
+Result<Relation> EvalConjunctive(const ConjunctiveQuery& q,
+                                 const Database& db,
+                                 const ConjunctiveEvalOptions& options) {
+  DatabaseOverlay view(&db);
+  return EvalConjunctive(q, view, options);
+}
+
+Result<Relation> EvalUnion(const UnionQuery& q, const DatabaseOverlay& db,
                            const ConjunctiveEvalOptions& options) {
   Relation out(q.arity());
   for (const ConjunctiveQuery& cq : q.disjuncts()) {
@@ -152,8 +288,14 @@ Result<Relation> EvalUnion(const UnionQuery& q, const Database& db,
   return out;
 }
 
+Result<Relation> EvalUnion(const UnionQuery& q, const Database& db,
+                           const ConjunctiveEvalOptions& options) {
+  DatabaseOverlay view(&db);
+  return EvalUnion(q, view, options);
+}
+
 Result<bool> ConjunctiveSatisfiedIn(const ConjunctiveQuery& q,
-                                    const Database& db,
+                                    const DatabaseOverlay& db,
                                     const ConjunctiveEvalOptions& options) {
   bool found = false;
   Status st = ForEachMatch(q, db, options, [&](const Bindings& b) {
@@ -165,6 +307,13 @@ Result<bool> ConjunctiveSatisfiedIn(const ConjunctiveQuery& q,
   });
   RELCOMP_RETURN_NOT_OK(st);
   return found;
+}
+
+Result<bool> ConjunctiveSatisfiedIn(const ConjunctiveQuery& q,
+                                    const Database& db,
+                                    const ConjunctiveEvalOptions& options) {
+  DatabaseOverlay view(&db);
+  return ConjunctiveSatisfiedIn(q, view, options);
 }
 
 }  // namespace relcomp

@@ -1,16 +1,43 @@
 #ifndef RELCOMP_EVAL_CONJUNCTIVE_EVAL_H_
 #define RELCOMP_EVAL_CONJUNCTIVE_EVAL_H_
 
+#include <cstddef>
 #include <functional>
 
 #include "eval/bindings.h"
 #include "query/conjunctive_query.h"
 #include "query/union_query.h"
 #include "relational/database.h"
+#include "relational/database_overlay.h"
 #include "relational/relation.h"
 #include "util/status.h"
 
 namespace relcomp {
+
+/// Work counters for the conjunctive matcher; aggregated by the
+/// deciders and surfaced by the benches next to ValuationSearchStats.
+struct EvalCounters {
+  /// Column-index probes issued against base relations.
+  size_t index_probes = 0;
+  /// Full scans of a base relation (no bound position, or indexes
+  /// disabled).
+  size_t relation_scans = 0;
+  /// Base rows examined (via probe lists or scans).
+  size_t base_rows_considered = 0;
+  /// Overlay-staged rows examined.
+  size_t overlay_rows_considered = 0;
+  /// Atom matches served by an overlay-staged row.
+  size_t overlay_hits = 0;
+
+  EvalCounters& operator+=(const EvalCounters& o) {
+    index_probes += o.index_probes;
+    relation_scans += o.relation_scans;
+    base_rows_considered += o.base_rows_considered;
+    overlay_rows_considered += o.overlay_rows_considered;
+    overlay_hits += o.overlay_hits;
+    return *this;
+  }
+};
 
 /// Options for the conjunctive matcher.
 struct ConjunctiveEvalOptions {
@@ -19,28 +46,51 @@ struct ConjunctiveEvalOptions {
   /// atoms are matched in textual order — the "naive" baseline measured
   /// in bench_ablation.
   bool reorder_atoms = true;
+  /// If true, atoms with at least one bound position probe the
+  /// relation's lazily built column index instead of scanning. If
+  /// false, every atom scans — combined with reorder_atoms = false this
+  /// is the literal textual-order paper algorithm.
+  bool use_indexes = true;
+  /// Optional sink for work counters (not owned; may be null).
+  EvalCounters* counters = nullptr;
 };
 
 /// Evaluates a CQ over `db`, returning the set of head tuples Q(D).
 Result<Relation> EvalConjunctive(
     const ConjunctiveQuery& q, const Database& db,
     const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
+Result<Relation> EvalConjunctive(
+    const ConjunctiveQuery& q, const DatabaseOverlay& db,
+    const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
 
 /// Evaluates a UCQ (union of the disjunct answers).
 Result<Relation> EvalUnion(
     const UnionQuery& q, const Database& db,
+    const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
+Result<Relation> EvalUnion(
+    const UnionQuery& q, const DatabaseOverlay& db,
     const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
 
 /// True iff Q(db) is nonempty (early-exits on the first match).
 Result<bool> ConjunctiveSatisfiedIn(
     const ConjunctiveQuery& q, const Database& db,
     const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
+Result<bool> ConjunctiveSatisfiedIn(
+    const ConjunctiveQuery& q, const DatabaseOverlay& db,
+    const ConjunctiveEvalOptions& options = ConjunctiveEvalOptions());
 
 /// Enumerates every total assignment of the body variables of `q` that
-/// matches `db` (homomorphisms from the query body into the instance).
+/// matches the instance (homomorphisms from the query body into it).
 /// The callback returns false to stop the enumeration early.
 /// Used by the constraint checker and by the brute-force oracles.
+///
+/// The overlay form matches against base ∪ staged tuples; per atom,
+/// base rows are enumerated first (in iteration order, restricted by
+/// an index probe when a position is bound), then staged rows.
 Status ForEachMatch(const ConjunctiveQuery& q, const Database& db,
+                    const ConjunctiveEvalOptions& options,
+                    const std::function<bool(const Bindings&)>& on_match);
+Status ForEachMatch(const ConjunctiveQuery& q, const DatabaseOverlay& db,
                     const ConjunctiveEvalOptions& options,
                     const std::function<bool(const Bindings&)>& on_match);
 

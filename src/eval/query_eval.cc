@@ -34,6 +34,31 @@ Result<Relation> Evaluate(const AnyQuery& q, const Database& db,
   return Status::Internal("unreachable");
 }
 
+Result<Relation> Evaluate(const AnyQuery& q, const DatabaseOverlay& db,
+                          const EvalOptions& options) {
+  switch (q.language()) {
+    case QueryLanguage::kCq:
+      return EvalConjunctive(*q.as_cq(), db, options.conjunctive);
+    case QueryLanguage::kUcq:
+      return EvalUnion(*q.as_ucq(), db, options.conjunctive);
+    case QueryLanguage::kPositive: {
+      Result<UnionQuery> unfolded = q.ToUnion();
+      if (unfolded.ok()) {
+        return EvalUnion(*unfolded, db, options.conjunctive);
+      }
+      if (unfolded.status().code() != StatusCode::kResourceExhausted) {
+        return unfolded.status();
+      }
+      break;  // DNF blowup: fall back to the materialized evaluator
+    }
+    case QueryLanguage::kFo:
+    case QueryLanguage::kDatalog:
+      break;
+  }
+  Database flat = db.Materialize();
+  return Evaluate(q, flat, options);
+}
+
 Result<bool> IsNonEmpty(const AnyQuery& q, const Database& db,
                         const EvalOptions& options) {
   if (q.language() == QueryLanguage::kCq) {

@@ -26,6 +26,13 @@ struct EvalOptions {
 Result<Relation> Evaluate(const AnyQuery& q, const Database& db,
                           const EvalOptions& options = EvalOptions());
 
+/// Evaluates a query over an overlay view (base ∪ staged tuples)
+/// without materializing the extension. CQ-convertible languages
+/// (CQ/UCQ/∃FO+) evaluate directly on the view; FO and Datalog fall
+/// back to materializing the overlay into a Database first.
+Result<Relation> Evaluate(const AnyQuery& q, const DatabaseOverlay& db,
+                          const EvalOptions& options = EvalOptions());
+
 /// True iff Q(db) is nonempty.
 Result<bool> IsNonEmpty(const AnyQuery& q, const Database& db,
                         const EvalOptions& options = EvalOptions());

@@ -5,7 +5,8 @@
 namespace relcomp {
 
 Database::Database(std::shared_ptr<const Schema> schema)
-    : schema_(std::move(schema)) {}
+    : schema_(std::move(schema)),
+      interner_(std::make_shared<ValueInterner>()) {}
 
 Status Database::Insert(std::string_view relation, Tuple tuple) {
   const RelationSchema* rs = schema_->FindRelation(relation);
@@ -27,7 +28,8 @@ Status Database::Insert(std::string_view relation, Tuple tuple) {
   }
   auto it = relations_.find(relation);
   if (it == relations_.end()) {
-    it = relations_.emplace(std::string(relation), Relation(rs->arity()))
+    it = relations_
+             .emplace(std::string(relation), Relation(rs->arity(), interner_))
              .first;
   }
   it->second.Insert(std::move(tuple));
@@ -39,7 +41,8 @@ bool Database::InsertUnchecked(std::string_view relation, Tuple tuple) {
   if (it == relations_.end()) {
     const RelationSchema* rs = schema_->FindRelation(relation);
     if (rs == nullptr) return false;
-    it = relations_.emplace(std::string(relation), Relation(rs->arity()))
+    it = relations_
+             .emplace(std::string(relation), Relation(rs->arity(), interner_))
              .first;
   }
   return it->second.Insert(std::move(tuple));
@@ -87,10 +90,12 @@ void Database::UnionWith(const Database& other) {
     if (rel.empty()) continue;
     auto it = relations_.find(name);
     if (it == relations_.end()) {
-      relations_.emplace(name, rel);
-    } else {
-      it->second.UnionWith(rel);
+      // Re-intern tuple by tuple instead of copying the Relation
+      // wholesale, so every relation of this database keeps sharing
+      // its interner.
+      it = relations_.emplace(name, Relation(rel.arity(), interner_)).first;
     }
+    it->second.UnionWith(rel);
   }
 }
 

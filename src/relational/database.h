@@ -10,6 +10,7 @@
 
 #include "relational/relation.h"
 #include "relational/schema.h"
+#include "relational/value_interner.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -19,14 +20,24 @@ namespace relcomp {
 /// relations for which no tuples were inserted are empty instances.
 class Database {
  public:
-  Database() : schema_(std::make_shared<Schema>()) {}
+  Database()
+      : schema_(std::make_shared<Schema>()),
+        interner_(std::make_shared<ValueInterner>()) {}
   explicit Database(std::shared_ptr<const Schema> schema);
 
   const Schema& schema() const { return *schema_; }
   const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
 
+  /// The per-family value interner shared by this database's relations
+  /// (copies of a Database share it, so D and the scratch instances
+  /// derived from D agree on ids). Interning is a cache, not logical
+  /// state, so the accessor is const.
+  const std::shared_ptr<ValueInterner>& interner() const { return interner_; }
+
   /// Inserts a tuple into the named relation, validating existence,
-  /// arity, and per-attribute domain membership.
+  /// arity (kInvalidArgument on mismatch — the checked counterpart of
+  /// Relation::Insert's debug assert), and per-attribute domain
+  /// membership.
   Status Insert(std::string_view relation, Tuple tuple);
 
   /// Unchecked fast-path insert used by the deciders on tuples that were
@@ -63,6 +74,7 @@ class Database {
 
  private:
   std::shared_ptr<const Schema> schema_;
+  std::shared_ptr<ValueInterner> interner_;
   /// Lazily populated; absent entries denote empty instances.
   std::map<std::string, Relation, std::less<>> relations_;
   /// Scratch empty relations returned by Get() for untouched names.

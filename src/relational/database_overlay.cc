@@ -1,0 +1,59 @@
+#include "relational/database_overlay.h"
+
+#include <algorithm>
+
+namespace relcomp {
+namespace {
+const std::vector<Tuple>& EmptyPending() {
+  static const std::vector<Tuple> empty;
+  return empty;
+}
+}  // namespace
+
+bool DatabaseOverlay::Add(std::string_view relation, Tuple t) {
+  if (base_->schema().HasRelation(relation) &&
+      base_->Contains(relation, t)) {
+    return false;
+  }
+  auto it = pending_.find(relation);
+  if (it == pending_.end()) {
+    it = pending_.emplace(std::string(relation), std::vector<Tuple>()).first;
+  }
+  // Staged sets are small (tableau rows, candidate deltas); a linear
+  // scan beats maintaining a hash set per candidate.
+  if (std::find(it->second.begin(), it->second.end(), t) !=
+      it->second.end()) {
+    return false;
+  }
+  it->second.push_back(std::move(t));
+  ++pending_count_;
+  return true;
+}
+
+void DatabaseOverlay::Clear() {
+  for (auto& [name, staged] : pending_) staged.clear();
+  pending_count_ = 0;
+}
+
+bool DatabaseOverlay::Contains(std::string_view relation,
+                               const Tuple& t) const {
+  if (base_->Contains(relation, t)) return true;
+  const std::vector<Tuple>& staged = Pending(relation);
+  return std::find(staged.begin(), staged.end(), t) != staged.end();
+}
+
+const std::vector<Tuple>& DatabaseOverlay::Pending(
+    std::string_view relation) const {
+  auto it = pending_.find(relation);
+  return it == pending_.end() ? EmptyPending() : it->second;
+}
+
+Database DatabaseOverlay::Materialize() const {
+  Database out = *base_;
+  for (const auto& [name, staged] : pending_) {
+    for (const Tuple& t : staged) out.InsertUnchecked(name, t);
+  }
+  return out;
+}
+
+}  // namespace relcomp

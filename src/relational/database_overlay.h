@@ -1,0 +1,76 @@
+#ifndef RELCOMP_RELATIONAL_DATABASE_OVERLAY_H_
+#define RELCOMP_RELATIONAL_DATABASE_OVERLAY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace relcomp {
+
+/// A copy-on-write view over a base Database: the base plus a small
+/// set of staged (pending) tuple inserts. The deciders' inner loops
+/// check thousands of candidate extensions D ∪ Δ per run; an overlay
+/// makes each candidate O(|Δ|) to stage and O(1) to discard instead of
+/// copying D, and leaves the base relations untouched so their lazily
+/// built column indexes stay valid across candidates.
+///
+/// Staged tuples may name relations absent from the base schema; those
+/// behave as pending-only virtual relations (the delta-constraint
+/// checker stages its `R$ccdelta` relations this way).
+///
+/// The view never mutates the base. It is invalidated by any mutation
+/// of the base database.
+class DatabaseOverlay {
+ public:
+  explicit DatabaseOverlay(const Database* base) : base_(base) {}
+
+  const Database& base() const { return *base_; }
+
+  /// Stages `t` for insertion into `relation`. Returns true if the
+  /// tuple is new, false if it is already in the base or staged.
+  bool Add(std::string_view relation, Tuple t);
+
+  /// Drops every staged tuple (capacity is retained — the deciders
+  /// call Add/Clear once per candidate valuation).
+  void Clear();
+
+  /// Base-or-staged membership.
+  bool Contains(std::string_view relation, const Tuple& t) const;
+
+  /// The base instance of `relation` (empty for virtual relations).
+  const Relation& BaseRelation(std::string_view relation) const {
+    return base_->Get(relation);
+  }
+
+  /// The staged tuples of `relation` (empty vector if none).
+  const std::vector<Tuple>& Pending(std::string_view relation) const;
+
+  /// Total staged tuples across all relations.
+  size_t PendingCount() const { return pending_count_; }
+  bool HasPending() const { return pending_count_ > 0; }
+
+  /// Base plus staged tuple count for `relation` (the eval engine's
+  /// atom-ordering heuristic).
+  size_t Size(std::string_view relation) const {
+    return BaseRelation(relation).size() + Pending(relation).size();
+  }
+
+  /// Flattens the view into a standalone Database over the base
+  /// schema. Staged tuples of virtual relations (unknown to the base
+  /// schema) are dropped. Used by evaluation paths that do not support
+  /// overlays (FO fallback) and for diagnostics.
+  Database Materialize() const;
+
+ private:
+  const Database* base_;
+  /// Staged inserts per relation; vectors keep capacity across Clear().
+  std::map<std::string, std::vector<Tuple>, std::less<>> pending_;
+  size_t pending_count_ = 0;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_DATABASE_OVERLAY_H_

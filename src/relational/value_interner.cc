@@ -1,0 +1,34 @@
+#include "relational/value_interner.h"
+
+namespace relcomp {
+
+ValueId ValueInterner::Insert(const Value& v, bool fresh) {
+  ValueId id = fresh ? kInvalidValueId - 1 - static_cast<ValueId>(high_.size())
+                     : static_cast<ValueId>(low_.size());
+  if (v.is_int()) {
+    auto [it, added] = ints_.emplace(v.AsInt(), id);
+    if (!added) return it->second;
+  } else {
+    auto [it, added] = strings_.emplace(v.AsString(), id);
+    if (!added) return it->second;
+  }
+  (fresh ? high_ : low_).push_back(v);
+  return id;
+}
+
+ValueId ValueInterner::Intern(const Value& v) { return Insert(v, false); }
+
+ValueId ValueInterner::InternFresh(const Value& v) { return Insert(v, true); }
+
+std::optional<ValueId> ValueInterner::TryGet(const Value& v) const {
+  if (v.is_int()) {
+    auto it = ints_.find(v.AsInt());
+    if (it == ints_.end()) return std::nullopt;
+    return it->second;
+  }
+  auto it = strings_.find(v.AsString());
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,84 @@
+#ifndef RELCOMP_RELATIONAL_VALUE_INTERNER_H_
+#define RELCOMP_RELATIONAL_VALUE_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace relcomp {
+
+/// Dense 32-bit handle for an interned Value. Ids are only meaningful
+/// relative to the ValueInterner that produced them: equal ids mean
+/// equal values, but id order is arrival order, not Value order.
+using ValueId = uint32_t;
+
+/// Sentinel for "no id" (never produced by an interner).
+inline constexpr ValueId kInvalidValueId = 0xFFFFFFFFu;
+
+/// Maps Values to dense ValueIds and back. One interner is shared per
+/// database family (D, Dm, and the scratch instances derived from
+/// them), so the relational core can compare, hash and index constants
+/// as 32-bit ids instead of heap-allocated Values.
+///
+/// Two id ranges exist:
+///   * normal ids, assigned ascending from 0 by Intern(), and
+///   * reserved high ids (>= kFreshIdBase), assigned descending from
+///     kInvalidValueId - 1 by InternFresh() for the paper's `New`
+///     values — fresh constants minted by ActiveDomain outside the
+///     constants of D, Dm, Q and V. Keeping them in a distinct range
+///     lets the deciders distinguish fresh ids from instance ids
+///     without consulting the value.
+///
+/// Interners only grow; ids stay stable for the interner's lifetime.
+/// Not thread-safe (like the rest of the relational core).
+class ValueInterner {
+ public:
+  /// First id of the reserved fresh range.
+  static constexpr ValueId kFreshIdBase = 0x80000000u;
+
+  ValueInterner() = default;
+
+  /// Returns the id of `v`, interning it in the normal range if new.
+  ValueId Intern(const Value& v);
+
+  /// Returns the id of `v`, interning it in the reserved high range if
+  /// new. Idempotent; a value already interned (in either range) keeps
+  /// its existing id.
+  ValueId InternFresh(const Value& v);
+
+  /// The id of `v` if it was interned before, nullopt otherwise. Never
+  /// interns — an index probe for a never-seen value is an instant miss.
+  std::optional<ValueId> TryGet(const Value& v) const;
+
+  /// The value behind `id`. Precondition: `id` was produced by this
+  /// interner.
+  const Value& ValueOf(ValueId id) const {
+    return id < kFreshIdBase ? low_[id]
+                             : high_[kInvalidValueId - 1 - id];
+  }
+
+  static bool IsFreshId(ValueId id) {
+    return id >= kFreshIdBase && id != kInvalidValueId;
+  }
+
+  /// Total number of interned values across both ranges.
+  size_t size() const { return low_.size() + high_.size(); }
+
+ private:
+  ValueId Insert(const Value& v, bool fresh);
+
+  std::unordered_map<int64_t, ValueId> ints_;
+  std::unordered_map<std::string, ValueId> strings_;
+  /// id -> Value for the normal range (id == index).
+  std::vector<Value> low_;
+  /// id -> Value for the fresh range (id == kInvalidValueId - 1 - index).
+  std::vector<Value> high_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_VALUE_INTERNER_H_

@@ -5,7 +5,8 @@
 
 namespace relcomp {
 
-Status ForEachHomomorphism(const TableauQuery& tableau, const Database& db,
+Status ForEachHomomorphism(const TableauQuery& tableau,
+                           const DatabaseOverlay& db,
                            const std::function<bool(const Bindings&)>& fn) {
   if (!tableau.satisfiable()) return Status::OK();
   // The matcher on the reconstructed CQ enumerates exactly the
@@ -15,8 +16,14 @@ Status ForEachHomomorphism(const TableauQuery& tableau, const Database& db,
   return ForEachMatch(q, db, ConjunctiveEvalOptions(), fn);
 }
 
+Status ForEachHomomorphism(const TableauQuery& tableau, const Database& db,
+                           const std::function<bool(const Bindings&)>& fn) {
+  DatabaseOverlay view(&db);
+  return ForEachHomomorphism(tableau, view, fn);
+}
+
 Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
-                                                 const Database& db) {
+                                                 const DatabaseOverlay& db) {
   std::optional<Bindings> found;
   RELCOMP_RETURN_NOT_OK(
       ForEachHomomorphism(tableau, db, [&](const Bindings& b) {
@@ -24,6 +31,12 @@ Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
         return false;  // stop at the first homomorphism
       }));
   return found;
+}
+
+Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
+                                                 const Database& db) {
+  DatabaseOverlay view(&db);
+  return FindHomomorphism(tableau, view);
 }
 
 Status FreezeTableau(const TableauQuery& tableau, Database* out,

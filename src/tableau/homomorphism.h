@@ -6,6 +6,7 @@
 
 #include "eval/bindings.h"
 #include "relational/database.h"
+#include "relational/database_overlay.h"
 #include "tableau/tableau.h"
 #include "util/status.h"
 
@@ -14,12 +15,18 @@ namespace relcomp {
 /// Searches for a homomorphism from the tableau into the instance: a
 /// valuation of the tableau's variables such that every row maps to a
 /// tuple of `db` and every disequality holds. Returns nullopt if none
-/// exists (or the tableau is unsatisfiable).
+/// exists (or the tableau is unsatisfiable). The overlay forms match
+/// into base ∪ staged tuples without materializing the extension.
 Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
                                                  const Database& db);
+Result<std::optional<Bindings>> FindHomomorphism(const TableauQuery& tableau,
+                                                 const DatabaseOverlay& db);
 
 /// Enumerates all homomorphisms; the callback returns false to stop.
 Status ForEachHomomorphism(const TableauQuery& tableau, const Database& db,
+                           const std::function<bool(const Bindings&)>& fn);
+Status ForEachHomomorphism(const TableauQuery& tableau,
+                           const DatabaseOverlay& db,
                            const std::function<bool(const Bindings&)>& fn);
 
 /// Freezes the tableau into its canonical instance: each variable is

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "relational/database.h"
+#include "relational/database_overlay.h"
 #include "relational/domain.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
@@ -61,9 +62,134 @@ TEST(RelationTest, SetSemantics) {
   Relation r(2);
   EXPECT_TRUE(r.Insert(Tuple::Ints({1, 2})));
   EXPECT_FALSE(r.Insert(Tuple::Ints({1, 2})));  // duplicate
-  EXPECT_FALSE(r.Insert(Tuple::Ints({1})));     // arity mismatch
   EXPECT_EQ(r.size(), 1u);
   EXPECT_TRUE(r.Contains(Tuple::Ints({1, 2})));
+}
+
+TEST(RelationTest, TryInsertDistinguishesOutcomes) {
+  Relation r(2);
+  EXPECT_EQ(r.TryInsert(Tuple::Ints({1, 2})),
+            Relation::InsertOutcome::kInserted);
+  EXPECT_EQ(r.TryInsert(Tuple::Ints({1, 2})),
+            Relation::InsertOutcome::kDuplicate);
+  // Arity mismatches are a programming error: Insert() asserts in debug
+  // builds; TryInsert reports them without touching the relation. The
+  // checked, Status-returning path is Database::Insert.
+  EXPECT_EQ(r.TryInsert(Tuple::Ints({1})),
+            Relation::InsertOutcome::kArityMismatch);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, IterationIsSortedRegardlessOfInsertionOrder) {
+  Relation r(2);
+  r.Insert(Tuple::Ints({3, 0}));
+  r.Insert(Tuple::Ints({1, 9}));
+  r.Insert(Tuple::Ints({2, 5}));
+  std::vector<Tuple> seen(r.begin(), r.end());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], Tuple::Ints({1, 9}));
+  EXPECT_EQ(seen[1], Tuple::Ints({2, 5}));
+  EXPECT_EQ(seen[2], Tuple::Ints({3, 0}));
+}
+
+TEST(RelationTest, ProbeFindsRowsByColumnValue) {
+  Relation r(2);
+  r.Insert(Tuple::Ints({1, 10}));
+  r.Insert(Tuple::Ints({2, 10}));
+  r.Insert(Tuple::Ints({2, 20}));
+  EXPECT_EQ(r.ProbeCount(0, Value::Int(2)), 2u);
+  EXPECT_EQ(r.ProbeCount(1, Value::Int(10)), 2u);
+  EXPECT_EQ(r.ProbeCount(0, Value::Int(99)), 0u);
+  EXPECT_EQ(r.Probe(0, Value::Int(99)), nullptr);
+  const std::vector<uint32_t>* rows = r.Probe(0, Value::Int(2));
+  ASSERT_NE(rows, nullptr);
+  for (uint32_t row : *rows) {
+    EXPECT_EQ(r.TupleAt(row)[0], Value::Int(2));
+  }
+}
+
+TEST(RelationTest, IndexesSurviveMutation) {
+  Relation r(2);
+  r.Insert(Tuple::Ints({1, 10}));
+  EXPECT_EQ(r.ProbeCount(0, Value::Int(1)), 1u);  // builds the index
+  r.Insert(Tuple::Ints({1, 20}));                 // invalidates it
+  EXPECT_EQ(r.ProbeCount(0, Value::Int(1)), 2u);  // lazily rebuilt
+  EXPECT_TRUE(r.Erase(Tuple::Ints({1, 10})));
+  EXPECT_EQ(r.ProbeCount(0, Value::Int(1)), 1u);
+  EXPECT_FALSE(r.Erase(Tuple::Ints({1, 10})));  // already gone
+  EXPECT_FALSE(r.Contains(Tuple::Ints({1, 10})));
+  EXPECT_TRUE(r.Contains(Tuple::Ints({1, 20})));
+}
+
+TEST(RelationTest, SharedInternerAcrossDatabaseFamily) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+  ASSERT_TRUE(schema->AddRelation("S", 1).ok());
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("R", Tuple::Ints({1, 2})).ok());
+  ASSERT_TRUE(db.Insert("S", Tuple::Ints({1})).ok());
+  ASSERT_NE(db.interner(), nullptr);
+  // Both relations resolve the shared id space.
+  std::optional<ValueId> id_r = db.Get("R").IdOf(Value::Int(1));
+  std::optional<ValueId> id_s = db.Get("S").IdOf(Value::Int(1));
+  ASSERT_TRUE(id_r.has_value());
+  ASSERT_TRUE(id_s.has_value());
+  EXPECT_EQ(*id_r, *id_s);
+  // Copies share the family interner: ids stay comparable.
+  Database copy = db;
+  EXPECT_EQ(copy.interner(), db.interner());
+}
+
+TEST(ValueInternerTest, FreshIdsLiveInTheReservedRange) {
+  ValueInterner interner;
+  ValueId low = interner.Intern(Value::Int(7));
+  ValueId fresh = interner.InternFresh(Value::Str("_new$0"));
+  EXPECT_FALSE(ValueInterner::IsFreshId(low));
+  EXPECT_TRUE(ValueInterner::IsFreshId(fresh));
+  EXPECT_EQ(interner.InternFresh(Value::Str("_new$0")), fresh);  // idempotent
+  EXPECT_EQ(interner.ValueOf(fresh), Value::Str("_new$0"));
+  EXPECT_EQ(interner.ValueOf(low), Value::Int(7));
+  EXPECT_FALSE(interner.TryGet(Value::Int(999)).has_value());
+  // TryGet never interns.
+  EXPECT_FALSE(interner.TryGet(Value::Int(999)).has_value());
+  EXPECT_EQ(interner.TryGet(Value::Str("_new$0")), fresh);
+}
+
+TEST(DatabaseOverlayTest, StagesWithoutMutatingTheBase) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+  Database base(schema);
+  ASSERT_TRUE(base.Insert("R", Tuple::Ints({1, 2})).ok());
+
+  DatabaseOverlay view(&base);
+  EXPECT_FALSE(view.Add("R", Tuple::Ints({1, 2})));  // already in base
+  EXPECT_TRUE(view.Add("R", Tuple::Ints({3, 4})));
+  EXPECT_FALSE(view.Add("R", Tuple::Ints({3, 4})));  // already staged
+  EXPECT_TRUE(view.Contains("R", Tuple::Ints({1, 2})));
+  EXPECT_TRUE(view.Contains("R", Tuple::Ints({3, 4})));
+  EXPECT_EQ(view.Size("R"), 2u);
+  EXPECT_EQ(base.Get("R").size(), 1u);  // base untouched
+
+  Database flat = view.Materialize();
+  EXPECT_EQ(flat.Get("R").size(), 2u);
+
+  view.Clear();
+  EXPECT_FALSE(view.HasPending());
+  EXPECT_FALSE(view.Contains("R", Tuple::Ints({3, 4})));
+}
+
+TEST(DatabaseOverlayTest, VirtualRelationsArePendingOnly) {
+  auto schema = std::make_shared<Schema>();
+  ASSERT_TRUE(schema->AddRelation("R", 2).ok());
+  Database base(schema);
+  DatabaseOverlay view(&base);
+  // "R$ccdelta" is absent from the base schema: served from staging.
+  EXPECT_TRUE(view.Add("R$ccdelta", Tuple::Ints({5, 6})));
+  EXPECT_EQ(view.Pending("R$ccdelta").size(), 1u);
+  EXPECT_TRUE(view.Contains("R$ccdelta", Tuple::Ints({5, 6})));
+  // Materialize drops virtual relations (schema has no slot for them).
+  Database flat = view.Materialize();
+  EXPECT_EQ(flat.Get("R$ccdelta").size(), 0u);
 }
 
 TEST(RelationTest, SubsetAndUnion) {
