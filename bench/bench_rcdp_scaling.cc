@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_util.h"
 #include "completeness/rcdp.h"
@@ -197,7 +198,10 @@ void AppendConfigJson(std::string* json, const char* name,
   *json += StrCat("      \"index_probes\": ", m.stats.index_probes, ",\n");
   *json += StrCat("      \"relation_scans\": ", m.stats.relation_scans,
                   ",\n");
-  *json += StrCat("      \"overlay_hits\": ", m.stats.overlay_hits, "\n");
+  *json += StrCat("      \"overlay_hits\": ", m.stats.overlay_hits, ",\n");
+  *json += StrCat("      \"work_units\": ", m.stats.work_units, ",\n");
+  *json += StrCat("      \"work_units_cancelled\": ",
+                  m.stats.work_units_cancelled, "\n");
   *json += "    }";
 }
 
@@ -241,6 +245,69 @@ void WriteRelcoreJson() {
               speedup_buf);
 }
 
+/// Thread sweep over the same largest data-complexity instance: the
+/// default configuration at num_threads in {1, 2, 4, 8}, written to
+/// BENCH_parallel.json (override via RELCOMP_BENCH_PARALLEL_JSON).
+/// hardware_concurrency is recorded so the numbers can be read in
+/// context — on a single-core machine the sweep measures the
+/// partitioning overhead, not a speedup.
+void WriteParallelJson() {
+  const size_t n = 16;
+  const double min_seconds = 1.0;
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  MeasuredConfig measured[4];
+  for (size_t i = 0; i < 4; ++i) {
+    RcdpOptions options;
+    options.num_threads = thread_counts[i];
+    measured[i] = MeasureDataComplexity(n, options, min_seconds);
+  }
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"rcdp_parallel_scaling\",\n";
+  json += StrCat("  \"hardware_concurrency\": ",
+                 static_cast<size_t>(std::thread::hardware_concurrency()),
+                 ",\n");
+  json += StrCat("  \"instance\": { \"num_domestic\": ", n,
+                 ", \"num_international\": ", n / 2,
+                 ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");
+  json += "  \"configs\": {\n";
+  for (size_t i = 0; i < 4; ++i) {
+    AppendConfigJson(&json, StrCat("threads_", thread_counts[i]).c_str(),
+                     measured[i]);
+    json += i + 1 < 4 ? ",\n" : "\n";
+  }
+  json += "  },\n";
+  auto speedup_vs_serial = [&](size_t i) {
+    return measured[i].ns_per_op > 0
+               ? measured[0].ns_per_op / measured[i].ns_per_op
+               : 0.0;
+  };
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", speedup_vs_serial(2));
+  json += StrCat("  \"speedup_4_threads_vs_1\": ", buf, ",\n");
+  std::snprintf(buf, sizeof(buf), "%.2f", speedup_vs_serial(3));
+  json += StrCat("  \"speedup_8_threads_vs_1\": ", buf, "\n");
+  json += "}\n";
+
+  const char* path = std::getenv("RELCOMP_BENCH_PARALLEL_JSON");
+  if (path == nullptr) path = "BENCH_parallel.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf(
+      "wrote %s (hardware_concurrency=%u; ns/op at 1/2/4/8 threads: "
+      "%zu/%zu/%zu/%zu)\n",
+      path, std::thread::hardware_concurrency(),
+      static_cast<size_t>(measured[0].ns_per_op),
+      static_cast<size_t>(measured[1].ns_per_op),
+      static_cast<size_t>(measured[2].ns_per_op),
+      static_cast<size_t>(measured[3].ns_per_op));
+}
+
 }  // namespace scaling
 }  // namespace relcomp
 
@@ -250,5 +317,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   relcomp::scaling::WriteRelcoreJson();
+  relcomp::scaling::WriteParallelJson();
   return 0;
 }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: configure + build + test the default preset, then the
-# asan preset (Debug, ASan+UBSan, recover disabled). Run from anywhere.
+# asan preset (Debug, ASan+UBSan, recover disabled), then the tsan
+# preset (ThreadSanitizer over the concurrency-sensitive suites — the
+# parallel-search determinism sweep and the eval equivalence tests; the
+# tsan test preset carries the filter). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,7 +12,7 @@ run() {
   "$@"
 }
 
-for preset in default asan; do
+for preset in default asan tsan; do
   run cmake --preset "$preset"
   run cmake --build --preset "$preset" -j "$(nproc)"
   run ctest --preset "$preset"

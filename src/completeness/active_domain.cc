@@ -30,12 +30,15 @@ ActiveDomain ActiveDomain::Build(const Database& db, const Database& master,
     base.insert(cc_consts.begin(), cc_consts.end());
   }
   ActiveDomain out = Build(base, num_fresh);
-  // Register the fresh values in the database family's interner up
+  // Register the whole fresh pool in the database family's interner up
   // front, in the reserved high id range: valuations stage tuples mixing
   // D-values and fresh values, and pre-interning keeps the matcher's
-  // IdOf probes hits without growing the low (data) id space.
+  // IdOf probes hits without growing the low (data) id space. Reserving
+  // the range in one step also makes the id layout independent of when
+  // (or on which worker) a fresh value is first used, which is what the
+  // parallel search relies on to keep the interner read-only post-fork.
   if (db.interner() != nullptr) {
-    for (const Value& v : out.fresh()) db.interner()->InternFresh(v);
+    db.interner()->ReserveFreshRange(out.fresh());
   }
   return out;
 }

@@ -3,12 +3,46 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "eval/query_eval.h"
 #include "util/str.h"
 
 namespace relcomp {
 namespace {
+
+/// Resolves RcdpOptions::num_threads: 0 = hardware_concurrency, and the
+/// legacy copy-per-candidate paths (use_overlay off) are forced serial
+/// because they intern candidate tuples into the shared ValueInterner.
+size_t EffectiveThreads(const RcdpOptions& options) {
+  if (!options.use_overlay) return 1;
+  if (options.num_threads == 1) return 1;
+  if (options.num_threads == 0) {
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return options.num_threads;
+}
+
+/// Balanced freeze/unfreeze of the shared databases around the
+/// concurrent phase of one disjunct search.
+class FreezeScope {
+ public:
+  FreezeScope(const Database& db, const Database& master)
+      : db_(db), master_(master) {
+    db_.Freeze();
+    master_.Freeze();
+  }
+  ~FreezeScope() {
+    master_.Unfreeze();
+    db_.Unfreeze();
+  }
+  FreezeScope(const FreezeScope&) = delete;
+  FreezeScope& operator=(const FreezeScope&) = delete;
+
+ private:
+  const Database& db_;
+  const Database& master_;
+};
 
 /// True for the languages in the decidable cells of Table I.
 bool DecidableQueryLanguage(QueryLanguage lang) {
@@ -132,46 +166,39 @@ class DisjunctSearch {
         compiled_(compiled),
         current_answer_(current_answer),
         adom_(adom),
-        options_(options) {
-    eval_options_.use_indexes = options.use_indexes;
-    eval_options_.counters = &counters_;
-  }
+        options_(options) {}
 
   /// Runs the search; fills *result on success (counterexample found).
+  /// With num_threads > 1 the enumeration is partitioned into work
+  /// units on a jthread pool: every worker owns its scratch state (an
+  /// overlay or delta session, counters, and a candidate result slot),
+  /// the shared databases are frozen for the concurrent phase, and the
+  /// winner is resolved deterministically (lowest work unit).
   Result<bool> Run(RcdpResult* result,
                    const std::map<std::string, std::vector<Value>>*
                        candidate_overrides) {
-    if (delta_checker_ != nullptr) {
-      session_.emplace(delta_checker_->NewSession(
-          db_, master_, options_.use_overlay, eval_options_));
-    } else if (options_.use_overlay) {
-      // No delta session: candidates are staged on a scratch overlay —
-      // over ∅ for the Corollary 3.4 IND fast path (only μ(T) is
-      // checked), over D otherwise. Either way the base relations'
-      // column indexes survive across candidates.
-      if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
-        empty_db_.emplace(db_.schema_ptr());
-        scratch_.emplace(&*empty_db_);
-      } else {
-        scratch_.emplace(&db_);
-      }
-    }
+    const size_t threads = EffectiveThreads(options_);
+    std::vector<Worker> workers(threads);
+    for (Worker& w : workers) InitWorker(&w);
+
     ValuationEnumerator::Options enum_options;
     enum_options.pruned = options_.prune;
     enum_options.max_bindings = options_.max_bindings;
     enum_options.candidate_overrides = candidate_overrides;
-    ValuationEnumerator enumerator(&tableau_, &adom_, enum_options);
 
     // Precompute, for each enumeration position, which rows become
     // fully bound there: the prune hook checks V on the partially
     // instantiated tableau as soon as rows complete (sound because the
     // supported constraint languages are monotone — a violation by a
-    // subset of μ(T) persists for all of it).
-    const std::vector<std::string>& order = enumerator.order();
+    // subset of μ(T) persists for all of it). The order is derived from
+    // a probe enumerator; it is deterministic, so per-unit enumerators
+    // built by the parallel driver use the identical order.
+    ValuationEnumerator probe(&tableau_, &adom_, enum_options);
+    const std::vector<std::string>& order = probe.order();
     std::map<std::string, size_t> position;
     for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
-    // rows_complete_up_to_[p] = indices of rows whose variables are all
-    // at positions <= p.
+    // row_bound_at[r] = first position p with all variables of row r at
+    // positions <= p.
     std::vector<size_t> row_bound_at(tableau_.rows().size(), 0);
     std::vector<bool> row_has_new_at(order.size(), false);
     for (size_t r = 0; r < tableau_.rows().size(); ++r) {
@@ -183,9 +210,8 @@ class DisjunctSearch {
       if (!order.empty()) row_has_new_at[last] = true;
     }
 
-    bool found = false;
-    Status inner_error;
-    std::function<bool(const Bindings&)> prune = [&](const Bindings& partial) {
+    auto prune = [&](size_t wi, const Bindings& partial) {
+      Worker& w = workers[wi];
       // Prune once the summary is grounded and already answered.
       std::optional<Tuple> summary = partial.Ground(tableau_.summary());
       if (summary.has_value() && current_answer_.Contains(*summary)) {
@@ -194,61 +220,132 @@ class DisjunctSearch {
       // Prune when the rows bound so far already violate V.
       size_t pos = partial.size() == 0 ? 0 : partial.size() - 1;
       if (pos < row_has_new_at.size() && row_has_new_at[pos]) {
-        Result<bool> ok = PartialRowsSatisfyV(partial, pos, row_bound_at);
+        Result<bool> ok = PartialRowsSatisfyV(&w, partial, pos, row_bound_at);
         if (!ok.ok()) {
-          inner_error = ok.status();
+          w.error = ok.status();
           return true;  // abort the subtree; error surfaces after
         }
         if (!*ok) return true;
       }
       return false;
     };
-    auto on_total = [&](const Bindings& valuation) {
-      Result<bool> is_cex = IsCounterexample(valuation, result);
+    auto on_total = [&](size_t wi, const Bindings& valuation) {
+      Worker& w = workers[wi];
+      Result<bool> is_cex = IsCounterexample(&w, valuation, &w.candidate);
       if (!is_cex.ok()) {
-        inner_error = is_cex.status();
+        w.error = is_cex.status();
         return false;
       }
       if (*is_cex) {
-        found = true;
+        w.found = true;
         return false;
       }
       return true;
     };
-    Status st = enumerator.Enumerate(options_.prune ? prune : nullptr,
-                                     on_total);
-    result->stats.bindings_tried += enumerator.stats().bindings_tried;
-    result->stats.totals_delivered += enumerator.stats().totals_delivered;
-    result->stats.prunes += enumerator.stats().prunes;
-    result->stats.index_probes += counters_.index_probes;
-    result->stats.relation_scans += counters_.relation_scans;
-    result->stats.overlay_hits += counters_.overlay_hits;
-    RELCOMP_RETURN_NOT_OK(inner_error);
-    RELCOMP_RETURN_NOT_OK(st);
-    return found;
+    auto epilogue = [&](size_t wi) {
+      Worker& w = workers[wi];
+      ParallelUnitResult r;
+      r.found = w.found;
+      r.status = w.error;
+      // Reset the per-unit flags; the candidate itself survives until
+      // the driver names the winning worker.
+      w.found = false;
+      w.error = Status::OK();
+      return r;
+    };
+
+    ParallelSearchOptions parallel_options;
+    parallel_options.num_threads = threads;
+    ParallelSearchOutcome outcome;
+    std::optional<FreezeScope> freeze;
+    if (threads > 1) {
+      // Freeze the shared read state for the concurrent phase: every
+      // lazily built structure (sort orders, dedup maps, column
+      // indexes, empty-relation caches) is forced now, and the shared
+      // interner is tripwired against post-fork growth. The fresh pool
+      // was already reserved by ActiveDomain::Build.
+      freeze.emplace(db_, master_);
+      current_answer_.PrepareForRead();
+    }
+    ParallelValuationSearch(
+        tableau_, adom_, enum_options, parallel_options,
+        options_.prune
+            ? std::function<bool(size_t, const Bindings&)>(prune)
+            : std::function<bool(size_t, const Bindings&)>(),
+        on_total, epilogue, &outcome);
+
+    result->stats += outcome.stats;
+    for (const Worker& w : workers) {
+      result->stats.index_probes += w.counters.index_probes;
+      result->stats.relation_scans += w.counters.relation_scans;
+      result->stats.overlay_hits += w.counters.overlay_hits;
+    }
+    RELCOMP_RETURN_NOT_OK(outcome.failure);
+    if (!outcome.found) return false;
+    Worker& winner = workers[outcome.winner_worker];
+    result->complete = false;
+    result->counterexample_delta =
+        std::move(winner.candidate.counterexample_delta);
+    result->new_answer = std::move(winner.candidate.new_answer);
+    return true;
   }
 
  private:
+  /// Everything one worker touches while judging valuations: the
+  /// constraint-check state (delta session or scratch overlay), the
+  /// eval counters, and the slots the search callbacks fill. Workers
+  /// never share any of it; the vector is sized once so the interior
+  /// pointers (scratch -> empty_db, eval_options.counters) stay valid.
+  struct Worker {
+    std::optional<DeltaConstraintChecker::Session> session;
+    std::optional<Database> empty_db;
+    std::optional<DatabaseOverlay> scratch;
+    EvalCounters counters;
+    ConjunctiveEvalOptions eval_options;
+    RcdpResult candidate;
+    Status error;
+    bool found = false;
+  };
+
+  void InitWorker(Worker* w) {
+    w->eval_options.use_indexes = options_.use_indexes;
+    w->eval_options.counters = &w->counters;
+    if (delta_checker_ != nullptr) {
+      w->session.emplace(delta_checker_->NewSession(
+          db_, master_, options_.use_overlay, w->eval_options));
+    } else if (options_.use_overlay) {
+      // No delta session: candidates are staged on a scratch overlay —
+      // over ∅ for the Corollary 3.4 IND fast path (only μ(T) is
+      // checked), over D otherwise. Either way the base relations'
+      // column indexes survive across candidates.
+      if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
+        w->empty_db.emplace(db_.schema_ptr());
+        w->scratch.emplace(&*w->empty_db);
+      } else {
+        w->scratch.emplace(&db_);
+      }
+    }
+  }
   /// Checks V on the extension given by `tuples`: (D ∪ tuples, Dm) on
   /// the general path, (tuples, Dm) alone on the IND fast path
   /// (Corollary 3.4 — callers pass μ(T) there). Dispatches to the
   /// delta session, the scratch overlay + compiled check, or — with
   /// use_overlay off — the legacy copy-per-candidate path.
   Result<bool> ExtensionSatisfiesV(
-      const std::vector<std::pair<std::string, Tuple>>& tuples) {
-    if (session_.has_value()) {
-      return session_->Check(tuples);
+      Worker* w, const std::vector<std::pair<std::string, Tuple>>& tuples) {
+    if (w->session.has_value()) {
+      return w->session->Check(tuples);
     }
     const bool ind = options_.ind_fast_path && constraints_.IsIndsOnly();
-    if (scratch_.has_value()) {
-      scratch_->Clear();
+    if (w->scratch.has_value()) {
+      w->scratch->Clear();
       for (const auto& [relation, tuple] : tuples) {
-        scratch_->Add(relation, tuple);
+        w->scratch->Add(relation, tuple);
       }
       if (compiled_ != nullptr) {
-        return compiled_->Satisfied(*scratch_, eval_options_);
+        return compiled_->Satisfied(*w->scratch, w->eval_options);
       }
-      return Satisfies(constraints_, *scratch_, master_);
+      return Satisfies(constraints_, *w->scratch, master_);
     }
     if (ind) {
       Database mu_t(db_.schema_ptr());
@@ -266,7 +363,8 @@ class DisjunctSearch {
 
   /// Instantiates the rows fully bound at positions <= pos and checks
   /// V on D plus those rows alone.
-  Result<bool> PartialRowsSatisfyV(const Bindings& partial, size_t pos,
+  Result<bool> PartialRowsSatisfyV(Worker* w, const Bindings& partial,
+                                   size_t pos,
                                    const std::vector<size_t>& row_bound_at) {
     std::vector<std::pair<std::string, Tuple>> delta;
     for (size_t r = 0; r < tableau_.rows().size(); ++r) {
@@ -279,10 +377,10 @@ class DisjunctSearch {
       }
     }
     if (delta.empty()) return true;
-    return ExtensionSatisfiesV(delta);
+    return ExtensionSatisfiesV(w, delta);
   }
 
-  Result<bool> IsCounterexample(const Bindings& valuation,
+  Result<bool> IsCounterexample(Worker* w, const Bindings& valuation,
                                 RcdpResult* result) {
     RELCOMP_ASSIGN_OR_RETURN(Tuple summary,
                              tableau_.SummaryTuple(valuation));
@@ -299,13 +397,13 @@ class DisjunctSearch {
     }
     if (delta.empty()) return false;
     bool satisfied = false;
-    if (!session_.has_value() &&
+    if (!w->session.has_value() &&
         options_.ind_fast_path && constraints_.IsIndsOnly()) {
       // Corollary 3.4: for INDs, (D ∪ μ(T), Dm) |= V iff
       // (D, Dm) |= V (precondition) and (μ(T), Dm) |= V.
-      RELCOMP_ASSIGN_OR_RETURN(satisfied, ExtensionSatisfiesV(rows));
+      RELCOMP_ASSIGN_OR_RETURN(satisfied, ExtensionSatisfiesV(w, rows));
     } else {
-      RELCOMP_ASSIGN_OR_RETURN(satisfied, ExtensionSatisfiesV(delta));
+      RELCOMP_ASSIGN_OR_RETURN(satisfied, ExtensionSatisfiesV(w, delta));
     }
     if (!satisfied) return false;
     result->complete = false;
@@ -324,13 +422,6 @@ class DisjunctSearch {
   const ConstraintSet& constraints_;
   const DeltaConstraintChecker* delta_checker_;
   const CompiledConstraintCheck* compiled_;
-  std::optional<DeltaConstraintChecker::Session> session_;
-  /// Overlay-mode scratch state (no delta session): IND fast path
-  /// stages candidates over an empty base, the general path over D.
-  std::optional<Database> empty_db_;
-  std::optional<DatabaseOverlay> scratch_;
-  EvalCounters counters_;
-  ConjunctiveEvalOptions eval_options_;
   const Relation& current_answer_;
   const ActiveDomain& adom_;
   const RcdpOptions& options_;

@@ -49,8 +49,20 @@ struct RcdpOptions {
   /// copy-per-candidate paths (bench_ablation).
   bool use_overlay = true;
   /// Budget on valuation-search binding steps per disjunct
-  /// (0 = unlimited).
+  /// (0 = unlimited). With num_threads > 1 the budget is one shared
+  /// atomic counter across all workers of a disjunct, so the global cap
+  /// matches the serial semantics (a parallel run may hit it on a
+  /// schedule a serial run would not, but never exceeds it).
   size_t max_bindings = 0;
+  /// Worker threads for the valuation search. 0 = hardware_concurrency;
+  /// 1 = today's serial path, bit-for-bit. Values > 1 partition the
+  /// candidate lists of the first one-or-two enumeration variables into
+  /// work units on a std::jthread pool over the frozen relational core;
+  /// the verdict, counterexample_delta and new_answer are identical for
+  /// every thread count (lowest-work-unit-wins resolution). Requires
+  /// use_overlay — the legacy copy-per-candidate paths intern into the
+  /// shared ValueInterner and are forced serial.
+  size_t num_threads = 0;
   /// Cap on the ∃FO+ → UCQ unfolding.
   size_t max_union_disjuncts = 4096;
 };

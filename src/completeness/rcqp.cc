@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "completeness/active_domain.h"
 #include "completeness/valuation_search.h"
@@ -108,37 +109,80 @@ Result<bool> ValuationRealizable(const TableauQuery& tableau,
   return Satisfies(constraints, *scratch, master);
 }
 
+/// Resolves RcdpOptions::num_threads for the rcqp probes (same contract
+/// as the RCDP decider: 0 = hardware_concurrency, use_overlay off =
+/// forced serial for symmetry with the RCDP search it mirrors).
+size_t EffectiveThreads(const RcdpOptions& options) {
+  if (!options.use_overlay) return 1;
+  if (options.num_threads == 1) return 1;
+  if (options.num_threads == 0) {
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return options.num_threads;
+}
+
 /// Searches for a valid valuation μ of `tableau` with (μ(T), Dm) |= V.
-/// Returns the valuation if found.
+/// Returns the valuation if found. With num_threads > 1 the enumeration
+/// runs on the parallel driver: each worker stages candidates on its
+/// own empty-database overlay, Dm is frozen for the concurrent phase,
+/// and the returned valuation is the serial-first one (lowest work
+/// unit wins).
 Result<std::optional<Bindings>> FindRealizableValuation(
     const TableauQuery& tableau, const Database& master,
     const ConstraintSet& constraints, const CompiledConstraintCheck* compiled,
     const std::shared_ptr<const Schema>& db_schema, const ActiveDomain& adom,
-    size_t max_bindings) {
-  ValuationEnumerator::Options options;
-  options.max_bindings = max_bindings;
-  ValuationEnumerator enumerator(&tableau, &adom, options);
-  Database empty_db(db_schema);
-  DatabaseOverlay scratch(&empty_db);
-  std::optional<Bindings> found;
-  Status inner;
-  RELCOMP_RETURN_NOT_OK(enumerator.Enumerate(
-      nullptr, [&](const Bindings& valuation) {
-        Result<bool> sat = ValuationRealizable(tableau, valuation, master,
-                                               constraints, compiled,
-                                               &scratch);
-        if (!sat.ok()) {
-          inner = sat.status();
-          return false;
-        }
-        if (*sat) {
-          found = valuation;
-          return false;
-        }
-        return true;
-      }));
-  RELCOMP_RETURN_NOT_OK(inner);
-  return found;
+    size_t max_bindings, size_t num_threads) {
+  struct Worker {
+    std::optional<Database> empty_db;
+    std::optional<DatabaseOverlay> scratch;
+    std::optional<Bindings> hit;
+    Status error;
+    bool found = false;
+  };
+  const size_t threads = std::max<size_t>(1, num_threads);
+  std::vector<Worker> workers(threads);
+  for (Worker& w : workers) {
+    w.empty_db.emplace(db_schema);
+    w.scratch.emplace(&*w.empty_db);
+  }
+  ValuationEnumerator::Options enum_options;
+  enum_options.max_bindings = max_bindings;
+  ParallelSearchOptions parallel_options;
+  parallel_options.num_threads = threads;
+  auto on_total = [&](size_t wi, const Bindings& valuation) {
+    Worker& w = workers[wi];
+    Result<bool> sat = ValuationRealizable(tableau, valuation, master,
+                                           constraints, compiled,
+                                           &*w.scratch);
+    if (!sat.ok()) {
+      w.error = sat.status();
+      return false;
+    }
+    if (*sat) {
+      w.hit = valuation;
+      w.found = true;
+      return false;
+    }
+    return true;
+  };
+  auto epilogue = [&](size_t wi) {
+    Worker& w = workers[wi];
+    ParallelUnitResult r;
+    r.found = w.found;
+    r.status = w.error;
+    w.found = false;
+    w.error = Status::OK();
+    return r;
+  };
+  ParallelSearchOutcome outcome;
+  if (threads > 1) master.Freeze();
+  ParallelValuationSearch(tableau, adom, enum_options, parallel_options,
+                          /*should_prune=*/nullptr, on_total, epilogue,
+                          &outcome);
+  if (threads > 1) master.Unfreeze();
+  RELCOMP_RETURN_NOT_OK(outcome.failure);
+  if (!outcome.found) return std::optional<Bindings>();
+  return workers[outcome.winner_worker].hit;
 }
 
 /// Builds the Prop 4.3 witness for one bounded, realizable disjunct:
@@ -412,7 +456,8 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
       RELCOMP_ASSIGN_OR_RETURN(
           std::optional<Bindings> realizable,
           FindRealizableValuation(tableau, master, constraints, compiled_ptr,
-                                  db_schema, adom, options.max_valuations));
+                                  db_schema, adom, options.max_valuations,
+                                  EffectiveThreads(options.rcdp)));
       if (realizable.has_value()) {
         all_ok = false;
         for (VariableBoundedness& vb : analysis) {

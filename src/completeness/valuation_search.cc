@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "util/str.h"
 
@@ -103,10 +104,26 @@ ValuationEnumerator::ValuationEnumerator(const TableauQuery* tableau,
     }
     if (has_var) disequalities_at_[last].push_back(d);
   }
+  // Shard bookkeeping: per sharded level, the rank weight of one
+  // candidate choice (row-major: the first variable varies slowest).
+  shard_depth_ = std::min(options_.shard_depth, order_.size());
+  if (shard_depth_ > 0) {
+    shard_weight_.assign(shard_depth_, 1);
+    for (size_t i = shard_depth_ - 1; i-- > 0;) {
+      shard_weight_[i] = shard_weight_[i + 1] * candidates_[i + 1].size();
+    }
+  }
+}
+
+size_t ValuationEnumerator::PrefixSpace(size_t depth) const {
+  size_t d = std::min(depth, order_.size());
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) total *= candidates_[i].size();
+  return total;
 }
 
 bool ValuationEnumerator::Recurse(
-    size_t index, Bindings* bindings,
+    size_t index, size_t lo, size_t hi, Bindings* bindings,
     const std::function<bool(const Bindings&)>& should_prune,
     const std::function<bool(const Bindings&)>& on_total, bool* stopped) {
   if (index == order_.size()) {
@@ -120,10 +137,33 @@ bool ValuationEnumerator::Recurse(
     }
     return true;
   }
-  for (const Value& v : candidates_[index]) {
+  // At sharded levels only the candidates whose rank block intersects
+  // [lo, hi) are visited; below shard_depth_ the full list is.
+  size_t k_begin = 0;
+  size_t k_end = candidates_[index].size();
+  const bool sharded = index < shard_depth_;
+  size_t weight = 1;
+  if (sharded) {
+    weight = shard_weight_[index];
+    k_begin = std::min(k_end, lo / weight);
+    k_end = std::min(k_end, (hi + weight - 1) / weight);
+  }
+  for (size_t k = k_begin; k < k_end; ++k) {
+    const Value& v = candidates_[index][k];
+    if (options_.stop.stop_requested()) {
+      failure_ = Status::Cancelled(
+          "valuation search cancelled (another work unit already won)");
+      *stopped = true;
+      return false;
+    }
     ++stats_.bindings_tried;
-    if (options_.max_bindings > 0 &&
-        stats_.bindings_tried > options_.max_bindings) {
+    size_t used = stats_.bindings_tried;
+    if (options_.shared_bindings != nullptr) {
+      used = options_.shared_bindings->fetch_add(1,
+                                                 std::memory_order_relaxed) +
+             1;
+    }
+    if (options_.max_bindings > 0 && used > options_.max_bindings) {
       failure_ = Status::ResourceExhausted(
           StrCat("valuation search exceeded ", options_.max_bindings,
                  " binding steps"));
@@ -147,9 +187,20 @@ bool ValuationEnumerator::Recurse(
       }
       if (!ok) ++stats_.prunes;
     }
-    if (ok && !Recurse(index + 1, bindings, should_prune, on_total, stopped)) {
-      bindings->Unset(order_[index]);
-      return false;
+    if (ok) {
+      size_t sub_lo = 0;
+      size_t sub_hi = 0;
+      if (sharded && index + 1 < shard_depth_) {
+        // Clamp the child's rank range into this candidate's block.
+        size_t block_lo = k * weight;
+        sub_lo = lo > block_lo ? lo - block_lo : 0;
+        sub_hi = std::min(hi - block_lo, weight);
+      }
+      if (!Recurse(index + 1, sub_lo, sub_hi, bindings, should_prune,
+                   on_total, stopped)) {
+        bindings->Unset(order_[index]);
+        return false;
+      }
     }
   }
   bindings->Unset(order_[index]);
@@ -161,10 +212,244 @@ Status ValuationEnumerator::Enumerate(
     const std::function<bool(const Bindings&)>& on_total) {
   if (!tableau_->satisfiable()) return Status::OK();
   failure_ = Status::OK();
+  size_t lo = 0;
+  size_t hi = 0;
+  if (shard_depth_ > 0) {
+    lo = options_.shard_begin;
+    hi = std::min(options_.shard_end, PrefixSpace(shard_depth_));
+    if (lo >= hi) return Status::OK();
+  }
   Bindings bindings;
   bool stopped = false;
-  Recurse(0, &bindings, should_prune, on_total, &stopped);
+  Recurse(0, lo, hi, &bindings, should_prune, on_total, &stopped);
   return failure_;
+}
+
+namespace {
+
+/// Atomically lowers `target` to at most `value`.
+void StoreMin(std::atomic<size_t>* target, size_t value) {
+  size_t cur = target->load(std::memory_order_acquire);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_acq_rel)) {
+  }
+}
+
+enum class UnitState : uint8_t {
+  kPending,
+  kExhausted,
+  kHit,
+  kAborted,
+  kCancelled,
+};
+
+struct UnitInfo {
+  size_t begin = 0;
+  size_t end = 0;
+  UnitState state = UnitState::kPending;
+  size_t worker = SIZE_MAX;
+  Status status;
+};
+
+}  // namespace
+
+void ParallelValuationSearch(
+    const TableauQuery& tableau, const ActiveDomain& adom,
+    const ValuationEnumerator::Options& enum_options,
+    const ParallelSearchOptions& parallel_options,
+    const std::function<bool(size_t worker, const Bindings&)>& should_prune,
+    const std::function<bool(size_t worker, const Bindings&)>& on_total,
+    const std::function<ParallelUnitResult(size_t worker)>& epilogue,
+    ParallelSearchOutcome* outcome) {
+  *outcome = ParallelSearchOutcome();
+  if (!tableau.satisfiable()) return;
+
+  const size_t threads = std::max<size_t>(1, parallel_options.num_threads);
+
+  // Plan the partition on a probe enumerator (order and candidate
+  // lists are shard-independent, so the probe sees exactly what every
+  // worker will see). Shard on the first variable when it alone yields
+  // enough units, on the first two otherwise.
+  ValuationEnumerator::Options probe_options = enum_options;
+  probe_options.shard_depth = 0;
+  ValuationEnumerator probe(&tableau, &adom, probe_options);
+  const size_t target_units =
+      threads * std::max<size_t>(1, parallel_options.units_per_thread);
+  size_t depth = 0;
+  if (!probe.order().empty()) {
+    depth = 1;
+    if (probe.CandidateCount(0) < target_units && probe.order().size() >= 2) {
+      depth = 2;
+    }
+  }
+  const size_t total = probe.PrefixSpace(depth);
+  const size_t num_units = std::min(total, target_units);
+
+  auto run_serial = [&]() {
+    ValuationEnumerator enumerator(&tableau, &adom, enum_options);
+    auto prune1 =
+        should_prune == nullptr
+            ? std::function<bool(const Bindings&)>()
+            : std::function<bool(const Bindings&)>(
+                  [&](const Bindings& b) { return should_prune(0, b); });
+    Status st = enumerator.Enumerate(
+        prune1, [&](const Bindings& b) { return on_total(0, b); });
+    outcome->stats += enumerator.stats();
+    outcome->units_total = 1;
+    outcome->threads_used = 1;
+    ParallelUnitResult unit = epilogue(0);
+    // Callback errors surface before the enumerator's own status — the
+    // serial deciders' historical precedence (a prune-hook error aborts
+    // its subtree first, then wins over e.g. a later budget blow).
+    if (!unit.status.ok()) {
+      outcome->failure = unit.status;
+    } else if (!st.ok()) {
+      outcome->failure = st;
+    } else if (unit.found) {
+      outcome->found = true;
+      outcome->winner_worker = 0;
+      outcome->winner_unit = 0;
+    }
+  };
+  if (threads <= 1 || num_units <= 1) {
+    run_serial();
+    return;
+  }
+
+  std::vector<UnitInfo> units(num_units);
+  for (size_t u = 0; u < num_units; ++u) {
+    units[u].begin = u * total / num_units;
+    units[u].end = (u + 1) * total / num_units;
+  }
+  const size_t num_workers = std::min(threads, num_units);
+
+  std::atomic<size_t> next_unit{0};
+  std::atomic<size_t> best_unit{SIZE_MAX};
+  std::atomic<size_t> shared_bindings{0};
+  std::atomic<bool> budget_blown{false};
+  std::vector<std::atomic<size_t>> current_unit(num_workers);
+  for (auto& c : current_unit) c.store(SIZE_MAX, std::memory_order_relaxed);
+  std::vector<std::stop_source> stops(num_workers);
+  std::vector<ValuationSearchStats> worker_stats(num_workers);
+
+  auto worker_fn = [&](size_t w) {
+    std::stop_token token = stops[w].get_token();
+    while (!token.stop_requested()) {
+      const size_t u = next_unit.fetch_add(1, std::memory_order_relaxed);
+      if (u >= units.size()) break;
+      // Units beyond an already-resolved winner cannot change the
+      // deterministic outcome; stop claiming.
+      if (u > best_unit.load(std::memory_order_acquire)) break;
+      current_unit[w].store(u, std::memory_order_release);
+
+      ValuationEnumerator::Options unit_options = enum_options;
+      unit_options.shard_depth = depth;
+      unit_options.shard_begin = units[u].begin;
+      unit_options.shard_end = units[u].end;
+      unit_options.stop = token;
+      if (enum_options.max_bindings > 0) {
+        unit_options.shared_bindings = &shared_bindings;
+      }
+      ValuationEnumerator enumerator(&tableau, &adom, unit_options);
+      auto prune1 =
+          should_prune == nullptr
+              ? std::function<bool(const Bindings&)>()
+              : std::function<bool(const Bindings&)>(
+                    [&, w](const Bindings& b) { return should_prune(w, b); });
+      Status st = enumerator.Enumerate(
+          prune1, [&, w](const Bindings& b) { return on_total(w, b); });
+      worker_stats[w] += enumerator.stats();
+      ++worker_stats[w].work_units;
+      ParallelUnitResult unit_result = epilogue(w);
+      units[u].worker = w;
+
+      if (!unit_result.status.ok()) {
+        // A deterministic callback failure at unit u: it takes
+        // precedence over the enumerator's own status (matching the
+        // serial deciders) and participates in winner resolution
+        // exactly like a hit — the serial search would have surfaced
+        // it at the same point in enumeration order.
+        units[u].state = UnitState::kAborted;
+        units[u].status = unit_result.status;
+      } else if (!st.ok() && st.code() == StatusCode::kCancelled) {
+        units[u].state = UnitState::kCancelled;
+        ++worker_stats[w].work_units_cancelled;
+        break;
+      } else if (!st.ok() && st.code() == StatusCode::kResourceExhausted) {
+        // The shared budget is a global failure: no unit can be trusted
+        // to have exhausted its shard, so every worker stops.
+        units[u].state = UnitState::kAborted;
+        units[u].status = st;
+        budget_blown.store(true, std::memory_order_release);
+        for (auto& s : stops) s.request_stop();
+        break;
+      } else if (!st.ok()) {
+        units[u].state = UnitState::kAborted;
+        units[u].status = st;
+      } else if (unit_result.found) {
+        units[u].state = UnitState::kHit;
+      } else {
+        units[u].state = UnitState::kExhausted;
+        continue;
+      }
+      // Hit or abort: lower the winner bound and cancel workers that
+      // are provably on later units (their current unit exceeds u; a
+      // stale read only delays the cancellation, never misdirects it,
+      // because per-worker unit claims are monotone).
+      StoreMin(&best_unit, u);
+      for (size_t x = 0; x < num_workers; ++x) {
+        if (x == w) continue;
+        if (current_unit[x].load(std::memory_order_acquire) > u) {
+          stops[x].request_stop();
+        }
+      }
+      break;
+    }
+  };
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      pool.emplace_back([&worker_fn, w] { worker_fn(w); });
+    }
+  }  // joins
+
+  outcome->units_total = num_units;
+  outcome->threads_used = num_workers;
+  for (const ValuationSearchStats& s : worker_stats) outcome->stats += s;
+
+  // Deterministic resolution: scan units in index order; the first
+  // non-exhausted unit decides. A pending/cancelled unit before any
+  // hit can only arise from a budget blow (winner-driven cancellation
+  // only ever targets units above the winner).
+  for (const UnitInfo& unit : units) {
+    switch (unit.state) {
+      case UnitState::kExhausted:
+        continue;
+      case UnitState::kHit:
+        outcome->found = true;
+        outcome->winner_worker = unit.worker;
+        outcome->winner_unit = static_cast<size_t>(&unit - units.data());
+        return;
+      case UnitState::kAborted:
+        outcome->failure = unit.status;
+        return;
+      case UnitState::kPending:
+      case UnitState::kCancelled:
+        if (budget_blown.load(std::memory_order_acquire)) {
+          outcome->failure = Status::ResourceExhausted(
+              StrCat("valuation search exceeded ", enum_options.max_bindings,
+                     " binding steps (shared across workers)"));
+        } else {
+          outcome->failure = Status::Internal(
+              "parallel valuation search left a work unit unresolved "
+              "without a winner or a budget blow");
+        }
+        return;
+    }
+  }
 }
 
 }  // namespace relcomp

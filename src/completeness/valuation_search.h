@@ -1,8 +1,12 @@
 #ifndef RELCOMP_COMPLETENESS_VALUATION_SEARCH_H_
 #define RELCOMP_COMPLETENESS_VALUATION_SEARCH_H_
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <stop_token>
 #include <string>
 #include <vector>
 
@@ -14,9 +18,9 @@
 namespace relcomp {
 
 /// Counters reported by the valuation search; surfaced by the benches.
-/// The last three are aggregated from the relational core's
-/// EvalCounters by the deciders (constraint checks and query evals
-/// issued while judging valuations).
+/// index_probes/relation_scans/overlay_hits are aggregated from the
+/// relational core's EvalCounters by the deciders (constraint checks
+/// and query evals issued while judging valuations).
 struct ValuationSearchStats {
   /// Number of variable-binding steps taken.
   size_t bindings_tried = 0;
@@ -30,6 +34,23 @@ struct ValuationSearchStats {
   size_t relation_scans = 0;
   /// Atom matches served by overlay-staged rows.
   size_t overlay_hits = 0;
+  /// Parallel mode only: work units run to completion, and units whose
+  /// enumeration was cancelled after another unit won. Zero in serial
+  /// runs.
+  size_t work_units = 0;
+  size_t work_units_cancelled = 0;
+
+  ValuationSearchStats& operator+=(const ValuationSearchStats& other) {
+    bindings_tried += other.bindings_tried;
+    totals_delivered += other.totals_delivered;
+    prunes += other.prunes;
+    index_probes += other.index_probes;
+    relation_scans += other.relation_scans;
+    overlay_hits += other.overlay_hits;
+    work_units += other.work_units;
+    work_units_cancelled += other.work_units_cancelled;
+    return *this;
+  }
 };
 
 /// Enumerates the paper's valid valuations of a tableau: total
@@ -48,7 +69,9 @@ class ValuationEnumerator {
   struct Options {
     bool pruned = true;
     /// Abort with kResourceExhausted after this many binding steps
-    /// (0 = unlimited).
+    /// (0 = unlimited). When `shared_bindings` is set the cap applies
+    /// to that shared counter instead of the local one, making it a
+    /// global budget across the workers of a parallel search.
     size_t max_bindings = 0;
     /// Per-variable candidate overrides (e.g. the RCDP decider's
     /// don't-care collapse). Overridden variables use exactly the
@@ -62,6 +85,24 @@ class ValuationEnumerator {
     /// only needs fresh candidates fresh_0..fresh_i. Sound and
     /// complete; disable for the literal paper algorithm.
     bool symmetry_break_fresh = true;
+    /// Work-unit restriction used by the parallel driver: enumerate
+    /// only the assignments of the first `shard_depth` variables of
+    /// order_ whose flattened row-major rank lies in
+    /// [shard_begin, shard_end). 0 = the full space (serial). The
+    /// candidate lists themselves are shard-independent, so the union
+    /// of disjoint shards visits exactly the serial sequence of
+    /// valuations, each exactly once, in the same within-shard order.
+    size_t shard_depth = 0;
+    size_t shard_begin = 0;
+    size_t shard_end = 0;
+    /// Cooperative cancellation, checked once per binding step; a
+    /// triggered stop aborts the enumeration with kCancelled. A
+    /// default-constructed token never triggers (serial mode).
+    std::stop_token stop;
+    /// When set, the max_bindings budget is enforced against this
+    /// shared atomic counter (incremented once per binding step) so
+    /// concurrent workers respect one global cap.
+    std::atomic<size_t>* shared_bindings = nullptr;
   };
 
   ValuationEnumerator(const TableauQuery* tableau, const ActiveDomain* adom,
@@ -79,10 +120,20 @@ class ValuationEnumerator {
   /// callers can prune on partially instantiated rows).
   const std::vector<std::string>& order() const { return order_; }
 
+  /// Number of candidate values at enumeration position `i`.
+  /// Precondition: i < order().size().
+  size_t CandidateCount(size_t i) const { return candidates_[i].size(); }
+
+  /// Size of the flattened assignment space of the first
+  /// min(depth, order().size()) variables — the rank space the parallel
+  /// driver partitions into work units. 1 when depth is 0 or the order
+  /// is empty (the single empty prefix).
+  size_t PrefixSpace(size_t depth) const;
+
   const ValuationSearchStats& stats() const { return stats_; }
 
  private:
-  bool Recurse(size_t index, Bindings* bindings,
+  bool Recurse(size_t index, size_t lo, size_t hi, Bindings* bindings,
                const std::function<bool(const Bindings&)>& should_prune,
                const std::function<bool(const Bindings&)>& on_total,
                bool* stopped);
@@ -96,9 +147,81 @@ class ValuationEnumerator {
   /// disequalities_at_[i]: indices of tableau disequalities whose
   /// variables are all bound once order_[0..i] are bound.
   std::vector<std::vector<size_t>> disequalities_at_;
+  /// Effective shard depth (options.shard_depth clamped to the order)
+  /// and, per sharded level i, the rank weight of one candidate choice
+  /// (product of candidate counts of levels i+1..depth-1).
+  size_t shard_depth_ = 0;
+  std::vector<size_t> shard_weight_;
   ValuationSearchStats stats_;
   Status failure_;
 };
+
+// --- Parallel driver -------------------------------------------------
+
+/// What a work unit's stop meant, reported by the caller's epilogue
+/// after each unit: a found target, a callback failure, or neither
+/// (the unit simply exhausted its shard).
+struct ParallelUnitResult {
+  bool found = false;
+  Status status;
+};
+
+/// Options for ParallelValuationSearch.
+struct ParallelSearchOptions {
+  /// Worker threads. <= 1 runs the serial path on the calling thread.
+  size_t num_threads = 1;
+  /// Target work units per worker; more units = better load balancing,
+  /// more per-unit setup (one enumerator construction each).
+  size_t units_per_thread = 4;
+};
+
+/// Aggregated outcome of a parallel search.
+struct ParallelSearchOutcome {
+  /// True when some unit found a target; winner_worker identifies the
+  /// per-worker state holding it and winner_unit the winning unit.
+  bool found = false;
+  size_t winner_worker = SIZE_MAX;
+  size_t winner_unit = SIZE_MAX;
+  size_t units_total = 0;
+  size_t threads_used = 1;
+  /// Enumerator stats summed over every unit (bindings_tried
+  /// upper-bounds the serial count: each unit re-binds its prefix).
+  ValuationSearchStats stats;
+  /// First deterministic failure (callback error in the winning unit,
+  /// or the shared binding budget), OK otherwise. Kept out of the
+  /// return Status so callers can merge stats before propagating.
+  Status failure;
+};
+
+/// Runs the valuation search over `tableau` split into contiguous
+/// work units of the flattened rank space of the first one-or-two
+/// order_ variables, on `num_threads` std::jthread workers.
+///
+/// Callbacks receive the worker index (0-based) so callers can give
+/// every worker its own scratch state (overlay, bindings, counters);
+/// their Bindings contract matches ValuationEnumerator::Enumerate.
+/// After each unit stops, `epilogue(worker)` must report whether that
+/// worker's unit found a target or failed, and reset the worker's
+/// per-unit flags (found/error) — found state itself must survive
+/// until the driver returns so the winner can be read out.
+///
+/// Determinism: units are claimed work-stealing style, but the winner
+/// is resolved as the LOWEST unit index that found (or failed), and a
+/// unit only wins once every lower unit exhausted. Since units are
+/// contiguous ranks and within-unit enumeration is in serial order,
+/// the winning valuation is exactly the one the serial search would
+/// have found first — results are identical for every thread count
+/// and partition. With a max_bindings budget the cap is shared across
+/// workers, so a parallel run may exhaust the budget on a schedule a
+/// serial run would not (the global cap is respected either way).
+void ParallelValuationSearch(
+    const TableauQuery& tableau, const ActiveDomain& adom,
+    const ValuationEnumerator::Options& enum_options,
+    const ParallelSearchOptions& parallel_options,
+    const std::function<bool(size_t worker, const Bindings&)>& should_prune,
+    const std::function<bool(size_t worker, const Bindings&)>& on_total,
+    const std::function<ParallelUnitResult(size_t worker)>& epilogue,
+    ParallelSearchOutcome* outcome);
 
 }  // namespace relcomp
 

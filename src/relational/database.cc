@@ -66,9 +66,28 @@ const Relation& Database::Get(std::string_view relation) const {
   auto cached = empty_cache_.find(relation);
   if (cached != empty_cache_.end()) return cached->second;
   const RelationSchema* rs = schema_->FindRelation(relation);
-  size_t arity = rs != nullptr ? rs->arity() : 0;
-  return empty_cache_.emplace(std::string(relation), Relation(arity))
+  if (rs == nullptr) {
+    // Names outside the schema (e.g. the delta checker's virtual
+    // "$ccdelta" relations probed against the base) share one immutable
+    // empty relation instead of growing the cache: concurrent workers
+    // may ask for such names after Freeze(), and the cache map is not
+    // synchronized.
+    static const Relation kUnknownEmpty{0};
+    return kUnknownEmpty;
+  }
+  return empty_cache_.emplace(std::string(relation), Relation(rs->arity()))
       .first->second;
+}
+
+void Database::Freeze() const {
+  for (const std::string& name : schema_->relation_names()) {
+    Get(name).PrepareForRead();
+  }
+  if (interner_ != nullptr) interner_->Freeze();
+}
+
+void Database::Unfreeze() const {
+  if (interner_ != nullptr) interner_->Unfreeze();
 }
 
 size_t Database::TotalTuples() const {

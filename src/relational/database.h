@@ -66,6 +66,19 @@ class Database {
   bool operator==(const Database& other) const;
   bool operator!=(const Database& other) const { return !(*this == other); }
 
+  /// Prepares the database for a concurrent read-only phase: forces
+  /// every relation's lazily built structures (sort order, dedup map,
+  /// per-column indexes) via Relation::PrepareForRead, pre-populates
+  /// the empty-relation cache for every schema name, and freezes the
+  /// shared interner (debug tripwire against mid-search interning).
+  /// After Freeze() returns, any number of threads may concurrently
+  /// call the const read APIs (Get, Contains, and the Relation read
+  /// paths) as long as no mutation is interleaved. Balanced by
+  /// Unfreeze(); freezes nest. Const because only mutable caches and
+  /// the interner's freeze count change.
+  void Freeze() const;
+  void Unfreeze() const;
+
   /// All constants occurring in some tuple of this instance.
   void CollectConstants(std::set<Value>* out) const;
 

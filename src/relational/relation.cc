@@ -127,6 +127,15 @@ void Relation::EnsureColumnIndex(size_t col) const {
   col_index_built_[col] = 1;
 }
 
+void Relation::PrepareForRead(const std::vector<size_t>* columns) const {
+  EnsureSorted();
+  if (columns != nullptr) {
+    for (size_t col : *columns) EnsureColumnIndex(col);
+  } else {
+    for (size_t col = 0; col < arity_; ++col) EnsureColumnIndex(col);
+  }
+}
+
 const std::vector<uint32_t>* Relation::Probe(size_t col,
                                              const Value& v) const {
   if (tuples_.empty() || interner_ == nullptr) return nullptr;

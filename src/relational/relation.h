@@ -122,6 +122,15 @@ class Relation {
   /// passed at construction).
   const std::shared_ptr<ValueInterner>& interner() const { return interner_; }
 
+  /// Eagerly materializes every lazily built read structure: the
+  /// Value-sorted row order, the dedup map, and the per-column hash
+  /// indexes for `columns` (all columns when null). After this call,
+  /// const reads — begin/end, TupleAt, RowIds, Contains, IdOf, Resolve,
+  /// and Probe on a prepared column — touch no mutable state and are
+  /// safe from concurrent threads. Any mutation (Insert/Erase/
+  /// UnionWith) voids the guarantee until the next PrepareForRead.
+  void PrepareForRead(const std::vector<size_t>* columns = nullptr) const;
+
   /// "{(1, 2), (3, 4)}".
   std::string ToString() const;
 

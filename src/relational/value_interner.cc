@@ -12,6 +12,9 @@ ValueId ValueInterner::Insert(const Value& v, bool fresh) {
     auto [it, added] = strings_.emplace(v.AsString(), id);
     if (!added) return it->second;
   }
+  assert(!frozen() &&
+         "ValueInterner grew while frozen for concurrent reads; intern all "
+         "values before forking workers");
   (fresh ? high_ : low_).push_back(v);
   return id;
 }
@@ -19,6 +22,12 @@ ValueId ValueInterner::Insert(const Value& v, bool fresh) {
 ValueId ValueInterner::Intern(const Value& v) { return Insert(v, false); }
 
 ValueId ValueInterner::InternFresh(const Value& v) { return Insert(v, true); }
+
+ValueId ValueInterner::ReserveFreshRange(const std::vector<Value>& values) {
+  ValueId first = kInvalidValueId - 1 - static_cast<ValueId>(high_.size());
+  for (const Value& v : values) InternFresh(v);
+  return first;
+}
 
 std::optional<ValueId> ValueInterner::TryGet(const Value& v) const {
   if (v.is_int()) {

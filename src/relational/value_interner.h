@@ -1,6 +1,8 @@
 #ifndef RELCOMP_RELATIONAL_VALUE_INTERNER_H_
 #define RELCOMP_RELATIONAL_VALUE_INTERNER_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -34,7 +36,15 @@ inline constexpr ValueId kInvalidValueId = 0xFFFFFFFFu;
 ///     without consulting the value.
 ///
 /// Interners only grow; ids stay stable for the interner's lifetime.
-/// Not thread-safe (like the rest of the relational core).
+///
+/// Concurrency contract: mutation (Intern/InternFresh of a NEW value)
+/// is single-threaded; lookups (TryGet, ValueOf, IsFreshId) are safe
+/// from any number of threads provided no mutation is concurrent. The
+/// parallel valuation search enforces this by interning everything it
+/// needs — instance constants via the relations, the fresh pool via
+/// ReserveFreshRange — before workers fork, then freezing the interner
+/// for the read-only phase. Freeze() is a debug tripwire: while the
+/// freeze count is positive, growing the interner asserts.
 class ValueInterner {
  public:
   /// First id of the reserved fresh range.
@@ -49,6 +59,15 @@ class ValueInterner {
   /// new. Idempotent; a value already interned (in either range) keeps
   /// its existing id.
   ValueId InternFresh(const Value& v);
+
+  /// Pre-interns a whole fresh pool in one call and returns the id of
+  /// the first value (ids descend contiguously from it for values that
+  /// were new). Workers of the parallel search partition candidate
+  /// ranges over this pre-reserved pool instead of interning
+  /// concurrently; combined with symmetry_break_fresh (position i sees
+  /// fresh_0..fresh_i) every worker observes the identical id
+  /// assignment, so no post-fork interning can occur.
+  ValueId ReserveFreshRange(const std::vector<Value>& values);
 
   /// The id of `v` if it was interned before, nullopt otherwise. Never
   /// interns — an index probe for a never-seen value is an instant miss.
@@ -68,6 +87,17 @@ class ValueInterner {
   /// Total number of interned values across both ranges.
   size_t size() const { return low_.size() + high_.size(); }
 
+  /// Enters/leaves the frozen (concurrent read-only) phase. Nests:
+  /// freeze counts are balanced, so a decider freezing a database whose
+  /// interner another decider already froze stays safe. While frozen,
+  /// interning a new value asserts in debug builds — the tripwire that
+  /// catches any code path trying to grow shared state mid-search.
+  void Freeze() { freeze_count_.fetch_add(1, std::memory_order_relaxed); }
+  void Unfreeze() { freeze_count_.fetch_sub(1, std::memory_order_relaxed); }
+  bool frozen() const {
+    return freeze_count_.load(std::memory_order_relaxed) > 0;
+  }
+
  private:
   ValueId Insert(const Value& v, bool fresh);
 
@@ -77,6 +107,7 @@ class ValueInterner {
   std::vector<Value> low_;
   /// id -> Value for the fresh range (id == kInvalidValueId - 1 - index).
   std::vector<Value> high_;
+  std::atomic<int> freeze_count_{0};
 };
 
 }  // namespace relcomp

@@ -14,6 +14,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnsupported:
       return "UNSUPPORTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

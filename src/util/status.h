@@ -23,6 +23,9 @@ enum class StatusCode {
   /// The input is valid but outside the supported fragment (e.g. asking
   /// the RCDP decider to decide an undecidable language pair exactly).
   kUnsupported,
+  /// The operation was cancelled cooperatively (e.g. a parallel search
+  /// worker observing a stop request after another worker already won).
+  kCancelled,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
 };
@@ -51,6 +54,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
