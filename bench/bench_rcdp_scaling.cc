@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "completeness/rcdp.h"
 #include "query/parser.h"
+#include "util/execution_control.h"
 #include "util/str.h"
 #include "workload/crm_scenario.h"
 
@@ -134,7 +135,7 @@ void BM_ChaseToCompleteness(benchmark::State& state) {
   for (auto _ : state) {
     auto completed = ChaseToCompleteness(q1, crm.db(), crm.master(), v, 256);
     CheckOk(completed.status(), "chase");
-    benchmark::DoNotOptimize(completed->TotalTuples());
+    benchmark::DoNotOptimize(completed->db.TotalTuples());
   }
 }
 BENCHMARK(BM_ChaseToCompleteness)->Arg(2)->Arg(4)->Arg(8);
@@ -308,6 +309,61 @@ void WriteParallelJson() {
       static_cast<size_t>(measured[3].ns_per_op));
 }
 
+/// Budget-check overhead: the same largest data-complexity instance
+/// with no budget vs. an armed-but-never-tripping budget (generous
+/// step, byte and deadline limits plus a live cancel token), written to
+/// BENCH_robustness.json (override via RELCOMP_BENCH_ROBUSTNESS_JSON).
+/// The armed budget pays one relaxed atomic increment per decision
+/// point plus a deadline read every kDeadlineStride steps; the series
+/// quantifies that cost.
+void WriteRobustnessJson() {
+  const size_t n = 16;
+  const double min_seconds = 1.0;
+  MeasuredConfig off = MeasureDataComplexity(n, RcdpOptions(), min_seconds);
+
+  CancelSource cancel;
+  ExecutionBudget budget;
+  budget.set_max_steps(size_t{1} << 60);
+  budget.set_max_tracked_bytes(size_t{1} << 60);
+  budget.set_timeout(std::chrono::hours(24));
+  budget.set_cancel_token(cancel.token());
+  RcdpOptions budgeted;
+  budgeted.budget = &budget;
+  MeasuredConfig on = MeasureDataComplexity(n, budgeted, min_seconds);
+
+  const double overhead_pct =
+      off.ns_per_op > 0 ? (on.ns_per_op / off.ns_per_op - 1.0) * 100.0 : 0;
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"rcdp_budget_overhead\",\n";
+  json += StrCat("  \"instance\": { \"num_domestic\": ", n,
+                 ", \"num_international\": ", n / 2,
+                 ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");
+  json += "  \"configs\": {\n";
+  AppendConfigJson(&json, "budget_off", off);
+  json += ",\n";
+  AppendConfigJson(&json, "budget_on", on);
+  json += "\n  },\n";
+  json += StrCat("  \"decision_points_per_op\": ",
+                 on.iterations > 0 ? budget.steps() / (on.iterations + 1) : 0,
+                 ",\n");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", overhead_pct);
+  json += StrCat("  \"budget_overhead_pct\": ", buf, "\n");
+  json += "}\n";
+
+  const char* path = std::getenv("RELCOMP_BENCH_ROBUSTNESS_JSON");
+  if (path == nullptr) path = "BENCH_robustness.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (budget overhead at n=%zu: %s%%)\n", path, n, buf);
+}
+
 }  // namespace scaling
 }  // namespace relcomp
 
@@ -318,5 +374,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   relcomp::scaling::WriteRelcoreJson();
   relcomp::scaling::WriteParallelJson();
+  relcomp::scaling::WriteRobustnessJson();
   return 0;
 }

@@ -75,11 +75,11 @@ int main() {
     auto completed = ChaseToCompleteness(*q1, crm.db(), crm.master(), v,
                                          /*max_rounds=*/32);
     CHECK_OK(completed);
-    auto final_answer = Evaluate(*q1, *completed);
+    auto final_answer = Evaluate(*q1, completed->db);
     CHECK_OK(final_answer);
     std::cout << "after collecting the missing tuples, Q1(D') = "
               << final_answer->ToString() << "\n";
-    auto recheck = DecideRcdp(*q1, *completed, crm.master(), v);
+    auto recheck = DecideRcdp(*q1, completed->db, crm.master(), v);
     CHECK_OK(recheck);
     std::cout << "re-check: " << recheck->ToString() << "\n";
   }

@@ -126,11 +126,13 @@ int main(int argc, char** argv) {
                               static_cast<size_t>(chase_rounds));
       if (!completed.ok()) {
         std::cout << "chase: " << completed.status().ToString() << "\n";
+      } else if (completed->verdict != Verdict::kComplete) {
+        std::cout << "chase: " << completed->ToString() << "\n";
       } else {
-        auto final_answer = Evaluate(query, *completed);
+        auto final_answer = Evaluate(query, completed->db);
         if (!final_answer.ok()) return Fail(final_answer.status());
         std::cout << "chase: complete after adding "
-                  << completed->TotalTuples() - spec.db.TotalTuples()
+                  << completed->db.TotalTuples() - spec.db.TotalTuples()
                   << " tuples; answer becomes " << final_answer->ToString()
                   << "\n";
       }

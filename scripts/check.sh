@@ -2,8 +2,10 @@
 # Full local gate: configure + build + test the default preset, then the
 # asan preset (Debug, ASan+UBSan, recover disabled), then the tsan
 # preset (ThreadSanitizer over the concurrency-sensitive suites — the
-# parallel-search determinism sweep and the eval equivalence tests; the
-# tsan test preset carries the filter). Run from anywhere.
+# parallel-search determinism sweep, the budget-exhaustion matrix, the
+# fault-injection sweep and the eval equivalence tests; the tsan test
+# preset carries the filter), then the standalone ubsan preset (pure
+# UBSan over the full suite). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +14,7 @@ run() {
   "$@"
 }
 
-for preset in default asan tsan; do
+for preset in default asan tsan ubsan; do
   run cmake --preset "$preset"
   run cmake --build --preset "$preset" -j "$(nproc)"
   run ctest --preset "$preset"

@@ -168,15 +168,27 @@ class DisjunctSearch {
         adom_(adom),
         options_(options) {}
 
+  /// How a budget exhaustion left one disjunct's search: the sound
+  /// resume rank and the exhaustion status the driver recorded.
+  struct Exhaustion {
+    bool exhausted = false;
+    size_t next_rank = 0;
+    Status status;
+  };
+
   /// Runs the search; fills *result on success (counterexample found).
   /// With num_threads > 1 the enumeration is partitioned into work
   /// units on a jthread pool: every worker owns its scratch state (an
   /// overlay or delta session, counters, and a candidate result slot),
   /// the shared databases are frozen for the concurrent phase, and the
   /// winner is resolved deterministically (lowest work unit).
+  /// `resume_rank` skips the ranks a prior interrupted run already
+  /// searched; on budget exhaustion *ex is filled and false returned
+  /// (no counterexample surfaced, not an error).
   Result<bool> Run(RcdpResult* result,
                    const std::map<std::string, std::vector<Value>>*
-                       candidate_overrides) {
+                       candidate_overrides,
+                   size_t resume_rank, Exhaustion* ex) {
     const size_t threads = EffectiveThreads(options_);
     std::vector<Worker> workers(threads);
     for (Worker& w : workers) InitWorker(&w);
@@ -185,6 +197,7 @@ class DisjunctSearch {
     enum_options.pruned = options_.prune;
     enum_options.max_bindings = options_.max_bindings;
     enum_options.candidate_overrides = candidate_overrides;
+    enum_options.budget = options_.budget;
 
     // Precompute, for each enumeration position, which rows become
     // fully bound there: the prune hook checks V on the partially
@@ -256,6 +269,7 @@ class DisjunctSearch {
 
     ParallelSearchOptions parallel_options;
     parallel_options.num_threads = threads;
+    parallel_options.resume_rank = resume_rank;
     ParallelSearchOutcome outcome;
     std::optional<FreezeScope> freeze;
     if (threads > 1) {
@@ -279,6 +293,16 @@ class DisjunctSearch {
       result->stats.index_probes += w.counters.index_probes;
       result->stats.relation_scans += w.counters.relation_scans;
       result->stats.overlay_hits += w.counters.overlay_hits;
+    }
+    if (outcome.exhausted) {
+      // Budget/cancel exhaustion: degrade gracefully. Every rank below
+      // next_rank was searched without a counterexample; the workers'
+      // scratch state (overlays, sessions) unwound via Clear/rollback,
+      // so the frozen core is untouched and the caller can resume.
+      ex->exhausted = true;
+      ex->next_rank = outcome.next_rank;
+      ex->status = outcome.failure;
+      return false;
     }
     RELCOMP_RETURN_NOT_OK(outcome.failure);
     if (!outcome.found) return false;
@@ -310,6 +334,7 @@ class DisjunctSearch {
   void InitWorker(Worker* w) {
     w->eval_options.use_indexes = options_.use_indexes;
     w->eval_options.counters = &w->counters;
+    w->eval_options.budget = options_.budget;
     if (delta_checker_ != nullptr) {
       w->session.emplace(delta_checker_->NewSession(
           db_, master_, options_.use_overlay, w->eval_options));
@@ -323,6 +348,9 @@ class DisjunctSearch {
         w->scratch.emplace(&*w->empty_db);
       } else {
         w->scratch.emplace(&db_);
+      }
+      if (options_.budget != nullptr) {
+        w->scratch->set_memory_tracker(options_.budget);
       }
     }
   }
@@ -427,9 +455,37 @@ class DisjunctSearch {
   const RcdpOptions& options_;
 };
 
+/// Fingerprint of the problem instance an RCDP checkpoint belongs to;
+/// resume refuses checkpoints minted for a different instance.
+uint64_t RcdpFingerprint(const AnyQuery& query, const Database& db,
+                         const Database& master,
+                         const ConstraintSet& constraints) {
+  return CheckpointFingerprint(
+      {FingerprintString("rcdp"), FingerprintString(query.ToString()),
+       constraints.constraints().size(), db.TotalTuples(),
+       master.TotalTuples()});
+}
+
 }  // namespace
 
+const char* VerdictToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kComplete: return "COMPLETE";
+    case Verdict::kIncomplete: return "INCOMPLETE";
+    case Verdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
 std::string RcdpResult::ToString() const {
+  if (verdict == Verdict::kUnknown) {
+    std::string out = StrCat("UNKNOWN (", exhaustion.ToString(), "; ",
+                             stats.bindings_tried, " search steps)");
+    if (checkpoint.has_value()) {
+      out += StrCat("\ncheckpoint: ", checkpoint->Serialize());
+    }
+    return out;
+  }
   if (complete) {
     return StrCat("COMPLETE (", stats.bindings_tried,
                   " search steps, ", stats.totals_delivered,
@@ -507,17 +563,52 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
         SensitivePositions(constraints, options.max_union_disjuncts));
   }
 
+  // Resume bookkeeping: skip the disjuncts (and, within the checkpoint
+  // disjunct, the ranks) a prior interrupted run already searched. The
+  // fingerprint refuses checkpoints minted for a different instance.
+  const uint64_t fingerprint = RcdpFingerprint(query, db, master,
+                                               constraints);
+  size_t start_disjunct = 0;
+  size_t start_rank = 0;
+  if (options.resume != nullptr) {
+    if (options.resume->decider != "rcdp") {
+      return Status::InvalidArgument(
+          StrCat("cannot resume RCDP from a '", options.resume->decider,
+                 "' checkpoint"));
+    }
+    if (options.resume->fingerprint != 0 &&
+        options.resume->fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "checkpoint fingerprint mismatch: resume requires the identical "
+          "query, constraints, and database instances");
+    }
+    start_disjunct = options.resume->disjunct;
+    start_rank = options.resume->rank;
+  }
+
+  bool exhausted = false;
   std::set<Value> query_constants = ucq.Constants();
-  for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+  const std::vector<ConjunctiveQuery>& disjuncts = ucq.disjuncts();
+  for (size_t i = start_disjunct; i < disjuncts.size(); ++i) {
+    const ConjunctiveQuery& disjunct = disjuncts[i];
     RELCOMP_ASSIGN_OR_RETURN(
         TableauQuery tableau,
         TableauQuery::FromConjunctive(disjunct, db.schema()));
     if (!tableau.satisfiable()) continue;
     // One fresh value per variable of this disjunct's tableau
     // (the paper's New); the proof of Prop 3.3 shows this suffices.
+    // Interner growth from the fresh pool is charged to the budget.
+    const size_t interner_before =
+        options.budget != nullptr ? db.interner()->ApproxBytes() : 0;
     ActiveDomain adom = ActiveDomain::Build(
         db, master, query_constants, constraints,
         std::max<size_t>(1, tableau.variables().size()));
+    if (options.budget != nullptr) {
+      size_t interner_after = db.interner()->ApproxBytes();
+      if (interner_after > interner_before) {
+        options.budget->TrackBytes(interner_after - interner_before);
+      }
+    }
     std::map<std::string, std::vector<Value>> overrides;
     if (options.collapse_dont_care) {
       overrides = CollapseOverrides(tableau, db, adom, sensitive);
@@ -527,10 +618,32 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
                                                     : nullptr,
                           compiled.has_value() ? &*compiled : nullptr,
                           current_answer, adom, options);
+    DisjunctSearch::Exhaustion ex;
     RELCOMP_ASSIGN_OR_RETURN(
         bool found,
-        search.Run(&result, overrides.empty() ? nullptr : &overrides));
+        search.Run(&result, overrides.empty() ? nullptr : &overrides,
+                   i == start_disjunct ? start_rank : 0, &ex));
+    if (ex.exhausted) {
+      // Graceful degradation: the verdict is unknown, the exhaustion
+      // reason and a resume checkpoint travel with the result, and the
+      // call itself succeeds.
+      exhausted = true;
+      result.verdict = Verdict::kUnknown;
+      result.complete = false;
+      result.exhaustion = ExhaustionFromStatus(ex.status, options.budget);
+      SearchCheckpoint ckpt;
+      ckpt.decider = "rcdp";
+      ckpt.disjunct = i;
+      ckpt.rank = ex.next_rank;
+      ckpt.fingerprint = fingerprint;
+      result.checkpoint = std::move(ckpt);
+      break;
+    }
     if (found) break;
+  }
+  if (!exhausted) {
+    result.verdict =
+        result.complete ? Verdict::kComplete : Verdict::kIncomplete;
   }
   result.stats.index_probes += main_counters.index_probes;
   result.stats.relation_scans += main_counters.relation_scans;
@@ -538,24 +651,121 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
   return result;
 }
 
-Result<Database> ChaseToCompleteness(const AnyQuery& query,
-                                     const Database& db,
-                                     const Database& master,
-                                     const ConstraintSet& constraints,
-                                     size_t max_rounds,
-                                     const RcdpOptions& options) {
-  Database current = db;
-  for (size_t round = 0; round < max_rounds; ++round) {
+std::string ChaseResult::ToString() const {
+  if (verdict == Verdict::kComplete) {
+    return StrCat("CHASED TO COMPLETE in ", rounds, " rounds");
+  }
+  std::string out = StrCat("CHASE UNKNOWN after ", rounds, " rounds (",
+                           exhaustion.ToString(), ")");
+  if (checkpoint.has_value()) {
+    out += StrCat("\ncheckpoint: ", checkpoint->Serialize());
+  }
+  return out;
+}
+
+Result<ChaseResult> ChaseToCompleteness(const AnyQuery& query,
+                                        const Database& db,
+                                        const Database& master,
+                                        const ConstraintSet& constraints,
+                                        size_t max_rounds,
+                                        const RcdpOptions& options) {
+  ChaseResult out{db};
+  // Resume: continue at the interrupted round, threading the embedded
+  // inner RCDP checkpoint into that round's DecideRcdp call. The
+  // caller passes the partially chased database of the interrupted run
+  // back as `db`, so round numbering and the inner fingerprint line up.
+  size_t start_round = 0;
+  std::optional<SearchCheckpoint> inner_resume;
+  if (options.resume != nullptr) {
+    if (options.resume->decider != "chase") {
+      return Status::InvalidArgument(
+          StrCat("cannot resume a chase from a '", options.resume->decider,
+                 "' checkpoint"));
+    }
+    start_round = options.resume->disjunct;
+    if (!options.resume->payload.empty()) {
+      RELCOMP_ASSIGN_OR_RETURN(
+          SearchCheckpoint inner,
+          SearchCheckpoint::Deserialize(options.resume->payload));
+      inner_resume = std::move(inner);
+    }
+  }
+
+  auto make_checkpoint = [&](size_t round,
+                             const std::optional<SearchCheckpoint>& inner) {
+    SearchCheckpoint ckpt;
+    ckpt.decider = "chase";
+    ckpt.disjunct = round;
+    ckpt.rank = 0;
+    // The chased database changes between rounds, so the outer
+    // fingerprint covers only the fixed inputs; the embedded inner
+    // checkpoint re-checks the full instance on resume.
+    ckpt.fingerprint = CheckpointFingerprint(
+        {FingerprintString("chase"), FingerprintString(query.ToString()),
+         constraints.constraints().size(), master.TotalTuples()});
+    if (inner.has_value()) ckpt.payload = inner->Serialize();
+    return ckpt;
+  };
+
+  RcdpOptions round_options = options;
+  for (size_t round = start_round; round < max_rounds; ++round) {
+    if (options.budget != nullptr) {
+      // One counted decision point per chase round.
+      Status st = options.budget->OnDecisionPoint();
+      if (!st.ok()) {
+        out.verdict = Verdict::kUnknown;
+        out.rounds = round;
+        out.exhaustion = ExhaustionFromStatus(st, options.budget);
+        out.checkpoint = make_checkpoint(round, inner_resume);
+        return out;
+      }
+    }
+    round_options.resume =
+        inner_resume.has_value() ? &*inner_resume : nullptr;
     RELCOMP_ASSIGN_OR_RETURN(
         RcdpResult result,
-        DecideRcdp(query, current, master, constraints, options));
-    if (result.complete) return current;
-    current.UnionWith(*result.counterexample_delta);
+        DecideRcdp(query, out.db, master, constraints, round_options));
+    inner_resume.reset();
+    if (result.verdict == Verdict::kUnknown) {
+      // The round's RCDP search ran out of budget: keep every
+      // completed round's delta and embed the inner checkpoint.
+      out.verdict = Verdict::kUnknown;
+      out.rounds = round;
+      out.exhaustion = result.exhaustion;
+      out.checkpoint = make_checkpoint(round, result.checkpoint);
+      return out;
+    }
+    if (result.complete) {
+      out.verdict = Verdict::kComplete;
+      out.rounds = round;
+      return out;
+    }
+    if (options.budget != nullptr) {
+      // Charge the applied delta's footprint: the chased database
+      // keeps growing by it.
+      size_t delta_bytes = 0;
+      const Database& delta = *result.counterexample_delta;
+      for (const std::string& name : delta.schema().relation_names()) {
+        for (const Tuple& t : delta.Get(name)) {
+          delta_bytes += t.ApproxBytes();
+        }
+      }
+      options.budget->TrackBytes(delta_bytes);
+    }
+    out.db.UnionWith(*result.counterexample_delta);
   }
-  return Status::ResourceExhausted(
+  // The max_rounds cap shares the graceful kUnknown path (kind
+  // kRounds): the query may not be relatively complete at all — check
+  // with DecideRcqp — but the partial chase is still sound.
+  out.verdict = Verdict::kUnknown;
+  out.rounds = max_rounds;
+  out.exhaustion.kind = BudgetKind::kRounds;
+  out.exhaustion.detail =
       StrCat("database still incomplete after ", max_rounds,
              " chase rounds (the query may not be relatively complete; "
-             "check with DecideRcqp)"));
+             "check with DecideRcqp)");
+  out.checkpoint = make_checkpoint(max_rounds, std::nullopt);
+  return out;
 }
 
 }  // namespace relcomp

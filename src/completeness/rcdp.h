@@ -9,9 +9,22 @@
 #include "constraints/constraint_check.h"
 #include "query/any_query.h"
 #include "relational/database.h"
+#include "util/execution_control.h"
 #include "util/status.h"
 
 namespace relcomp {
+
+/// Three-valued decider outcome. kUnknown is the graceful degradation
+/// on budget/cancel exhaustion: the search was sound as far as it got,
+/// nothing was decided, and the result carries an ExhaustionInfo plus
+/// a SearchCheckpoint to resume from.
+enum class Verdict : uint8_t {
+  kComplete,
+  kIncomplete,
+  kUnknown,
+};
+
+const char* VerdictToString(Verdict verdict);
 
 /// Options for the RCDP decider.
 struct RcdpOptions {
@@ -65,10 +78,31 @@ struct RcdpOptions {
   size_t num_threads = 0;
   /// Cap on the ∃FO+ → UCQ unfolding.
   size_t max_union_disjuncts = 4096;
+  /// Optional shared execution budget (not owned; may be null): a
+  /// wall-clock deadline, decision-step cap, tracked-byte cap, and/or
+  /// user CancelToken. One decision point is claimed per valuation
+  /// binding step, per delta-constraint check, and per chase round —
+  /// the identical points in serial and parallel mode — so exhaustion
+  /// is deterministic at any num_threads. On exhaustion DecideRcdp
+  /// returns OK with verdict kUnknown (see RcdpResult) rather than an
+  /// error. When reusing the same budget instance across a resumed
+  /// call, Rearm() it first — exhaustion is sticky.
+  ExecutionBudget* budget = nullptr;
+  /// Resume point from a prior kUnknown result's checkpoint (not
+  /// owned; may be null). The call must present the identical problem
+  /// instance (enforced via the checkpoint fingerprint); the combined
+  /// interrupted + resumed search visits exactly the uninterrupted
+  /// sequence of valuations, so the final verdict and evidence are
+  /// bit-for-bit equal to an uninterrupted run.
+  const SearchCheckpoint* resume = nullptr;
 };
 
 /// The decision, plus the evidence the paper's characterizations yield.
 struct RcdpResult {
+  /// kComplete / kIncomplete when the search ran to a decision;
+  /// kUnknown when the execution budget (or a cancel) stopped it
+  /// first. `complete` stays in sync (true iff verdict == kComplete).
+  Verdict verdict = Verdict::kComplete;
   bool complete = false;
   /// When incomplete: the extension Δ (tuples not already in D) whose
   /// addition keeps V satisfied but changes the answer, ...
@@ -77,6 +111,13 @@ struct RcdpResult {
   std::optional<Tuple> new_answer;
   /// Search effort (summed over disjuncts); surfaced by the benches.
   ValuationSearchStats stats;
+  /// kUnknown only: why the search stopped ...
+  ExhaustionInfo exhaustion;
+  /// ... and where to pick it up (pass as RcdpOptions::resume, with a
+  /// rearmed or fresh budget). Every disjunct below checkpoint.disjunct
+  /// — and every rank of disjunct checkpoint.disjunct below
+  /// checkpoint.rank — was already searched without a counterexample.
+  std::optional<SearchCheckpoint> checkpoint;
 
   std::string ToString() const;
 };
@@ -96,17 +137,43 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
                               const ConstraintSet& constraints,
                               const RcdpOptions& options = RcdpOptions());
 
+/// Outcome of ChaseToCompleteness. The chase never discards completed
+/// rounds: on exhaustion `db` holds the partially chased database —
+/// every delta applied so far was a genuine counterexample, so it is a
+/// strict improvement over the input — plus a checkpoint to continue.
+struct ChaseResult {
+  /// The chased database: complete for Q when verdict == kComplete,
+  /// partially chased otherwise.
+  Database db;
+  /// kComplete: the chase reached a relatively complete database.
+  /// kUnknown: the budget, a cancel, or the max_rounds cap stopped it
+  /// first (exhaustion.kind == kRounds for the cap).
+  Verdict verdict = Verdict::kComplete;
+  /// Chase rounds fully applied (counterexample deltas added).
+  size_t rounds = 0;
+  ExhaustionInfo exhaustion;
+  /// kUnknown only: resume point. Pass it as RcdpOptions::resume to a
+  /// follow-up ChaseToCompleteness call whose `db` argument is this
+  /// result's `db` (the partially chased database); the continued
+  /// chase is bit-for-bit the uninterrupted one.
+  std::optional<SearchCheckpoint> checkpoint;
+
+  std::string ToString() const;
+};
+
 /// Repeatedly applies counterexamples: while D is incomplete, adds the
-/// counterexample Δ to D. Returns the completed database if the chase
-/// reaches a complete one within `max_rounds`. This is the Section 2.3
-/// "guidance for what data should be collected" paradigm; the chase
-/// need not terminate in general (kResourceExhausted).
-Result<Database> ChaseToCompleteness(const AnyQuery& query,
-                                     const Database& db,
-                                     const Database& master,
-                                     const ConstraintSet& constraints,
-                                     size_t max_rounds,
-                                     const RcdpOptions& options = {});
+/// counterexample Δ to D — the Section 2.3 "guidance for what data
+/// should be collected" paradigm; the chase need not terminate in
+/// general. One budget decision point is claimed per round. On any
+/// exhaustion (budget, cancel, or max_rounds) the result keeps the
+/// partially chased database and carries a "chase" checkpoint whose
+/// payload embeds the interrupted round's inner RCDP checkpoint.
+Result<ChaseResult> ChaseToCompleteness(const AnyQuery& query,
+                                        const Database& db,
+                                        const Database& master,
+                                        const ConstraintSet& constraints,
+                                        size_t max_rounds,
+                                        const RcdpOptions& options = {});
 
 }  // namespace relcomp
 

@@ -1,9 +1,11 @@
 #include "completeness/rcqp.h"
 
 #include <algorithm>
+#include <charconv>
 #include <functional>
 #include <map>
 #include <set>
+#include <string_view>
 #include <thread>
 
 #include "completeness/active_domain.h"
@@ -99,13 +101,18 @@ Result<bool> ValuationRealizable(const TableauQuery& tableau,
                                  const Database& master,
                                  const ConstraintSet& constraints,
                                  const CompiledConstraintCheck* compiled,
+                                 ExecutionBudget* budget,
                                  DatabaseOverlay* scratch) {
   RELCOMP_ASSIGN_OR_RETURN(auto rows, tableau.Instantiate(valuation));
   scratch->Clear();
   for (const auto& [relation, tuple] : rows) {
     scratch->Add(relation, tuple);
   }
-  if (compiled != nullptr) return compiled->Satisfied(*scratch);
+  if (compiled != nullptr) {
+    ConjunctiveEvalOptions eval_options;
+    eval_options.budget = budget;
+    return compiled->Satisfied(*scratch, eval_options);
+  }
   return Satisfies(constraints, *scratch, master);
 }
 
@@ -121,17 +128,30 @@ size_t EffectiveThreads(const RcdpOptions& options) {
   return options.num_threads;
 }
 
+/// Outcome of one realizability probe: the hit (if any), or the budget
+/// exhaustion point — next_rank is the resume rank within the probe's
+/// own enumeration space (every lower rank was searched without a hit).
+struct ProbeOutcome {
+  std::optional<Bindings> hit;
+  bool exhausted = false;
+  size_t next_rank = 0;
+  Status exhaustion_status;
+};
+
 /// Searches for a valid valuation μ of `tableau` with (μ(T), Dm) |= V.
 /// Returns the valuation if found. With num_threads > 1 the enumeration
 /// runs on the parallel driver: each worker stages candidates on its
 /// own empty-database overlay, Dm is frozen for the concurrent phase,
 /// and the returned valuation is the serial-first one (lowest work
-/// unit wins).
-Result<std::optional<Bindings>> FindRealizableValuation(
+/// unit wins). With a budget the driver switches to its fixed
+/// thread-count-independent unit partition, so exhaustion and
+/// next_rank are deterministic at any num_threads.
+Result<ProbeOutcome> FindRealizableValuation(
     const TableauQuery& tableau, const Database& master,
     const ConstraintSet& constraints, const CompiledConstraintCheck* compiled,
     const std::shared_ptr<const Schema>& db_schema, const ActiveDomain& adom,
-    size_t max_bindings, size_t num_threads) {
+    size_t max_bindings, size_t num_threads, ExecutionBudget* budget,
+    size_t resume_rank) {
   struct Worker {
     std::optional<Database> empty_db;
     std::optional<DatabaseOverlay> scratch;
@@ -144,15 +164,18 @@ Result<std::optional<Bindings>> FindRealizableValuation(
   for (Worker& w : workers) {
     w.empty_db.emplace(db_schema);
     w.scratch.emplace(&*w.empty_db);
+    if (budget != nullptr) w.scratch->set_memory_tracker(budget);
   }
   ValuationEnumerator::Options enum_options;
   enum_options.max_bindings = max_bindings;
+  enum_options.budget = budget;
   ParallelSearchOptions parallel_options;
   parallel_options.num_threads = threads;
+  parallel_options.resume_rank = resume_rank;
   auto on_total = [&](size_t wi, const Bindings& valuation) {
     Worker& w = workers[wi];
     Result<bool> sat = ValuationRealizable(tableau, valuation, master,
-                                           constraints, compiled,
+                                           constraints, compiled, budget,
                                            &*w.scratch);
     if (!sat.ok()) {
       w.error = sat.status();
@@ -180,28 +203,41 @@ Result<std::optional<Bindings>> FindRealizableValuation(
                           /*should_prune=*/nullptr, on_total, epilogue,
                           &outcome);
   if (threads > 1) master.Unfreeze();
+  ProbeOutcome probe;
+  if (outcome.exhausted) {
+    probe.exhausted = true;
+    probe.next_rank = outcome.next_rank;
+    probe.exhaustion_status = outcome.failure;
+    return probe;
+  }
   RELCOMP_RETURN_NOT_OK(outcome.failure);
-  if (!outcome.found) return std::optional<Bindings>();
-  return workers[outcome.winner_worker].hit;
+  if (outcome.found) probe.hit = workers[outcome.winner_worker].hit;
+  return probe;
 }
 
 /// Builds the Prop 4.3 witness for one bounded, realizable disjunct:
 /// one instantiated tableau per achievable summary tuple. Rows are
-/// materialized into `witness` only for valuations that realize.
+/// materialized into `witness` only for valuations that realize. The
+/// witness is best-effort under a budget: by the time it is built the
+/// Exists decision already stands, so exhaustion here clears
+/// *witness_complete instead of failing the call.
 Status AccumulateIndWitness(const TableauQuery& tableau,
                             const Database& master,
                             const ConstraintSet& constraints,
                             const CompiledConstraintCheck* compiled,
                             const ActiveDomain& adom, size_t max_bindings,
-                            Database* witness) {
+                            ExecutionBudget* budget, Database* witness,
+                            bool* witness_complete) {
   ValuationEnumerator::Options options;
   options.max_bindings = max_bindings;
+  options.budget = budget;
   ValuationEnumerator enumerator(&tableau, &adom, options);
   Database empty_db(witness->schema_ptr());
   DatabaseOverlay scratch(&empty_db);
+  if (budget != nullptr) scratch.set_memory_tracker(budget);
   std::set<Tuple> covered;
   Status inner;
-  RELCOMP_RETURN_NOT_OK(enumerator.Enumerate(
+  Status enumerated = enumerator.Enumerate(
       nullptr, [&](const Bindings& valuation) {
         Result<Tuple> summary = tableau.SummaryTuple(valuation);
         if (!summary.ok()) {
@@ -210,7 +246,7 @@ Status AccumulateIndWitness(const TableauQuery& tableau,
         }
         if (covered.count(*summary) > 0) return true;
         Result<bool> sat = ValuationRealizable(tableau, valuation, master,
-                                               constraints, compiled,
+                                               constraints, compiled, budget,
                                                &scratch);
         if (!sat.ok()) {
           inner = sat.status();
@@ -225,7 +261,12 @@ Status AccumulateIndWitness(const TableauQuery& tableau,
           }
         }
         return true;
-      }));
+      });
+  if (budget != nullptr && budget->exhausted()) {
+    *witness_complete = false;
+    return Status::OK();
+  }
+  RELCOMP_RETURN_NOT_OK(enumerated);
   return inner;
 }
 
@@ -336,11 +377,16 @@ std::string RcqpResult::ToString() const {
     out = "RELATIVELY COMPLETE QUERY (witness exists)";
   } else if (exhaustive) {
     out = "NO RELATIVELY COMPLETE DATABASE";
+  } else if (exhaustion.exhausted()) {
+    out = StrCat("UNKNOWN (", exhaustion.ToString(), ")");
   } else {
     out = "NO WITNESS FOUND WITHIN BUDGET (inconclusive)";
   }
   out += StrCat(" [method: ", method, exhaustive ? "" : ", non-exhaustive",
                 "]");
+  if (checkpoint.has_value()) {
+    out += StrCat("\ncheckpoint: ", checkpoint->Serialize());
+  }
   if (!unbounded_variables.empty()) {
     out += "\nunbounded head variables: ";
     for (size_t i = 0; i < unbounded_variables.size(); ++i) {
@@ -380,6 +426,43 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
 
   RcqpResult result;
 
+  ExecutionBudget* budget = options.rcdp.budget;
+  // Inner RCDP options: the caller's rcdp.resume (if any) is an RCDP
+  // checkpoint, not an RCQP one — never forward it; RCQP resume state
+  // travels in options.resume and its payload.
+  RcdpOptions inner_rcdp = options.rcdp;
+  inner_rcdp.resume = nullptr;
+  const uint64_t fingerprint = CheckpointFingerprint(
+      {FingerprintString("rcqp"), FingerprintString(query.ToString()),
+       constraints.constraints().size(), master.TotalTuples()});
+  const SearchCheckpoint* resume = options.resume;
+  std::string_view resume_phase;
+  if (resume != nullptr) {
+    if (resume->decider != "rcqp-ind" && resume->decider != "rcqp-empty" &&
+        resume->decider != "rcqp-chase" && resume->decider != "rcqp-pool") {
+      return Status::InvalidArgument(
+          StrCat("checkpoint decider \"", resume->decider,
+                 "\" is not an RCQP phase (expected rcqp-ind, rcqp-empty, "
+                 "rcqp-chase, or rcqp-pool)"));
+    }
+    if (resume->fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "checkpoint fingerprint mismatch: resume requires the identical "
+          "query, constraints, and master database instances");
+    }
+    resume_phase = resume->decider;
+  }
+  auto make_checkpoint = [&](std::string decider, size_t disjunct, size_t rank,
+                             std::string payload) {
+    SearchCheckpoint ckpt;
+    ckpt.decider = std::move(decider);
+    ckpt.disjunct = disjunct;
+    ckpt.rank = rank;
+    ckpt.fingerprint = fingerprint;
+    ckpt.payload = std::move(payload);
+    return ckpt;
+  };
+
   RELCOMP_ASSIGN_OR_RETURN(
       std::vector<TableauQuery> tableaux,
       QueryTableaux(query, *db_schema, options.rcdp.max_union_disjuncts));
@@ -391,6 +474,7 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
   RELCOMP_ASSIGN_OR_RETURN(bool empty_closed,
                            Satisfies(constraints, empty_db, master));
   if (!empty_closed) {
+    result.verdict = Verdict::kIncomplete;
     result.exists = false;
     result.exhaustive = true;
     result.method = "no-partially-closed-database";
@@ -399,6 +483,7 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
 
   // Unsatisfiable query: every partially closed database is complete.
   if (tableaux.empty()) {
+    result.verdict = Verdict::kComplete;
     result.exists = true;
     result.witness = empty_db;
     result.method = "unsatisfiable-query";
@@ -445,20 +530,81 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
         compiled.has_value() ? &*compiled : nullptr;
     std::map<std::string, std::set<size_t>> projected =
         IndProjectedColumns(constraints);
+    // Resume state: tableaux below start_tableau were already probed by
+    // the interrupted run; the payload lists (comma-separated) the
+    // indexes whose probe found a realizable valuation.
+    size_t start_tableau = 0;
+    size_t start_rank = 0;
+    std::set<size_t> realized;
+    if (resume != nullptr) {
+      if (resume->decider != "rcqp-ind") {
+        return Status::InvalidArgument(
+            StrCat("checkpoint phase \"", resume->decider,
+                   "\" does not apply: this instance takes the IND path"));
+      }
+      start_tableau = resume->disjunct;
+      start_rank = resume->rank;
+      if (start_tableau > tableaux.size()) {
+        return Status::InvalidArgument(
+            "rcqp-ind checkpoint tableau index out of range");
+      }
+      std::string_view payload = resume->payload;
+      while (!payload.empty()) {
+        const size_t comma = payload.find(',');
+        const std::string_view field = payload.substr(0, comma);
+        size_t idx = 0;
+        auto [ptr, ec] =
+            std::from_chars(field.data(), field.data() + field.size(), idx);
+        if (ec != std::errc() || ptr != field.data() + field.size()) {
+          return Status::InvalidArgument(
+              "malformed rcqp-ind checkpoint payload");
+        }
+        realized.insert(idx);
+        payload = comma == std::string_view::npos
+                      ? std::string_view()
+                      : payload.substr(comma + 1);
+      }
+    }
     bool all_ok = true;
-    for (const TableauQuery& tableau : tableaux) {
+    for (size_t ti = 0; ti < tableaux.size(); ++ti) {
+      const TableauQuery& tableau = tableaux[ti];
       std::vector<VariableBoundedness> analysis =
           AnalyzeTableau(tableau, projected);
       bool bounded = std::all_of(
           analysis.begin(), analysis.end(),
           [](const VariableBoundedness& vb) { return vb.bounded(); });
       if (bounded) continue;
-      RELCOMP_ASSIGN_OR_RETURN(
-          std::optional<Bindings> realizable,
-          FindRealizableValuation(tableau, master, constraints, compiled_ptr,
-                                  db_schema, adom, options.max_valuations,
-                                  EffectiveThreads(options.rcdp)));
-      if (realizable.has_value()) {
+      bool realizable_found;
+      if (ti < start_tableau) {
+        realizable_found = realized.count(ti) > 0;
+      } else {
+        RELCOMP_ASSIGN_OR_RETURN(
+            ProbeOutcome probe,
+            FindRealizableValuation(tableau, master, constraints, compiled_ptr,
+                                    db_schema, adom, options.max_valuations,
+                                    EffectiveThreads(options.rcdp), budget,
+                                    ti == start_tableau ? start_rank : 0));
+        if (probe.exhausted) {
+          result.verdict = Verdict::kUnknown;
+          result.exists = false;
+          result.exhaustive = false;
+          result.unbounded_variables.clear();
+          result.method = "ind-syntactic";
+          result.exhaustion =
+              ExhaustionFromStatus(probe.exhaustion_status, budget);
+          std::string payload;
+          for (size_t idx : realized) {
+            if (!payload.empty()) payload += ',';
+            payload += std::to_string(idx);
+          }
+          result.checkpoint = make_checkpoint("rcqp-ind", ti, probe.next_rank,
+                                              std::move(payload));
+          return result;
+        }
+        realizable_found = probe.hit.has_value();
+        if (realizable_found) realized.insert(ti);
+      }
+      if (realizable_found) {
         all_ok = false;
         for (VariableBoundedness& vb : analysis) {
           if (!vb.bounded()) {
@@ -467,24 +613,39 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
         }
       }
     }
+    result.verdict = all_ok ? Verdict::kComplete : Verdict::kIncomplete;
     result.exists = all_ok;
     result.exhaustive = true;
     result.method = "ind-syntactic";
     if (all_ok) {
       // Witness per the Prop 4.3 proof: for every achievable summary
-      // tuple of every disjunct, one instantiated tableau.
+      // tuple of every disjunct, one instantiated tableau. Best-effort
+      // under a budget: the Exists decision above already stands.
       Database witness(db_schema);
+      bool witness_complete = true;
       for (const TableauQuery& tableau : tableaux) {
-        RELCOMP_RETURN_NOT_OK(
-            AccumulateIndWitness(tableau, master, constraints, compiled_ptr,
-                                 adom, options.max_valuations, &witness));
+        RELCOMP_RETURN_NOT_OK(AccumulateIndWitness(
+            tableau, master, constraints, compiled_ptr, adom,
+            options.max_valuations, budget, &witness, &witness_complete));
+        if (!witness_complete) break;
       }
-      result.witness = std::move(witness);
+      if (witness_complete) {
+        result.witness = std::move(witness);
+      } else if (budget != nullptr) {
+        result.exhaustion =
+            ExhaustionFromStatus(budget->exhaustion_status(), budget);
+      }
     }
     return result;
   }
 
   // ---- General path (Prop 4.2 / Cor 4.4; NEXPTIME). ------------------
+
+  if (resume_phase == "rcqp-ind") {
+    return Status::InvalidArgument(
+        "checkpoint phase \"rcqp-ind\" does not apply: this instance takes "
+        "the general path");
+  }
 
   // E1/E5 shortcut: every head variable of every satisfiable disjunct
   // ranges over a finite domain.
@@ -499,42 +660,92 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
     if (!all_finite) break;
   }
   if (all_finite) {
+    result.verdict = Verdict::kComplete;
     result.exists = true;
     result.method = "all-finite-domains";
     // Best-effort witness: chase the empty database to completeness.
-    Result<Database> chased = ChaseToCompleteness(
-        query, empty_db, master, constraints, /*max_rounds=*/256,
-        options.rcdp);
-    if (chased.ok()) result.witness = std::move(chased).value();
+    // The Exists decision stands regardless; a budget exhaustion here
+    // only costs the witness (noted in result.exhaustion).
+    Result<ChaseResult> chased = ChaseToCompleteness(
+        query, empty_db, master, constraints, /*max_rounds=*/256, inner_rcdp);
+    if (chased.ok()) {
+      if (chased->verdict == Verdict::kComplete) {
+        result.witness = std::move(chased->db);
+      } else if (chased->exhaustion.exhausted()) {
+        result.exhaustion = chased->exhaustion;
+      }
+    }
     return result;
   }
 
-  // Empty-database witness: D = ∅ complete?
-  RELCOMP_ASSIGN_OR_RETURN(
-      RcdpResult empty_rcdp,
-      DecideRcdp(query, empty_db, master, constraints, options.rcdp));
-  if (empty_rcdp.complete) {
-    result.exists = true;
-    result.witness = empty_db;
-    result.method = "empty-witness";
-    return result;
+  // Empty-database witness: D = ∅ complete? Skipped on a resume that
+  // checkpointed in a later phase (the interrupted run already decided
+  // it incomplete; both phases are deterministic).
+  if (resume_phase != "rcqp-chase" && resume_phase != "rcqp-pool") {
+    RcdpOptions empty_options = inner_rcdp;
+    std::optional<SearchCheckpoint> empty_inner;
+    if (resume_phase == "rcqp-empty" && !resume->payload.empty()) {
+      RELCOMP_ASSIGN_OR_RETURN(SearchCheckpoint inner,
+                               SearchCheckpoint::Deserialize(resume->payload));
+      empty_inner = std::move(inner);
+      empty_options.resume = &*empty_inner;
+    }
+    RELCOMP_ASSIGN_OR_RETURN(
+        RcdpResult empty_rcdp,
+        DecideRcdp(query, empty_db, master, constraints, empty_options));
+    if (empty_rcdp.verdict == Verdict::kUnknown) {
+      result.verdict = Verdict::kUnknown;
+      result.exists = false;
+      result.exhaustive = false;
+      result.method = "empty-witness";
+      result.exhaustion = empty_rcdp.exhaustion;
+      result.checkpoint = make_checkpoint(
+          "rcqp-empty", 0, 0,
+          empty_rcdp.checkpoint.has_value() ? empty_rcdp.checkpoint->Serialize()
+                                            : std::string());
+      return result;
+    }
+    if (empty_rcdp.complete) {
+      result.verdict = Verdict::kComplete;
+      result.exists = true;
+      result.witness = empty_db;
+      result.method = "empty-witness";
+      return result;
+    }
   }
 
   // Chase witness: grow the empty database by counterexamples; if the
-  // chase converges, the result is a verified complete database.
-  if (options.max_chase_rounds > 0) {
-    Result<Database> chased =
+  // chase converges, the result is a verified complete database. A
+  // "rcqp-chase" resume re-runs the chase from scratch — the partially
+  // chased database is not serializable into the checkpoint, and the
+  // chase is deterministic, so the re-run reaches the identical state.
+  if (options.max_chase_rounds > 0 && resume_phase != "rcqp-pool") {
+    RELCOMP_ASSIGN_OR_RETURN(
+        ChaseResult chased,
         ChaseToCompleteness(query, empty_db, master, constraints,
-                            options.max_chase_rounds, options.rcdp);
-    if (chased.ok()) {
+                            options.max_chase_rounds, inner_rcdp));
+    if (chased.verdict == Verdict::kComplete) {
+      result.verdict = Verdict::kComplete;
       result.exists = true;
-      result.witness = std::move(chased).value();
+      result.witness = std::move(chased.db);
       result.method = "chase-witness";
       return result;
     }
-    if (chased.status().code() != StatusCode::kResourceExhausted) {
-      return chased.status();
+    if (chased.exhaustion.kind != BudgetKind::kRounds) {
+      // A genuine budget/cancel exhaustion (not the rounds cap).
+      result.verdict = Verdict::kUnknown;
+      result.exists = false;
+      result.exhaustive = false;
+      result.method = "chase-witness";
+      result.exhaustion = chased.exhaustion;
+      result.checkpoint = make_checkpoint(
+          "rcqp-chase", chased.rounds, 0,
+          chased.checkpoint.has_value() ? chased.checkpoint->Serialize()
+                                        : std::string());
+      return result;
     }
+    // kRounds: the chase did not converge within its cap; fall through
+    // to the small-model pool search (the legacy behavior).
   }
 
   // Small-model witness search over the tableau-row instantiation pool.
@@ -543,16 +754,41 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
                            BuildPool(tableaux, cc_tableaux, adom,
                                      options.max_pool_size, &pool));
   size_t candidates_tried = 0;
-  bool budget_hit = false;
+  bool budget_hit = false;        // legacy max_candidates / max_bindings caps
+  bool budget_exhausted = false;  // ExecutionBudget (deadline/steps/memory/
+                                  // cancel) tripped
+  Status exhausted_status;
+  // Candidate leaves are enumerated in a deterministic order (size-
+  // iterative, lexicographic over pool indexes); a "rcqp-pool"
+  // checkpoint's rank counts the leaves the interrupted run fully
+  // judged, and a resumed call skips exactly those.
+  size_t leaf_index = 0;
+  size_t exhausted_rank = 0;
+  const size_t resume_skip =
+      resume_phase == "rcqp-pool" ? resume->rank : 0;
   std::optional<Database> found;
 
   std::vector<size_t> chosen;
   std::function<Result<bool>(size_t, size_t)> search =
       [&](size_t start, size_t remaining) -> Result<bool> {
-    if (found.has_value() || budget_hit) return true;
+    if (found.has_value() || budget_hit || budget_exhausted) return true;
     if (remaining == 0) {
+      const size_t my_leaf = leaf_index++;
+      if (my_leaf < resume_skip) return true;
+      if (budget != nullptr) {
+        // One counted decision point per candidate witness judged —
+        // the pool-search analogue of the valuation binding step.
+        Status st = budget->OnDecisionPoint();
+        if (!st.ok()) {
+          budget_exhausted = true;
+          exhausted_status = std::move(st);
+          exhausted_rank = my_leaf;
+          return true;
+        }
+      }
       if (++candidates_tried > options.max_candidates) {
         budget_hit = true;
+        exhausted_rank = my_leaf;
         return true;
       }
       Database candidate(db_schema);
@@ -563,13 +799,19 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
                                Satisfies(constraints, candidate, master));
       if (!closed) return true;
       Result<RcdpResult> rcdp =
-          DecideRcdp(query, candidate, master, constraints, options.rcdp);
-      if (!rcdp.ok()) {
-        if (rcdp.status().code() == StatusCode::kResourceExhausted) {
-          budget_hit = true;
-          return true;
+          DecideRcdp(query, candidate, master, constraints, inner_rcdp);
+      RELCOMP_RETURN_NOT_OK(rcdp.status());
+      if (rcdp->verdict == Verdict::kUnknown) {
+        // This leaf was not fully judged; a resumed call re-judges it
+        // from scratch (the inner RCDP is deterministic).
+        if (budget != nullptr && budget->exhausted()) {
+          budget_exhausted = true;
+          exhausted_status = budget->exhaustion_status();
+        } else {
+          budget_hit = true;  // inner legacy max_bindings cap
         }
-        return rcdp.status();
+        exhausted_rank = my_leaf;
+        return true;
       }
       if (rcdp->complete) found = std::move(candidate);
       return true;
@@ -580,7 +822,7 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
       RELCOMP_ASSIGN_OR_RETURN(bool ignored, search(i + 1, remaining - 1));
       (void)ignored;
       chosen.pop_back();
-      if (found.has_value() || budget_hit) break;
+      if (found.has_value() || budget_hit || budget_exhausted) break;
     }
     return true;
   };
@@ -588,18 +830,35 @@ Result<RcqpResult> DecideRcqp(const AnyQuery& query,
   for (size_t size = 1; size <= max_size; ++size) {
     RELCOMP_ASSIGN_OR_RETURN(bool ignored, search(0, size));
     (void)ignored;
-    if (found.has_value() || budget_hit) break;
+    if (found.has_value() || budget_hit || budget_exhausted) break;
   }
 
   result.method = "witness-search";
   if (found.has_value()) {
+    result.verdict = Verdict::kComplete;
     result.exists = true;
     result.witness = std::move(found);
     return result;
   }
   result.exists = false;
+  if (budget_exhausted) {
+    result.verdict = Verdict::kUnknown;
+    result.exhaustive = false;
+    result.exhaustion = ExhaustionFromStatus(exhausted_status, budget);
+    result.checkpoint =
+        make_checkpoint("rcqp-pool", 0, exhausted_rank, std::string());
+    return result;
+  }
   result.exhaustive = !truncated && !budget_hit &&
                       options.max_witness_tuples >= pool.size();
+  result.verdict =
+      result.exhaustive ? Verdict::kIncomplete : Verdict::kUnknown;
+  if (budget_hit) {
+    // Legacy-cap inconclusiveness is resumable too: a follow-up call
+    // gets a fresh max_candidates allowance from this leaf on.
+    result.checkpoint =
+        make_checkpoint("rcqp-pool", 0, exhausted_rank, std::string());
+  }
   return result;
 }
 

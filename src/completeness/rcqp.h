@@ -32,8 +32,20 @@ struct RcqpOptions {
   /// RCDP counterexample). Often finds multi-tuple witnesses the
   /// size-bounded pool search would miss. 0 disables.
   size_t max_chase_rounds = 32;
-  /// Options for the inner RCDP checks.
+  /// Options for the inner RCDP checks. The execution budget for the
+  /// whole RCQP call rides here (rcdp.budget): the IND realizability
+  /// probes, the chase rounds, the pool-candidate judgments, and every
+  /// inner RCDP search all claim decision points on that one budget.
   RcdpOptions rcdp;
+  /// Resume point from a prior kUnknown RcqpResult (not owned; may be
+  /// null). The checkpoint's decider names the phase it was minted in
+  /// ("rcqp-ind", "rcqp-empty", "rcqp-chase", "rcqp-pool"); the
+  /// resumed call replays the cheap syntactic phases, skips the work
+  /// the checkpoint covers, and continues — the final verdict and
+  /// witness are bit-for-bit those of an uninterrupted run. Note
+  /// rcdp.resume is NOT consulted by DecideRcqp; inner RCDP resume
+  /// state travels inside the checkpoint payload.
+  const SearchCheckpoint* resume = nullptr;
 };
 
 /// Per-head-variable boundedness diagnosis for the IND case (conditions
@@ -48,6 +60,12 @@ struct VariableBoundedness {
 
 /// The decision plus evidence.
 struct RcqpResult {
+  /// kComplete: RCQ(Q, Dm, V) is nonempty (exists). kIncomplete: it is
+  /// provably empty (exhaustive NotExists). kUnknown: a budget/cancel
+  /// exhaustion — or a non-exhaustive pool search — stopped short of a
+  /// decision; `exhaustion` says why and `checkpoint` (when present)
+  /// resumes the search.
+  Verdict verdict = Verdict::kIncomplete;
   /// Is RCQ(Q, Dm, V) nonempty?
   bool exists = false;
   /// When exists and a witness was constructed: a database complete for
@@ -65,6 +83,13 @@ struct RcqpResult {
   /// "empty-witness", "chase-witness", "witness-search",
   /// "no-partially-closed-database", "unsatisfiable-query".
   std::string method;
+  /// kUnknown only: why the search stopped. Also set (with verdict
+  /// kComplete) when only the best-effort witness construction — not
+  /// the decision itself — ran out of budget; `witness` is then absent.
+  ExhaustionInfo exhaustion;
+  /// kUnknown with a budget exhaustion: where to pick the search up
+  /// (pass as RcqpOptions::resume with a rearmed or fresh budget).
+  std::optional<SearchCheckpoint> checkpoint;
 
   std::string ToString() const;
 };

@@ -156,6 +156,17 @@ bool ValuationEnumerator::Recurse(
       *stopped = true;
       return false;
     }
+    if (options_.budget != nullptr) {
+      // One counted decision point per binding step, claimed on the
+      // shared budget so serial and parallel runs exhaust after the
+      // same amount of total work.
+      Status bst = options_.budget->OnDecisionPoint();
+      if (!bst.ok()) {
+        failure_ = std::move(bst);
+        *stopped = true;
+        return false;
+      }
+    }
     ++stats_.bindings_tried;
     size_t used = stats_.bindings_tried;
     if (options_.shared_bindings != nullptr) {
@@ -242,6 +253,10 @@ enum class UnitState : uint8_t {
   kHit,
   kAborted,
   kCancelled,
+  /// The execution budget (or legacy shared max_bindings cap) blew
+  /// while this unit was in flight; its unsearched remainder is
+  /// covered by the resume checkpoint.
+  kBudget,
 };
 
 struct UnitInfo {
@@ -266,6 +281,13 @@ void ParallelValuationSearch(
   if (!tableau.satisfiable()) return;
 
   const size_t threads = std::max<size_t>(1, parallel_options.num_threads);
+  ExecutionBudget* budget = enum_options.budget;
+  // Controlled runs (budget, binding cap, or resume) always go through
+  // the unit partition — with a thread-count-independent unit target —
+  // so the counted decision points and rank checkpoints are identical
+  // in serial and parallel mode.
+  const bool controlled = budget != nullptr || enum_options.max_bindings > 0 ||
+                          parallel_options.resume_rank > 0;
 
   // Plan the partition on a probe enumerator (order and candidate
   // lists are shard-independent, so the probe sees exactly what every
@@ -273,9 +295,12 @@ void ParallelValuationSearch(
   // enough units, on the first two otherwise.
   ValuationEnumerator::Options probe_options = enum_options;
   probe_options.shard_depth = 0;
+  probe_options.budget = nullptr;
   ValuationEnumerator probe(&tableau, &adom, probe_options);
   const size_t target_units =
-      threads * std::max<size_t>(1, parallel_options.units_per_thread);
+      controlled
+          ? kControlledUnits
+          : threads * std::max<size_t>(1, parallel_options.units_per_thread);
   size_t depth = 0;
   if (!probe.order().empty()) {
     depth = 1;
@@ -284,7 +309,10 @@ void ParallelValuationSearch(
     }
   }
   const size_t total = probe.PrefixSpace(depth);
-  const size_t num_units = std::min(total, target_units);
+  outcome->total_ranks = total;
+  const size_t begin_rank = std::min(parallel_options.resume_rank, total);
+  const size_t span = total - begin_rank;
+  const size_t num_units = std::min(span, target_units);
 
   auto run_serial = [&]() {
     ValuationEnumerator enumerator(&tableau, &adom, enum_options);
@@ -310,17 +338,28 @@ void ParallelValuationSearch(
       outcome->found = true;
       outcome->winner_worker = 0;
       outcome->winner_unit = 0;
+    } else {
+      outcome->next_rank = total;
     }
   };
-  if (threads <= 1 || num_units <= 1) {
+  if (!controlled && (threads <= 1 || num_units <= 1)) {
+    // Budget-free fast path: one enumerator over the whole space, no
+    // per-unit prefix re-binding, no decision-point overhead.
     run_serial();
+    return;
+  }
+  if (num_units == 0) {
+    // Resumed at (or past) the end of the rank space: every rank was
+    // already searched by the interrupted run(s).
+    outcome->next_rank = total;
+    outcome->threads_used = 1;
     return;
   }
 
   std::vector<UnitInfo> units(num_units);
   for (size_t u = 0; u < num_units; ++u) {
-    units[u].begin = u * total / num_units;
-    units[u].end = (u + 1) * total / num_units;
+    units[u].begin = begin_rank + u * span / num_units;
+    units[u].end = begin_rank + (u + 1) * span / num_units;
   }
   const size_t num_workers = std::min(threads, num_units);
 
@@ -364,7 +403,15 @@ void ParallelValuationSearch(
       ParallelUnitResult unit_result = epilogue(w);
       units[u].worker = w;
 
-      if (!unit_result.status.ok()) {
+      // An exhausted shared budget — whether it surfaced through the
+      // enumerator or through a callback's own budgeted evaluation —
+      // is a global stop: no in-flight unit can be trusted to have
+      // exhausted its shard. A user CancelToken routed through the
+      // budget lands here too (budget->exhausted() is its sticky
+      // record), so user cancellation is never misread as the driver's
+      // internal lowest-unit-wins stop below.
+      const bool budget_exhausted = budget != nullptr && budget->exhausted();
+      if (!unit_result.status.ok() && !budget_exhausted) {
         // A deterministic callback failure at unit u: it takes
         // precedence over the enumerator's own status (matching the
         // serial deciders) and participates in winner resolution
@@ -372,14 +419,27 @@ void ParallelValuationSearch(
         // it at the same point in enumeration order.
         units[u].state = UnitState::kAborted;
         units[u].status = unit_result.status;
+      } else if (st.ok() && unit_result.status.ok() && unit_result.found) {
+        // A genuine in-shard hit: the unit ran to its own stopping
+        // point, so it stands even if the budget blew elsewhere
+        // concurrently (resolution still requires every lower unit to
+        // have exhausted).
+        units[u].state = UnitState::kHit;
+      } else if (budget_exhausted) {
+        units[u].state = UnitState::kBudget;
+        units[u].status = budget->exhaustion_status();
+        budget_blown.store(true, std::memory_order_release);
+        for (auto& s : stops) s.request_stop();
+        break;
       } else if (!st.ok() && st.code() == StatusCode::kCancelled) {
+        // Internal lowest-unit-wins cancellation (another unit already
+        // won); swallowed by design.
         units[u].state = UnitState::kCancelled;
         ++worker_stats[w].work_units_cancelled;
         break;
       } else if (!st.ok() && st.code() == StatusCode::kResourceExhausted) {
-        // The shared budget is a global failure: no unit can be trusted
-        // to have exhausted its shard, so every worker stops.
-        units[u].state = UnitState::kAborted;
+        // Legacy shared max_bindings cap without an ExecutionBudget.
+        units[u].state = UnitState::kBudget;
         units[u].status = st;
         budget_blown.store(true, std::memory_order_release);
         for (auto& s : stops) s.request_stop();
@@ -387,8 +447,6 @@ void ParallelValuationSearch(
       } else if (!st.ok()) {
         units[u].state = UnitState::kAborted;
         units[u].status = st;
-      } else if (unit_result.found) {
-        units[u].state = UnitState::kHit;
       } else {
         units[u].state = UnitState::kExhausted;
         continue;
@@ -408,7 +466,13 @@ void ParallelValuationSearch(
     }
   };
 
-  {
+  if (num_workers == 1) {
+    // Controlled serial mode: the single worker claims and runs the
+    // units in index order on the calling thread — the same unit
+    // partition, decision points, and classification as the parallel
+    // mode, without spawning a thread.
+    worker_fn(0);
+  } else {
     std::vector<std::jthread> pool;
     pool.reserve(num_workers);
     for (size_t w = 0; w < num_workers; ++w) {
@@ -436,12 +500,25 @@ void ParallelValuationSearch(
       case UnitState::kAborted:
         outcome->failure = unit.status;
         return;
+      case UnitState::kBudget:
+        // Every lower unit exhausted without a hit, so this unit's
+        // begin rank is a sound resume point.
+        outcome->exhausted = true;
+        outcome->next_rank = unit.begin;
+        outcome->failure = unit.status;
+        return;
       case UnitState::kPending:
       case UnitState::kCancelled:
+        outcome->next_rank = unit.begin;
         if (budget_blown.load(std::memory_order_acquire)) {
-          outcome->failure = Status::ResourceExhausted(
-              StrCat("valuation search exceeded ", enum_options.max_bindings,
-                     " binding steps (shared across workers)"));
+          outcome->exhausted = true;
+          outcome->failure =
+              budget != nullptr
+                  ? budget->exhaustion_status()
+                  : Status::ResourceExhausted(
+                        StrCat("valuation search exceeded ",
+                               enum_options.max_bindings,
+                               " binding steps (shared across workers)"));
         } else {
           outcome->failure = Status::Internal(
               "parallel valuation search left a work unit unresolved "
@@ -450,6 +527,8 @@ void ParallelValuationSearch(
         return;
     }
   }
+  // Every unit exhausted: the whole rank space was searched.
+  outcome->next_rank = total;
 }
 
 }  // namespace relcomp

@@ -13,6 +13,7 @@
 #include "completeness/active_domain.h"
 #include "eval/bindings.h"
 #include "tableau/tableau.h"
+#include "util/execution_control.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -103,6 +104,11 @@ class ValuationEnumerator {
     /// shared atomic counter (incremented once per binding step) so
     /// concurrent workers respect one global cap.
     std::atomic<size_t>* shared_bindings = nullptr;
+    /// Optional shared execution budget (not owned). Claims one
+    /// decision point per binding step; an exhausted budget aborts the
+    /// enumeration with the budget's sticky status (kResourceExhausted
+    /// for deadline/steps/memory, kCancelled for a user CancelToken).
+    ExecutionBudget* budget = nullptr;
   };
 
   ValuationEnumerator(const TableauQuery* tableau, const ActiveDomain* adom,
@@ -173,6 +179,11 @@ struct ParallelSearchOptions {
   /// Target work units per worker; more units = better load balancing,
   /// more per-unit setup (one enumerator construction each).
   size_t units_per_thread = 4;
+  /// Resume support: skip every rank below this value (a prior run's
+  /// ParallelSearchOutcome::next_rank). Ranks are absolute positions
+  /// in the flattened prefix space, which is identical across thread
+  /// counts in budget-controlled runs (see kControlledUnits).
+  size_t resume_rank = 0;
 };
 
 /// Aggregated outcome of a parallel search.
@@ -191,7 +202,29 @@ struct ParallelSearchOutcome {
   /// or the shared binding budget), OK otherwise. Kept out of the
   /// return Status so callers can merge stats before propagating.
   Status failure;
+  /// Rank-space bookkeeping for checkpoint/resume: the size of the
+  /// flattened prefix space the search partitions, and the lowest rank
+  /// not yet fully searched — equal to total_ranks after a complete
+  /// (exhaustive or found) run, and the sound resume point after a
+  /// budget exhaustion (every rank below it was searched without a
+  /// hit).
+  size_t total_ranks = 0;
+  size_t next_rank = 0;
+  /// True when the search stopped because the execution budget (or the
+  /// legacy shared max_bindings cap) was exhausted or a user
+  /// CancelToken fired; `failure` then holds the exhaustion status.
+  /// Distinguishes user cancellation from the driver's internal
+  /// lowest-unit-wins stop_token cancellation, which is never
+  /// surfaced.
+  bool exhausted = false;
 };
+
+/// Number of work units used whenever a run is budget-controlled
+/// (budget, max_bindings cap, or resume). Independent of num_threads
+/// so the unit partition — and with it the set of counted decision
+/// points and the rank checkpoints — is identical at every thread
+/// count.
+inline constexpr size_t kControlledUnits = 16;
 
 /// Runs the valuation search over `tableau` split into contiguous
 /// work units of the flattened rank space of the first one-or-two

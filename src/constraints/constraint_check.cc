@@ -167,6 +167,11 @@ Result<CompiledConstraintCheck> CompiledConstraintCheck::Make(
 Result<bool> CompiledConstraintCheck::Satisfied(
     const DatabaseOverlay& view,
     const ConjunctiveEvalOptions& options) const {
+  // One counted decision point per constraint check, in lockstep with
+  // the valuation search's per-binding points.
+  if (options.budget != nullptr) {
+    RELCOMP_RETURN_NOT_OK(options.budget->OnDecisionPoint());
+  }
   for (const Entry& entry : entries_) {
     const Relation* target = entry.empty_target ? nullptr : &entry.target;
     for (const ConjunctiveQuery& cq : entry.ucq.disjuncts()) {
@@ -231,6 +236,9 @@ DeltaConstraintChecker::Session::Session(
     // and its $ccdelta alias; the base — with its column indexes — is
     // never copied.
     view_.emplace(&base);
+    if (eval_options_.budget != nullptr) {
+      view_->set_memory_tracker(eval_options_.budget);
+    }
   } else {
     work_.emplace(checker->extended_schema_);
     for (const std::string& name : checker->base_schema_->relation_names()) {
@@ -250,6 +258,11 @@ const Relation& DeltaConstraintChecker::Session::TargetFor(size_t cc_index) {
 
 Result<bool> DeltaConstraintChecker::Session::Check(
     const std::vector<std::pair<std::string, Tuple>>& delta) {
+  // One counted decision point per delta check (see
+  // CompiledConstraintCheck::Satisfied).
+  if (eval_options_.budget != nullptr) {
+    RELCOMP_RETURN_NOT_OK(eval_options_.budget->OnDecisionPoint());
+  }
   if (use_overlay_) {
     view_->Clear();
     for (const auto& [relation, tuple] : delta) {

@@ -10,6 +10,7 @@
 #include "relational/database.h"
 #include "relational/database_overlay.h"
 #include "relational/relation.h"
+#include "util/execution_control.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -53,6 +54,11 @@ struct ConjunctiveEvalOptions {
   bool use_indexes = true;
   /// Optional sink for work counters (not owned; may be null).
   EvalCounters* counters = nullptr;
+  /// Optional shared execution budget (not owned; may be null). The
+  /// constraint-check entry points (DeltaConstraintChecker::Session,
+  /// CompiledConstraintCheck) claim one decision point per check call
+  /// against it; plain evaluation does not consume points.
+  ExecutionBudget* budget = nullptr;
 };
 
 /// Evaluates a CQ over `db`, returning the set of head tuples Q(D).

@@ -35,6 +35,14 @@ struct Token {
   size_t pos = 0;
 };
 
+/// Hostile-input guards: the formula grammar is recursive (parens, !,
+/// quantifiers), so unchecked depth is a stack overflow on inputs like
+/// "((((…" or "!!!!…"; argument lists bound the arities fed into
+/// schemas and tableaux downstream. Both overruns must surface as
+/// kInvalidArgument with an offset, never as a crash.
+constexpr size_t kMaxFormulaDepth = 256;
+constexpr size_t kMaxArgs = 4096;
+
 class Lexer {
  public:
   explicit Lexer(std::string_view input) : input_(input) {}
@@ -215,6 +223,11 @@ Result<std::vector<Term>> ParseArgList(Cursor* cur, int* anon_counter) {
   std::vector<Term> args;
   if (cur->TryConsume(TokKind::kRParen)) return args;
   while (true) {
+    if (args.size() >= kMaxArgs) {
+      return Status::InvalidArgument(
+          StrCat("argument list exceeds ", kMaxArgs, " terms at offset ",
+                 cur->Peek().pos));
+    }
     RELCOMP_ASSIGN_OR_RETURN(Term t, ParseTerm(cur, anon_counter));
     args.push_back(std::move(t));
     if (cur->TryConsume(TokKind::kRParen)) break;
@@ -300,19 +313,26 @@ Result<std::vector<DatalogRule>> ParseRuleList(std::string_view text) {
 // ---------------------------------------------------------------------------
 // FO formula parsing: precedence ! > & > |, quantifiers extend right.
 
-Result<FormulaPtr> ParseFormula(Cursor* cur, int* anon_counter);
+Result<FormulaPtr> ParseFormula(Cursor* cur, int* anon_counter, size_t depth);
 
-Result<FormulaPtr> ParseFormulaPrimary(Cursor* cur, int* anon_counter) {
+Result<FormulaPtr> ParseFormulaPrimary(Cursor* cur, int* anon_counter,
+                                       size_t depth) {
   const Token& t = cur->Peek();
+  if (depth > kMaxFormulaDepth) {
+    return Status::InvalidArgument(
+        StrCat("formula nesting exceeds depth ", kMaxFormulaDepth,
+               " at offset ", t.pos));
+  }
   if (t.kind == TokKind::kNot) {
     cur->Next();
-    RELCOMP_ASSIGN_OR_RETURN(FormulaPtr sub,
-                             ParseFormulaPrimary(cur, anon_counter));
+    RELCOMP_ASSIGN_OR_RETURN(
+        FormulaPtr sub, ParseFormulaPrimary(cur, anon_counter, depth + 1));
     return Formula::MakeNot(std::move(sub));
   }
   if (t.kind == TokKind::kLParen) {
     cur->Next();
-    RELCOMP_ASSIGN_OR_RETURN(FormulaPtr sub, ParseFormula(cur, anon_counter));
+    RELCOMP_ASSIGN_OR_RETURN(FormulaPtr sub,
+                             ParseFormula(cur, anon_counter, depth + 1));
     RELCOMP_RETURN_NOT_OK(cur->Expect(TokKind::kRParen, "')'"));
     return sub;
   }
@@ -330,7 +350,8 @@ Result<FormulaPtr> ParseFormulaPrimary(Cursor* cur, int* anon_counter) {
           StrCat("quantifier without variables at offset ", t.pos));
     }
     RELCOMP_RETURN_NOT_OK(cur->Expect(TokKind::kDot, "'.'"));
-    RELCOMP_ASSIGN_OR_RETURN(FormulaPtr sub, ParseFormula(cur, anon_counter));
+    RELCOMP_ASSIGN_OR_RETURN(FormulaPtr sub,
+                             ParseFormula(cur, anon_counter, depth + 1));
     return is_exists ? Formula::MakeExists(std::move(vars), std::move(sub))
                      : Formula::MakeForall(std::move(vars), std::move(sub));
   }
@@ -339,26 +360,27 @@ Result<FormulaPtr> ParseFormulaPrimary(Cursor* cur, int* anon_counter) {
   return Formula::MakeAtom(std::move(a));
 }
 
-Result<FormulaPtr> ParseFormulaAnd(Cursor* cur, int* anon_counter) {
+Result<FormulaPtr> ParseFormulaAnd(Cursor* cur, int* anon_counter,
+                                   size_t depth) {
   RELCOMP_ASSIGN_OR_RETURN(FormulaPtr first,
-                           ParseFormulaPrimary(cur, anon_counter));
+                           ParseFormulaPrimary(cur, anon_counter, depth));
   std::vector<FormulaPtr> children = {std::move(first)};
   while (cur->TryConsume(TokKind::kAnd)) {
     RELCOMP_ASSIGN_OR_RETURN(FormulaPtr next,
-                             ParseFormulaPrimary(cur, anon_counter));
+                             ParseFormulaPrimary(cur, anon_counter, depth));
     children.push_back(std::move(next));
   }
   if (children.size() == 1) return std::move(children.front());
   return Formula::MakeAnd(std::move(children));
 }
 
-Result<FormulaPtr> ParseFormula(Cursor* cur, int* anon_counter) {
+Result<FormulaPtr> ParseFormula(Cursor* cur, int* anon_counter, size_t depth) {
   RELCOMP_ASSIGN_OR_RETURN(FormulaPtr first,
-                           ParseFormulaAnd(cur, anon_counter));
+                           ParseFormulaAnd(cur, anon_counter, depth));
   std::vector<FormulaPtr> children = {std::move(first)};
   while (cur->TryConsume(TokKind::kOr)) {
     RELCOMP_ASSIGN_OR_RETURN(FormulaPtr next,
-                             ParseFormulaAnd(cur, anon_counter));
+                             ParseFormulaAnd(cur, anon_counter, depth));
     children.push_back(std::move(next));
   }
   if (children.size() == 1) return std::move(children.front());
@@ -428,7 +450,7 @@ Result<FoQuery> ParseFoQuery(std::string_view text) {
   }
   RELCOMP_RETURN_NOT_OK(cur.Expect(TokKind::kDefine, "':='"));
   RELCOMP_ASSIGN_OR_RETURN(FormulaPtr formula,
-                           ParseFormula(&cur, &anon_counter));
+                           ParseFormula(&cur, &anon_counter, /*depth=*/0));
   cur.TryConsume(TokKind::kDot);
   if (!cur.AtEnd()) {
     return Status::InvalidArgument(

@@ -25,6 +25,11 @@ bool DatabaseOverlay::Add(std::string_view relation, Tuple t) {
       it->second.end()) {
     return false;
   }
+  if (tracker_ != nullptr) {
+    size_t bytes = t.ApproxBytes();
+    tracker_->TrackBytes(bytes);
+    tracked_bytes_ += bytes;
+  }
   it->second.push_back(std::move(t));
   ++pending_count_;
   return true;
@@ -33,6 +38,10 @@ bool DatabaseOverlay::Add(std::string_view relation, Tuple t) {
 void DatabaseOverlay::Clear() {
   for (auto& [name, staged] : pending_) staged.clear();
   pending_count_ = 0;
+  if (tracker_ != nullptr && tracked_bytes_ > 0) {
+    tracker_->ReleaseBytes(tracked_bytes_);
+    tracked_bytes_ = 0;
+  }
 }
 
 bool DatabaseOverlay::Contains(std::string_view relation,

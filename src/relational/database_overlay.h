@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "relational/database.h"
+#include "util/execution_control.h"
 
 namespace relcomp {
 
@@ -26,8 +27,50 @@ namespace relcomp {
 class DatabaseOverlay {
  public:
   explicit DatabaseOverlay(const Database* base) : base_(base) {}
+  ~DatabaseOverlay() {
+    if (tracker_ != nullptr && tracked_bytes_ > 0) {
+      tracker_->ReleaseBytes(tracked_bytes_);
+    }
+  }
+  /// Non-copyable once trackers exist (a copy would double-release its
+  /// byte charge); movable — the move transfers the charge.
+  DatabaseOverlay(const DatabaseOverlay&) = delete;
+  DatabaseOverlay& operator=(const DatabaseOverlay&) = delete;
+  DatabaseOverlay(DatabaseOverlay&& other) noexcept
+      : base_(other.base_),
+        pending_(std::move(other.pending_)),
+        pending_count_(other.pending_count_),
+        tracker_(other.tracker_),
+        tracked_bytes_(other.tracked_bytes_) {
+    other.pending_count_ = 0;
+    other.tracker_ = nullptr;
+    other.tracked_bytes_ = 0;
+  }
+  DatabaseOverlay& operator=(DatabaseOverlay&& other) noexcept {
+    if (this != &other) {
+      if (tracker_ != nullptr && tracked_bytes_ > 0) {
+        tracker_->ReleaseBytes(tracked_bytes_);
+      }
+      base_ = other.base_;
+      pending_ = std::move(other.pending_);
+      pending_count_ = other.pending_count_;
+      tracker_ = other.tracker_;
+      tracked_bytes_ = other.tracked_bytes_;
+      other.pending_count_ = 0;
+      other.tracker_ = nullptr;
+      other.tracked_bytes_ = 0;
+    }
+    return *this;
+  }
 
   const Database& base() const { return *base_; }
+
+  /// Attaches an ExecutionBudget-style byte tracker (not owned; may be
+  /// null). Add() charges each staged tuple's approximate footprint;
+  /// Clear() releases the whole charge. The tracker never fails in
+  /// place — a tripped memory limit surfaces at the owner's next
+  /// decision point — so overlay staging itself stays infallible.
+  void set_memory_tracker(ExecutionBudget* tracker) { tracker_ = tracker; }
 
   /// Stages `t` for insertion into `relation`. Returns true if the
   /// tuple is new, false if it is already in the base or staged.
@@ -69,6 +112,10 @@ class DatabaseOverlay {
   /// Staged inserts per relation; vectors keep capacity across Clear().
   std::map<std::string, std::vector<Tuple>, std::less<>> pending_;
   size_t pending_count_ = 0;
+  /// Optional byte tracker (see set_memory_tracker) and the charge
+  /// currently held against it.
+  ExecutionBudget* tracker_ = nullptr;
+  size_t tracked_bytes_ = 0;
 };
 
 }  // namespace relcomp

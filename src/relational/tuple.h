@@ -47,6 +47,13 @@ class Tuple {
     return h;
   }
 
+  /// Rough heap footprint for ExecutionBudget memory tracking.
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(Tuple);
+    for (const Value& v : values_) bytes += v.ApproxBytes();
+    return bytes;
+  }
+
  private:
   std::vector<Value> values_;
 };

@@ -73,6 +73,12 @@ class Value {
     return std::hash<std::string>()(str_) ^ 0x5851f42d4c957f2dULL;
   }
 
+  /// Rough heap footprint, used for ExecutionBudget memory tracking
+  /// (an accounting estimate, not allocator truth).
+  size_t ApproxBytes() const {
+    return sizeof(Value) + (kind_ == Kind::kString ? str_.capacity() : 0);
+  }
+
  private:
   Kind kind_;
   int64_t int_ = 0;

@@ -87,6 +87,21 @@ class ValueInterner {
   /// Total number of interned values across both ranges.
   size_t size() const { return low_.size() + high_.size(); }
 
+  /// Rough heap footprint of the interned value tables, used by the
+  /// deciders to charge interner growth against an ExecutionBudget
+  /// (the delta of ApproxBytes() around a growth phase).
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(ValueInterner);
+    for (const Value& v : low_) bytes += v.ApproxBytes();
+    for (const Value& v : high_) bytes += v.ApproxBytes();
+    // Hash-map entries: key + id + bucket bookkeeping, estimated.
+    bytes += ints_.size() * (sizeof(int64_t) + sizeof(ValueId) + 16);
+    for (const auto& [s, id] : strings_) {
+      bytes += s.capacity() + sizeof(ValueId) + 16;
+    }
+    return bytes;
+  }
+
   /// Enters/leaves the frozen (concurrent read-only) phase. Nests:
   /// freeze counts are balanced, so a decider freezing a database whose
   /// interner another decider already froze stays safe. While frozen,

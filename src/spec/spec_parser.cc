@@ -14,6 +14,13 @@ Status LineError(size_t line, const std::string& message) {
   return Status::InvalidArgument(StrCat("spec line ", line, ": ", message));
 }
 
+/// Hostile-input guards. Relation arities bound every downstream tuple
+/// and tableau width; int(N) domains materialize N values eagerly, so
+/// an unchecked N is a memory bomb. Overruns are kInvalidArgument with
+/// the line number, never a crash or an allocation stall.
+constexpr size_t kMaxSpecArity = 4096;
+constexpr int64_t kMaxFiniteDomainSize = 1 << 20;
+
 /// Strips a trailing comment (% or #) outside of string literals.
 std::string StripComment(std::string_view line) {
   std::string out;
@@ -51,6 +58,10 @@ Result<RelationSchema> ParseRelationDecl(std::string_view text, size_t line) {
   std::string_view args = text.substr(open + 1, close - open - 1);
   if (!TrimWhitespace(args).empty()) {
     for (const std::string& piece : SplitAndTrim(args, ',')) {
+      if (attrs.size() >= kMaxSpecArity) {
+        return LineError(line, StrCat("relation ", name, " exceeds the arity "
+                                      "limit of ", kMaxSpecArity));
+      }
       size_t colon = piece.find(':');
       std::string attr_name =
           std::string(TrimWhitespace(piece.substr(0, colon)));
@@ -70,6 +81,11 @@ Result<RelationSchema> ParseRelationDecl(std::string_view text, size_t line) {
         int64_t n = 0;
         if (!ParseInt64(domain.substr(4, domain.size() - 5), &n) || n < 1) {
           return LineError(line, StrCat("bad finite domain: ", domain));
+        }
+        if (n > kMaxFiniteDomainSize) {
+          return LineError(
+              line, StrCat("finite domain int(", n, ") exceeds the limit of ",
+                           kMaxFiniteDomainSize, " values"));
         }
         attrs.push_back(AttributeDef::Over(
             attr_name, Domain::FiniteInts(StrCat("int", n), n)));

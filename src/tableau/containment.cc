@@ -84,6 +84,11 @@ Result<bool> ContainedByEnumeration(const TableauQuery& t1,
   std::function<Result<bool>(size_t)> recurse =
       [&](size_t i) -> Result<bool> {
     if (!contained) return true;
+    if (options.budget != nullptr) {
+      // One counted decision point per valuation node, mirroring the
+      // deciders' per-binding points.
+      RELCOMP_RETURN_NOT_OK(options.budget->OnDecisionPoint());
+    }
     if (i == vars.size()) {
       if (!t1.IsValidValuation(valuation)) return true;  // not a q1 match
       Database db(std::shared_ptr<const Schema>(&schema,

@@ -4,6 +4,7 @@
 #include "query/conjunctive_query.h"
 #include "query/union_query.h"
 #include "relational/schema.h"
+#include "util/execution_control.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -15,6 +16,11 @@ struct ContainmentOptions {
   /// contained query's variables; the number of partitions is the Bell
   /// number, so we cap the variable count.
   size_t max_partition_variables = 12;
+  /// Optional shared execution budget (not owned; may be null). The
+  /// enumeration path claims one decision point per valuation node
+  /// visited; exhaustion surfaces as the budget's status (the
+  /// containment check itself has no partial verdict to degrade to).
+  ExecutionBudget* budget = nullptr;
 };
 
 /// Decides Q1 ⊆ Q2 over all database instances (Chandra-Merlin, NP).

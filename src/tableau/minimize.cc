@@ -47,6 +47,7 @@ Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q,
   RELCOMP_RETURN_NOT_OK(q.Validate(schema));
   ContainmentOptions containment;
   containment.max_partition_variables = options.max_partition_variables;
+  containment.budget = options.budget;
 
   ConjunctiveQuery current = q;
   bool changed = true;
@@ -56,6 +57,10 @@ Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q,
       if (!current.body()[i].is_relation()) continue;
       if (current.RelationAtoms().size() <= 1) break;
       if (!DropKeepsSafety(current, i)) continue;
+      if (options.budget != nullptr) {
+        // One counted decision point per candidate atom drop.
+        RELCOMP_RETURN_NOT_OK(options.budget->OnDecisionPoint());
+      }
       ConjunctiveQuery candidate = WithoutAtom(current, i);
       // Dropping an atom can only widen the query (candidate ⊇ current
       // by monotonicity); equivalence needs candidate ⊆ current.

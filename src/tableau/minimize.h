@@ -3,6 +3,7 @@
 
 #include "query/conjunctive_query.h"
 #include "relational/schema.h"
+#include "util/execution_control.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -13,6 +14,10 @@ struct MinimizeOptions {
   /// the identification-pattern path, bounded by this variable cap
   /// (see ContainmentOptions).
   size_t max_partition_variables = 12;
+  /// Optional shared execution budget (not owned; may be null): one
+  /// decision point per candidate atom drop, plus the containment
+  /// checker's own points. Exhaustion surfaces as the budget's status.
+  ExecutionBudget* budget = nullptr;
 };
 
 /// Computes an equivalent minimal conjunctive query (the core of the

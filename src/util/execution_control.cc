@@ -1,0 +1,210 @@
+#include "util/execution_control.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/str.h"
+
+namespace relcomp {
+
+const char* BudgetKindToString(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::kNone: return "none";
+    case BudgetKind::kDeadline: return "deadline";
+    case BudgetKind::kSteps: return "steps";
+    case BudgetKind::kMemory: return "memory";
+    case BudgetKind::kCancel: return "cancel";
+    case BudgetKind::kRounds: return "rounds";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status StatusForKind(BudgetKind kind, size_t at_point) {
+  switch (kind) {
+    case BudgetKind::kCancel:
+      return Status::Cancelled(
+          StrCat("execution cancelled by caller at decision point ",
+                 at_point));
+    case BudgetKind::kDeadline:
+      return Status::ResourceExhausted(
+          StrCat("wall-clock deadline exceeded at decision point ",
+                 at_point));
+    case BudgetKind::kSteps:
+      return Status::ResourceExhausted(
+          StrCat("decision-step budget exhausted at decision point ",
+                 at_point));
+    case BudgetKind::kMemory:
+      return Status::ResourceExhausted(
+          StrCat("tracked-memory budget exhausted at decision point ",
+                 at_point));
+    case BudgetKind::kRounds:
+      return Status::ResourceExhausted(
+          StrCat("round budget exhausted at round ", at_point));
+    case BudgetKind::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExecutionBudget::Exhaust(BudgetKind kind, size_t at_point) {
+  // First trip wins; later trips (possibly from other workers) adopt
+  // the recorded kind so every caller unwinds with the same story.
+  uint8_t expected = static_cast<uint8_t>(BudgetKind::kNone);
+  if (exhausted_kind_.compare_exchange_strong(
+          expected, static_cast<uint8_t>(kind), std::memory_order_acq_rel)) {
+    exhausted_at_.store(at_point, std::memory_order_release);
+    return StatusForKind(kind, at_point);
+  }
+  return exhaustion_status();
+}
+
+Status ExecutionBudget::OnDecisionPoint() {
+  uint8_t k = exhausted_kind_.load(std::memory_order_acquire);
+  if (k != static_cast<uint8_t>(BudgetKind::kNone)) {
+    return StatusForKind(static_cast<BudgetKind>(k),
+                         exhausted_at_.load(std::memory_order_acquire));
+  }
+  const size_t point = steps_.fetch_add(1, std::memory_order_relaxed);
+  if (injector_ != nullptr) {
+    BudgetKind injected = injector_->Observe(point);
+    if (injected != BudgetKind::kNone) return Exhaust(injected, point);
+  }
+  if (cancel_.cancel_requested()) {
+    return Exhaust(BudgetKind::kCancel, point);
+  }
+  if (max_steps_ > 0 && point + 1 > max_steps_) {
+    return Exhaust(BudgetKind::kSteps, point);
+  }
+  if (max_bytes_ > 0 &&
+      tracked_bytes_.load(std::memory_order_relaxed) > max_bytes_) {
+    return Exhaust(BudgetKind::kMemory, point);
+  }
+  if (deadline_.has_value() && point % kDeadlineStride == 0 &&
+      std::chrono::steady_clock::now() > *deadline_) {
+    return Exhaust(BudgetKind::kDeadline, point);
+  }
+  return Status::OK();
+}
+
+Status ExecutionBudget::exhaustion_status() const {
+  BudgetKind kind = exhausted_kind();
+  if (kind == BudgetKind::kNone) return Status::OK();
+  return StatusForKind(kind, exhausted_at_.load(std::memory_order_acquire));
+}
+
+// --- SearchCheckpoint ------------------------------------------------
+
+namespace {
+constexpr char kCheckpointMagic[] = "relcomp-ckpt/1";
+}  // namespace
+
+std::string SearchCheckpoint::Serialize() const {
+  char fp[17];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return StrCat(kCheckpointMagic, " ", decider, " ", disjunct, " ", rank,
+                " ", fp, " ", payload.size(), ":", payload);
+}
+
+Result<SearchCheckpoint> SearchCheckpoint::Deserialize(
+    std::string_view text) {
+  auto fail = [&](std::string_view why) {
+    return Status::InvalidArgument(
+        StrCat("malformed checkpoint (", std::string(why), "): ",
+               std::string(text.substr(0, 64))));
+  };
+  auto take_field = [&]() -> std::optional<std::string_view> {
+    size_t sp = text.find(' ');
+    if (sp == std::string_view::npos) return std::nullopt;
+    std::string_view field = text.substr(0, sp);
+    text.remove_prefix(sp + 1);
+    return field;
+  };
+  auto magic = take_field();
+  if (!magic.has_value() || *magic != kCheckpointMagic) {
+    return fail("bad magic");
+  }
+  auto decider = take_field();
+  if (!decider.has_value() || decider->empty()) return fail("no decider");
+  SearchCheckpoint ckpt;
+  ckpt.decider = std::string(*decider);
+  auto parse_sz = [&](std::string_view field, size_t* out) {
+    auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), *out);
+    return ec == std::errc() && ptr == field.data() + field.size();
+  };
+  auto disjunct = take_field();
+  if (!disjunct.has_value() || !parse_sz(*disjunct, &ckpt.disjunct)) {
+    return fail("bad disjunct");
+  }
+  auto rank = take_field();
+  if (!rank.has_value() || !parse_sz(*rank, &ckpt.rank)) {
+    return fail("bad rank");
+  }
+  auto fp = take_field();
+  if (!fp.has_value() || fp->size() != 16) return fail("bad fingerprint");
+  {
+    auto [ptr, ec] = std::from_chars(fp->data(), fp->data() + fp->size(),
+                                     ckpt.fingerprint, 16);
+    if (ec != std::errc() || ptr != fp->data() + fp->size()) {
+      return fail("bad fingerprint");
+    }
+  }
+  size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return fail("no payload length");
+  size_t payload_len = 0;
+  if (!parse_sz(text.substr(0, colon), &payload_len)) {
+    return fail("bad payload length");
+  }
+  text.remove_prefix(colon + 1);
+  if (text.size() != payload_len) return fail("payload length mismatch");
+  ckpt.payload = std::string(text);
+  return ckpt;
+}
+
+std::string ExhaustionInfo::ToString() const {
+  if (!exhausted()) return "none";
+  if (detail.empty()) return BudgetKindToString(kind);
+  return StrCat(BudgetKindToString(kind), ": ", detail);
+}
+
+ExhaustionInfo ExhaustionFromStatus(const Status& status,
+                                    const ExecutionBudget* budget) {
+  ExhaustionInfo info;
+  if (budget != nullptr && budget->exhausted()) {
+    info.kind = budget->exhausted_kind();
+    info.detail = budget->exhaustion_status().message();
+    return info;
+  }
+  if (status.ok()) return info;
+  info.kind = status.code() == StatusCode::kCancelled ? BudgetKind::kCancel
+                                                      : BudgetKind::kSteps;
+  info.detail = status.message();
+  return info;
+}
+
+uint64_t FingerprintString(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t CheckpointFingerprint(std::initializer_list<uint64_t> parts) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t part : parts) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (part >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace relcomp

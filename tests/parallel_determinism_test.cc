@@ -204,13 +204,16 @@ TEST(ParallelBudgetTest, SharedBudgetExhaustsAcrossWorkers) {
   bounded.max_bindings = 3;
   auto exhausted = DecideRcdp(*q, db, master, v, bounded);
   // The counterexample may be found within the budget (the serial-first
-  // winner sits in unit 0); otherwise the shared cap must surface as
-  // kResourceExhausted, never as a wrong verdict or a hang.
-  if (!exhausted.ok()) {
-    EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted)
-        << exhausted.status().ToString();
+  // winner sits in unit 0); otherwise the shared cap must surface as a
+  // kUnknown verdict with a resume checkpoint, never as a wrong verdict
+  // or a hang.
+  ASSERT_TRUE(exhausted.ok()) << exhausted.status().ToString();
+  EXPECT_FALSE(exhausted->complete);
+  if (exhausted->verdict == Verdict::kUnknown) {
+    EXPECT_TRUE(exhausted->exhaustion.exhausted());
+    EXPECT_TRUE(exhausted->checkpoint.has_value());
   } else {
-    EXPECT_FALSE(exhausted->complete);
+    EXPECT_EQ(exhausted->verdict, Verdict::kIncomplete);
   }
 }
 

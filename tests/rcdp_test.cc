@@ -45,7 +45,8 @@ TEST_F(CrmRcdpTest, Q1CompleteOnceAllMasterCustomersAreSupported) {
   auto completed =
       ChaseToCompleteness(*q1, crm_->db(), crm_->master(), v, 32);
   ASSERT_TRUE(completed.ok()) << completed.status().ToString();
-  auto after = DecideRcdp(*q1, *completed, crm_->master(), v);
+  ASSERT_EQ(completed->verdict, Verdict::kComplete) << completed->ToString();
+  auto after = DecideRcdp(*q1, completed->db, crm_->master(), v);
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->complete);
   // φ0 bounds only the cid attribute, so partially closed extensions
@@ -53,7 +54,7 @@ TEST_F(CrmRcdpTest, Q1CompleteOnceAllMasterCustomersAreSupported) {
   // answer covers all domestic master customers, not just those whose
   // master record says 908. (Bounding (cid, ac) jointly would shrink
   // this to 2; see the master_data_design example.)
-  auto answer = Evaluate(*q1, *completed);
+  auto answer = Evaluate(*q1, completed->db);
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(answer->size(), crm_->options().num_domestic);
 }

@@ -115,8 +115,9 @@ TEST_P(RcqpChasePropertyTest, ChaseWitnessesAreVerified) {
   Database empty(db_schema);
   auto chased = ChaseToCompleteness(*q, empty, master, v, 32);
   ASSERT_TRUE(chased.ok()) << chased.status().ToString();
+  ASSERT_EQ(chased->verdict, Verdict::kComplete) << chased->ToString();
   // The chase result holds every master value in S.
-  EXPECT_EQ(chased->Get("S").size(), master.Get("M").size());
+  EXPECT_EQ(chased->db.Get("S").size(), master.Get("M").size());
   auto verdict = DecideRcqp(*q, db_schema, master, v);
   ASSERT_TRUE(verdict.ok());
   EXPECT_TRUE(verdict->exists);

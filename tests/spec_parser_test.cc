@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "completeness/rcdp.h"
 #include "constraints/constraint_check.h"
 #include "eval/query_eval.h"
+#include "query/parser.h"
 #include "spec/spec_parser.h"
 
 namespace relcomp {
@@ -142,6 +145,155 @@ query cq Q(x) :- R(x)
 )");
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
   EXPECT_TRUE(spec->db.Contains("R", Tuple({Value::Str("100% #1")})));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input corpus: adversarial spec and query fragments must come
+// back as kInvalidArgument with position info — never a crash, a hang,
+// or an unbounded allocation.
+
+TEST(SpecParserHardeningTest, DeeplyNestedFormulaIsRejectedNotOverflowed) {
+  // 100k nested parens would overflow the recursive-descent stack
+  // without the depth cap.
+  std::string q = "Q(x) := ";
+  for (int i = 0; i < 100000; ++i) q += '(';
+  q += "R(x)";
+  for (int i = 0; i < 100000; ++i) q += ')';
+  auto parsed = ParseQuery(q, QueryLanguage::kFo);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SpecParserHardeningTest, DeepNegationChainIsRejectedNotOverflowed) {
+  std::string q = "Q(x) := " + std::string(100000, '!') + "R(x)";
+  auto parsed = ParseQuery(q, QueryLanguage::kFo);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+}
+
+TEST(SpecParserHardeningTest, ModerateNestingStillParses) {
+  std::string q = "Q(x) := ";
+  for (int i = 0; i < 200; ++i) q += '(';
+  q += "R(x)";
+  for (int i = 0; i < 200; ++i) q += ')';
+  auto parsed = ParseQuery(q, QueryLanguage::kFo);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(SpecParserHardeningTest, HugeArityArgListIsRejected) {
+  std::string q = "Q(x) :- R(x";
+  for (int i = 0; i < 5000; ++i) q += ", x";
+  q += ").";
+  auto parsed = ParseQuery(q, QueryLanguage::kCq);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("argument list"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SpecParserHardeningTest, HugeRelationArityIsRejectedWithLine) {
+  std::string spec = "\nrelation R(a0";
+  for (int i = 1; i < 5000; ++i) spec += ", a" + std::to_string(i);
+  spec += ")\n";
+  auto parsed = ParseCompletenessSpec(spec);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("spec line 2"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("arity"), std::string::npos);
+}
+
+TEST(SpecParserHardeningTest, GiantFiniteDomainIsRejectedNotAllocated) {
+  // int(2^40) would eagerly materialize a terabyte of Values.
+  auto parsed =
+      ParseCompletenessSpec("relation R(a: int(1099511627776))\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("finite domain"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SpecParserHardeningTest, TruncatedTokensErrorCleanly) {
+  // Every prefix-truncated fragment must produce a clean
+  // kInvalidArgument (position info where applicable) — no hang, no
+  // crash, no out-of-range read.
+  const char* corpus[] = {
+      "relation",
+      "relation R(",
+      "relation R(a",
+      "relation R(a:",
+      "relation R(a: int(",
+      "fact",
+      "fact R(",
+      "fact R(\"unterminated",
+      "constraint",
+      "constraint q() :- R(x)",
+      "constraint q() :- R(x) |=",
+      "constraint q() :- R(x) |= T[",
+      "constraint q() :- R(x) |= T[0",
+      "query",
+      "query cq",
+      "query cq Q(x) :-",
+      "query cq Q(x) :- R(",
+      "query fo Q(x) :=",
+      "query fo Q(x) := exists",
+      "query fo Q(x) := exists y",
+      "query fo Q(x) := (R(x)",
+      "master",
+      "master relation R(a",
+      ":",
+      "@@@@",
+  };
+  for (const char* fragment : corpus) {
+    auto parsed = ParseCompletenessSpec(fragment);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << fragment;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << fragment << " -> " << parsed.status().ToString();
+    EXPECT_FALSE(parsed.status().message().empty()) << fragment;
+  }
+}
+
+TEST(SpecParserHardeningTest, QueryParserTruncationCorpus) {
+  struct Case {
+    const char* text;
+    QueryLanguage lang;
+  };
+  const Case corpus[] = {
+      {"", QueryLanguage::kCq},
+      {"Q", QueryLanguage::kCq},
+      {"Q(", QueryLanguage::kCq},
+      {"Q(x", QueryLanguage::kCq},
+      {"Q(x)", QueryLanguage::kCq},
+      {"Q(x) :- R(x,", QueryLanguage::kCq},
+      {"Q(x) :- R(x) R", QueryLanguage::kCq},
+      {"Q(x) := ", QueryLanguage::kFo},
+      {"Q(x) := R(x) &", QueryLanguage::kFo},
+      {"Q(x) := R(x) |", QueryLanguage::kFo},
+      {"Q(x) := forall .", QueryLanguage::kFo},
+      {"Q(x) := \"dangling", QueryLanguage::kFo},
+      {"Q(1) := R(x)", QueryLanguage::kFo},
+  };
+  for (const Case& c : corpus) {
+    auto parsed = ParseQuery(c.text, c.lang);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << c.text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << c.text << " -> " << parsed.status().ToString();
+  }
+}
+
+TEST(SpecParserHardeningTest, OffsetsPointIntoTheInput) {
+  auto parsed = ParseQuery("Q(x) :- R(x) @", QueryLanguage::kCq);
+  ASSERT_FALSE(parsed.ok());
+  // "unexpected character '@' at offset 13"
+  EXPECT_NE(parsed.status().message().find("offset 13"), std::string::npos)
+      << parsed.status().ToString();
 }
 
 TEST(SpecParserTest, LoadsTheShippedExampleSpec) {
