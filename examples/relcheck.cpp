@@ -1,6 +1,7 @@
 // relcheck — command-line completeness checker.
 //
 //   relcheck <spec-file> [--rcqp] [--chase N] [--explain]
+//            [--deadline-ms N] [--resume-dir DIR]
 //
 // Loads a textual spec (schemas, facts, containment constraints,
 // queries — see src/spec/spec_parser.h for the syntax), verifies the
@@ -8,10 +9,20 @@
 // (is the database complete?). With --rcqp it also decides RCQP
 // (could any database be complete?), and with --chase N it applies up
 // to N counterexample rounds to complete the database.
+//
+// With --deadline-ms the RCDP search runs under a wall-clock budget;
+// an exhausted search reports UNKNOWN with the exhaustion cause. With
+// --resume-dir the search checkpoint is persisted to a durable
+// CheckpointStore on exhaustion, and a later invocation with the same
+// spec and directory resumes from it — the combined verdict is
+// bit-for-bit the uninterrupted one (a durable audit across process
+// lifetimes).
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "completeness/characterizations.h"
@@ -19,7 +30,9 @@
 #include "completeness/rcqp.h"
 #include "constraints/constraint_check.h"
 #include "eval/query_eval.h"
+#include "service/checkpoint_store.h"
 #include "spec/spec_parser.h"
+#include "util/str.h"
 
 namespace {
 
@@ -30,6 +43,7 @@ int Fail(const relcomp::Status& status) {
 
 void Usage() {
   std::cerr << "usage: relcheck <spec-file> [--rcqp] [--chase N] [--explain]"
+               " [--deadline-ms N] [--resume-dir DIR]"
             << std::endl;
 }
 
@@ -42,9 +56,11 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
   std::string path;
+  std::string resume_dir;
   bool run_rcqp = false;
   bool explain = false;
   int chase_rounds = 0;
+  long deadline_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rcqp") == 0) {
       run_rcqp = true;
@@ -52,6 +68,10 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (std::strcmp(argv[i], "--chase") == 0 && i + 1 < argc) {
       chase_rounds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--resume-dir") == 0 && i + 1 < argc) {
+      resume_dir = argv[++i];
     } else if (argv[i][0] == '-') {
       Usage();
       return EXIT_FAILURE;
@@ -67,6 +87,13 @@ int main(int argc, char** argv) {
   auto spec_or = LoadCompletenessSpec(path);
   if (!spec_or.ok()) return Fail(spec_or.status());
   CompletenessSpec spec = std::move(*spec_or);
+
+  std::unique_ptr<CheckpointStore> store;
+  if (!resume_dir.empty()) {
+    auto opened = CheckpointStore::Open(resume_dir);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::move(*opened);
+  }
 
   std::cout << "database schema:\n" << spec.db_schema->ToString()
             << "master schema:\n" << spec.master_schema->ToString()
@@ -84,14 +111,32 @@ int main(int argc, char** argv) {
   int exit_code = EXIT_SUCCESS;
   for (size_t i = 0; i < spec.queries.size(); ++i) {
     const AnyQuery& query = spec.queries[i];
+    const std::string request_id = StrCat("q", i + 1);
     std::cout << "\n=== query #" << i + 1 << ": " << query.ToString()
               << "\n";
     auto answer = Evaluate(query, spec.db);
     if (!answer.ok()) return Fail(answer.status());
     std::cout << "answer: " << answer->ToString() << "\n";
 
+    ExecutionBudget budget;
+    if (deadline_ms > 0) {
+      budget.set_timeout(std::chrono::milliseconds(deadline_ms));
+    }
+    RcdpOptions options;
+    if (budget.active()) options.budget = &budget;
+    std::optional<SearchCheckpoint> resume;
+    if (store != nullptr) {
+      auto persisted = store->LoadLatestCheckpoint(request_id);
+      if (persisted.ok()) {
+        resume = std::move(persisted->checkpoint);
+        options.resume = &*resume;
+        std::cout << "resuming from " << persisted->path << " (generation "
+                  << persisted->generation << ")\n";
+      }
+    }
+
     auto verdict =
-        DecideRcdp(query, spec.db, spec.master, spec.constraints);
+        DecideRcdp(query, spec.db, spec.master, spec.constraints, options);
     if (!verdict.ok()) {
       if (verdict.status().code() == StatusCode::kUnsupported) {
         std::cout << "RCDP: " << verdict.status().ToString() << "\n";
@@ -99,7 +144,34 @@ int main(int argc, char** argv) {
       }
       return Fail(verdict.status());
     }
+    if (verdict->verdict == Verdict::kUnknown) {
+      // An exhausted search is not a decision: surface the cause and,
+      // when a resume directory is given, the durable checkpoint a
+      // re-run will continue from.
+      std::cout << "RCDP: UNKNOWN — search exhausted ("
+                << verdict->exhaustion.ToString() << ")\n";
+      if (verdict->checkpoint.has_value() && store != nullptr) {
+        auto generation =
+            store->PersistCheckpoint(request_id, *verdict->checkpoint);
+        if (!generation.ok()) return Fail(generation.status());
+        std::cout << "checkpoint persisted: " << store->directory() << "/"
+                  << request_id << ".g" << *generation << ".ckpt\n"
+                  << "re-run with the same spec and --resume-dir "
+                  << store->directory() << " to continue\n";
+      } else if (verdict->checkpoint.has_value()) {
+        std::cout << "checkpoint available at disjunct "
+                  << verdict->checkpoint->disjunct << ", rank "
+                  << verdict->checkpoint->rank
+                  << "; pass --resume-dir DIR to persist it\n";
+      }
+      exit_code = 4;
+      continue;
+    }
     std::cout << "RCDP: " << verdict->ToString() << "\n";
+    if (store != nullptr) {
+      auto forgotten = store->Forget(request_id);
+      if (!forgotten.ok()) return Fail(forgotten);
+    }
     if (!verdict->complete) exit_code = 3;
 
     if (explain && !verdict->complete) {
@@ -115,6 +187,9 @@ int main(int argc, char** argv) {
                              spec.constraints);
       if (!rcqp.ok()) {
         std::cout << "RCQP: " << rcqp.status().ToString() << "\n";
+      } else if (rcqp->verdict == Verdict::kUnknown) {
+        std::cout << "RCQP: UNKNOWN — search exhausted ("
+                  << rcqp->exhaustion.ToString() << ")\n";
       } else {
         std::cout << "RCQP: " << rcqp->ToString() << "\n";
       }
@@ -127,7 +202,9 @@ int main(int argc, char** argv) {
       if (!completed.ok()) {
         std::cout << "chase: " << completed.status().ToString() << "\n";
       } else if (completed->verdict != Verdict::kComplete) {
-        std::cout << "chase: " << completed->ToString() << "\n";
+        std::cout << "chase: UNKNOWN after " << completed->rounds
+                  << " rounds (" << completed->exhaustion.ToString()
+                  << ")\n";
       } else {
         auto final_answer = Evaluate(query, completed->db);
         if (!final_answer.ok()) return Fail(final_answer.status());

@@ -20,4 +20,9 @@ for preset in default asan tsan ubsan; do
   run ctest --preset "$preset"
 done
 
+# Crash-recovery stage: the durable-store and decision-service suites
+# (ctest label "recovery") once more under the asan build — the
+# kill/restart sweeps must be clean not just green.
+run ctest --test-dir build-asan -L recovery --output-on-failure
+
 echo "All checks passed."

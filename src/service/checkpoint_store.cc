@@ -1,0 +1,600 @@
+#include "service/checkpoint_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+constexpr char kRecordMagic[] = "relcomp-store/1";
+constexpr char kCrcSeparator[] = "#crc32:";
+constexpr char kJournalMagic[] = "J1";
+constexpr char kLockFile[] = "LOCK";
+constexpr char kJournalFile[] = "journal";
+
+/// Request ids become file names; anything outside this set (or an
+/// empty / dot-leading / oversized id) is refused up front so a hostile
+/// id can never escape the store directory.
+bool ValidRequestId(const std::string& id) {
+  if (id.empty() || id.size() > 100 || id[0] == '.') return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string CkptPath(const std::string& dir, const std::string& id,
+                     uint64_t generation) {
+  return StrCat(dir, "/", id, ".g", generation, ".ckpt");
+}
+
+std::string JobPath(const std::string& dir, const std::string& id) {
+  return StrCat(dir, "/", id, ".job");
+}
+
+Status ErrnoStatus(std::string_view what, const std::string& path) {
+  return Status::Internal(
+      StrCat(what, " ", path, ": ", std::strerror(errno)));
+}
+
+/// mkdir -p: creates every missing component of `dir`.
+Status MakeDirs(const std::string& dir) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t next = dir.find('/', pos);
+    if (next == std::string::npos) next = dir.size();
+    partial = dir.substr(0, next);
+    pos = next + 1;
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync dir", dir);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrCat("no such store file: ", path));
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 14];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool ParseU64(std::string_view field, uint64_t* out) {
+  if (field.empty()) return false;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+bool ParseHex32(std::string_view field, uint32_t* out) {
+  if (field.size() != 8) return false;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *out, 16);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+std::string Hex32(uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+/// Splits the next space-delimited field off `*text`.
+bool TakeField(std::string_view* text, std::string_view* field) {
+  size_t sp = text->find(' ');
+  if (sp == std::string_view::npos) return false;
+  *field = text->substr(0, sp);
+  text->remove_prefix(sp + 1);
+  return true;
+}
+
+}  // namespace
+
+uint32_t CheckpointStore::Crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : std::string_view(data)) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
+    const std::string& directory) {
+  if (directory.empty()) {
+    return Status::InvalidArgument("store directory must not be empty");
+  }
+  RELCOMP_RETURN_NOT_OK(MakeDirs(directory));
+  std::unique_ptr<CheckpointStore> store(new CheckpointStore(directory));
+
+  const std::string lock_path = StrCat(directory, "/", kLockFile);
+  int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open lock", lock_path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    if (errno == EWOULDBLOCK) {
+      return Status::FailedPrecondition(
+          StrCat("checkpoint store ", directory,
+                 " is locked by another live owner; refusing to "
+                 "interleave generations"));
+    }
+    return ErrnoStatus("flock", lock_path);
+  }
+  store->lock_fd_ = fd;
+
+  RELCOMP_RETURN_NOT_OK(store->ReplayJournal());
+  RELCOMP_RETURN_NOT_OK(store->ScanDirectory());
+  return store;
+}
+
+CheckpointStore::~CheckpointStore() {
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+  }
+}
+
+void CheckpointStore::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+  // A killed process's flock is released by the kernel; mirror that so
+  // the restarted service can take the directory over.
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+  }
+}
+
+Status CheckpointStore::CheckAlive() const {
+  if (crashed_) {
+    return Status::FailedPrecondition(
+        StrCat("checkpoint store ", dir_,
+               " simulated a crash; no further operations"));
+  }
+  return Status::OK();
+}
+
+size_t CheckpointStore::corrupt_files_skipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_files_skipped_;
+}
+
+// --- Record envelope -------------------------------------------------
+//
+//   relcomp-store/1 <kind> <request_id> <generation> <len>:<payload>
+//   #crc32:<8 hex>
+//
+// (one byte stream, no newline framing — the payload may contain
+// anything). The CRC covers every byte before the separator, so any
+// truncation, torn tail, or bit flip anywhere in header or payload is
+// caught. The <len>:<payload> framing additionally pins the payload
+// size, so an appended tail cannot masquerade as payload either.
+
+Status CheckpointStore::WriteRecord(const std::string& path,
+                                    std::string_view kind,
+                                    const std::string& request_id,
+                                    uint64_t generation,
+                                    std::string_view payload) {
+  std::string body =
+      StrCat(kRecordMagic, " ", kind, " ", request_id, " ", generation, " ",
+             payload.size(), ":", payload);
+  body += StrCat(kCrcSeparator, Hex32(Crc32(body)));
+
+  const std::string tmp = StrCat(path, ".tmp.", ::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  size_t off = 0;
+  while (off < body.size()) {
+    ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = ErrnoStatus("rename", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return FsyncDirectory(dir_);
+}
+
+Result<std::string> CheckpointStore::ReadRecord(
+    const std::string& path, std::string_view expect_kind,
+    const std::string& expect_request_id, uint64_t expect_generation) const {
+  RELCOMP_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  auto corrupt = [&](std::string_view why) {
+    return Status::InvalidArgument(
+        StrCat("corrupted store file ", path, " (", std::string(why), ")"));
+  };
+  // Footer first: everything before the final separator must hash to
+  // the trailing CRC. rfind — the payload may itself contain the
+  // separator bytes.
+  size_t sep = content.rfind(kCrcSeparator);
+  if (sep == std::string::npos) return corrupt("missing integrity footer");
+  std::string_view footer(content.data() + sep + std::strlen(kCrcSeparator),
+                          content.size() - sep - std::strlen(kCrcSeparator));
+  uint32_t want_crc = 0;
+  if (!ParseHex32(footer, &want_crc)) {
+    return corrupt("malformed integrity footer");
+  }
+  std::string_view body(content.data(), sep);
+  if (Crc32(body) != want_crc) {
+    return corrupt(StrCat("crc mismatch: file says ", std::string(footer),
+                          ", content hashes to ", Hex32(Crc32(body))));
+  }
+  // Header. The CRC already vouches for byte integrity; these checks
+  // catch a record renamed (or journal-mapped) to the wrong identity.
+  std::string_view rest = body;
+  std::string_view magic, kind, id, gen_field;
+  if (!TakeField(&rest, &magic) || magic != kRecordMagic) {
+    return corrupt("bad magic");
+  }
+  if (!TakeField(&rest, &kind) || kind != expect_kind) {
+    return corrupt(StrCat("record kind mismatch: got ",
+                          std::string(kind.empty() ? "<none>" : kind),
+                          ", want ", std::string(expect_kind)));
+  }
+  if (!TakeField(&rest, &id) || id != expect_request_id) {
+    return corrupt("request id mismatch");
+  }
+  uint64_t generation = 0;
+  if (!TakeField(&rest, &gen_field) || !ParseU64(gen_field, &generation) ||
+      generation != expect_generation) {
+    return corrupt("generation mismatch");
+  }
+  size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) return corrupt("no payload length");
+  uint64_t payload_len = 0;
+  if (!ParseU64(rest.substr(0, colon), &payload_len)) {
+    return corrupt("bad payload length");
+  }
+  rest.remove_prefix(colon + 1);
+  if (rest.size() != payload_len) {
+    return corrupt(StrCat("payload length mismatch: header says ",
+                          payload_len, ", file holds ", rest.size()));
+  }
+  return std::string(rest);
+}
+
+// --- Journal ---------------------------------------------------------
+//
+//   J1 <op> <request_id> <generation> <8-hex crc>\n
+//
+// ops: "ckpt" (a generation became durable), "job" (a job record
+// became durable), "done" (the request completed and its files were
+// removed). The per-line CRC covers "<op> <id> <gen>"; replay ignores
+// any line that fails it — a crash mid-append tears at most the final
+// line.
+
+Status CheckpointStore::AppendJournal(std::string_view op,
+                                      const std::string& request_id,
+                                      uint64_t generation) {
+  const std::string fields =
+      StrCat(op, " ", request_id, " ", generation);
+  const std::string line =
+      StrCat(kJournalMagic, " ", fields, " ", Hex32(Crc32(fields)), "\n");
+  const std::string path = StrCat(dir_, "/", kJournalFile);
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open journal", path);
+  // One write() call per line: POSIX O_APPEND writes are atomic with
+  // respect to each other for this size, so concurrent appends from
+  // the submit path and the worker never interleave bytes.
+  ssize_t n = ::write(fd, line.data(), line.size());
+  if (n < 0 || static_cast<size_t>(n) != line.size()) {
+    Status st = ErrnoStatus("append journal", path);
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync journal", path);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status CheckpointStore::ReplayJournal() {
+  const std::string path = StrCat(dir_, "/", kJournalFile);
+  Result<std::string> content = ReadWholeFile(path);
+  if (!content.ok()) {
+    if (content.status().code() == StatusCode::kNotFound) {
+      return Status::OK();  // fresh store
+    }
+    return content.status();
+  }
+  std::string_view rest = *content;
+  while (!rest.empty()) {
+    size_t nl = rest.find('\n');
+    std::string_view line = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view()
+                                        : rest.substr(nl + 1);
+    if (line.empty()) continue;
+    // Parse "J1 <op> <id> <gen> <crc>"; skip (count) anything torn.
+    std::string_view magic, op, id, gen_field;
+    std::string_view cursor = line;
+    uint64_t generation = 0;
+    uint32_t want_crc = 0;
+    if (!TakeField(&cursor, &magic) || magic != kJournalMagic ||
+        !TakeField(&cursor, &op) || !TakeField(&cursor, &id) ||
+        !TakeField(&cursor, &gen_field) ||
+        !ParseU64(gen_field, &generation) ||
+        !ParseHex32(cursor, &want_crc) ||
+        Crc32(StrCat(op, " ", id, " ", generation)) != want_crc) {
+      ++journal_lines_skipped_;
+      continue;
+    }
+    const std::string request_id(id);
+    if (op == "ckpt") {
+      uint64_t& g = last_generation_[request_id];
+      g = std::max(g, generation);
+    } else if (op == "job") {
+      has_job_[request_id] = true;
+    } else if (op == "done") {
+      last_generation_.erase(request_id);
+      has_job_.erase(request_id);
+    } else {
+      ++journal_lines_skipped_;
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::ScanDirectory() {
+  // Catch files that became durable without a journal entry (crash
+  // between rename and append): checkpoint generations newer than the
+  // journal knows, and job records. A request whose final journal op
+  // was "done" has had its files unlinked before the journal entry —
+  // any survivor file simply re-enters the in-flight set, which is
+  // safe (re-running a completed, deterministic job reproduces its
+  // result).
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return ErrnoStatus("opendir", dir_);
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string_view name(entry->d_name);
+    if (name == "." || name == ".." || name == kLockFile ||
+        name == kJournalFile) {
+      continue;
+    }
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".job") {
+      has_job_[std::string(name.substr(0, name.size() - 4))] = true;
+      continue;
+    }
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".ckpt") {
+      std::string_view stem = name.substr(0, name.size() - 5);
+      size_t dot_g = stem.rfind(".g");
+      if (dot_g == std::string_view::npos) continue;
+      uint64_t generation = 0;
+      if (!ParseU64(stem.substr(dot_g + 2), &generation)) continue;
+      const std::string request_id(stem.substr(0, dot_g));
+      uint64_t& g = last_generation_[request_id];
+      g = std::max(g, generation);
+    }
+    // .tmp.* leftovers from a crash mid-write are ignored (and
+    // overwritten by the next writer with the same pid, or left as
+    // harmless garbage).
+  }
+  ::closedir(d);
+  return Status::OK();
+}
+
+// --- Public operations -----------------------------------------------
+
+Result<uint64_t> CheckpointStore::PersistCheckpoint(
+    const std::string& request_id, const SearchCheckpoint& ckpt) {
+  if (!ValidRequestId(request_id)) {
+    return Status::InvalidArgument(
+        StrCat("invalid request id for store: \"", request_id, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  const uint64_t generation = last_generation_[request_id] + 1;
+  RELCOMP_RETURN_NOT_OK(WriteRecord(CkptPath(dir_, request_id, generation),
+                                    "ckpt", request_id, generation,
+                                    ckpt.Serialize()));
+  last_generation_[request_id] = generation;
+  RELCOMP_RETURN_NOT_OK(AppendJournal("ckpt", request_id, generation));
+  // Keep the latest two generations: the newest, plus one fallback in
+  // case the newest file is damaged after the fact. Everything older
+  // is garbage.
+  if (generation >= 3) {
+    ::unlink(CkptPath(dir_, request_id, generation - 2).c_str());
+  }
+  return generation;
+}
+
+Result<PersistedCheckpoint> CheckpointStore::LoadLatestCheckpoint(
+    const std::string& request_id) const {
+  if (!ValidRequestId(request_id)) {
+    return Status::InvalidArgument(
+        StrCat("invalid request id for store: \"", request_id, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  auto it = last_generation_.find(request_id);
+  if (it == last_generation_.end()) {
+    return Status::NotFound(
+        StrCat("no checkpoint for request ", request_id));
+  }
+  // Newest first; a generation that fails integrity or does not parse
+  // is skipped, never surfaced.
+  for (uint64_t g = it->second; g >= 1; --g) {
+    const std::string path = CkptPath(dir_, request_id, g);
+    Result<std::string> payload = ReadRecord(path, "ckpt", request_id, g);
+    if (!payload.ok()) {
+      if (payload.status().code() != StatusCode::kNotFound) {
+        ++corrupt_files_skipped_;
+      }
+      continue;
+    }
+    Result<SearchCheckpoint> parsed =
+        SearchCheckpoint::Deserialize(*payload);
+    if (!parsed.ok()) {
+      ++corrupt_files_skipped_;
+      continue;
+    }
+    PersistedCheckpoint out;
+    out.checkpoint = std::move(*parsed);
+    out.generation = g;
+    out.path = path;
+    return out;
+  }
+  return Status::NotFound(
+      StrCat("no valid checkpoint for request ", request_id,
+             " (newest generations failed integrity)"));
+}
+
+Result<PersistedCheckpoint> CheckpointStore::LoadCheckpoint(
+    const std::string& request_id, uint64_t generation) const {
+  if (!ValidRequestId(request_id)) {
+    return Status::InvalidArgument(
+        StrCat("invalid request id for store: \"", request_id, "\""));
+  }
+  if (generation == 0) {
+    return Status::InvalidArgument("checkpoint generations start at 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  const std::string path = CkptPath(dir_, request_id, generation);
+  RELCOMP_ASSIGN_OR_RETURN(std::string payload,
+                           ReadRecord(path, "ckpt", request_id, generation));
+  RELCOMP_ASSIGN_OR_RETURN(SearchCheckpoint parsed,
+                           SearchCheckpoint::Deserialize(payload));
+  PersistedCheckpoint out;
+  out.checkpoint = std::move(parsed);
+  out.generation = generation;
+  out.path = path;
+  return out;
+}
+
+Status CheckpointStore::PersistJob(const std::string& request_id,
+                                   const std::string& payload) {
+  if (!ValidRequestId(request_id)) {
+    return Status::InvalidArgument(
+        StrCat("invalid request id for store: \"", request_id, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(WriteRecord(JobPath(dir_, request_id), "job",
+                                    request_id, 0, payload));
+  has_job_[request_id] = true;
+  return AppendJournal("job", request_id, 0);
+}
+
+Result<std::string> CheckpointStore::LoadJob(
+    const std::string& request_id) const {
+  if (!ValidRequestId(request_id)) {
+    return Status::InvalidArgument(
+        StrCat("invalid request id for store: \"", request_id, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  Result<std::string> payload =
+      ReadRecord(JobPath(dir_, request_id), "job", request_id, 0);
+  if (!payload.ok() &&
+      payload.status().code() == StatusCode::kInvalidArgument) {
+    ++corrupt_files_skipped_;
+  }
+  return payload;
+}
+
+std::vector<std::string> CheckpointStore::PendingRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(has_job_.size());
+  for (const auto& [id, live] : has_job_) {
+    if (live) out.push_back(id);
+  }
+  return out;
+}
+
+Status CheckpointStore::Forget(const std::string& request_id) {
+  if (!ValidRequestId(request_id)) {
+    return Status::InvalidArgument(
+        StrCat("invalid request id for store: \"", request_id, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  auto it = last_generation_.find(request_id);
+  const uint64_t last = it == last_generation_.end() ? 0 : it->second;
+  for (uint64_t g = last; g >= 1; --g) {
+    ::unlink(CkptPath(dir_, request_id, g).c_str());
+  }
+  ::unlink(JobPath(dir_, request_id).c_str());
+  last_generation_.erase(request_id);
+  has_job_.erase(request_id);
+  return AppendJournal("done", request_id, 0);
+}
+
+}  // namespace relcomp

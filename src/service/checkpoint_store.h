@@ -1,0 +1,166 @@
+#ifndef RELCOMP_SERVICE_CHECKPOINT_STORE_H_
+#define RELCOMP_SERVICE_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/execution_control.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A checkpoint loaded back from the store, with its provenance.
+struct PersistedCheckpoint {
+  SearchCheckpoint checkpoint;
+  /// Monotonic per-request generation (1, 2, ...). A later generation
+  /// strictly supersedes an earlier one.
+  uint64_t generation = 0;
+  /// The file it was read from, for operator messages.
+  std::string path;
+};
+
+/// Durable, directory-scoped checkpoint store.
+///
+/// One directory holds the crash-recovery state of one DecisionService
+/// (or one relcheck --resume-dir session): per request, a sequence of
+/// checkpoint generations plus an optional opaque job record, and an
+/// append-only recovery journal mapping request ids to their latest
+/// valid generation.
+///
+/// Durability contract:
+///  * Every record file is written to a temp name, fsync'd, then
+///    renamed into place (atomic on POSIX), and the directory is
+///    fsync'd after the rename — a reader never observes a
+///    half-renamed file.
+///  * Every record carries a versioned header and a CRC32 footer over
+///    the header + payload. Torn, truncated, bit-flipped or otherwise
+///    corrupted files fail the CRC (or the payload-length check) and
+///    are rejected with a typed kInvalidArgument naming the file and
+///    the defect — a corrupted file is NEVER surfaced as a checkpoint.
+///  * LoadLatestCheckpoint walks generations newest-first and returns
+///    the first one that passes integrity AND parses as a
+///    SearchCheckpoint; corrupted newer generations are skipped (and
+///    counted in corrupt_files_skipped()), so a crash mid-write costs
+///    at most the interrupted generation, never prior progress.
+///  * The journal is append-only with a per-line CRC; torn tail lines
+///    (the crash-mid-append case) are ignored on replay. Files present
+///    in the directory but missing from the journal (crash between
+///    rename and journal append) are still found by the directory
+///    scan.
+///
+/// Exclusion: Open() takes an exclusive flock on <dir>/LOCK. A second
+/// store on the same live directory — e.g. two DecisionService
+/// instances racing — gets kFailedPrecondition instead of interleaving
+/// torn generations. The kernel releases the lock on process death, so
+/// a crashed owner never wedges the directory; the simulated-kill
+/// harness mirrors that by closing the lock fd.
+///
+/// Thread safety: all methods are safe to call concurrently; a single
+/// mutex serializes directory mutations.
+class CheckpointStore {
+ public:
+  /// Opens (creating if needed) the store at `directory` and acquires
+  /// its exclusive lock. kFailedPrecondition if another live store
+  /// holds the directory.
+  static Result<std::unique_ptr<CheckpointStore>> Open(
+      const std::string& directory);
+
+  ~CheckpointStore();
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Durably writes `ckpt` as the next generation for `request_id` and
+  /// journals it. Returns the generation written. Older generations of
+  /// the same request are garbage-collected (best-effort: a crash
+  /// between rename and unlink only leaves stale files that recovery
+  /// ignores in favor of the newest valid one).
+  Result<uint64_t> PersistCheckpoint(const std::string& request_id,
+                                     const SearchCheckpoint& ckpt);
+
+  /// Loads the newest generation of `request_id` that passes integrity
+  /// and parses. kNotFound when no valid checkpoint exists.
+  Result<PersistedCheckpoint> LoadLatestCheckpoint(
+      const std::string& request_id) const;
+
+  /// Loads one specific retained generation (the store keeps the
+  /// latest two). kNotFound if that generation is gone; kInvalidArgument
+  /// if the file fails integrity. The DecisionService compares the two
+  /// newest generations at resume time to detect a stalled slice (see
+  /// DecisionServiceOptions::default_slice_steps).
+  Result<PersistedCheckpoint> LoadCheckpoint(const std::string& request_id,
+                                             uint64_t generation) const;
+
+  /// Durably writes an opaque job record (the DecisionService persists
+  /// the serialized JobSpec here at submit time, so a restarted
+  /// process can re-create and resume every in-flight job).
+  Status PersistJob(const std::string& request_id,
+                    const std::string& payload);
+
+  /// Loads the job record. kNotFound if none; kInvalidArgument if the
+  /// file fails integrity.
+  Result<std::string> LoadJob(const std::string& request_id) const;
+
+  /// Request ids with a live (not forgotten) job record — the
+  /// in-flight set a restarted service must resume. Sorted.
+  std::vector<std::string> PendingRequests() const;
+
+  /// Removes every file of `request_id` (job record + all checkpoint
+  /// generations) and journals the completion. Idempotent.
+  Status Forget(const std::string& request_id);
+
+  const std::string& directory() const { return dir_; }
+
+  /// Files that failed integrity and were skipped by loads so far —
+  /// the "no corrupted store file is ever loaded" counter the crash
+  /// sweep asserts on.
+  size_t corrupt_files_skipped() const;
+
+  /// Journal lines that failed their CRC on replay at Open (torn
+  /// tail from a crash mid-append).
+  size_t journal_lines_skipped() const { return journal_lines_skipped_; }
+
+  /// Releases the directory lock and refuses all further operations,
+  /// simulating the kernel-side lock release of a killed process. Used
+  /// by the DecisionService crash harness; a real crash needs no call.
+  void SimulateCrash();
+
+  /// CRC32 (IEEE, reflected 0xEDB88320) over `data` — exposed for the
+  /// tests that hand-corrupt files.
+  static uint32_t Crc32(std::string_view data);
+
+ private:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  Status WriteRecord(const std::string& path, std::string_view kind,
+                     const std::string& request_id, uint64_t generation,
+                     std::string_view payload);
+  Result<std::string> ReadRecord(const std::string& path,
+                                 std::string_view expect_kind,
+                                 const std::string& expect_request_id,
+                                 uint64_t expect_generation) const;
+  Status AppendJournal(std::string_view op, const std::string& request_id,
+                       uint64_t generation);
+  Status ReplayJournal();
+  Status ScanDirectory();
+  Status CheckAlive() const;
+
+  std::string dir_;
+  int lock_fd_ = -1;
+  bool crashed_ = false;
+  /// Highest generation ever written per request (journal ∪ directory).
+  std::map<std::string, uint64_t> last_generation_;
+  /// Requests with a live job record.
+  std::map<std::string, bool> has_job_;
+  size_t journal_lines_skipped_ = 0;
+  mutable size_t corrupt_files_skipped_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_SERVICE_CHECKPOINT_STORE_H_

@@ -1,0 +1,600 @@
+#include "service/decision_service.h"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+
+#include "completeness/rcqp.h"
+#include "spec/spec_parser.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+constexpr char kJobMagic[] = "relcomp-job/1";
+
+Result<JobKind> JobKindFromString(std::string_view s) {
+  if (s == "rcdp") return JobKind::kRcdp;
+  if (s == "rcqp") return JobKind::kRcqp;
+  if (s == "chase") return JobKind::kChase;
+  return Status::InvalidArgument(
+      StrCat("unknown job kind: ", std::string(s)));
+}
+
+bool ParseSize(std::string_view field, size_t* out) {
+  if (field.empty()) return false;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *out);
+  return ec == std::errc() && ptr == field.data() + field.size();
+}
+
+/// Canonical evidence strings — the bit-for-bit comparison keys of the
+/// crash-recovery sweep. Anything the paper's characterizations yield
+/// as evidence is folded in; two runs decided identically iff equal.
+std::string RcdpEvidence(const RcdpResult& r) {
+  return StrCat(VerdictToString(r.verdict), "|",
+                r.counterexample_delta.has_value()
+                    ? r.counterexample_delta->ToString()
+                    : std::string("<none>"),
+                "|",
+                r.new_answer.has_value() ? r.new_answer->ToString()
+                                         : std::string("<none>"));
+}
+
+std::string RcqpEvidence(const RcqpResult& r) {
+  return StrCat(VerdictToString(r.verdict), "|",
+                r.exists ? "exists" : "not-exists", "|", r.method, "|",
+                r.witness.has_value() ? r.witness->ToString()
+                                      : std::string("<none>"));
+}
+
+std::string ChaseEvidence(const ChaseResult& r) {
+  return StrCat(VerdictToString(r.verdict), "|rounds=", r.rounds, "|",
+                r.db.ToString());
+}
+
+}  // namespace
+
+const char* JobKindToString(JobKind kind) {
+  switch (kind) {
+    case JobKind::kRcdp: return "rcdp";
+    case JobKind::kRcqp: return "rcqp";
+    case JobKind::kChase: return "chase";
+  }
+  return "unknown";
+}
+
+// --- JobSpec wire form ----------------------------------------------
+//
+//   relcomp-job/1 <kind> <query> <threads> <slice> <deadline_ms|->
+//   <chase_rounds> <len>:<spec text>
+
+std::string JobSpec::Serialize() const {
+  return StrCat(kJobMagic, " ", JobKindToString(kind), " ", query_index,
+                " ", num_threads, " ", slice_steps, " ",
+                deadline.has_value() ? StrCat(deadline->count())
+                                     : std::string("-"),
+                " ", max_chase_rounds, " ", spec_text.size(), ":",
+                spec_text);
+}
+
+Result<JobSpec> JobSpec::Deserialize(std::string_view text) {
+  auto fail = [&](std::string_view why) {
+    return Status::InvalidArgument(
+        StrCat("malformed job record (", std::string(why), "): ",
+               std::string(text.substr(0, 64))));
+  };
+  auto take = [&]() -> std::optional<std::string_view> {
+    size_t sp = text.find(' ');
+    if (sp == std::string_view::npos) return std::nullopt;
+    std::string_view field = text.substr(0, sp);
+    text.remove_prefix(sp + 1);
+    return field;
+  };
+  auto magic = take();
+  if (!magic.has_value() || *magic != kJobMagic) return fail("bad magic");
+  auto kind_field = take();
+  if (!kind_field.has_value()) return fail("no kind");
+  JobSpec spec;
+  RELCOMP_ASSIGN_OR_RETURN(spec.kind, JobKindFromString(*kind_field));
+  auto query = take();
+  if (!query.has_value() || !ParseSize(*query, &spec.query_index)) {
+    return fail("bad query index");
+  }
+  auto threads = take();
+  if (!threads.has_value() || !ParseSize(*threads, &spec.num_threads)) {
+    return fail("bad thread count");
+  }
+  auto slice = take();
+  if (!slice.has_value() || !ParseSize(*slice, &spec.slice_steps)) {
+    return fail("bad slice steps");
+  }
+  auto deadline = take();
+  if (!deadline.has_value()) return fail("no deadline");
+  if (*deadline != "-") {
+    size_t ms = 0;
+    if (!ParseSize(*deadline, &ms)) return fail("bad deadline");
+    spec.deadline = std::chrono::milliseconds(ms);
+  }
+  auto rounds = take();
+  if (!rounds.has_value() || !ParseSize(*rounds, &spec.max_chase_rounds)) {
+    return fail("bad chase rounds");
+  }
+  size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return fail("no spec length");
+  size_t spec_len = 0;
+  if (!ParseSize(text.substr(0, colon), &spec_len)) {
+    return fail("bad spec length");
+  }
+  text.remove_prefix(colon + 1);
+  if (text.size() != spec_len) return fail("spec length mismatch");
+  spec.spec_text = std::string(text);
+  return spec;
+}
+
+// --- Job state ------------------------------------------------------
+
+struct DecisionService::Job {
+  std::string id;
+  JobSpec spec;
+  /// Absolute EDF deadline (time_point::max() when the spec has none).
+  std::chrono::steady_clock::time_point deadline;
+  bool recovered = false;
+  bool running = false;
+  bool terminal = false;
+  /// Non-OK when the job failed before producing a decider result
+  /// (unparseable spec, store failure, ...).
+  Status terminal_status;
+  JobResult result;
+};
+
+// --- Lifecycle ------------------------------------------------------
+
+DecisionService::DecisionService(DecisionServiceOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<DecisionService>> DecisionService::Start(
+    const std::string& store_directory,
+    const DecisionServiceOptions& options) {
+  std::unique_ptr<DecisionService> service(new DecisionService(options));
+  RELCOMP_ASSIGN_OR_RETURN(service->store_,
+                           CheckpointStore::Open(store_directory));
+  service->paused_ = options.start_paused;
+
+  // Recovery: every request with a durable job record is still
+  // in-flight — re-create and re-enqueue it. Recovered jobs bypass
+  // admission control (shedding a job the previous process already
+  // accepted would break the "accepted means survives a kill"
+  // contract).
+  {
+    std::unique_lock<std::mutex> lock(service->mu_);
+    for (const std::string& id : service->store_->PendingRequests()) {
+      Result<std::string> payload = service->store_->LoadJob(id);
+      if (!payload.ok()) continue;  // corrupt record: skipped, counted
+      Result<JobSpec> spec = JobSpec::Deserialize(*payload);
+      if (!spec.ok()) continue;
+      Status st = service->SubmitLocked(id, *spec, /*recovered=*/true, lock);
+      if (st.ok()) service->recovered_.push_back(id);
+    }
+  }
+
+  const size_t workers = std::max<size_t>(1, options.num_workers);
+  service->workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    service->workers_.emplace_back(
+        [svc = service.get()] { svc->WorkerLoop(); });
+  }
+  return service;
+}
+
+DecisionService::~DecisionService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+  result_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void DecisionService::Resume() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+std::vector<std::string> DecisionService::RecoveredJobs() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+bool DecisionService::crashed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+size_t DecisionService::jobs_shed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return jobs_shed_;
+}
+
+std::vector<std::string> DecisionService::completed_order() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return completed_order_;
+}
+
+size_t DecisionService::checkpoints_persisted() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return persist_ordinal_;
+}
+
+// --- Admission ------------------------------------------------------
+
+Status DecisionService::Submit(const std::string& request_id,
+                               const JobSpec& spec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::FailedPrecondition("decision service crashed");
+  }
+  if (stopping_) {
+    return Status::FailedPrecondition("decision service is shutting down");
+  }
+  // Load shedding: admission is bounded by jobs not yet terminal, so a
+  // burst beyond the bound is rejected up front instead of growing the
+  // queue without limit.
+  if (queued_count_ >= options_.max_queue_depth) {
+    ++jobs_shed_;
+    return Status::ResourceExhausted(
+        StrCat("admission control: ", queued_count_,
+               " jobs in flight, queue depth limit is ",
+               options_.max_queue_depth, "; job \"", request_id,
+               "\" shed"));
+  }
+  return SubmitLocked(request_id, spec, /*recovered=*/false, lock);
+}
+
+Status DecisionService::SubmitLocked(const std::string& request_id,
+                                     const JobSpec& spec, bool recovered,
+                                     std::unique_lock<std::mutex>& lock) {
+  if (jobs_.count(request_id) > 0) {
+    return Status::InvalidArgument(
+        StrCat("duplicate request id: ", request_id));
+  }
+  if (!recovered) {
+    // Reject unrunnable jobs at the door: a spec that does not parse
+    // would otherwise be discovered only by a worker (or, worse, by a
+    // restarted process during recovery).
+    Result<CompletenessSpec> parsed = ParseCompletenessSpec(spec.spec_text);
+    if (!parsed.ok()) return parsed.status();
+    if (spec.query_index >= parsed->queries.size()) {
+      return Status::InvalidArgument(
+          StrCat("query index ", spec.query_index, " out of range; spec has ",
+                 parsed->queries.size(), " queries"));
+    }
+    // Durability before admission: once Submit returns OK the job
+    // survives a kill.
+    RELCOMP_RETURN_NOT_OK(store_->PersistJob(request_id, spec.Serialize()));
+  }
+
+  auto job = std::make_unique<Job>();
+  job->id = request_id;
+  job->spec = spec;
+  job->recovered = recovered;
+  job->deadline = spec.deadline.has_value()
+                      ? std::chrono::steady_clock::now() + *spec.deadline
+                      : std::chrono::steady_clock::time_point::max();
+  queue_.emplace(std::make_pair(job->deadline, next_seq_++), request_id);
+  jobs_[request_id] = std::move(job);
+  ++queued_count_;
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Result<JobResult> DecisionService::Wait(const std::string& request_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(request_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrCat("unknown request id: ", request_id));
+  }
+  Job* job = it->second.get();
+  result_cv_.wait(lock, [&] { return job->terminal || crashed_; });
+  if (!job->terminal) {
+    return Status::FailedPrecondition(
+        StrCat("decision service crashed before job \"", request_id,
+               "\" finished; restart a service on ", store_->directory(),
+               " to resume it"));
+  }
+  if (!job->terminal_status.ok()) return job->terminal_status;
+  return job->result;
+}
+
+// --- Execution ------------------------------------------------------
+
+void DecisionService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] {
+      return stopping_ || crashed_ ||
+             (!paused_ && !queue_.empty());
+    });
+    if (crashed_) return;
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Oldest (earliest) deadline first; FIFO among deadline ties and
+    // deadline-free jobs via the admission sequence number.
+    auto front = queue_.begin();
+    Job* job = jobs_.at(front->second).get();
+    queue_.erase(front);
+    job->running = true;
+    RunJob(job, lock);
+    if (crashed_) return;
+  }
+}
+
+void DecisionService::RunJob(Job* job,
+                             std::unique_lock<std::mutex>& lock) {
+  auto finish = [&](Status status) {
+    // Terminal bookkeeping under the lock; `lock` is held here.
+    job->running = false;
+    job->terminal = true;
+    job->terminal_status = std::move(status);
+    --queued_count_;
+    completed_order_.push_back(job->id);
+    result_cv_.notify_all();
+  };
+
+  const JobSpec& spec = job->spec;
+  lock.unlock();
+  Result<CompletenessSpec> parsed = ParseCompletenessSpec(spec.spec_text);
+  if (!parsed.ok() || spec.query_index >= parsed->queries.size()) {
+    Status st = !parsed.ok()
+                    ? parsed.status()
+                    : Status::InvalidArgument(
+                          StrCat("query index ", spec.query_index,
+                                 " out of range"));
+    store_->Forget(job->id);
+    lock.lock();
+    finish(std::move(st));
+    return;
+  }
+  CompletenessSpec problem = std::move(*parsed);
+  const AnyQuery& query = problem.queries[spec.query_index];
+
+  ExecutionBudget budget;
+  if (spec.deadline.has_value()) budget.set_deadline(job->deadline);
+  const size_t base_slice = spec.slice_steps > 0
+                                ? spec.slice_steps
+                                : options_.default_slice_steps;
+  budget.set_cancel_token(cancel_all_.token());
+  if (options_.fault_injector != nullptr) {
+    budget.set_fault_injector(options_.fault_injector);
+  }
+
+  // Stall-escalation state. Checkpoint granularity is the search's
+  // rank space, so a slice smaller than one rank unit's cost produces
+  // a new generation identical to the last — zero durable progress,
+  // and a fixed slice would retry (or a crash chain would re-die)
+  // forever. When the newest generation's serialized form equals its
+  // predecessor's, the next attempt widens its slice to
+  // base << min(generation, 20). The generation number is durable and
+  // monotonic, so the exponent keeps growing across kills until a
+  // rank unit fits; once progress resumes the slice drops back to the
+  // configured base.
+  std::string last_durable_form;
+  uint64_t last_generation = 0;
+  bool stalled = false;
+
+  // Resume state. rcdp/rcqp checkpoints are self-contained, so the
+  // newest valid stored generation seeds the first attempt (this is
+  // the crash-recovery path). A chase checkpoint is only meaningful
+  // together with the partially chased database, which does not
+  // survive the process — a recovered chase restarts from round 0.
+  std::optional<SearchCheckpoint> resume;
+  if (spec.kind != JobKind::kChase) {
+    Result<PersistedCheckpoint> persisted =
+        store_->LoadLatestCheckpoint(job->id);
+    if (persisted.ok()) {
+      last_durable_form = persisted->checkpoint.Serialize();
+      last_generation = persisted->generation;
+      if (persisted->generation >= 2) {
+        Result<PersistedCheckpoint> prev =
+            store_->LoadCheckpoint(job->id, persisted->generation - 1);
+        stalled = prev.ok() &&
+                  prev->checkpoint.Serialize() == last_durable_form;
+      }
+      resume = std::move(persisted->checkpoint);
+      job->result.checkpoint_path = persisted->path;
+    }
+  }
+  Database chase_db = problem.db;  // chase: carried across retries
+
+  for (;;) {
+    ++job->result.attempts;
+    if (base_slice > 0) {
+      size_t effective = base_slice;
+      if (stalled) {
+        const size_t shift =
+            static_cast<size_t>(std::min<uint64_t>(last_generation, 20));
+        effective =
+            base_slice > (std::numeric_limits<size_t>::max() >> shift)
+                ? std::numeric_limits<size_t>::max()
+                : base_slice << shift;
+      }
+      budget.set_max_steps(effective);
+    }
+    Verdict verdict = Verdict::kUnknown;
+    std::string evidence;
+    std::optional<SearchCheckpoint> checkpoint;
+    ExhaustionInfo exhaustion;
+    Status decide_status = Status::OK();
+
+    RcdpOptions rcdp_options;
+    rcdp_options.num_threads = std::max<size_t>(1, spec.num_threads);
+    rcdp_options.budget = &budget;
+    rcdp_options.resume = resume.has_value() ? &*resume : nullptr;
+
+    switch (spec.kind) {
+      case JobKind::kRcdp: {
+        Result<RcdpResult> r = DecideRcdp(query, problem.db, problem.master,
+                                          problem.constraints, rcdp_options);
+        if (!r.ok()) { decide_status = r.status(); break; }
+        verdict = r->verdict;
+        evidence = RcdpEvidence(*r);
+        checkpoint = std::move(r->checkpoint);
+        exhaustion = r->exhaustion;
+        break;
+      }
+      case JobKind::kRcqp: {
+        RcqpOptions options;
+        options.rcdp = rcdp_options;
+        options.rcdp.resume = nullptr;  // travels inside the checkpoint
+        options.resume = rcdp_options.resume;
+        Result<RcqpResult> r =
+            DecideRcqp(query, problem.db_schema, problem.master,
+                       problem.constraints, options);
+        if (!r.ok()) { decide_status = r.status(); break; }
+        verdict = r->verdict;
+        evidence = RcqpEvidence(*r);
+        checkpoint = std::move(r->checkpoint);
+        exhaustion = r->exhaustion;
+        break;
+      }
+      case JobKind::kChase: {
+        Result<ChaseResult> r = ChaseToCompleteness(
+            query, chase_db, problem.master, problem.constraints,
+            spec.max_chase_rounds, rcdp_options);
+        if (!r.ok()) { decide_status = r.status(); break; }
+        verdict = r->verdict;
+        evidence = ChaseEvidence(*r);
+        checkpoint = std::move(r->checkpoint);
+        exhaustion = r->exhaustion;
+        chase_db = std::move(r->db);  // never discard completed rounds
+        break;
+      }
+    }
+
+    lock.lock();
+    if (crashed_) return;  // another job crashed the service mid-decide
+
+    if (!decide_status.ok()) {
+      store_->Forget(job->id);
+      finish(std::move(decide_status));
+      return;
+    }
+
+    const bool budget_saw_crash =
+        budget.exhausted_kind() == BudgetKind::kCrash;
+    if (verdict != Verdict::kUnknown) {
+      job->result.verdict = verdict;
+      job->result.evidence = std::move(evidence);
+      // Retry observability survives success: the budget's monotonic
+      // rearm count and sticky first-exhaustion record tell the
+      // operator how bumpy the road to the verdict was.
+      job->result.exhaustion.retry_count = budget.retry_count();
+      store_->Forget(job->id);
+      finish(Status::OK());
+      return;
+    }
+
+    // kUnknown: persist the resume point first — crash simulation and
+    // real kills alike must find it durable.
+    if (checkpoint.has_value()) {
+      uint64_t generation = 0;
+      if (!PersistAndMaybeCrash(job, *checkpoint, budget_saw_crash,
+                                &generation, lock)) {
+        return;  // simulated kill (or store failure after crash)
+      }
+      std::string form = checkpoint->Serialize();
+      stalled = form == last_durable_form;
+      last_durable_form = std::move(form);
+      last_generation = generation;
+    } else if (budget_saw_crash) {
+      // Nothing to persist (exhaustion before the first checkpointable
+      // point) — the kill still happens; recovery restarts from the
+      // job record alone.
+      CrashLocked();
+      return;
+    } else {
+      // No resume point at all: a retry would re-run the identical
+      // search, so only a wider slice can help. Escalate as if a
+      // same-form generation had been persisted.
+      stalled = true;
+      ++last_generation;
+    }
+
+    // Classify. Step-slice and memory exhaustion are transient: back
+    // off (capped exponential in the budget's monotonic retry count)
+    // and resume. Deadline, cancel, and the chase round cap are
+    // terminal: retrying cannot help (the deadline stays expired, the
+    // cap stays reached), so the job ends kUnknown with its newest
+    // checkpoint retained in the store for a manual resume.
+    const BudgetKind kind = exhaustion.kind;
+    const bool transient =
+        kind == BudgetKind::kSteps || kind == BudgetKind::kMemory;
+    const bool retries_left =
+        options_.max_retries == 0 ||
+        budget.retry_count() < options_.max_retries;
+    if (!transient || !retries_left) {
+      job->result.verdict = Verdict::kUnknown;
+      job->result.evidence = StrCat("unknown|", BudgetKindToString(kind));
+      job->result.exhaustion = exhaustion;
+      finish(Status::OK());
+      return;
+    }
+
+    const size_t retry = budget.retry_count();
+    std::chrono::milliseconds delay =
+        retry >= 20 ? options_.backoff_cap
+                    : std::min(options_.backoff_cap,
+                               options_.backoff_base * (1u << retry));
+    budget.Rearm();
+    resume = std::move(checkpoint);
+    lock.unlock();
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+}
+
+bool DecisionService::PersistAndMaybeCrash(
+    Job* job, const SearchCheckpoint& ckpt, bool budget_saw_crash,
+    uint64_t* generation_out, std::unique_lock<std::mutex>& lock) {
+  // Lock is held: the persist ordinal and the crash decision must be
+  // one atomic step across workers.
+  Result<uint64_t> generation = store_->PersistCheckpoint(job->id, ckpt);
+  if (!generation.ok()) {
+    // Store already crashed (simulated) or the disk failed: the job
+    // cannot make durable progress. Treat as a crash of the service —
+    // conservative, and exactly what a real fsync failure should do.
+    CrashLocked();
+    return false;
+  }
+  ++persist_ordinal_;
+  ++job->result.persisted;
+  *generation_out = *generation;
+  job->result.checkpoint_path =
+      StrCat(store_->directory(), "/", job->id, ".g", *generation, ".ckpt");
+  if (budget_saw_crash || (options_.crash_after_persist > 0 &&
+                           persist_ordinal_ == options_.crash_after_persist)) {
+    // Persist-then-abort: the generation above IS durable; the kill
+    // lands after it, which is the worst case recovery must win.
+    CrashLocked();
+    return false;
+  }
+  return true;
+}
+
+void DecisionService::CrashLocked() {
+  crashed_ = true;
+  store_->SimulateCrash();
+  cancel_all_.RequestCancel();
+  queue_cv_.notify_all();
+  result_cv_.notify_all();
+}
+
+}  // namespace relcomp

@@ -1,0 +1,228 @@
+#ifndef RELCOMP_SERVICE_DECISION_SERVICE_H_
+#define RELCOMP_SERVICE_DECISION_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "completeness/rcdp.h"
+#include "service/checkpoint_store.h"
+#include "util/execution_control.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Which decider a job runs.
+enum class JobKind : uint8_t { kRcdp, kRcqp, kChase };
+
+const char* JobKindToString(JobKind kind);
+
+/// One completeness-audit job: the problem instance travels as spec
+/// text (the relcheck .rcspec format) so the job can be re-created —
+/// and its checkpoint resumed — by a process that shares nothing with
+/// the submitter but the store directory.
+struct JobSpec {
+  JobKind kind = JobKind::kRcdp;
+  /// The full problem in CompletenessSpec syntax.
+  std::string spec_text;
+  /// Which `query` line of the spec to audit.
+  size_t query_index = 0;
+  /// Worker threads for the decider's valuation search (1 = serial).
+  size_t num_threads = 1;
+  /// Decision points per execution slice (0 = inherit the service's
+  /// default_slice_steps). At each slice boundary the checkpoint is
+  /// persisted before the search continues — the knob that trades
+  /// persist overhead against recovery granularity.
+  size_t slice_steps = 0;
+  /// Relative deadline, inherited into the job's ExecutionBudget at
+  /// the start of execution (nullopt = none). Scheduling is
+  /// oldest-deadline-first over these.
+  std::optional<std::chrono::milliseconds> deadline;
+  /// kChase only: round cap.
+  size_t max_chase_rounds = 32;
+
+  /// Single-line versioned text form (the store's job record).
+  std::string Serialize() const;
+  static Result<JobSpec> Deserialize(std::string_view text);
+};
+
+/// Terminal outcome of a job.
+struct JobResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Canonical evidence string: verdict plus the decider-specific
+  /// evidence (counterexample delta + new answer for RCDP; existence +
+  /// witness + method for RCQP; rounds + chased database for the
+  /// chase). Two runs decided identically iff their keys are equal —
+  /// the crash-recovery sweep compares these bit-for-bit.
+  std::string evidence;
+  /// Why the job stopped short, when verdict == kUnknown.
+  ExhaustionInfo exhaustion;
+  /// Last persisted checkpoint file ("" when none) — on a terminal
+  /// kUnknown the store keeps it for a later manual resume.
+  std::string checkpoint_path;
+  /// Execution attempts (1 = no retry).
+  size_t attempts = 0;
+  /// Checkpoint generations persisted while running.
+  size_t persisted = 0;
+};
+
+/// Service configuration.
+struct DecisionServiceOptions {
+  /// Admission control: jobs queued (not yet terminal) beyond this
+  /// bound are shed with kResourceExhausted at Submit.
+  size_t max_queue_depth = 64;
+  /// Worker threads draining the queue.
+  size_t num_workers = 1;
+  /// Default decision points per slice for jobs that leave
+  /// JobSpec::slice_steps at 0. 0 = run each attempt to completion.
+  /// Liveness note: checkpoints are rank-granular, so a slice smaller
+  /// than one rank unit's cost cannot record durable progress. The
+  /// service detects this (the new generation serializes identically
+  /// to its predecessor — the comparison also runs at recovery, over
+  /// the two retained generations, so it survives kills) and widens
+  /// the stalled job's slice to base << min(generation, 20) until a
+  /// unit completes, then returns to the configured base.
+  size_t default_slice_steps = 0;
+  /// Cap on transient-exhaustion retries per job (0 = unlimited; the
+  /// deadline still bounds sliced jobs).
+  size_t max_retries = 0;
+  /// Capped exponential backoff before a retry: delay =
+  /// min(backoff_base << retry_count, backoff_cap).
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_cap{64};
+  /// Start with the workers parked until Resume() — lets tests fill
+  /// the queue deterministically (admission control, EDF order).
+  bool start_paused = false;
+  /// Crash harness, mechanism 1: simulate a kill right after the k-th
+  /// successful checkpoint persist (1-based ordinal across the whole
+  /// service; 0 = off). Sweeping k over every persist site proves no
+  /// write ordering can lose a committed generation.
+  size_t crash_after_persist = 0;
+  /// Crash harness, mechanism 2: armed on every job budget. A
+  /// kPersistAbort injector trips the budget as BudgetKind::kCrash at
+  /// its decision point; the worker persists the unwound checkpoint
+  /// and then simulates the kill. Sweeping the point over [0, total)
+  /// proves recovery from every interruption position. Not owned.
+  const FaultInjector* fault_injector = nullptr;
+};
+
+/// Crash-recoverable decision service.
+///
+/// Lifecycle: Start() opens (exclusively locks) the store directory,
+/// re-creates every in-flight job found there (RecoveredJobs()), and
+/// spawns the workers. Submit() durably records the job, then enqueues
+/// it — so a job accepted is a job that survives a kill. Workers drain
+/// the queue oldest-deadline-first, run each job's decider under a
+/// per-request ExecutionBudget (deadline inherited from the JobSpec),
+/// persist the checkpoint at every slice boundary, and retry transient
+/// exhaustion (step-slice, memory) with capped exponential backoff by
+/// resuming from the persisted checkpoint. Deadline and cancel
+/// exhaustion are terminal: the job ends kUnknown with its latest
+/// checkpoint left in the store. Completed jobs are Forget()ten.
+///
+/// Crash recovery: a restarted service re-parses each pending job's
+/// spec and resumes from its newest valid checkpoint; the PR-3 resume
+/// guarantees make the final verdict and evidence bit-for-bit equal to
+/// an uninterrupted run at any thread count. Chase jobs are the one
+/// caveat: the partially chased database lives only in memory, so a
+/// cross-process recovery re-runs the (deterministic) chase from round
+/// 0 — same final result, repeated work. In-process retries of a chase
+/// do reuse the partial database.
+class DecisionService {
+ public:
+  static Result<std::unique_ptr<DecisionService>> Start(
+      const std::string& store_directory,
+      const DecisionServiceOptions& options = DecisionServiceOptions());
+
+  /// Joins the workers (draining the queue unless crashed).
+  ~DecisionService();
+  DecisionService(const DecisionService&) = delete;
+  DecisionService& operator=(const DecisionService&) = delete;
+
+  /// Admits `spec` as `request_id`, durably persisting it first.
+  /// kResourceExhausted when the queue is full (load shedding);
+  /// kInvalidArgument on a bad id, duplicate id, or a spec that does
+  /// not serialize; kFailedPrecondition after a (simulated) crash.
+  Status Submit(const std::string& request_id, const JobSpec& spec);
+
+  /// Blocks until `request_id` is terminal and returns its result.
+  /// kNotFound for an unknown id; kFailedPrecondition if the service
+  /// crashed before the job finished.
+  Result<JobResult> Wait(const std::string& request_id);
+
+  /// Releases workers parked by start_paused. Idempotent.
+  void Resume();
+
+  /// Request ids found in the store at Start() and re-enqueued.
+  std::vector<std::string> RecoveredJobs() const;
+
+  /// True after a simulated kill; every later operation fails
+  /// kFailedPrecondition.
+  bool crashed() const;
+
+  /// Jobs shed at admission so far.
+  size_t jobs_shed() const;
+
+  /// Request ids in the order they became terminal — observability for
+  /// the oldest-deadline-first scheduling contract.
+  std::vector<std::string> completed_order() const;
+
+  /// Checkpoint generations persisted so far (all jobs).
+  size_t checkpoints_persisted() const;
+
+  const CheckpointStore& store() const { return *store_; }
+
+ private:
+  struct Job;
+
+  explicit DecisionService(DecisionServiceOptions options);
+
+  Status SubmitLocked(const std::string& request_id, const JobSpec& spec,
+                      bool recovered, std::unique_lock<std::mutex>& lock);
+  void WorkerLoop();
+  /// Runs one job to a terminal state (or crash). Called with the lock
+  /// held; drops it while deciding.
+  void RunJob(Job* job, std::unique_lock<std::mutex>& lock);
+  /// Persists `ckpt` for `job` and fires the crash harness if armed.
+  /// Returns false when the service crashed (simulated kill); on
+  /// success `*generation_out` is the durable generation written.
+  bool PersistAndMaybeCrash(Job* job, const SearchCheckpoint& ckpt,
+                            bool budget_saw_crash, uint64_t* generation_out,
+                            std::unique_lock<std::mutex>& lock);
+  void CrashLocked();
+
+  DecisionServiceOptions options_;
+  std::unique_ptr<CheckpointStore> store_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // workers: queue / resume / stop
+  std::condition_variable result_cv_;  // waiters: job became terminal
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool crashed_ = false;
+  /// EDF ready-queue: (absolute deadline, admission seq) -> request id.
+  std::map<std::pair<std::chrono::steady_clock::time_point, uint64_t>,
+           std::string>
+      queue_;
+  std::map<std::string, std::unique_ptr<Job>> jobs_;
+  std::vector<std::string> recovered_;
+  std::vector<std::string> completed_order_;
+  uint64_t next_seq_ = 0;
+  size_t queued_count_ = 0;  // queued + running (admission-controlled)
+  size_t jobs_shed_ = 0;
+  size_t persist_ordinal_ = 0;  // service-wide persist counter
+  /// Cancels every running budget on crash/shutdown so workers unwind.
+  CancelSource cancel_all_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_SERVICE_DECISION_SERVICE_H_

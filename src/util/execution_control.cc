@@ -15,6 +15,7 @@ const char* BudgetKindToString(BudgetKind kind) {
     case BudgetKind::kMemory: return "memory";
     case BudgetKind::kCancel: return "cancel";
     case BudgetKind::kRounds: return "rounds";
+    case BudgetKind::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -42,6 +43,11 @@ Status StatusForKind(BudgetKind kind, size_t at_point) {
     case BudgetKind::kRounds:
       return Status::ResourceExhausted(
           StrCat("round budget exhausted at round ", at_point));
+    case BudgetKind::kCrash:
+      return Status::ResourceExhausted(
+          StrCat("simulated crash (persist-then-abort) injected at "
+                 "decision point ",
+                 at_point));
     case BudgetKind::kNone:
       break;
   }
@@ -57,6 +63,12 @@ Status ExecutionBudget::Exhaust(BudgetKind kind, size_t at_point) {
   if (exhausted_kind_.compare_exchange_strong(
           expected, static_cast<uint8_t>(kind), std::memory_order_acq_rel)) {
     exhausted_at_.store(at_point, std::memory_order_release);
+    // The first exhaustion ever survives Rearm(): record it once.
+    uint8_t first = static_cast<uint8_t>(BudgetKind::kNone);
+    if (first_exhausted_kind_.compare_exchange_strong(
+            first, static_cast<uint8_t>(kind), std::memory_order_acq_rel)) {
+      first_exhausted_at_.store(at_point, std::memory_order_release);
+    }
     return StatusForKind(kind, at_point);
   }
   return exhaustion_status();
@@ -112,10 +124,15 @@ std::string SearchCheckpoint::Serialize() const {
 
 Result<SearchCheckpoint> SearchCheckpoint::Deserialize(
     std::string_view text) {
+  const std::string_view full = text;
+  // Every rejection names the defect and the byte offset where parsing
+  // stopped, so a corrupted store file is diagnosable from the error
+  // alone.
   auto fail = [&](std::string_view why) {
     return Status::InvalidArgument(
-        StrCat("malformed checkpoint (", std::string(why), "): ",
-               std::string(text.substr(0, 64))));
+        StrCat("malformed checkpoint (", std::string(why), " at byte ",
+               full.size() - text.size(), " of ", full.size(), "): ",
+               std::string(full.substr(0, 64))));
   };
   auto take_field = [&]() -> std::optional<std::string_view> {
     size_t sp = text.find(' ');
@@ -168,13 +185,17 @@ Result<SearchCheckpoint> SearchCheckpoint::Deserialize(
 
 std::string ExhaustionInfo::ToString() const {
   if (!exhausted()) return "none";
-  if (detail.empty()) return BudgetKindToString(kind);
-  return StrCat(BudgetKindToString(kind), ": ", detail);
+  std::string out = detail.empty()
+                        ? std::string(BudgetKindToString(kind))
+                        : StrCat(BudgetKindToString(kind), ": ", detail);
+  if (retry_count > 0) out += StrCat(" [retry ", retry_count, "]");
+  return out;
 }
 
 ExhaustionInfo ExhaustionFromStatus(const Status& status,
                                     const ExecutionBudget* budget) {
   ExhaustionInfo info;
+  if (budget != nullptr) info.retry_count = budget->retry_count();
   if (budget != nullptr && budget->exhausted()) {
     info.kind = budget->exhausted_kind();
     info.detail = budget->exhaustion_status().message();

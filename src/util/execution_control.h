@@ -25,6 +25,10 @@ enum class BudgetKind : uint8_t {
   kMemory,
   kCancel,
   kRounds,
+  /// A FaultInjector::kPersistAbort fault: the search unwinds exactly
+  /// like a deadline exhaustion, and the DecisionService, after
+  /// persisting the resulting checkpoint, simulates a process kill.
+  kCrash,
 };
 
 const char* BudgetKindToString(BudgetKind kind);
@@ -80,6 +84,13 @@ class FaultInjector {
     kCancel,        ///< behaves like a user CancelToken firing
     kDeadline,      ///< behaves like the wall-clock deadline passing
     kAllocFailure,  ///< behaves like the tracked-memory limit tripping
+    /// Trips the budget as BudgetKind::kCrash: the decider unwinds
+    /// with a checkpoint as usual, and the service layer persists that
+    /// checkpoint and then aborts (a simulated kill -9 right after the
+    /// durable write). The crash-recovery sweep arms this at every
+    /// decision point to prove restart + resume reproduces the
+    /// uninterrupted run bit-for-bit.
+    kPersistAbort,
   };
 
   FaultInjector(Fault fault, size_t at_decision_point)
@@ -92,6 +103,7 @@ class FaultInjector {
       case Fault::kCancel: return BudgetKind::kCancel;
       case Fault::kDeadline: return BudgetKind::kDeadline;
       case Fault::kAllocFailure: return BudgetKind::kMemory;
+      case Fault::kPersistAbort: return BudgetKind::kCrash;
     }
     return BudgetKind::kNone;
   }
@@ -187,11 +199,36 @@ class ExecutionBudget {
   /// been returning since exhaustion.
   Status exhaustion_status() const;
 
+  /// How many times this budget has been rearmed for a resumed call.
+  /// Monotonic: Rearm() increments it and nothing resets it, so the
+  /// DecisionService's exponential-backoff decisions (delay doubles
+  /// with retry_count, capped) are observable in every ExhaustionInfo
+  /// minted from this budget.
+  size_t retry_count() const {
+    return retry_count_.load(std::memory_order_acquire);
+  }
+  /// The first exhaustion this budget ever recorded. Unlike the
+  /// current record, it survives Rearm(): after any number of resumed
+  /// attempts the original trip (kind + decision point) stays
+  /// inspectable. kNone until the first trip.
+  BudgetKind first_exhausted_kind() const {
+    return static_cast<BudgetKind>(
+        first_exhausted_kind_.load(std::memory_order_acquire));
+  }
+  size_t first_exhausted_at() const {
+    return first_exhausted_at_.load(std::memory_order_acquire);
+  }
+
   /// Clears the sticky exhaustion record and the step counter so the
-  /// same budget instance can drive a resumed call. Tracked bytes are
-  /// kept (live allocations from the interrupted call may persist);
-  /// limits, token, and injector are kept as configured.
+  /// same budget instance can drive a resumed call, and increments the
+  /// monotonic retry counter. The first-exhaustion record is
+  /// preserved. Tracked bytes are kept (live allocations from the
+  /// interrupted call may persist); limits, token, and injector are
+  /// kept as configured.
   void Rearm() {
+    if (exhausted()) {
+      retry_count_.fetch_add(1, std::memory_order_acq_rel);
+    }
     exhausted_kind_.store(static_cast<uint8_t>(BudgetKind::kNone),
                           std::memory_order_release);
     exhausted_at_.store(0, std::memory_order_release);
@@ -215,6 +252,11 @@ class ExecutionBudget {
   /// live) and the decision point that tripped it.
   std::atomic<uint8_t> exhausted_kind_{0};
   std::atomic<size_t> exhausted_at_{0};
+  /// Preserved across Rearm(): the first exhaustion ever recorded and
+  /// the number of rearms since construction.
+  std::atomic<uint8_t> first_exhausted_kind_{0};
+  std::atomic<size_t> first_exhausted_at_{0};
+  std::atomic<size_t> retry_count_{0};
 };
 
 // --- Search checkpoints ---------------------------------------------
@@ -257,6 +299,11 @@ struct SearchCheckpoint {
 struct ExhaustionInfo {
   BudgetKind kind = BudgetKind::kNone;
   std::string detail;
+  /// How many resumed attempts preceded this exhaustion (the budget's
+  /// monotonic Rearm() count). 0 on a first attempt; the
+  /// DecisionService uses it to pick the capped exponential backoff
+  /// before the next resume.
+  size_t retry_count = 0;
 
   bool exhausted() const { return kind != BudgetKind::kNone; }
   std::string ToString() const;

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

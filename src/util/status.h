@@ -26,6 +26,9 @@ enum class StatusCode {
   /// The operation was cancelled cooperatively (e.g. a parallel search
   /// worker observing a stop request after another worker already won).
   kCancelled,
+  /// The system is not in the state the operation requires (e.g. a
+  /// second process trying to acquire an already-held store lock).
+  kFailedPrecondition,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
 };
@@ -57,6 +60,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
