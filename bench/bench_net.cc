@@ -1,0 +1,310 @@
+// Wire overhead of the network front end — what talking to the
+// decision service over a socket costs relative to calling it in
+// process. The same audit (the grid instance the service tests use) is
+// submitted and awaited two ways, interleaved: directly against a
+// DecisionService (Submit + Wait), and through a NetServer over a
+// unix-domain socket with a NetClient (Submit + AwaitTerminal). The
+// difference is the price of the frame codec, the poll(2) loop, and
+// the submit-then-poll protocol; the target is <= 10% end to end.
+//
+// A third phase re-runs the networked flow with periodic socket faults
+// (torn frames) armed, reporting client-observed p50/p99 latency and
+// how many transport retries the recovery cost — the robustness tax,
+// measured rather than asserted.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/decision_service.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace net_bench {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+std::string FreshDir(const char* tag) {
+  static int counter = 0;
+  return StrCat("/tmp/relcomp_bench_net_", ::getpid(), "_", tag, "_",
+                counter++);
+}
+
+std::string FreshSocket(const char* tag) {
+  static int counter = 0;
+  return StrCat("unix:/tmp/relcomp_bench_net_", ::getpid(), "_", tag, "_",
+                counter++, ".sock");
+}
+
+/// The service tests' grid instance: every pair over {0..5} x {0..6}
+/// except the far corner — a search of a few dozen decision points, so
+/// one audit is milliseconds and the wire share is visible.
+std::string GridSpecText() {
+  std::string s = "relation S(a, b)\nmaster relation M(m)\n";
+  for (int x = 0; x <= 5; ++x) {
+    for (int y = 0; y <= 6; ++y) {
+      if (x == 5 && y == 6) continue;
+      s += StrCat("fact S(", x, ", ", y, ")\n");
+    }
+  }
+  for (int m = 0; m <= 5; ++m) s += StrCat("master fact M(", m, ")\n");
+  s += "constraint c0(x) :- S(x, y) |= M[0]\n";
+  s += "query cq Q(x, y) :- S(x, y)\n";
+  return s;
+}
+
+JobSpec GridJob() {
+  JobSpec job;
+  job.kind = JobKind::kRcdp;
+  job.spec_text = GridSpecText();
+  job.slice_steps = 16;
+  return job;
+}
+
+/// An in-process service plus a NetServer fronting it over a unix
+/// socket — the whole stack under one roof for paired measurement.
+struct Stack {
+  std::unique_ptr<DecisionService> service;
+  std::unique_ptr<NetServer> server;
+  std::unique_ptr<NetClient> client;
+};
+
+Stack StartStack() {
+  Stack s;
+  s.service = ValueOrDie(DecisionService::Start(FreshDir("svc")), "service");
+  s.server = ValueOrDie(
+      NetServer::Start(s.service.get(), FreshSocket("srv")), "server");
+  NetClientOptions copts;
+  copts.io_timeout = std::chrono::milliseconds(2000);
+  s.client = std::make_unique<NetClient>(s.server->address(), copts);
+  return s;
+}
+
+/// One in-process audit round trip; returns elapsed nanoseconds.
+double InProcessOp(DecisionService* service, const JobSpec& job, size_t seq) {
+  using Clock = std::chrono::steady_clock;
+  const std::string key = StrCat("bench-local-", seq);
+  const Clock::time_point t0 = Clock::now();
+  CheckOk(service->Submit(key, job), "submit");
+  auto result = service->Wait(key);
+  CheckOk(result.status(), "wait");
+  benchmark::DoNotOptimize(result->evidence.size());
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+/// One networked audit round trip (submit, then poll to the verdict
+/// without sleeping — the latency floor of the wire protocol).
+double NetworkedOp(NetClient* client, const JobSpec& job, size_t seq,
+                   const char* tag) {
+  using Clock = std::chrono::steady_clock;
+  const std::string key = StrCat("bench-", tag, "-", seq);
+  const Clock::time_point t0 = Clock::now();
+  CheckOk(client->Submit(key, job), "net submit");
+  auto reply = client->AwaitTerminal(key, std::chrono::milliseconds(0));
+  CheckOk(reply.status(), "net await");
+  benchmark::DoNotOptimize(reply->evidence.size());
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+void BM_InProcessSubmitWait(benchmark::State& state) {
+  auto service = ValueOrDie(DecisionService::Start(FreshDir("bm")), "service");
+  const JobSpec job = GridJob();
+  size_t seq = 0;
+  for (auto _ : state) InProcessOp(service.get(), job, seq++);
+}
+BENCHMARK(BM_InProcessSubmitWait);
+
+void BM_NetworkedSubmitAwait(benchmark::State& state) {
+  Stack stack = StartStack();
+  const JobSpec job = GridJob();
+  size_t seq = 0;
+  for (auto _ : state) NetworkedOp(stack.client.get(), job, seq++, "bm");
+  stack.server->Shutdown();
+}
+BENCHMARK(BM_NetworkedSubmitAwait);
+
+void BM_NetworkedSubmitAwaitUnderFaults(benchmark::State& state) {
+  Stack stack = StartStack();
+  SocketFaultPlan plan;
+  plan.kind = SocketFaultPlan::Kind::kTornFrame;
+  plan.every = 7;
+  plan.at_byte = 12;
+  stack.server->InjectFault(plan);
+  const JobSpec job = GridJob();
+  size_t seq = 0;
+  for (auto _ : state) NetworkedOp(stack.client.get(), job, seq++, "bmf");
+  state.counters["retries"] =
+      static_cast<double>(stack.client->stats().retries);
+  stack.server->Shutdown();
+}
+BENCHMARK(BM_NetworkedSubmitAwaitUnderFaults);
+
+/// One measured configuration: mean plus the client-observed latency
+/// distribution (p50/p99 over the per-op samples).
+struct Measured {
+  double ns_per_op = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  size_t iterations = 0;
+  size_t retries = 0;        ///< client transport retries (networked only)
+  size_t faults_injected = 0;  ///< server-side (faulty phase only)
+};
+
+void Finish(std::vector<double>* samples, Measured* out) {
+  std::sort(samples->begin(), samples->end());
+  double total = 0;
+  for (double s : *samples) total += s;
+  out->iterations = samples->size();
+  out->ns_per_op = total / static_cast<double>(samples->size());
+  out->p50_ns = (*samples)[samples->size() / 2];
+  out->p99_ns = (*samples)[samples->size() - 1 - samples->size() / 100];
+}
+
+/// Interleaved A/B measurement, as in bench_service: each round runs
+/// one in-process op then one networked op back to back, so drift hits
+/// both configurations equally instead of biasing the second block.
+void MeasurePaired(Stack* stack, const JobSpec& job, double min_seconds,
+                   Measured* in_process, Measured* networked) {
+  using Clock = std::chrono::steady_clock;
+  InProcessOp(stack->service.get(), job, 999000);  // warm-up
+  NetworkedOp(stack->client.get(), job, 999000, "warm");
+  std::vector<double> local_ns;
+  std::vector<double> net_ns;
+  const Clock::time_point start = Clock::now();
+  size_t seq = 0;
+  for (;;) {
+    local_ns.push_back(InProcessOp(stack->service.get(), job, seq));
+    net_ns.push_back(NetworkedOp(stack->client.get(), job, seq, "paired"));
+    ++seq;
+    const double elapsed = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    if (elapsed >= min_seconds * 1e9) break;
+  }
+  Finish(&local_ns, in_process);
+  Finish(&net_ns, networked);
+}
+
+/// The faulty phase: same networked op with periodic torn frames armed.
+void MeasureFaulty(Stack* stack, const JobSpec& job, double min_seconds,
+                   Measured* out) {
+  using Clock = std::chrono::steady_clock;
+  SocketFaultPlan plan;
+  plan.kind = SocketFaultPlan::Kind::kTornFrame;
+  plan.every = 7;  // roughly one injured reply per audit
+  plan.at_byte = 12;
+  stack->server->InjectFault(plan);
+  const size_t retries_before = stack->client->stats().retries;
+  const size_t faults_before = stack->server->stats().faults_injected;
+  std::vector<double> samples;
+  const Clock::time_point start = Clock::now();
+  size_t seq = 0;
+  for (;;) {
+    samples.push_back(
+        NetworkedOp(stack->client.get(), job, seq++, "faulty"));
+    const double elapsed = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    if (elapsed >= min_seconds * 1e9) break;
+  }
+  Finish(&samples, out);
+  out->retries = stack->client->stats().retries - retries_before;
+  out->faults_injected =
+      stack->server->stats().faults_injected - faults_before;
+  stack->server->InjectFault(SocketFaultPlan());  // disarm
+}
+
+void AppendConfigJson(std::string* json, const char* name,
+                      const Measured& m, bool networked) {
+  *json += StrCat("    \"", name, "\": {\n");
+  *json += StrCat("      \"ns_per_op\": ", static_cast<size_t>(m.ns_per_op),
+                  ",\n");
+  *json += StrCat("      \"p50_ns\": ", static_cast<size_t>(m.p50_ns), ",\n");
+  *json += StrCat("      \"p99_ns\": ", static_cast<size_t>(m.p99_ns), ",\n");
+  *json += StrCat("      \"iterations\": ", m.iterations);
+  if (networked) {
+    *json += StrCat(",\n      \"client_retries\": ", m.retries);
+    *json += StrCat(",\n      \"server_faults_injected\": ",
+                    m.faults_injected);
+  }
+  *json += "\n    }";
+}
+
+/// Measures the three configurations and writes BENCH_net.json. Output
+/// path overridable via RELCOMP_BENCH_NET_JSON.
+void WriteNetJson() {
+  const double min_seconds = 6.0;
+  Stack stack = StartStack();
+  const JobSpec job = GridJob();
+
+  Measured in_process;
+  Measured networked;
+  Measured faulty;
+  MeasurePaired(&stack, job, min_seconds, &in_process, &networked);
+  MeasureFaulty(&stack, job, min_seconds / 2, &faulty);
+
+  const double overhead_pct =
+      in_process.ns_per_op > 0
+          ? (networked.ns_per_op / in_process.ns_per_op - 1.0) * 100.0
+          : 0;
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"net_wire_overhead\",\n";
+  json += "  \"transport\": \"unix\",\n";
+  json += "  \"instance\": \"6x7 grid minus far corner, slice_steps 16\",\n";
+  json += "  \"configs\": {\n";
+  AppendConfigJson(&json, "in_process", in_process, false);
+  json += ",\n";
+  AppendConfigJson(&json, "networked", networked, true);
+  json += ",\n";
+  AppendConfigJson(&json, "networked_torn_frames", faulty, true);
+  json += "\n  },\n";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", overhead_pct);
+  json += StrCat("  \"wire_overhead_pct\": ", buf, ",\n");
+  json += "  \"wire_overhead_target_pct\": 10.0\n";
+  json += "}\n";
+
+  const char* path = std::getenv("RELCOMP_BENCH_NET_JSON");
+  if (path == nullptr) path = "BENCH_net.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf(
+      "wrote %s (wire overhead %s%%; %zu retries over %zu faulty audits)\n",
+      path, buf, faulty.retries, faulty.iterations);
+  stack.server->Shutdown();
+}
+
+}  // namespace net_bench
+}  // namespace relcomp
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  relcomp::net_bench::WriteNetJson();
+  return 0;
+}

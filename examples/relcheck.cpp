@@ -1,7 +1,15 @@
 // relcheck — command-line completeness checker.
 //
+// Local audit:
 //   relcheck <spec-file> [--rcqp] [--chase N] [--explain]
-//            [--deadline-ms N] [--resume-dir DIR]
+//            [--deadline-ms N] [--max-steps N] [--resume-dir DIR]
+// Decision server (fault-tolerant network front end):
+//   relcheck --serve ADDR --store-dir DIR [--workers N]
+// Networked audit against a running server:
+//   relcheck --connect ADDR <spec-file> [--deadline-ms N]
+//
+// ADDR is "unix:<path>" or "tcp:<ipv4>:<port>" (port 0 = ephemeral,
+// the bound address is printed).
 //
 // Loads a textual spec (schemas, facts, containment constraints,
 // queries — see src/spec/spec_parser.h for the syntax), verifies the
@@ -10,57 +18,194 @@
 // (could any database be complete?), and with --chase N it applies up
 // to N counterexample rounds to complete the database.
 //
-// With --deadline-ms the RCDP search runs under a wall-clock budget;
-// an exhausted search reports UNKNOWN with the exhaustion cause. With
+// With --deadline-ms the RCDP search runs under a wall-clock budget,
+// and with --max-steps under a decision-point budget (deterministic —
+// the same spec exhausts at the same point on every machine); an
+// exhausted search reports UNKNOWN with the exhaustion cause. With
 // --resume-dir the search checkpoint is persisted to a durable
 // CheckpointStore on exhaustion, and a later invocation with the same
 // spec and directory resumes from it — the combined verdict is
 // bit-for-bit the uninterrupted one (a durable audit across process
 // lifetimes).
+//
+// Exit codes (scriptable; the worst outcome across queries wins):
+//   0  every audited query is COMPLETE
+//   1  at least one query is INCOMPLETE (none worse)
+//   2  at least one query is UNKNOWN — budget exhausted, cancelled, or
+//      the decider does not support the query class
+//   3  usage or internal error: bad flags, unreadable spec, database
+//      not partially closed, store/transport failure
+// --serve exits 0 after a graceful (SIGINT/SIGTERM) drain, 3 on setup
+// failure.
 
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "completeness/characterizations.h"
 #include "completeness/rcdp.h"
 #include "completeness/rcqp.h"
 #include "constraints/constraint_check.h"
 #include "eval/query_eval.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/checkpoint_store.h"
+#include "service/decision_service.h"
 #include "spec/spec_parser.h"
 #include "util/str.h"
 
 namespace {
 
+// The exit-code ladder; MaxExit keeps the worst outcome seen so far.
+constexpr int kExitComplete = 0;
+constexpr int kExitIncomplete = 1;
+constexpr int kExitUnknown = 2;
+constexpr int kExitError = 3;
+
 int Fail(const relcomp::Status& status) {
   std::cerr << "relcheck: " << status.ToString() << std::endl;
-  return EXIT_FAILURE;
+  return kExitError;
 }
 
 void Usage() {
-  std::cerr << "usage: relcheck <spec-file> [--rcqp] [--chase N] [--explain]"
-               " [--deadline-ms N] [--resume-dir DIR]"
-            << std::endl;
+  std::cerr
+      << "usage: relcheck <spec-file> [--rcqp] [--chase N] [--explain]\n"
+         "                [--deadline-ms N] [--max-steps N]\n"
+         "                [--resume-dir DIR]\n"
+         "       relcheck --serve ADDR --store-dir DIR [--workers N]\n"
+         "       relcheck --connect ADDR <spec-file> [--deadline-ms N]\n"
+         "ADDR: unix:<path> | tcp:<ipv4>:<port>\n"
+         "exit: 0 complete, 1 incomplete, 2 unknown/exhausted, 3 error"
+      << std::endl;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// Serve mode: a DecisionService over the store directory, fronted by
+/// a NetServer, running until SIGINT/SIGTERM, then drained.
+int RunServer(const std::string& address, const std::string& store_dir,
+              size_t workers) {
+  using namespace relcomp;
+  DecisionServiceOptions options;
+  options.num_workers = workers;
+  auto service = DecisionService::Start(store_dir, options);
+  if (!service.ok()) return Fail(service.status());
+  for (const std::string& id : (*service)->RecoveredJobs()) {
+    std::cout << "recovered in-flight job: " << id << "\n";
+  }
+  auto server = NetServer::Start(service->get(), address);
+  if (!server.ok()) return Fail(server.status());
+  std::cout << "relcheck serving on " << (*server)->address()
+            << " (store: " << store_dir << ", workers: " << workers
+            << ")\n"
+            << std::flush;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "draining...\n";
+  (*server)->Shutdown();
+  NetServerStats stats = (*server)->stats();
+  std::cout << "served " << stats.frames_received << " requests ("
+            << stats.submits_admitted << " admitted, "
+            << stats.submits_deduped << " deduped, " << stats.submits_shed
+            << " shed)\n";
+  return kExitComplete;
+}
+
+/// Connect mode: submit every query of the spec as a job keyed by a
+/// fingerprint-derived idempotency key, await the verdicts. Re-running
+/// the same spec against the same server (even across server restarts)
+/// reattaches to the same jobs instead of resubmitting.
+int RunClient(const std::string& address, const std::string& spec_path,
+              long deadline_ms) {
+  using namespace relcomp;
+  std::ifstream in(spec_path);
+  if (!in) {
+    return Fail(Status::NotFound(StrCat("cannot read spec: ", spec_path)));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string spec_text = buffer.str();
+  // Parse locally first: a malformed spec should be a fast local error,
+  // not N server round trips, and we need the query count.
+  auto spec = ParseCompletenessSpec(spec_text);
+  if (!spec.ok()) return Fail(spec.status());
+
+  char fp[17];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(
+                    FingerprintString(spec_text)));
+  NetClient client(address);
+  int exit_code = kExitComplete;
+  for (size_t i = 0; i < spec->queries.size(); ++i) {
+    const std::string key = StrCat("relcheck-", fp, "-q", i + 1);
+    JobSpec job;
+    job.kind = JobKind::kRcdp;
+    job.spec_text = spec_text;
+    job.query_index = i;
+    if (deadline_ms > 0) {
+      job.deadline = std::chrono::milliseconds(deadline_ms);
+    }
+    Status submitted = client.Submit(key, job);
+    if (!submitted.ok()) return Fail(submitted);
+    std::cout << "query #" << i + 1 << " submitted as " << key << "\n";
+  }
+  for (size_t i = 0; i < spec->queries.size(); ++i) {
+    const std::string key = StrCat("relcheck-", fp, "-q", i + 1);
+    auto reply = client.AwaitTerminal(key);
+    if (!reply.ok()) return Fail(reply.status());
+    std::cout << "query #" << i + 1 << ": "
+              << VerdictToString(reply->verdict);
+    if (!reply->evidence.empty()) {
+      std::cout << " — " << reply->evidence;
+    }
+    if (!reply->exhaustion.empty()) {
+      std::cout << " (" << reply->exhaustion << ")";
+    }
+    std::cout << " [attempts: " << reply->attempts << "]\n";
+    switch (reply->verdict) {
+      case Verdict::kComplete:
+        break;
+      case Verdict::kIncomplete:
+        exit_code = std::max(exit_code, kExitIncomplete);
+        break;
+      case Verdict::kUnknown:
+        exit_code = std::max(exit_code, kExitUnknown);
+        break;
+    }
+  }
+  if (client.stats().retries > 0) {
+    std::cout << "(transport retries: " << client.stats().retries << ")\n";
+  }
+  return exit_code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace relcomp;
-  if (argc < 2) {
-    Usage();
-    return EXIT_FAILURE;
-  }
   std::string path;
   std::string resume_dir;
+  std::string serve_address;
+  std::string connect_address;
+  std::string store_dir;
   bool run_rcqp = false;
   bool explain = false;
   int chase_rounds = 0;
   long deadline_ms = 0;
+  long max_steps = 0;
+  long workers = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rcqp") == 0) {
       run_rcqp = true;
@@ -70,18 +215,44 @@ int main(int argc, char** argv) {
       chase_rounds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       deadline_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc) {
+      max_steps = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--resume-dir") == 0 && i + 1 < argc) {
       resume_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atol(argv[++i]);
     } else if (argv[i][0] == '-') {
       Usage();
-      return EXIT_FAILURE;
+      return kExitError;
     } else {
       path = argv[i];
     }
   }
+
+  if (!serve_address.empty()) {
+    if (store_dir.empty() || !path.empty() || workers < 1) {
+      Usage();
+      return kExitError;
+    }
+    return RunServer(serve_address, store_dir,
+                     static_cast<size_t>(workers));
+  }
+  if (!connect_address.empty()) {
+    if (path.empty()) {
+      Usage();
+      return kExitError;
+    }
+    return RunClient(connect_address, path, deadline_ms);
+  }
   if (path.empty()) {
     Usage();
-    return EXIT_FAILURE;
+    return kExitError;
   }
 
   auto spec_or = LoadCompletenessSpec(path);
@@ -103,12 +274,14 @@ int main(int argc, char** argv) {
   auto closed = CheckConstraints(spec.constraints, spec.db, spec.master);
   if (!closed.ok()) return Fail(closed.status());
   if (!closed->satisfied) {
+    // The model's precondition fails: no completeness question is even
+    // well-posed, so this is an input error, not a verdict.
     std::cout << "NOT PARTIALLY CLOSED: " << closed->ToString() << "\n";
-    return 2;
+    return kExitError;
   }
   std::cout << "partially closed: yes\n";
 
-  int exit_code = EXIT_SUCCESS;
+  int exit_code = kExitComplete;
   for (size_t i = 0; i < spec.queries.size(); ++i) {
     const AnyQuery& query = spec.queries[i];
     const std::string request_id = StrCat("q", i + 1);
@@ -121,6 +294,9 @@ int main(int argc, char** argv) {
     ExecutionBudget budget;
     if (deadline_ms > 0) {
       budget.set_timeout(std::chrono::milliseconds(deadline_ms));
+    }
+    if (max_steps > 0) {
+      budget.set_max_steps(static_cast<size_t>(max_steps));
     }
     RcdpOptions options;
     if (budget.active()) options.budget = &budget;
@@ -139,7 +315,10 @@ int main(int argc, char** argv) {
         DecideRcdp(query, spec.db, spec.master, spec.constraints, options);
     if (!verdict.ok()) {
       if (verdict.status().code() == StatusCode::kUnsupported) {
+        // Can't decide this query class: the audit is inconclusive for
+        // it, which is an UNKNOWN outcome, not an error.
         std::cout << "RCDP: " << verdict.status().ToString() << "\n";
+        exit_code = std::max(exit_code, kExitUnknown);
         continue;
       }
       return Fail(verdict.status());
@@ -164,7 +343,7 @@ int main(int argc, char** argv) {
                   << verdict->checkpoint->rank
                   << "; pass --resume-dir DIR to persist it\n";
       }
-      exit_code = 4;
+      exit_code = std::max(exit_code, kExitUnknown);
       continue;
     }
     std::cout << "RCDP: " << verdict->ToString() << "\n";
@@ -172,7 +351,9 @@ int main(int argc, char** argv) {
       auto forgotten = store->Forget(request_id);
       if (!forgotten.ok()) return Fail(forgotten);
     }
-    if (!verdict->complete) exit_code = 3;
+    if (!verdict->complete) {
+      exit_code = std::max(exit_code, kExitIncomplete);
+    }
 
     if (explain && !verdict->complete) {
       auto report = CheckBoundedDatabase(query, spec.db, spec.master,

@@ -3,9 +3,10 @@
 # asan preset (Debug, ASan+UBSan, recover disabled), then the tsan
 # preset (ThreadSanitizer over the concurrency-sensitive suites — the
 # parallel-search determinism sweep, the budget-exhaustion matrix, the
-# fault-injection sweep and the eval equivalence tests; the tsan test
-# preset carries the filter), then the standalone ubsan preset (pure
-# UBSan over the full suite). Run from anywhere.
+# fault-injection sweep, the eval equivalence tests and the network
+# front end's wire/socket suites; the tsan test preset carries the
+# filter), then the standalone ubsan preset (pure UBSan over the full
+# suite). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +25,11 @@ done
 # (ctest label "recovery") once more under the asan build — the
 # kill/restart sweeps must be clean not just green.
 run ctest --test-dir build-asan -L recovery --output-on-failure
+
+# Network stage: the wire-format hostile corpus and the live-socket
+# end-to-end suites (ctest label "net") once more under the tsan build
+# — the poll(2) event loop, the client retry path and the kill/restart
+# sweeps must be race-free, not just green.
+run ctest --test-dir build-tsan -L net --output-on-failure
 
 echo "All checks passed."

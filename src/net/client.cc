@@ -1,0 +1,287 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Transport(std::string_view what) {
+  return Status::Unavailable(StrCat(what, ": ", std::strerror(errno)));
+}
+
+/// Remaining milliseconds before `deadline`, clamped to [0, int-max].
+int MsUntil(Clock::time_point deadline) {
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+  return static_cast<int>(std::clamp<long long>(ms, 0, 1 << 30));
+}
+
+}  // namespace
+
+NetClient::NetClient(std::string address, NetClientOptions options)
+    : address_(std::move(address)),
+      options_(options),
+      jitter_(options.jitter_seed) {}
+
+NetClient::~NetClient() { Disconnect(); }
+
+void NetClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  int fd = -1;
+  if (address_.rfind("unix:", 0) == 0) {
+    std::string path = address_.substr(5);
+    if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument(StrCat("bad unix address: ", address_));
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Transport("socket(unix)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Status st = Transport(StrCat("connect ", address_));
+      ::close(fd);
+      return st;
+    }
+  } else if (address_.rfind("tcp:", 0) == 0) {
+    std::string rest = address_.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(StrCat("bad tcp address: ", address_));
+    }
+    std::string ip = rest.substr(0, colon);
+    int port = std::atoi(rest.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      return Status::InvalidArgument(StrCat("bad tcp port in: ", address_));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument(
+          StrCat("tcp host must be an IPv4 literal: ", ip));
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Transport("socket(tcp)");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Status st = Transport(StrCat("connect ", address_));
+      ::close(fd);
+      return st;
+    }
+  } else {
+    return Status::InvalidArgument(
+        StrCat("address must start with unix: or tcp:, got ", address_));
+  }
+  fd_ = fd;
+  ++stats_.connects;
+  return Status::OK();
+}
+
+Status NetClient::SendAll(std::string_view data) {
+  const Clock::time_point deadline = Clock::now() + options_.io_timeout;
+  size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    int rc = ::poll(&pfd, 1, MsUntil(deadline));
+    if (rc == 0) return Status::Unavailable("send deadline exceeded");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Transport("poll(send)");
+    }
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Transport("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> NetClient::ReadFrame() {
+  const Clock::time_point deadline = Clock::now() + options_.io_timeout;
+  FrameDecoder decoder;
+  std::string payload;
+  char buf[1 << 14];
+  for (;;) {
+    RELCOMP_ASSIGN_OR_RETURN(bool have, decoder.Next(&payload));
+    if (have) return payload;
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, MsUntil(deadline));
+    if (rc == 0) return Status::Unavailable("reply deadline exceeded");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Transport("poll(recv)");
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Unavailable(
+          "connection closed before a complete reply (torn frame)");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Transport("recv");
+    }
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<WireReply> NetClient::RoundTripOnce(const WireRequest& request) {
+  Status conn = EnsureConnected();
+  if (!conn.ok()) return conn;
+  Status sent = SendAll(EncodeFrame(request.Serialize()));
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  Result<std::string> payload = ReadFrame();
+  if (!payload.ok()) {
+    Disconnect();
+    // Frame-layer defects (bad magic, CRC mismatch) come back as
+    // kInvalidArgument from the decoder, but for the caller they are
+    // transport failures: the stream is dead, reconnect and retry.
+    if (payload.status().code() != StatusCode::kUnavailable) {
+      return Status::Unavailable(payload.status().message());
+    }
+    return payload.status();
+  }
+  Result<WireReply> reply = WireReply::Deserialize(*payload);
+  if (!reply.ok()) {
+    Disconnect();
+    return Status::Unavailable(
+        StrCat("undecodable reply: ", reply.status().message()));
+  }
+  ++stats_.round_trips;
+  return reply;
+}
+
+Result<WireReply> NetClient::Call(const WireRequest& request) {
+  Status last = Status::OK();
+  for (size_t attempt = 0;; ++attempt) {
+    Result<WireReply> reply = RoundTripOnce(request);
+    if (reply.ok()) {
+      // A typed kUnavailable reply (backend restarting) is retryable
+      // exactly like a transport failure — fall through to backoff.
+      if (reply->code != StatusCode::kUnavailable) return reply;
+      last = Status::Unavailable(reply->message);
+      if (options_.honor_retry_after && reply->retry_after_ms > 0 &&
+          attempt < options_.max_retries) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(reply->retry_after_ms));
+        ++stats_.backoff_waits;
+      }
+    } else if (reply.status().code() == StatusCode::kUnavailable) {
+      last = reply.status();
+    } else {
+      return reply.status();  // non-transport error: caller's problem
+    }
+    if (attempt >= options_.max_retries) {
+      return Status::Unavailable(
+          StrCat("giving up after ", attempt + 1, " attempts: ",
+                 last.message()));
+    }
+    ++stats_.retries;
+    // Capped exponential backoff with full jitter.
+    const uint64_t base = static_cast<uint64_t>(options_.backoff_base.count());
+    const uint64_t cap = static_cast<uint64_t>(options_.backoff_cap.count());
+    uint64_t delay = std::min(cap, base << std::min<size_t>(attempt, 20));
+    if (delay > 0) {
+      delay = std::uniform_int_distribution<uint64_t>(delay / 2, delay)(
+          jitter_);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      ++stats_.backoff_waits;
+    }
+  }
+}
+
+Status NetClient::Submit(const std::string& key, const JobSpec& spec) {
+  WireRequest req;
+  req.op = WireOp::kSubmit;
+  req.key = key;
+  req.job = spec.Serialize();
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  return reply.ToStatus();
+}
+
+Result<WireReply> NetClient::Poll(const std::string& key) {
+  WireRequest req;
+  req.op = WireOp::kPoll;
+  req.key = key;
+  return Call(req);
+}
+
+Status NetClient::Cancel(const std::string& key) {
+  WireRequest req;
+  req.op = WireOp::kCancel;
+  req.key = key;
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  return reply.ToStatus();
+}
+
+Result<std::string> NetClient::ServerStatus() {
+  WireRequest req;
+  req.op = WireOp::kStatus;
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  RELCOMP_RETURN_NOT_OK(reply.ToStatus());
+  return reply.message;
+}
+
+Result<WireReply> NetClient::AwaitTerminal(const std::string& key,
+                                           std::chrono::milliseconds poll_interval,
+                                           std::chrono::milliseconds limit) {
+  const Clock::time_point deadline = Clock::now() + limit;
+  for (;;) {
+    Result<WireReply> reply = Poll(key);
+    if (reply.ok() && reply->code == StatusCode::kOk &&
+        reply->state == WireJobState::kDone) {
+      return reply;
+    }
+    // kUnavailable after exhausting Call's own retries: the server is
+    // down for longer than one backoff cycle — keep waiting here, the
+    // whole point is to span a restart. Other errors are terminal.
+    if (!reply.ok() &&
+        reply.status().code() != StatusCode::kUnavailable) {
+      return reply.status();
+    }
+    if (reply.ok() && reply->code != StatusCode::kOk &&
+        reply->code != StatusCode::kUnavailable) {
+      return reply->ToStatus();
+    }
+    if (Clock::now() >= deadline) {
+      return Status::Unavailable(
+          StrCat("job \"", key, "\" not terminal within ", limit.count(),
+                 " ms"));
+    }
+    std::this_thread::sleep_for(poll_interval);
+  }
+}
+
+}  // namespace relcomp

@@ -1,0 +1,185 @@
+#ifndef RELCOMP_NET_WIRE_H_
+#define RELCOMP_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "completeness/rcdp.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+// --- relcomp-net/1 frame layer ---------------------------------------
+//
+// Every message travels as one frame:
+//
+//   bytes 0..3   magic "RNF1" (frame-layer version)
+//   bytes 4..7   payload length, unsigned little-endian 32 bit
+//   bytes 8..    payload (the message text, see below)
+//   last 4       CRC32 (IEEE, reflected) of the payload, little-endian
+//
+// The magic catches stream desynchronization and version skew at the
+// first byte; the length prefix bounds the read (a frame longer than
+// the receiver's cap is rejected before any allocation of that size);
+// the trailing CRC catches torn tails, truncation, and bit flips
+// anywhere in the payload. A frame-layer defect is NOT recoverable on
+// the same connection — the byte stream position is lost — so both
+// ends close the connection and the client reconnects and retries (its
+// idempotency keys make the retry safe).
+
+/// Frame-layer constants, shared by server, client, and the fuzz corpus.
+inline constexpr char kFrameMagic[4] = {'R', 'N', 'F', '1'};
+inline constexpr size_t kFrameHeaderSize = 8;   // magic + length
+inline constexpr size_t kFrameTrailerSize = 4;  // crc32
+inline constexpr size_t kFrameOverhead = kFrameHeaderSize + kFrameTrailerSize;
+/// Default cap on a frame's payload; a length prefix above the
+/// receiver's cap is a typed error, never an allocation.
+inline constexpr size_t kDefaultMaxFramePayload = 1u << 20;
+
+/// Wraps `payload` in a relcomp-net/1 frame.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder for one connection's byte stream. Feed()
+/// arbitrary chunks (as the socket delivers them); Next() yields
+/// complete payloads in order. Any defect — bad magic, oversized
+/// length, CRC mismatch — is sticky: the stream is desynchronized and
+/// the connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(std::string_view data) { buffer_.append(data); }
+
+  /// True: `*payload` holds the next complete frame's payload.
+  /// False with OK status: need more bytes.
+  /// Non-OK (kInvalidArgument): frame-layer defect; sticky.
+  Result<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed (a non-empty value that stays
+  /// non-empty is a partial frame — the server's slowloris deadline
+  /// watches this).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+// --- relcomp-net/1 message layer -------------------------------------
+//
+// The frame payload is versioned text:
+//
+//   request: relcomp-net/1 req <op> <klen>:<key><jlen>:<job>
+//   reply:   relcomp-net/1 rep <code> <retry_after_ms> <state>
+//            <verdict> <attempts> <persisted>
+//            <mlen>:<message><elen>:<evidence><xlen>:<exhaustion>
+//
+// ops: submit | poll | cancel | status. <key> is the client-chosen
+// idempotency key (a valid store request id); <job> is a serialized
+// JobSpec (submit only, empty otherwise). Every variable-length field
+// is <len>:<bytes> framed, so keys, specs, and evidence may contain
+// spaces or newlines without escaping. Deserialize accepts exactly
+// what Serialize emits and rejects everything else with a typed
+// kInvalidArgument — the hostile-input corpus in net_wire_test.cc
+// sweeps truncations, flips, oversized lengths and version skew.
+
+inline constexpr char kMessageMagic[] = "relcomp-net/1";
+
+/// Request operation.
+enum class WireOp : uint8_t { kSubmit, kPoll, kCancel, kStatus };
+
+const char* WireOpToString(WireOp op);
+
+struct WireRequest {
+  WireOp op = WireOp::kStatus;
+  /// Client-chosen idempotency key == the DecisionService request id.
+  /// Required for submit/poll/cancel; must be empty for status.
+  std::string key;
+  /// Serialized JobSpec (submit only; empty otherwise).
+  std::string job;
+
+  std::string Serialize() const;
+  static Result<WireRequest> Deserialize(std::string_view text);
+};
+
+/// Job state as reported by a poll reply.
+enum class WireJobState : uint8_t { kNone, kQueued, kRunning, kDone };
+
+const char* WireJobStateToString(WireJobState state);
+
+struct WireReply {
+  /// kOk, or the typed failure (kResourceExhausted = backpressure /
+  /// load shedding, kUnavailable = backend restarting, retry both;
+  /// kInvalidArgument / kNotFound / kFailedPrecondition are terminal).
+  StatusCode code = StatusCode::kOk;
+  /// Human-readable detail (error text, or the status-op report).
+  std::string message;
+  /// Backpressure hint: how long the client should wait before
+  /// retrying (0 = no hint). Set on kResourceExhausted and
+  /// kUnavailable replies.
+  uint64_t retry_after_ms = 0;
+  /// Poll replies: where the job is.
+  WireJobState state = WireJobState::kNone;
+  /// state == kDone only: the terminal verdict and canonical evidence
+  /// string (bit-for-bit comparable across runs), plus effort counters.
+  Verdict verdict = Verdict::kUnknown;
+  std::string evidence;
+  uint64_t attempts = 0;
+  uint64_t persisted = 0;
+  /// Exhaustion rendering for kUnknown verdicts ("" otherwise).
+  std::string exhaustion;
+
+  std::string Serialize() const;
+  static Result<WireReply> Deserialize(std::string_view text);
+
+  /// Status as seen by a caller: OK for kOk, typed error otherwise.
+  Status ToStatus() const {
+    return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+  }
+};
+
+// --- Socket-level fault injection ------------------------------------
+
+/// Deterministically injures the server's outbound replies so the
+/// client's retry/reconnect path is proven, not assumed. Faults are
+/// addressed by the server-wide reply ordinal (1-based, in send
+/// order): `at` fires once, `every` fires periodically (ordinal % every
+/// == 0); both may be combined with `at_byte` for position sweeps.
+struct SocketFaultPlan {
+  enum class Kind : uint8_t {
+    kNone,
+    /// Send only the first `at_byte` bytes of the reply frame, then
+    /// close the connection (a torn frame / partial write + FIN).
+    kTornFrame,
+    /// Flip one bit of the frame byte at `at_byte` (mod frame size)
+    /// before sending — the CRC must catch it on the client.
+    kBitFlip,
+    /// Drop the connection with a TCP RST (SO_LINGER 0) instead of
+    /// replying — the mid-frame reset / ambiguous-failure case.
+    kReset,
+    /// Swallow the reply and keep the connection open — the stalled
+    /// server case; the client's read deadline must fire.
+    kStall,
+  };
+  Kind kind = Kind::kNone;
+  /// 1-based reply ordinal to injure once (0 = disabled).
+  size_t at = 0;
+  /// Injure every Nth reply (0 = disabled).
+  size_t every = 0;
+  /// Byte position for kTornFrame / kBitFlip.
+  size_t at_byte = 0;
+
+  bool active() const { return kind != Kind::kNone && (at > 0 || every > 0); }
+  bool Fires(size_t ordinal) const {
+    return kind != Kind::kNone &&
+           ((at > 0 && ordinal == at) || (every > 0 && ordinal % every == 0));
+  }
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_NET_WIRE_H_

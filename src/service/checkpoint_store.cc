@@ -157,12 +157,13 @@ uint32_t CheckpointStore::Crc32(std::string_view data) {
 }
 
 Result<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
-    const std::string& directory) {
+    const std::string& directory, const CheckpointStoreOptions& options) {
   if (directory.empty()) {
     return Status::InvalidArgument("store directory must not be empty");
   }
   RELCOMP_RETURN_NOT_OK(MakeDirs(directory));
-  std::unique_ptr<CheckpointStore> store(new CheckpointStore(directory));
+  std::unique_ptr<CheckpointStore> store(
+      new CheckpointStore(directory, options));
 
   const std::string lock_path = StrCat(directory, "/", kLockFile);
   int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
@@ -362,7 +363,77 @@ Status CheckpointStore::AppendJournal(std::string_view op,
     return st;
   }
   ::close(fd);
+  ++journal_entries_;
+  return MaybeCompactJournalLocked();
+}
+
+Status CheckpointStore::MaybeCompactJournalLocked() {
+  if (options_.journal_compaction_threshold == 0 ||
+      journal_entries_ <= options_.journal_compaction_threshold) {
+    return Status::OK();
+  }
+  // Rebuild the minimal journal from the in-memory state (which the
+  // journal exists to reconstruct): one "ckpt" line per request with a
+  // live generation, one "job" line per in-flight job record. "done"
+  // entries vanish — their whole purpose was to cancel earlier lines.
+  std::string content;
+  size_t lines = 0;
+  auto emit = [&](std::string_view op, const std::string& id, uint64_t gen) {
+    const std::string fields = StrCat(op, " ", id, " ", gen);
+    content += StrCat(kJournalMagic, " ", fields, " ",
+                      Hex32(Crc32(fields)), "\n");
+    ++lines;
+  };
+  for (const auto& [id, gen] : last_generation_) emit("ckpt", id, gen);
+  for (const auto& [id, live] : has_job_) {
+    if (live) emit("job", id, 0);
+  }
+  // Same crash-atomicity dance as record files: a kill before the
+  // rename leaves the old journal plus tmp garbage (the directory scan
+  // ignores journal.tmp.*); a kill after it leaves the new journal.
+  // Either replays to the same state.
+  const std::string path = StrCat(dir_, "/", kJournalFile);
+  const std::string tmp = StrCat(path, ".tmp.", ::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = ErrnoStatus("rename", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  RELCOMP_RETURN_NOT_OK(FsyncDirectory(dir_));
+  journal_entries_ = lines;
+  ++journal_compactions_;
   return Status::OK();
+}
+
+size_t CheckpointStore::journal_compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_compactions_;
+}
+
+size_t CheckpointStore::journal_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_entries_;
 }
 
 Status CheckpointStore::ReplayJournal() {
@@ -381,6 +452,7 @@ Status CheckpointStore::ReplayJournal() {
     rest = nl == std::string_view::npos ? std::string_view()
                                         : rest.substr(nl + 1);
     if (line.empty()) continue;
+    ++journal_entries_;  // torn lines occupy journal space too
     // Parse "J1 <op> <id> <gen> <crc>"; skip (count) anything torn.
     std::string_view magic, op, id, gen_field;
     std::string_view cursor = line;

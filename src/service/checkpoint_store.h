@@ -24,6 +24,18 @@ struct PersistedCheckpoint {
   std::string path;
 };
 
+/// Store tuning.
+struct CheckpointStoreOptions {
+  /// Journal compaction threshold: once the journal holds more than
+  /// this many lines, it is rewritten to the minimal set describing
+  /// the live state (one "ckpt" line per request with checkpoints, one
+  /// "job" line per in-flight job record) via the same crash-atomic
+  /// temp + fsync + rename + directory-fsync dance as record files —
+  /// a kill at any byte of the compaction leaves either the old
+  /// journal or the new one, never a mix. 0 disables compaction.
+  size_t journal_compaction_threshold = 1024;
+};
+
 /// Durable, directory-scoped checkpoint store.
 ///
 /// One directory holds the crash-recovery state of one DecisionService
@@ -68,7 +80,8 @@ class CheckpointStore {
   /// its exclusive lock. kFailedPrecondition if another live store
   /// holds the directory.
   static Result<std::unique_ptr<CheckpointStore>> Open(
-      const std::string& directory);
+      const std::string& directory,
+      const CheckpointStoreOptions& options = CheckpointStoreOptions());
 
   ~CheckpointStore();
   CheckpointStore(const CheckpointStore&) = delete;
@@ -124,6 +137,13 @@ class CheckpointStore {
   /// tail from a crash mid-append).
   size_t journal_lines_skipped() const { return journal_lines_skipped_; }
 
+  /// Journal compactions performed by this store instance.
+  size_t journal_compactions() const;
+
+  /// Lines currently in the journal (replayed at Open + appended or
+  /// rewritten since) — what the compaction threshold is compared to.
+  size_t journal_entries() const;
+
   /// Releases the directory lock and refuses all further operations,
   /// simulating the kernel-side lock release of a killed process. Used
   /// by the DecisionService crash harness; a real crash needs no call.
@@ -134,7 +154,8 @@ class CheckpointStore {
   static uint32_t Crc32(std::string_view data);
 
  private:
-  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+  CheckpointStore(std::string dir, CheckpointStoreOptions options)
+      : dir_(std::move(dir)), options_(options) {}
 
   Status WriteRecord(const std::string& path, std::string_view kind,
                      const std::string& request_id, uint64_t generation,
@@ -145,11 +166,15 @@ class CheckpointStore {
                                  uint64_t expect_generation) const;
   Status AppendJournal(std::string_view op, const std::string& request_id,
                        uint64_t generation);
+  /// Rewrites the journal to the minimal live-state lines when it has
+  /// outgrown the threshold. Crash-atomic; requires mu_ held.
+  Status MaybeCompactJournalLocked();
   Status ReplayJournal();
   Status ScanDirectory();
   Status CheckAlive() const;
 
   std::string dir_;
+  CheckpointStoreOptions options_;
   int lock_fd_ = -1;
   bool crashed_ = false;
   /// Highest generation ever written per request (journal ∪ directory).
@@ -157,6 +182,8 @@ class CheckpointStore {
   /// Requests with a live job record.
   std::map<std::string, bool> has_job_;
   size_t journal_lines_skipped_ = 0;
+  size_t journal_entries_ = 0;
+  size_t journal_compactions_ = 0;
   mutable size_t corrupt_files_skipped_ = 0;
   mutable std::mutex mu_;
 };

@@ -142,6 +142,12 @@ struct DecisionService::Job {
   bool recovered = false;
   bool running = false;
   bool terminal = false;
+  /// Set by Cancel(): the job was explicitly abandoned, so its durable
+  /// record is removed when it reaches the terminal state.
+  bool cancel_requested = false;
+  /// Per-job cancellation: its token is the one the job's budget polls;
+  /// Cancel() and the service-wide crash path both fire it.
+  CancelSource cancel;
   /// Non-OK when the job failed before producing a decider result
   /// (unparseable spec, store failure, ...).
   Status terminal_status;
@@ -313,6 +319,77 @@ Result<JobResult> DecisionService::Wait(const std::string& request_id) {
   return job->result;
 }
 
+Result<DecisionService::JobPoll> DecisionService::Poll(
+    const std::string& request_id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(request_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrCat("unknown request id: ", request_id));
+  }
+  const Job* job = it->second.get();
+  if (!job->terminal && crashed_) {
+    return Status::FailedPrecondition(
+        StrCat("decision service crashed before job \"", request_id,
+               "\" finished; restart a service on ", store_->directory(),
+               " to resume it"));
+  }
+  if (job->terminal && !job->terminal_status.ok()) {
+    return job->terminal_status;
+  }
+  JobPoll poll;
+  poll.terminal = job->terminal;
+  poll.running = job->running;
+  if (job->terminal) poll.result = job->result;
+  return poll;
+}
+
+Status DecisionService::Cancel(const std::string& request_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(request_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrCat("unknown request id: ", request_id));
+  }
+  Job* job = it->second.get();
+  if (job->terminal) return Status::OK();  // idempotent
+  if (crashed_) {
+    return Status::FailedPrecondition("decision service crashed");
+  }
+  job->cancel_requested = true;
+  job->cancel.RequestCancel();
+  if (!job->running) {
+    // Still queued: finish it here instead of waking a worker for a
+    // job that will only unwind. Linear scan — the queue is bounded by
+    // max_queue_depth.
+    for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+      if (q->second == request_id) {
+        queue_.erase(q);
+        break;
+      }
+    }
+    store_->Forget(request_id);
+    job->terminal = true;
+    job->result.verdict = Verdict::kUnknown;
+    job->result.evidence =
+        StrCat("unknown|", BudgetKindToString(BudgetKind::kCancel));
+    job->result.exhaustion.kind = BudgetKind::kCancel;
+    job->result.exhaustion.detail = "cancelled before execution";
+    --queued_count_;
+    completed_order_.push_back(request_id);
+    result_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Result<JobSpec> DecisionService::GetJobSpec(
+    const std::string& request_id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(request_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrCat("unknown request id: ", request_id));
+  }
+  return it->second->spec;
+}
+
 // --- Execution ------------------------------------------------------
 
 void DecisionService::WorkerLoop() {
@@ -372,7 +449,7 @@ void DecisionService::RunJob(Job* job,
   const size_t base_slice = spec.slice_steps > 0
                                 ? spec.slice_steps
                                 : options_.default_slice_steps;
-  budget.set_cancel_token(cancel_all_.token());
+  budget.set_cancel_token(job->cancel.token());
   if (options_.fault_injector != nullptr) {
     budget.set_fault_injector(options_.fault_injector);
   }
@@ -545,6 +622,10 @@ void DecisionService::RunJob(Job* job,
       job->result.verdict = Verdict::kUnknown;
       job->result.evidence = StrCat("unknown|", BudgetKindToString(kind));
       job->result.exhaustion = exhaustion;
+      // An explicit Cancel() abandons the job: drop its durable record
+      // and checkpoints (other terminal kUnknowns keep theirs for a
+      // manual resume).
+      if (job->cancel_requested) store_->Forget(job->id);
       finish(Status::OK());
       return;
     }
@@ -592,7 +673,8 @@ bool DecisionService::PersistAndMaybeCrash(
 void DecisionService::CrashLocked() {
   crashed_ = true;
   store_->SimulateCrash();
-  cancel_all_.RequestCancel();
+  // Fire every job's cancel source so in-flight budgets unwind.
+  for (auto& [id, job] : jobs_) job->cancel.RequestCancel();
   queue_cv_.notify_all();
   result_cv_.notify_all();
 }

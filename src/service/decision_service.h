@@ -157,6 +157,32 @@ class DecisionService {
   /// crashed before the job finished.
   Result<JobResult> Wait(const std::string& request_id);
 
+  /// Non-blocking job-state probe (the network front end's poll):
+  /// terminal == false means the job is still queued or running;
+  /// terminal == true carries the result. kNotFound for an unknown id;
+  /// a job that failed before producing a decider result returns its
+  /// terminal error status, mirroring Wait.
+  struct JobPoll {
+    bool terminal = false;
+    bool running = false;
+    JobResult result;
+  };
+  Result<JobPoll> Poll(const std::string& request_id) const;
+
+  /// Cooperatively cancels `request_id`. A queued job is removed and
+  /// finished as kUnknown/cancel immediately; a running job's budget
+  /// trips kCancel at its next decision point and the job finishes
+  /// kUnknown/cancel; a terminal job is left as-is (idempotent OK). An
+  /// explicitly cancelled job is Forget()ten from the store — it is
+  /// abandoned, not recoverable. kNotFound for an unknown id.
+  Status Cancel(const std::string& request_id);
+
+  /// The spec `request_id` was admitted with — the dedup anchor for
+  /// idempotent network retries: a resubmission whose serialized spec
+  /// is identical is the same job, anything else is a key collision.
+  /// kNotFound for an unknown id.
+  Result<JobSpec> GetJobSpec(const std::string& request_id) const;
+
   /// Releases workers parked by start_paused. Idempotent.
   void Resume();
 
@@ -219,8 +245,6 @@ class DecisionService {
   size_t queued_count_ = 0;  // queued + running (admission-controlled)
   size_t jobs_shed_ = 0;
   size_t persist_ordinal_ = 0;  // service-wide persist counter
-  /// Cancels every running budget on crash/shutdown so workers unwind.
-  CancelSource cancel_all_;
 };
 
 }  // namespace relcomp

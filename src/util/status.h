@@ -31,6 +31,11 @@ enum class StatusCode {
   kFailedPrecondition,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
+  /// A transient transport-level failure (connection refused or reset,
+  /// I/O deadline, corrupted frame, backend restarting). Safe to retry
+  /// with backoff — the network client does exactly that, keyed by
+  /// idempotency keys so a retry never double-submits.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -66,6 +71,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

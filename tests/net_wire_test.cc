@@ -1,0 +1,349 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// Pushes `data` through a fresh decoder and returns what Next said.
+Result<bool> DecodeOnce(std::string_view data, std::string* payload,
+                        size_t max_payload = kDefaultMaxFramePayload) {
+  FrameDecoder decoder(max_payload);
+  decoder.Feed(data);
+  return decoder.Next(payload);
+}
+
+WireReply FullReply() {
+  WireReply reply;
+  reply.code = StatusCode::kResourceExhausted;
+  reply.message = "queue full: 64 jobs in flight";
+  reply.retry_after_ms = 50;
+  reply.state = WireJobState::kDone;
+  reply.verdict = Verdict::kIncomplete;
+  reply.evidence = "INCOMPLETE|S = {(\"5\", \"6\")}\n|(\"5\")";
+  reply.attempts = 3;
+  reply.persisted = 7;
+  reply.exhaustion = "deadline after 42 decision points";
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer: round trips.
+
+TEST(NetWireFrameTest, RoundTripsArbitraryPayloads) {
+  for (const std::string payload :
+       {std::string(""), std::string("hello"),
+        std::string("binary\x00\xff\n\r bytes", 17),
+        std::string(100000, 'x')}) {
+    std::string frame = EncodeFrame(payload);
+    EXPECT_EQ(frame.size(), payload.size() + kFrameOverhead);
+    std::string out;
+    auto next = DecodeOnce(frame, &out);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(*next);
+    EXPECT_EQ(out, payload);
+  }
+}
+
+TEST(NetWireFrameTest, DecodesByteAtATimeAndBackToBack) {
+  // Frames split at every possible chunk boundary, then two frames in
+  // one buffer — the decoder must be agnostic to how TCP segments the
+  // stream.
+  const std::string a = EncodeFrame("first message");
+  const std::string b = EncodeFrame("second");
+  FrameDecoder decoder;
+  std::string payload;
+  for (char c : a) {
+    decoder.Feed(std::string_view(&c, 1));
+  }
+  auto next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "first message");
+
+  decoder.Feed(StrCat(b, a));
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "second");
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "first message");
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer: hostile input. Truncation at every byte, a flip at
+// every position, lying length prefixes, version skew — none may
+// crash, and none may surface a corrupted payload as valid.
+
+TEST(NetWireHostileTest, TruncationAtEveryByteNeverYieldsAFrame) {
+  const std::string frame = EncodeFrame("the payload under truncation");
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string payload;
+    auto next = DecodeOnce(frame.substr(0, cut), &payload);
+    ASSERT_TRUE(next.ok()) << "cut at " << cut << ": "
+                           << next.status().ToString();
+    EXPECT_FALSE(*next) << "truncated frame decoded at cut " << cut;
+  }
+}
+
+TEST(NetWireHostileTest, BitFlipAtEveryPositionIsRejectedOrIncomplete) {
+  const std::string frame = EncodeFrame("the payload under bit flips");
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit : {0, 3, 7}) {
+      std::string flipped = frame;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      std::string payload;
+      auto next = DecodeOnce(flipped, &payload);
+      // A flip lands in the magic (typed error), the length (cap
+      // error, or a longer declared length = incomplete frame), the
+      // payload, or the CRC (both a crc mismatch). No outcome may be a
+      // successfully decoded frame.
+      if (next.ok()) {
+        EXPECT_FALSE(*next) << "flip at byte " << byte << " bit " << bit
+                            << " produced a valid frame";
+      } else {
+        EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+TEST(NetWireHostileTest, PayloadFlipIsACrcMismatchSpecifically) {
+  std::string frame = EncodeFrame("payload whose bytes get injured");
+  frame[kFrameHeaderSize + 4] ^= 0x10;
+  std::string payload;
+  auto next = DecodeOnce(frame, &payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("crc"), std::string::npos)
+      << next.status().ToString();
+}
+
+TEST(NetWireHostileTest, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  // Header declaring a 4 GiB payload: must be a typed error the moment
+  // the header is readable, not a 4 GiB allocation attempt.
+  std::string hostile(kFrameMagic, sizeof(kFrameMagic));
+  hostile += std::string("\xff\xff\xff\xff", 4);
+  std::string payload;
+  auto next = DecodeOnce(hostile, &payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("exceeds"), std::string::npos);
+
+  // A length just over a small receiver cap is equally rejected even
+  // though the default cap would admit it.
+  const std::string frame = EncodeFrame(std::string(100, 'x'));
+  auto capped = DecodeOnce(frame, &payload, /*max_payload=*/64);
+  ASSERT_FALSE(capped.ok());
+}
+
+TEST(NetWireHostileTest, VersionSkewInTheMagicIsRejected) {
+  std::string frame = EncodeFrame("future payload");
+  frame[3] = '2';  // RNF2: a future frame format
+  std::string payload;
+  auto next = DecodeOnce(frame, &payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("magic"), std::string::npos);
+}
+
+TEST(NetWireHostileTest, FrameDefectsAreSticky) {
+  FrameDecoder decoder;
+  std::string garbage = "GARBAGE!";
+  garbage += EncodeFrame("never reached");
+  decoder.Feed(garbage);
+  std::string payload;
+  ASSERT_FALSE(decoder.Next(&payload).ok());
+  // Even a pristine frame after the defect must not decode: the stream
+  // position is untrustworthy, the connection must be closed.
+  decoder.Feed(EncodeFrame("still poisoned"));
+  auto again = decoder.Next(&payload);
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.status().message().find("poisoned"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Message layer: round trips.
+
+TEST(NetWireMessageTest, RequestsRoundTripForEveryOp) {
+  WireRequest submit;
+  submit.op = WireOp::kSubmit;
+  submit.key = "client-42.job_7";
+  submit.job = "payload with spaces\nand a newline: 17";
+  for (const WireRequest& req :
+       {submit, WireRequest{WireOp::kPoll, "k", ""},
+        WireRequest{WireOp::kCancel, "k", ""},
+        WireRequest{WireOp::kStatus, "", ""}}) {
+    auto parsed = WireRequest::Deserialize(req.Serialize());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->op, req.op);
+    EXPECT_EQ(parsed->key, req.key);
+    EXPECT_EQ(parsed->job, req.job);
+  }
+}
+
+TEST(NetWireMessageTest, RepliesRoundTripWithEveryFieldPopulated) {
+  const WireReply reply = FullReply();
+  auto parsed = WireReply::Deserialize(reply.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->code, reply.code);
+  EXPECT_EQ(parsed->message, reply.message);
+  EXPECT_EQ(parsed->retry_after_ms, reply.retry_after_ms);
+  EXPECT_EQ(parsed->state, reply.state);
+  EXPECT_EQ(parsed->verdict, reply.verdict);
+  EXPECT_EQ(parsed->evidence, reply.evidence);
+  EXPECT_EQ(parsed->attempts, reply.attempts);
+  EXPECT_EQ(parsed->persisted, reply.persisted);
+  EXPECT_EQ(parsed->exhaustion, reply.exhaustion);
+  EXPECT_FALSE(parsed->ToStatus().ok());
+  EXPECT_EQ(parsed->ToStatus().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Message layer: hostile input, mirroring the checkpoint-store corpus.
+
+TEST(NetWireHostileTest, RequestTruncationAtEveryByteIsRejected) {
+  WireRequest req;
+  req.op = WireOp::kSubmit;
+  req.key = "key-1";
+  req.job = "job body with spaces";
+  const std::string valid = req.Serialize();
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    auto parsed = WireRequest::Deserialize(valid.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << cut << " parsed";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetWireHostileTest, ReplyTruncationAtEveryByteIsRejected) {
+  const std::string valid = FullReply().Serialize();
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    auto parsed = WireReply::Deserialize(valid.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << cut << " parsed";
+  }
+}
+
+TEST(NetWireHostileTest, RequestBitFlipsNeverCrashTheParser) {
+  WireRequest req;
+  req.op = WireOp::kPoll;
+  req.key = "poll-key";
+  const std::string valid = req.Serialize();
+  for (size_t byte = 0; byte < valid.size(); ++byte) {
+    for (int bit : {0, 5}) {
+      std::string flipped = valid;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      // Either rejected, or accepted as a (different) well-formed
+      // request — a flip inside the key body is not detectable at this
+      // layer (the frame CRC catches it in transit); the parser just
+      // must never crash or read out of bounds.
+      auto parsed = WireRequest::Deserialize(flipped);
+      if (!parsed.ok()) {
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+TEST(NetWireHostileTest, ReplyBitFlipsNeverCrashTheParser) {
+  const std::string valid = FullReply().Serialize();
+  for (size_t byte = 0; byte < valid.size(); ++byte) {
+    std::string flipped = valid;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x20);
+    auto parsed = WireReply::Deserialize(flipped);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(NetWireHostileTest, LyingSegmentLengthsAreRejected) {
+  // Declared length larger than the remaining bytes.
+  auto oversized = WireRequest::Deserialize(
+      "relcomp-net/1 req poll 100:short0:");
+  EXPECT_FALSE(oversized.ok());
+  // Declared length that would swallow the next segment's framing.
+  auto swallowing = WireRequest::Deserialize(
+      "relcomp-net/1 req submit 3:key9999999999:job");
+  EXPECT_FALSE(swallowing.ok());
+  // A length field that overflows uint64.
+  auto overflow = WireRequest::Deserialize(
+      StrCat("relcomp-net/1 req poll 99999999999999999999999:x0:"));
+  EXPECT_FALSE(overflow.ok());
+}
+
+TEST(NetWireHostileTest, MessageVersionSkewIsRejected) {
+  auto req = WireRequest::Deserialize("relcomp-net/2 req poll 1:k0:");
+  ASSERT_FALSE(req.ok());
+  EXPECT_NE(req.status().message().find("magic"), std::string::npos);
+  auto rep = WireReply::Deserialize(
+      "relcomp-net/2 rep ok 0 none unknown 0 0 0:0:0:");
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(NetWireHostileTest, TrailingBytesAreRejected) {
+  WireRequest req;
+  req.op = WireOp::kPoll;
+  req.key = "k";
+  EXPECT_FALSE(WireRequest::Deserialize(req.Serialize() + "x").ok());
+  EXPECT_FALSE(WireReply::Deserialize(FullReply().Serialize() + " ").ok());
+}
+
+TEST(NetWireHostileTest, RoleAndOpConfusionIsRejected) {
+  // A reply fed to the request parser (and vice versa).
+  EXPECT_FALSE(WireRequest::Deserialize(FullReply().Serialize()).ok());
+  WireRequest req;
+  req.op = WireOp::kPoll;
+  req.key = "k";
+  EXPECT_FALSE(WireReply::Deserialize(req.Serialize()).ok());
+  // Unknown op; status with a key; poll carrying a job payload.
+  EXPECT_FALSE(
+      WireRequest::Deserialize("relcomp-net/1 req destroy 1:k0:").ok());
+  EXPECT_FALSE(
+      WireRequest::Deserialize("relcomp-net/1 req status 1:k0:").ok());
+  EXPECT_FALSE(
+      WireRequest::Deserialize("relcomp-net/1 req poll 1:k3:job").ok());
+}
+
+TEST(NetWireHostileTest, EmptyAndGarbageInputsAreRejected) {
+  for (const std::string input :
+       {std::string(""), std::string(" "), std::string("\n"),
+        std::string("relcomp-net/1"), std::string("relcomp-net/1 "),
+        std::string("relcomp-net/1 req"),
+        std::string(200, '\xff'), std::string(200, ' ')}) {
+    EXPECT_FALSE(WireRequest::Deserialize(input).ok());
+    EXPECT_FALSE(WireReply::Deserialize(input).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan addressing.
+
+TEST(NetWireFaultPlanTest, FiresMatchOrdinalAndPeriod) {
+  SocketFaultPlan once;
+  once.kind = SocketFaultPlan::Kind::kReset;
+  once.at = 3;
+  EXPECT_FALSE(once.Fires(2));
+  EXPECT_TRUE(once.Fires(3));
+  EXPECT_FALSE(once.Fires(4));
+
+  SocketFaultPlan periodic;
+  periodic.kind = SocketFaultPlan::Kind::kBitFlip;
+  periodic.every = 2;
+  EXPECT_FALSE(periodic.Fires(1));
+  EXPECT_TRUE(periodic.Fires(2));
+  EXPECT_TRUE(periodic.Fires(4));
+
+  SocketFaultPlan off;
+  off.at = 1;  // kind is kNone: never fires
+  EXPECT_FALSE(off.Fires(1));
+  EXPECT_FALSE(off.active());
+}
+
+}  // namespace
+}  // namespace relcomp
