@@ -45,9 +45,12 @@ void RunRcdpConfig(benchmark::State& state, const RcdpOptions& options) {
   }
   state.counters["search_steps"] = static_cast<double>(stats.bindings_tried);
   state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["composite_probes"] =
+      static_cast<double>(stats.composite_probes);
   state.counters["relation_scans"] =
       static_cast<double>(stats.relation_scans);
   state.counters["overlay_hits"] = static_cast<double>(stats.overlay_hits);
+  state.counters["arena_bytes"] = static_cast<double>(stats.arena_bytes);
 }
 
 void BM_RcdpDefault(benchmark::State& state) {
@@ -82,6 +85,36 @@ void BM_RcdpNoOverlay(benchmark::State& state) {
   RunRcdpConfig(state, options);
 }
 BENCHMARK(BM_RcdpNoOverlay);
+
+/// Composite radix indexes off: multi-bound atoms fall back to the
+/// shortest per-column posting list plus residual re-checks (the PR 1
+/// index plane). Isolates the ART layer of the id-plane refactor.
+void BM_RcdpNoCompositeIndexes(benchmark::State& state) {
+  RcdpOptions options;
+  options.use_composite_indexes = false;
+  RunRcdpConfig(state, options);
+}
+BENCHMARK(BM_RcdpNoCompositeIndexes);
+
+/// Per-worker arenas off: the matcher heap-allocates its per-call
+/// scratch. Isolates the allocation layer of the id-plane refactor.
+void BM_RcdpNoArena(benchmark::State& state) {
+  RcdpOptions options;
+  options.use_arena = false;
+  RunRcdpConfig(state, options);
+}
+BENCHMARK(BM_RcdpNoArena);
+
+/// Id-plane floor: composite indexes and arenas both off — what the
+/// id-plane join loop alone buys over the per-column indexed PR 1/2
+/// configuration (compare against BM_RcdpDefault for the full stack).
+void BM_RcdpIdPlaneOnly(benchmark::State& state) {
+  RcdpOptions options;
+  options.use_composite_indexes = false;
+  options.use_arena = false;
+  RunRcdpConfig(state, options);
+}
+BENCHMARK(BM_RcdpIdPlaneOnly);
 
 /// The literal paper algorithm: enumerate every valuation over the
 /// full Adom, then check (no pruning, no collapse, no incremental

@@ -53,7 +53,10 @@ void RunDataComplexity(benchmark::State& state, const RcdpOptions& options) {
   }
   state.counters["search_steps"] = static_cast<double>(stats.bindings_tried);
   state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["composite_probes"] =
+      static_cast<double>(stats.composite_probes);
   state.counters["overlay_hits"] = static_cast<double>(stats.overlay_hits);
+  state.counters["arena_bytes"] = static_cast<double>(stats.arena_bytes);
   state.SetComplexityN(state.range(0));
 }
 
@@ -197,9 +200,12 @@ void AppendConfigJson(std::string* json, const char* name,
                   ",\n");
   *json += StrCat("      \"prunes\": ", m.stats.prunes, ",\n");
   *json += StrCat("      \"index_probes\": ", m.stats.index_probes, ",\n");
+  *json += StrCat("      \"composite_probes\": ", m.stats.composite_probes,
+                  ",\n");
   *json += StrCat("      \"relation_scans\": ", m.stats.relation_scans,
                   ",\n");
   *json += StrCat("      \"overlay_hits\": ", m.stats.overlay_hits, ",\n");
+  *json += StrCat("      \"arena_bytes\": ", m.stats.arena_bytes, ",\n");
   *json += StrCat("      \"work_units\": ", m.stats.work_units, ",\n");
   *json += StrCat("      \"work_units_cancelled\": ",
                   m.stats.work_units_cancelled, "\n");
@@ -207,13 +213,26 @@ void AppendConfigJson(std::string* json, const char* name,
 }
 
 /// Measures the largest BM_DataComplexity instance under the default
-/// (indexed + overlay) and seed (neither) configurations and writes
-/// BENCH_relcore.json. Output path overridable via RELCOMP_BENCH_JSON.
+/// (full id-plane stack), one ablation row per id-plane technique, and
+/// the seed configuration, then writes BENCH_relcore.json. Output path
+/// overridable via RELCOMP_BENCH_JSON.
 void WriteRelcoreJson() {
   const size_t n = 16;  // largest instance of the BM_DataComplexity range
   const double min_seconds = 1.0;
+  // Full stack: id-plane joins + composite radix indexes + arenas.
   MeasuredConfig optimized =
       MeasureDataComplexity(n, RcdpOptions(), min_seconds);
+  // Id-plane joins alone over per-column posting lists, heap scratch.
+  RcdpOptions id_plane_options;
+  id_plane_options.use_composite_indexes = false;
+  id_plane_options.use_arena = false;
+  MeasuredConfig id_plane =
+      MeasureDataComplexity(n, id_plane_options, min_seconds);
+  // + adaptive radix (composite) indexes, still heap scratch.
+  RcdpOptions art_options;
+  art_options.use_arena = false;
+  MeasuredConfig id_plane_art =
+      MeasureDataComplexity(n, art_options, min_seconds);
   MeasuredConfig seed = MeasureDataComplexity(n, SeedConfig(), min_seconds);
   const double speedup =
       optimized.ns_per_op > 0 ? seed.ns_per_op / optimized.ns_per_op : 0;
@@ -225,6 +244,10 @@ void WriteRelcoreJson() {
                  ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");
   json += "  \"configs\": {\n";
   AppendConfigJson(&json, "optimized", optimized);
+  json += ",\n";
+  AppendConfigJson(&json, "ablation_id_plane", id_plane);
+  json += ",\n";
+  AppendConfigJson(&json, "ablation_id_plane_art", id_plane_art);
   json += ",\n";
   AppendConfigJson(&json, "seed", seed);
   json += "\n  },\n";

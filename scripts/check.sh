@@ -32,4 +32,11 @@ run ctest --test-dir build-asan -L recovery --output-on-failure
 # sweeps must be race-free, not just green.
 run ctest --test-dir build-tsan -L net --output-on-failure
 
+# Id-plane core stage: the relational/eval substrate suites (ctest
+# label "core") — arena allocator, adaptive radix index, composite
+# lazy-build races, byte-cap exhaustion, and the matcher equivalence
+# fuzzers — once more on the default build as a fast smoke of the
+# ablation toggles' shared plumbing.
+run ctest --test-dir build -L core --output-on-failure
+
 echo "All checks passed."

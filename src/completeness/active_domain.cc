@@ -39,6 +39,13 @@ ActiveDomain ActiveDomain::Build(const Database& db, const Database& master,
   // parallel search relies on to keep the interner read-only post-fork.
   if (db.interner() != nullptr) {
     db.interner()->ReserveFreshRange(out.fresh());
+    // Intern the base constants too: master, query, and constraint
+    // constants need not occur in D, but the id-plane valuation search
+    // resolves every candidate through this family's interner, and
+    // pre-interning here (before any freeze) keeps the per-unit
+    // enumerators strictly read-only. Growth is charged to the budget
+    // by the decider's byte-delta accounting around this call.
+    for (const Value& v : out.base()) db.interner()->Intern(v);
   }
   return out;
 }

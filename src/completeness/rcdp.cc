@@ -1,11 +1,13 @@
 #include "completeness/rcdp.h"
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
 #include <thread>
 
 #include "eval/query_eval.h"
+#include "util/arena.h"
 #include "util/str.h"
 
 namespace relcomp {
@@ -223,17 +225,157 @@ class DisjunctSearch {
       if (!order.empty()) row_has_new_at[last] = true;
     }
 
-    auto prune = [&](size_t wi, const Bindings& partial) {
+    // --- Id-plane search plans -------------------------------------
+    // The hot callbacks below operate purely on ValueId rows; Values
+    // are materialized only at the rare boundaries (a partial row not
+    // already in D, or a full valuation surviving every prune). The
+    // family interner was pre-populated by ActiveDomain::Build, so the
+    // per-unit enumerators stay strictly read-only post-freeze.
+    const ValueInterner* interner = db_.interner().get();
+    enum_options.interner = interner;
+
+    // Summary plan: code >= 0 names an enumeration slot, code < 0 a
+    // constant at the same index (its id in summary_const_ids).
+    // summary_ground_depth is the prefix length at which the summary
+    // becomes fully grounded — the point the answer prune arms.
+    const std::vector<Term>& summary_terms = tableau_.summary();
+    std::vector<int32_t> summary_codes(summary_terms.size(), -1);
+    std::vector<ValueId> summary_const_ids(summary_terms.size(),
+                                           kInvalidValueId);
+    bool summary_groundable = true;
+    bool summary_unknown_const = false;
+    size_t summary_ground_depth = 0;
+    for (size_t i = 0; i < summary_terms.size(); ++i) {
+      const Term& t = summary_terms[i];
+      if (t.is_variable()) {
+        auto it = position.find(t.var());
+        if (it == position.end()) {
+          summary_groundable = false;
+          continue;
+        }
+        summary_codes[i] = static_cast<int32_t>(it->second);
+        summary_ground_depth =
+            std::max(summary_ground_depth, it->second + 1);
+      } else if (interner != nullptr) {
+        std::optional<ValueId> id = interner->TryGet(t.value());
+        if (id.has_value()) {
+          summary_const_ids[i] = *id;
+        } else {
+          summary_unknown_const = true;
+        }
+      }
+    }
+    // Answer containment goes through ids when Q(D) shares the family
+    // interner (the EvalUnion output does unless the family was frozen
+    // while it was built); otherwise fall back to Value tuples. With a
+    // shared interner, a summary constant the interner has never seen
+    // cannot occur in Q(D) at all, so the prune never fires.
+    const bool answer_shared =
+        interner != nullptr && current_answer_.interner().get() == interner;
+
+    // Row plans: PartialRowsSatisfyV over ids. `rel` is resolved now,
+    // pre-freeze, so db_.Get may populate its empty-relation cache.
+    struct RowPlan {
+      const TableauRow* row = nullptr;
+      const Relation* rel = nullptr;
+      std::vector<int32_t> codes;  // >= 0: slot; < 0: const -code-1
+      std::vector<ValueId> const_ids;
+      std::vector<const Value*> const_vals;
+      size_t bound_at = 0;
+      bool unknown_const = false;  // some constant absent from the interner
+    };
+    std::vector<RowPlan> plans(tableau_.rows().size());
+    for (size_t r = 0; r < tableau_.rows().size(); ++r) {
+      RowPlan& plan = plans[r];
+      const TableauRow& row = tableau_.rows()[r];
+      plan.row = &row;
+      plan.rel = &db_.Get(row.relation);
+      plan.bound_at = row_bound_at[r];
+      plan.codes.reserve(row.terms.size());
+      for (const Term& t : row.terms) {
+        if (t.is_variable()) {
+          plan.codes.push_back(static_cast<int32_t>(position[t.var()]));
+          continue;
+        }
+        plan.codes.push_back(
+            -static_cast<int32_t>(plan.const_ids.size()) - 1);
+        plan.const_vals.push_back(&t.value());
+        std::optional<ValueId> id =
+            interner != nullptr ? interner->TryGet(t.value()) : std::nullopt;
+        if (id.has_value()) {
+          plan.const_ids.push_back(*id);
+        } else {
+          plan.const_ids.push_back(kInvalidValueId);
+          plan.unknown_const = true;
+        }
+      }
+    }
+
+    // Id-plane body of PartialRowsSatisfyV: instantiate the rows fully
+    // bound at positions <= pos as id rows, membership-test them
+    // against D without materializing Values, and only build Tuples for
+    // the (rare) rows that actually extend D.
+    auto partial_rows_satisfy = [&](Worker& w, const IdValuation& v,
+                                    size_t pos) -> Result<bool> {
+      w.delta_scratch.clear();
+      for (const RowPlan& plan : plans) {
+        if (plan.bound_at > pos) continue;
+        bool contained = false;
+        if (!plan.unknown_const) {
+          w.id_buf.resize(plan.codes.size());
+          for (size_t c = 0; c < plan.codes.size(); ++c) {
+            int32_t code = plan.codes[c];
+            w.id_buf[c] = code >= 0 ? v.ids[code] : plan.const_ids[-code - 1];
+          }
+          contained = plan.rel->ContainsIds(w.id_buf.data());
+        }
+        if (!contained) {
+          std::vector<Value> vals;
+          vals.reserve(plan.codes.size());
+          for (size_t c = 0; c < plan.codes.size(); ++c) {
+            int32_t code = plan.codes[c];
+            vals.push_back(code >= 0 ? v.enumerator->ResolveId(v.ids[code])
+                                     : *plan.const_vals[-code - 1]);
+          }
+          w.delta_scratch.emplace_back(plan.row->relation,
+                                       Tuple(std::move(vals)));
+        }
+      }
+      if (w.delta_scratch.empty()) return true;
+      return ExtensionSatisfiesV(&w, w.delta_scratch);
+    };
+
+    auto prune = [&](size_t wi, const IdValuation& v) {
       Worker& w = workers[wi];
       // Prune once the summary is grounded and already answered.
-      std::optional<Tuple> summary = partial.Ground(tableau_.summary());
-      if (summary.has_value() && current_answer_.Contains(*summary)) {
-        return true;
+      if (summary_groundable && v.depth >= summary_ground_depth) {
+        if (answer_shared) {
+          if (!summary_unknown_const) {
+            w.summary_buf.resize(summary_codes.size());
+            for (size_t i = 0; i < summary_codes.size(); ++i) {
+              int32_t code = summary_codes[i];
+              w.summary_buf[i] =
+                  code >= 0 ? v.ids[code] : summary_const_ids[i];
+            }
+            if (current_answer_.ContainsIds(w.summary_buf.data())) {
+              return true;
+            }
+          }
+        } else {
+          std::vector<Value> vals;
+          vals.reserve(summary_codes.size());
+          for (size_t i = 0; i < summary_codes.size(); ++i) {
+            int32_t code = summary_codes[i];
+            vals.push_back(code >= 0 ? v.enumerator->ResolveId(v.ids[code])
+                                     : summary_terms[i].value());
+          }
+          if (current_answer_.Contains(Tuple(std::move(vals)))) return true;
+        }
       }
       // Prune when the rows bound so far already violate V.
-      size_t pos = partial.size() == 0 ? 0 : partial.size() - 1;
+      size_t pos = v.depth == 0 ? 0 : v.depth - 1;
       if (pos < row_has_new_at.size() && row_has_new_at[pos]) {
-        Result<bool> ok = PartialRowsSatisfyV(&w, partial, pos, row_bound_at);
+        Result<bool> ok = partial_rows_satisfy(w, v, pos);
         if (!ok.ok()) {
           w.error = ok.status();
           return true;  // abort the subtree; error surfaces after
@@ -242,8 +384,15 @@ class DisjunctSearch {
       }
       return false;
     };
-    auto on_total = [&](size_t wi, const Bindings& valuation) {
+    auto on_total = [&](size_t wi, const IdValuation& v) {
       Worker& w = workers[wi];
+      // Materialize the full valuation once: counterexample judging is
+      // rare (most candidates die in the prunes above), and the legacy
+      // Bindings-based judge keeps its battle-tested semantics.
+      Bindings valuation;
+      for (size_t i = 0; i < order.size(); ++i) {
+        valuation.Set(order[i], v.enumerator->ResolveId(v.ids[i]));
+      }
       Result<bool> is_cex = IsCounterexample(&w, valuation, &w.candidate);
       if (!is_cex.ok()) {
         w.error = is_cex.status();
@@ -281,18 +430,22 @@ class DisjunctSearch {
       freeze.emplace(db_, master_);
       current_answer_.PrepareForRead();
     }
-    ParallelValuationSearch(
+    ParallelValuationSearchIds(
         tableau_, adom_, enum_options, parallel_options,
         options_.prune
-            ? std::function<bool(size_t, const Bindings&)>(prune)
-            : std::function<bool(size_t, const Bindings&)>(),
+            ? std::function<bool(size_t, const IdValuation&)>(prune)
+            : std::function<bool(size_t, const IdValuation&)>(),
         on_total, epilogue, &outcome);
 
     result->stats += outcome.stats;
     for (const Worker& w : workers) {
       result->stats.index_probes += w.counters.index_probes;
+      result->stats.composite_probes += w.counters.composite_probes;
       result->stats.relation_scans += w.counters.relation_scans;
       result->stats.overlay_hits += w.counters.overlay_hits;
+      if (w.arena.has_value()) {
+        result->stats.arena_bytes += w.arena->high_water_bytes();
+      }
     }
     if (outcome.exhausted) {
       // Budget/cancel exhaustion: degrade gracefully. Every rank below
@@ -324,15 +477,30 @@ class DisjunctSearch {
     std::optional<DeltaConstraintChecker::Session> session;
     std::optional<Database> empty_db;
     std::optional<DatabaseOverlay> scratch;
+    /// Per-worker bump arena for the matcher's per-call scratch, reset
+    /// before every candidate check (null when use_arena is off).
+    std::optional<Arena> arena;
     EvalCounters counters;
     ConjunctiveEvalOptions eval_options;
+    /// Reused id/tuple scratch for the id-plane prune hook.
+    std::vector<ValueId> id_buf;
+    std::vector<ValueId> summary_buf;
+    std::vector<std::pair<std::string, Tuple>> delta_scratch;
     RcdpResult candidate;
     Status error;
     bool found = false;
   };
 
   void InitWorker(Worker* w) {
+    if (options_.use_arena) {
+      w->arena.emplace();
+      if (options_.budget != nullptr) {
+        w->arena->set_memory_tracker(options_.budget);
+      }
+    }
     w->eval_options.use_indexes = options_.use_indexes;
+    w->eval_options.use_composite_indexes = options_.use_composite_indexes;
+    w->eval_options.arena = w->arena.has_value() ? &*w->arena : nullptr;
     w->eval_options.counters = &w->counters;
     w->eval_options.budget = options_.budget;
     if (delta_checker_ != nullptr) {
@@ -344,7 +512,9 @@ class DisjunctSearch {
       // checked), over D otherwise. Either way the base relations'
       // column indexes survive across candidates.
       if (options_.ind_fast_path && constraints_.IsIndsOnly()) {
-        w->empty_db.emplace(db_.schema_ptr());
+        // Share the family interner so candidate rows staged over ∅
+        // resolve to the same ids the search and base relations use.
+        w->empty_db.emplace(db_.schema_ptr(), db_.interner());
         w->scratch.emplace(&*w->empty_db);
       } else {
         w->scratch.emplace(&db_);
@@ -361,6 +531,10 @@ class DisjunctSearch {
   /// use_overlay off — the legacy copy-per-candidate path.
   Result<bool> ExtensionSatisfiesV(
       Worker* w, const std::vector<std::pair<std::string, Tuple>>& tuples) {
+    // The matcher's per-call scratch from the previous candidate is
+    // dead; reclaim it (blocks are retained, so steady state is
+    // allocation free).
+    if (w->arena.has_value()) w->arena->Reset();
     if (w->session.has_value()) {
       return w->session->Check(tuples);
     }
@@ -387,25 +561,6 @@ class DisjunctSearch {
       extended.InsertUnchecked(relation, tuple);
     }
     return Satisfies(constraints_, extended, master_);
-  }
-
-  /// Instantiates the rows fully bound at positions <= pos and checks
-  /// V on D plus those rows alone.
-  Result<bool> PartialRowsSatisfyV(Worker* w, const Bindings& partial,
-                                   size_t pos,
-                                   const std::vector<size_t>& row_bound_at) {
-    std::vector<std::pair<std::string, Tuple>> delta;
-    for (size_t r = 0; r < tableau_.rows().size(); ++r) {
-      if (row_bound_at[r] > pos) continue;
-      const TableauRow& row = tableau_.rows()[r];
-      std::optional<Tuple> t = partial.Ground(row.terms);
-      if (!t.has_value()) continue;
-      if (!db_.Contains(row.relation, *t)) {
-        delta.emplace_back(row.relation, std::move(*t));
-      }
-    }
-    if (delta.empty()) return true;
-    return ExtensionSatisfiesV(w, delta);
   }
 
   Result<bool> IsCounterexample(Worker* w, const Bindings& valuation,
@@ -522,6 +677,7 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
   EvalCounters main_counters;
   ConjunctiveEvalOptions main_eval;
   main_eval.use_indexes = options.use_indexes;
+  main_eval.use_composite_indexes = options.use_composite_indexes;
   main_eval.counters = &main_counters;
   RELCOMP_ASSIGN_OR_RETURN(Relation current_answer,
                            EvalUnion(ucq, db, main_eval));
@@ -603,6 +759,19 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
     ActiveDomain adom = ActiveDomain::Build(
         db, master, query_constants, constraints,
         std::max<size_t>(1, tableau.variables().size()));
+    // Finite variable domains can list values outside Adom; intern them
+    // too (still pre-freeze, charged through the same byte delta) so the
+    // id-plane search resolves every candidate through the interner.
+    if (db.interner() != nullptr) {
+      for (const std::string& var : tableau.variables()) {
+        std::shared_ptr<const Domain> dom = tableau.VariableDomain(var);
+        if (dom != nullptr && dom->is_finite()) {
+          for (const Value& v : dom->finite_values()) {
+            db.interner()->Intern(v);
+          }
+        }
+      }
+    }
     if (options.budget != nullptr) {
       size_t interner_after = db.interner()->ApproxBytes();
       if (interner_after > interner_before) {
@@ -646,6 +815,7 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
         result.complete ? Verdict::kComplete : Verdict::kIncomplete;
   }
   result.stats.index_probes += main_counters.index_probes;
+  result.stats.composite_probes += main_counters.composite_probes;
   result.stats.relation_scans += main_counters.relation_scans;
   result.stats.overlay_hits += main_counters.overlay_hits;
   return result;

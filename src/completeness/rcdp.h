@@ -57,6 +57,18 @@ struct RcdpOptions {
   /// positions during constraint checks and query evaluation. Disable
   /// to scan every atom, as the pre-index matcher did (bench_ablation).
   bool use_indexes = true;
+  /// Probe lazily built composite radix indexes when an atom has two or
+  /// more bound positions (one tree descent instead of N per-column
+  /// probes plus residual re-checks). Disable to fall back to the
+  /// shortest per-column posting list (bench_ablation's `composite`
+  /// toggle). No effect when use_indexes is off.
+  bool use_composite_indexes = true;
+  /// Give every search worker a bump arena for the matcher's per-call
+  /// scratch (binding slots, staged id rows, step frames), reset
+  /// between candidate checks; block growth is charged to the budget.
+  /// Disable to heap-allocate per call (bench_ablation's `arena`
+  /// toggle).
+  bool use_arena = true;
   /// Stage candidate extensions on a copy-on-write DatabaseOverlay over
   /// D instead of copying D per valuation. Disable for the legacy
   /// copy-per-candidate paths (bench_ablation).

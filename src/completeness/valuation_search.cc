@@ -1,6 +1,7 @@
 #include "completeness/valuation_search.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -113,6 +114,49 @@ ValuationEnumerator::ValuationEnumerator(const TableauQuery* tableau,
       shard_weight_[i] = shard_weight_[i + 1] * candidates_[i + 1].size();
     }
   }
+  // Id plane: resolve every candidate and disequality constant to a
+  // unified id up front. TryGet only — this runs post-freeze in the
+  // parallel workers' per-unit enumerators. Values the interner has
+  // never seen get synthetic ids descending from kFreshIdBase - 1
+  // (below the reserved fresh range, above every base id), assigned in
+  // construction order — deterministic, so every unit sees the same
+  // mapping. Equal values share one synthetic id, so id equality means
+  // value equality across the whole enumeration.
+  if (options_.interner != nullptr) {
+    std::map<Value, ValueId> synth;
+    auto id_of = [&](const Value& v) -> ValueId {
+      std::optional<ValueId> id = options_.interner->TryGet(v);
+      if (id.has_value()) return *id;
+      auto it = synth.find(v);
+      if (it != synth.end()) return it->second;
+      ValueId sid = static_cast<ValueId>(ValueInterner::kFreshIdBase - 1 -
+                                         synth_values_.size());
+      assert(sid >= options_.interner->num_base_ids());
+      synth.emplace(v, sid);
+      synth_values_.push_back(&v);
+      return sid;
+    };
+    candidate_ids_.resize(candidates_.size());
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      candidate_ids_[i].reserve(candidates_[i].size());
+      for (const Value& v : candidates_[i]) {
+        candidate_ids_[i].push_back(id_of(v));
+      }
+    }
+    diseq_codes_.reserve(diseqs.size());
+    for (const auto& [lhs, rhs] : diseqs) {
+      auto code_of = [&](const Term& t) -> int32_t {
+        if (t.is_variable()) {
+          return static_cast<int32_t>(position[t.var()]);
+        }
+        diseq_const_ids_.push_back(id_of(t.value()));
+        return -static_cast<int32_t>(diseq_const_ids_.size());
+      };
+      int32_t l = code_of(lhs);
+      diseq_codes_.emplace_back(l, code_of(rhs));
+    }
+    ids_ready_ = true;
+  }
 }
 
 size_t ValuationEnumerator::PrefixSpace(size_t depth) const {
@@ -120,6 +164,41 @@ size_t ValuationEnumerator::PrefixSpace(size_t depth) const {
   size_t total = 1;
   for (size_t i = 0; i < d; ++i) total *= candidates_[i].size();
   return total;
+}
+
+bool ValuationEnumerator::EnterBindingStep(bool* stopped) {
+  if (options_.stop.stop_requested()) {
+    failure_ = Status::Cancelled(
+        "valuation search cancelled (another work unit already won)");
+    *stopped = true;
+    return false;
+  }
+  if (options_.budget != nullptr) {
+    // One counted decision point per binding step, claimed on the
+    // shared budget so serial and parallel runs exhaust after the
+    // same amount of total work.
+    Status bst = options_.budget->OnDecisionPoint();
+    if (!bst.ok()) {
+      failure_ = std::move(bst);
+      *stopped = true;
+      return false;
+    }
+  }
+  ++stats_.bindings_tried;
+  size_t used = stats_.bindings_tried;
+  if (options_.shared_bindings != nullptr) {
+    used = options_.shared_bindings->fetch_add(1,
+                                               std::memory_order_relaxed) +
+           1;
+  }
+  if (options_.max_bindings > 0 && used > options_.max_bindings) {
+    failure_ = Status::ResourceExhausted(
+        StrCat("valuation search exceeded ", options_.max_bindings,
+               " binding steps"));
+    *stopped = true;
+    return false;
+  }
+  return true;
 }
 
 bool ValuationEnumerator::Recurse(
@@ -150,37 +229,7 @@ bool ValuationEnumerator::Recurse(
   }
   for (size_t k = k_begin; k < k_end; ++k) {
     const Value& v = candidates_[index][k];
-    if (options_.stop.stop_requested()) {
-      failure_ = Status::Cancelled(
-          "valuation search cancelled (another work unit already won)");
-      *stopped = true;
-      return false;
-    }
-    if (options_.budget != nullptr) {
-      // One counted decision point per binding step, claimed on the
-      // shared budget so serial and parallel runs exhaust after the
-      // same amount of total work.
-      Status bst = options_.budget->OnDecisionPoint();
-      if (!bst.ok()) {
-        failure_ = std::move(bst);
-        *stopped = true;
-        return false;
-      }
-    }
-    ++stats_.bindings_tried;
-    size_t used = stats_.bindings_tried;
-    if (options_.shared_bindings != nullptr) {
-      used = options_.shared_bindings->fetch_add(1,
-                                                 std::memory_order_relaxed) +
-             1;
-    }
-    if (options_.max_bindings > 0 && used > options_.max_bindings) {
-      failure_ = Status::ResourceExhausted(
-          StrCat("valuation search exceeded ", options_.max_bindings,
-                 " binding steps"));
-      *stopped = true;
-      return false;
-    }
+    if (!EnterBindingStep(stopped)) return false;
     bindings->Set(order_[index], v);
     bool ok = true;
     if (options_.pruned) {
@@ -236,6 +285,108 @@ Status ValuationEnumerator::Enumerate(
   return failure_;
 }
 
+bool ValuationEnumerator::RecurseIds(
+    size_t index, size_t lo, size_t hi,
+    const std::function<bool(const IdValuation&)>& should_prune,
+    const std::function<bool(const IdValuation&)>& on_total, bool* stopped) {
+  if (index == order_.size()) {
+    if (!options_.pruned) {
+      // Naive-mode leaves replay the legacy validity check verbatim
+      // (domain membership and all disequalities on Values); this is
+      // the deliberately slow ablation baseline, so the per-leaf
+      // materialization is part of the measured algorithm.
+      Bindings bindings;
+      for (size_t i = 0; i < order_.size(); ++i) {
+        bindings.Set(order_[i], ResolveId(slot_ids_[i]));
+      }
+      if (!tableau_->IsValidValuation(bindings)) return true;
+    }
+    ++stats_.totals_delivered;
+    if (!on_total(IdValuation{slot_ids_.data(), order_.size(), this})) {
+      *stopped = true;
+      return false;
+    }
+    return true;
+  }
+  size_t k_begin = 0;
+  size_t k_end = candidates_[index].size();
+  const bool sharded = index < shard_depth_;
+  size_t weight = 1;
+  if (sharded) {
+    weight = shard_weight_[index];
+    k_begin = std::min(k_end, lo / weight);
+    k_end = std::min(k_end, (hi + weight - 1) / weight);
+  }
+  for (size_t k = k_begin; k < k_end; ++k) {
+    if (!EnterBindingStep(stopped)) return false;
+    slot_ids_[index] = candidate_ids_[index][k];
+    bool ok = true;
+    if (options_.pruned) {
+      for (size_t d : disequalities_at_[index]) {
+        // Both ends are bound here (disequalities_at_ places a check at
+        // the position binding its last variable), and id equality is
+        // value equality under the unified mapping.
+        if (DiseqOperandId(diseq_codes_[d].first) ==
+            DiseqOperandId(diseq_codes_[d].second)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && should_prune != nullptr &&
+          should_prune(IdValuation{slot_ids_.data(), index + 1, this})) {
+        ok = false;
+      }
+      if (!ok) ++stats_.prunes;
+    }
+    if (ok) {
+      size_t sub_lo = 0;
+      size_t sub_hi = 0;
+      if (sharded && index + 1 < shard_depth_) {
+        size_t block_lo = k * weight;
+        sub_lo = lo > block_lo ? lo - block_lo : 0;
+        sub_hi = std::min(hi - block_lo, weight);
+      }
+      if (!RecurseIds(index + 1, sub_lo, sub_hi, should_prune, on_total,
+                      stopped)) {
+        slot_ids_[index] = kInvalidValueId;
+        return false;
+      }
+    }
+  }
+  slot_ids_[index] = kInvalidValueId;
+  return true;
+}
+
+Status ValuationEnumerator::EnumerateIds(
+    const std::function<bool(const IdValuation&)>& should_prune,
+    const std::function<bool(const IdValuation&)>& on_total) {
+  if (!tableau_->satisfiable()) return Status::OK();
+  if (!ids_ready_) {
+    return Status::InvalidArgument(
+        "EnumerateIds requires Options::interner");
+  }
+  failure_ = Status::OK();
+  size_t lo = 0;
+  size_t hi = 0;
+  if (shard_depth_ > 0) {
+    lo = options_.shard_begin;
+    hi = std::min(options_.shard_end, PrefixSpace(shard_depth_));
+    if (lo >= hi) return Status::OK();
+  }
+  slot_ids_.assign(order_.size(), kInvalidValueId);
+  bool stopped = false;
+  RecurseIds(0, lo, hi, should_prune, on_total, &stopped);
+  return failure_;
+}
+
+const Value& ValuationEnumerator::ResolveId(ValueId id) const {
+  if (id < ValueInterner::kFreshIdBase &&
+      id >= options_.interner->num_base_ids()) {
+    return *synth_values_[ValueInterner::kFreshIdBase - 1 - id];
+  }
+  return options_.interner->ValueOf(id);
+}
+
 namespace {
 
 /// Atomically lowers `target` to at most `value`.
@@ -267,14 +418,16 @@ struct UnitInfo {
   Status status;
 };
 
-}  // namespace
-
-void ParallelValuationSearch(
+/// The shared engine behind both ParallelValuationSearch flavors:
+/// plans the unit partition, runs `run_unit(enumerator, worker)` per
+/// claimed unit (the flavor wraps its callbacks and picks
+/// Enumerate/EnumerateIds), and resolves the winner deterministically.
+void ParallelSearchDriver(
     const TableauQuery& tableau, const ActiveDomain& adom,
     const ValuationEnumerator::Options& enum_options,
     const ParallelSearchOptions& parallel_options,
-    const std::function<bool(size_t worker, const Bindings&)>& should_prune,
-    const std::function<bool(size_t worker, const Bindings&)>& on_total,
+    const std::function<Status(ValuationEnumerator&, size_t worker)>&
+        run_unit,
     const std::function<ParallelUnitResult(size_t worker)>& epilogue,
     ParallelSearchOutcome* outcome) {
   *outcome = ParallelSearchOutcome();
@@ -316,13 +469,7 @@ void ParallelValuationSearch(
 
   auto run_serial = [&]() {
     ValuationEnumerator enumerator(&tableau, &adom, enum_options);
-    auto prune1 =
-        should_prune == nullptr
-            ? std::function<bool(const Bindings&)>()
-            : std::function<bool(const Bindings&)>(
-                  [&](const Bindings& b) { return should_prune(0, b); });
-    Status st = enumerator.Enumerate(
-        prune1, [&](const Bindings& b) { return on_total(0, b); });
+    Status st = run_unit(enumerator, 0);
     outcome->stats += enumerator.stats();
     outcome->units_total = 1;
     outcome->threads_used = 1;
@@ -391,13 +538,7 @@ void ParallelValuationSearch(
         unit_options.shared_bindings = &shared_bindings;
       }
       ValuationEnumerator enumerator(&tableau, &adom, unit_options);
-      auto prune1 =
-          should_prune == nullptr
-              ? std::function<bool(const Bindings&)>()
-              : std::function<bool(const Bindings&)>(
-                    [&, w](const Bindings& b) { return should_prune(w, b); });
-      Status st = enumerator.Enumerate(
-          prune1, [&, w](const Bindings& b) { return on_total(w, b); });
+      Status st = run_unit(enumerator, w);
       worker_stats[w] += enumerator.stats();
       ++worker_stats[w].work_units;
       ParallelUnitResult unit_result = epilogue(w);
@@ -529,6 +670,53 @@ void ParallelValuationSearch(
   }
   // Every unit exhausted: the whole rank space was searched.
   outcome->next_rank = total;
+}
+
+}  // namespace
+
+void ParallelValuationSearch(
+    const TableauQuery& tableau, const ActiveDomain& adom,
+    const ValuationEnumerator::Options& enum_options,
+    const ParallelSearchOptions& parallel_options,
+    const std::function<bool(size_t worker, const Bindings&)>& should_prune,
+    const std::function<bool(size_t worker, const Bindings&)>& on_total,
+    const std::function<ParallelUnitResult(size_t worker)>& epilogue,
+    ParallelSearchOutcome* outcome) {
+  auto run_unit = [&](ValuationEnumerator& enumerator, size_t w) {
+    auto prune1 =
+        should_prune == nullptr
+            ? std::function<bool(const Bindings&)>()
+            : std::function<bool(const Bindings&)>(
+                  [&, w](const Bindings& b) { return should_prune(w, b); });
+    return enumerator.Enumerate(
+        prune1, [&, w](const Bindings& b) { return on_total(w, b); });
+  };
+  ParallelSearchDriver(tableau, adom, enum_options, parallel_options,
+                       run_unit, epilogue, outcome);
+}
+
+void ParallelValuationSearchIds(
+    const TableauQuery& tableau, const ActiveDomain& adom,
+    const ValuationEnumerator::Options& enum_options,
+    const ParallelSearchOptions& parallel_options,
+    const std::function<bool(size_t worker, const IdValuation&)>&
+        should_prune,
+    const std::function<bool(size_t worker, const IdValuation&)>& on_total,
+    const std::function<ParallelUnitResult(size_t worker)>& epilogue,
+    ParallelSearchOutcome* outcome) {
+  auto run_unit = [&](ValuationEnumerator& enumerator, size_t w) {
+    auto prune1 =
+        should_prune == nullptr
+            ? std::function<bool(const IdValuation&)>()
+            : std::function<bool(const IdValuation&)>(
+                  [&, w](const IdValuation& v) {
+                    return should_prune(w, v);
+                  });
+    return enumerator.EnumerateIds(
+        prune1, [&, w](const IdValuation& v) { return on_total(w, v); });
+  };
+  ParallelSearchDriver(tableau, adom, enum_options, parallel_options,
+                       run_unit, epilogue, outcome);
 }
 
 }  // namespace relcomp

@@ -12,6 +12,7 @@
 
 #include "completeness/active_domain.h"
 #include "eval/bindings.h"
+#include "relational/value_interner.h"
 #include "tableau/tableau.h"
 #include "util/execution_control.h"
 #include "util/status.h"
@@ -31,10 +32,16 @@ struct ValuationSearchStats {
   size_t prunes = 0;
   /// Column-index probes issued against base relations.
   size_t index_probes = 0;
+  /// Composite (multi-column radix) probes issued against base
+  /// relations.
+  size_t composite_probes = 0;
   /// Full relation scans (no bound position, or indexes disabled).
   size_t relation_scans = 0;
   /// Atom matches served by overlay-staged rows.
   size_t overlay_hits = 0;
+  /// Per-search arena footprint: summed high-water bytes of the
+  /// workers' bump arenas (0 when arenas are disabled).
+  size_t arena_bytes = 0;
   /// Parallel mode only: work units run to completion, and units whose
   /// enumeration was cancelled after another unit won. Zero in serial
   /// runs.
@@ -46,12 +53,33 @@ struct ValuationSearchStats {
     totals_delivered += other.totals_delivered;
     prunes += other.prunes;
     index_probes += other.index_probes;
+    composite_probes += other.composite_probes;
     relation_scans += other.relation_scans;
     overlay_hits += other.overlay_hits;
+    arena_bytes += other.arena_bytes;
     work_units += other.work_units;
     work_units_cancelled += other.work_units_cancelled;
     return *this;
   }
+};
+
+class ValuationEnumerator;
+
+/// A (partial) valuation on the id plane: enumeration positions
+/// [0, depth) of the producing enumerator's order() are bound, and
+/// ids[i] is the ValueId bound at position i. Ids come from the unified
+/// mapping of the enumerator's Options::interner — interned values keep
+/// their interner id; candidate or disequality-constant values the
+/// interner has never seen get deterministic per-enumerator synthetic
+/// ids (parked in the unused gap below ValueInterner::kFreshIdBase), so
+/// id equality means value equality throughout the enumeration and a
+/// synthetic id never equals an id any relation of the family stores.
+/// Resolve ids back to Values through enumerator->ResolveId(). The view
+/// is only valid during the callback invocation.
+struct IdValuation {
+  const ValueId* ids = nullptr;
+  size_t depth = 0;
+  const ValuationEnumerator* enumerator = nullptr;
 };
 
 /// Enumerates the paper's valid valuations of a tableau: total
@@ -109,6 +137,13 @@ class ValuationEnumerator {
     /// enumeration with the budget's sticky status (kResourceExhausted
     /// for deadline/steps/memory, kCancelled for a user CancelToken).
     ExecutionBudget* budget = nullptr;
+    /// Optional interner of the instance's database family (not owned;
+    /// may be null). Required for EnumerateIds: candidate values and
+    /// disequality constants are resolved to ValueIds at construction
+    /// (TryGet only — a frozen interner is never grown; never-seen
+    /// values get synthetic ids, see IdValuation), and disequality
+    /// checks during the enumeration become pure id comparisons.
+    const ValueInterner* interner = nullptr;
   };
 
   ValuationEnumerator(const TableauQuery* tableau, const ActiveDomain* adom,
@@ -120,6 +155,24 @@ class ValuationEnumerator {
   /// false stops the whole search.
   Status Enumerate(const std::function<bool(const Bindings&)>& should_prune,
                    const std::function<bool(const Bindings&)>& on_total);
+
+  /// Id-plane enumeration: identical search order, shard semantics,
+  /// budget points, and stats as Enumerate, but callbacks receive the
+  /// bound prefix as an IdValuation instead of a Bindings map — no
+  /// per-step map mutation or Value materialization. Requires
+  /// Options::interner (kInvalidArgument otherwise). In naive mode
+  /// (pruned = false) leaf validity is still checked through
+  /// TableauQuery::IsValidValuation on a materialized Bindings, exactly
+  /// like the legacy path.
+  Status EnumerateIds(
+      const std::function<bool(const IdValuation&)>& should_prune,
+      const std::function<bool(const IdValuation&)>& on_total);
+
+  /// The value behind an id of this enumeration (an interner id or one
+  /// of the enumerator's synthetic ids). Precondition: Options::interner
+  /// was set and `id` appeared in an IdValuation of this enumerator or
+  /// is an id of that interner.
+  const Value& ResolveId(ValueId id) const;
 
   /// The variable enumeration order actually used (pruned mode:
   /// summary variables first, then a greedy row-completion order so
@@ -143,6 +196,21 @@ class ValuationEnumerator {
                const std::function<bool(const Bindings&)>& should_prune,
                const std::function<bool(const Bindings&)>& on_total,
                bool* stopped);
+  bool RecurseIds(size_t index, size_t lo, size_t hi,
+                  const std::function<bool(const IdValuation&)>& should_prune,
+                  const std::function<bool(const IdValuation&)>& on_total,
+                  bool* stopped);
+  /// Pre-loop bookkeeping shared by both Recurse flavors: stop token,
+  /// budget decision point, and the (possibly shared) binding counter.
+  /// Returns false — with failure_ set and *stopped = true — when the
+  /// enumeration must abort before binding the next candidate.
+  bool EnterBindingStep(bool* stopped);
+  /// The id a disequality operand code denotes (>= 0: bound slot,
+  /// < 0: pre-resolved constant).
+  ValueId DiseqOperandId(int32_t code) const {
+    return code >= 0 ? slot_ids_[static_cast<size_t>(code)]
+                     : diseq_const_ids_[static_cast<size_t>(-code - 1)];
+  }
 
   const TableauQuery* tableau_;
   const ActiveDomain* adom_;
@@ -158,6 +226,18 @@ class ValuationEnumerator {
   /// (product of candidate counts of levels i+1..depth-1).
   size_t shard_depth_ = 0;
   std::vector<size_t> shard_weight_;
+  /// Id plane (built only when Options::interner is set):
+  /// candidate_ids_[i][k] is the unified id of candidates_[i][k];
+  /// synth_values_[k] is the value behind synthetic id
+  /// kFreshIdBase - 1 - k; diseq codes reference slots (>= 0) or
+  /// diseq_const_ids_ entries (< 0, index -code - 1).
+  bool ids_ready_ = false;
+  std::vector<std::vector<ValueId>> candidate_ids_;
+  std::vector<const Value*> synth_values_;
+  std::vector<std::pair<int32_t, int32_t>> diseq_codes_;
+  std::vector<ValueId> diseq_const_ids_;
+  /// Run state of an in-flight EnumerateIds call.
+  std::vector<ValueId> slot_ids_;
   ValuationSearchStats stats_;
   Status failure_;
 };
@@ -253,6 +333,23 @@ void ParallelValuationSearch(
     const ParallelSearchOptions& parallel_options,
     const std::function<bool(size_t worker, const Bindings&)>& should_prune,
     const std::function<bool(size_t worker, const Bindings&)>& on_total,
+    const std::function<ParallelUnitResult(size_t worker)>& epilogue,
+    ParallelSearchOutcome* outcome);
+
+/// Id-plane flavor of ParallelValuationSearch: identical unit
+/// partition, winner resolution, budget semantics, and determinism
+/// guarantees, with callbacks on the id plane
+/// (ValuationEnumerator::EnumerateIds per unit). Requires
+/// enum_options.interner. Per-enumerator synthetic ids are assigned by
+/// the deterministic construction order, so every unit — on any worker
+/// — observes the identical id mapping.
+void ParallelValuationSearchIds(
+    const TableauQuery& tableau, const ActiveDomain& adom,
+    const ValuationEnumerator::Options& enum_options,
+    const ParallelSearchOptions& parallel_options,
+    const std::function<bool(size_t worker, const IdValuation&)>&
+        should_prune,
+    const std::function<bool(size_t worker, const IdValuation&)>& on_total,
     const std::function<ParallelUnitResult(size_t worker)>& epilogue,
     ParallelSearchOutcome* outcome);
 

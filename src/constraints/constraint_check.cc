@@ -43,24 +43,27 @@ Relation ProjectMaster(const Database& master,
   return out;
 }
 
-/// Checks one disjunct of a constraint query against a target: true iff
-/// some match's head tuple falls outside the target (or, with a null
-/// target, iff any match exists — the q ⊆ ∅ form). Early-exits on the
-/// first violation.
-Result<bool> DisjunctViolates(const ConjunctiveQuery& cq,
+/// Checks one compiled disjunct of a constraint query against a target:
+/// true iff some match's head tuple falls outside the target (or, with
+/// a null target, iff any match exists — the q ⊆ ∅ form). Early-exits
+/// on the first violation. Heads stay on the id/value-pointer plane —
+/// no Bindings map or Tuple is materialized per match; the target
+/// membership test resolves the head values through the target's own
+/// interner (ContainsValues).
+Result<bool> DisjunctViolates(const CompiledCq& cq,
                               const DatabaseOverlay& view,
                               const Relation* target,
                               const ConjunctiveEvalOptions& options) {
   bool violated = false;
-  Status st = ForEachMatch(cq, view, options, [&](const Bindings& b) {
-    std::optional<Tuple> head = b.Ground(cq.head());
-    if (!head.has_value()) return true;
-    if (target == nullptr || !target->Contains(*head)) {
-      violated = true;
-      return false;  // stop
-    }
-    return true;
-  });
+  Status st = cq.ForEachHeadMatch(
+      view, options,
+      [&](const ValueId* /*head_ids*/, const Value* const* head_vals) {
+        if (target == nullptr || !target->ContainsValues(head_vals)) {
+          violated = true;
+          return false;  // stop
+        }
+        return true;
+      });
   RELCOMP_RETURN_NOT_OK(st);
   return violated;
 }
@@ -155,6 +158,10 @@ Result<CompiledConstraintCheck> CompiledConstraintCheck::Make(
                              cc.query().ToUnion(max_union_disjuncts));
     Entry entry;
     entry.ucq = std::move(ucq);
+    entry.compiled.reserve(entry.ucq.disjuncts().size());
+    for (const ConjunctiveQuery& cq : entry.ucq.disjuncts()) {
+      entry.compiled.emplace_back(cq);
+    }
     entry.empty_target = cc.has_empty_target();
     if (!entry.empty_target) {
       entry.target = EvalProjection(cc, master);
@@ -174,7 +181,7 @@ Result<bool> CompiledConstraintCheck::Satisfied(
   }
   for (const Entry& entry : entries_) {
     const Relation* target = entry.empty_target ? nullptr : &entry.target;
-    for (const ConjunctiveQuery& cq : entry.ucq.disjuncts()) {
+    for (const CompiledCq& cq : entry.compiled) {
       RELCOMP_ASSIGN_OR_RETURN(bool violated,
                                DisjunctViolates(cq, view, target, options));
       if (violated) return false;
@@ -197,6 +204,7 @@ Result<DeltaConstraintChecker> DeltaConstraintChecker::Make(
     RELCOMP_RETURN_NOT_OK(extended->AddRelation(*db_schema->FindRelation(name)));
     RELCOMP_RETURN_NOT_OK(extended->AddRelation(
         StrCat(name, kCcDeltaSuffix), db_schema->FindRelation(name)->arity()));
+    checker.delta_names_[name] = StrCat(name, kCcDeltaSuffix);
   }
   checker.extended_schema_ = extended;
   for (const ContainmentConstraint& cc : set.constraints()) {
@@ -218,6 +226,13 @@ Result<DeltaConstraintChecker> DeltaConstraintChecker::Make(
       }
       // A disjunct with no relation atoms matches independently of Δ;
       // since (D, Dm) |= V it cannot newly violate — safe to drop.
+    }
+    // Compile only after the variants vector is complete: CompiledCq
+    // borrows the query object, and push_back reallocation would
+    // relocate it.
+    entry.compiled.reserve(entry.variants.size());
+    for (const ConjunctiveQuery& variant : entry.variants) {
+      entry.compiled.emplace_back(variant);
     }
     checker.constraints_.push_back(std::move(entry));
   }
@@ -271,7 +286,7 @@ Result<bool> DeltaConstraintChecker::Session::Check(
       // which is virtual — absent from the base schema — so it is
       // served purely from the staged rows.
       if (view_->Add(relation, tuple)) {
-        view_->Add(StrCat(relation, kCcDeltaSuffix), tuple);
+        view_->Add(checker_->delta_names_.at(relation), tuple);
       }
     }
     if (!view_->HasPending()) return true;  // base already satisfies V
@@ -281,7 +296,7 @@ Result<bool> DeltaConstraintChecker::Session::Check(
         if (view_->Pending(cc.variant_delta_relations[v]).empty()) continue;
         const Relation* target =
             cc.empty_target ? nullptr : &TargetFor(c);
-        Result<bool> violated = DisjunctViolates(cc.variants[v], *view_,
+        Result<bool> violated = DisjunctViolates(cc.compiled[v], *view_,
                                                  target, eval_options_);
         if (!violated.ok()) {
           view_->Clear();
@@ -306,9 +321,9 @@ Result<bool> DeltaConstraintChecker::Session::Check(
   for (const auto& [relation, tuple] : delta) {
     if (work_->InsertUnchecked(relation, tuple)) {
       applied.emplace_back(relation, &tuple);
-      std::string delta_name = StrCat(relation, kCcDeltaSuffix);
+      const std::string& delta_name = checker_->delta_names_.at(relation);
       if (work_->InsertUnchecked(delta_name, tuple)) {
-        applied_delta.emplace_back(std::move(delta_name), &tuple);
+        applied_delta.emplace_back(delta_name, &tuple);
       }
     }
   }
@@ -357,7 +372,7 @@ Result<bool> DeltaConstraintChecker::Check(const Database& extended,
   // staging, and they are virtual relations of the overlay.
   DatabaseOverlay view(&extended);
   for (const std::string& name : base_schema_->relation_names()) {
-    std::string delta_name = StrCat(name, kCcDeltaSuffix);
+    const std::string& delta_name = delta_names_.at(name);
     for (const Tuple& t : delta.Get(name)) {
       view.Add(delta_name, t);
     }
@@ -371,7 +386,7 @@ Result<bool> DeltaConstraintChecker::Check(const Database& extended,
       }
       RELCOMP_ASSIGN_OR_RETURN(
           bool violated,
-          DisjunctViolates(cc.variants[v], view,
+          DisjunctViolates(cc.compiled[v], view,
                            cc.empty_target ? nullptr : &*target,
                            ConjunctiveEvalOptions()));
       if (violated) return false;

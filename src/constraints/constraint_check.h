@@ -5,7 +5,10 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "constraints/containment_constraint.h"
+#include "eval/conjunctive_eval.h"
 #include "eval/query_eval.h"
 #include "relational/database.h"
 #include "relational/database_overlay.h"
@@ -78,6 +81,11 @@ class CompiledConstraintCheck {
  private:
   struct Entry {
     UnionQuery ucq;
+    /// One compiled matcher per disjunct of `ucq` (borrows the
+    /// disjunct; the UnionQuery's heap storage keeps it stable across
+    /// Entry moves). Satisfied() matches on the id plane through these
+    /// instead of re-deriving slots and atom order per candidate.
+    std::vector<CompiledCq> compiled;
     bool empty_target = true;
     /// Materialized p(Dm); unused when empty_target.
     Relation target;
@@ -161,6 +169,10 @@ class DeltaConstraintChecker {
     /// delta relation is empty for a given candidate are skipped).
     std::vector<ConjunctiveQuery> variants;
     std::vector<std::string> variant_delta_relations;
+    /// One compiled matcher per variant (borrows variants[i]; built
+    /// only after the variants vector is complete, so the borrowed
+    /// queries never relocate).
+    std::vector<CompiledCq> compiled;
     bool empty_target = true;
     std::string master_relation;
     std::vector<size_t> projection;
@@ -169,6 +181,9 @@ class DeltaConstraintChecker {
   std::shared_ptr<const Schema> base_schema_;
   std::shared_ptr<Schema> extended_schema_;
   std::vector<CcVariants> constraints_;
+  /// Precomputed R -> R$ccdelta alias names; Session::Check used to
+  /// build the alias string per staged tuple per check.
+  std::map<std::string, std::string> delta_names_;
 };
 
 }  // namespace relcomp

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
 #include "eval/bindings.h"
 #include "query/conjunctive_query.h"
@@ -10,6 +11,7 @@
 #include "relational/database.h"
 #include "relational/database_overlay.h"
 #include "relational/relation.h"
+#include "util/arena.h"
 #include "util/execution_control.h"
 #include "util/status.h"
 
@@ -20,6 +22,12 @@ namespace relcomp {
 struct EvalCounters {
   /// Column-index probes issued against base relations.
   size_t index_probes = 0;
+  /// Composite (multi-column radix) probes issued against base
+  /// relations.
+  size_t composite_probes = 0;
+  /// Bytes of composite radix indexes built lazily on behalf of this
+  /// evaluation (also charged to the budget when one is attached).
+  size_t composite_index_bytes = 0;
   /// Full scans of a base relation (no bound position, or indexes
   /// disabled).
   size_t relation_scans = 0;
@@ -32,6 +40,8 @@ struct EvalCounters {
 
   EvalCounters& operator+=(const EvalCounters& o) {
     index_probes += o.index_probes;
+    composite_probes += o.composite_probes;
+    composite_index_bytes += o.composite_index_bytes;
     relation_scans += o.relation_scans;
     base_rows_considered += o.base_rows_considered;
     overlay_rows_considered += o.overlay_rows_considered;
@@ -52,6 +62,19 @@ struct ConjunctiveEvalOptions {
   /// false, every atom scans — combined with reorder_atoms = false this
   /// is the literal textual-order paper algorithm.
   bool use_indexes = true;
+  /// If true (and use_indexes), an atom with two or more bound
+  /// positions probes a lazily built composite radix index keyed on
+  /// exactly that bound-column set, replacing N per-column probes and
+  /// the residual bound-position re-checks with one tree descent. If
+  /// false, multi-bound atoms fall back to the shortest per-column
+  /// posting list (the PR 1 behavior) — the `composite` ablation
+  /// toggle.
+  bool use_composite_indexes = true;
+  /// Optional per-search arena (not owned; may be null). When set, all
+  /// per-call matcher scratch — binding slots, staged id rows, step
+  /// frames — is bump-allocated here instead of the heap; the caller
+  /// resets the arena between searches. The `arena` ablation toggle.
+  Arena* arena = nullptr;
   /// Optional sink for work counters (not owned; may be null).
   EvalCounters* counters = nullptr;
   /// Optional shared execution budget (not owned; may be null). The
@@ -59,6 +82,53 @@ struct ConjunctiveEvalOptions {
   /// CompiledConstraintCheck) claim one decision point per check call
   /// against it; plain evaluation does not consume points.
   ExecutionBudget* budget = nullptr;
+};
+
+/// A conjunctive query compiled for the id-plane matcher: variables
+/// are numbered into dense slots, atom arguments become slot/constant
+/// references, and the head is pre-resolved — so a single compilation
+/// serves many evaluations (the delta-constraint checker matches the
+/// same disjunct bodies thousands of times per decision). The compiled
+/// form borrows `q`; the query must outlive it. Compiled queries are
+/// immutable after construction: the const entry points are safe to
+/// call from concurrent workers (each call keeps its run state on its
+/// own stack/arena).
+class CompiledCq {
+ public:
+  explicit CompiledCq(const ConjunctiveQuery& q);
+  ~CompiledCq();
+  CompiledCq(CompiledCq&&) noexcept;
+  CompiledCq& operator=(CompiledCq&&) noexcept;
+
+  const ConjunctiveQuery& query() const;
+
+  /// Enumerates body matches over base ∪ staged, invoking `on_head`
+  /// with the grounded head as parallel id/value arrays of
+  /// query().arity() entries (valid only during the call). Matches
+  /// whose head cannot be grounded (an unbound head variable) are
+  /// skipped. Head ids are intra-call identities: ids of values the
+  /// view's interner has never seen are synthetic (still equal iff the
+  /// values are equal within this call, and never equal to any id a
+  /// relation of the same interner family stores).
+  Status ForEachHeadMatch(
+      const DatabaseOverlay& db, const ConjunctiveEvalOptions& options,
+      const std::function<bool(const ValueId* head_ids,
+                               const Value* const* head_vals)>& on_head) const;
+
+  /// Legacy enumeration: materializes a Bindings map per total match.
+  /// The per-step search runs on the id plane either way; only match
+  /// delivery pays for the map.
+  Status ForEachMatch(const DatabaseOverlay& db,
+                      const ConjunctiveEvalOptions& options,
+                      const std::function<bool(const Bindings&)>& on_match)
+      const;
+
+  /// Opaque compiled form (public so the matcher's internal run state,
+  /// a TU-local class, can borrow it).
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Evaluates a CQ over `db`, returning the set of head tuples Q(D).

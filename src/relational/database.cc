@@ -8,6 +8,12 @@ Database::Database(std::shared_ptr<const Schema> schema)
     : schema_(std::move(schema)),
       interner_(std::make_shared<ValueInterner>()) {}
 
+Database::Database(std::shared_ptr<const Schema> schema,
+                   std::shared_ptr<ValueInterner> interner)
+    : schema_(std::move(schema)), interner_(std::move(interner)) {
+  if (interner_ == nullptr) interner_ = std::make_shared<ValueInterner>();
+}
+
 Status Database::Insert(std::string_view relation, Tuple tuple) {
   const RelationSchema* rs = schema_->FindRelation(relation);
   if (rs == nullptr) {

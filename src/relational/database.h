@@ -25,6 +25,17 @@ class Database {
         interner_(std::make_shared<ValueInterner>()) {}
   explicit Database(std::shared_ptr<const Schema> schema);
 
+  /// Shares an existing interner instead of creating a fresh one, so
+  /// the new (typically scratch) instance agrees on ValueIds with the
+  /// family that owns `interner` — the deciders' empty worker
+  /// databases use this so id rows flow across instances without
+  /// re-interning. Inserting values the interner has not seen grows
+  /// it, which trips the freeze tripwire during a frozen search; only
+  /// stage values that are already interned (instantiated tableau rows
+  /// over interned candidates qualify).
+  Database(std::shared_ptr<const Schema> schema,
+           std::shared_ptr<ValueInterner> interner);
+
   const Schema& schema() const { return *schema_; }
   const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
 
@@ -47,6 +58,14 @@ class Database {
   bool InsertUnchecked(std::string_view relation, Tuple tuple);
 
   bool Contains(std::string_view relation, const Tuple& tuple) const;
+
+  /// Id-plane containment: true iff `relation` holds a row whose ids
+  /// equal `row_ids` (ids under this database's interner family).
+  bool ContainsIds(std::string_view relation, const ValueId* row_ids) const {
+    auto it = relations_.find(relation);
+    if (it == relations_.end()) return false;
+    return it->second.ContainsIds(row_ids);
+  }
   bool Erase(std::string_view relation, const Tuple& tuple);
 
   /// The instance of `relation`; an empty relation of the schema arity

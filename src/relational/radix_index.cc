@@ -1,0 +1,286 @@
+#include "relational/radix_index.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace relcomp {
+
+enum NodeType : uint8_t { kLeaf, kNode4, kNode16, kNode48, kNode256 };
+
+struct RadixIndex::Node {
+  NodeType type;
+  uint8_t prefix_len = 0;
+  uint16_t num_children = 0;
+  // Keys are short (≤32 bytes) so the whole compressed path is stored
+  // inline — no optimistic prefix skipping, probes never re-check.
+  uint8_t prefix[kMaxKeyBytes];
+
+  explicit Node(NodeType t) : type(t) {}
+};
+
+struct RadixIndex::LeafNode : Node {
+  LeafNode() : Node(kLeaf) {}
+  std::vector<uint32_t> rows;
+};
+
+struct RadixIndex::Node4 : Node {
+  Node4() : Node(kNode4) {}
+  uint8_t keys[4];
+  Node* children[4] = {nullptr, nullptr, nullptr, nullptr};
+};
+
+struct RadixIndex::Node16 : Node {
+  Node16() : Node(kNode16) {}
+  uint8_t keys[16];
+  Node* children[16] = {};
+};
+
+struct RadixIndex::Node48 : Node {
+  Node48() : Node(kNode48) { std::memset(index, 0xFF, sizeof(index)); }
+  uint8_t index[256];  // byte -> child slot, 0xFF when absent
+  Node* children[48] = {};
+};
+
+struct RadixIndex::Node256 : Node {
+  Node256() : Node(kNode256) {}
+  Node* children[256] = {};
+};
+
+RadixIndex::RadixIndex(size_t key_bytes) : key_bytes_(key_bytes) {
+  assert(key_bytes > 0 && key_bytes <= kMaxKeyBytes &&
+         key_bytes % sizeof(ValueId) == 0);
+}
+
+RadixIndex::~RadixIndex() { FreeNode(root_); }
+
+void RadixIndex::FreeNode(Node* n) {
+  if (n == nullptr) return;
+  switch (n->type) {
+    case kLeaf:
+      delete static_cast<LeafNode*>(n);
+      return;
+    case kNode4: {
+      Node4* p = static_cast<Node4*>(n);
+      for (int i = 0; i < p->num_children; ++i) FreeNode(p->children[i]);
+      delete p;
+      return;
+    }
+    case kNode16: {
+      Node16* p = static_cast<Node16*>(n);
+      for (int i = 0; i < p->num_children; ++i) FreeNode(p->children[i]);
+      delete p;
+      return;
+    }
+    case kNode48: {
+      Node48* p = static_cast<Node48*>(n);
+      for (int i = 0; i < 48; ++i) FreeNode(p->children[i]);
+      delete p;
+      return;
+    }
+    case kNode256: {
+      Node256* p = static_cast<Node256*>(n);
+      for (int i = 0; i < 256; ++i) FreeNode(p->children[i]);
+      delete p;
+      return;
+    }
+  }
+}
+
+RadixIndex::LeafNode* RadixIndex::NewLeaf(const uint8_t* suffix, size_t len,
+                                          uint32_t row) {
+  LeafNode* leaf = new LeafNode();
+  leaf->prefix_len = static_cast<uint8_t>(len);
+  std::memcpy(leaf->prefix, suffix, len);
+  leaf->rows.push_back(row);
+  bytes_ += sizeof(LeafNode) + sizeof(uint32_t);
+  return leaf;
+}
+
+RadixIndex::Node** RadixIndex::FindChild(Node* n, uint8_t byte) const {
+  switch (n->type) {
+    case kLeaf:
+      return nullptr;
+    case kNode4: {
+      Node4* p = static_cast<Node4*>(n);
+      for (int i = 0; i < p->num_children; ++i) {
+        if (p->keys[i] == byte) return &p->children[i];
+      }
+      return nullptr;
+    }
+    case kNode16: {
+      Node16* p = static_cast<Node16*>(n);
+      for (int i = 0; i < p->num_children; ++i) {
+        if (p->keys[i] == byte) return &p->children[i];
+      }
+      return nullptr;
+    }
+    case kNode48: {
+      Node48* p = static_cast<Node48*>(n);
+      if (p->index[byte] == 0xFF) return nullptr;
+      return &p->children[p->index[byte]];
+    }
+    case kNode256: {
+      Node256* p = static_cast<Node256*>(n);
+      if (p->children[byte] == nullptr) return nullptr;
+      return &p->children[byte];
+    }
+  }
+  return nullptr;
+}
+
+void RadixIndex::AddChild(Node** slot, uint8_t byte, Node* child) {
+  Node* n = *slot;
+  switch (n->type) {
+    case kLeaf:
+      assert(false && "leaves have no children");
+      return;
+    case kNode4: {
+      Node4* p = static_cast<Node4*>(n);
+      if (p->num_children < 4) {
+        p->keys[p->num_children] = byte;
+        p->children[p->num_children] = child;
+        ++p->num_children;
+        return;
+      }
+      Node16* grown = new Node16();
+      bytes_ += sizeof(Node16) - sizeof(Node4);
+      grown->prefix_len = p->prefix_len;
+      std::memcpy(grown->prefix, p->prefix, p->prefix_len);
+      grown->num_children = p->num_children;
+      std::memcpy(grown->keys, p->keys, p->num_children);
+      std::memcpy(grown->children, p->children,
+                  p->num_children * sizeof(Node*));
+      delete p;
+      *slot = grown;
+      AddChild(slot, byte, child);
+      return;
+    }
+    case kNode16: {
+      Node16* p = static_cast<Node16*>(n);
+      if (p->num_children < 16) {
+        p->keys[p->num_children] = byte;
+        p->children[p->num_children] = child;
+        ++p->num_children;
+        return;
+      }
+      Node48* grown = new Node48();
+      bytes_ += sizeof(Node48) - sizeof(Node16);
+      grown->prefix_len = p->prefix_len;
+      std::memcpy(grown->prefix, p->prefix, p->prefix_len);
+      grown->num_children = p->num_children;
+      for (int i = 0; i < p->num_children; ++i) {
+        grown->index[p->keys[i]] = static_cast<uint8_t>(i);
+        grown->children[i] = p->children[i];
+      }
+      delete p;
+      *slot = grown;
+      AddChild(slot, byte, child);
+      return;
+    }
+    case kNode48: {
+      Node48* p = static_cast<Node48*>(n);
+      if (p->num_children < 48) {
+        p->index[byte] = static_cast<uint8_t>(p->num_children);
+        p->children[p->num_children] = child;
+        ++p->num_children;
+        return;
+      }
+      Node256* grown = new Node256();
+      bytes_ += sizeof(Node256) - sizeof(Node48);
+      grown->prefix_len = p->prefix_len;
+      std::memcpy(grown->prefix, p->prefix, p->prefix_len);
+      grown->num_children = p->num_children;
+      for (int b = 0; b < 256; ++b) {
+        if (p->index[b] != 0xFF) grown->children[b] = p->children[p->index[b]];
+      }
+      delete p;
+      *slot = grown;
+      AddChild(slot, byte, child);
+      return;
+    }
+    case kNode256: {
+      Node256* p = static_cast<Node256*>(n);
+      assert(p->children[byte] == nullptr);
+      p->children[byte] = child;
+      ++p->num_children;
+      return;
+    }
+  }
+}
+
+void RadixIndex::Insert(const uint8_t* key, uint32_t row) {
+  if (root_ == nullptr) {
+    root_ = NewLeaf(key, key_bytes_, row);
+    return;
+  }
+  Node** slot = &root_;
+  size_t depth = 0;
+  for (;;) {
+    Node* n = *slot;
+    // Length of the agreement between the node's compressed path and
+    // the remaining key bytes.
+    size_t common = 0;
+    while (common < n->prefix_len &&
+           n->prefix[common] == key[depth + common]) {
+      ++common;
+    }
+    if (common < n->prefix_len) {
+      // Path-compression split: a new Node4 takes the shared prefix;
+      // the existing node keeps its tail past the diverging byte.
+      Node4* split = new Node4();
+      bytes_ += sizeof(Node4);
+      split->prefix_len = static_cast<uint8_t>(common);
+      std::memcpy(split->prefix, n->prefix, common);
+      uint8_t old_byte = n->prefix[common];
+      uint8_t new_byte = key[depth + common];
+      size_t tail = n->prefix_len - common - 1;
+      std::memmove(n->prefix, n->prefix + common + 1, tail);
+      n->prefix_len = static_cast<uint8_t>(tail);
+      *slot = split;
+      Node* fresh = NewLeaf(key + depth + common + 1,
+                            key_bytes_ - depth - common - 1, row);
+      AddChild(slot, old_byte, n);
+      AddChild(slot, new_byte, fresh);
+      return;
+    }
+    depth += n->prefix_len;
+    if (n->type == kLeaf) {
+      assert(depth == key_bytes_);
+      LeafNode* leaf = static_cast<LeafNode*>(n);
+      leaf->rows.push_back(row);
+      bytes_ += sizeof(uint32_t);
+      return;
+    }
+    uint8_t byte = key[depth];
+    Node** child = FindChild(n, byte);
+    if (child == nullptr) {
+      Node* fresh = NewLeaf(key + depth + 1, key_bytes_ - depth - 1, row);
+      AddChild(slot, byte, fresh);
+      return;
+    }
+    slot = child;
+    ++depth;
+  }
+}
+
+const std::vector<uint32_t>* RadixIndex::Probe(const uint8_t* key) const {
+  const Node* n = root_;
+  size_t depth = 0;
+  while (n != nullptr) {
+    if (n->prefix_len != 0 &&
+        std::memcmp(n->prefix, key + depth, n->prefix_len) != 0) {
+      return nullptr;
+    }
+    depth += n->prefix_len;
+    if (n->type == kLeaf) {
+      return &static_cast<const LeafNode*>(n)->rows;
+    }
+    Node** child = FindChild(const_cast<Node*>(n), key[depth]);
+    if (child == nullptr) return nullptr;
+    n = *child;
+    ++depth;
+  }
+  return nullptr;
+}
+
+}  // namespace relcomp

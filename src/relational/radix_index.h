@@ -1,0 +1,85 @@
+#ifndef RELCOMP_RELATIONAL_RADIX_INDEX_H_
+#define RELCOMP_RELATIONAL_RADIX_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relational/value_interner.h"
+
+namespace relcomp {
+
+/// Adaptive radix tree over fixed-length packed big-endian ValueId
+/// keys (4 bytes per indexed column, so lexicographic byte order equals
+/// column-major ValueId order — NOT Value order; ids are opaque).
+///
+/// Nodes adapt among four sizes (4/16/48/256 children) and compress
+/// one-child paths into inline prefixes, so a composite index over k
+/// columns costs O(distinct prefixes), not O(rows · k). Every leaf
+/// sits at full key depth and holds the posting list of matching row
+/// indexes in insertion order (ascending when built from a scan).
+///
+/// Build is single-threaded; once built the tree is immutable and
+/// probes are safe from any number of readers concurrently.
+class RadixIndex {
+ public:
+  /// At most 8 columns per composite key (32 key bytes) — wider bound
+  /// sets fall back to a prefix of the first 8.
+  static constexpr size_t kMaxColumns = 8;
+  static constexpr size_t kMaxKeyBytes = kMaxColumns * sizeof(ValueId);
+
+  /// `key_bytes` must be a positive multiple of 4, at most kMaxKeyBytes.
+  explicit RadixIndex(size_t key_bytes);
+  ~RadixIndex();
+
+  RadixIndex(const RadixIndex&) = delete;
+  RadixIndex& operator=(const RadixIndex&) = delete;
+
+  /// Packs `n` ids big-endian into `out` (4·n bytes).
+  static void PackKey(const ValueId* ids, size_t n, uint8_t* out) {
+    for (size_t i = 0; i < n; ++i) {
+      ValueId id = ids[i];
+      out[4 * i + 0] = static_cast<uint8_t>(id >> 24);
+      out[4 * i + 1] = static_cast<uint8_t>(id >> 16);
+      out[4 * i + 2] = static_cast<uint8_t>(id >> 8);
+      out[4 * i + 3] = static_cast<uint8_t>(id);
+    }
+  }
+
+  /// Appends `row` to the posting list of `key` (key_bytes() bytes).
+  void Insert(const uint8_t* key, uint32_t row);
+
+  /// Posting list for `key`, or nullptr when absent. The returned
+  /// vector lives as long as the index and is never mutated after
+  /// build.
+  const std::vector<uint32_t>* Probe(const uint8_t* key) const;
+
+  size_t key_bytes() const { return key_bytes_; }
+
+  /// Heap footprint estimate (nodes + posting lists), for budget
+  /// charging.
+  size_t ApproxBytes() const { return bytes_; }
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct Node4;
+  struct Node16;
+  struct Node48;
+  struct Node256;
+
+  Node** FindChild(Node* n, uint8_t byte) const;
+  /// Adds `child` under `byte`, growing `*slot` to the next node size
+  /// when full.
+  void AddChild(Node** slot, uint8_t byte, Node* child);
+  LeafNode* NewLeaf(const uint8_t* suffix, size_t len, uint32_t row);
+  static void FreeNode(Node* n);
+
+  Node* root_ = nullptr;
+  size_t key_bytes_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_RELATIONAL_RADIX_INDEX_H_

@@ -3,7 +3,51 @@
 #include <algorithm>
 #include <numeric>
 
+#include "relational/radix_index.h"
+
 namespace relcomp {
+
+Relation::~Relation() = default;
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      interner_(other.interner_),
+      tuples_(other.tuples_),
+      ids_(other.ids_),
+      sorted_(other.sorted_),
+      dedup_(other.dedup_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  interner_ = other.interner_;
+  tuples_ = other.tuples_;
+  ids_ = other.ids_;
+  sorted_ = other.sorted_;
+  dedup_ = other.dedup_;
+  InvalidateIndexes();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      interner_(std::move(other.interner_)),
+      tuples_(std::move(other.tuples_)),
+      ids_(std::move(other.ids_)),
+      sorted_(other.sorted_),
+      dedup_(std::move(other.dedup_)) {}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  interner_ = std::move(other.interner_);
+  tuples_ = std::move(other.tuples_);
+  ids_ = std::move(other.ids_);
+  sorted_ = other.sorted_;
+  dedup_ = std::move(other.dedup_);
+  InvalidateIndexes();
+  return *this;
+}
 
 Relation::InsertOutcome Relation::TryInsert(Tuple t) {
   if (t.arity() != arity_) return InsertOutcome::kArityMismatch;
@@ -65,6 +109,23 @@ uint32_t Relation::FindRow(const Tuple& t) const {
   return kNoRow;
 }
 
+bool Relation::ContainsValues(const Value* const* vals) const {
+  if (tuples_.empty() || interner_ == nullptr) return false;
+  ValueId stack_ids[16];
+  std::vector<ValueId> heap_ids;
+  ValueId* ids = stack_ids;
+  if (arity_ > 16) {
+    heap_ids.resize(arity_);
+    ids = heap_ids.data();
+  }
+  for (size_t c = 0; c < arity_; ++c) {
+    std::optional<ValueId> id = interner_->TryGet(*vals[c]);
+    if (!id.has_value()) return false;  // never interned ⇒ never stored
+    ids[c] = *id;
+  }
+  return ContainsIds(ids);
+}
+
 bool Relation::Erase(const Tuple& t) {
   uint32_t row = FindRow(t);
   if (row == kNoRow) return false;
@@ -111,6 +172,8 @@ void Relation::RebuildDedup() const {
 void Relation::InvalidateIndexes() const {
   col_index_.clear();
   col_index_built_.clear();
+  std::lock_guard<std::mutex> lock(composite_mu_);
+  composite_.clear();
 }
 
 void Relation::EnsureColumnIndex(size_t col) const {
@@ -146,6 +209,58 @@ const std::vector<uint32_t>* Relation::Probe(size_t col,
   auto it = col_index_[col].find(*id);
   if (it == col_index_[col].end()) return nullptr;
   return &it->second;
+}
+
+const std::vector<uint32_t>* Relation::ProbeId(size_t col, ValueId id) const {
+  if (tuples_.empty()) return nullptr;
+  EnsureSorted();
+  EnsureColumnIndex(col);
+  auto it = col_index_[col].find(id);
+  if (it == col_index_[col].end()) return nullptr;
+  return &it->second;
+}
+
+const std::vector<uint32_t>* Relation::CompositeProbe(
+    const size_t* cols, size_t n, const ValueId* ids,
+    size_t* bytes_built) const {
+  if (bytes_built != nullptr) *bytes_built = 0;
+  if (tuples_.empty()) return nullptr;
+  assert(n >= 1 && n <= RadixIndex::kMaxColumns);
+  uint32_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    assert(cols[i] < arity_ && cols[i] < 32 &&
+           (i == 0 || cols[i] > cols[i - 1]));
+    mask |= 1u << cols[i];
+  }
+  // Sort outside the lock: EnsureSorted invalidates indexes, which
+  // itself takes composite_mu_. In concurrent use the relation is
+  // already prepared (sorted), so this is a plain flag read.
+  EnsureSorted();
+  const RadixIndex* index = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(composite_mu_);
+    std::unique_ptr<RadixIndex>& slot = composite_[mask];
+    if (slot == nullptr) {
+      auto built = std::make_unique<RadixIndex>(n * sizeof(ValueId));
+      uint8_t key[RadixIndex::kMaxKeyBytes];
+      ValueId row_key[RadixIndex::kMaxColumns];
+      for (uint32_t row = 0; row < tuples_.size(); ++row) {
+        const ValueId* row_ids =
+            ids_.data() + static_cast<size_t>(row) * arity_;
+        for (size_t i = 0; i < n; ++i) row_key[i] = row_ids[cols[i]];
+        RadixIndex::PackKey(row_key, n, key);
+        built->Insert(key, row);
+      }
+      if (bytes_built != nullptr) {
+        *bytes_built = sizeof(RadixIndex) + built->ApproxBytes();
+      }
+      slot = std::move(built);
+    }
+    index = slot.get();
+  }
+  uint8_t key[RadixIndex::kMaxKeyBytes];
+  RadixIndex::PackKey(ids, n, key);
+  return index->Probe(key);
 }
 
 bool Relation::IsSubsetOf(const Relation& other) const {

@@ -2,11 +2,14 @@
 #define RELCOMP_RELATIONAL_RELATION_H_
 
 #include <cassert>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "relational/radix_index.h"
 #include "relational/tuple.h"
 #include "relational/value_interner.h"
 #include "util/status.h"
@@ -38,6 +41,15 @@ class Relation {
   explicit Relation(size_t arity = 0,
                     std::shared_ptr<ValueInterner> interner = nullptr)
       : arity_(arity), interner_(std::move(interner)) {}
+  ~Relation();
+
+  // Copies and moves carry the data plane; the lazily built composite
+  // indexes stay behind (they rebuild on demand) so the mutex member
+  // never needs to transfer.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   size_t arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
@@ -59,6 +71,13 @@ class Relation {
   InsertOutcome TryInsert(Tuple t);
 
   bool Contains(const Tuple& t) const { return FindRow(t) != kNoRow; }
+
+  /// Membership test from a row of `arity()` Value pointers: each value
+  /// resolves through this relation's interner (TryGet only — a value
+  /// the interner has never seen cannot be stored here) and the id row
+  /// delegates to ContainsIds. No Tuple is materialized per probe.
+  bool ContainsValues(const Value* const* vals) const;
+
   bool Erase(const Tuple& t);
 
   /// Subset test: every tuple of *this is in `other`.
@@ -93,6 +112,44 @@ class Relation {
   size_t ProbeCount(size_t col, const Value& v) const {
     const std::vector<uint32_t>* rows = Probe(col, v);
     return rows == nullptr ? 0 : rows->size();
+  }
+
+  /// Id-plane Probe: same result as Probe(col, Resolve(id)) but skips
+  /// the Value hash lookup entirely. `id` must come from this
+  /// relation's interner family (ids from a foreign interner are
+  /// meaningless here).
+  const std::vector<uint32_t>* ProbeId(size_t col, ValueId id) const;
+
+  /// Rows whose columns `cols[0..n)` (strictly ascending, n >= 1, every
+  /// col < min(arity, 32)) equal `ids[0..n)`, via a lazily built
+  /// adaptive radix index keyed on the packed big-endian id bytes of
+  /// exactly that column set; nullptr when no row matches. The first
+  /// call per column set scans the relation once to build the tree;
+  /// `*bytes_built` (may be null) receives the heap bytes that build
+  /// allocated (0 for every later call) so callers can charge an
+  /// ExecutionBudget. Build is serialized behind a mutex, so lazy
+  /// first probes are safe from concurrent readers of a prepared
+  /// relation; at most 8 columns are indexed (extra columns must be
+  /// re-checked by the caller).
+  const std::vector<uint32_t>* CompositeProbe(const size_t* cols, size_t n,
+                                              const ValueId* ids,
+                                              size_t* bytes_built) const;
+
+  /// Containment on the id plane: true iff some row's ids equal
+  /// `row_ids[0..arity)`. Ids must be from this relation's interner
+  /// family; pure read (the dedup map is maintained eagerly), so it is
+  /// safe on a prepared relation from concurrent threads.
+  bool ContainsIds(const ValueId* row_ids) const {
+    if (tuples_.empty()) return false;
+    auto it = dedup_.find(HashIds(row_ids, arity_));
+    if (it == dedup_.end()) return false;
+    for (uint32_t row : it->second) {
+      if (std::equal(row_ids, row_ids + arity_,
+                     ids_.data() + static_cast<size_t>(row) * arity_)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   /// The tuple at `row` in iteration order. Precondition: row < size().
@@ -166,6 +223,11 @@ class Relation {
   mutable std::vector<std::unordered_map<ValueId, std::vector<uint32_t>>>
       col_index_;
   mutable std::vector<char> col_index_built_;
+  /// Lazily built composite indexes, keyed by column bitmask. Guarded
+  /// by composite_mu_ so the lazy build under ParallelValuationSearch
+  /// is race free; a built tree is immutable and probed lock free.
+  mutable std::map<uint32_t, std::unique_ptr<RadixIndex>> composite_;
+  mutable std::mutex composite_mu_;
 };
 
 }  // namespace relcomp

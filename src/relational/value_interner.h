@@ -87,6 +87,12 @@ class ValueInterner {
   /// Total number of interned values across both ranges.
   size_t size() const { return low_.size() + high_.size(); }
 
+  /// Number of ids in the base (non-fresh) range: base ids are exactly
+  /// [0, num_base_ids()). The eval engine parks per-call synthetic ids
+  /// for never-interned values in the unused gap just below
+  /// kFreshIdBase, and asserts against this bound.
+  size_t num_base_ids() const { return low_.size(); }
+
   /// Rough heap footprint of the interned value tables, used by the
   /// deciders to charge interner growth against an ExecutionBudget
   /// (the delta of ApproxBytes() around a growth phase).

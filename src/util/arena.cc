@@ -1,0 +1,78 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/execution_control.h"
+
+namespace relcomp {
+
+Arena::Arena(size_t initial_block_bytes)
+    : next_block_bytes_(initial_block_bytes == 0 ? kDefaultInitialBlockBytes
+                                                 : initial_block_bytes) {}
+
+Arena::~Arena() {
+  if (tracker_ != nullptr && capacity_ > 0) tracker_->ReleaseBytes(capacity_);
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Reuse retained blocks first (after a Reset); allocate only when the
+  // chain is exhausted or the retained block is too small for an
+  // oversized request.
+  while (block_ + 1 < blocks_.size()) {
+    ++block_;
+    offset_ = 0;
+    if (blocks_[block_].size >= bytes) return;
+  }
+  size_t size = next_block_bytes_;
+  while (size < bytes) size *= 2;
+  // Geometric growth keeps block counts logarithmic in footprint while
+  // a small first block keeps per-worker charges gentle under tight
+  // memory caps.
+  next_block_bytes_ = size * 2;
+  Block b;
+  b.data.reset(new char[size]);
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  block_ = blocks_.size() - 1;
+  offset_ = 0;
+  capacity_ += size;
+  if (tracker_ != nullptr) tracker_->TrackBytes(size);
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  if (blocks_.empty()) NextBlock(bytes + align);
+  // Align the absolute address: block bases from new[] only guarantee
+  // alignof(max_align_t), so over-aligned requests must pad from the
+  // real pointer, not the block-relative offset.
+  auto base = reinterpret_cast<uintptr_t>(blocks_[block_].data.get());
+  size_t aligned = ((base + offset_ + align - 1) & ~(align - 1)) - base;
+  if (aligned + bytes > blocks_[block_].size) {
+    NextBlock(bytes + align);
+    base = reinterpret_cast<uintptr_t>(blocks_[block_].data.get());
+    aligned = ((base + offset_ + align - 1) & ~(align - 1)) - base;
+  }
+  char* out = blocks_[block_].data.get() + aligned;
+  used_ += (aligned - offset_) + bytes;
+  offset_ = aligned + bytes;
+  if (used_ > high_water_) high_water_ = used_;
+  return out;
+}
+
+void Arena::Reset() {
+#ifndef NDEBUG
+  // Poison reclaimed bytes so stale pointers read garbage, not the
+  // previous search's data.
+  for (size_t i = 0; i <= block_ && i < blocks_.size(); ++i) {
+    size_t filled = (i == block_) ? offset_ : blocks_[i].size;
+    std::memset(blocks_[i].data.get(), 0xDD, filled);
+  }
+#endif
+  block_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace relcomp

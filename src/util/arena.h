@@ -1,0 +1,91 @@
+#ifndef RELCOMP_UTIL_ARENA_H_
+#define RELCOMP_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace relcomp {
+
+class ExecutionBudget;
+
+/// Bump allocator for one search: overlay deltas, binding frames, id
+/// rows, and chase scratch live here and die together. Allocation is a
+/// pointer bump inside the current block; Reset() rewinds every block
+/// without returning memory to the OS, so a disjunct retry reuses the
+/// high-water footprint of its predecessor with zero allocator traffic.
+///
+/// Block memory is charged to an ExecutionBudget (if attached) when a
+/// block is first carved from the heap and released when the arena is
+/// destroyed — Reset() keeps both the blocks and the charge, mirroring
+/// the fact that the process still holds the pages. Memory-cap trips
+/// therefore bound the arena's true footprint, not its live bytes.
+///
+/// Not thread safe: one arena per worker.
+class Arena {
+ public:
+  static constexpr size_t kDefaultInitialBlockBytes = 16 * 1024;
+
+  explicit Arena(size_t initial_block_bytes = kDefaultInitialBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Attach a budget; future block allocations call TrackBytes on it.
+  /// Must be set before the first allocation to charge everything.
+  void set_memory_tracker(ExecutionBudget* budget) { tracker_ = budget; }
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Zero-byte requests return a unique non-null pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Typed array of `n` default-constructible-free elements; the caller
+  /// is responsible for initialization (trivial T only).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena memory is never destructed");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every block. Blocks and their budget charge are retained.
+  /// In debug builds the reclaimed bytes are poisoned (0xDD) so that
+  /// reuse-after-reset reads trip assertions or sanitizers loudly.
+  void Reset();
+
+  /// Live bytes handed out since the last Reset (including alignment
+  /// padding).
+  size_t used_bytes() const { return used_; }
+
+  /// Peak of used_bytes() across the arena's lifetime.
+  size_t high_water_bytes() const { return high_water_; }
+
+  /// Total heap bytes owned by blocks (the amount charged to the
+  /// budget).
+  size_t allocated_bytes() const { return capacity_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Makes block `blocks_[block_]` (growing the chain if needed) able
+  /// to hold `bytes` and positions offset_ at its start.
+  void NextBlock(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;    // index of the block being bumped
+  size_t offset_ = 0;   // bump position inside blocks_[block_]
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+  size_t capacity_ = 0;
+  size_t next_block_bytes_;
+  ExecutionBudget* tracker_ = nullptr;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_UTIL_ARENA_H_

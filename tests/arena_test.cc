@@ -1,0 +1,131 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/execution_control.h"
+
+namespace relcomp {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena(/*initial_block_bytes=*/64);
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    char* p = static_cast<char*>(arena.Allocate(17));
+    std::memset(p, i & 0xFF, 17);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 17; ++j) {
+      EXPECT_EQ(static_cast<unsigned char>(ptrs[i][j]), i & 0xFF)
+          << "allocation " << i << " was clobbered";
+    }
+  }
+  EXPECT_GE(arena.used_bytes(), 200u * 17u);
+  EXPECT_EQ(arena.high_water_bytes(), arena.used_bytes());
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena(/*initial_block_bytes=*/64);
+  arena.Allocate(1, 1);
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+  }
+  uint64_t* arr = arena.AllocateArray<uint64_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(arr) % alignof(uint64_t), 0u);
+  for (int i = 0; i < 5; ++i) arr[i] = i;  // must not fault under asan
+}
+
+TEST(ArenaTest, OversizedRequestGetsOwnBlock) {
+  Arena arena(/*initial_block_bytes=*/32);
+  char* big = static_cast<char*>(arena.Allocate(10000));
+  std::memset(big, 0xAB, 10000);
+  char* small = static_cast<char*>(arena.Allocate(8));
+  std::memset(small, 0xCD, 8);
+  EXPECT_EQ(static_cast<unsigned char>(big[9999]), 0xAB);
+  EXPECT_GE(arena.allocated_bytes(), 10008u);
+}
+
+TEST(ArenaTest, ResetRetainsCapacityAndRewinds) {
+  Arena arena(/*initial_block_bytes=*/128);
+  for (int i = 0; i < 100; ++i) arena.Allocate(64);
+  size_t capacity = arena.allocated_bytes();
+  size_t high = arena.high_water_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.allocated_bytes(), capacity);
+  EXPECT_EQ(arena.high_water_bytes(), high);
+  // Refilling to the same footprint must not grow the arena.
+  for (int i = 0; i < 100; ++i) arena.Allocate(64);
+  EXPECT_EQ(arena.allocated_bytes(), capacity);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsReturnNonNull) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+#ifndef NDEBUG
+TEST(ArenaTest, ResetPoisonsReclaimedBytes) {
+  Arena arena(/*initial_block_bytes=*/64);
+  char* p = static_cast<char*>(arena.Allocate(32));
+  std::memset(p, 0x11, 32);
+  arena.Reset();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(p[i]), 0xDD)
+        << "byte " << i << " not poisoned after Reset";
+  }
+}
+#endif
+
+/// The PR 3 memory-cap contract extended to arenas: block memory is
+/// charged through ExecutionBudget::TrackBytes when carved from the
+/// heap, the cap trips as kResourceExhausted at the next decision
+/// point, and a checkpoint captured at the trip survives a
+/// Rearm() + resume round-trip.
+TEST(ArenaExhaustionTest, CapTripsAndBudgetCanRearm) {
+  ExecutionBudget budget;
+  budget.set_max_tracked_bytes(4 * 1024);
+  {
+    Arena arena(/*initial_block_bytes=*/1024);
+    arena.set_memory_tracker(&budget);
+    arena.Allocate(512);
+    EXPECT_TRUE(budget.OnDecisionPoint().ok());
+    // Grow past the cap; the trip surfaces at the next decision point.
+    arena.Allocate(16 * 1024);
+    Status s = budget.OnDecisionPoint();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+    EXPECT_FALSE(budget.exhaustion_status().ok());
+    // Reset keeps blocks, so the charge — and the trip — persist.
+    arena.Reset();
+    EXPECT_FALSE(budget.OnDecisionPoint().ok());
+  }
+  // Destruction releases every charged byte; a rearmed budget runs.
+  EXPECT_EQ(budget.tracked_bytes(), 0u);
+  budget.Rearm();
+  EXPECT_TRUE(budget.OnDecisionPoint().ok());
+}
+
+TEST(ArenaExhaustionTest, TrackedBytesMatchAllocatedBytes) {
+  ExecutionBudget budget;
+  Arena arena(/*initial_block_bytes=*/256);
+  arena.set_memory_tracker(&budget);
+  for (int i = 0; i < 50; ++i) arena.Allocate(100);
+  EXPECT_EQ(budget.tracked_bytes(), arena.allocated_bytes());
+  arena.Reset();
+  EXPECT_EQ(budget.tracked_bytes(), arena.allocated_bytes());
+}
+
+}  // namespace
+}  // namespace relcomp

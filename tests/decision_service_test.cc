@@ -362,6 +362,7 @@ TEST_P(DecisionServiceSweepTest, CrashAfterEveryPersistSiteRecoversBitForBit) {
   ASSERT_EQ(uninterrupted.evidence, expected);
   ASSERT_GE(uninterrupted.persisted, 1u);
 
+  size_t crashes = 0;
   for (size_t k = 1; k <= uninterrupted.persisted; ++k) {
     const std::string dir = FreshDir("persistsweep");
     DecisionServiceOptions options;
@@ -374,8 +375,17 @@ TEST_P(DecisionServiceSweepTest, CrashAfterEveryPersistSiteRecoversBitForBit) {
                                               threads(), slice))
                       .ok());
       auto result = (*service)->Wait("req");
-      ASSERT_FALSE(result.ok()) << "k=" << k << " did not crash";
+      if (result.ok()) {
+        // The run finished in fewer than k persists: how far a slice
+        // advances under a shared step budget depends on which work
+        // units had completed when it blew, so a multi-worker schedule
+        // may cover the rank space in fewer slices than the baseline
+        // measured. The verdict must still be bit-for-bit.
+        EXPECT_EQ(result->evidence, expected) << "k=" << k;
+        continue;
+      }
       ASSERT_TRUE((*service)->crashed());
+      ++crashes;
     }
     auto restarted = DecisionService::Start(dir);
     ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
@@ -385,6 +395,7 @@ TEST_P(DecisionServiceSweepTest, CrashAfterEveryPersistSiteRecoversBitForBit) {
     EXPECT_EQ(result->evidence, expected) << "k=" << k;
     EXPECT_EQ((*restarted)->store().corrupt_files_skipped(), 0u);
   }
+  EXPECT_GT(crashes, 0u) << "the sweep never actually crashed";
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, DecisionServiceSweepTest,

@@ -5,6 +5,8 @@
 
 #include "eval/conjunctive_eval.h"
 #include "relational/database_overlay.h"
+#include "util/arena.h"
+#include "util/str.h"
 #include "workload/generators.h"
 
 namespace relcomp {
@@ -63,9 +65,24 @@ void RunEquivalenceRounds(const Config& config, uint64_t seed,
 
     Relation oracle = OracleEval(q, db);
 
-    ConjunctiveEvalOptions indexed;  // defaults: reorder + indexes
+    ConjunctiveEvalOptions indexed;  // defaults: reorder + composite
     Result<Relation> fast = EvalConjunctive(q, db, indexed);
     ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+    // The PR 1 per-column path: posting-list intersection, no radix
+    // descents.
+    ConjunctiveEvalOptions per_column = indexed;
+    per_column.use_composite_indexes = false;
+    Result<Relation> cols = EvalConjunctive(q, db, per_column);
+    ASSERT_TRUE(cols.ok()) << cols.status().ToString();
+
+    // Arena-backed run of the composite config: all per-call matcher
+    // scratch lives in the bump arena.
+    Arena arena;
+    ConjunctiveEvalOptions with_arena = indexed;
+    with_arena.arena = &arena;
+    Result<Relation> arena_run = EvalConjunctive(q, db, with_arena);
+    ASSERT_TRUE(arena_run.ok()) << arena_run.status().ToString();
 
     ConjunctiveEvalOptions naive;
     naive.reorder_atoms = false;
@@ -74,7 +91,13 @@ void RunEquivalenceRounds(const Config& config, uint64_t seed,
     ASSERT_TRUE(slow.ok()) << slow.status().ToString();
 
     EXPECT_EQ(*fast, oracle)
-        << "indexed matcher diverges from oracle at round " << round
+        << "composite matcher diverges from oracle at round " << round
+        << "\nquery: " << q.ToString() << "\ndb:\n" << db.ToString();
+    EXPECT_EQ(*cols, oracle)
+        << "per-column matcher diverges from oracle at round " << round
+        << "\nquery: " << q.ToString() << "\ndb:\n" << db.ToString();
+    EXPECT_EQ(*arena_run, oracle)
+        << "arena-backed matcher diverges from oracle at round " << round
         << "\nquery: " << q.ToString() << "\ndb:\n" << db.ToString();
     EXPECT_EQ(*slow, oracle)
         << "naive matcher diverges from oracle at round " << round
@@ -102,6 +125,42 @@ void RunEquivalenceRounds(const Config& config, uint64_t seed,
     EXPECT_EQ(*over, oracle)
         << "overlay eval diverges from oracle at round " << round
         << "\nquery: " << q.ToString() << "\ndb:\n" << db.ToString();
+
+    // Fresh-id overlay rows: stage tuples whose values the base
+    // interner has never seen (they get synthetic ids inside the
+    // matcher). The view must agree with an independent database that
+    // materializes the same rows.
+    Database with_fresh(schema);  // own interner: db's never sees these
+    DatabaseOverlay fresh_view(&db);
+    for (const std::string& name : schema->relation_names()) {
+      for (const Tuple& t : db.Get(name)) with_fresh.InsertUnchecked(name, t);
+    }
+    size_t fresh_rel = 0;
+    for (const std::string& name : schema->relation_names()) {
+      std::vector<Value> vals;
+      const size_t arity = schema->FindRelation(name)->arity();
+      for (size_t c = 0; c < arity; ++c) {
+        vals.push_back(Value::Str(StrCat("fresh$", round, "_", fresh_rel,
+                                         "_", c)));
+      }
+      ++fresh_rel;
+      Tuple t(std::move(vals));
+      with_fresh.InsertUnchecked(name, t);
+      fresh_view.Add(name, t);
+    }
+    Relation fresh_oracle = OracleEval(q, with_fresh);
+    Result<Relation> fresh_fast = EvalConjunctive(q, fresh_view, indexed);
+    ASSERT_TRUE(fresh_fast.ok()) << fresh_fast.status().ToString();
+    EXPECT_EQ(*fresh_fast, fresh_oracle)
+        << "composite matcher diverges on fresh overlay rows at round "
+        << round << "\nquery: " << q.ToString() << "\ndb:\n"
+        << with_fresh.ToString();
+    Result<Relation> fresh_cols = EvalConjunctive(q, fresh_view, per_column);
+    ASSERT_TRUE(fresh_cols.ok()) << fresh_cols.status().ToString();
+    EXPECT_EQ(*fresh_cols, fresh_oracle)
+        << "per-column matcher diverges on fresh overlay rows at round "
+        << round << "\nquery: " << q.ToString() << "\ndb:\n"
+        << with_fresh.ToString();
   }
 }
 
@@ -141,6 +200,51 @@ TEST(EvalEquivalenceTest, DisequalityHeavyQueries) {
   config.cq.disequality_pct = 100;
   config.cq.value_pool = 3;
   RunEquivalenceRounds(config, /*seed=*/0xD15E0, /*rounds=*/60);
+}
+
+TEST(EvalEquivalenceTest, EmptyRelationsAndEmptyPrefixProbes) {
+  // One relation is emptied per round, so atoms over it hit the
+  // zero-row paths (no index, no radix root); and the query's constant
+  // pool is wider than the instance's, so some constants are unknown to
+  // the interner — their probes must resolve to the empty prefix on
+  // every configuration.
+  Config config;
+  config.instance.num_relations = 3;
+  config.instance.max_arity = 3;
+  config.instance.value_pool = 3;
+  config.instance.tuples_per_relation = 4;
+  config.cq.num_atoms = 3;
+  config.cq.num_variables = 3;
+  config.cq.constant_pct = 50;
+  config.cq.value_pool = 6;  // half the constants never occur in D
+  Rng rng(0xE3971);
+  for (int round = 0; round < 40; ++round) {
+    std::shared_ptr<Schema> schema = RandomSchema(config.instance, &rng);
+    Database full = RandomDatabase(schema, config.instance, &rng);
+    Database db(schema);
+    size_t idx = 0;
+    for (const std::string& name : schema->relation_names()) {
+      if (idx++ == static_cast<size_t>(round) % 3) continue;  // emptied
+      for (const Tuple& t : full.Get(name)) db.InsertUnchecked(name, t);
+    }
+    ConjunctiveQuery q = RandomCq(*schema, config.cq, &rng);
+    Relation oracle = OracleEval(q, db);
+
+    ConjunctiveEvalOptions indexed;
+    ConjunctiveEvalOptions per_column;
+    per_column.use_composite_indexes = false;
+    ConjunctiveEvalOptions naive;
+    naive.reorder_atoms = false;
+    naive.use_indexes = false;
+    for (const ConjunctiveEvalOptions* options :
+         {&indexed, &per_column, &naive}) {
+      Result<Relation> got = EvalConjunctive(q, db, *options);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, oracle)
+          << "matcher diverges from oracle at round " << round
+          << "\nquery: " << q.ToString() << "\ndb:\n" << db.ToString();
+    }
+  }
 }
 
 TEST(EvalEquivalenceTest, RepeatedVariablesWithinAtoms) {
