@@ -1,0 +1,272 @@
+// Incremental re-certification vs. from-scratch decide on the largest
+// scaling instance (CRM at n = 16), written to BENCH_incremental.json
+// (override via RELCOMP_BENCH_INCREMENTAL_JSON).
+//
+// Three update shapes against a certified kIncomplete verdict:
+//
+//   - clean single-tuple insert: one Manage tuple over existing
+//     constants. Manage is outside Q1's read set and outside φ0's
+//     body, and the active domain does not move, so RecertifyRcdp
+//     re-serves the certificate with zero search — the headline
+//     speedup row (target ≥ 5×).
+//   - dirty insert: a new Cust tuple with fresh constants. The active
+//     domain grows, the certificate transfers nothing, and the
+//     incremental path honestly degrades to a full re-certify — the
+//     row that keeps the headline honest.
+//   - verdict-cache hit: a fingerprint lookup in a warm VerdictCache,
+//     the DecisionService's zero-search serve path.
+//
+// Methodology: paired interleaving. Each iteration times one
+// from-scratch CertifyRcdp and one RecertifyRcdp back to back on the
+// same post-update instance, so frequency scaling and cache state hit
+// both sides equally. Before any timing, the harness asserts the
+// incremental certificate and evidence are bit-for-bit equal to the
+// from-scratch ones and aborts if not — a speedup over a wrong answer
+// is not a measurement.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "completeness/incremental.h"
+#include "completeness/rcdp.h"
+#include "relational/delta_batch.h"
+#include "service/verdict_cache.h"
+#include "util/str.h"
+#include "workload/crm_scenario.h"
+
+namespace relcomp {
+namespace incremental_bench {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+struct Measured {
+  double ns_per_op = 0;
+  size_t iterations = 0;
+};
+
+/// The service's canonical evidence string, mirrored here as the
+/// bit-for-bit comparison key between the two certification paths.
+std::string Evidence(const RcdpResult& r) {
+  return StrCat(VerdictToString(r.verdict), "|",
+                r.counterexample_delta.has_value()
+                    ? r.counterexample_delta->ToString()
+                    : std::string("<none>"),
+                "|",
+                r.new_answer.has_value() ? r.new_answer->ToString()
+                                         : std::string("<none>"));
+}
+
+struct Setup {
+  CrmScenario crm;
+  ConstraintSet constraints;
+  AnyQuery q1;
+  RcdpCertified base;
+
+  Setup(CrmScenario crm_in, ConstraintSet v, AnyQuery q, RcdpCertified b)
+      : crm(std::move(crm_in)),
+        constraints(std::move(v)),
+        q1(std::move(q)),
+        base(std::move(b)) {}
+};
+
+Setup MakeSetup() {
+  CrmOptions options;
+  options.num_domestic = 16;
+  options.num_international = 8;
+  options.num_employees = 2;
+  options.support_per_employee = 2;
+  CrmScenario crm = ValueOrDie(CrmScenario::Make(options), "crm");
+  ConstraintSet v;
+  v.Add(ValueOrDie(crm.Phi0(), "phi0"));
+  AnyQuery q1 = ValueOrDie(crm.Q1(), "q1");
+  RcdpCertified base =
+      ValueOrDie(CertifyRcdp(q1, crm.db(), crm.master(), v), "base certify");
+  return Setup(std::move(crm), std::move(v), std::move(q1), std::move(base));
+}
+
+/// Interleaved A/B: per iteration, one from-scratch certify and one
+/// incremental re-certify of the same post-update instance.
+void MeasurePaired(const Setup& s, const Database& post,
+                   const DeltaApplyReport& report, double min_seconds,
+                   Measured* scratch, Measured* incremental) {
+  // Correctness gate before timing anything.
+  RcdpCertified a = ValueOrDie(
+      CertifyRcdp(s.q1, post, s.crm.master(), s.constraints), "scratch");
+  RcdpCertified b =
+      ValueOrDie(RecertifyRcdp(s.q1, post, s.crm.master(), s.constraints,
+                               s.base.certificate, report),
+                 "recertify");
+  if (!(a.certificate == b.certificate) ||
+      Evidence(a.result) != Evidence(b.result)) {
+    std::fprintf(stderr,
+                 "incremental result diverged from from-scratch result\n");
+    std::exit(EXIT_FAILURE);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto ns_since = [](Clock::time_point t0) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+  };
+  double scratch_ns = 0;
+  double incremental_ns = 0;
+  size_t iterations = 0;
+  Clock::time_point start = Clock::now();
+  while (ns_since(start) < min_seconds * 1e9) {
+    Clock::time_point t0 = Clock::now();
+    auto full = CertifyRcdp(s.q1, post, s.crm.master(), s.constraints);
+    scratch_ns += ns_since(t0);
+    CheckOk(full.status(), "scratch certify");
+    benchmark::DoNotOptimize(full->result.complete);
+
+    Clock::time_point t1 = Clock::now();
+    auto inc = RecertifyRcdp(s.q1, post, s.crm.master(), s.constraints,
+                             s.base.certificate, report);
+    incremental_ns += ns_since(t1);
+    CheckOk(inc.status(), "recertify");
+    benchmark::DoNotOptimize(inc->result.complete);
+    ++iterations;
+  }
+  scratch->ns_per_op = scratch_ns / static_cast<double>(iterations);
+  scratch->iterations = iterations;
+  incremental->ns_per_op = incremental_ns / static_cast<double>(iterations);
+  incremental->iterations = iterations;
+}
+
+Measured MeasureCacheHit(const Setup& s, const Database& post,
+                         double min_seconds) {
+  const uint64_t fp =
+      FingerprintRcdpInstance(s.q1, post, s.crm.master(), s.constraints);
+  RcdpCertified certified = ValueOrDie(
+      CertifyRcdp(s.q1, post, s.crm.master(), s.constraints), "cache fill");
+  VerdictCache cache(nullptr);  // memory-only: the hit path, no disk
+  CheckOk(cache.Insert(fp, certified.result.verdict,
+                       Evidence(certified.result)),
+          "cache insert");
+
+  Measured out;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  double elapsed_ns = 0;
+  while (elapsed_ns < min_seconds * 1e9) {
+    for (size_t i = 0; i < 1024; ++i) {
+      auto hit = cache.Lookup(fp);
+      benchmark::DoNotOptimize(hit.has_value());
+      ++out.iterations;
+    }
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  }
+  out.ns_per_op = elapsed_ns / static_cast<double>(out.iterations);
+  return out;
+}
+
+void AppendRowJson(std::string* json, const char* name, const Measured& m) {
+  *json += StrCat("    \"", name, "\": { \"ns_per_op\": ",
+                  static_cast<size_t>(m.ns_per_op),
+                  ", \"iterations\": ", m.iterations, " }");
+}
+
+void WriteIncrementalJson() {
+  const double min_seconds = 2.0;
+  Setup s = MakeSetup();
+
+  // Clean single-tuple delta: Manage("e0", "e1") — existing constants,
+  // a relation neither Q1 nor φ0 reads.
+  DeltaBatch clean;
+  clean.db_ops.push_back(DeltaOp{
+      true, "Manage", Tuple({Value::Str("e0"), Value::Str("e1")})});
+  Database post_clean = s.crm.db();
+  DeltaApplyReport clean_report = ValueOrDie(
+      ApplyDeltaBatch(clean, &post_clean, nullptr), "clean delta");
+
+  // Dirty delta: a brand-new customer — fresh constants grow the
+  // active domain, invalidating the whole certificate.
+  DeltaBatch dirty;
+  dirty.db_ops.push_back(
+      DeltaOp{true, "Cust",
+              Tuple({Value::Str("c-new"), Value::Str("n-new"),
+                     Value::Str("44"), Value::Str("20"),
+                     Value::Str("777-new")})});
+  Database post_dirty = s.crm.db();
+  DeltaApplyReport dirty_report = ValueOrDie(
+      ApplyDeltaBatch(dirty, &post_dirty, nullptr), "dirty delta");
+
+  Measured scratch_clean, inc_clean;
+  MeasurePaired(s, post_clean, clean_report, min_seconds, &scratch_clean,
+                &inc_clean);
+  Measured scratch_dirty, inc_dirty;
+  MeasurePaired(s, post_dirty, dirty_report, min_seconds, &scratch_dirty,
+                &inc_dirty);
+  Measured cache_hit = MeasureCacheHit(s, post_clean, min_seconds / 4);
+
+  auto speedup = [](const Measured& base, const Measured& fast) {
+    return fast.ns_per_op > 0 ? base.ns_per_op / fast.ns_per_op : 0.0;
+  };
+  char clean_buf[32], dirty_buf[32], cache_buf[32];
+  std::snprintf(clean_buf, sizeof(clean_buf), "%.2f",
+                speedup(scratch_clean, inc_clean));
+  std::snprintf(dirty_buf, sizeof(dirty_buf), "%.2f",
+                speedup(scratch_dirty, inc_dirty));
+  std::snprintf(cache_buf, sizeof(cache_buf), "%.2f",
+                speedup(scratch_clean, cache_hit));
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"incremental_recertification\",\n";
+  bench::AppendHardwareJson(&json, 1);
+  json += "  \"instance\": { \"num_domestic\": 16, "
+          "\"num_international\": 8, \"num_employees\": 2, "
+          "\"support_per_employee\": 2 },\n";
+  json += "  \"methodology\": \"paired interleaved A/B; bit-for-bit "
+          "equality asserted before timing\",\n";
+  json += "  \"configs\": {\n";
+  AppendRowJson(&json, "from_scratch_clean", scratch_clean);
+  json += ",\n";
+  AppendRowJson(&json, "incremental_clean_single_insert", inc_clean);
+  json += ",\n";
+  AppendRowJson(&json, "from_scratch_dirty", scratch_dirty);
+  json += ",\n";
+  AppendRowJson(&json, "incremental_dirty_new_constant", inc_dirty);
+  json += ",\n";
+  AppendRowJson(&json, "verdict_cache_hit", cache_hit);
+  json += "\n  },\n";
+  json += StrCat("  \"speedup_clean_vs_scratch\": ", clean_buf, ",\n");
+  json += StrCat("  \"speedup_dirty_vs_scratch\": ", dirty_buf, ",\n");
+  json += StrCat("  \"speedup_cache_hit_vs_scratch\": ", cache_buf, ",\n");
+  json += "  \"speedup_clean_target\": 5.0\n";
+  json += "}\n";
+
+  const char* path = std::getenv("RELCOMP_BENCH_INCREMENTAL_JSON");
+  if (path == nullptr) path = "BENCH_incremental.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf(
+      "wrote %s (clean-delta speedup %sx, dirty %sx, cache hit %sx)\n",
+      path, clean_buf, dirty_buf, cache_buf);
+}
+
+}  // namespace incremental_bench
+}  // namespace relcomp
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  relcomp::incremental_bench::WriteIncrementalJson();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -267,6 +267,7 @@ void WriteNetJson() {
 
   std::string json = "{\n";
   json += "  \"benchmark\": \"net_wire_overhead\",\n";
+  bench::AppendHardwareJson(&json, 1);
   json += "  \"transport\": \"unix\",\n";
   json += "  \"instance\": \"6x7 grid minus far corner, slice_steps 16\",\n";
   json += "  \"configs\": {\n";

@@ -239,6 +239,7 @@ void WriteRelcoreJson() {
 
   std::string json = "{\n";
   json += "  \"benchmark\": \"rcdp_data_complexity\",\n";
+  bench::AppendHardwareJson(&json, 1);
   json += StrCat("  \"instance\": { \"num_domestic\": ", n,
                  ", \"num_international\": ", n / 2,
                  ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");
@@ -288,9 +289,9 @@ void WriteParallelJson() {
 
   std::string json = "{\n";
   json += "  \"benchmark\": \"rcdp_parallel_scaling\",\n";
-  json += StrCat("  \"hardware_concurrency\": ",
-                 static_cast<size_t>(std::thread::hardware_concurrency()),
-                 ",\n");
+  // threads_used reports the widest swept configuration; the per-config
+  // names carry the full sweep.
+  bench::AppendHardwareJson(&json, thread_counts[3]);
   json += StrCat("  \"instance\": { \"num_domestic\": ", n,
                  ", \"num_international\": ", n / 2,
                  ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");
@@ -359,6 +360,7 @@ void WriteRobustnessJson() {
 
   std::string json = "{\n";
   json += "  \"benchmark\": \"rcdp_budget_overhead\",\n";
+  bench::AppendHardwareJson(&json, 1);
   json += StrCat("  \"instance\": { \"num_domestic\": ", n,
                  ", \"num_international\": ", n / 2,
                  ", \"num_employees\": 2, \"support_per_employee\": 2 },\n");

@@ -254,6 +254,7 @@ void WriteServiceJson() {
 
   std::string json = "{\n";
   json += "  \"benchmark\": \"service_checkpoint_overhead\",\n";
+  bench::AppendHardwareJson(&json, 1);
   json += "  \"instance\": { \"num_domestic\": 16, "
           "\"num_international\": 8, \"num_employees\": 2, "
           "\"support_per_employee\": 2 },\n";

@@ -1,6 +1,9 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <thread>
+
+#include "util/str.h"
 
 namespace relcomp {
 namespace bench {
@@ -15,6 +18,13 @@ std::string FormatMs(double ms) {
     std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1000.0);
   }
   return buf;
+}
+
+void AppendHardwareJson(std::string* json, size_t threads_used) {
+  *json += StrCat(
+      "  \"hardware_concurrency\": ",
+      static_cast<size_t>(std::thread::hardware_concurrency()),
+      ",\n  \"threads_used\": ", threads_used, ",\n");
 }
 
 }  // namespace bench

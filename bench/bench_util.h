@@ -40,6 +40,17 @@ inline double TimeMs(const std::function<void()>& fn) {
 /// "12.34 ms" with sane precision.
 std::string FormatMs(double ms);
 
+/// Appends the machine context every BENCH_*.json report carries:
+///
+///   "hardware_concurrency": <std::thread::hardware_concurrency()>,
+///   "threads_used": <threads_used>,
+///
+/// (two-space indented, trailing comma) so numbers from different
+/// machines — and thread sweeps on one machine — are comparable
+/// without reading the harness source. `threads_used` is the worker
+/// count the measured configuration actually ran with (1 = serial).
+void AppendHardwareJson(std::string* json, size_t threads_used);
+
 }  // namespace bench
 }  // namespace relcomp
 

@@ -3,6 +3,7 @@
 // Local audit:
 //   relcheck <spec-file> [--rcqp] [--chase N] [--explain]
 //            [--deadline-ms N] [--max-steps N] [--resume-dir DIR]
+//            [--delta FILE]
 // Decision server (fault-tolerant network front end):
 //   relcheck --serve ADDR --store-dir DIR [--workers N]
 // Networked audit against a running server:
@@ -28,6 +29,16 @@
 // bit-for-bit the uninterrupted one (a durable audit across process
 // lifetimes).
 //
+// With --resume-dir each decided query also persists a verdict
+// certificate (instance fingerprints + evidence) to the store. A later
+// run with --delta FILE applies the update batch in FILE (insert/
+// delete/master insert/master delete lines; see
+// src/spec/spec_parser.h) to the spec's instance and re-certifies each
+// query incrementally: queries whose certificate still covers the
+// updated content are re-served or resumed without a fresh search, and
+// only the update-affected disjuncts re-run. Verdicts are bit-for-bit
+// the from-scratch ones; the exit codes are unchanged.
+//
 // Exit codes (scriptable; the worst outcome across queries wins):
 //   0  every audited query is COMPLETE
 //   1  at least one query is INCOMPLETE (none worse)
@@ -51,6 +62,7 @@
 #include <thread>
 
 #include "completeness/characterizations.h"
+#include "completeness/incremental.h"
 #include "completeness/rcdp.h"
 #include "completeness/rcqp.h"
 #include "constraints/constraint_check.h"
@@ -79,7 +91,7 @@ void Usage() {
   std::cerr
       << "usage: relcheck <spec-file> [--rcqp] [--chase N] [--explain]\n"
          "                [--deadline-ms N] [--max-steps N]\n"
-         "                [--resume-dir DIR]\n"
+         "                [--resume-dir DIR] [--delta FILE]\n"
          "       relcheck --serve ADDR --store-dir DIR [--workers N]\n"
          "       relcheck --connect ADDR <spec-file> [--deadline-ms N]\n"
          "ADDR: unix:<path> | tcp:<ipv4>:<port>\n"
@@ -97,6 +109,10 @@ int RunServer(const std::string& address, const std::string& store_dir,
   using namespace relcomp;
   DecisionServiceOptions options;
   options.num_workers = workers;
+  // A long-lived server keeps a durable verdict cache: a resubmitted
+  // instance whose content fingerprint matches a decided verdict is
+  // answered without re-running the search, across restarts.
+  options.enable_verdict_cache = true;
   auto service = DecisionService::Start(store_dir, options);
   if (!service.ok()) return Fail(service.status());
   for (const std::string& id : (*service)->RecoveredJobs()) {
@@ -197,6 +213,7 @@ int main(int argc, char** argv) {
   using namespace relcomp;
   std::string path;
   std::string resume_dir;
+  std::string delta_path;
   std::string serve_address;
   std::string connect_address;
   std::string store_dir;
@@ -219,6 +236,8 @@ int main(int argc, char** argv) {
       max_steps = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--resume-dir") == 0 && i + 1 < argc) {
       resume_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--delta") == 0 && i + 1 < argc) {
+      delta_path = argv[++i];
     } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_address = argv[++i];
     } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
@@ -265,21 +284,56 @@ int main(int argc, char** argv) {
     if (!opened.ok()) return Fail(opened.status());
     store = std::move(*opened);
   }
+  if (!delta_path.empty() && store == nullptr) {
+    std::cerr << "relcheck: --delta requires --resume-dir (the verdict "
+                 "certificates live in the store)\n";
+    Usage();
+    return kExitError;
+  }
 
   std::cout << "database schema:\n" << spec.db_schema->ToString()
             << "master schema:\n" << spec.master_schema->ToString()
             << "constraints (" << spec.constraints.size() << "):\n"
             << spec.constraints.ToString() << "\n";
 
-  auto closed = CheckConstraints(spec.constraints, spec.db, spec.master);
-  if (!closed.ok()) return Fail(closed.status());
-  if (!closed->satisfied) {
-    // The model's precondition fails: no completeness question is even
-    // well-posed, so this is an input error, not a verdict.
-    std::cout << "NOT PARTIALLY CLOSED: " << closed->ToString() << "\n";
-    return kExitError;
+  // Delta mode: fingerprint the pre-update instance per query and pull
+  // the certificates a prior run persisted, then apply the batch once.
+  // Partial closure of the updated instance is established inside the
+  // re-certifier (targeted recheck on the incremental path, the full
+  // decider check on the fallback), not by an upfront full pass.
+  std::optional<DeltaBatch> delta;
+  std::vector<uint64_t> pre_fps;
+  std::vector<std::optional<RcdpCertificate>> certs(spec.queries.size());
+  DeltaApplyReport report;
+  if (!delta_path.empty()) {
+    auto batch = LoadDeltaBatch(delta_path);
+    if (!batch.ok()) return Fail(batch.status());
+    delta = std::move(*batch);
+    for (const AnyQuery& q : spec.queries) {
+      pre_fps.push_back(FingerprintRcdpInstance(q, spec.db, spec.master,
+                                                spec.constraints));
+    }
+    for (size_t i = 0; i < spec.queries.size(); ++i) {
+      auto payload = store->LoadVerdict(StrCat("q", i + 1));
+      if (!payload.ok()) continue;
+      auto cert = RcdpCertificate::Deserialize(*payload);
+      if (cert.ok()) certs[i] = std::move(*cert);
+    }
+    auto applied = ApplyDeltaBatch(*delta, &spec.db, &spec.master);
+    if (!applied.ok()) return Fail(applied.status());
+    report = std::move(*applied);
+    std::cout << "delta applied: " << report.ToString() << "\n";
+  } else {
+    auto closed = CheckConstraints(spec.constraints, spec.db, spec.master);
+    if (!closed.ok()) return Fail(closed.status());
+    if (!closed->satisfied) {
+      // The model's precondition fails: no completeness question is
+      // even well-posed, so this is an input error, not a verdict.
+      std::cout << "NOT PARTIALLY CLOSED: " << closed->ToString() << "\n";
+      return kExitError;
+    }
+    std::cout << "partially closed: yes\n";
   }
-  std::cout << "partially closed: yes\n";
 
   int exit_code = kExitComplete;
   for (size_t i = 0; i < spec.queries.size(); ++i) {
@@ -301,7 +355,10 @@ int main(int argc, char** argv) {
     RcdpOptions options;
     if (budget.active()) options.budget = &budget;
     std::optional<SearchCheckpoint> resume;
-    if (store != nullptr) {
+    if (store != nullptr && !delta.has_value()) {
+      // A raw search checkpoint only resumes the identical instance; in
+      // delta mode the instance just changed, so resumption (when the
+      // update left the frontier clean) goes through the certificate.
       auto persisted = store->LoadLatestCheckpoint(request_id);
       if (persisted.ok()) {
         resume = std::move(persisted->checkpoint);
@@ -311,8 +368,31 @@ int main(int argc, char** argv) {
       }
     }
 
-    auto verdict =
-        DecideRcdp(query, spec.db, spec.master, spec.constraints, options);
+    std::optional<RcdpCertificate> new_cert;
+    auto verdict = [&]() -> Result<RcdpResult> {
+      if (store == nullptr) {
+        return DecideRcdp(query, spec.db, spec.master, spec.constraints,
+                          options);
+      }
+      Result<RcdpCertified> certified = [&]() -> Result<RcdpCertified> {
+        if (delta.has_value() && certs[i].has_value() &&
+            certs[i]->instance_fp == pre_fps[i]) {
+          std::cout << "re-certifying incrementally from the stored "
+                       "certificate\n";
+          return RecertifyRcdp(query, spec.db, spec.master,
+                               spec.constraints, *certs[i], report, options);
+        }
+        if (delta.has_value()) {
+          std::cout << "no certificate for the pre-update instance: "
+                       "re-certifying from scratch\n";
+        }
+        return CertifyRcdp(query, spec.db, spec.master, spec.constraints,
+                           options);
+      }();
+      if (!certified.ok()) return certified.status();
+      new_cert = std::move(certified->certificate);
+      return std::move(certified->result);
+    }();
     if (!verdict.ok()) {
       if (verdict.status().code() == StatusCode::kUnsupported) {
         // Can't decide this query class: the audit is inconclusive for
@@ -337,6 +417,13 @@ int main(int argc, char** argv) {
                   << request_id << ".g" << *generation << ".ckpt\n"
                   << "re-run with the same spec and --resume-dir "
                   << store->directory() << " to continue\n";
+        if (new_cert.has_value()) {
+          // The certificate embeds the same frontier plus the content
+          // fingerprints, so a later --delta run can resume it too.
+          auto persisted =
+              store->PersistVerdict(request_id, new_cert->Serialize());
+          if (!persisted.ok()) return Fail(persisted);
+        }
       } else if (verdict->checkpoint.has_value()) {
         std::cout << "checkpoint available at disjunct "
                   << verdict->checkpoint->disjunct << ", rank "
@@ -350,6 +437,14 @@ int main(int argc, char** argv) {
     if (store != nullptr) {
       auto forgotten = store->Forget(request_id);
       if (!forgotten.ok()) return Fail(forgotten);
+      if (new_cert.has_value()) {
+        // Decided: drop any stale checkpoint, keep the certificate so a
+        // later --delta run re-certifies incrementally.
+        auto persisted =
+            store->PersistVerdict(request_id, new_cert->Serialize());
+        if (!persisted.ok()) return Fail(persisted);
+        std::cout << "certificate persisted for incremental re-audits\n";
+      }
     }
     if (!verdict->complete) {
       exit_code = std::max(exit_code, kExitIncomplete);

@@ -3,10 +3,11 @@
 # asan preset (Debug, ASan+UBSan, recover disabled), then the tsan
 # preset (ThreadSanitizer over the concurrency-sensitive suites — the
 # parallel-search determinism sweep, the budget-exhaustion matrix, the
-# fault-injection sweep, the eval equivalence tests and the network
-# front end's wire/socket suites; the tsan test preset carries the
-# filter), then the standalone ubsan preset (pure UBSan over the full
-# suite). Run from anywhere.
+# fault-injection sweep, the eval equivalence tests, the network
+# front end's wire/socket suites and the concurrent verdict-cache
+# hammer; the tsan test preset carries the filter), then the
+# standalone ubsan preset (pure UBSan over the full suite). Run from
+# anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +32,13 @@ run ctest --test-dir build-asan -L recovery --output-on-failure
 # — the poll(2) event loop, the client retry path and the kill/restart
 # sweeps must be race-free, not just green.
 run ctest --test-dir build-tsan -L net --output-on-failure
+
+# Incremental stage: the delta/fingerprint/certificate suites and the
+# verdict cache (ctest label "incremental") once more under the asan
+# build — the certificate codec parses untrusted store bytes and the
+# recertify ≡ from-scratch sweeps churn overlay/arena memory, so they
+# must be clean, not just green.
+run ctest --test-dir build-asan -L incremental --output-on-failure
 
 # Id-plane core stage: the relational/eval substrate suites (ctest
 # label "core") — arena allocator, adaptive radix index, composite

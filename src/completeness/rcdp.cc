@@ -663,10 +663,12 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
   RELCOMP_RETURN_NOT_OK(GateLanguages(query, constraints));
   RELCOMP_RETURN_NOT_OK(query.Validate(db.schema()));
   RELCOMP_RETURN_NOT_OK(constraints.Validate(db.schema(), master.schema()));
-  RELCOMP_ASSIGN_OR_RETURN(bool closed, Satisfies(constraints, db, master));
-  if (!closed) {
-    return Status::InvalidArgument(
-        "D is not partially closed: (D, Dm) does not satisfy V");
+  if (!options.assume_partially_closed) {
+    RELCOMP_ASSIGN_OR_RETURN(bool closed, Satisfies(constraints, db, master));
+    if (!closed) {
+      return Status::InvalidArgument(
+          "D is not partially closed: (D, Dm) does not satisfy V");
+    }
   }
 
   RELCOMP_ASSIGN_OR_RETURN(UnionQuery ucq,
@@ -746,6 +748,13 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
   std::set<Value> query_constants = ucq.Constants();
   const std::vector<ConjunctiveQuery>& disjuncts = ucq.disjuncts();
   for (size_t i = start_disjunct; i < disjuncts.size(); ++i) {
+    // Incremental plan: pass over certified-clean disjuncts without
+    // claiming decision points — the numbering matches a from-scratch
+    // run resumed past them.
+    if (options.plan != nullptr && i < options.plan->skip.size() &&
+        options.plan->skip[i]) {
+      continue;
+    }
     const ConjunctiveQuery& disjunct = disjuncts[i];
     RELCOMP_ASSIGN_OR_RETURN(
         TableauQuery tableau,
@@ -788,10 +797,16 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
                           compiled.has_value() ? &*compiled : nullptr,
                           current_answer, adom, options);
     DisjunctSearch::Exhaustion ex;
+    size_t disjunct_start_rank = i == start_disjunct ? start_rank : 0;
+    if (options.plan != nullptr &&
+        i == options.plan->resume_rank_disjunct) {
+      disjunct_start_rank =
+          std::max(disjunct_start_rank, options.plan->resume_rank);
+    }
     RELCOMP_ASSIGN_OR_RETURN(
         bool found,
         search.Run(&result, overrides.empty() ? nullptr : &overrides,
-                   i == start_disjunct ? start_rank : 0, &ex));
+                   disjunct_start_rank, &ex));
     if (ex.exhausted) {
       // Graceful degradation: the verdict is unknown, the exhaustion
       // reason and a resume checkpoint travel with the result, and the
@@ -808,7 +823,10 @@ Result<RcdpResult> DecideRcdp(const AnyQuery& query, const Database& db,
       result.checkpoint = std::move(ckpt);
       break;
     }
-    if (found) break;
+    if (found) {
+      result.counterexample_disjunct = i;
+      break;
+    }
   }
   if (!exhausted) {
     result.verdict =
@@ -878,6 +896,10 @@ Result<ChaseResult> ChaseToCompleteness(const AnyQuery& query,
   };
 
   RcdpOptions round_options = options;
+  // A certificate plan (or closure waiver) speaks about one fixed
+  // instance; the chase mutates D every round, so neither transfers.
+  round_options.plan = nullptr;
+  round_options.assume_partially_closed = false;
   for (size_t round = start_round; round < max_rounds; ++round) {
     if (options.budget != nullptr) {
       // One counted decision point per chase round.

@@ -26,6 +26,25 @@ enum class Verdict : uint8_t {
 
 const char* VerdictToString(Verdict verdict);
 
+/// Per-disjunct execution plan for an incremental re-certification
+/// (built by RecertifyRcdp from a verified certificate; see
+/// completeness/incremental.h). Skipped disjuncts are ones the
+/// certificate proves counterexample-free for the current instance —
+/// the decider passes over them without claiming any decision points,
+/// so a planned run's numbering equals a from-scratch run resumed past
+/// the certified prefix. The caller is responsible for the proof; the
+/// decider only executes the plan.
+struct RcdpDisjunctPlan {
+  /// skip[i] != 0: disjunct i is certified clean — do not search it.
+  /// Indexes beyond the vector are searched normally.
+  std::vector<uint8_t> skip;
+  /// Resume the search of this one disjunct at `resume_rank` instead of
+  /// rank 0 (its certified checkpoint rank; every lower rank was
+  /// already searched without a counterexample). SIZE_MAX = none.
+  size_t resume_rank_disjunct = static_cast<size_t>(-1);
+  size_t resume_rank = 0;
+};
+
 /// Options for the RCDP decider.
 struct RcdpOptions {
   /// Pruned valuation search: summary-first variable ordering, eager
@@ -107,6 +126,19 @@ struct RcdpOptions {
   /// sequence of valuations, so the final verdict and evidence are
   /// bit-for-bit equal to an uninterrupted run.
   const SearchCheckpoint* resume = nullptr;
+  /// The caller has already verified (D, Dm) |= V for this exact
+  /// instance, so skip the decider's full closure check. Set by
+  /// RecertifyRcdp, whose targeted recheck (exact under the monotone
+  /// constraint languages) covers only the constraints a delta could
+  /// have broken instead of re-evaluating all of V over all of D.
+  bool assume_partially_closed = false;
+  /// Incremental execution plan (not owned; may be null). Unlike
+  /// `resume`, which skips a strict prefix, a plan can skip any
+  /// certified-clean subset of disjuncts and resume one of them at a
+  /// rank. Intended to be driven by RecertifyRcdp, which verifies the
+  /// certificate against the instance content before building it; no
+  /// fingerprint check happens here.
+  const RcdpDisjunctPlan* plan = nullptr;
 };
 
 /// The decision, plus the evidence the paper's characterizations yield.
@@ -121,6 +153,10 @@ struct RcdpResult {
   std::optional<Database> counterexample_delta;
   /// ... and the answer tuple gained: μ(u_Q) ∈ Q(D ∪ Δ) \ Q(D).
   std::optional<Tuple> new_answer;
+  /// kIncomplete only: index of the UCQ disjunct whose search produced
+  /// the counterexample — recorded so the incremental re-certifier can
+  /// reuse the evidence when that disjunct is untouched by a delta.
+  size_t counterexample_disjunct = 0;
   /// Search effort (summed over disjuncts); surfaced by the benches.
   ValuationSearchStats stats;
   /// kUnknown only: why the search stopped ...

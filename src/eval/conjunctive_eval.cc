@@ -71,6 +71,7 @@ struct CompiledCq::Impl {
   std::vector<CompiledAtom> atoms;      // relation atoms, textual order
   std::vector<CompiledCmp> cmps;
   std::vector<int32_t> head;
+  std::vector<std::string> body_relations;  // sorted, distinct
 
   explicit Impl(const ConjunctiveQuery& query) : q(&query) {
     std::map<std::string, int32_t> slot_of;
@@ -100,6 +101,13 @@ struct CompiledCq::Impl {
     }
     for (const Term& t : query.head()) head.push_back(code_of(t));
     nslots = var_names.size();
+    for (const CompiledAtom& ca : atoms) {
+      body_relations.push_back(ca.atom->relation());
+    }
+    std::sort(body_relations.begin(), body_relations.end());
+    body_relations.erase(
+        std::unique(body_relations.begin(), body_relations.end()),
+        body_relations.end());
   }
 };
 
@@ -459,6 +467,10 @@ CompiledCq::CompiledCq(CompiledCq&&) noexcept = default;
 CompiledCq& CompiledCq::operator=(CompiledCq&&) noexcept = default;
 
 const ConjunctiveQuery& CompiledCq::query() const { return *impl_->q; }
+
+const std::vector<std::string>& CompiledCq::body_relations() const {
+  return impl_->body_relations;
+}
 
 Status CompiledCq::ForEachHeadMatch(
     const DatabaseOverlay& db, const ConjunctiveEvalOptions& options,

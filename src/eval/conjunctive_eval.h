@@ -102,6 +102,13 @@ class CompiledCq {
 
   const ConjunctiveQuery& query() const;
 
+  /// Distinct relation names the body reads, sorted: the compiled
+  /// query's read set. The incremental re-certifier's dependency graph
+  /// is assembled from these — a UCQ disjunct or constraint body needs
+  /// re-running only when its read set intersects a delta's changed
+  /// relations.
+  const std::vector<std::string>& body_relations() const;
+
   /// Enumerates body matches over base ∪ staged, invoking `on_head`
   /// with the grounded head as parallel id/value arrays of
   /// query().arity() entries (valid only during the call). Matches

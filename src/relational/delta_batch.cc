@@ -1,0 +1,186 @@
+#include "relational/delta_batch.h"
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// Validation pass: every op must name a schema relation, match its
+/// arity, and (inserts) respect the attribute domains — the same rules
+/// Database::Insert enforces, checked here before anything mutates.
+Status ValidateOps(const std::vector<DeltaOp>& ops, const Schema& schema,
+                   std::string_view side) {
+  for (const DeltaOp& op : ops) {
+    const RelationSchema* rs = schema.FindRelation(op.relation);
+    if (rs == nullptr) {
+      return Status::NotFound(
+          StrCat("delta batch (", side, "): unknown relation: ",
+                 op.relation));
+    }
+    if (op.tuple.arity() != rs->arity()) {
+      return Status::InvalidArgument(
+          StrCat("delta batch (", side, "): arity mismatch for ",
+                 op.relation, ": tuple has ", op.tuple.arity(),
+                 " values, schema has ", rs->arity()));
+    }
+    if (!op.insert) continue;
+    for (size_t i = 0; i < op.tuple.arity(); ++i) {
+      if (!rs->attribute(i).domain->Contains(op.tuple[i])) {
+        return Status::InvalidArgument(
+            StrCat("delta batch (", side, "): value ",
+                   op.tuple[i].ToString(), " not in domain ",
+                   rs->attribute(i).domain->name(), " of ", op.relation,
+                   ".", rs->attribute(i).name));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Applies one side's ops, snapshotting each touched relation's built
+/// indexes the first time it is effectively mutated.
+void ApplySide(const std::vector<DeltaOp>& ops, Database* target,
+               std::string_view side, std::set<std::string>* inserted,
+               std::set<std::string>* deleted, DeltaApplyReport* report) {
+  for (const DeltaOp& op : ops) {
+    const bool first_touch = inserted->count(op.relation) == 0 &&
+                             deleted->count(op.relation) == 0;
+    std::vector<std::vector<size_t>> built;
+    if (first_touch) {
+      built = target->Get(op.relation).BuiltIndexColumnSets();
+    }
+    bool effective;
+    if (op.insert) {
+      effective = target->InsertUnchecked(op.relation, op.tuple);
+      if (effective) {
+        ++report->applied_inserts;
+        inserted->insert(op.relation);
+      }
+    } else {
+      effective = target->Erase(op.relation, op.tuple);
+      if (effective) {
+        ++report->applied_deletes;
+        deleted->insert(op.relation);
+      }
+    }
+    if (!effective) {
+      ++report->noops;
+      continue;
+    }
+    if (first_touch) {
+      for (std::vector<size_t>& cols : built) {
+        report->dirtied_indexes.push_back(
+            DirtiedIndex{std::string(side), op.relation, std::move(cols)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string DeltaOp::ToString() const {
+  return StrCat(insert ? "insert " : "delete ", relation,
+                tuple.ToString());
+}
+
+std::string DeltaBatch::ToString() const {
+  std::string out;
+  for (const DeltaOp& op : db_ops) {
+    out += op.ToString();
+    out.push_back('\n');
+  }
+  for (const DeltaOp& op : master_ops) {
+    out += "master ";
+    out += op.ToString();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string DirtiedIndex::ToString() const {
+  std::string cols;
+  for (size_t c : columns) {
+    if (!cols.empty()) cols.push_back(',');
+    cols += StrCat(c);
+  }
+  return StrCat(side, ":", relation, "[", cols, "]");
+}
+
+std::string DeltaApplyReport::ToString() const {
+  std::string out = StrCat("applied ", applied_inserts, " inserts, ",
+                           applied_deletes, " deletes, ", noops, " no-ops");
+  auto names = [](const std::set<std::string>& s) {
+    std::string joined;
+    for (const std::string& n : s) {
+      if (!joined.empty()) joined.push_back(',');
+      joined += n;
+    }
+    return joined;
+  };
+  if (!db_inserted.empty()) out += StrCat("; D+={", names(db_inserted), "}");
+  if (!db_deleted.empty()) out += StrCat("; D-={", names(db_deleted), "}");
+  if (!master_inserted.empty()) {
+    out += StrCat("; Dm+={", names(master_inserted), "}");
+  }
+  if (!master_deleted.empty()) {
+    out += StrCat("; Dm-={", names(master_deleted), "}");
+  }
+  if (!dirtied_indexes.empty()) {
+    out += "; dirtied indexes: ";
+    for (size_t i = 0; i < dirtied_indexes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dirtied_indexes[i].ToString();
+    }
+  }
+  return out;
+}
+
+Result<DeltaApplyReport> ApplyDeltaBatch(const DeltaBatch& batch,
+                                         Database* db, Database* master) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("ApplyDeltaBatch: db must not be null");
+  }
+  if (master == nullptr && !batch.master_ops.empty()) {
+    return Status::InvalidArgument(
+        "ApplyDeltaBatch: batch has master ops but master is null");
+  }
+  RELCOMP_RETURN_NOT_OK(ValidateOps(batch.db_ops, db->schema(), "db"));
+  if (master != nullptr) {
+    RELCOMP_RETURN_NOT_OK(
+        ValidateOps(batch.master_ops, master->schema(), "master"));
+  }
+  DeltaApplyReport report;
+  ApplySide(batch.db_ops, db, "db", &report.db_inserted,
+            &report.db_deleted, &report);
+  if (master != nullptr) {
+    ApplySide(batch.master_ops, master, "master", &report.master_inserted,
+              &report.master_deleted, &report);
+  }
+  return report;
+}
+
+Status StageInsertsOnOverlay(const DeltaBatch& batch,
+                             DatabaseOverlay* overlay) {
+  if (overlay == nullptr) {
+    return Status::InvalidArgument(
+        "StageInsertsOnOverlay: overlay must not be null");
+  }
+  if (!batch.master_ops.empty()) {
+    return Status::InvalidArgument(
+        "StageInsertsOnOverlay: overlays stage D-side inserts only");
+  }
+  for (const DeltaOp& op : batch.db_ops) {
+    if (!op.insert) {
+      return Status::InvalidArgument(
+          StrCat("StageInsertsOnOverlay: the overlay layer is insert-only; "
+                 "cannot stage ",
+                 op.ToString()));
+    }
+  }
+  for (const DeltaOp& op : batch.db_ops) {
+    overlay->Add(op.relation, op.tuple);
+  }
+  return Status::OK();
+}
+
+}  // namespace relcomp

@@ -169,6 +169,22 @@ void Relation::RebuildDedup() const {
   }
 }
 
+std::vector<std::vector<size_t>> Relation::BuiltIndexColumnSets() const {
+  std::vector<std::vector<size_t>> out;
+  for (size_t col = 0; col < col_index_built_.size(); ++col) {
+    if (col_index_built_[col]) out.push_back({col});
+  }
+  std::lock_guard<std::mutex> lock(composite_mu_);
+  for (const auto& [mask, index] : composite_) {
+    std::vector<size_t> cols;
+    for (size_t col = 0; col < 32; ++col) {
+      if (mask & (1u << col)) cols.push_back(col);
+    }
+    out.push_back(std::move(cols));
+  }
+  return out;
+}
+
 void Relation::InvalidateIndexes() const {
   col_index_.clear();
   col_index_built_.clear();

@@ -179,6 +179,15 @@ class Relation {
   /// passed at construction).
   const std::shared_ptr<ValueInterner>& interner() const { return interner_; }
 
+  /// Column sets of the currently materialized lazy indexes: one
+  /// singleton set per built per-column hash index, then one ascending
+  /// multi-column set per built composite radix index. Every mutation
+  /// (Insert/Erase/UnionWith) drops all of them, so the delta-apply
+  /// layer snapshots this before a batch to report exactly which
+  /// (relation, column-set) indexes the batch dirtied. Deterministic
+  /// order (per-column ascending, then composite by bitmask).
+  std::vector<std::vector<size_t>> BuiltIndexColumnSets() const;
+
   /// Eagerly materializes every lazily built read structure: the
   /// Value-sorted row order, the dedup map, and the per-column hash
   /// indexes for `columns` (all columns when null). After this call,

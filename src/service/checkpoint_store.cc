@@ -47,6 +47,10 @@ std::string JobPath(const std::string& dir, const std::string& id) {
   return StrCat(dir, "/", id, ".job");
 }
 
+std::string VrdPath(const std::string& dir, const std::string& id) {
+  return StrCat(dir, "/", id, ".vrd");
+}
+
 Status ErrnoStatus(std::string_view what, const std::string& path) {
   return Status::Internal(
       StrCat(what, " ", path, ": ", std::strerror(errno)));
@@ -388,6 +392,9 @@ Status CheckpointStore::MaybeCompactJournalLocked() {
   for (const auto& [id, live] : has_job_) {
     if (live) emit("job", id, 0);
   }
+  for (const auto& [id, live] : has_verdict_) {
+    if (live) emit("vrd", id, 0);
+  }
   // Same crash-atomicity dance as record files: a kill before the
   // rename leaves the old journal plus tmp garbage (the directory scan
   // ignores journal.tmp.*); a kill after it leaves the new journal.
@@ -473,6 +480,10 @@ Status CheckpointStore::ReplayJournal() {
       g = std::max(g, generation);
     } else if (op == "job") {
       has_job_[request_id] = true;
+    } else if (op == "vrd") {
+      has_verdict_[request_id] = true;
+    } else if (op == "vgone") {
+      has_verdict_.erase(request_id);
     } else if (op == "done") {
       last_generation_.erase(request_id);
       has_job_.erase(request_id);
@@ -501,6 +512,10 @@ Status CheckpointStore::ScanDirectory() {
     }
     if (name.size() > 4 && name.substr(name.size() - 4) == ".job") {
       has_job_[std::string(name.substr(0, name.size() - 4))] = true;
+      continue;
+    }
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".vrd") {
+      has_verdict_[std::string(name.substr(0, name.size() - 4))] = true;
       continue;
     }
     if (name.size() > 5 && name.substr(name.size() - 5) == ".ckpt") {
@@ -667,6 +682,59 @@ Status CheckpointStore::Forget(const std::string& request_id) {
   last_generation_.erase(request_id);
   has_job_.erase(request_id);
   return AppendJournal("done", request_id, 0);
+}
+
+Status CheckpointStore::PersistVerdict(const std::string& key,
+                                       const std::string& payload) {
+  if (!ValidRequestId(key)) {
+    return Status::InvalidArgument(
+        StrCat("invalid verdict key for store: \"", key, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(
+      WriteRecord(VrdPath(dir_, key), "vrd", key, 0, payload));
+  has_verdict_[key] = true;
+  return AppendJournal("vrd", key, 0);
+}
+
+Result<std::string> CheckpointStore::LoadVerdict(
+    const std::string& key) const {
+  if (!ValidRequestId(key)) {
+    return Status::InvalidArgument(
+        StrCat("invalid verdict key for store: \"", key, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  Result<std::string> payload =
+      ReadRecord(VrdPath(dir_, key), "vrd", key, 0);
+  if (!payload.ok() &&
+      payload.status().code() == StatusCode::kInvalidArgument) {
+    ++corrupt_files_skipped_;
+  }
+  return payload;
+}
+
+Status CheckpointStore::ForgetVerdict(const std::string& key) {
+  if (!ValidRequestId(key)) {
+    return Status::InvalidArgument(
+        StrCat("invalid verdict key for store: \"", key, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  ::unlink(VrdPath(dir_, key).c_str());
+  has_verdict_.erase(key);
+  return AppendJournal("vgone", key, 0);
+}
+
+std::vector<std::string> CheckpointStore::VerdictKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(has_verdict_.size());
+  for (const auto& [id, live] : has_verdict_) {
+    if (live) out.push_back(id);
+  }
+  return out;
 }
 
 }  // namespace relcomp

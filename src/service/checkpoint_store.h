@@ -123,8 +123,29 @@ class CheckpointStore {
   std::vector<std::string> PendingRequests() const;
 
   /// Removes every file of `request_id` (job record + all checkpoint
-  /// generations) and journals the completion. Idempotent.
+  /// generations) and journals the completion. Idempotent. Verdict
+  /// records are NOT touched — they live outside the job lifecycle.
   Status Forget(const std::string& request_id);
+
+  /// Durably writes an opaque verdict record under `key` and journals
+  /// it, overwriting any previous record for the key. The verdict
+  /// cache stores fingerprinted certificates here so cached verdicts
+  /// survive restarts; unlike checkpoints and job records, verdicts
+  /// have no generations and are untouched by Forget() — a completed
+  /// job's verdict outlives the job.
+  Status PersistVerdict(const std::string& key, const std::string& payload);
+
+  /// Loads the verdict record for `key`. kNotFound if none;
+  /// kInvalidArgument (counted in corrupt_files_skipped()) if the file
+  /// fails integrity.
+  Result<std::string> LoadVerdict(const std::string& key) const;
+
+  /// Removes the verdict record for `key` and journals the removal.
+  /// Idempotent.
+  Status ForgetVerdict(const std::string& key);
+
+  /// Keys with a live verdict record. Sorted.
+  std::vector<std::string> VerdictKeys() const;
 
   const std::string& directory() const { return dir_; }
 
@@ -181,6 +202,8 @@ class CheckpointStore {
   std::map<std::string, uint64_t> last_generation_;
   /// Requests with a live job record.
   std::map<std::string, bool> has_job_;
+  /// Keys with a live verdict record.
+  std::map<std::string, bool> has_verdict_;
   size_t journal_lines_skipped_ = 0;
   size_t journal_entries_ = 0;
   size_t journal_compactions_ = 0;

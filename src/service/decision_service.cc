@@ -4,6 +4,7 @@
 #include <charconv>
 #include <limits>
 
+#include "completeness/incremental.h"
 #include "completeness/rcqp.h"
 #include "spec/spec_parser.h"
 #include "util/str.h"
@@ -166,6 +167,10 @@ Result<std::unique_ptr<DecisionService>> DecisionService::Start(
   RELCOMP_ASSIGN_OR_RETURN(service->store_,
                            CheckpointStore::Open(store_directory));
   service->paused_ = options.start_paused;
+  if (options.enable_verdict_cache) {
+    service->verdict_cache_ =
+        std::make_unique<VerdictCache>(service->store_.get());
+  }
 
   // Recovery: every request with a durable job record is still
   // in-flight — re-create and re-enqueue it. Recovered jobs bypass
@@ -232,6 +237,11 @@ size_t DecisionService::jobs_shed() const {
 std::vector<std::string> DecisionService::completed_order() const {
   std::unique_lock<std::mutex> lock(mu_);
   return completed_order_;
+}
+
+size_t DecisionService::verdicts_served_from_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_served_;
 }
 
 size_t DecisionService::checkpoints_persisted() const {
@@ -444,6 +454,28 @@ void DecisionService::RunJob(Job* job,
   CompletenessSpec problem = std::move(*parsed);
   const AnyQuery& query = problem.queries[spec.query_index];
 
+  // Verdict-cache fast path: a decided verdict cached for this exact
+  // instance content (strong fingerprint over Q, V, D, Dm — thread
+  // count deliberately excluded, verdicts are thread-count-invariant)
+  // is re-served without running any search. kRcdp only; the other
+  // deciders have no content fingerprint.
+  uint64_t instance_fp = 0;
+  if (verdict_cache_ != nullptr && spec.kind == JobKind::kRcdp) {
+    instance_fp = FingerprintRcdpInstance(query, problem.db, problem.master,
+                                          problem.constraints);
+    if (std::optional<CachedVerdict> cached =
+            verdict_cache_->Lookup(instance_fp)) {
+      store_->Forget(job->id);
+      lock.lock();
+      if (crashed_) return;
+      job->result.verdict = cached->verdict;
+      job->result.evidence = std::move(cached->evidence);
+      ++cache_served_;
+      finish(Status::OK());
+      return;
+    }
+  }
+
   ExecutionBudget budget;
   if (spec.deadline.has_value()) budget.set_deadline(job->deadline);
   const size_t base_slice = spec.slice_steps > 0
@@ -555,6 +587,15 @@ void DecisionService::RunJob(Job* job,
         chase_db = std::move(r->db);  // never discard completed rounds
         break;
       }
+    }
+
+    // Populate the cache before re-taking the service lock (the cache
+    // write fsyncs; don't stall the other workers on it). Best-effort:
+    // a failed cache write must not fail the job.
+    if (verdict_cache_ != nullptr && spec.kind == JobKind::kRcdp &&
+        decide_status.ok() && verdict != Verdict::kUnknown) {
+      Status cache_st = verdict_cache_->Insert(instance_fp, verdict, evidence);
+      (void)cache_st;
     }
 
     lock.lock();

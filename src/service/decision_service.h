@@ -14,6 +14,7 @@
 
 #include "completeness/rcdp.h"
 #include "service/checkpoint_store.h"
+#include "service/verdict_cache.h"
 #include "util/execution_control.h"
 #include "util/status.h"
 
@@ -100,6 +101,14 @@ struct DecisionServiceOptions {
   /// Start with the workers parked until Resume() — lets tests fill
   /// the queue deterministically (admission control, EDF order).
   bool start_paused = false;
+  /// Serve and populate a fingerprint-keyed VerdictCache over the
+  /// store: a kRcdp job whose instance content matches a cached
+  /// decided verdict returns it without any search, and decided
+  /// verdicts are journaled as durable store records that survive
+  /// restarts. Off by default — a cache hit skips the decider
+  /// entirely, which the crash/fault harnesses (which need the search
+  /// to actually run) do not expect.
+  bool enable_verdict_cache = false;
   /// Crash harness, mechanism 1: simulate a kill right after the k-th
   /// successful checkpoint persist (1-based ordinal across the whole
   /// service; 0 = off). Sweeping k over every persist site proves no
@@ -205,6 +214,13 @@ class DecisionService {
 
   const CheckpointStore& store() const { return *store_; }
 
+  /// Jobs answered from the verdict cache without running a search.
+  size_t verdicts_served_from_cache() const;
+
+  /// The cache (null unless enable_verdict_cache) — stats for tests
+  /// and the bench.
+  VerdictCache* verdict_cache() { return verdict_cache_.get(); }
+
  private:
   struct Job;
 
@@ -226,6 +242,7 @@ class DecisionService {
 
   DecisionServiceOptions options_;
   std::unique_ptr<CheckpointStore> store_;
+  std::unique_ptr<VerdictCache> verdict_cache_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;
@@ -245,6 +262,7 @@ class DecisionService {
   size_t queued_count_ = 0;  // queued + running (admission-controlled)
   size_t jobs_shed_ = 0;
   size_t persist_ordinal_ = 0;  // service-wide persist counter
+  size_t cache_served_ = 0;     // jobs answered from the verdict cache
 };
 
 }  // namespace relcomp

@@ -315,4 +315,54 @@ Result<CompletenessSpec> LoadCompletenessSpec(const std::string& path) {
   return ParseCompletenessSpec(buffer.str());
 }
 
+Result<DeltaBatch> ParseDeltaBatch(std::string_view text) {
+  DeltaBatch batch;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view raw = nl == std::string_view::npos
+                               ? text.substr(start)
+                               : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    std::string stripped = StripComment(raw);
+    std::string_view rest = TrimWhitespace(stripped);
+    if (rest.empty()) continue;
+
+    std::string keyword = TakeWord(&rest);
+    bool master = false;
+    if (keyword == "master") {
+      master = true;
+      keyword = TakeWord(&rest);
+    }
+    DeltaOp op;
+    if (keyword == "insert") {
+      op.insert = true;
+    } else if (keyword == "delete") {
+      op.insert = false;
+    } else {
+      return LineError(line_no,
+                       StrCat("expected insert/delete (optionally after "
+                              "`master`); got: ",
+                              keyword));
+    }
+    RELCOMP_ASSIGN_OR_RETURN(auto fact, ParseFact(rest, line_no));
+    op.relation = std::move(fact.first);
+    op.tuple = std::move(fact.second);
+    (master ? batch.master_ops : batch.db_ops).push_back(std::move(op));
+  }
+  return batch;
+}
+
+Result<DeltaBatch> LoadDeltaBatch(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound(StrCat("cannot open delta file: ", path));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseDeltaBatch(buffer.str());
+}
+
 }  // namespace relcomp

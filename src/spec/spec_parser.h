@@ -10,6 +10,7 @@
 #include "constraints/containment_constraint.h"
 #include "query/any_query.h"
 #include "relational/database.h"
+#include "relational/delta_batch.h"
 #include "util/status.h"
 
 namespace relcomp {
@@ -57,6 +58,22 @@ Result<CompletenessSpec> ParseCompletenessSpec(std::string_view text);
 
 /// Reads and parses a spec file.
 Result<CompletenessSpec> LoadCompletenessSpec(const std::string& path);
+
+/// Parses an update batch (the relcheck --delta file format) — one
+/// operation per line, `%` / `#` comments as in specs:
+///
+///   insert Cust("c9", "n9", "01", "908", "p9")
+///   delete Supt("e0", "d0", "c0")
+///   master insert DCust("c9", "n9", "908", "p9")
+///   master delete DCust("c0", "n0", "908", "p0")
+///
+/// Parsing is purely syntactic; relation existence, arity, and domain
+/// membership are checked by ApplyDeltaBatch against the instance the
+/// batch is applied to. Errors carry 1-based line numbers.
+Result<DeltaBatch> ParseDeltaBatch(std::string_view text);
+
+/// Reads and parses a delta file.
+Result<DeltaBatch> LoadDeltaBatch(const std::string& path);
 
 }  // namespace relcomp
 

@@ -119,6 +119,96 @@ TEST(RelcheckCliTest, ConnectToDeadServerExitsThree) {
             3);
 }
 
+std::string WriteDelta(const char* tag, const std::string& content) {
+  static int counter = 0;
+  const std::string path = StrCat(::testing::TempDir(), "/relcheck_cli_",
+                                  ::getpid(), "_", tag, "_", counter++,
+                                  ".delta");
+  std::ofstream out(path);
+  out << content;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+std::string FreshStoreDir(const char* tag) {
+  static int counter = 0;
+  const std::string dir = StrCat(::testing::TempDir(), "/relcheck_store_",
+                                 ::getpid(), "_", tag, "_", counter++);
+  std::system(StrCat("mkdir -p ", dir).c_str());
+  return dir;
+}
+
+TEST(RelcheckCliTest, DeltaRequiresResumeDir) {
+  const std::string spec = WriteSpec("delta_nodir", kCompleteSpec);
+  const std::string delta = WriteDelta("noop", "insert S(0, 0)\n");
+  EXPECT_EQ(RunRelcheck(StrCat(spec, " --delta ", delta)), 3);
+}
+
+TEST(RelcheckCliTest, DeltaRecertifyTransitionsCompleteToIncomplete) {
+  // Baseline certifies COMPLETE; a master insert opens a new witness
+  // slot, and the incremental re-audit flips the exit code to 1.
+  const std::string spec = WriteSpec("delta_c2i", kCompleteSpec);
+  const std::string dir = FreshStoreDir("c2i");
+  EXPECT_EQ(RunRelcheck(StrCat(spec, " --resume-dir ", dir)), 0);
+  const std::string delta = WriteDelta("c2i", "master insert M(2)\n");
+  EXPECT_EQ(
+      RunRelcheck(StrCat(spec, " --resume-dir ", dir, " --delta ", delta)),
+      1);
+}
+
+TEST(RelcheckCliTest, DeltaRecertifyTransitionsIncompleteToComplete) {
+  // Inserting the missing witness makes the incomplete spec complete.
+  const std::string spec = WriteSpec("delta_i2c", kIncompleteSpec);
+  const std::string dir = FreshStoreDir("i2c");
+  EXPECT_EQ(RunRelcheck(StrCat(spec, " --resume-dir ", dir)), 1);
+  const std::string delta = WriteDelta("i2c", "insert S(1, 0)\n");
+  EXPECT_EQ(
+      RunRelcheck(StrCat(spec, " --resume-dir ", dir, " --delta ", delta)),
+      0);
+}
+
+TEST(RelcheckCliTest, DeltaNoopServesCertificate) {
+  // A no-op batch leaves the content fingerprint unchanged; the stored
+  // certificate is re-served with the same exit code.
+  const std::string spec = WriteSpec("delta_noop", kCompleteSpec);
+  const std::string dir = FreshStoreDir("noop");
+  EXPECT_EQ(RunRelcheck(StrCat(spec, " --resume-dir ", dir)), 0);
+  const std::string delta =
+      WriteDelta("noop2", "insert S(0, 0)\ndelete S(9, 9)\n");
+  EXPECT_EQ(
+      RunRelcheck(StrCat(spec, " --resume-dir ", dir, " --delta ", delta)),
+      0);
+}
+
+TEST(RelcheckCliTest, DeltaBreakingClosureExitsThree) {
+  // The updated database violates V: the model's precondition fails,
+  // which is an input error on the delta path too.
+  const std::string spec = WriteSpec("delta_open", kCompleteSpec);
+  const std::string dir = FreshStoreDir("open");
+  EXPECT_EQ(RunRelcheck(StrCat(spec, " --resume-dir ", dir)), 0);
+  const std::string delta = WriteDelta("open", "insert S(7, 0)\n");
+  EXPECT_EQ(
+      RunRelcheck(StrCat(spec, " --resume-dir ", dir, " --delta ", delta)),
+      3);
+}
+
+TEST(RelcheckCliTest, DeltaBadBatchExitsThree) {
+  const std::string spec = WriteSpec("delta_bad", kCompleteSpec);
+  const std::string dir = FreshStoreDir("bad");
+  const std::string malformed = WriteDelta("bad", "frobnicate S(0, 0)\n");
+  EXPECT_EQ(RunRelcheck(
+                StrCat(spec, " --resume-dir ", dir, " --delta ", malformed)),
+            3);
+  // Syntactically fine, semantically bad: unknown relation.
+  const std::string unknown = WriteDelta("bad2", "insert NoSuch(0)\n");
+  EXPECT_EQ(RunRelcheck(
+                StrCat(spec, " --resume-dir ", dir, " --delta ", unknown)),
+            3);
+  EXPECT_EQ(RunRelcheck(StrCat(spec, " --resume-dir ", dir,
+                               " --delta /no/such/file.delta")),
+            3);
+}
+
 TEST(RelcheckCliTest, WorstQueryOutcomeWins) {
   // One complete and one incomplete query in the same spec: exit 1.
   const std::string spec = StrCat(
