@@ -1,0 +1,274 @@
+// Throughput scaling of the sharded decision fabric — what adding
+// members buys. The same batch of grid audits is pushed through a
+// FabricClient against fabrics of 1, 2 and 3 members (the 1-member
+// fabric IS the single-server baseline: same client, same ring
+// routing, one shard), rounds interleaved across the configurations so
+// machine drift hits all of them equally. Each round submits the whole
+// batch, then awaits every verdict; with N members the batch drains
+// from N shard queues at once, so jobs/sec should scale toward N while
+// the per-job audit cost stays flat.
+//
+// The verdict cache stays OFF: every job must actually run its search,
+// otherwise members>1 would be measured serving memcpy.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fabric/fabric_client.h"
+#include "fabric/member.h"
+#include "service/decision_service.h"
+#include "util/str.h"
+
+namespace relcomp {
+namespace fabric_bench {
+
+using bench::CheckOk;
+using bench::ValueOrDie;
+
+std::string FreshRoot(const char* tag) {
+  static int counter = 0;
+  return StrCat("/tmp/relcomp_bench_fabric_", ::getpid(), "_", tag, "_",
+                counter++);
+}
+
+std::string FreshSocket(const char* tag) {
+  static int counter = 0;
+  return StrCat("unix:/tmp/relcomp_bench_fabric_", ::getpid(), "_", tag, "_",
+                counter++, ".sock");
+}
+
+/// The service tests' grid instance: every pair over {0..5} x {0..6}
+/// except the far corner — one audit is milliseconds of real search,
+/// so queue drain (not wire cost) dominates the round.
+std::string GridSpecText() {
+  std::string s = "relation S(a, b)\nmaster relation M(m)\n";
+  for (int x = 0; x <= 5; ++x) {
+    for (int y = 0; y <= 6; ++y) {
+      if (x == 5 && y == 6) continue;
+      s += StrCat("fact S(", x, ", ", y, ")\n");
+    }
+  }
+  for (int m = 0; m <= 5; ++m) s += StrCat("master fact M(", m, ")\n");
+  s += "constraint c0(x) :- S(x, y) |= M[0]\n";
+  s += "query cq Q(x, y) :- S(x, y)\n";
+  return s;
+}
+
+JobSpec GridJob() {
+  JobSpec job;
+  job.kind = JobKind::kRcdp;
+  job.spec_text = GridSpecText();
+  return job;
+}
+
+/// One whole fabric under one roof: N in-process members over unix
+/// sockets plus the routing client.
+struct Fabric {
+  std::string root;
+  std::vector<std::string> endpoints;
+  std::vector<std::unique_ptr<FabricMember>> members;
+  std::unique_ptr<FabricClient> client;
+};
+
+Fabric StartFabric(size_t n, const char* tag) {
+  Fabric f;
+  f.root = FreshRoot(tag);
+  for (size_t i = 0; i < n; ++i) f.endpoints.push_back(FreshSocket(tag));
+  for (size_t i = 0; i < n; ++i) {
+    FabricMemberOptions options;
+    options.fabric_root = f.root;
+    options.member_index = i;
+    options.endpoints = f.endpoints;
+    auto member = FabricMember::Start(options);
+    CheckOk(member.status(), "fabric member");
+    f.members.push_back(std::move(*member));
+  }
+  f.client = std::make_unique<FabricClient>(f.endpoints);
+  return f;
+}
+
+void StopFabric(Fabric* f) {
+  for (auto& member : f->members) member->Shutdown();
+}
+
+/// One round: submit `batch` distinct jobs, then await every verdict.
+/// Returns elapsed nanoseconds for the whole batch.
+double BatchRound(FabricClient* client, const JobSpec& job, const char* tag,
+                  size_t round, size_t batch) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::string> keys;
+  keys.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    keys.push_back(StrCat("bench-", tag, "-", round, "-", i));
+  }
+  const Clock::time_point t0 = Clock::now();
+  for (const std::string& key : keys) {
+    CheckOk(client->Submit(key, job), "fabric submit");
+  }
+  for (const std::string& key : keys) {
+    auto reply = client->AwaitTerminal(key, std::chrono::milliseconds(0));
+    CheckOk(reply.status(), "fabric await");
+    benchmark::DoNotOptimize(reply->evidence.size());
+  }
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+void BM_FabricBatch(benchmark::State& state) {
+  const size_t members = static_cast<size_t>(state.range(0));
+  Fabric fabric = StartFabric(members, "bm");
+  const JobSpec job = GridJob();
+  const size_t batch = 12;
+  size_t round = 0;
+  for (auto _ : state) {
+    BatchRound(fabric.client.get(), job, "bm", round++, batch);
+  }
+  state.counters["jobs_per_round"] = static_cast<double>(batch);
+  StopFabric(&fabric);
+}
+BENCHMARK(BM_FabricBatch)->Arg(1)->Arg(2)->Arg(3);
+
+/// One measured configuration.
+struct Measured {
+  size_t members = 0;
+  double jobs_per_second = 0;
+  double p50_batch_ns = 0;   ///< per-round batch latency distribution
+  double p99_batch_ns = 0;
+  size_t rounds = 0;
+  size_t failovers = 0;       ///< should be 0 — nobody dies in a bench
+  size_t ring_refreshes = 0;
+};
+
+void Finish(size_t batch, std::vector<double>* samples, Measured* out) {
+  std::sort(samples->begin(), samples->end());
+  double total = 0;
+  for (double s : *samples) total += s;
+  out->rounds = samples->size();
+  out->jobs_per_second =
+      total > 0 ? static_cast<double>(batch * samples->size()) * 1e9 / total
+                : 0;
+  out->p50_batch_ns = (*samples)[samples->size() / 2];
+  out->p99_batch_ns = (*samples)[samples->size() - 1 - samples->size() / 100];
+}
+
+void AppendConfigJson(std::string* json, const Measured& m) {
+  char jps[32];
+  std::snprintf(jps, sizeof(jps), "%.2f", m.jobs_per_second);
+  *json += StrCat("    \"members_", m.members, "\": {\n");
+  *json += StrCat("      \"members\": ", m.members, ",\n");
+  *json += StrCat("      \"jobs_per_second\": ", jps, ",\n");
+  *json += StrCat("      \"p50_batch_ns\": ",
+                  static_cast<size_t>(m.p50_batch_ns), ",\n");
+  *json += StrCat("      \"p99_batch_ns\": ",
+                  static_cast<size_t>(m.p99_batch_ns), ",\n");
+  *json += StrCat("      \"rounds\": ", m.rounds, ",\n");
+  *json += StrCat("      \"client_failovers\": ", m.failovers, ",\n");
+  *json += StrCat("      \"ring_refreshes\": ", m.ring_refreshes, "\n");
+  *json += "    }";
+}
+
+/// Measures members ∈ {1,2,3} with interleaved rounds and writes
+/// BENCH_fabric.json. Output path overridable via
+/// RELCOMP_BENCH_FABRIC_JSON.
+void WriteFabricJson() {
+  const double min_seconds_per_config = 5.0;
+  const size_t batch = 12;
+  const std::vector<size_t> member_counts = {1, 2, 3};
+  const JobSpec job = GridJob();
+
+  std::vector<Fabric> fabrics;
+  for (size_t n : member_counts) fabrics.push_back(StartFabric(n, "json"));
+
+  // Warm-up: one batch through every fabric (store open, socket
+  // handshake, first-audit page-in all land outside the measurement).
+  for (size_t c = 0; c < fabrics.size(); ++c) {
+    BatchRound(fabrics[c].client.get(), job, "warm", 999000 + c, batch);
+  }
+
+  // Interleaved rounds: 1-member, 2-member, 3-member, repeat — drift
+  // cannot bias the later configurations.
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> samples(fabrics.size());
+  const Clock::time_point start = Clock::now();
+  size_t round = 0;
+  for (;;) {
+    for (size_t c = 0; c < fabrics.size(); ++c) {
+      samples[c].push_back(
+          BatchRound(fabrics[c].client.get(), job, "paired", round, batch));
+    }
+    ++round;
+    const double elapsed = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    if (elapsed >=
+        min_seconds_per_config * 1e9 * static_cast<double>(fabrics.size())) {
+      break;
+    }
+  }
+
+  std::vector<Measured> measured(fabrics.size());
+  for (size_t c = 0; c < fabrics.size(); ++c) {
+    measured[c].members = member_counts[c];
+    Finish(batch, &samples[c], &measured[c]);
+    measured[c].failovers = fabrics[c].client->stats().failovers;
+    measured[c].ring_refreshes = fabrics[c].client->stats().ring_refreshes;
+  }
+
+  const double scaling =
+      measured[0].jobs_per_second > 0
+          ? measured.back().jobs_per_second / measured[0].jobs_per_second
+          : 0;
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"fabric_throughput_scaling\",\n";
+  bench::AppendHardwareJson(&json, member_counts.back());
+  json += "  \"transport\": \"unix\",\n";
+  json += "  \"instance\": \"6x7 grid minus far corner\",\n";
+  json += StrCat("  \"batch_jobs_per_round\": ", batch, ",\n");
+  json += "  \"configs\": {\n";
+  for (size_t c = 0; c < measured.size(); ++c) {
+    AppendConfigJson(&json, measured[c]);
+    json += c + 1 < measured.size() ? ",\n" : "\n";
+  }
+  json += "  },\n";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", scaling);
+  json += StrCat("  \"scaling_3_members_vs_1\": ", buf, "\n");
+  json += "}\n";
+
+  const char* path = std::getenv("RELCOMP_BENCH_FABRIC_JSON");
+  if (path == nullptr) path = "BENCH_fabric.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (3 members = %sx the 1-member baseline)\n", path,
+              buf);
+  for (Fabric& fabric : fabrics) StopFabric(&fabric);
+}
+
+}  // namespace fabric_bench
+}  // namespace relcomp
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  relcomp::fabric_bench::WriteFabricJson();
+  return 0;
+}

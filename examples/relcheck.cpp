@@ -6,11 +6,32 @@
 //            [--delta FILE]
 // Decision server (fault-tolerant network front end):
 //   relcheck --serve ADDR --store-dir DIR [--workers N]
-// Networked audit against a running server:
-//   relcheck --connect ADDR <spec-file> [--deadline-ms N]
+// Sharded decision fabric (N members, consistent-hash routed):
+//   relcheck --fabric DIR --members N [--member-index I]
+//            [--serve ADDR,ADDR,...] [--workers N]
+// Networked audit against a running server or fabric:
+//   relcheck --connect ADDR[,ADDR,...] <spec-file> [--deadline-ms N]
 //
 // ADDR is "unix:<path>" or "tcp:<ipv4>:<port>" (port 0 = ephemeral,
 // the bound address is printed).
+//
+// --fabric DIR --members N serves an N-shard fabric rooted at DIR
+// (shard s in DIR/shard-<s>). Member endpoints default to
+// unix:DIR/member-<i>.sock; pass --serve with a comma-separated list
+// to override (every member of one fabric must be given the SAME
+// list — it is the placement contract). With --member-index I the
+// process runs exactly member I (one process per member, so a kill
+// test can SIGKILL a real server); without it, all N members run in
+// this process. A killed-and-restarted member recovers its shard's
+// in-flight jobs from the journal and rejoins under a bumped ring
+// epoch.
+//
+// --connect with one endpoint speaks to that server directly. With a
+// comma-separated list the client bootstraps the consistent-hash ring
+// from any reachable endpoint, routes each query to its shard owner,
+// and fails over to the remaining endpoints (re-fetching the ring) on
+// connection loss — against standalone servers each endpoint answers
+// a singleton ring, so the same invocation works without a fabric.
 //
 // Loads a textual spec (schemas, facts, containment constraints,
 // queries — see src/spec/spec_parser.h for the syntax), verifies the
@@ -67,6 +88,8 @@
 #include "completeness/rcqp.h"
 #include "constraints/constraint_check.h"
 #include "eval/query_eval.h"
+#include "fabric/fabric_client.h"
+#include "fabric/member.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/checkpoint_store.h"
@@ -93,7 +116,10 @@ void Usage() {
          "                [--deadline-ms N] [--max-steps N]\n"
          "                [--resume-dir DIR] [--delta FILE]\n"
          "       relcheck --serve ADDR --store-dir DIR [--workers N]\n"
-         "       relcheck --connect ADDR <spec-file> [--deadline-ms N]\n"
+         "       relcheck --fabric DIR --members N [--member-index I]\n"
+         "                [--serve ADDR,ADDR,...] [--workers N]\n"
+         "       relcheck --connect ADDR[,ADDR,...] <spec-file>\n"
+         "                [--deadline-ms N]\n"
          "ADDR: unix:<path> | tcp:<ipv4>:<port>\n"
          "exit: 0 complete, 1 incomplete, 2 unknown/exhausted, 3 error"
       << std::endl;
@@ -139,6 +165,101 @@ int RunServer(const std::string& address, const std::string& store_dir,
   return kExitComplete;
 }
 
+/// Splits a comma-separated endpoint list (empty segments dropped).
+std::vector<std::string> SplitEndpoints(const std::string& list) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : list) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+/// Fabric serve mode: one or all members of an N-shard fabric rooted
+/// at `fabric_root`, running until SIGINT/SIGTERM, then drained (the
+/// ring departure is journaled before the listeners close).
+int RunFabric(const std::string& fabric_root, long members,
+              long member_index, const std::string& serve_list,
+              size_t workers) {
+  using namespace relcomp;
+  if (members < 1) {
+    Usage();
+    return kExitError;
+  }
+  std::vector<std::string> endpoints;
+  if (!serve_list.empty()) {
+    endpoints = SplitEndpoints(serve_list);
+    if (endpoints.size() != static_cast<size_t>(members)) {
+      return Fail(Status::InvalidArgument(
+          StrCat("--serve names ", endpoints.size(), " endpoints but "
+                 "--members asks for ", members)));
+    }
+  } else {
+    for (long i = 0; i < members; ++i) {
+      endpoints.push_back(StrCat("unix:", fabric_root, "/member-", i,
+                                 ".sock"));
+    }
+  }
+  std::vector<size_t> indexes;
+  if (member_index >= 0) {
+    if (member_index >= members) {
+      return Fail(Status::InvalidArgument(
+          StrCat("--member-index ", member_index, " out of range for ",
+                 members, " members")));
+    }
+    indexes.push_back(static_cast<size_t>(member_index));
+  } else {
+    for (long i = 0; i < members; ++i) {
+      indexes.push_back(static_cast<size_t>(i));
+    }
+  }
+
+  std::vector<std::unique_ptr<FabricMember>> running;
+  for (size_t index : indexes) {
+    FabricMemberOptions options;
+    options.fabric_root = fabric_root;
+    options.member_index = index;
+    options.endpoints = endpoints;
+    options.service_options.num_workers = workers;
+    // Fabric members keep the durable verdict cache for the same
+    // reason a standalone server does: a resubmitted instance (e.g.
+    // after a kill landed between completion and the client's poll) is
+    // answered from the journaled verdict, bit-for-bit.
+    options.service_options.enable_verdict_cache = true;
+    auto member = FabricMember::Start(options);
+    if (!member.ok()) return Fail(member.status());
+    for (size_t shard : (*member)->owned_shards()) {
+      DecisionService* service = (*member)->shard_service(shard);
+      if (service == nullptr) continue;
+      for (const std::string& id : service->RecoveredJobs()) {
+        std::cout << "member " << index << " recovered in-flight job: "
+                  << id << "\n";
+      }
+    }
+    std::cout << "fabric member " << index << " serving on "
+              << (*member)->address() << " (root: " << fabric_root
+              << ", shards: " << members << ", ring epoch "
+              << (*member)->ring().epoch << ")\n"
+              << std::flush;
+    running.push_back(std::move(*member));
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "draining...\n";
+  for (auto& member : running) member->Shutdown();
+  running.clear();
+  return kExitComplete;
+}
+
 /// Connect mode: submit every query of the spec as a job keyed by a
 /// fingerprint-derived idempotency key, await the verdicts. Re-running
 /// the same spec against the same server (even across server restarts)
@@ -162,10 +283,10 @@ int RunClient(const std::string& address, const std::string& spec_path,
   std::snprintf(fp, sizeof(fp), "%016llx",
                 static_cast<unsigned long long>(
                     FingerprintString(spec_text)));
-  NetClient client(address);
-  int exit_code = kExitComplete;
-  for (size_t i = 0; i < spec->queries.size(); ++i) {
-    const std::string key = StrCat("relcheck-", fp, "-q", i + 1);
+  auto make_key = [&](size_t i) {
+    return StrCat("relcheck-", fp, "-q", i + 1);
+  };
+  auto make_job = [&](size_t i) {
     JobSpec job;
     job.kind = JobKind::kRcdp;
     job.spec_text = spec_text;
@@ -173,24 +294,20 @@ int RunClient(const std::string& address, const std::string& spec_path,
     if (deadline_ms > 0) {
       job.deadline = std::chrono::milliseconds(deadline_ms);
     }
-    Status submitted = client.Submit(key, job);
-    if (!submitted.ok()) return Fail(submitted);
-    std::cout << "query #" << i + 1 << " submitted as " << key << "\n";
-  }
-  for (size_t i = 0; i < spec->queries.size(); ++i) {
-    const std::string key = StrCat("relcheck-", fp, "-q", i + 1);
-    auto reply = client.AwaitTerminal(key);
-    if (!reply.ok()) return Fail(reply.status());
+    return job;
+  };
+  int exit_code = kExitComplete;
+  auto tally = [&](const WireReply& reply, size_t i) {
     std::cout << "query #" << i + 1 << ": "
-              << VerdictToString(reply->verdict);
-    if (!reply->evidence.empty()) {
-      std::cout << " — " << reply->evidence;
+              << VerdictToString(reply.verdict);
+    if (!reply.evidence.empty()) {
+      std::cout << " — " << reply.evidence;
     }
-    if (!reply->exhaustion.empty()) {
-      std::cout << " (" << reply->exhaustion << ")";
+    if (!reply.exhaustion.empty()) {
+      std::cout << " (" << reply.exhaustion << ")";
     }
-    std::cout << " [attempts: " << reply->attempts << "]\n";
-    switch (reply->verdict) {
+    std::cout << " [attempts: " << reply.attempts << "]\n";
+    switch (reply.verdict) {
       case Verdict::kComplete:
         break;
       case Verdict::kIncomplete:
@@ -200,6 +317,47 @@ int RunClient(const std::string& address, const std::string& spec_path,
         exit_code = std::max(exit_code, kExitUnknown);
         break;
     }
+  };
+
+  if (SplitEndpoints(address).size() > 1) {
+    // Multi-endpoint: route by the consistent-hash ring (a standalone
+    // server answers a singleton ring, so this shape needs no fabric)
+    // and survive the loss of any single member mid-audit.
+    FabricClient client(SplitEndpoints(address));
+    for (size_t i = 0; i < spec->queries.size(); ++i) {
+      Status submitted = client.Submit(make_key(i), make_job(i));
+      if (!submitted.ok()) return Fail(submitted);
+      std::cout << "query #" << i + 1 << " submitted as " << make_key(i)
+                << "\n";
+    }
+    for (size_t i = 0; i < spec->queries.size(); ++i) {
+      // SubmitAndAwait rather than a bare poll loop: if a kill landed
+      // between a job's completion and this read, the resubmission
+      // under the same key re-serves the journaled verdict (or
+      // recomputes it bit-for-bit).
+      auto reply = client.SubmitAndAwait(make_key(i), make_job(i));
+      if (!reply.ok()) return Fail(reply.status());
+      tally(*reply, i);
+    }
+    if (client.stats().failovers > 0) {
+      std::cout << "(fabric failovers: " << client.stats().failovers
+                << ", ring refreshes: " << client.stats().ring_refreshes
+                << ")\n";
+    }
+    return exit_code;
+  }
+
+  NetClient client(address);
+  for (size_t i = 0; i < spec->queries.size(); ++i) {
+    Status submitted = client.Submit(make_key(i), make_job(i));
+    if (!submitted.ok()) return Fail(submitted);
+    std::cout << "query #" << i + 1 << " submitted as " << make_key(i)
+              << "\n";
+  }
+  for (size_t i = 0; i < spec->queries.size(); ++i) {
+    auto reply = client.AwaitTerminal(make_key(i));
+    if (!reply.ok()) return Fail(reply.status());
+    tally(*reply, i);
   }
   if (client.stats().retries > 0) {
     std::cout << "(transport retries: " << client.stats().retries << ")\n";
@@ -217,12 +375,15 @@ int main(int argc, char** argv) {
   std::string serve_address;
   std::string connect_address;
   std::string store_dir;
+  std::string fabric_root;
   bool run_rcqp = false;
   bool explain = false;
   int chase_rounds = 0;
   long deadline_ms = 0;
   long max_steps = 0;
   long workers = 1;
+  long members = 0;
+  long member_index = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rcqp") == 0) {
       run_rcqp = true;
@@ -246,6 +407,12 @@ int main(int argc, char** argv) {
       store_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fabric") == 0 && i + 1 < argc) {
+      fabric_root = argv[++i];
+    } else if (std::strcmp(argv[i], "--members") == 0 && i + 1 < argc) {
+      members = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--member-index") == 0 && i + 1 < argc) {
+      member_index = std::atol(argv[++i]);
     } else if (argv[i][0] == '-') {
       Usage();
       return kExitError;
@@ -254,6 +421,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!fabric_root.empty()) {
+    if (!path.empty() || !store_dir.empty() || workers < 1 ||
+        !connect_address.empty()) {
+      Usage();
+      return kExitError;
+    }
+    return RunFabric(fabric_root, members, member_index, serve_address,
+                     static_cast<size_t>(workers));
+  }
   if (!serve_address.empty()) {
     if (store_dir.empty() || !path.empty() || workers < 1) {
       Usage();

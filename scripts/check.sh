@@ -33,6 +33,12 @@ run ctest --test-dir build-asan -L recovery --output-on-failure
 # sweeps must be race-free, not just green.
 run ctest --test-dir build-tsan -L net --output-on-failure
 
+# Fabric stage: the sharded-fabric suites (ctest label "fabric") once
+# more under the asan build — the kill-any-single-server sweeps, shard
+# adoption, and the ring codec churn sockets, threads, and stores at
+# once, so they must be clean, not just green.
+run ctest --test-dir build-asan -L fabric --output-on-failure
+
 # Incremental stage: the delta/fingerprint/certificate suites and the
 # verdict cache (ctest label "incremental") once more under the asan
 # build — the certificate codec parses untrusted store bytes and the

@@ -1,0 +1,221 @@
+#include "fabric/fabric_client.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool Contains(const std::vector<std::string>& list, const std::string& item) {
+  return std::find(list.begin(), list.end(), item) != list.end();
+}
+
+/// Retryable against another candidate (or after a ring refresh):
+/// transport loss, a typed refusal, or a per-endpoint deadline.
+bool Retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+FabricClient::FabricClient(std::vector<std::string> seed_endpoints,
+                           FabricClientOptions options)
+    : seeds_(std::move(seed_endpoints)), options_(options) {}
+
+NetClient* FabricClient::ClientFor(const std::string& endpoint) {
+  auto it = clients_.find(endpoint);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(endpoint, std::make_unique<NetClient>(
+                                    endpoint, options_.endpoint_options))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> FabricClient::KnownEndpoints() const {
+  std::vector<std::string> out;
+  if (have_ring_) {
+    for (const std::string& endpoint : ring_.endpoints) {
+      if (!endpoint.empty() && !Contains(out, endpoint)) {
+        out.push_back(endpoint);
+      }
+    }
+  }
+  for (const std::string& seed : seeds_) {
+    if (!seed.empty() && !Contains(out, seed)) out.push_back(seed);
+  }
+  return out;
+}
+
+std::vector<std::string> FabricClient::CandidatesFor(size_t shard) const {
+  std::vector<std::string> out;
+  // The recorded owner first — the common, no-failure path. Then every
+  // other live member (one of them may have adopted the shard since
+  // our ring was fetched), then the seeds (a member the current ring
+  // no longer names can still answer with a fresher ring's refusal).
+  if (have_ring_ && shard < ring_.num_shards() &&
+      !ring_.endpoints[shard].empty()) {
+    out.push_back(ring_.endpoints[shard]);
+  }
+  for (const std::string& endpoint : KnownEndpoints()) {
+    if (!Contains(out, endpoint)) out.push_back(endpoint);
+  }
+  return out;
+}
+
+Status FabricClient::RefreshRing() {
+  ++stats_.ring_refreshes;
+  Status last = Status::Unavailable("no fabric endpoint reachable");
+  bool any = false;
+  for (const std::string& endpoint : KnownEndpoints()) {
+    Result<std::string> serialized = ClientFor(endpoint)->Ring();
+    if (!serialized.ok()) {
+      last = serialized.status();
+      continue;
+    }
+    Result<FabricRing> ring = FabricRing::Deserialize(*serialized);
+    if (!ring.ok()) {
+      last = ring.status();
+      continue;
+    }
+    // Highest epoch wins: a zombie or laggard can only present a
+    // stale assignment, and stale loses by construction.
+    if (!have_ring_ || ring->epoch > ring_.epoch ||
+        (ring->epoch == ring_.epoch && !any)) {
+      ring_ = *std::move(ring);
+      have_ring_ = true;
+    }
+    any = true;
+  }
+  return any ? Status::OK() : last;
+}
+
+Result<WireReply> FabricClient::CallRouted(const WireRequest& request) {
+  ++stats_.routed_calls;
+  const bool bounded = options_.op_deadline.count() > 0;
+  const Clock::time_point deadline = Clock::now() + options_.op_deadline;
+  auto expired = [&] { return bounded && Clock::now() >= deadline; };
+  Status last = Status::Unavailable("no fabric endpoint reachable");
+  for (bool first_sweep = true;; first_sweep = false) {
+    if (!have_ring_ || !first_sweep) {
+      Status refreshed = RefreshRing();
+      if (!refreshed.ok()) last = refreshed;
+    }
+    if (have_ring_) {
+      const size_t shard = ring_.ShardForKey(request.key);
+      for (const std::string& endpoint : CandidatesFor(shard)) {
+        Result<WireReply> reply = ClientFor(endpoint)->Call(request);
+        if (reply.ok() && !Retryable(reply->code)) return reply;
+        last = reply.ok() ? reply->ToStatus() : reply.status();
+        if (!reply.ok() && !Retryable(reply.status().code())) {
+          return reply.status();
+        }
+        ++stats_.failovers;
+        if (expired()) break;
+      }
+    }
+    if (expired()) {
+      return Status::DeadlineExceeded(
+          StrCat("fabric op deadline (", options_.op_deadline.count(),
+                 " ms) exceeded for key \"", request.key,
+                 "\": ", last.message()));
+    }
+    std::this_thread::sleep_for(options_.retry_pause);
+  }
+}
+
+Status FabricClient::Submit(const std::string& key, const JobSpec& spec) {
+  WireRequest req;
+  req.op = WireOp::kSubmit;
+  req.key = key;
+  req.job = spec.Serialize();
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, CallRouted(req));
+  return reply.ToStatus();
+}
+
+Result<WireReply> FabricClient::Poll(const std::string& key) {
+  WireRequest req;
+  req.op = WireOp::kPoll;
+  req.key = key;
+  return CallRouted(req);
+}
+
+Status FabricClient::Cancel(const std::string& key) {
+  WireRequest req;
+  req.op = WireOp::kCancel;
+  req.key = key;
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, CallRouted(req));
+  return reply.ToStatus();
+}
+
+Result<WireReply> FabricClient::AwaitTerminal(
+    const std::string& key, std::chrono::milliseconds poll_interval,
+    std::chrono::milliseconds limit) {
+  const Clock::time_point deadline = Clock::now() + limit;
+  for (;;) {
+    Result<WireReply> reply = Poll(key);
+    if (reply.ok() && reply->code == StatusCode::kOk &&
+        reply->state == WireJobState::kDone) {
+      return reply;
+    }
+    // Keep waiting through anything retryable — the whole point is to
+    // span the owner's death and the shard's adoption.
+    if (!reply.ok() && !Retryable(reply.status().code())) {
+      return reply.status();
+    }
+    if (reply.ok() && reply->code != StatusCode::kOk &&
+        !Retryable(reply->code)) {
+      return reply->ToStatus();
+    }
+    if (Clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          StrCat("job \"", key, "\" not terminal within ", limit.count(),
+                 " ms of fabric polling"));
+    }
+    std::this_thread::sleep_for(poll_interval);
+  }
+}
+
+Result<WireReply> FabricClient::SubmitAndAwait(
+    const std::string& key, const JobSpec& spec,
+    std::chrono::milliseconds poll_interval, std::chrono::milliseconds limit) {
+  const Clock::time_point deadline = Clock::now() + limit;
+  RELCOMP_RETURN_NOT_OK(Submit(key, spec));
+  for (;;) {
+    Result<WireReply> reply = Poll(key);
+    if (reply.ok() && reply->code == StatusCode::kOk &&
+        reply->state == WireJobState::kDone) {
+      return reply;
+    }
+    const StatusCode code =
+        reply.ok() ? reply->code : reply.status().code();
+    if (code == StatusCode::kNotFound) {
+      // The job completed and was forgotten (a kill landed between its
+      // completion and our poll, and recovery never saw an in-flight
+      // record). The idempotency key plus the determinism contract
+      // make resubmission the honest recovery: the verdict cache
+      // answers from the journaled verdict when it survived, and a
+      // recomputation is bit-for-bit the same by PR 3's guarantees.
+      Status resubmitted = Submit(key, spec);
+      if (!resubmitted.ok() && !Retryable(resubmitted.code())) {
+        return resubmitted;
+      }
+    } else if (!Retryable(code) && code != StatusCode::kOk) {
+      return reply.ok() ? reply->ToStatus() : reply.status();
+    }
+    if (Clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          StrCat("job \"", key, "\" not terminal within ", limit.count(),
+                 " ms of fabric submit+poll"));
+    }
+    std::this_thread::sleep_for(poll_interval);
+  }
+}
+
+}  // namespace relcomp

@@ -1,0 +1,122 @@
+#ifndef RELCOMP_FABRIC_FABRIC_CLIENT_H_
+#define RELCOMP_FABRIC_FABRIC_CLIENT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/ring.h"
+#include "net/client.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Fabric client tuning.
+struct FabricClientOptions {
+  /// Per-endpoint transport tuning. The fabric default trims the
+  /// per-endpoint retry budget to 1: retrying a dead endpoint is the
+  /// FabricClient's job, against the NEXT candidate, not the same
+  /// socket eight more times.
+  NetClientOptions endpoint_options{.max_retries = 1};
+  /// Overall wall-clock bound on one routed operation (Submit / Poll /
+  /// Cancel), across every candidate sweep, ring refresh, and pause.
+  /// kDeadlineExceeded once it elapses.
+  std::chrono::milliseconds op_deadline{30000};
+  /// Pause between full candidate sweeps (every candidate refused or
+  /// unreachable — typically the window between a member dying and a
+  /// peer adopting its shard).
+  std::chrono::milliseconds retry_pause{10};
+};
+
+/// Observability counters; monotonic for the client's lifetime.
+struct FabricClientStats {
+  size_t routed_calls = 0;    ///< operations attempted through the ring
+  size_t ring_refreshes = 0;  ///< ring fetch sweeps performed
+  size_t failovers = 0;       ///< candidate advances after a refusal
+};
+
+/// Routing client for the sharded decision fabric.
+///
+/// Holds a FabricRing (bootstrapped from any reachable seed endpoint —
+/// a standalone NetServer answers with a singleton ring, so the same
+/// client drives both shapes) and routes every keyed operation to the
+/// shard owner. On a refusal or connection loss it walks the remaining
+/// live candidates in order, then re-fetches the ring — an adoption
+/// bumps the epoch, and highest-epoch-wins re-resolves placement — and
+/// sweeps again until the operation lands or its deadline lapses.
+///
+/// AwaitTerminal therefore spans not just server restarts (the PR 5
+/// client's contract) but server LOSS: SIGKILL the owner mid-job, let
+/// any peer adopt the shard, and the same poll loop converges on the
+/// adopter and returns the bit-for-bit verdict its recovery produced.
+///
+/// Not thread-safe: one FabricClient per thread.
+class FabricClient {
+ public:
+  explicit FabricClient(std::vector<std::string> seed_endpoints,
+                        FabricClientOptions options = FabricClientOptions());
+
+  /// Submits `spec` under `key` to the shard owner (same idempotency
+  /// contract as NetClient::Submit).
+  Status Submit(const std::string& key, const JobSpec& spec);
+
+  /// Non-blocking state probe for `key`, routed to the shard owner.
+  Result<WireReply> Poll(const std::string& key);
+
+  /// Cooperative cancellation of `key`, routed to the shard owner.
+  Status Cancel(const std::string& key);
+
+  /// Polls `key` until terminal, surviving owner loss and shard
+  /// handoff; kDeadlineExceeded once `limit` elapses. kNotFound is
+  /// terminal here — see SubmitAndAwait for the self-healing variant.
+  Result<WireReply> AwaitTerminal(
+      const std::string& key,
+      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(5),
+      std::chrono::milliseconds limit = std::chrono::milliseconds(60000));
+
+  /// Submit + await in one self-healing loop: a kNotFound poll (the
+  /// job completed and was forgotten before the verdict was read — a
+  /// kill can land in exactly that window) resubmits under the same
+  /// idempotency key and keeps waiting. Determinism + the durable
+  /// verdict cache make the answer bit-for-bit either way.
+  Result<WireReply> SubmitAndAwait(
+      const std::string& key, const JobSpec& spec,
+      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(5),
+      std::chrono::milliseconds limit = std::chrono::milliseconds(60000));
+
+  /// Fetches the ring from every reachable known endpoint, keeping the
+  /// highest epoch seen. OK if at least one endpoint answered.
+  Status RefreshRing();
+
+  /// The ring the client currently routes by (default-constructed
+  /// until the first successful RefreshRing).
+  const FabricRing& ring() const { return ring_; }
+  bool has_ring() const { return have_ring_; }
+
+  const FabricClientStats& stats() const { return stats_; }
+
+ private:
+  /// Routes one keyed request: candidate sweep, ring refresh, repeat
+  /// until a non-kUnavailable answer or the op deadline.
+  Result<WireReply> CallRouted(const WireRequest& request);
+  /// The per-endpoint client (created on first use).
+  NetClient* ClientFor(const std::string& endpoint);
+  /// Try order for `shard`: owner, other live ring endpoints, seeds.
+  std::vector<std::string> CandidatesFor(size_t shard) const;
+  /// Every endpoint worth asking for a ring: ring endpoints ∪ seeds.
+  std::vector<std::string> KnownEndpoints() const;
+
+  std::vector<std::string> seeds_;
+  FabricClientOptions options_;
+  FabricRing ring_;
+  bool have_ring_ = false;
+  std::map<std::string, std::unique_ptr<NetClient>> clients_;
+  FabricClientStats stats_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_FABRIC_FABRIC_CLIENT_H_

@@ -1,0 +1,239 @@
+#include "fabric/member.h"
+
+#include <utility>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+/// The control-record key every shard journals its ring under.
+constexpr char kRingControlKey[] = "ring";
+
+}  // namespace
+
+Result<std::unique_ptr<FabricMember>> FabricMember::Start(
+    const FabricMemberOptions& options) {
+  if (options.fabric_root.empty()) {
+    return Status::InvalidArgument("fabric member needs a fabric_root");
+  }
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("fabric member needs an endpoint list");
+  }
+  if (options.member_index >= options.endpoints.size()) {
+    return Status::InvalidArgument(
+        StrCat("member index ", options.member_index, " out of range for ",
+               options.endpoints.size(), " endpoints"));
+  }
+  std::unique_ptr<FabricMember> member(new FabricMember());
+  member->options_ = options;
+  member->ring_ =
+      FabricRing::Make(options.endpoints, options.seed, options.vnodes);
+
+  const size_t home = options.member_index;
+  RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<DecisionService> service,
+                           member->StartShardService(home));
+
+  // A ring record in the home shard outranks the configured initial
+  // ring: it carries every reassignment that happened before this
+  // (re)start. The placement shape, though, is non-negotiable — a
+  // member configured with a different seed/vnodes/shard count would
+  // route keys to different shards than the durable jobs were placed
+  // by, so that is a refusal, not a merge.
+  Result<std::string> record =
+      service->mutable_store()->LoadControl(kRingControlKey);
+  if (record.ok()) {
+    RELCOMP_ASSIGN_OR_RETURN(FabricRing recorded,
+                             FabricRing::Deserialize(*record));
+    if (recorded.seed != member->ring_.seed ||
+        recorded.vnodes != member->ring_.vnodes ||
+        recorded.num_shards() != member->ring_.num_shards()) {
+      return Status::FailedPrecondition(
+          StrCat("fabric placement contract mismatch for ",
+                 options.fabric_root, ": shard ", home, " was created with ",
+                 recorded.num_shards(), " shards / seed ", recorded.seed,
+                 " / vnodes ", recorded.vnodes, ", member configured with ",
+                 member->ring_.num_shards(), " / ", options.seed, " / ",
+                 options.vnodes));
+    }
+    if (recorded.epoch > member->ring_.epoch) member->ring_ = recorded;
+  } else if (record.status().code() != StatusCode::kNotFound) {
+    return record.status();
+  }
+
+  // Rejoin: if the durable ring says this shard has no live owner (a
+  // prior drain or an adoption that was itself drained), taking it
+  // back is a reassignment like any other — fenced by an epoch bump.
+  const std::string& self = options.endpoints[home];
+  if (member->ring_.endpoints[home] != self) {
+    ++member->ring_.epoch;
+    member->ring_.endpoints[home] = self;
+  }
+
+  member->recovered_jobs_ += service->RecoveredJobs().size();
+  member->services_[home] = std::move(service);
+  {
+    std::lock_guard<std::mutex> lock(member->mu_);
+    RELCOMP_RETURN_NOT_OK(member->PersistRingLocked());
+  }
+
+  NetServerOptions server_options = options.server_options;
+  FabricMember* raw = member.get();
+  server_options.route =
+      [raw](const std::string& key) -> Result<DecisionService*> {
+    std::lock_guard<std::mutex> lock(raw->mu_);
+    const size_t shard = raw->ring_.ShardForKey(key);
+    auto it = raw->services_.find(shard);
+    if (it != raw->services_.end()) return it->second.get();
+    const std::string& owner = raw->ring_.endpoints[shard];
+    if (owner.empty()) {
+      return Status::Unavailable(
+          StrCat("shard ", shard, " has no live owner (ring epoch ",
+                 raw->ring_.epoch, "); retry after adoption"));
+    }
+    return Status::Unavailable(
+        StrCat("shard ", shard, " is owned by ", owner, " (ring epoch ",
+               raw->ring_.epoch, "), not this member"));
+  };
+  server_options.ring = [raw] {
+    std::lock_guard<std::mutex> lock(raw->mu_);
+    return raw->ring_.Serialize();
+  };
+  RELCOMP_ASSIGN_OR_RETURN(
+      member->server_,
+      NetServer::Start(member->services_[home].get(), self, server_options));
+  return member;
+}
+
+FabricMember::~FabricMember() {
+  Shutdown();
+  // The server loop thread calls the routing hooks, so it must be gone
+  // before the services (and this object's mutex) are.
+  server_.reset();
+  services_.clear();
+}
+
+Result<std::unique_ptr<DecisionService>> FabricMember::StartShardService(
+    size_t shard) {
+  DecisionServiceOptions service_options = options_.service_options;
+  service_options.store_options.fabric_root = options_.fabric_root;
+  service_options.store_options.shard_name = StrCat("shard-", shard);
+  return DecisionService::Start("", service_options);
+}
+
+Status FabricMember::PersistRingLocked() {
+  const std::string serialized = ring_.Serialize();
+  Status first = Status::OK();
+  for (auto& [shard, service] : services_) {
+    Status persisted =
+        service->mutable_store()->PersistControl(kRingControlKey, serialized);
+    // Best effort per shard: a crashed shard store cannot take the
+    // record, but the reassignment is already durable in the shards
+    // that could — the highest-epoch-wins merge tolerates laggards.
+    if (first.ok() && !persisted.ok() &&
+        persisted.code() != StatusCode::kFailedPrecondition) {
+      first = persisted;
+    }
+  }
+  return first;
+}
+
+Status FabricMember::AdoptShard(size_t shard) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("member is shut down");
+    }
+    if (shard >= ring_.num_shards()) {
+      return Status::InvalidArgument(
+          StrCat("shard ", shard, " out of range for ", ring_.num_shards(),
+                 " shards"));
+    }
+    if (services_.count(shard) > 0) {
+      return Status::OK();  // already ours — adoption is idempotent
+    }
+  }
+  // Open outside the lock: Start replays the shard's journal and
+  // resumes its jobs, which can take a while; routing for shards we
+  // already own must not stall behind it. The flock inside Open is the
+  // actual exclusion — if the old owner still lives, this fails
+  // kFailedPrecondition and nothing changed.
+  RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<DecisionService> service,
+                           StartShardService(shard));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fencing: the adopted shard may carry a newer ring than we hold
+  // (the dead member adopted something first, or drained and rejoined)
+  // — merge by epoch before bumping past it, so the reassignment we
+  // write outranks everything either party ever wrote.
+  Result<std::string> record =
+      service->mutable_store()->LoadControl(kRingControlKey);
+  if (record.ok()) {
+    Result<FabricRing> recorded = FabricRing::Deserialize(*record);
+    if (recorded.ok() && recorded->seed == ring_.seed &&
+        recorded->vnodes == ring_.vnodes &&
+        recorded->num_shards() == ring_.num_shards() &&
+        recorded->epoch > ring_.epoch) {
+      ring_ = *std::move(recorded);
+    }
+  }
+  ++ring_.epoch;
+  const std::string& self = options_.endpoints[options_.member_index];
+  for (const auto& [owned, unused] : services_) {
+    (void)unused;
+    ring_.endpoints[owned] = self;
+  }
+  ring_.endpoints[shard] = self;
+  recovered_jobs_ += service->RecoveredJobs().size();
+  services_[shard] = std::move(service);
+  return PersistRingLocked();
+}
+
+void FabricMember::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      // Departure precedes the listener closing: the durable record
+      // must say "no owner" before the last moment a peer or client
+      // could still reach us, so whoever adopts the shards next starts
+      // from an epoch that outranks our tenure.
+      ++ring_.epoch;
+      for (const auto& [shard, service] : services_) {
+        (void)service;
+        ring_.endpoints[shard] = std::string();
+      }
+      (void)PersistRingLocked();
+    }
+  }
+  if (server_) server_->Shutdown();
+}
+
+FabricRing FabricMember::ring() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+std::vector<size_t> FabricMember::owned_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<size_t> out;
+  out.reserve(services_.size());
+  for (const auto& [shard, service] : services_) {
+    (void)service;
+    out.push_back(shard);
+  }
+  return out;
+}
+
+DecisionService* FabricMember::shard_service(size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(shard);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+size_t FabricMember::recovered_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_jobs_;
+}
+
+}  // namespace relcomp

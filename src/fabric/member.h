@@ -1,0 +1,124 @@
+#ifndef RELCOMP_FABRIC_MEMBER_H_
+#define RELCOMP_FABRIC_MEMBER_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fabric/ring.h"
+#include "net/server.h"
+#include "service/decision_service.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Member configuration. The endpoint list doubles as the shard map:
+/// the fabric has endpoints.size() shards, shard i initially owned by
+/// the member listening on endpoints[i]. Every member of one fabric
+/// must be started with the SAME endpoints/seed/vnodes — they are the
+/// placement contract.
+struct FabricMemberOptions {
+  /// Root directory; shard s lives at <fabric_root>/shard-<s>.
+  std::string fabric_root;
+  /// This member's index into `endpoints` (== its home shard).
+  size_t member_index = 0;
+  /// All members' listen addresses, in shard order.
+  std::vector<std::string> endpoints;
+  uint64_t seed = FabricRing::kDefaultSeed;
+  uint32_t vnodes = FabricRing::kDefaultVnodes;
+  /// Applied to every shard service this member runs (store options
+  /// are overwritten with the shard addressing).
+  DecisionServiceOptions service_options;
+  NetServerOptions server_options;
+};
+
+/// One member of the sharded decision fabric: a NetServer plus the
+/// DecisionServices of every shard this member currently owns (its
+/// home shard, and any it adopted), routed by the consistent-hash
+/// ring.
+///
+/// Ownership and fencing:
+///  * A shard is owned by whoever holds the flock on its directory —
+///    the same exclusion a standalone store relies on. Adoption is
+///    just CheckpointStore::Open succeeding where the dead owner's
+///    kernel-released lock no longer blocks it; a zombie that still
+///    holds the lock makes AdoptShard fail kFailedPrecondition
+///    instead of double-serving.
+///  * Every ownership change bumps the ring epoch and persists the new
+///    ring as a control record in every owned shard. Clients and
+///    restarted members keep the highest epoch they see, so a stale
+///    owner can never win placement back by gossiping an old ring.
+///  * Startup recovery is the handoff mechanism: adopting a shard
+///    re-creates and resumes every in-flight job from its durable
+///    records, bit-for-bit (PR 3/4 guarantees), and its verdict cache
+///    rides along in the same directory.
+///
+/// Degradation: keys routed to a shard this member does not own are
+/// shed with kUnavailable naming the owner (retry_after_ms attached by
+/// the server), so a client with a stale ring gets a typed nudge, not
+/// a hang. Shutdown() drains gracefully: the ring departure (epoch
+/// bump, "" endpoints) is persisted BEFORE the listener closes, so the
+/// record outlives the socket.
+class FabricMember {
+ public:
+  static Result<std::unique_ptr<FabricMember>> Start(
+      const FabricMemberOptions& options);
+
+  ~FabricMember();
+  FabricMember(const FabricMember&) = delete;
+  FabricMember& operator=(const FabricMember&) = delete;
+
+  /// Resolved listen address of this member's server.
+  const std::string& address() const { return server_->address(); }
+
+  /// Adopts shard `shard` (a dead peer's directory): opens its store —
+  /// kFailedPrecondition while a live owner still holds the flock —
+  /// resumes its in-flight jobs, bumps the ring epoch, and persists
+  /// the reassignment to every owned shard.
+  Status AdoptShard(size_t shard);
+
+  /// Graceful drain: persist the ring departure, close the listener,
+  /// drain the shard services. Idempotent.
+  void Shutdown();
+
+  /// Snapshot of the member's current ring.
+  FabricRing ring() const;
+
+  /// Shards currently owned (sorted).
+  std::vector<size_t> owned_shards() const;
+
+  /// The service owning `shard`, or nullptr — tests use this to reach
+  /// per-shard counters (completed_order, corrupt_files_skipped).
+  DecisionService* shard_service(size_t shard);
+
+  NetServer* server() { return server_.get(); }
+
+  /// Jobs re-created from durable records across all owned shards,
+  /// including ones picked up by AdoptShard.
+  size_t recovered_jobs() const;
+
+ private:
+  FabricMember() = default;
+
+  /// Opens shard `shard`'s store/service with this member's options.
+  Result<std::unique_ptr<DecisionService>> StartShardService(size_t shard);
+  /// Persists ring_ as the control record of every owned shard.
+  /// Requires mu_ held.
+  Status PersistRingLocked();
+
+  FabricMemberOptions options_;
+  std::unique_ptr<NetServer> server_;
+
+  mutable std::mutex mu_;
+  FabricRing ring_;
+  std::map<size_t, std::unique_ptr<DecisionService>> services_;
+  size_t recovered_jobs_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_FABRIC_MEMBER_H_

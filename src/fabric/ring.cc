@@ -1,0 +1,177 @@
+#include "fabric/ring.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+constexpr char kRingMagic[] = "relcomp-fabric/1";
+
+/// Splits the next space-delimited field off `*text`.
+bool TakeField(std::string_view* text, std::string_view* field) {
+  size_t sp = text->find(' ');
+  if (sp == std::string_view::npos) return false;
+  *field = text->substr(0, sp);
+  text->remove_prefix(sp + 1);
+  return true;
+}
+
+bool ParseU64(std::string_view field, uint64_t* out) {
+  if (field.empty() || field.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - static_cast<uint64_t>(c - '0')) / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Consumes a "<len>:<bytes>" segment; the declared length is checked
+/// against what is actually present.
+bool TakeSized(std::string_view* text, std::string_view* out) {
+  size_t colon = text->find(':');
+  if (colon == std::string_view::npos) return false;
+  uint64_t len = 0;
+  if (!ParseU64(text->substr(0, colon), &len)) return false;
+  if (len > FabricRing::kMaxEndpointLength) return false;
+  text->remove_prefix(colon + 1);
+  if (text->size() < len) return false;
+  *out = text->substr(0, static_cast<size_t>(len));
+  text->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+Status Malformed(std::string_view why) {
+  return Status::InvalidArgument(
+      StrCat("malformed relcomp-fabric/1 ring (", why, ")"));
+}
+
+}  // namespace
+
+uint64_t FabricRing::Hash(uint64_t seed, std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (seed >> shift) & 0xFF;
+    h *= 0x100000001b3ull;
+  }
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // FNV-1a alone avalanches poorly into the high bits, and the ring
+  // partitions by exactly those bits — structured keys ("relcheck-
+  // <fp>-q<i>") would clump onto a few arcs. A murmur3-style finalizer
+  // fixes the spread; it is part of the placement contract like the
+  // rest of this function, so it can never change for existing roots.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+FabricRing FabricRing::Make(std::vector<std::string> endpoints,
+                            uint64_t seed, uint32_t vnodes) {
+  FabricRing ring;
+  ring.seed = seed;
+  ring.vnodes = vnodes == 0 ? 1 : vnodes;
+  ring.endpoints = std::move(endpoints);
+  return ring;
+}
+
+FabricRing FabricRing::Singleton(const std::string& address) {
+  return Make({address});
+}
+
+void FabricRing::EnsurePoints() const {
+  if (!points_.empty() && points_seed_ == seed &&
+      points_vnodes_ == vnodes && points_shards_ == endpoints.size()) {
+    return;
+  }
+  points_.clear();
+  points_.reserve(endpoints.size() * vnodes);
+  for (uint32_t s = 0; s < endpoints.size(); ++s) {
+    for (uint32_t v = 0; v < vnodes; ++v) {
+      points_.emplace_back(Hash(seed, StrCat("shard-", s, "#", v)), s);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+  points_seed_ = seed;
+  points_vnodes_ = vnodes;
+  points_shards_ = endpoints.size();
+}
+
+size_t FabricRing::ShardForKey(std::string_view key) const {
+  EnsurePoints();
+  const uint64_t h = Hash(seed, key);
+  // First ring point clockwise of the key's hash, wrapping at the top.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<uint64_t, uint32_t>& point, uint64_t value) {
+        return point.first < value;
+      });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+std::vector<size_t> FabricRing::OrphanedShards() const {
+  std::vector<size_t> out;
+  for (size_t s = 0; s < endpoints.size(); ++s) {
+    if (endpoints[s].empty()) out.push_back(s);
+  }
+  return out;
+}
+
+std::string FabricRing::Serialize() const {
+  std::string out =
+      StrCat(kRingMagic, " epoch ", epoch, " seed ", seed, " vnodes ",
+             vnodes, " shards ", endpoints.size(), " ");
+  for (const std::string& endpoint : endpoints) {
+    out += StrCat(endpoint.size(), ":", endpoint);
+  }
+  return out;
+}
+
+Result<FabricRing> FabricRing::Deserialize(std::string_view text) {
+  std::string_view magic, label, field;
+  if (!TakeField(&text, &magic) || magic != kRingMagic) {
+    return Malformed("bad magic");
+  }
+  FabricRing ring;
+  if (!TakeField(&text, &label) || label != "epoch" ||
+      !TakeField(&text, &field) || !ParseU64(field, &ring.epoch)) {
+    return Malformed("bad epoch");
+  }
+  if (!TakeField(&text, &label) || label != "seed" ||
+      !TakeField(&text, &field) || !ParseU64(field, &ring.seed)) {
+    return Malformed("bad seed");
+  }
+  uint64_t vnodes = 0;
+  if (!TakeField(&text, &label) || label != "vnodes" ||
+      !TakeField(&text, &field) || !ParseU64(field, &vnodes) ||
+      vnodes == 0 || vnodes > kMaxVnodes) {
+    return Malformed("bad vnodes");
+  }
+  ring.vnodes = static_cast<uint32_t>(vnodes);
+  uint64_t shards = 0;
+  if (!TakeField(&text, &label) || label != "shards" ||
+      !TakeField(&text, &field) || !ParseU64(field, &shards) ||
+      shards == 0 || shards > kMaxShards) {
+    return Malformed("bad shard count");
+  }
+  ring.endpoints.reserve(static_cast<size_t>(shards));
+  for (uint64_t s = 0; s < shards; ++s) {
+    std::string_view endpoint;
+    if (!TakeSized(&text, &endpoint)) return Malformed("bad endpoint segment");
+    ring.endpoints.emplace_back(endpoint);
+  }
+  if (!text.empty()) return Malformed("trailing bytes");
+  return ring;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,103 @@
+#ifndef RELCOMP_FABRIC_RING_H_
+#define RELCOMP_FABRIC_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Deterministic consistent-hash ring for the decision fabric.
+///
+/// The ring answers one question — which shard owns an idempotency
+/// key — and records one agreement: which endpoint currently serves
+/// each shard. The two have very different lifetimes:
+///
+///  * key → shard is FIXED for the fabric's whole life. It depends
+///    only on (seed, vnodes, shard count), all pinned at fabric
+///    creation, never on the endpoint assignment. Jobs are durable
+///    files inside their shard directory, so the mapping that placed
+///    them can never drift — a key resolves to the same shard before
+///    a crash, after a restart, and after the shard is adopted by a
+///    different member.
+///  * shard → endpoint is VERSIONED by `epoch`. Every reassignment —
+///    a member adopting a dead peer's shard, a graceful departure —
+///    bumps the epoch and persists the new ring as a control record in
+///    every shard the writer owns. Readers keep the highest epoch they
+///    have seen; a zombie owner can only ever present a stale (lower)
+///    epoch, so it can never win the placement argument ("fencing").
+///
+/// An empty endpoint string means the shard has no live owner: submits
+/// routed to it shed with a typed kUnavailable + retry hint until a
+/// member adopts it.
+///
+/// Serialized as a `relcomp-fabric/1` record. Deserialize accepts
+/// exactly what Serialize emits and rejects everything else with a
+/// typed kInvalidArgument — the record crosses the wire (ring op) and
+/// rests on disk (control record), both hostile surfaces.
+///
+/// Not thread-safe: the lookup table is built lazily on first use.
+/// Each holder keeps its own copy behind its own lock.
+class FabricRing {
+ public:
+  /// Fixed default hash seed — part of the placement contract, so it
+  /// must never change for an existing fabric root.
+  static constexpr uint64_t kDefaultSeed = 0x52434f4d50464142ull;
+  /// Ring points per shard. More points = smoother key balance.
+  static constexpr uint32_t kDefaultVnodes = 64;
+  /// Deserialize caps (hostile input never sizes an allocation).
+  static constexpr uint64_t kMaxShards = 1024;
+  static constexpr uint64_t kMaxVnodes = 4096;
+  static constexpr uint64_t kMaxEndpointLength = 512;
+
+  /// Placement-epoch version of the shard → endpoint assignment.
+  uint64_t epoch = 0;
+  uint64_t seed = kDefaultSeed;
+  uint32_t vnodes = kDefaultVnodes;
+  /// endpoints[s] serves shard s; "" = no live owner.
+  std::vector<std::string> endpoints;
+
+  /// A fabric of `endpoints.size()` shards, one per initial member.
+  static FabricRing Make(std::vector<std::string> endpoints,
+                         uint64_t seed = kDefaultSeed,
+                         uint32_t vnodes = kDefaultVnodes);
+
+  /// The one-server fabric: a standalone NetServer answers the ring op
+  /// with this, so a FabricClient can bootstrap off any endpoint.
+  static FabricRing Singleton(const std::string& address);
+
+  size_t num_shards() const { return endpoints.size(); }
+
+  /// The shard owning `key`. Depends only on (seed, vnodes,
+  /// num_shards) — NEVER on endpoints or epoch. Precondition:
+  /// num_shards() > 0.
+  size_t ShardForKey(std::string_view key) const;
+
+  /// Shards with no live owner ("" endpoint). Sorted.
+  std::vector<size_t> OrphanedShards() const;
+
+  /// relcomp-fabric/1 record text.
+  std::string Serialize() const;
+  static Result<FabricRing> Deserialize(std::string_view text);
+
+  /// FNV-1a 64 over `seed` then `data` — the ring's only hash,
+  /// exposed for the balance tests.
+  static uint64_t Hash(uint64_t seed, std::string_view data);
+
+ private:
+  /// (point hash, shard) pairs sorted by hash; rebuilt lazily when the
+  /// placement shape (seed, vnodes, shard count) changes.
+  mutable std::vector<std::pair<uint64_t, uint32_t>> points_;
+  mutable uint64_t points_seed_ = 0;
+  mutable uint32_t points_vnodes_ = 0;
+  mutable size_t points_shards_ = 0;
+  void EnsurePoints() const;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_FABRIC_RING_H_

@@ -34,9 +34,20 @@ int MsUntil(Clock::time_point deadline) {
 }  // namespace
 
 NetClient::NetClient(std::string address, NetClientOptions options)
-    : address_(std::move(address)),
-      options_(options),
-      jitter_(options.jitter_seed) {}
+    : options_(options), jitter_(options.jitter_seed) {
+  // Split the comma-separated failover list. Empty segments are
+  // dropped; a wholly empty address yields one empty endpoint whose
+  // connect attempt reports the usual typed error.
+  size_t pos = 0;
+  while (pos <= address.size()) {
+    size_t comma = address.find(',', pos);
+    if (comma == std::string::npos) comma = address.size();
+    std::string endpoint = address.substr(pos, comma - pos);
+    if (!endpoint.empty()) endpoints_.push_back(std::move(endpoint));
+    pos = comma + 1;
+  }
+  if (endpoints_.empty()) endpoints_.push_back(std::string());
+}
 
 NetClient::~NetClient() { Disconnect(); }
 
@@ -47,13 +58,20 @@ void NetClient::Disconnect() {
   }
 }
 
+void NetClient::RotateEndpoint() {
+  if (endpoints_.size() < 2) return;
+  active_ = (active_ + 1) % endpoints_.size();
+  ++stats_.failovers;
+}
+
 Status NetClient::EnsureConnected() {
   if (fd_ >= 0) return Status::OK();
+  const std::string& address = endpoints_[active_];
   int fd = -1;
-  if (address_.rfind("unix:", 0) == 0) {
-    std::string path = address_.substr(5);
+  if (address.rfind("unix:", 0) == 0) {
+    std::string path = address.substr(5);
     if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-      return Status::InvalidArgument(StrCat("bad unix address: ", address_));
+      return Status::InvalidArgument(StrCat("bad unix address: ", address));
     }
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return Transport("socket(unix)");
@@ -61,20 +79,20 @@ Status NetClient::EnsureConnected() {
     addr.sun_family = AF_UNIX;
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      Status st = Transport(StrCat("connect ", address_));
+      Status st = Transport(StrCat("connect ", address));
       ::close(fd);
       return st;
     }
-  } else if (address_.rfind("tcp:", 0) == 0) {
-    std::string rest = address_.substr(4);
+  } else if (address.rfind("tcp:", 0) == 0) {
+    std::string rest = address.substr(4);
     size_t colon = rest.rfind(':');
     if (colon == std::string::npos) {
-      return Status::InvalidArgument(StrCat("bad tcp address: ", address_));
+      return Status::InvalidArgument(StrCat("bad tcp address: ", address));
     }
     std::string ip = rest.substr(0, colon);
     int port = std::atoi(rest.c_str() + colon + 1);
     if (port <= 0 || port > 65535) {
-      return Status::InvalidArgument(StrCat("bad tcp port in: ", address_));
+      return Status::InvalidArgument(StrCat("bad tcp port in: ", address));
     }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -86,13 +104,13 @@ Status NetClient::EnsureConnected() {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return Transport("socket(tcp)");
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      Status st = Transport(StrCat("connect ", address_));
+      Status st = Transport(StrCat("connect ", address));
       ::close(fd);
       return st;
     }
   } else {
     return Status::InvalidArgument(
-        StrCat("address must start with unix: or tcp:, got ", address_));
+        StrCat("address must start with unix: or tcp:, got ", address));
   }
   fd_ = fd;
   ++stats_.connects;
@@ -184,28 +202,47 @@ Result<WireReply> NetClient::RoundTripOnce(const WireRequest& request) {
 }
 
 Result<WireReply> NetClient::Call(const WireRequest& request) {
+  const bool bounded = options_.call_deadline.count() > 0;
+  const Clock::time_point deadline = Clock::now() + options_.call_deadline;
+  // Sleeps never overshoot the caller deadline.
+  auto bounded_sleep = [&](uint64_t ms) {
+    if (bounded) ms = std::min<uint64_t>(ms, static_cast<uint64_t>(
+                                                 MsUntil(deadline)));
+    if (ms == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    ++stats_.backoff_waits;
+  };
   Status last = Status::OK();
   for (size_t attempt = 0;; ++attempt) {
     Result<WireReply> reply = RoundTripOnce(request);
     if (reply.ok()) {
-      // A typed kUnavailable reply (backend restarting) is retryable
-      // exactly like a transport failure — fall through to backoff.
+      // A typed kUnavailable reply (backend restarting, orphaned
+      // shard) is retryable exactly like a transport failure — but
+      // against the NEXT endpoint of a failover list, this one having
+      // just declared itself unable to serve.
       if (reply->code != StatusCode::kUnavailable) return reply;
       last = Status::Unavailable(reply->message);
+      if (endpoints_.size() > 1) Disconnect();
+      RotateEndpoint();
       if (options_.honor_retry_after && reply->retry_after_ms > 0 &&
           attempt < options_.max_retries) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(reply->retry_after_ms));
-        ++stats_.backoff_waits;
+        bounded_sleep(reply->retry_after_ms);
       }
     } else if (reply.status().code() == StatusCode::kUnavailable) {
       last = reply.status();
+      RotateEndpoint();
     } else {
       return reply.status();  // non-transport error: caller's problem
     }
     if (attempt >= options_.max_retries) {
       return Status::Unavailable(
           StrCat("giving up after ", attempt + 1, " attempts: ",
+                 last.message()));
+    }
+    if (bounded && Clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          StrCat("call deadline (", options_.call_deadline.count(),
+                 " ms) exceeded after ", attempt + 1, " attempts: ",
                  last.message()));
     }
     ++stats_.retries;
@@ -216,8 +253,7 @@ Result<WireReply> NetClient::Call(const WireRequest& request) {
     if (delay > 0) {
       delay = std::uniform_int_distribution<uint64_t>(delay / 2, delay)(
           jitter_);
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-      ++stats_.backoff_waits;
+      bounded_sleep(delay);
     }
   }
 }
@@ -254,6 +290,14 @@ Result<std::string> NetClient::ServerStatus() {
   return reply.message;
 }
 
+Result<std::string> NetClient::Ring() {
+  WireRequest req;
+  req.op = WireOp::kRing;
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  RELCOMP_RETURN_NOT_OK(reply.ToStatus());
+  return reply.message;
+}
+
 Result<WireReply> NetClient::AwaitTerminal(const std::string& key,
                                            std::chrono::milliseconds poll_interval,
                                            std::chrono::milliseconds limit) {
@@ -264,11 +308,13 @@ Result<WireReply> NetClient::AwaitTerminal(const std::string& key,
         reply->state == WireJobState::kDone) {
       return reply;
     }
-    // kUnavailable after exhausting Call's own retries: the server is
-    // down for longer than one backoff cycle — keep waiting here, the
-    // whole point is to span a restart. Other errors are terminal.
+    // kUnavailable (or a per-call deadline expiry) after exhausting
+    // Call's own retries: the server is down for longer than one
+    // backoff cycle — keep waiting here, the whole point is to span a
+    // restart; `limit` is the overall bound. Other errors are terminal.
     if (!reply.ok() &&
-        reply.status().code() != StatusCode::kUnavailable) {
+        reply.status().code() != StatusCode::kUnavailable &&
+        reply.status().code() != StatusCode::kDeadlineExceeded) {
       return reply.status();
     }
     if (reply.ok() && reply->code != StatusCode::kOk &&
@@ -276,7 +322,7 @@ Result<WireReply> NetClient::AwaitTerminal(const std::string& key,
       return reply->ToStatus();
     }
     if (Clock::now() >= deadline) {
-      return Status::Unavailable(
+      return Status::DeadlineExceeded(
           StrCat("job \"", key, "\" not terminal within ", limit.count(),
                  " ms"));
     }

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "net/wire.h"
 #include "service/decision_service.h"
@@ -35,6 +36,12 @@ struct NetClientOptions {
   /// Also honor server retry_after_ms hints (uses the larger of the
   /// hint and the computed backoff).
   bool honor_retry_after = true;
+  /// Caller deadline on one Call(): total wall time across every
+  /// attempt and backoff sleep. Once it elapses the call fails
+  /// kDeadlineExceeded instead of burning through the remaining retry
+  /// budget against endpoints that are all down. Zero = bounded only
+  /// by max_retries (the historical behavior).
+  std::chrono::milliseconds call_deadline{0};
 };
 
 /// Observability counters; monotonic for the client's lifetime.
@@ -43,6 +50,7 @@ struct NetClientStats {
   size_t connects = 0;      ///< sockets opened (1 + reconnects)
   size_t retries = 0;       ///< transport-level retries performed
   size_t backoff_waits = 0; ///< sleeps taken before a retry
+  size_t failovers = 0;     ///< endpoint rotations (multi-endpoint only)
 };
 
 /// Blocking request/reply client for a NetServer. One connection,
@@ -53,6 +61,13 @@ struct NetClientStats {
 /// keys, a retry after an ambiguous failure (reply lost after the
 /// server processed the request) is absorbed server-side: exactly-once
 /// submission effect over an at-least-once transport.
+///
+/// The address may be a comma-separated endpoint list
+/// ("unix:/a,unix:/b,tcp:127.0.0.1:9000"): the client talks to the
+/// first endpoint it can reach and fails over in list order — a
+/// transport failure or typed kUnavailable reply advances to the next
+/// endpoint on the following attempt, wrapping around. With one
+/// endpoint this degenerates to the historical reconnect-in-place.
 ///
 /// Not thread-safe: one NetClient per thread.
 class NetClient {
@@ -82,10 +97,25 @@ class NetClient {
   /// Polls `key` until it is terminal (state == done), sleeping
   /// `poll_interval` between probes, up to `limit`. Spans server
   /// restarts: kUnavailable and still-running polls both keep waiting.
+  /// kDeadlineExceeded once `limit` elapses without a terminal state.
   Result<WireReply> AwaitTerminal(
       const std::string& key,
       std::chrono::milliseconds poll_interval = std::chrono::milliseconds(5),
       std::chrono::milliseconds limit = std::chrono::milliseconds(60000));
+
+  /// Fetches the server's serialized relcomp-fabric/1 ring record (a
+  /// standalone server answers with a singleton ring naming itself).
+  Result<std::string> Ring();
+
+  /// The endpoint the next attempt will use (failover cursor).
+  const std::string& current_endpoint() const {
+    return endpoints_[active_];
+  }
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+
+  /// One request/reply exchange with retry/reconnect/backoff applied.
+  /// Public for the FabricClient, which routes raw requests itself.
+  Result<WireReply> Call(const WireRequest& request);
 
   /// Drops the current connection (the next call reconnects). Lets
   /// tests exercise the reconnect path explicitly.
@@ -94,8 +124,6 @@ class NetClient {
   const NetClientStats& stats() const { return stats_; }
 
  private:
-  /// One request/reply exchange with retry/reconnect/backoff applied.
-  Result<WireReply> Call(const WireRequest& request);
   /// One attempt: ensure connected, send the frame, read one reply
   /// frame. Any transport defect returns kUnavailable (and drops the
   /// connection).
@@ -106,7 +134,12 @@ class NetClient {
   /// Reads until the decoder yields one frame, within the deadline.
   Result<std::string> ReadFrame();
 
-  std::string address_;
+  /// Advances the failover cursor to the next endpoint (no-op with one).
+  void RotateEndpoint();
+
+  /// The configured endpoints, in failover order (never empty).
+  std::vector<std::string> endpoints_;
+  size_t active_ = 0;
   NetClientOptions options_;
   int fd_ = -1;
   NetClientStats stats_;

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "fabric/ring.h"
 #include "util/str.h"
 
 namespace relcomp {
@@ -438,10 +439,32 @@ bool NetServer::ProcessFrames(Conn* conn) {
 }
 
 WireReply NetServer::HandleRequest(const WireRequest& request) {
+  // Ring first, and outside the crashed() gate: placement discovery
+  // must work even while every backing service is down, or a client
+  // could never learn where a shard went.
+  if (request.op == WireOp::kRing) return HandleRing();
+  DecisionService* service = service_;
+  if (options_.route && request.op != WireOp::kStatus) {
+    Result<DecisionService*> routed = options_.route(request.key);
+    if (!routed.ok()) {
+      // Typed shed: a key whose shard this member does not own (or
+      // that no live member owns) is told so, with a retry hint when
+      // the condition is transient — never a hang, never a silent
+      // misplacement.
+      WireReply reply;
+      reply.code = routed.status().code();
+      reply.message = routed.status().message();
+      if (reply.code == StatusCode::kUnavailable) {
+        reply.retry_after_ms = options_.retry_after_ms;
+      }
+      return reply;
+    }
+    service = *routed;
+  }
   // A dead backend is the retryable condition par excellence: the
   // operator restarts the service, recovery resumes every in-flight
   // job, and the client's idempotency key reattaches to it.
-  if (service_->crashed()) {
+  if (service->crashed()) {
     WireReply reply;
     reply.code = StatusCode::kUnavailable;
     reply.message = "decision service is down (crashed or restarting)";
@@ -449,10 +472,11 @@ WireReply NetServer::HandleRequest(const WireRequest& request) {
     return reply;
   }
   switch (request.op) {
-    case WireOp::kSubmit: return HandleSubmit(request);
-    case WireOp::kPoll: return HandlePoll(request);
-    case WireOp::kCancel: return HandleCancel(request);
+    case WireOp::kSubmit: return HandleSubmit(service, request);
+    case WireOp::kPoll: return HandlePoll(service, request);
+    case WireOp::kCancel: return HandleCancel(service, request);
     case WireOp::kStatus: return HandleStatus();
+    case WireOp::kRing: break;  // handled above
   }
   WireReply reply;
   reply.code = StatusCode::kInternal;
@@ -460,7 +484,15 @@ WireReply NetServer::HandleRequest(const WireRequest& request) {
   return reply;
 }
 
-WireReply NetServer::HandleSubmit(const WireRequest& request) {
+WireReply NetServer::HandleRing() {
+  WireReply reply;
+  reply.message = options_.ring ? options_.ring()
+                                : FabricRing::Singleton(address_).Serialize();
+  return reply;
+}
+
+WireReply NetServer::HandleSubmit(DecisionService* service,
+                                  const WireRequest& request) {
   WireReply reply;
   Result<JobSpec> spec = JobSpec::Deserialize(request.job);
   if (!spec.ok()) {
@@ -472,7 +504,7 @@ WireReply NetServer::HandleSubmit(const WireRequest& request) {
   // failure (timeout, reset mid-reply) must never double-submit. The
   // serialized spec is the identity — same key + same bytes is the
   // same job, same key + different bytes is a collision.
-  Result<JobSpec> existing = service_->GetJobSpec(request.key);
+  Result<JobSpec> existing = service->GetJobSpec(request.key);
   if (existing.ok()) {
     if (existing->Serialize() == spec->Serialize()) {
       reply.message = "duplicate";
@@ -485,7 +517,7 @@ WireReply NetServer::HandleSubmit(const WireRequest& request) {
                            "\" is already bound to a different job");
     return reply;
   }
-  Status admitted = service_->Submit(request.key, *spec);
+  Status admitted = service->Submit(request.key, *spec);
   if (admitted.ok()) {
     reply.message = "admitted";
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -507,9 +539,10 @@ WireReply NetServer::HandleSubmit(const WireRequest& request) {
   return reply;
 }
 
-WireReply NetServer::HandlePoll(const WireRequest& request) {
+WireReply NetServer::HandlePoll(DecisionService* service,
+                                const WireRequest& request) {
   WireReply reply;
-  Result<DecisionService::JobPoll> poll = service_->Poll(request.key);
+  Result<DecisionService::JobPoll> poll = service->Poll(request.key);
   if (!poll.ok()) {
     reply.code = poll.status().code();
     reply.message = poll.status().message();
@@ -535,9 +568,10 @@ WireReply NetServer::HandlePoll(const WireRequest& request) {
   return reply;
 }
 
-WireReply NetServer::HandleCancel(const WireRequest& request) {
+WireReply NetServer::HandleCancel(DecisionService* service,
+                                  const WireRequest& request) {
   WireReply reply;
-  Status cancelled = service_->Cancel(request.key);
+  Status cancelled = service->Cancel(request.key);
   reply.code = cancelled.code();
   reply.message = cancelled.ok() ? "cancelled" : cancelled.message();
   if (cancelled.code() == StatusCode::kFailedPrecondition) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +48,18 @@ struct NetServerOptions {
   /// Outbound fault injection (tests and the fault benchmarks);
   /// replaceable at runtime via InjectFault.
   SocketFaultPlan fault;
+  /// Fabric hooks, both optional and both called on the loop thread.
+  /// `route` maps an idempotency key to the backing service for keyed
+  /// ops (submit/poll/cancel); unset = the single service passed to
+  /// Start. A route error becomes a typed reply — kUnavailable routes
+  /// (a shard with no live owner) carry retry_after_ms so the shed is
+  /// backpressure, never a hang. `ring` supplies the serialized
+  /// relcomp-fabric/1 record for the ring op; unset = a singleton ring
+  /// naming this server, so a FabricClient can bootstrap off any
+  /// endpoint. The ring op is answered even while the backend is
+  /// crashed — placement discovery must outlive any one service.
+  std::function<Result<DecisionService*>(const std::string& key)> route;
+  std::function<std::string()> ring;
 };
 
 /// Observability counters; all monotonic since Start.
@@ -137,10 +150,13 @@ class NetServer {
   bool ProcessFrames(Conn* conn);
   bool FlushWrites(Conn* conn);
   WireReply HandleRequest(const WireRequest& request);
-  WireReply HandleSubmit(const WireRequest& request);
-  WireReply HandlePoll(const WireRequest& request);
-  WireReply HandleCancel(const WireRequest& request);
+  WireReply HandleSubmit(DecisionService* service,
+                         const WireRequest& request);
+  WireReply HandlePoll(DecisionService* service, const WireRequest& request);
+  WireReply HandleCancel(DecisionService* service,
+                         const WireRequest& request);
   WireReply HandleStatus();
+  WireReply HandleRing();
   /// Frames `reply`, applies any armed fault, and buffers it on
   /// `conn`; returns false when the fault closed the connection.
   bool SendReply(Conn* conn, const WireReply& reply);

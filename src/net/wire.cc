@@ -82,6 +82,7 @@ constexpr CodeToken kCodeTokens[] = {
     {StatusCode::kFailedPrecondition, "failed_precondition"},
     {StatusCode::kInternal, "internal"},
     {StatusCode::kUnavailable, "unavailable"},
+    {StatusCode::kDeadlineExceeded, "deadline_exceeded"},
 };
 
 const char* CodeToToken(StatusCode code) {
@@ -178,6 +179,7 @@ const char* WireOpToString(WireOp op) {
     case WireOp::kPoll: return "poll";
     case WireOp::kCancel: return "cancel";
     case WireOp::kStatus: return "status";
+    case WireOp::kRing: return "ring";
   }
   return "?";
 }
@@ -204,13 +206,14 @@ Result<WireRequest> WireRequest::Deserialize(std::string_view text) {
   else if (op_field == "poll") req.op = WireOp::kPoll;
   else if (op_field == "cancel") req.op = WireOp::kCancel;
   else if (op_field == "status") req.op = WireOp::kStatus;
+  else if (op_field == "ring") req.op = WireOp::kRing;
   else return fail("unknown op");
   std::string_view key, job;
   if (!TakeSized(&text, &key)) return fail("bad key segment");
   if (!TakeSized(&text, &job)) return fail("bad job segment");
   if (!text.empty()) return fail("trailing bytes");
-  if (req.op == WireOp::kStatus) {
-    if (!key.empty()) return fail("status takes no key");
+  if (req.op == WireOp::kStatus || req.op == WireOp::kRing) {
+    if (!key.empty()) return fail("status/ring take no key");
   } else if (key.empty()) {
     return fail("missing idempotency key");
   }

@@ -78,9 +78,13 @@ class FrameDecoder {
 //            <verdict> <attempts> <persisted>
 //            <mlen>:<message><elen>:<evidence><xlen>:<exhaustion>
 //
-// ops: submit | poll | cancel | status. <key> is the client-chosen
-// idempotency key (a valid store request id); <job> is a serialized
-// JobSpec (submit only, empty otherwise). Every variable-length field
+// ops: submit | poll | cancel | status | ring. <key> is the
+// client-chosen idempotency key (a valid store request id); <job> is a
+// serialized JobSpec (submit only, empty otherwise). `ring` takes no
+// key and asks a fabric member for its serialized `relcomp-fabric/1`
+// ring record (returned in the reply's <message> segment; a standalone
+// server answers with a singleton ring naming itself, so a FabricClient
+// can bootstrap off any endpoint). Every variable-length field
 // is <len>:<bytes> framed, so keys, specs, and evidence may contain
 // spaces or newlines without escaping. Deserialize accepts exactly
 // what Serialize emits and rejects everything else with a typed
@@ -90,14 +94,14 @@ class FrameDecoder {
 inline constexpr char kMessageMagic[] = "relcomp-net/1";
 
 /// Request operation.
-enum class WireOp : uint8_t { kSubmit, kPoll, kCancel, kStatus };
+enum class WireOp : uint8_t { kSubmit, kPoll, kCancel, kStatus, kRing };
 
 const char* WireOpToString(WireOp op);
 
 struct WireRequest {
   WireOp op = WireOp::kStatus;
   /// Client-chosen idempotency key == the DecisionService request id.
-  /// Required for submit/poll/cancel; must be empty for status.
+  /// Required for submit/poll/cancel; must be empty for status/ring.
   std::string key;
   /// Serialized JobSpec (submit only; empty otherwise).
   std::string job;

@@ -51,6 +51,10 @@ std::string VrdPath(const std::string& dir, const std::string& id) {
   return StrCat(dir, "/", id, ".vrd");
 }
 
+std::string CtlPath(const std::string& dir, const std::string& id) {
+  return StrCat(dir, "/", id, ".ctl");
+}
+
 Status ErrnoStatus(std::string_view what, const std::string& path) {
   return Status::Internal(
       StrCat(what, " ", path, ": ", std::strerror(errno)));
@@ -162,21 +166,35 @@ uint32_t CheckpointStore::Crc32(std::string_view data) {
 
 Result<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
     const std::string& directory, const CheckpointStoreOptions& options) {
-  if (directory.empty()) {
+  std::string resolved = directory;
+  if (!options.fabric_root.empty()) {
+    if (!directory.empty()) {
+      return Status::InvalidArgument(
+          "pass either a store directory or fabric_root/shard_name, "
+          "not both");
+    }
+    if (!ValidRequestId(options.shard_name)) {
+      return Status::InvalidArgument(
+          StrCat("invalid shard name for fabric store: \"",
+                 options.shard_name, "\""));
+    }
+    resolved = StrCat(options.fabric_root, "/", options.shard_name);
+  }
+  if (resolved.empty()) {
     return Status::InvalidArgument("store directory must not be empty");
   }
-  RELCOMP_RETURN_NOT_OK(MakeDirs(directory));
+  RELCOMP_RETURN_NOT_OK(MakeDirs(resolved));
   std::unique_ptr<CheckpointStore> store(
-      new CheckpointStore(directory, options));
+      new CheckpointStore(resolved, options));
 
-  const std::string lock_path = StrCat(directory, "/", kLockFile);
+  const std::string lock_path = StrCat(resolved, "/", kLockFile);
   int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) return ErrnoStatus("open lock", lock_path);
   if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
     ::close(fd);
     if (errno == EWOULDBLOCK) {
       return Status::FailedPrecondition(
-          StrCat("checkpoint store ", directory,
+          StrCat("checkpoint store ", resolved,
                  " is locked by another live owner; refusing to "
                  "interleave generations"));
     }
@@ -338,7 +356,9 @@ Result<std::string> CheckpointStore::ReadRecord(
 //
 // ops: "ckpt" (a generation became durable), "job" (a job record
 // became durable), "done" (the request completed and its files were
-// removed). The per-line CRC covers "<op> <id> <gen>"; replay ignores
+// removed), "vrd"/"vgone" (a verdict record appeared/vanished), "ctl"
+// (a control record — e.g. the fabric ring — became durable). The
+// per-line CRC covers "<op> <id> <gen>"; replay ignores
 // any line that fails it — a crash mid-append tears at most the final
 // line.
 
@@ -394,6 +414,9 @@ Status CheckpointStore::MaybeCompactJournalLocked() {
   }
   for (const auto& [id, live] : has_verdict_) {
     if (live) emit("vrd", id, 0);
+  }
+  for (const auto& [id, live] : has_control_) {
+    if (live) emit("ctl", id, 0);
   }
   // Same crash-atomicity dance as record files: a kill before the
   // rename leaves the old journal plus tmp garbage (the directory scan
@@ -482,6 +505,8 @@ Status CheckpointStore::ReplayJournal() {
       has_job_[request_id] = true;
     } else if (op == "vrd") {
       has_verdict_[request_id] = true;
+    } else if (op == "ctl") {
+      has_control_[request_id] = true;
     } else if (op == "vgone") {
       has_verdict_.erase(request_id);
     } else if (op == "done") {
@@ -516,6 +541,10 @@ Status CheckpointStore::ScanDirectory() {
     }
     if (name.size() > 4 && name.substr(name.size() - 4) == ".vrd") {
       has_verdict_[std::string(name.substr(0, name.size() - 4))] = true;
+      continue;
+    }
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".ctl") {
+      has_control_[std::string(name.substr(0, name.size() - 4))] = true;
       continue;
     }
     if (name.size() > 5 && name.substr(name.size() - 5) == ".ckpt") {
@@ -732,6 +761,47 @@ std::vector<std::string> CheckpointStore::VerdictKeys() const {
   std::vector<std::string> out;
   out.reserve(has_verdict_.size());
   for (const auto& [id, live] : has_verdict_) {
+    if (live) out.push_back(id);
+  }
+  return out;
+}
+
+Status CheckpointStore::PersistControl(const std::string& key,
+                                       const std::string& payload) {
+  if (!ValidRequestId(key)) {
+    return Status::InvalidArgument(
+        StrCat("invalid control key for store: \"", key, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(
+      WriteRecord(CtlPath(dir_, key), "ctl", key, 0, payload));
+  has_control_[key] = true;
+  return AppendJournal("ctl", key, 0);
+}
+
+Result<std::string> CheckpointStore::LoadControl(
+    const std::string& key) const {
+  if (!ValidRequestId(key)) {
+    return Status::InvalidArgument(
+        StrCat("invalid control key for store: \"", key, "\""));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  Result<std::string> payload =
+      ReadRecord(CtlPath(dir_, key), "ctl", key, 0);
+  if (!payload.ok() &&
+      payload.status().code() == StatusCode::kInvalidArgument) {
+    ++corrupt_files_skipped_;
+  }
+  return payload;
+}
+
+std::vector<std::string> CheckpointStore::ControlKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(has_control_.size());
+  for (const auto& [id, live] : has_control_) {
     if (live) out.push_back(id);
   }
   return out;

@@ -34,6 +34,16 @@ struct CheckpointStoreOptions {
   /// a kill at any byte of the compaction leaves either the old
   /// journal or the new one, never a mix. 0 disables compaction.
   size_t journal_compaction_threshold = 1024;
+  /// Fabric shard addressing. When `fabric_root` is non-empty the store
+  /// opens the named shard directory `<fabric_root>/<shard_name>`
+  /// instead of the `directory` argument to Open() (which must then be
+  /// empty). `shard_name` obeys the same character set as request ids,
+  /// so a hostile shard name can never escape the fabric root. Each
+  /// shard keeps the full flock-exclusive + crash-atomic contract of a
+  /// standalone store directory — the fabric's handoff safety rests on
+  /// exactly that per-shard exclusion.
+  std::string fabric_root;
+  std::string shard_name;
 };
 
 /// Durable, directory-scoped checkpoint store.
@@ -147,6 +157,22 @@ class CheckpointStore {
   /// Keys with a live verdict record. Sorted.
   std::vector<std::string> VerdictKeys() const;
 
+  /// Durably writes an opaque control record under `key` and journals
+  /// it, overwriting any previous record for the key. The fabric
+  /// journals its `relcomp-fabric/1` ring epoch here so every shard
+  /// carries the placement agreement across restarts and handoffs;
+  /// like verdicts, control records have no generations and are
+  /// untouched by Forget().
+  Status PersistControl(const std::string& key, const std::string& payload);
+
+  /// Loads the control record for `key`. kNotFound if none;
+  /// kInvalidArgument (counted in corrupt_files_skipped()) if the file
+  /// fails integrity.
+  Result<std::string> LoadControl(const std::string& key) const;
+
+  /// Keys with a live control record. Sorted.
+  std::vector<std::string> ControlKeys() const;
+
   const std::string& directory() const { return dir_; }
 
   /// Files that failed integrity and were skipped by loads so far —
@@ -204,6 +230,8 @@ class CheckpointStore {
   std::map<std::string, bool> has_job_;
   /// Keys with a live verdict record.
   std::map<std::string, bool> has_verdict_;
+  /// Keys with a live control record.
+  std::map<std::string, bool> has_control_;
   size_t journal_lines_skipped_ = 0;
   size_t journal_entries_ = 0;
   size_t journal_compactions_ = 0;

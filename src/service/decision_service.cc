@@ -164,8 +164,9 @@ Result<std::unique_ptr<DecisionService>> DecisionService::Start(
     const std::string& store_directory,
     const DecisionServiceOptions& options) {
   std::unique_ptr<DecisionService> service(new DecisionService(options));
-  RELCOMP_ASSIGN_OR_RETURN(service->store_,
-                           CheckpointStore::Open(store_directory));
+  RELCOMP_ASSIGN_OR_RETURN(
+      service->store_,
+      CheckpointStore::Open(store_directory, options.store_options));
   service->paused_ = options.start_paused;
   if (options.enable_verdict_cache) {
     service->verdict_cache_ =

@@ -120,6 +120,10 @@ struct DecisionServiceOptions {
   /// and then simulates the kill. Sweeping the point over [0, total)
   /// proves recovery from every interruption position. Not owned.
   const FaultInjector* fault_injector = nullptr;
+  /// Passed through to CheckpointStore::Open. The fabric uses the
+  /// fabric_root/shard_name pair here to park each member's service on
+  /// a named shard; Start()'s store_directory must then be empty.
+  CheckpointStoreOptions store_options;
 };
 
 /// Crash-recoverable decision service.
@@ -213,6 +217,11 @@ class DecisionService {
   size_t checkpoints_persisted() const;
 
   const CheckpointStore& store() const { return *store_; }
+
+  /// Mutable store access for co-owners of the shard — the fabric
+  /// journals its ring control record through here so the placement
+  /// epoch rides the same crash-atomic store as the jobs it governs.
+  CheckpointStore* mutable_store() { return store_.get(); }
 
   /// Jobs answered from the verdict cache without running a search.
   size_t verdicts_served_from_cache() const;

@@ -36,6 +36,12 @@ enum class StatusCode {
   /// with backoff — the network client does exactly that, keyed by
   /// idempotency keys so a retry never double-submits.
   kUnavailable,
+  /// A caller-supplied wall-clock deadline elapsed before the operation
+  /// could complete (every endpoint down past the deadline, a job not
+  /// terminal within the await limit). Unlike kUnavailable this is a
+  /// terminal answer for the caller's attempt: retrying immediately
+  /// cannot succeed within the same deadline.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +80,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

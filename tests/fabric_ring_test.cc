@@ -1,0 +1,174 @@
+// The consistent-hash ring: placement determinism (the property every
+// durable job's life depends on), balance, epoch/endpoint independence,
+// and the relcomp-fabric/1 codec against a hostile corpus — the record
+// crosses the wire and rests on disk, so Deserialize must reject every
+// malformed byte string with a typed error, never a crash or an
+// unbounded allocation.
+
+#include "fabric/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+std::vector<std::string> Endpoints(size_t n) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(StrCat("unix:/m", i, ".sock"));
+  return out;
+}
+
+TEST(FabricRingTest, PlacementIsDeterministic) {
+  FabricRing a = FabricRing::Make(Endpoints(3));
+  FabricRing b = FabricRing::Make(Endpoints(3));
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = StrCat("relcheck-", i, "-q", i % 7);
+    EXPECT_EQ(a.ShardForKey(key), b.ShardForKey(key)) << key;
+    EXPECT_LT(a.ShardForKey(key), 3u);
+  }
+}
+
+TEST(FabricRingTest, PlacementIgnoresEndpointsAndEpoch) {
+  // key → shard must survive every reassignment: jobs are durable
+  // files inside their shard directory, and the mapping that placed
+  // them can never drift.
+  FabricRing before = FabricRing::Make(Endpoints(3));
+  FabricRing after = before;
+  after.epoch = 17;
+  after.endpoints[0] = "";                      // owner died
+  after.endpoints[1] = "unix:/elsewhere.sock";  // shard adopted
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = StrCat("job-", i);
+    EXPECT_EQ(before.ShardForKey(key), after.ShardForKey(key)) << key;
+  }
+}
+
+TEST(FabricRingTest, PlacementDependsOnSeedAndVnodes) {
+  FabricRing base = FabricRing::Make(Endpoints(3));
+  FabricRing reseeded = FabricRing::Make(Endpoints(3), /*seed=*/12345);
+  FabricRing revnoded =
+      FabricRing::Make(Endpoints(3), FabricRing::kDefaultSeed, /*vnodes=*/7);
+  size_t moved_seed = 0;
+  size_t moved_vnodes = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = StrCat("job-", i);
+    if (base.ShardForKey(key) != reseeded.ShardForKey(key)) ++moved_seed;
+    if (base.ShardForKey(key) != revnoded.ShardForKey(key)) ++moved_vnodes;
+  }
+  // A different placement contract is a different fabric.
+  EXPECT_GT(moved_seed, 0u);
+  EXPECT_GT(moved_vnodes, 0u);
+}
+
+TEST(FabricRingTest, KeysBalanceAcrossShards) {
+  FabricRing ring = FabricRing::Make(Endpoints(3));
+  std::map<size_t, size_t> counts;
+  const int kKeys = 3000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ring.ShardForKey(StrCat("relcheck-", i, "-q1"))];
+  }
+  ASSERT_EQ(counts.size(), 3u) << "some shard received no keys";
+  for (const auto& [shard, count] : counts) {
+    // 64 vnodes per shard keeps the spread well inside 2x of fair.
+    EXPECT_GT(count, kKeys / 6) << "shard " << shard << " starved";
+    EXPECT_LT(count, kKeys * 2 / 3) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(FabricRingTest, SingletonRoutesEverythingToTheOneShard) {
+  FabricRing ring = FabricRing::Singleton("unix:/solo.sock");
+  ASSERT_EQ(ring.num_shards(), 1u);
+  EXPECT_EQ(ring.endpoints[0], "unix:/solo.sock");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ring.ShardForKey(StrCat("k", i)), 0u);
+  }
+}
+
+TEST(FabricRingTest, OrphanedShardsListsUnownedOnly) {
+  FabricRing ring = FabricRing::Make(Endpoints(4));
+  EXPECT_TRUE(ring.OrphanedShards().empty());
+  ring.endpoints[1].clear();
+  ring.endpoints[3].clear();
+  EXPECT_EQ(ring.OrphanedShards(), (std::vector<size_t>{1, 3}));
+}
+
+TEST(FabricRingTest, SerializeRoundTrips) {
+  FabricRing ring = FabricRing::Make(Endpoints(3), /*seed=*/99, /*vnodes=*/8);
+  ring.epoch = 42;
+  ring.endpoints[1] = "";  // orphaned shards must survive the codec
+  auto parsed = FabricRing::Deserialize(ring.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->epoch, 42u);
+  EXPECT_EQ(parsed->seed, 99u);
+  EXPECT_EQ(parsed->vnodes, 8u);
+  EXPECT_EQ(parsed->endpoints, ring.endpoints);
+  EXPECT_EQ(parsed->Serialize(), ring.Serialize());
+}
+
+TEST(FabricRingTest, RoundTripPreservesPlacement) {
+  FabricRing ring = FabricRing::Make(Endpoints(2));
+  auto parsed = FabricRing::Deserialize(ring.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = StrCat("job-", i);
+    EXPECT_EQ(ring.ShardForKey(key), parsed->ShardForKey(key));
+  }
+}
+
+TEST(FabricRingTest, DeserializeRejectsHostileCorpus) {
+  const std::string good = FabricRing::Make(Endpoints(2)).Serialize();
+  const std::vector<std::string> corpus = {
+      "",
+      "garbage",
+      "relcomp-fabric/2 epoch 0 seed 1 vnodes 4 shards 1 1:a",  // version
+      "relcomp-fabric/1",                                        // truncated
+      "relcomp-fabric/1 epoch",                                  // no value
+      "relcomp-fabric/1 epoch x seed 1 vnodes 4 shards 1 1:a",   // non-num
+      "relcomp-fabric/1 seed 1 epoch 0 vnodes 4 shards 1 1:a",   // disorder
+      "relcomp-fabric/1 epoch 0 seed 1 vnodes 4 shards 2 1:a",   // missing ep
+      "relcomp-fabric/1 epoch 0 seed 1 vnodes 4 shards 1 9:a",   // short seg
+      "relcomp-fabric/1 epoch 0 seed 1 vnodes 4 shards 1 1:ab",  // trailing
+      good + "x",                                                // trailing
+      // Hostile sizes must be refused before they size anything.
+      "relcomp-fabric/1 epoch 0 seed 1 vnodes 4 shards 99999999 1:a",
+      "relcomp-fabric/1 epoch 0 seed 1 vnodes 99999999 shards 1 1:a",
+      StrCat("relcomp-fabric/1 epoch 0 seed 1 vnodes 4 shards 1 9999:",
+             std::string(9999, 'a')),  // endpoint over the length cap
+  };
+  for (const std::string& text : corpus) {
+    auto parsed = FabricRing::Deserialize(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text.substr(0, 60);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << text.substr(0, 60);
+    }
+  }
+}
+
+TEST(FabricRingTest, DeserializeAcceptsEmptyEndpoints) {
+  // "" endpoints are legal (no live owner) — only oversize ones are not.
+  FabricRing ring = FabricRing::Make(Endpoints(2));
+  ring.endpoints[0].clear();
+  ring.endpoints[1].clear();
+  auto parsed = FabricRing::Deserialize(ring.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->OrphanedShards(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(FabricRingTest, HashIsSeededFnv) {
+  // Pin the hash: changing it re-places every key of every existing
+  // fabric root, which the placement contract forbids.
+  EXPECT_NE(FabricRing::Hash(0, "a"), FabricRing::Hash(1, "a"));
+  EXPECT_NE(FabricRing::Hash(0, "a"), FabricRing::Hash(0, "b"));
+  EXPECT_EQ(FabricRing::Hash(7, "shard-0#1"), FabricRing::Hash(7, "shard-0#1"));
+}
+
+}  // namespace
+}  // namespace relcomp
