@@ -15,11 +15,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -177,6 +179,86 @@ void AppendConfigJson(std::string* json, const Measured& m) {
   *json += "    }";
 }
 
+/// The handoff-under-load row: live traffic through a 3-member fabric
+/// while shard 0 is handed off to its neighbor mid-stream. Reports
+/// sustained ops/s across the whole run, the switch-window length (how
+/// long HandoffShard held the shard out of service), and how many
+/// kUnavailable-driven endpoint rotations the client ate absorbing it.
+struct HandoffMeasured {
+  size_t ops = 0;
+  double ops_per_second = 0;
+  double switch_window_ms = 0;
+  size_t failovers = 0;       ///< the kUnavailable count during the run
+  size_t ring_refreshes = 0;
+};
+
+HandoffMeasured MeasureHandoffUnderLoad() {
+  using Clock = std::chrono::steady_clock;
+  Fabric fabric = StartFabric(3, "handoff");
+  const JobSpec job = GridJob();
+  BatchRound(fabric.client.get(), job, "handoffwarm", 999100, 6);
+  const size_t failovers_before = fabric.client->stats().failovers;
+  const size_t refreshes_before = fabric.client->stats().ring_refreshes;
+
+  // Traffic runs on this thread; the handoff fires member-side from a
+  // second thread a third of the way in, exactly as an operator would
+  // drive it while the fabric serves.
+  const double run_ns = 3e9;
+  std::atomic<double> window_ns{0};
+  std::thread mover;
+  bool fired = false;
+  size_t ops = 0;
+  const Clock::time_point t0 = Clock::now();
+  for (;;) {
+    const double elapsed = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    if (elapsed >= run_ns) break;
+    if (!fired && elapsed > run_ns / 3) {
+      fired = true;
+      mover = std::thread([&fabric, &window_ns] {
+        const Clock::time_point h0 = Clock::now();
+        CheckOk(fabric.members[0]->HandoffShard(0, fabric.endpoints[1]),
+                "planned handoff");
+        window_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - h0)
+                .count());
+      });
+    }
+    auto reply =
+        fabric.client->SubmitAndAwait(StrCat("bench-hol-", ops), job);
+    CheckOk(reply.status(), "handoff-under-load op");
+    benchmark::DoNotOptimize(reply->evidence.size());
+    ++ops;
+  }
+  if (mover.joinable()) mover.join();
+
+  HandoffMeasured m;
+  m.ops = ops;
+  m.ops_per_second = static_cast<double>(ops) * 1e9 / run_ns;
+  m.switch_window_ms = window_ns / 1e6;
+  m.failovers = fabric.client->stats().failovers - failovers_before;
+  m.ring_refreshes = fabric.client->stats().ring_refreshes - refreshes_before;
+  StopFabric(&fabric);
+  return m;
+}
+
+void AppendHandoffJson(std::string* json, const HandoffMeasured& m) {
+  char ops[32], window[32];
+  std::snprintf(ops, sizeof(ops), "%.2f", m.ops_per_second);
+  std::snprintf(window, sizeof(window), "%.2f", m.switch_window_ms);
+  *json += "  \"handoff_under_load\": {\n";
+  *json += "    \"members\": 3,\n";
+  *json += StrCat("    \"ops_completed\": ", m.ops, ",\n");
+  *json += StrCat("    \"ops_per_second\": ", ops, ",\n");
+  *json += StrCat("    \"switch_window_ms\": ", window, ",\n");
+  *json += StrCat("    \"client_failovers\": ", m.failovers, ",\n");
+  *json += StrCat("    \"ring_refreshes\": ", m.ring_refreshes, "\n");
+  *json += "  },\n";
+}
+
 /// Measures members ∈ {1,2,3} with interleaved rounds and writes
 /// BENCH_fabric.json. Output path overridable via
 /// RELCOMP_BENCH_FABRIC_JSON.
@@ -242,6 +324,7 @@ void WriteFabricJson() {
     json += c + 1 < measured.size() ? ",\n" : "\n";
   }
   json += "  },\n";
+  AppendHandoffJson(&json, MeasureHandoffUnderLoad());
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2f", scaling);
   json += StrCat("  \"scaling_3_members_vs_1\": ", buf, "\n");

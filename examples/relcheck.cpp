@@ -90,6 +90,7 @@
 #include "eval/query_eval.h"
 #include "fabric/fabric_client.h"
 #include "fabric/member.h"
+#include "fabric/rebalancer.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "service/checkpoint_store.h"
@@ -120,9 +121,36 @@ void Usage() {
          "                [--serve ADDR,ADDR,...] [--workers N]\n"
          "       relcheck --connect ADDR[,ADDR,...] <spec-file>\n"
          "                [--deadline-ms N]\n"
+         "       relcheck --connect ADDR[,ADDR,...] --handoff SHARD:ADDR\n"
+         "       relcheck --connect ADDR[,ADDR,...] --drain ADDR\n"
          "ADDR: unix:<path> | tcp:<ipv4>:<port>\n"
+         "--auth-key-file FILE arms frame authentication (serve, fabric\n"
+         "and connect modes; every party needs the same key)\n"
+         "--handoff asks SHARD's owner for a planned live handoff to the\n"
+         "named successor; --drain hands every shard owned by ADDR to\n"
+         "the remaining members, one planned handoff at a time\n"
          "exit: 0 complete, 1 incomplete, 2 unknown/exhausted, 3 error"
       << std::endl;
+}
+
+/// Reads the shared fabric secret from `path`, trimming one trailing
+/// newline (editors add one; a key file is bytes, not a text line).
+relcomp::Result<std::string> ReadAuthKeyFile(const std::string& path) {
+  using namespace relcomp;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot read auth key file: ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string key = buffer.str();
+  if (!key.empty() && key.back() == '\n') key.pop_back();
+  if (!key.empty() && key.back() == '\r') key.pop_back();
+  if (key.empty()) {
+    return Status::InvalidArgument(
+        StrCat("auth key file ", path, " is empty"));
+  }
+  return key;
 }
 
 volatile std::sig_atomic_t g_stop_requested = 0;
@@ -131,7 +159,7 @@ void HandleStopSignal(int) { g_stop_requested = 1; }
 /// Serve mode: a DecisionService over the store directory, fronted by
 /// a NetServer, running until SIGINT/SIGTERM, then drained.
 int RunServer(const std::string& address, const std::string& store_dir,
-              size_t workers) {
+              size_t workers, const std::string& auth_key) {
   using namespace relcomp;
   DecisionServiceOptions options;
   options.num_workers = workers;
@@ -144,7 +172,9 @@ int RunServer(const std::string& address, const std::string& store_dir,
   for (const std::string& id : (*service)->RecoveredJobs()) {
     std::cout << "recovered in-flight job: " << id << "\n";
   }
-  auto server = NetServer::Start(service->get(), address);
+  NetServerOptions server_options;
+  server_options.auth_key = auth_key;
+  auto server = NetServer::Start(service->get(), address, server_options);
   if (!server.ok()) return Fail(server.status());
   std::cout << "relcheck serving on " << (*server)->address()
             << " (store: " << store_dir << ", workers: " << workers
@@ -186,7 +216,7 @@ std::vector<std::string> SplitEndpoints(const std::string& list) {
 /// ring departure is journaled before the listeners close).
 int RunFabric(const std::string& fabric_root, long members,
               long member_index, const std::string& serve_list,
-              size_t workers) {
+              size_t workers, const std::string& auth_key) {
   using namespace relcomp;
   if (members < 1) {
     Usage();
@@ -232,6 +262,7 @@ int RunFabric(const std::string& fabric_root, long members,
     // after a kill landed between completion and the client's poll) is
     // answered from the journaled verdict, bit-for-bit.
     options.service_options.enable_verdict_cache = true;
+    options.server_options.auth_key = auth_key;
     auto member = FabricMember::Start(options);
     if (!member.ok()) return Fail(member.status());
     for (size_t shard : (*member)->owned_shards()) {
@@ -265,7 +296,7 @@ int RunFabric(const std::string& fabric_root, long members,
 /// the same spec against the same server (even across server restarts)
 /// reattaches to the same jobs instead of resubmitting.
 int RunClient(const std::string& address, const std::string& spec_path,
-              long deadline_ms) {
+              long deadline_ms, const std::string& auth_key) {
   using namespace relcomp;
   std::ifstream in(spec_path);
   if (!in) {
@@ -323,7 +354,9 @@ int RunClient(const std::string& address, const std::string& spec_path,
     // Multi-endpoint: route by the consistent-hash ring (a standalone
     // server answers a singleton ring, so this shape needs no fabric)
     // and survive the loss of any single member mid-audit.
-    FabricClient client(SplitEndpoints(address));
+    FabricClientOptions fabric_options;
+    fabric_options.endpoint_options.auth_key = auth_key;
+    FabricClient client(SplitEndpoints(address), fabric_options);
     for (size_t i = 0; i < spec->queries.size(); ++i) {
       Status submitted = client.Submit(make_key(i), make_job(i));
       if (!submitted.ok()) return Fail(submitted);
@@ -347,7 +380,9 @@ int RunClient(const std::string& address, const std::string& spec_path,
     return exit_code;
   }
 
-  NetClient client(address);
+  NetClientOptions client_options;
+  client_options.auth_key = auth_key;
+  NetClient client(address, client_options);
   for (size_t i = 0; i < spec->queries.size(); ++i) {
     Status submitted = client.Submit(make_key(i), make_job(i));
     if (!submitted.ok()) return Fail(submitted);
@@ -363,6 +398,55 @@ int RunClient(const std::string& address, const std::string& spec_path,
     std::cout << "(transport retries: " << client.stats().retries << ")\n";
   }
   return exit_code;
+}
+
+/// Fabric-operation mode: --handoff SHARD:ADDR asks the shard's owner
+/// for one planned live handoff; --drain ADDR plans and executes the
+/// handoff sequence that empties that member.
+int RunFabricOp(const std::string& address, const std::string& handoff_arg,
+                const std::string& drain_arg, const std::string& auth_key) {
+  using namespace relcomp;
+  FabricClientOptions options;
+  options.endpoint_options.auth_key = auth_key;
+  FabricClient client(SplitEndpoints(address), options);
+  Status refreshed = client.RefreshRing();
+  if (!refreshed.ok()) return Fail(refreshed);
+
+  if (!handoff_arg.empty()) {
+    const size_t colon = handoff_arg.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= handoff_arg.size()) {
+      return Fail(Status::InvalidArgument(
+          StrCat("--handoff wants SHARD:ADDR, got \"", handoff_arg, "\"")));
+    }
+    char* end = nullptr;
+    const unsigned long shard =
+        std::strtoul(handoff_arg.substr(0, colon).c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Fail(Status::InvalidArgument(
+          StrCat("--handoff shard \"", handoff_arg.substr(0, colon),
+                 "\" is not a number")));
+    }
+    const std::string successor = handoff_arg.substr(colon + 1);
+    Status done = client.HandoffShard(shard, successor);
+    if (!done.ok()) return Fail(done);
+    std::cout << "shard " << shard << " handed off to " << successor
+              << " (ring epoch " << client.ring().epoch << ")\n";
+    return kExitComplete;
+  }
+
+  RebalancePlan plan = PlanDrain(client.ring(), drain_arg);
+  if (plan.empty()) {
+    std::cout << "nothing to drain: " << drain_arg
+              << " owns no shards (or has no peer to take them)\n";
+    return kExitComplete;
+  }
+  std::cout << "drain plan for " << drain_arg << ":\n" << plan.Describe();
+  Status done = ExecutePlan(&client, plan);
+  if (!done.ok()) return Fail(done);
+  std::cout << plan.moves.size() << " shard(s) handed off (ring epoch "
+            << client.ring().epoch << ")\n";
+  return kExitComplete;
 }
 
 }  // namespace
@@ -384,6 +468,9 @@ int main(int argc, char** argv) {
   long workers = 1;
   long members = 0;
   long member_index = -1;
+  std::string auth_key_file;
+  std::string handoff_arg;
+  std::string drain_arg;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rcqp") == 0) {
       run_rcqp = true;
@@ -413,12 +500,25 @@ int main(int argc, char** argv) {
       members = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--member-index") == 0 && i + 1 < argc) {
       member_index = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--auth-key-file") == 0 && i + 1 < argc) {
+      auth_key_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--handoff") == 0 && i + 1 < argc) {
+      handoff_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--drain") == 0 && i + 1 < argc) {
+      drain_arg = argv[++i];
     } else if (argv[i][0] == '-') {
       Usage();
       return kExitError;
     } else {
       path = argv[i];
     }
+  }
+
+  std::string auth_key;
+  if (!auth_key_file.empty()) {
+    auto key = ReadAuthKeyFile(auth_key_file);
+    if (!key.ok()) return Fail(key.status());
+    auth_key = *std::move(key);
   }
 
   if (!fabric_root.empty()) {
@@ -428,7 +528,7 @@ int main(int argc, char** argv) {
       return kExitError;
     }
     return RunFabric(fabric_root, members, member_index, serve_address,
-                     static_cast<size_t>(workers));
+                     static_cast<size_t>(workers), auth_key);
   }
   if (!serve_address.empty()) {
     if (store_dir.empty() || !path.empty() || workers < 1) {
@@ -436,14 +536,21 @@ int main(int argc, char** argv) {
       return kExitError;
     }
     return RunServer(serve_address, store_dir,
-                     static_cast<size_t>(workers));
+                     static_cast<size_t>(workers), auth_key);
   }
   if (!connect_address.empty()) {
+    if (!handoff_arg.empty() || !drain_arg.empty()) {
+      if (!path.empty() || (!handoff_arg.empty() && !drain_arg.empty())) {
+        Usage();
+        return kExitError;
+      }
+      return RunFabricOp(connect_address, handoff_arg, drain_arg, auth_key);
+    }
     if (path.empty()) {
       Usage();
       return kExitError;
     }
-    return RunClient(connect_address, path, deadline_ms);
+    return RunClient(connect_address, path, deadline_ms, auth_key);
   }
   if (path.empty()) {
     Usage();

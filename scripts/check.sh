@@ -39,6 +39,13 @@ run ctest --test-dir build-tsan -L net --output-on-failure
 # once, so they must be clean, not just green.
 run ctest --test-dir build-asan -L fabric --output-on-failure
 
+# Chaos stage: the planned-handoff harness (ctest label "chaos") once
+# more under the asan build — kills at every handoff stage, torn
+# frames, stalled successors, and the handoff/adopt race reopen stores
+# and sockets mid-protocol, so they must be clean, not just green.
+# (The tsan preset's name filter already covers the Fabric* suites.)
+run ctest --test-dir build-asan -L chaos --output-on-failure
+
 # Incremental stage: the delta/fingerprint/certificate suites and the
 # verdict cache (ctest label "incremental") once more under the asan
 # build — the certificate codec parses untrusted store bytes and the

@@ -25,7 +25,16 @@ bool Retryable(StatusCode code) {
 
 FabricClient::FabricClient(std::vector<std::string> seed_endpoints,
                            FabricClientOptions options)
-    : seeds_(std::move(seed_endpoints)), options_(options) {}
+    : seeds_(std::move(seed_endpoints)),
+      options_(options),
+      jitter_(options.jitter_seed) {}
+
+std::chrono::milliseconds FabricClient::NextRetryPause() {
+  const int64_t pause = options_.retry_pause.count();
+  if (pause <= 0) return std::chrono::milliseconds(0);
+  std::uniform_int_distribution<int64_t> dist(pause - pause / 2, pause);
+  return std::chrono::milliseconds(dist(jitter_));
+}
 
 NetClient* FabricClient::ClientFor(const std::string& endpoint) {
   auto it = clients_.find(endpoint);
@@ -105,7 +114,15 @@ Result<WireReply> FabricClient::CallRouted(const WireRequest& request) {
   for (bool first_sweep = true;; first_sweep = false) {
     if (!have_ring_ || !first_sweep) {
       Status refreshed = RefreshRing();
-      if (!refreshed.ok()) last = refreshed;
+      if (!refreshed.ok()) {
+        last = refreshed;
+        // An auth rejection is a configuration error, not an outage:
+        // every re-sweep would present the same (missing or wrong)
+        // key, so burning the op deadline on it helps nobody.
+        if (refreshed.code() == StatusCode::kPermissionDenied) {
+          return refreshed;
+        }
+      }
     }
     if (have_ring_) {
       const size_t shard = ring_.ShardForKey(request.key);
@@ -126,8 +143,38 @@ Result<WireReply> FabricClient::CallRouted(const WireRequest& request) {
                  " ms) exceeded for key \"", request.key,
                  "\": ", last.message()));
     }
-    std::this_thread::sleep_for(options_.retry_pause);
+    std::this_thread::sleep_for(NextRetryPause());
   }
+}
+
+Status FabricClient::HandoffShard(size_t shard, const std::string& successor) {
+  if (!have_ring_) RELCOMP_RETURN_NOT_OK(RefreshRing());
+  if (shard >= ring_.num_shards()) {
+    return Status::InvalidArgument(
+        StrCat("shard ", shard, " out of range for ", ring_.num_shards(),
+               " shards"));
+  }
+  const std::string owner = ring_.endpoints[shard];
+  if (owner.empty()) {
+    return Status::Unavailable(
+        StrCat("shard ", shard, " has no live owner to hand it off (ring "
+               "epoch ", ring_.epoch, "); adopt it instead"));
+  }
+  RELCOMP_RETURN_NOT_OK(ClientFor(owner)->Handoff(shard, successor));
+  // The successor's adopt re-published the ring at a higher epoch;
+  // pick it up now so this client's next keyed op routes correctly on
+  // the first try. Best effort — the routing loop self-heals anyway.
+  (void)RefreshRing();
+  return Status::OK();
+}
+
+Status FabricClient::AdoptShard(size_t shard, const std::string& adopter) {
+  if (adopter.empty()) {
+    return Status::InvalidArgument("adopt needs an adopter endpoint");
+  }
+  RELCOMP_RETURN_NOT_OK(ClientFor(adopter)->Adopt(shard));
+  (void)RefreshRing();
+  return Status::OK();
 }
 
 Status FabricClient::Submit(const std::string& key, const JobSpec& spec) {

@@ -3,8 +3,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -27,8 +29,13 @@ struct FabricClientOptions {
   std::chrono::milliseconds op_deadline{30000};
   /// Pause between full candidate sweeps (every candidate refused or
   /// unreachable — typically the window between a member dying and a
-  /// peer adopting its shard).
+  /// peer adopting its shard). The actual sleep is drawn uniformly
+  /// from [retry_pause/2, retry_pause] — mirroring NetClient's backoff
+  /// jitter, so a crowd of clients orphaned by the same member death
+  /// does not re-sweep the fabric in lockstep.
   std::chrono::milliseconds retry_pause{10};
+  /// Jitter PRNG seed (fixed default keeps tests deterministic).
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
 };
 
 /// Observability counters; monotonic for the client's lifetime.
@@ -91,6 +98,24 @@ class FabricClient {
   /// highest epoch seen. OK if at least one endpoint answered.
   Status RefreshRing();
 
+  /// Asks shard `shard`'s current owner to hand it off to `successor`
+  /// via the planned-handoff protocol, then refreshes the ring so this
+  /// client routes by the successor's re-publish. Unlike the keyed
+  /// ops this targets the owner endpoint directly — a handoff is an
+  /// instruction to a specific member, not a routable request.
+  /// kUnavailable when the ring records no live owner for the shard.
+  Status HandoffShard(size_t shard, const std::string& successor);
+
+  /// Asks the member at `adopter` to adopt `shard` (the orphan-repair
+  /// counterpart of HandoffShard — used for shards whose owner died
+  /// without handing off), then refreshes the ring.
+  Status AdoptShard(size_t shard, const std::string& adopter);
+
+  /// The next inter-sweep pause CallRouted will sleep (consumes one
+  /// draw from the jitter PRNG): uniform in [retry_pause/2,
+  /// retry_pause]. Public so tests can pin the deterministic sequence.
+  std::chrono::milliseconds NextRetryPause();
+
   /// The ring the client currently routes by (default-constructed
   /// until the first successful RefreshRing).
   const FabricRing& ring() const { return ring_; }
@@ -115,6 +140,7 @@ class FabricClient {
   bool have_ring_ = false;
   std::map<std::string, std::unique_ptr<NetClient>> clients_;
   FabricClientStats stats_;
+  std::mt19937_64 jitter_;
 };
 
 }  // namespace relcomp

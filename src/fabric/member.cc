@@ -1,7 +1,9 @@
 #include "fabric/member.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "net/client.h"
 #include "util/str.h"
 
 namespace relcomp {
@@ -11,6 +13,24 @@ namespace {
 constexpr char kRingControlKey[] = "ring";
 
 }  // namespace
+
+const char* HandoffStageToString(HandoffStage stage) {
+  switch (stage) {
+    case HandoffStage::kDrain:
+      return "drain";
+    case HandoffStage::kFlush:
+      return "flush";
+    case HandoffStage::kJournal:
+      return "journal";
+    case HandoffStage::kRelease:
+      return "release";
+    case HandoffStage::kAdopt:
+      return "adopt";
+    case HandoffStage::kConfirm:
+      return "confirm";
+  }
+  return "?";
+}
 
 Result<std::unique_ptr<FabricMember>> FabricMember::Start(
     const FabricMemberOptions& options) {
@@ -83,6 +103,15 @@ Result<std::unique_ptr<FabricMember>> FabricMember::Start(
       [raw](const std::string& key) -> Result<DecisionService*> {
     std::lock_guard<std::mutex> lock(raw->mu_);
     const size_t shard = raw->ring_.ShardForKey(key);
+    // A shard mid-handoff sheds even while its service still exists:
+    // admission after the flush point would strand work behind the
+    // departing flock.
+    auto draining = raw->draining_.find(shard);
+    if (draining != raw->draining_.end()) {
+      return Status::Unavailable(
+          StrCat("shard ", shard, " is mid-handoff to ", draining->second,
+                 " (ring epoch ", raw->ring_.epoch, "); retry shortly"));
+    }
     auto it = raw->services_.find(shard);
     if (it != raw->services_.end()) return it->second.get();
     const std::string& owner = raw->ring_.endpoints[shard];
@@ -98,6 +127,10 @@ Result<std::unique_ptr<FabricMember>> FabricMember::Start(
   server_options.ring = [raw] {
     std::lock_guard<std::mutex> lock(raw->mu_);
     return raw->ring_.Serialize();
+  };
+  server_options.adopt = [raw](size_t shard) { return raw->AdoptShard(shard); };
+  server_options.handoff = [raw](size_t shard, const std::string& successor) {
+    return raw->HandoffShard(shard, successor);
   };
   RELCOMP_ASSIGN_OR_RETURN(
       member->server_,
@@ -187,6 +220,150 @@ Status FabricMember::AdoptShard(size_t shard) {
   recovered_jobs_ += service->RecoveredJobs().size();
   services_[shard] = std::move(service);
   return PersistRingLocked();
+}
+
+Status FabricMember::StageFault(HandoffStage stage) {
+  if (options_.handoff_fault) return options_.handoff_fault(stage);
+  return Status::OK();
+}
+
+Status FabricMember::HandoffShard(size_t shard, const std::string& successor) {
+  const std::string& self = options_.endpoints[options_.member_index];
+  if (successor.empty()) {
+    return Status::InvalidArgument("handoff needs a successor endpoint");
+  }
+  if (successor == self) {
+    return Status::InvalidArgument(
+        StrCat("handoff of shard ", shard, " to self (", self,
+               ") is meaningless — the shard is already here"));
+  }
+  if (std::find(options_.endpoints.begin(), options_.endpoints.end(),
+                successor) == options_.endpoints.end()) {
+    return Status::InvalidArgument(
+        StrCat("handoff successor ", successor,
+               " is not a member of this fabric"));
+  }
+
+  // Stage 1 — drain: from this moment the route hook sheds the shard
+  // (kUnavailable naming the successor); nothing new can slip in
+  // behind the flush.
+  DecisionService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("member is shut down");
+    }
+    if (shard >= ring_.num_shards()) {
+      return Status::InvalidArgument(
+          StrCat("shard ", shard, " out of range for ", ring_.num_shards(),
+                 " shards"));
+    }
+    auto it = services_.find(shard);
+    if (it == services_.end()) {
+      return Status::FailedPrecondition(
+          StrCat("shard ", shard, " is not owned by this member; its owner is ",
+                 ring_.endpoints[shard].empty() ? "(nobody)"
+                                                : ring_.endpoints[shard]));
+    }
+    if (draining_.count(shard) > 0) {
+      return Status::FailedPrecondition(
+          StrCat("shard ", shard, " is already mid-handoff to ",
+                 draining_[shard]));
+    }
+    RELCOMP_RETURN_NOT_OK(StageFault(HandoffStage::kDrain));
+    draining_[shard] = successor;
+    service = it->second.get();
+  }
+
+  // Stage 2 — flush: every running job unwinds at its next decision
+  // point and persists its checkpoint; queued jobs stay durable on
+  // disk. After Quiesce the directory is exactly what the successor's
+  // startup recovery expects. An abort here un-drains — the shard
+  // keeps serving (queued jobs still run after a failed pre-journal
+  // handoff only via recovery, so only the fault hook aborts here;
+  // Quiesce itself failing means the service crashed and adoption is
+  // the answer anyway).
+  Status flush = StageFault(HandoffStage::kFlush);
+  if (flush.ok()) flush = service->Quiesce();
+  if (!flush.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_.erase(shard);
+    return flush;
+  }
+
+  // Stage 3 — journal: the epoch bump naming the successor MUST land
+  // in the departing shard's own store before the flock is released;
+  // it is the fence that stops this member's tenure from ever
+  // outranking the successor's. The other owned shards get the new
+  // ring best-effort.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status journal = StageFault(HandoffStage::kJournal);
+    if (journal.ok()) {
+      ++ring_.epoch;
+      ring_.endpoints[shard] = successor;
+      journal = services_[shard]->mutable_store()->PersistControl(
+          kRingControlKey, ring_.Serialize());
+      if (journal.ok()) (void)PersistRingLocked();
+    }
+    if (!journal.ok()) {
+      // The service is already flushed; resuming is not possible
+      // (workers parked by design). Give up tenure instead: no-owner
+      // record, flock freed below, any member can adopt.
+      ++ring_.epoch;
+      ring_.endpoints[shard] = std::string();
+      std::unique_ptr<DecisionService> departing =
+          std::move(services_[shard]);
+      services_.erase(shard);
+      (void)PersistRingLocked();
+      draining_.erase(shard);
+      departing.reset();  // flock released
+      return journal;
+    }
+  }
+
+  // Stage 4 — release: destroy the service; its store destructor frees
+  // the directory flock, which is the successor's admission ticket.
+  {
+    std::unique_ptr<DecisionService> departing;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Status release = StageFault(HandoffStage::kRelease);
+      if (!release.ok()) return release;  // draining_ kept: record names successor
+      departing = std::move(services_[shard]);
+      services_.erase(shard);
+    }
+    departing.reset();
+  }
+
+  // Stage 5 — adopt: tell the successor to take the shard. A failure
+  // here (dead or stalled successor) leaves the shard flock-free with
+  // a durable record naming the successor — the fabric's ordinary
+  // adoption path (any member) completes the move; this member's part
+  // is done either way.
+  Status adopt = StageFault(HandoffStage::kAdopt);
+  if (adopt.ok()) {
+    NetClientOptions client_options;
+    client_options.io_timeout = options_.handoff_adopt_deadline;
+    client_options.call_deadline = options_.handoff_adopt_deadline;
+    client_options.max_retries = 2;
+    client_options.auth_key = options_.server_options.auth_key;
+    client_options.compress_threshold =
+        options_.server_options.compress_threshold;
+    NetClient client(successor, client_options);
+    adopt = client.Adopt(shard);
+  }
+  if (!adopt.ok()) return adopt;
+
+  // Stage 6 — confirm: the successor owns the shard and has published
+  // a ring that outranks ours; drop the drain marker (routing now
+  // sheds via the ring, naming the successor).
+  RELCOMP_RETURN_NOT_OK(StageFault(HandoffStage::kConfirm));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_.erase(shard);
+  }
+  return Status::OK();
 }
 
 void FabricMember::Shutdown() {

@@ -1,7 +1,10 @@
 #ifndef RELCOMP_FABRIC_MEMBER_H_
 #define RELCOMP_FABRIC_MEMBER_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,6 +17,21 @@
 #include "util/status.h"
 
 namespace relcomp {
+
+/// Stages of the planned shard-handoff protocol, in execution order.
+/// The chaos harness injects a failure at every stage boundary (via
+/// FabricMemberOptions::handoff_fault) and then kills the member, to
+/// prove each interruption point recovers to identical verdicts.
+enum class HandoffStage : uint8_t {
+  kDrain,    ///< stop admitting work for the shard (route sheds)
+  kFlush,    ///< quiesce the service: checkpoints and records durable
+  kJournal,  ///< epoch bump naming the successor hits the shard store
+  kRelease,  ///< service destroyed, directory flock freed
+  kAdopt,    ///< adopt RPC to the successor
+  kConfirm,  ///< handoff bookkeeping complete
+};
+
+const char* HandoffStageToString(HandoffStage stage);
 
 /// Member configuration. The endpoint list doubles as the shard map:
 /// the fabric has endpoints.size() shards, shard i initially owned by
@@ -33,6 +51,15 @@ struct FabricMemberOptions {
   /// are overwritten with the shard addressing).
   DecisionServiceOptions service_options;
   NetServerOptions server_options;
+  /// Bounds the handoff protocol's adopt RPC to the successor (I/O
+  /// deadline and overall call deadline). A successor that stalls past
+  /// this leaves the shard flock-free with a durable record naming it
+  /// — any member (including a third) can still adopt.
+  std::chrono::milliseconds handoff_adopt_deadline{10000};
+  /// Test hook: called at the entry of every handoff stage; a non-OK
+  /// return aborts the handoff there with that status (the chaos
+  /// harness then kills the member to simulate dying mid-protocol).
+  std::function<Status(HandoffStage stage)> handoff_fault;
 };
 
 /// One member of the sharded decision fabric: a NetServer plus the
@@ -80,6 +107,30 @@ class FabricMember {
   /// the reassignment to every owned shard.
   Status AdoptShard(size_t shard);
 
+  /// Planned live handoff of `shard` to the member at `successor`:
+  /// stop admitting work for the shard (routes shed kUnavailable
+  /// naming the successor), flush every in-flight job to a durable
+  /// checkpoint (DecisionService::Quiesce — records kept, no torn
+  /// state), journal an epoch bump naming the successor into the
+  /// shard's control record, release the directory flock by destroying
+  /// the service, then ask the successor to adopt. The successor's
+  /// ordinary startup recovery resumes every job bit-for-bit; its ring
+  /// re-publish (epoch + 2 from ours) retargets clients within one
+  /// refresh.
+  ///
+  /// Failure contract: an abort before the journal stage restores full
+  /// service on this member. A journal-stage failure gives up tenure
+  /// (no-owner record, flock freed) so any member can adopt. After the
+  /// journal lands, the shard is durable-complete: an adopt-RPC
+  /// failure (successor dead or stalled) returns the error with the
+  /// shard flock-free and its record naming the successor — the
+  /// fabric's ordinary adoption path finishes the move.
+  ///
+  /// kInvalidArgument for a handoff to self or to an endpoint outside
+  /// the fabric; kFailedPrecondition when the shard is not owned here
+  /// or already mid-handoff.
+  Status HandoffShard(size_t shard, const std::string& successor);
+
   /// Graceful drain: persist the ring departure, close the listener,
   /// drain the shard services. Idempotent.
   void Shutdown();
@@ -108,6 +159,8 @@ class FabricMember {
   /// Persists ring_ as the control record of every owned shard.
   /// Requires mu_ held.
   Status PersistRingLocked();
+  /// Fires the handoff_fault hook for `stage` (OK when unset).
+  Status StageFault(HandoffStage stage);
 
   FabricMemberOptions options_;
   std::unique_ptr<NetServer> server_;
@@ -115,6 +168,11 @@ class FabricMember {
   mutable std::mutex mu_;
   FabricRing ring_;
   std::map<size_t, std::unique_ptr<DecisionService>> services_;
+  /// Shards mid-handoff: route sheds them kUnavailable naming the
+  /// successor. An entry outlives a post-journal abort on purpose —
+  /// the durable record names the successor, so the shed stays
+  /// truthful until this member dies or the fabric adopts the shard.
+  std::map<size_t, std::string> draining_;
   size_t recovered_jobs_ = 0;
   bool shutdown_ = false;
 };

@@ -1,0 +1,138 @@
+#include "fabric/rebalancer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/str.h"
+
+namespace relcomp {
+namespace {
+
+bool Contains(const std::vector<std::string>& list, const std::string& item) {
+  return std::find(list.begin(), list.end(), item) != list.end();
+}
+
+/// The live member (by position in `live`) with the fewest shards;
+/// earliest position wins ties, so the choice is deterministic.
+size_t LeastLoaded(const std::vector<std::string>& live,
+                   const std::map<std::string, size_t>& load) {
+  size_t best = 0;
+  size_t best_load = load.at(live[0]);
+  for (size_t i = 1; i < live.size(); ++i) {
+    const size_t l = load.at(live[i]);
+    if (l < best_load) {
+      best = i;
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string RebalancePlan::Describe() const {
+  std::string out;
+  for (const ShardMove& move : moves) {
+    out += StrCat("shard ", move.shard, ": ",
+                  move.from.empty() ? std::string("(orphan)") : move.from,
+                  " -> ", move.to, "\n");
+  }
+  return out;
+}
+
+RebalancePlan PlanRebalance(const FabricRing& ring,
+                            const std::vector<std::string>& live) {
+  RebalancePlan plan;
+  if (live.empty() || ring.num_shards() == 0) return plan;
+
+  const size_t shards = ring.num_shards();
+  const size_t ceiling = (shards + live.size() - 1) / live.size();
+
+  std::map<std::string, size_t> load;
+  for (const std::string& member : live) load[member] = 0;
+
+  // Pass 1: shards staying put (live owner) count toward their owner's
+  // load; everything else — no owner, or an owner outside `live` — is
+  // homeless and must move.
+  std::vector<size_t> homeless;
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const std::string& owner = ring.endpoints[shard];
+    if (!owner.empty() && Contains(live, owner)) {
+      ++load[owner];
+    } else {
+      homeless.push_back(shard);
+    }
+  }
+
+  // Pass 2: members above the ceiling shed their highest-numbered
+  // shards until they fit. (Highest-first is arbitrary but fixed —
+  // determinism is the property that matters.)
+  for (size_t shard = shards; shard-- > 0;) {
+    const std::string& owner = ring.endpoints[shard];
+    if (owner.empty() || !Contains(live, owner)) continue;
+    if (load[owner] > ceiling) {
+      --load[owner];
+      homeless.push_back(shard);
+    }
+  }
+  std::sort(homeless.begin(), homeless.end());
+
+  // Pass 3: re-home, ascending shard order, least-loaded member first.
+  for (size_t shard : homeless) {
+    const size_t target = LeastLoaded(live, load);
+    ++load[live[target]];
+    const std::string& owner = ring.endpoints[shard];
+    ShardMove move;
+    move.shard = shard;
+    if (!owner.empty() && Contains(live, owner)) move.from = owner;
+    move.to = live[target];
+    plan.moves.push_back(std::move(move));
+  }
+  return plan;
+}
+
+RebalancePlan PlanDrain(const FabricRing& ring, const std::string& endpoint) {
+  // The survivors, in first-appearance (shard) order.
+  std::vector<std::string> live;
+  for (const std::string& owner : ring.endpoints) {
+    if (!owner.empty() && owner != endpoint && !Contains(live, owner)) {
+      live.push_back(owner);
+    }
+  }
+  RebalancePlan plan;
+  if (live.empty()) return plan;  // nobody left to take the load
+
+  std::map<std::string, size_t> load;
+  for (const std::string& member : live) load[member] = 0;
+  for (const std::string& owner : ring.endpoints) {
+    if (Contains(live, owner)) ++load[owner];
+  }
+
+  for (size_t shard = 0; shard < ring.num_shards(); ++shard) {
+    if (ring.endpoints[shard] != endpoint) continue;
+    const size_t target = LeastLoaded(live, load);
+    ++load[live[target]];
+    ShardMove move;
+    move.shard = shard;
+    move.from = endpoint;
+    move.to = live[target];
+    plan.moves.push_back(std::move(move));
+  }
+  return plan;
+}
+
+Status ExecutePlan(FabricClient* client, const RebalancePlan& plan) {
+  for (const ShardMove& move : plan.moves) {
+    Status moved = move.from.empty()
+                       ? client->AdoptShard(move.shard, move.to)
+                       : client->HandoffShard(move.shard, move.to);
+    if (!moved.ok()) {
+      return Status(moved.code(),
+                    StrCat("rebalance stopped at shard ", move.shard, " -> ",
+                           move.to, ": ", moved.message()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace relcomp

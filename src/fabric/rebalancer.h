@@ -1,0 +1,63 @@
+#ifndef RELCOMP_FABRIC_REBALANCER_H_
+#define RELCOMP_FABRIC_REBALANCER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric_client.h"
+#include "fabric/ring.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// One shard relocation. An empty `from` means the shard currently has
+/// no live owner (or a dead one): the move executes as a plain adopt
+/// at `to` instead of a handoff.
+struct ShardMove {
+  size_t shard = 0;
+  std::string from;
+  std::string to;
+};
+
+/// An ordered sequence of shard moves. Order matters: ExecutePlan runs
+/// the moves one planned handoff at a time, so at most one shard is
+/// ever mid-flight — the blast radius of an interruption is a single
+/// shard, which the fabric's ordinary adoption path repairs.
+struct RebalancePlan {
+  std::vector<ShardMove> moves;
+
+  bool empty() const { return moves.empty(); }
+  /// Human-readable one-line-per-move rendering ("shard 3: a -> b").
+  std::string Describe() const;
+};
+
+/// Computes the move set that takes `ring`'s shard assignment to a
+/// balanced one over the `live` member endpoints: every live member
+/// ends owning between floor(S/M) and ceil(S/M) shards. Only necessary
+/// moves are planned — orphaned shards (no owner, or an owner outside
+/// `live`) are re-homed, and members above the ceiling shed their
+/// highest-numbered shards; members already within bounds are left
+/// untouched. Deterministic: shards are (re)assigned in ascending
+/// order to the least-loaded live member, ties broken by position in
+/// `live` — every caller computing a plan from the same ring and
+/// member list plans the identical move sequence.
+RebalancePlan PlanRebalance(const FabricRing& ring,
+                            const std::vector<std::string>& live);
+
+/// Computes the plan that drains every shard owned by `endpoint` onto
+/// the remaining live members of `ring`, least-loaded first (same
+/// determinism as PlanRebalance). Empty when the ring has no other
+/// live member to take the load.
+RebalancePlan PlanDrain(const FabricRing& ring, const std::string& endpoint);
+
+/// Executes `plan` move by move: a planned handoff (owner flushes,
+/// journals, releases; successor adopts) for owned shards, a direct
+/// adopt for orphans. Stops at the first failure, naming the shard it
+/// stopped on — the remaining moves can be re-planned from the fresh
+/// ring, which already reflects every completed move.
+Status ExecutePlan(FabricClient* client, const RebalancePlan& plan);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_FABRIC_REBALANCER_H_

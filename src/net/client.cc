@@ -147,6 +147,11 @@ Status NetClient::SendAll(std::string_view data) {
 Result<std::string> NetClient::ReadFrame() {
   const Clock::time_point deadline = Clock::now() + options_.io_timeout;
   FrameDecoder decoder;
+  // Replies may arrive v2 (the server mirrors our format, or has
+  // compression/auth of its own); with a key set, every reply must
+  // prove itself.
+  decoder.set_accept_v2(true);
+  if (!options_.auth_key.empty()) decoder.set_auth_key(options_.auth_key);
   std::string payload;
   char buf[1 << 14];
   for (;;) {
@@ -175,7 +180,12 @@ Result<std::string> NetClient::ReadFrame() {
 Result<WireReply> NetClient::RoundTripOnce(const WireRequest& request) {
   Status conn = EnsureConnected();
   if (!conn.ok()) return conn;
-  Status sent = SendAll(EncodeFrame(request.Serialize()));
+  FrameCodecOptions codec;
+  codec.auth_key = options_.auth_key;
+  codec.compress_threshold = options_.compress_threshold;
+  Status sent = SendAll(codec.v2()
+                            ? EncodeFrameV2(request.Serialize(), codec)
+                            : EncodeFrame(request.Serialize()));
   if (!sent.ok()) {
     Disconnect();
     return sent;
@@ -183,6 +193,12 @@ Result<WireReply> NetClient::RoundTripOnce(const WireRequest& request) {
   Result<std::string> payload = ReadFrame();
   if (!payload.ok()) {
     Disconnect();
+    // An authentication violation is terminal — retrying with the same
+    // key cannot succeed, so it must not be laundered into a retryable
+    // kUnavailable.
+    if (payload.status().code() == StatusCode::kPermissionDenied) {
+      return payload.status();
+    }
     // Frame-layer defects (bad magic, CRC mismatch) come back as
     // kInvalidArgument from the decoder, but for the caller they are
     // transport failures: the stream is dead, reconnect and retry.
@@ -296,6 +312,23 @@ Result<std::string> NetClient::Ring() {
   RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
   RELCOMP_RETURN_NOT_OK(reply.ToStatus());
   return reply.message;
+}
+
+Status NetClient::Adopt(size_t shard) {
+  WireRequest req;
+  req.op = WireOp::kAdopt;
+  req.key = StrCat(shard);
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  return reply.ToStatus();
+}
+
+Status NetClient::Handoff(size_t shard, const std::string& successor) {
+  WireRequest req;
+  req.op = WireOp::kHandoff;
+  req.key = StrCat(shard);
+  req.job = successor;
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  return reply.ToStatus();
 }
 
 Result<WireReply> NetClient::AwaitTerminal(const std::string& key,

@@ -42,6 +42,13 @@ struct NetClientOptions {
   /// budget against endpoints that are all down. Zero = bounded only
   /// by max_retries (the historical behavior).
   std::chrono::milliseconds call_deadline{0};
+  /// Shared fabric secret: non-empty = every request frame carries a
+  /// keyed tag and every reply must verify (a stripped or forged reply
+  /// is kPermissionDenied, terminal — never silently accepted).
+  std::string auth_key = {};
+  /// Compress request payloads of at least this many bytes (0 =
+  /// never). Either knob switches the client to relcomp-net/2 frames.
+  size_t compress_threshold = 0;
 };
 
 /// Observability counters; monotonic for the client's lifetime.
@@ -106,6 +113,15 @@ class NetClient {
   /// Fetches the server's serialized relcomp-fabric/1 ring record (a
   /// standalone server answers with a singleton ring naming itself).
   Result<std::string> Ring();
+
+  /// Asks the connected fabric member to adopt `shard` (open its store
+  /// and re-publish the ring). kUnsupported against a plain server.
+  Status Adopt(size_t shard);
+
+  /// Asks the connected fabric member to hand `shard` off to
+  /// `successor` via the planned-handoff protocol. The member must
+  /// currently own the shard.
+  Status Handoff(size_t shard, const std::string& successor);
 
   /// The endpoint the next attempt will use (failover cursor).
   const std::string& current_endpoint() const {

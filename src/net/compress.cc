@@ -1,0 +1,161 @@
+#include "net/compress.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace relcomp {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kHashBits = 13;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash4(uint32_t v) {
+  // Fibonacci multiplicative hash over the next four bytes.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLength(std::string* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+void PutSequence(std::string* out, const uint8_t* literals, size_t lit_len,
+                 size_t offset, size_t match_len) {
+  const size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  const size_t match_extra = match_len > 0 ? match_len - kMinMatch : 0;
+  const size_t match_nibble =
+      match_len > 0 ? (match_extra < 15 ? match_extra : 15) : 0;
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutLength(out, lit_len - 15);
+  out->append(reinterpret_cast<const char*>(literals), lit_len);
+  if (match_len == 0) return;  // final literals-only sequence
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_nibble == 15) PutLength(out, match_extra - 15);
+}
+
+}  // namespace
+
+std::string CompressBlock(std::string_view input) {
+  const uint8_t* const base = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+  std::string out;
+  out.reserve(n / 2 + 16);
+
+  if (n < kMinMatch + 1) {
+    PutSequence(&out, base, n, 0, 0);
+    return out;
+  }
+
+  std::vector<uint32_t> table(size_t{1} << kHashBits, 0);
+  size_t anchor = 0;  // first unemitted literal
+  size_t pos = 0;
+  // Leave the last kMinMatch bytes as literals: Load32 must stay in
+  // bounds and LZ4 requires the block to end in literals anyway.
+  const size_t match_limit = n - kMinMatch;
+  while (pos < match_limit) {
+    const uint32_t h = Hash4(Load32(base + pos));
+    const size_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (candidate < pos && pos - candidate <= kMaxOffset &&
+        Load32(base + candidate) == Load32(base + pos)) {
+      size_t match_len = kMinMatch;
+      while (pos + match_len < n &&
+             base[candidate + match_len] == base[pos + match_len]) {
+        ++match_len;
+      }
+      PutSequence(&out, base + anchor, pos - anchor, pos - candidate,
+                  match_len);
+      pos += match_len;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  PutSequence(&out, base + anchor, n - anchor, 0, 0);
+  return out;
+}
+
+Status DecompressBlock(std::string_view input, size_t raw_len,
+                       std::string* out) {
+  auto malformed = [](const char* what) {
+    return Status::InvalidArgument(
+        std::string("compressed block: ") + what);
+  };
+  out->clear();
+  out->reserve(raw_len);  // caller capped raw_len against the frame limit
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(input.data());
+  const uint8_t* const end = p + input.size();
+
+  auto read_length = [&](size_t base_len, size_t* len) -> bool {
+    *len = base_len;
+    if (base_len != 15) return true;
+    for (;;) {
+      if (p == end) return false;
+      const uint8_t b = *p++;
+      // Bound the accumulated length before it can overflow or sail
+      // past the declared size: a lying length dies here, not in a
+      // multi-gigabyte append.
+      if (*len > raw_len) return false;
+      *len += b;
+      if (b != 255) return true;
+    }
+  };
+
+  while (p < end) {
+    const uint8_t token = *p++;
+    size_t lit_len;
+    if (!read_length(token >> 4, &lit_len)) {
+      return malformed("truncated or oversized literal length");
+    }
+    if (static_cast<size_t>(end - p) < lit_len) {
+      return malformed("literal run past the end of input");
+    }
+    if (out->size() + lit_len > raw_len) {
+      return malformed("output exceeds the declared raw length");
+    }
+    out->append(reinterpret_cast<const char*>(p), lit_len);
+    p += lit_len;
+    if (p == end) break;  // final literals-only sequence
+
+    if (end - p < 2) return malformed("truncated match offset");
+    const size_t offset =
+        static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    if (offset == 0) return malformed("zero match offset");
+    if (offset > out->size()) {
+      return malformed("match offset before the start of output");
+    }
+    size_t match_len;
+    if (!read_length(token & 0x0f, &match_len)) {
+      return malformed("truncated or oversized match length");
+    }
+    match_len += kMinMatch;
+    if (out->size() + match_len > raw_len) {
+      return malformed("output exceeds the declared raw length");
+    }
+    // Byte-at-a-time: matches may overlap their own output (offset <
+    // match_len is the RLE encoding).
+    size_t from = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[from + i]);
+    }
+  }
+  if (out->size() != raw_len) {
+    return malformed("declared raw length disagrees with the block");
+  }
+  return Status::OK();
+}
+
+}  // namespace relcomp

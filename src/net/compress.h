@@ -1,0 +1,39 @@
+#ifndef RELCOMP_NET_COMPRESS_H_
+#define RELCOMP_NET_COMPRESS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace relcomp {
+
+/// LZ4-style block compression for large wire frames (streamed
+/// Δ-evidence payloads, batched specs). The format is the LZ4 block
+/// layout: a sequence of [token][literal-length ext][literals]
+/// [2-byte LE match offset][match-length ext], where the token's high
+/// nibble is the literal length (15 = more bytes follow, each 255
+/// continuing) and the low nibble is the match length minus 4. The
+/// final sequence is literals-only. No entropy stage — the decoder is
+/// a tight bounds-checked copy loop, which is the property the hostile
+/// corpus cares about.
+
+/// Compresses `input` greedily with a 4-byte hash chain. Always
+/// produces a valid block; callers compare sizes and keep the raw
+/// payload when compression does not help.
+std::string CompressBlock(std::string_view input);
+
+/// Decompresses a block that must expand to EXACTLY `raw_len` bytes.
+/// `raw_len` is attacker-controlled (it rides the frame header), so the
+/// caller caps it against the frame payload limit before calling; this
+/// function never allocates more than `raw_len` bytes of output and
+/// fails typed on truncated input, out-of-range match offsets, and
+/// blocks whose true size disagrees with the declared one — a lying
+/// length is a protocol error, not a crash.
+Status DecompressBlock(std::string_view input, size_t raw_len,
+                       std::string* out);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_NET_COMPRESS_H_

@@ -105,7 +105,14 @@ struct NetServer::Conn {
   Clock::time_point read_deadline_at = Clock::time_point::max();
   Clock::time_point write_deadline_at = Clock::time_point::max();
 
-  explicit Conn(size_t max_payload) : decoder(max_payload) {}
+  Conn(size_t max_payload, const std::string& auth_key)
+      : decoder(max_payload) {
+    // Servers always understand v2 frames; what the DEFAULT decoder
+    // rejects as version skew, a live endpoint negotiates. The auth
+    // key (when set) makes every inbound frame prove itself.
+    decoder.set_accept_v2(true);
+    if (!auth_key.empty()) decoder.set_auth_key(auth_key);
+  }
 };
 
 NetServer::NetServer(DecisionService* service, NetServerOptions options)
@@ -353,7 +360,8 @@ void NetServer::AcceptNew() {
       ::close(fd);
       continue;
     }
-    auto conn = std::make_unique<Conn>(options_.max_frame_payload);
+    auto conn = std::make_unique<Conn>(options_.max_frame_payload,
+                                       options_.auth_key);
     conn->fd = fd;
     conns_.push_back(std::move(conn));
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -396,10 +404,21 @@ bool NetServer::ProcessFrames(Conn* conn) {
     Result<bool> next = conn->decoder.Next(&payload);
     if (!next.ok()) {
       // Frame-layer defect: the stream is desynchronized. Flush any
-      // replies already earned, then close.
+      // replies already earned, then close. An authentication
+      // violation additionally earns a typed refusal first, so the
+      // unauthenticated peer learns WHY instead of seeing a bare FIN.
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
+      }
+      if (next.status().code() == StatusCode::kPermissionDenied) {
+        WireReply denied;
+        denied.code = StatusCode::kPermissionDenied;
+        denied.message = next.status().message();
+        // Plain v1 frame: the refused peer (keyless, or holding the
+        // wrong key) could not verify a tagged reply, and the denial
+        // carries no secret.
+        if (!SendReply(conn, denied, /*force_v1=*/true)) return false;
       }
       conn->close_after_flush = true;
       return conn->out_off < conn->out.size();
@@ -443,6 +462,12 @@ WireReply NetServer::HandleRequest(const WireRequest& request) {
   // must work even while every backing service is down, or a client
   // could never learn where a shard went.
   if (request.op == WireOp::kRing) return HandleRing();
+  // Fabric operations address a shard, not a key: they bypass routing
+  // and the crashed() gate (adopting a shard is exactly what revives a
+  // member whose own services died).
+  if (request.op == WireOp::kAdopt || request.op == WireOp::kHandoff) {
+    return HandleFabricOp(request);
+  }
   DecisionService* service = service_;
   if (options_.route && request.op != WireOp::kStatus) {
     Result<DecisionService*> routed = options_.route(request.key);
@@ -476,11 +501,57 @@ WireReply NetServer::HandleRequest(const WireRequest& request) {
     case WireOp::kPoll: return HandlePoll(service, request);
     case WireOp::kCancel: return HandleCancel(service, request);
     case WireOp::kStatus: return HandleStatus();
-    case WireOp::kRing: break;  // handled above
+    case WireOp::kRing:
+    case WireOp::kAdopt:
+    case WireOp::kHandoff:
+      break;  // handled above
   }
   WireReply reply;
   reply.code = StatusCode::kInternal;
   reply.message = "unreachable request op";
+  return reply;
+}
+
+WireReply NetServer::HandleFabricOp(const WireRequest& request) {
+  WireReply reply;
+  const bool is_adopt = request.op == WireOp::kAdopt;
+  if ((is_adopt && !options_.adopt) || (!is_adopt && !options_.handoff)) {
+    reply.code = StatusCode::kUnsupported;
+    reply.message = StrCat("this server does not serve fabric ",
+                           WireOpToString(request.op), " operations");
+    return reply;
+  }
+  // The key carries the shard number in decimal.
+  size_t shard = 0;
+  bool valid = !request.key.empty() && request.key.size() <= 6;
+  for (char c : request.key) {
+    if (c < '0' || c > '9') {
+      valid = false;
+      break;
+    }
+    shard = shard * 10 + static_cast<size_t>(c - '0');
+  }
+  if (!valid) {
+    reply.code = StatusCode::kInvalidArgument;
+    reply.message =
+        StrCat("fabric op wants a decimal shard number, got \"",
+               request.key, "\"");
+    return reply;
+  }
+  // Deliberately synchronous on the loop thread: store replay (adopt)
+  // or quiesce-flush-journal (handoff) pauses this member's serving,
+  // but fabric operations are rare, operator-paced, and bounded by the
+  // caller's deadline.
+  Status done = is_adopt ? options_.adopt(shard)
+                         : options_.handoff(shard, request.job);
+  reply.code = done.code();
+  reply.message = done.ok()
+                      ? StrCat(WireOpToString(request.op), " of shard ",
+                               shard, " complete")
+                      : done.message();
+  if (reply.code == StatusCode::kUnavailable) {
+    reply.retry_after_ms = options_.retry_after_ms;
+  }
   return reply;
 }
 
@@ -598,8 +669,22 @@ WireReply NetServer::HandleStatus() {
   return reply;
 }
 
-bool NetServer::SendReply(Conn* conn, const WireReply& reply) {
-  std::string frame = EncodeFrame(reply.Serialize());
+bool NetServer::SendReply(Conn* conn, const WireReply& reply,
+                          bool force_v1) {
+  // Per-connection format negotiation: auth implies v2 on both sides;
+  // otherwise v2 (and hence reply compression) engages only once the
+  // peer has sent a v2 frame itself.
+  std::string frame;
+  if (!force_v1 && (!options_.auth_key.empty() ||
+                    (options_.compress_threshold > 0 &&
+                     conn->decoder.saw_v2()))) {
+    FrameCodecOptions codec;
+    codec.auth_key = options_.auth_key;
+    codec.compress_threshold = options_.compress_threshold;
+    frame = EncodeFrameV2(reply.Serialize(), codec);
+  } else {
+    frame = EncodeFrame(reply.Serialize());
+  }
   ++reply_ordinal_;
   {
     // Counted per attempt, faulted or not, so replies_sent always

@@ -60,6 +60,22 @@ struct NetServerOptions {
   /// crashed — placement discovery must outlive any one service.
   std::function<Result<DecisionService*>(const std::string& key)> route;
   std::function<std::string()> ring;
+  /// Fabric-operation hooks, called on the loop thread with the shard
+  /// number decoded from the request. Unset = typed kUnsupported.
+  /// `adopt` opens the shard store here (replay included — a deliberate
+  /// loop-thread pause: fabric operations are rare and the caller
+  /// bounds them with its own deadline); `handoff` runs the full
+  /// planned-handoff protocol, including the adopt RPC to the
+  /// successor.
+  std::function<Status(size_t shard)> adopt;
+  std::function<Status(size_t shard, const std::string& successor)> handoff;
+  /// Shared fabric secret: non-empty = every inbound frame must carry
+  /// a valid keyed tag (violations get a typed kPermissionDenied reply
+  /// and the connection closes) and every reply is tagged.
+  std::string auth_key;
+  /// Compress replies of at least this many bytes (0 = never) toward
+  /// peers that have spoken relcomp-net/2 on this connection.
+  size_t compress_threshold = 0;
 };
 
 /// Observability counters; all monotonic since Start.
@@ -157,9 +173,11 @@ class NetServer {
                          const WireRequest& request);
   WireReply HandleStatus();
   WireReply HandleRing();
-  /// Frames `reply`, applies any armed fault, and buffers it on
-  /// `conn`; returns false when the fault closed the connection.
-  bool SendReply(Conn* conn, const WireReply& reply);
+  WireReply HandleFabricOp(const WireRequest& request);
+  /// Frames `reply` (negotiated v1/v2 unless `force_v1`), applies any
+  /// armed fault, and buffers it on `conn`; returns false when the
+  /// fault closed the connection.
+  bool SendReply(Conn* conn, const WireReply& reply, bool force_v1 = false);
   void CloseConn(Conn* conn);
 
   DecisionService* service_;

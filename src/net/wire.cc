@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "net/compress.h"
 #include "service/checkpoint_store.h"
+#include "util/blake2s.h"
 #include "util/str.h"
 
 namespace relcomp {
@@ -83,6 +85,7 @@ constexpr CodeToken kCodeTokens[] = {
     {StatusCode::kInternal, "internal"},
     {StatusCode::kUnavailable, "unavailable"},
     {StatusCode::kDeadlineExceeded, "deadline_exceeded"},
+    {StatusCode::kPermissionDenied, "permission_denied"},
 };
 
 const char* CodeToToken(StatusCode code) {
@@ -138,6 +141,38 @@ std::string EncodeFrame(std::string_view payload) {
   return out;
 }
 
+std::string EncodeFrameV2(std::string_view payload,
+                          const FrameCodecOptions& options) {
+  uint8_t flags = 0;
+  std::string compressed;
+  std::string_view body = payload;
+  if (options.compress_threshold > 0 &&
+      payload.size() >= options.compress_threshold) {
+    compressed = CompressBlock(payload);
+    if (compressed.size() < payload.size()) {
+      flags |= kFrameFlagCompressed;
+      body = compressed;
+    }
+  }
+  if (!options.auth_key.empty()) flags |= kFrameFlagAuthenticated;
+  std::string out;
+  out.reserve(kFrameHeaderSizeV2 + body.size() + kFrameTrailerSize +
+              kBlake2sTagLength);
+  out.append(kFrameMagicV2, sizeof(kFrameMagicV2));
+  out.push_back(static_cast<char>(flags));
+  PutU32Le(static_cast<uint32_t>(payload.size()), &out);
+  PutU32Le(static_cast<uint32_t>(body.size()), &out);
+  out.append(body);
+  PutU32Le(Crc32(body), &out);
+  if (flags & kFrameFlagAuthenticated) {
+    // The tag covers everything sent so far — header, body, and CRC —
+    // so a forger cannot splice authenticated bodies under altered
+    // headers.
+    out += Blake2sMac(options.auth_key, out);
+  }
+  return out;
+}
+
 Result<bool> FrameDecoder::Next(std::string* payload) {
   if (poisoned_) {
     return Status::InvalidArgument(
@@ -145,28 +180,112 @@ Result<bool> FrameDecoder::Next(std::string* payload) {
         "connection");
   }
   if (buffer_.size() < kFrameHeaderSize) return false;
-  if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+  if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) == 0) {
+    if (!auth_key_.empty()) {
+      // This endpoint requires authentication; a v1 frame can never
+      // carry a tag. Typed refusal, not a framing error.
+      poisoned_ = true;
+      return Status::PermissionDenied(
+          "unauthenticated relcomp-net/1 frame at an endpoint that "
+          "requires frame authentication");
+    }
+    const uint32_t len = GetU32Le(buffer_.data() + sizeof(kFrameMagic));
+    if (len > max_payload_) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          StrCat("frame payload length ", len, " exceeds the cap ",
+                 max_payload_));
+    }
+    const size_t total = kFrameOverhead + static_cast<size_t>(len);
+    if (buffer_.size() < total) return false;
+    std::string_view body(buffer_.data() + kFrameHeaderSize, len);
+    const uint32_t want = GetU32Le(buffer_.data() + kFrameHeaderSize + len);
+    if (Crc32(body) != want) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          "frame crc mismatch (torn, truncated, or bit-flipped payload)");
+    }
+    payload->assign(body);
+    buffer_.erase(0, total);
+    return true;
+  }
+  if (accept_v2_ &&
+      std::memcmp(buffer_.data(), kFrameMagicV2, sizeof(kFrameMagicV2)) ==
+          0) {
+    return NextV2(payload);
+  }
+  poisoned_ = true;
+  return Status::InvalidArgument(
+      "bad frame magic (stream desynchronized or version skew)");
+}
+
+Result<bool> FrameDecoder::NextV2(std::string* payload) {
+  if (buffer_.size() < kFrameHeaderSizeV2) return false;
+  const uint8_t flags = static_cast<uint8_t>(buffer_[4]);
+  if ((flags & ~(kFrameFlagCompressed | kFrameFlagAuthenticated)) != 0) {
     poisoned_ = true;
     return Status::InvalidArgument(
-        "bad frame magic (stream desynchronized or version skew)");
+        StrCat("unknown relcomp-net/2 frame flags ",
+               static_cast<unsigned>(flags)));
   }
-  const uint32_t len = GetU32Le(buffer_.data() + sizeof(kFrameMagic));
-  if (len > max_payload_) {
+  const uint32_t raw_len = GetU32Le(buffer_.data() + 5);
+  const uint32_t body_len = GetU32Le(buffer_.data() + 9);
+  // Both lengths are attacker-controlled: cap them BEFORE sizing any
+  // buffer off them. A lying compressed length dies here or in the
+  // strictly-bounded decompressor, never in a huge allocation.
+  if (raw_len > max_payload_ || body_len > max_payload_) {
     poisoned_ = true;
     return Status::InvalidArgument(
-        StrCat("frame payload length ", len, " exceeds the cap ",
-               max_payload_));
+        StrCat("frame lengths raw=", raw_len, " body=", body_len,
+               " exceed the cap ", max_payload_));
   }
-  const size_t total = kFrameOverhead + static_cast<size_t>(len);
+  const bool compressed = (flags & kFrameFlagCompressed) != 0;
+  const bool authenticated = (flags & kFrameFlagAuthenticated) != 0;
+  if (!compressed && raw_len != body_len) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        "uncompressed frame with disagreeing raw/body lengths");
+  }
+  const size_t tag_len = authenticated ? kBlake2sTagLength : 0;
+  const size_t total = kFrameHeaderSizeV2 + static_cast<size_t>(body_len) +
+                       kFrameTrailerSize + tag_len;
   if (buffer_.size() < total) return false;
-  std::string_view body(buffer_.data() + kFrameHeaderSize, len);
-  const uint32_t want = GetU32Le(buffer_.data() + kFrameHeaderSize + len);
+  if (authenticated != !auth_key_.empty()) {
+    poisoned_ = true;
+    return authenticated
+               ? Status::PermissionDenied(
+                     "authenticated frame at an endpoint with no auth key")
+               : Status::PermissionDenied(
+                     "unauthenticated relcomp-net/2 frame at an endpoint "
+                     "that requires frame authentication");
+  }
+  if (authenticated) {
+    const std::string_view covered(buffer_.data(), total - tag_len);
+    const std::string_view got(buffer_.data() + total - tag_len, tag_len);
+    if (!ConstantTimeEqual(Blake2sMac(auth_key_, covered), got)) {
+      poisoned_ = true;
+      return Status::PermissionDenied(
+          "frame authentication tag mismatch (wrong key or forged frame)");
+    }
+  }
+  const std::string_view body(buffer_.data() + kFrameHeaderSizeV2, body_len);
+  const uint32_t want =
+      GetU32Le(buffer_.data() + kFrameHeaderSizeV2 + body_len);
   if (Crc32(body) != want) {
     poisoned_ = true;
     return Status::InvalidArgument(
         "frame crc mismatch (torn, truncated, or bit-flipped payload)");
   }
-  payload->assign(body);
+  if (compressed) {
+    Status expanded = DecompressBlock(body, raw_len, payload);
+    if (!expanded.ok()) {
+      poisoned_ = true;
+      return expanded;
+    }
+  } else {
+    payload->assign(body);
+  }
+  saw_v2_ = true;
   buffer_.erase(0, total);
   return true;
 }
@@ -180,6 +299,8 @@ const char* WireOpToString(WireOp op) {
     case WireOp::kCancel: return "cancel";
     case WireOp::kStatus: return "status";
     case WireOp::kRing: return "ring";
+    case WireOp::kAdopt: return "adopt";
+    case WireOp::kHandoff: return "handoff";
   }
   return "?";
 }
@@ -207,6 +328,8 @@ Result<WireRequest> WireRequest::Deserialize(std::string_view text) {
   else if (op_field == "cancel") req.op = WireOp::kCancel;
   else if (op_field == "status") req.op = WireOp::kStatus;
   else if (op_field == "ring") req.op = WireOp::kRing;
+  else if (op_field == "adopt") req.op = WireOp::kAdopt;
+  else if (op_field == "handoff") req.op = WireOp::kHandoff;
   else return fail("unknown op");
   std::string_view key, job;
   if (!TakeSized(&text, &key)) return fail("bad key segment");
@@ -217,8 +340,12 @@ Result<WireRequest> WireRequest::Deserialize(std::string_view text) {
   } else if (key.empty()) {
     return fail("missing idempotency key");
   }
-  if (req.op != WireOp::kSubmit && !job.empty()) {
+  if (req.op != WireOp::kSubmit && req.op != WireOp::kHandoff &&
+      !job.empty()) {
     return fail("job payload on a non-submit op");
+  }
+  if (req.op == WireOp::kHandoff && job.empty()) {
+    return fail("handoff without a successor endpoint");
   }
   req.key = std::string(key);
   req.job = std::string(job);

@@ -38,14 +38,64 @@ inline constexpr size_t kFrameOverhead = kFrameHeaderSize + kFrameTrailerSize;
 /// receiver's cap is a typed error, never an allocation.
 inline constexpr size_t kDefaultMaxFramePayload = 1u << 20;
 
+// --- relcomp-net/2 frame extension -----------------------------------
+//
+// The v2 frame carries optional per-frame compression and a keyed
+// authentication tag:
+//
+//   bytes 0..3    magic "RNF2"
+//   byte  4       flags (bit0 = compressed, bit1 = authenticated)
+//   bytes 5..8    raw payload length (after decompression), u32 LE
+//   bytes 9..12   body length (bytes on the wire), u32 LE
+//   bytes 13..    body (raw payload, or an LZ4-style block)
+//   next 4        CRC32 of the body, u32 LE
+//   last 16       keyed BLAKE2s tag over ALL preceding frame bytes
+//                 (authenticated frames only)
+//
+// Both declared lengths are checked against the receiver's cap before
+// any allocation, and a compressed body must expand to exactly the
+// declared raw length — a lying length is a typed error. v2 acceptance
+// is OPT-IN on the decoder: a default decoder stays relcomp-net/1-only
+// (an unknown magic remains "version skew"), and each side sends v2
+// only when authentication or compression is actually engaged, so
+// mixed-version fleets interoperate on v1 frames. When a decoder holds
+// an auth key, EVERY inbound frame must carry a valid tag; violations
+// surface as kPermissionDenied (terminal), distinct from the
+// kInvalidArgument of a torn or corrupt frame.
+
+inline constexpr char kFrameMagicV2[4] = {'R', 'N', 'F', '2'};
+inline constexpr size_t kFrameHeaderSizeV2 = 13;  // magic + flags + 2 lengths
+inline constexpr uint8_t kFrameFlagCompressed = 1u << 0;
+inline constexpr uint8_t kFrameFlagAuthenticated = 1u << 1;
+
+/// Encode-side knobs shared by client and server (the decoder takes
+/// them via setters).
+struct FrameCodecOptions {
+  /// Shared fabric secret; non-empty = every sent frame carries a tag
+  /// and every received frame must verify against it.
+  std::string auth_key;
+  /// Compress payloads of at least this many bytes (0 = never). Only
+  /// engaged toward peers that already spoke v2 (or when auth is on,
+  /// which implies v2 on both sides).
+  size_t compress_threshold = 0;
+
+  bool v2() const { return !auth_key.empty() || compress_threshold > 0; }
+};
+
 /// Wraps `payload` in a relcomp-net/1 frame.
 std::string EncodeFrame(std::string_view payload);
+
+/// Wraps `payload` in a relcomp-net/2 frame, compressing and tagging
+/// it per `options`. If compression does not shrink the payload the
+/// raw bytes are sent (still v2-framed).
+std::string EncodeFrameV2(std::string_view payload,
+                          const FrameCodecOptions& options);
 
 /// Incremental frame decoder for one connection's byte stream. Feed()
 /// arbitrary chunks (as the socket delivers them); Next() yields
 /// complete payloads in order. Any defect — bad magic, oversized
-/// length, CRC mismatch — is sticky: the stream is desynchronized and
-/// the connection must be closed.
+/// length, CRC mismatch, bad auth tag — is sticky: the stream is
+/// desynchronized and the connection must be closed.
 class FrameDecoder {
  public:
   explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
@@ -55,8 +105,25 @@ class FrameDecoder {
 
   /// True: `*payload` holds the next complete frame's payload.
   /// False with OK status: need more bytes.
-  /// Non-OK (kInvalidArgument): frame-layer defect; sticky.
+  /// Non-OK: frame-layer defect; sticky. kInvalidArgument for framing
+  /// defects, kPermissionDenied for authentication violations.
   Result<bool> Next(std::string* payload);
+
+  /// Opts in to relcomp-net/2 frames. Off by default: a v2 magic at a
+  /// v1-only decoder stays a version-skew error.
+  void set_accept_v2(bool accept) { accept_v2_ = accept; }
+
+  /// Requires every inbound frame to carry a valid keyed tag (implies
+  /// v2 acceptance; a v1 frame is then an authentication violation).
+  void set_auth_key(std::string key) {
+    auth_key_ = std::move(key);
+    if (!auth_key_.empty()) accept_v2_ = true;
+  }
+
+  /// True once any v2 frame decoded on this stream — the server's
+  /// signal that the peer understands v2 replies (compression
+  /// negotiation).
+  bool saw_v2() const { return saw_v2_; }
 
   /// Bytes buffered but not yet consumed (a non-empty value that stays
   /// non-empty is a partial frame — the server's slowloris deadline
@@ -64,9 +131,15 @@ class FrameDecoder {
   size_t buffered() const { return buffer_.size(); }
 
  private:
+  /// Decodes one v2 frame; the caller already matched the magic.
+  Result<bool> NextV2(std::string* payload);
+
   size_t max_payload_;
   std::string buffer_;
   bool poisoned_ = false;
+  bool accept_v2_ = false;
+  bool saw_v2_ = false;
+  std::string auth_key_;
 };
 
 // --- relcomp-net/1 message layer -------------------------------------
@@ -78,23 +151,42 @@ class FrameDecoder {
 //            <verdict> <attempts> <persisted>
 //            <mlen>:<message><elen>:<evidence><xlen>:<exhaustion>
 //
-// ops: submit | poll | cancel | status | ring. <key> is the
-// client-chosen idempotency key (a valid store request id); <job> is a
-// serialized JobSpec (submit only, empty otherwise). `ring` takes no
-// key and asks a fabric member for its serialized `relcomp-fabric/1`
-// ring record (returned in the reply's <message> segment; a standalone
-// server answers with a singleton ring naming itself, so a FabricClient
-// can bootstrap off any endpoint). Every variable-length field
-// is <len>:<bytes> framed, so keys, specs, and evidence may contain
-// spaces or newlines without escaping. Deserialize accepts exactly
-// what Serialize emits and rejects everything else with a typed
-// kInvalidArgument — the hostile-input corpus in net_wire_test.cc
-// sweeps truncations, flips, oversized lengths and version skew.
+// ops: submit | poll | cancel | status | ring | adopt | handoff.
+// <key> is the client-chosen idempotency key (a valid store request
+// id); <job> is a serialized JobSpec (submit only, empty otherwise).
+// `ring` takes no key and asks a fabric member for its serialized
+// `relcomp-fabric/1` ring record (returned in the reply's <message>
+// segment; a standalone server answers with a singleton ring naming
+// itself, so a FabricClient can bootstrap off any endpoint). The
+// fabric-operation ops reuse the two segments differently: `adopt`
+// carries the shard number (decimal) in <key> and an empty <job>;
+// `handoff` carries the shard number in <key> and the successor's
+// endpoint in <job>. Every variable-length field is <len>:<bytes>
+// framed, so keys, specs, and evidence may contain spaces or newlines
+// without escaping. Deserialize accepts exactly what Serialize emits
+// and rejects everything else with a typed kInvalidArgument — the
+// hostile-input corpus in net_wire_test.cc sweeps truncations, flips,
+// oversized lengths and version skew.
 
 inline constexpr char kMessageMagic[] = "relcomp-net/1";
 
 /// Request operation.
-enum class WireOp : uint8_t { kSubmit, kPoll, kCancel, kStatus, kRing };
+enum class WireOp : uint8_t {
+  kSubmit,
+  kPoll,
+  kCancel,
+  kStatus,
+  kRing,
+  /// Fabric operation: adopt the shard named (decimal) by the key —
+  /// the receiving member opens the shard store and re-publishes the
+  /// ring. Sent by a handing-off owner to its successor, or by an
+  /// operator reviving an orphaned shard.
+  kAdopt,
+  /// Fabric operation: hand the shard named by the key off to the
+  /// successor endpoint carried in the job segment. The receiving
+  /// member must currently own the shard.
+  kHandoff,
+};
 
 const char* WireOpToString(WireOp op);
 

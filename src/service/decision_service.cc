@@ -220,6 +220,41 @@ void DecisionService::Resume() {
   queue_cv_.notify_all();
 }
 
+Status DecisionService::Quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::FailedPrecondition("decision service crashed");
+  }
+  if (stopping_) {
+    return Status::FailedPrecondition("decision service is shutting down");
+  }
+  detaching_ = true;
+  paused_ = false;  // a paused worker must wake to observe the detach
+  // Trip every non-terminal job's budget WITHOUT cancel_requested: the
+  // running decider unwinds at its next decision point, persists the
+  // unwound checkpoint, and finishes kUnknown/cancel in memory — but
+  // the durable job record and checkpoint are KEPT (Forget only fires
+  // for explicit Cancel), which is precisely the state the successor's
+  // recovery resumes from. Queued jobs ignore the token; they simply
+  // stay on disk.
+  for (auto& [id, job] : jobs_) {
+    if (!job->terminal) job->cancel.RequestCancel();
+  }
+  queue_cv_.notify_all();
+  result_cv_.wait(lock, [&] {
+    if (crashed_) return true;
+    for (const auto& [id, job] : jobs_) {
+      if (job->running) return false;
+    }
+    return true;
+  });
+  if (crashed_) {
+    return Status::FailedPrecondition(
+        "decision service crashed while flushing for handoff");
+  }
+  return Status::OK();
+}
+
 std::vector<std::string> DecisionService::RecoveredJobs() const {
   std::unique_lock<std::mutex> lock(mu_);
   return recovered_;
@@ -260,6 +295,10 @@ Status DecisionService::Submit(const std::string& request_id,
   }
   if (stopping_) {
     return Status::FailedPrecondition("decision service is shutting down");
+  }
+  if (detaching_) {
+    return Status::FailedPrecondition(
+        "decision service is detaching (planned shard handoff)");
   }
   // Load shedding: admission is bounded by jobs not yet terminal, so a
   // burst beyond the bound is rejected up front instead of growing the
@@ -407,10 +446,14 @@ void DecisionService::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     queue_cv_.wait(lock, [&] {
-      return stopping_ || crashed_ ||
+      return stopping_ || crashed_ || detaching_ ||
              (!paused_ && !queue_.empty());
     });
     if (crashed_) return;
+    // Detach beats drain: a handoff wants queued jobs LEFT on disk for
+    // the successor, so workers park instead of running them down the
+    // way plain destruction does.
+    if (detaching_) return;
     if (queue_.empty()) {
       if (stopping_) return;
       continue;

@@ -199,6 +199,21 @@ class DecisionService {
   /// Releases workers parked by start_paused. Idempotent.
   void Resume();
 
+  /// Flushes the service to durable state for a planned handoff and
+  /// stops it from taking on any further work. Every running job's
+  /// budget is tripped (kCancel at its next decision point) WITHOUT
+  /// marking the job cancel_requested — so the unwound checkpoint is
+  /// persisted and the durable job record is kept, exactly as a crash
+  /// would leave them, but with no torn tail and no lost slice. Queued
+  /// jobs stay queued on disk untouched. Workers park permanently;
+  /// Submit rejects with kFailedPrecondition from the first moment of
+  /// the call (no late admission can slip past the flush). Returns
+  /// once no job is running. The only follow-up that makes sense is
+  /// destruction — a successor re-creates every job from the store.
+  /// kFailedPrecondition if the service crashed before or during the
+  /// flush (the handoff must abort; crash recovery takes over).
+  Status Quiesce();
+
   /// Request ids found in the store at Start() and re-enqueued.
   std::vector<std::string> RecoveredJobs() const;
 
@@ -260,6 +275,9 @@ class DecisionService {
   bool paused_ = false;
   bool stopping_ = false;
   bool crashed_ = false;
+  /// Set by Quiesce(): workers exit instead of draining the queue, and
+  /// Submit rejects — the shard is being handed off.
+  bool detaching_ = false;
   /// EDF ready-queue: (absolute deadline, admission seq) -> request id.
   std::map<std::pair<std::chrono::steady_clock::time_point, uint64_t>,
            std::string>

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
   }
   return "UNKNOWN";
 }

@@ -42,6 +42,11 @@ enum class StatusCode {
   /// terminal answer for the caller's attempt: retrying immediately
   /// cannot succeed within the same deadline.
   kDeadlineExceeded,
+  /// The peer failed transport authentication (missing or invalid frame
+  /// tag against the shared fabric key, or an authenticated frame sent
+  /// to a keyless endpoint). Terminal for the caller: retrying with the
+  /// same credentials cannot succeed.
+  kPermissionDenied,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -83,6 +88,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
+#include "net/compress.h"
+#include "util/blake2s.h"
 #include "util/str.h"
 
 namespace relcomp {
@@ -319,6 +322,270 @@ TEST(NetWireHostileTest, EmptyAndGarbageInputsAreRejected) {
     EXPECT_FALSE(WireRequest::Deserialize(input).ok());
     EXPECT_FALSE(WireReply::Deserialize(input).ok());
   }
+}
+
+// ---------------------------------------------------------------------------
+// relcomp-net/2 frames: compression and authentication.
+
+/// A v2-speaking decoder (accepts both formats, like a live server or
+/// client connection).
+Result<bool> DecodeV2(std::string_view data, std::string* payload,
+                      const std::string& auth_key = "",
+                      size_t max_payload = kDefaultMaxFramePayload) {
+  FrameDecoder decoder(max_payload);
+  decoder.set_accept_v2(true);
+  if (!auth_key.empty()) decoder.set_auth_key(auth_key);
+  decoder.Feed(data);
+  return decoder.Next(payload);
+}
+
+std::string HexString(std::string_view bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+TEST(NetWireV2Test, Blake2sMatchesKnownVectors) {
+  // RFC 7693 appendix B: unkeyed BLAKE2s-256("abc").
+  EXPECT_EQ(HexString(Blake2sMac("", "abc", 32)),
+            "508c5e8c327c14e2e1a72ba34eeb452f"
+            "37458b209ed63a294d999b4c86675982");
+  // First entry of the reference keyed KAT: key = 00..1f, data = "".
+  std::string key;
+  for (int i = 0; i < 32; ++i) key.push_back(static_cast<char>(i));
+  EXPECT_EQ(HexString(Blake2sMac(key, "", 32)),
+            "48a8997da407876b3d79c0d92325ad3b"
+            "89cbb754d86ab71aee047ad345fd2c49");
+  EXPECT_EQ(Blake2sMac(key, "x").size(), kBlake2sTagLength);
+  EXPECT_TRUE(ConstantTimeEqual("same bytes", "same bytes"));
+  EXPECT_FALSE(ConstantTimeEqual("same bytes", "same bytez"));
+  EXPECT_FALSE(ConstantTimeEqual("short", "longer than it"));
+}
+
+TEST(NetWireV2Test, CompressionCodecRoundTrips) {
+  for (const std::string input :
+       {std::string(""), std::string("short"),
+        std::string(5000, 'a'),
+        StrCat(std::string(800, 'x'), "middle", std::string(800, 'x')),
+        std::string("binary\x00\xff\x01 stream", 16)}) {
+    const std::string block = CompressBlock(input);
+    std::string out;
+    Status decompressed = DecompressBlock(block, input.size(), &out);
+    ASSERT_TRUE(decompressed.ok()) << decompressed.ToString();
+    EXPECT_EQ(out, input);
+  }
+  // Repetitive payloads actually shrink.
+  EXPECT_LT(CompressBlock(std::string(5000, 'a')).size(), 100u);
+}
+
+TEST(NetWireV2Test, RoundTripsPlainCompressedAndAuthenticated) {
+  const std::string small = "below the threshold";
+  const std::string big(4096, 'r');
+  for (const std::string& key : {std::string(""), std::string("sekrit")}) {
+    FrameCodecOptions codec;
+    codec.auth_key = key;
+    codec.compress_threshold = 1024;
+    if (!codec.v2()) continue;  // keyless + thresholdless = v1 only
+    for (const std::string& payload : {small, big}) {
+      const std::string frame = EncodeFrameV2(payload, codec);
+      ASSERT_GE(frame.size(), kFrameHeaderSizeV2);
+      EXPECT_TRUE(std::equal(kFrameMagicV2, kFrameMagicV2 + 4,
+                             frame.begin()));
+      std::string out;
+      auto next = DecodeV2(frame, &out, key);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      ASSERT_TRUE(*next);
+      EXPECT_EQ(out, payload);
+    }
+    // The repetitive payload rode compressed: frame beats payload size.
+    EXPECT_LT(EncodeFrameV2(big, codec).size(), big.size());
+  }
+}
+
+TEST(NetWireV2Test, V2DecoderStillAcceptsV1AndFlagsSawV2) {
+  FrameDecoder decoder;
+  decoder.set_accept_v2(true);
+  FrameCodecOptions codec;
+  codec.compress_threshold = 1;
+  decoder.Feed(EncodeFrame("v1 leg"));
+  std::string payload;
+  auto next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "v1 leg");
+  EXPECT_FALSE(decoder.saw_v2());
+  decoder.Feed(EncodeFrameV2("v2 leg upgraded", codec));
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next) << next.status().ToString();
+  EXPECT_EQ(payload, "v2 leg upgraded");
+  EXPECT_TRUE(decoder.saw_v2());
+}
+
+TEST(NetWireV2Test, DefaultDecoderStillRejectsV2Magic) {
+  // The opt-in matters: a peer that never negotiated v2 treats the new
+  // magic exactly like any other version skew.
+  FrameCodecOptions codec;
+  codec.compress_threshold = 1;
+  std::string payload;
+  auto next = DecodeOnce(EncodeFrameV2("not negotiated", codec), &payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("magic"), std::string::npos);
+}
+
+TEST(NetWireHostileTest, V2TruncationAtEveryByteNeverYieldsAFrame) {
+  FrameCodecOptions codec;
+  codec.auth_key = "trunc-key";
+  codec.compress_threshold = 64;
+  const std::string frame =
+      EncodeFrameV2(std::string(300, 'q') + "tail", codec);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string payload;
+    auto next = DecodeV2(frame.substr(0, cut), &payload, "trunc-key");
+    ASSERT_TRUE(next.ok()) << "cut at " << cut << ": "
+                           << next.status().ToString();
+    EXPECT_FALSE(*next) << "truncated v2 frame decoded at cut " << cut;
+  }
+}
+
+TEST(NetWireHostileTest, V2BitFlipAtEveryPositionNeverDecodesValid) {
+  FrameCodecOptions codec;
+  codec.auth_key = "flip-key";
+  codec.compress_threshold = 64;
+  const std::string frame =
+      EncodeFrameV2(std::string(128, 'f') + "unique tail", codec);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit : {0, 5}) {
+      std::string flipped = frame;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      std::string payload;
+      auto next = DecodeV2(flipped, &payload, "flip-key");
+      // Acceptable outcomes: typed rejection (auth, crc, length, flag)
+      // or "incomplete" (the flip grew a declared length). Never a
+      // successfully decoded frame.
+      if (next.ok()) {
+        EXPECT_FALSE(*next) << "flip at byte " << byte << " bit " << bit
+                            << " produced a valid frame";
+      } else {
+        const StatusCode code = next.status().code();
+        EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                    code == StatusCode::kPermissionDenied)
+            << next.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(NetWireHostileTest, ForgedStrippedAndWrongKeyFramesAreDenied) {
+  FrameCodecOptions authed;
+  authed.auth_key = "the real key";
+  const std::string payload = "guarded payload";
+  const std::string frame = EncodeFrameV2(payload, authed);
+
+  // Forged tag: flip one bit inside the trailing tag.
+  std::string forged = frame;
+  forged.back() = static_cast<char>(forged.back() ^ 1);
+  std::string out;
+  auto next = DecodeV2(forged, &out, "the real key");
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(next.status().message().find("tag"), std::string::npos);
+
+  // Wrong key: same typed denial.
+  next = DecodeV2(frame, &out, "a different key");
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+
+  // Stripped auth: an unauthenticated v1 frame at a keyed decoder.
+  next = DecodeV2(EncodeFrame(payload), &out, "the real key");
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+
+  // And an unauthenticated v2 frame at a keyed decoder.
+  FrameCodecOptions plain;
+  plain.compress_threshold = 1;
+  next = DecodeV2(EncodeFrameV2(payload, plain), &out, "the real key");
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+
+  // The mirror image: an authenticated frame at a keyless decoder is
+  // equally a typed denial (strict mutual auth), not a crash.
+  next = DecodeV2(frame, &out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(NetWireHostileTest, LyingCompressedLengthsAreBounded) {
+  FrameCodecOptions codec;
+  codec.compress_threshold = 16;
+  const std::string frame = EncodeFrameV2(std::string(2000, 'z'), codec);
+  ASSERT_TRUE(frame[4] & kFrameFlagCompressed);
+
+  // raw_len inflated to 4 GiB: rejected against the receiver cap
+  // BEFORE any allocation happens.
+  std::string lying = frame;
+  lying[5] = lying[6] = lying[7] = lying[8] = static_cast<char>(0xff);
+  std::string out;
+  auto next = DecodeV2(lying, &out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("exceed"), std::string::npos);
+
+  // raw_len understated: the decompressor's strict output bound trips
+  // (the block wants to write more than declared).
+  std::string small = frame;
+  small[5] = 10;
+  small[6] = small[7] = small[8] = 0;
+  next = DecodeV2(small, &out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+
+  // A tight receiver cap rejects a truthful-but-large raw_len too —
+  // the compressed body must never be a pre-allocation amplifier.
+  next = DecodeV2(frame, &out, "", /*max_payload=*/256);
+  ASSERT_FALSE(next.ok());
+
+  // Direct codec probe: a hostile block cannot overrun the declared
+  // raw length no matter what its sequences claim.
+  const std::string block = CompressBlock(std::string(2000, 'z'));
+  std::string decoded;
+  EXPECT_FALSE(DecompressBlock(block, 10, &decoded).ok());
+  EXPECT_FALSE(DecompressBlock(block.substr(0, block.size() / 2), 2000,
+                               &decoded)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Message layer: fabric operations.
+
+TEST(NetWireMessageTest, AdoptAndHandoffRoundTrip) {
+  WireRequest adopt;
+  adopt.op = WireOp::kAdopt;
+  adopt.key = "3";
+  WireRequest handoff;
+  handoff.op = WireOp::kHandoff;
+  handoff.key = "1";
+  handoff.job = "unix:/tmp/member-2.sock";
+  for (const WireRequest& req : {adopt, handoff}) {
+    auto parsed = WireRequest::Deserialize(req.Serialize());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->op, req.op);
+    EXPECT_EQ(parsed->key, req.key);
+    EXPECT_EQ(parsed->job, req.job);
+  }
+}
+
+TEST(NetWireHostileTest, MalformedFabricOpsAreRejected) {
+  // A handoff without a successor endpoint.
+  WireRequest handoff;
+  handoff.op = WireOp::kHandoff;
+  handoff.key = "1";
+  EXPECT_FALSE(WireRequest::Deserialize(handoff.Serialize()).ok());
+  // An adopt carrying a job payload.
+  EXPECT_FALSE(
+      WireRequest::Deserialize("relcomp-net/1 req adopt 1:13:job payload")
+          .ok());
 }
 
 // ---------------------------------------------------------------------------
