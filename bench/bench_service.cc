@@ -9,17 +9,21 @@
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "completeness/rcdp.h"
 #include "service/checkpoint_store.h"
 #include "service/decision_service.h"
 #include "util/execution_control.h"
+#include "util/fs_env.h"
 #include "util/str.h"
 #include "workload/crm_scenario.h"
 
@@ -135,23 +139,30 @@ void BM_SlicedDecidePersisted(benchmark::State& state) {
 }
 BENCHMARK(BM_SlicedDecidePersisted)->Arg(2)->Arg(8);
 
-/// End-to-end service round trip: Submit + Wait of the instance's spec
-/// as a job, persisting at every slice boundary.
-void BM_ServiceSubmitWait(benchmark::State& state) {
-  // A self-contained spec-text instance (the service ships the problem
-  // as text): every pair over {0..5} x {0..6} except the far corner.
+/// A self-contained spec-text instance (the service ships the problem
+/// as text): every pair over {0..max_x} x {0..max_y} except the far
+/// corner. Different grid sizes yield different job content, which the
+/// verdict cache keys on.
+std::string CornerSpecText(int max_x, int max_y) {
   std::string spec_text = "relation S(a, b)\nmaster relation M(m)\n";
-  for (int x = 0; x <= 5; ++x) {
-    for (int y = 0; y <= 6; ++y) {
-      if (x == 5 && y == 6) continue;
+  for (int x = 0; x <= max_x; ++x) {
+    for (int y = 0; y <= max_y; ++y) {
+      if (x == max_x && y == max_y) continue;
       spec_text += StrCat("fact S(", x, ", ", y, ")\n");
     }
   }
-  for (int m = 0; m <= 5; ++m) {
+  for (int m = 0; m <= max_x; ++m) {
     spec_text += StrCat("master fact M(", m, ")\n");
   }
   spec_text += "constraint c0(x) :- S(x, y) |= M[0]\n";
   spec_text += "query cq Q(x, y) :- S(x, y)\n";
+  return spec_text;
+}
+
+/// End-to-end service round trip: Submit + Wait of the instance's spec
+/// as a job, persisting at every slice boundary.
+void BM_ServiceSubmitWait(benchmark::State& state) {
+  std::string spec_text = CornerSpecText(5, 6);
 
   auto service = ValueOrDie(DecisionService::Start(FreshDir("svc")),
                             "service");
@@ -287,6 +298,190 @@ void WriteServiceJson() {
               persisted.slices_per_op, buf);
 }
 
+/// Degraded-mode service economics — what a service with a dead disk
+/// still delivers, and how fast it comes back when the disk does.
+/// Three measurements against a verdict-cache-warmed service whose
+/// FsEnv fails every store op with EIO:
+///   - shed rate: cold-content submits refused with the typed
+///     kResourceExhausted (no queue time wasted, no I/O attempted);
+///   - cache-hit service rate: warm-content submits admitted
+///     ephemerally and answered from memory;
+///   - time-to-self-heal: disk comes back, background prober (1ms
+///     interval, 16ms backoff cap) flips the service healthy.
+/// The result is spliced into BENCH_robustness.json as a
+/// "degraded_mode" section alongside bench_rcdp_scaling's
+/// budget-overhead report, which owns the rest of the file.
+void WriteRobustnessDegradedJson() {
+  using Clock = std::chrono::steady_clock;
+  FsEnv env;
+  DecisionServiceOptions options;
+  options.enable_verdict_cache = true;
+  options.store_options.fs_env = &env;
+  options.store_probe_interval = std::chrono::milliseconds(1);
+  options.store_probe_backoff_cap = std::chrono::milliseconds(16);
+  auto service = ValueOrDie(
+      DecisionService::Start(FreshDir("degraded"), options),
+      "degraded service");
+
+  JobSpec warm;
+  warm.kind = JobKind::kRcdp;
+  warm.spec_text = CornerSpecText(5, 6);
+  warm.slice_steps = 16;
+  // Different grid, so different content: never in the cache, which
+  // makes every degraded submit of it a durable-admission attempt.
+  JobSpec cold = warm;
+  cold.spec_text = CornerSpecText(4, 6);
+
+  CheckOk(service->Submit("warm", warm), "warm submit");
+  auto warm_result = service->Wait("warm");
+  CheckOk(warm_result.status(), "warm wait");
+  const std::string expected = warm_result->evidence;
+
+  size_t seq = 0;
+  // Kill the disk, then flip the service degraded: the first durable
+  // submit attempts the persist, fails, and sheds.
+  const auto kill_disk = [&] {
+    StorageFaultPlan plan;
+    plan.kind = StorageFaultKind::kEio;
+    plan.every = 1;
+    env.set_fault_plan(plan);
+    while (!service->degraded()) {
+      (void)service->Submit(StrCat("flip-", seq++), cold);
+    }
+  };
+  kill_disk();
+
+  const auto elapsed_ns = [](Clock::time_point since) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             since)
+            .count());
+  };
+  const double min_ns = 0.5e9;
+
+  Measured shed;
+  {
+    const Clock::time_point start = Clock::now();
+    double total = 0;
+    for (;;) {
+      Status s = service->Submit(StrCat("shed-", seq++), cold);
+      if (s.code() != StatusCode::kResourceExhausted) {
+        std::fprintf(stderr, "degraded submit not shed: %s\n",
+                     s.message().c_str());
+        std::abort();
+      }
+      ++shed.iterations;
+      total = elapsed_ns(start);
+      if (total >= min_ns) break;
+    }
+    shed.ns_per_op = total / static_cast<double>(shed.iterations);
+  }
+
+  Measured hit;
+  {
+    const Clock::time_point start = Clock::now();
+    double total = 0;
+    for (;;) {
+      const std::string id = StrCat("hit-", seq++);
+      CheckOk(service->Submit(id, warm), "ephemeral submit");
+      auto result = service->Wait(id);
+      CheckOk(result.status(), "ephemeral wait");
+      if (result->evidence != expected) {
+        std::fprintf(stderr, "degraded cache hit diverged\n");
+        std::abort();
+      }
+      ++hit.iterations;
+      total = elapsed_ns(start);
+      if (total >= min_ns) break;
+    }
+    hit.ns_per_op = total / static_cast<double>(hit.iterations);
+  }
+
+  // Heal latency: disk comes back at t0; the background prober's next
+  // success flips the service healthy. Median over several rounds —
+  // a single sample is at the mercy of where the backoff wait sits.
+  std::vector<double> heal_ms;
+  for (int round = 0; round < 5; ++round) {
+    if (round > 0) kill_disk();
+    const Clock::time_point healthy_at = Clock::now();
+    env.set_fault_plan(StorageFaultPlan{});
+    while (service->degraded()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    heal_ms.push_back(elapsed_ns(healthy_at) / 1e6);
+  }
+  std::sort(heal_ms.begin(), heal_ms.end());
+  const double heal_median = heal_ms[heal_ms.size() / 2];
+
+  std::string obj = "{\n";
+  {
+    std::string hardware;
+    bench::AppendHardwareJson(&hardware, 1);
+    // AppendHardwareJson indents for a top-level object; this one is
+    // nested one level deeper.
+    size_t pos = 0;
+    while ((pos = hardware.find('\n', pos)) != std::string::npos) {
+      obj += "  ";
+      obj += hardware.substr(0, pos + 1);
+      hardware.erase(0, pos + 1);
+      pos = 0;
+    }
+  }
+  char buf[32];
+  obj += StrCat("    \"shed_ns_per_op\": ",
+                static_cast<size_t>(shed.ns_per_op), ",\n");
+  obj += StrCat("    \"sheds\": ", shed.iterations, ",\n");
+  obj += StrCat("    \"cache_hit_ns_per_op\": ",
+                static_cast<size_t>(hit.ns_per_op), ",\n");
+  obj += StrCat("    \"cache_hits_served\": ", hit.iterations, ",\n");
+  std::snprintf(buf, sizeof(buf), "%.2f", heal_median);
+  obj += StrCat("    \"self_heal_ms_median\": ", buf, ",\n");
+  obj += StrCat("    \"self_heal_samples\": ", heal_ms.size(), "\n");
+  obj += "  }";
+
+  const char* path = std::getenv("RELCOMP_BENCH_ROBUSTNESS_JSON");
+  if (path == nullptr) path = "BENCH_robustness.json";
+  std::string existing;
+  if (std::FILE* f = std::fopen(path, "r")) {
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      existing.append(chunk, n);
+    }
+    std::fclose(f);
+  }
+  // Replace a prior degraded_mode section (re-runs), then splice the
+  // new one in before the closing brace of the existing report.
+  const size_t prior = existing.find(",\n  \"degraded_mode\"");
+  if (prior != std::string::npos) {
+    existing.erase(prior);
+    existing += "\n}\n";
+  }
+  std::string out;
+  const size_t brace = existing.rfind('}');
+  if (brace != std::string::npos) {
+    out = existing.substr(0, brace);
+    while (!out.empty() &&
+           (out.back() == '\n' || out.back() == ' ' || out.back() == ',')) {
+      out.pop_back();
+    }
+    out += StrCat(",\n  \"degraded_mode\": ", obj, "\n}\n");
+  } else {
+    out = StrCat("{\n  \"degraded_mode\": ", obj, "\n}\n");
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf(
+      "wrote %s degraded_mode (shed %zu ns, cache hit %zu ns, heal %s ms)\n",
+      path, static_cast<size_t>(shed.ns_per_op),
+      static_cast<size_t>(hit.ns_per_op), buf);
+}
+
 }  // namespace service_bench
 }  // namespace relcomp
 
@@ -296,5 +491,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   relcomp::service_bench::WriteServiceJson();
+  relcomp::service_bench::WriteRobustnessDegradedJson();
   return 0;
 }

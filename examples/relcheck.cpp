@@ -123,19 +123,34 @@ void Usage() {
          "                [--deadline-ms N]\n"
          "       relcheck --connect ADDR[,ADDR,...] --handoff SHARD:ADDR\n"
          "       relcheck --connect ADDR[,ADDR,...] --drain ADDR\n"
+         "       relcheck --connect ADDR[,ADDR,...] --health\n"
          "ADDR: unix:<path> | tcp:<ipv4>:<port>\n"
          "--auth-key-file FILE arms frame authentication (serve, fabric\n"
-         "and connect modes; every party needs the same key)\n"
+         "and connect modes; every party needs the same key). Line 1 is\n"
+         "the key; an optional line 2 is a second ACCEPTED key for\n"
+         "rotation windows (outbound frames always use line 1)\n"
          "--handoff asks SHARD's owner for a planned live handoff to the\n"
          "named successor; --drain hands every shard owned by ADDR to\n"
-         "the remaining members, one planned handoff at a time\n"
+         "the remaining members, one planned handoff at a time;\n"
+         "--health prints each member's store-health report (exit 0 when\n"
+         "every member is healthy, 1 otherwise)\n"
          "exit: 0 complete, 1 incomplete, 2 unknown/exhausted, 3 error"
       << std::endl;
 }
 
-/// Reads the shared fabric secret from `path`, trimming one trailing
-/// newline (editors add one; a key file is bytes, not a text line).
-relcomp::Result<std::string> ReadAuthKeyFile(const std::string& path) {
+/// The shared fabric secret(s): `primary` tags every outbound frame;
+/// a non-empty `secondary` is additionally ACCEPTED on inbound frames
+/// (the rotation window).
+struct AuthKeys {
+  std::string primary;
+  std::string secondary;
+};
+
+/// Reads the shared fabric secret from `path`. Line 1 is the primary
+/// key; an optional line 2 is the secondary accepted key. Two fleets
+/// mid-rotation — each tagging with its own line 1, each accepting
+/// the other's via line 2 — interoperate with zero denials.
+relcomp::Result<AuthKeys> ReadAuthKeyFile(const std::string& path) {
   using namespace relcomp;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -143,14 +158,27 @@ relcomp::Result<std::string> ReadAuthKeyFile(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  std::string key = buffer.str();
-  if (!key.empty() && key.back() == '\n') key.pop_back();
-  if (!key.empty() && key.back() == '\r') key.pop_back();
-  if (key.empty()) {
+  const std::string text = buffer.str();
+  auto chomp = [](std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+  AuthKeys keys;
+  const size_t eol = text.find('\n');
+  if (eol == std::string::npos) {
+    keys.primary = chomp(text);
+  } else {
+    keys.primary = chomp(text.substr(0, eol));
+    std::string rest = text.substr(eol + 1);
+    const size_t eol2 = rest.find('\n');
+    keys.secondary =
+        chomp(eol2 == std::string::npos ? rest : rest.substr(0, eol2));
+  }
+  if (keys.primary.empty()) {
     return Status::InvalidArgument(
         StrCat("auth key file ", path, " is empty"));
   }
-  return key;
+  return keys;
 }
 
 volatile std::sig_atomic_t g_stop_requested = 0;
@@ -159,7 +187,7 @@ void HandleStopSignal(int) { g_stop_requested = 1; }
 /// Serve mode: a DecisionService over the store directory, fronted by
 /// a NetServer, running until SIGINT/SIGTERM, then drained.
 int RunServer(const std::string& address, const std::string& store_dir,
-              size_t workers, const std::string& auth_key) {
+              size_t workers, const AuthKeys& keys) {
   using namespace relcomp;
   DecisionServiceOptions options;
   options.num_workers = workers;
@@ -173,7 +201,8 @@ int RunServer(const std::string& address, const std::string& store_dir,
     std::cout << "recovered in-flight job: " << id << "\n";
   }
   NetServerOptions server_options;
-  server_options.auth_key = auth_key;
+  server_options.auth_key = keys.primary;
+  server_options.auth_key2 = keys.secondary;
   auto server = NetServer::Start(service->get(), address, server_options);
   if (!server.ok()) return Fail(server.status());
   std::cout << "relcheck serving on " << (*server)->address()
@@ -216,7 +245,7 @@ std::vector<std::string> SplitEndpoints(const std::string& list) {
 /// ring departure is journaled before the listeners close).
 int RunFabric(const std::string& fabric_root, long members,
               long member_index, const std::string& serve_list,
-              size_t workers, const std::string& auth_key) {
+              size_t workers, const AuthKeys& keys) {
   using namespace relcomp;
   if (members < 1) {
     Usage();
@@ -262,7 +291,14 @@ int RunFabric(const std::string& fabric_root, long members,
     // after a kill landed between completion and the client's poll) is
     // answered from the journaled verdict, bit-for-bit.
     options.service_options.enable_verdict_cache = true;
-    options.server_options.auth_key = auth_key;
+    options.server_options.auth_key = keys.primary;
+    options.server_options.auth_key2 = keys.secondary;
+    // A production member watches its own disk: a shard store that
+    // stays sick through a live re-probe is handed to a healthy peer.
+    options.health_probe_interval = std::chrono::milliseconds(2000);
+    // And its services self-heal from transient faults on their own.
+    options.service_options.store_probe_interval =
+        std::chrono::milliseconds(500);
     auto member = FabricMember::Start(options);
     if (!member.ok()) return Fail(member.status());
     for (size_t shard : (*member)->owned_shards()) {
@@ -296,7 +332,7 @@ int RunFabric(const std::string& fabric_root, long members,
 /// the same spec against the same server (even across server restarts)
 /// reattaches to the same jobs instead of resubmitting.
 int RunClient(const std::string& address, const std::string& spec_path,
-              long deadline_ms, const std::string& auth_key) {
+              long deadline_ms, const AuthKeys& keys) {
   using namespace relcomp;
   std::ifstream in(spec_path);
   if (!in) {
@@ -355,7 +391,8 @@ int RunClient(const std::string& address, const std::string& spec_path,
     // server answers a singleton ring, so this shape needs no fabric)
     // and survive the loss of any single member mid-audit.
     FabricClientOptions fabric_options;
-    fabric_options.endpoint_options.auth_key = auth_key;
+    fabric_options.endpoint_options.auth_key = keys.primary;
+    fabric_options.endpoint_options.auth_key2 = keys.secondary;
     FabricClient client(SplitEndpoints(address), fabric_options);
     for (size_t i = 0; i < spec->queries.size(); ++i) {
       Status submitted = client.Submit(make_key(i), make_job(i));
@@ -381,7 +418,8 @@ int RunClient(const std::string& address, const std::string& spec_path,
   }
 
   NetClientOptions client_options;
-  client_options.auth_key = auth_key;
+  client_options.auth_key = keys.primary;
+  client_options.auth_key2 = keys.secondary;
   NetClient client(address, client_options);
   for (size_t i = 0; i < spec->queries.size(); ++i) {
     Status submitted = client.Submit(make_key(i), make_job(i));
@@ -404,10 +442,11 @@ int RunClient(const std::string& address, const std::string& spec_path,
 /// for one planned live handoff; --drain ADDR plans and executes the
 /// handoff sequence that empties that member.
 int RunFabricOp(const std::string& address, const std::string& handoff_arg,
-                const std::string& drain_arg, const std::string& auth_key) {
+                const std::string& drain_arg, const AuthKeys& keys) {
   using namespace relcomp;
   FabricClientOptions options;
-  options.endpoint_options.auth_key = auth_key;
+  options.endpoint_options.auth_key = keys.primary;
+  options.endpoint_options.auth_key2 = keys.secondary;
   FabricClient client(SplitEndpoints(address), options);
   Status refreshed = client.RefreshRing();
   if (!refreshed.ok()) return Fail(refreshed);
@@ -449,6 +488,36 @@ int RunFabricOp(const std::string& address, const std::string& handoff_arg,
   return kExitComplete;
 }
 
+/// Health mode: --connect ADDR[,ADDR,...] --health sweeps every known
+/// fabric endpoint and prints each member's relcomp-health/1 report.
+/// Exit 0 only when every member answered "healthy".
+int RunHealth(const std::string& address, const AuthKeys& keys) {
+  using namespace relcomp;
+  FabricClientOptions options;
+  options.endpoint_options.auth_key = keys.primary;
+  options.endpoint_options.auth_key2 = keys.secondary;
+  FabricClient client(SplitEndpoints(address), options);
+  bool all_healthy = true;
+  const auto fleet = client.FleetHealth();
+  if (fleet.empty()) {
+    std::cerr << "relcheck: no fabric endpoint known\n";
+    return kExitError;
+  }
+  for (const auto& [endpoint, report] : fleet) {
+    all_healthy = all_healthy && HealthReportState(report) == "healthy";
+    std::cout << endpoint << ":\n";
+    // Indent the report so member boundaries survive a casual grep.
+    size_t start = 0;
+    while (start < report.size()) {
+      size_t end = report.find('\n', start);
+      if (end == std::string::npos) end = report.size();
+      std::cout << "  " << report.substr(start, end - start) << "\n";
+      start = end + 1;
+    }
+  }
+  return all_healthy ? kExitComplete : kExitIncomplete;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -471,6 +540,7 @@ int main(int argc, char** argv) {
   std::string auth_key_file;
   std::string handoff_arg;
   std::string drain_arg;
+  bool health = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rcqp") == 0) {
       run_rcqp = true;
@@ -506,6 +576,8 @@ int main(int argc, char** argv) {
       handoff_arg = argv[++i];
     } else if (std::strcmp(argv[i], "--drain") == 0 && i + 1 < argc) {
       drain_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health = true;
     } else if (argv[i][0] == '-') {
       Usage();
       return kExitError;
@@ -514,11 +586,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string auth_key;
+  AuthKeys auth_keys;
   if (!auth_key_file.empty()) {
-    auto key = ReadAuthKeyFile(auth_key_file);
-    if (!key.ok()) return Fail(key.status());
-    auth_key = *std::move(key);
+    auto keys = ReadAuthKeyFile(auth_key_file);
+    if (!keys.ok()) return Fail(keys.status());
+    auth_keys = *std::move(keys);
   }
 
   if (!fabric_root.empty()) {
@@ -528,7 +600,7 @@ int main(int argc, char** argv) {
       return kExitError;
     }
     return RunFabric(fabric_root, members, member_index, serve_address,
-                     static_cast<size_t>(workers), auth_key);
+                     static_cast<size_t>(workers), auth_keys);
   }
   if (!serve_address.empty()) {
     if (store_dir.empty() || !path.empty() || workers < 1) {
@@ -536,21 +608,28 @@ int main(int argc, char** argv) {
       return kExitError;
     }
     return RunServer(serve_address, store_dir,
-                     static_cast<size_t>(workers), auth_key);
+                     static_cast<size_t>(workers), auth_keys);
   }
   if (!connect_address.empty()) {
+    if (health) {
+      if (!path.empty() || !handoff_arg.empty() || !drain_arg.empty()) {
+        Usage();
+        return kExitError;
+      }
+      return RunHealth(connect_address, auth_keys);
+    }
     if (!handoff_arg.empty() || !drain_arg.empty()) {
       if (!path.empty() || (!handoff_arg.empty() && !drain_arg.empty())) {
         Usage();
         return kExitError;
       }
-      return RunFabricOp(connect_address, handoff_arg, drain_arg, auth_key);
+      return RunFabricOp(connect_address, handoff_arg, drain_arg, auth_keys);
     }
     if (path.empty()) {
       Usage();
       return kExitError;
     }
-    return RunClient(connect_address, path, deadline_ms, auth_key);
+    return RunClient(connect_address, path, deadline_ms, auth_keys);
   }
   if (path.empty()) {
     Usage();

@@ -46,6 +46,13 @@ run ctest --test-dir build-asan -L fabric --output-on-failure
 # (The tsan preset's name filter already covers the Fabric* suites.)
 run ctest --test-dir build-asan -L chaos --output-on-failure
 
+# Storage-fault stage: the kill-the-disk harness (ctest label
+# "storagefault") once more under the asan build — every fault kind at
+# every store-op ordinal tears temp files, journals, and renames, so
+# recovery must be clean, not just green. (The tsan preset's name
+# filter covers the StorageFaultConcurrency suite.)
+run ctest --test-dir build-asan -L storagefault --output-on-failure
+
 # Incremental stage: the delta/fingerprint/certificate suites and the
 # verdict cache (ctest label "incremental") once more under the asan
 # build — the certificate codec parses untrusted store bytes and the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "util/str.h"
 
@@ -75,6 +76,14 @@ std::vector<std::string> FabricClient::CandidatesFor(size_t shard) const {
   for (const std::string& endpoint : KnownEndpoints()) {
     if (!Contains(out, endpoint)) out.push_back(endpoint);
   }
+  // Steering: try members last seen healthy (or never probed) before
+  // degraded/read-only/down ones. Sick members stay in the list — a
+  // degraded member still answers polls and verdict-cache hits, and
+  // this client's health view may be stale.
+  std::stable_partition(out.begin(), out.end(), [&](const std::string& e) {
+    auto it = endpoint_health_.find(e);
+    return it == endpoint_health_.end() || it->second == "healthy";
+  });
   return out;
 }
 
@@ -83,11 +92,19 @@ Status FabricClient::RefreshRing() {
   Status last = Status::Unavailable("no fabric endpoint reachable");
   bool any = false;
   for (const std::string& endpoint : KnownEndpoints()) {
-    Result<std::string> serialized = ClientFor(endpoint)->Ring();
+    NetClient* client = ClientFor(endpoint);
+    Result<std::string> serialized = client->Ring();
     if (!serialized.ok()) {
+      endpoint_health_[endpoint] = "down";
       last = serialized.status();
       continue;
     }
+    // Steering data rides the same sweep: a member that answers its
+    // ring answers its health too, and a degraded one sorts behind
+    // healthy candidates until it heals.
+    Result<std::string> health = client->Health();
+    endpoint_health_[endpoint] =
+        health.ok() ? std::string(HealthReportState(*health)) : "down";
     Result<FabricRing> ring = FabricRing::Deserialize(*serialized);
     if (!ring.ok()) {
       last = ring.status();
@@ -175,6 +192,24 @@ Status FabricClient::AdoptShard(size_t shard, const std::string& adopter) {
   RELCOMP_RETURN_NOT_OK(ClientFor(adopter)->Adopt(shard));
   (void)RefreshRing();
   return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> FabricClient::FleetHealth() {
+  if (!have_ring_) (void)RefreshRing();
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& endpoint : KnownEndpoints()) {
+    Result<std::string> health = ClientFor(endpoint)->Health();
+    if (health.ok()) {
+      endpoint_health_[endpoint] = std::string(HealthReportState(*health));
+      out.emplace_back(endpoint, *std::move(health));
+    } else {
+      endpoint_health_[endpoint] = "down";
+      out.emplace_back(
+          endpoint,
+          StrCat("unreachable: ", health.status().message(), "\n"));
+    }
+  }
+  return out;
 }
 
 Status FabricClient::Submit(const std::string& key, const JobSpec& spec) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fabric/ring.h"
@@ -111,6 +112,12 @@ class FabricClient {
   /// without handing off), then refreshes the ring.
   Status AdoptShard(size_t shard, const std::string& adopter);
 
+  /// Fetches the relcomp-health/1 report from every reachable known
+  /// endpoint, in sweep order; an unreachable member's report is a
+  /// one-line "unreachable: ..." explanation. Updates the steering
+  /// table as a side effect (`relcheck --health` prints this).
+  std::vector<std::pair<std::string, std::string>> FleetHealth();
+
   /// The next inter-sweep pause CallRouted will sleep (consumes one
   /// draw from the jitter PRNG): uniform in [retry_pause/2,
   /// retry_pause]. Public so tests can pin the deterministic sequence.
@@ -138,6 +145,10 @@ class FabricClient {
   FabricClientOptions options_;
   FabricRing ring_;
   bool have_ring_ = false;
+  /// Last-seen health-state token per endpoint (from the ring-refresh
+  /// piggyback or FleetHealth). CandidatesFor tries members last seen
+  /// healthy (or never probed) before degraded/read-only/down ones.
+  std::map<std::string, std::string> endpoint_health_;
   std::map<std::string, std::unique_ptr<NetClient>> clients_;
   FabricClientStats stats_;
   std::mt19937_64 jitter_;

@@ -1,6 +1,7 @@
 #include "fabric/member.h"
 
 #include <algorithm>
+#include <string_view>
 #include <utility>
 
 #include "net/client.h"
@@ -11,6 +12,14 @@ namespace {
 
 /// The control-record key every shard journals its ring under.
 constexpr char kRingControlKey[] = "ring";
+
+/// Worst-wins ordering of health-state tokens.
+int HealthRank(std::string_view state) {
+  if (state == "healthy") return 0;
+  if (state == "degraded") return 1;
+  if (state == "readonly") return 2;
+  return 3;  // "down" (or anything unrecognized: assume the worst)
+}
 
 }  // namespace
 
@@ -132,9 +141,13 @@ Result<std::unique_ptr<FabricMember>> FabricMember::Start(
   server_options.handoff = [raw](size_t shard, const std::string& successor) {
     return raw->HandoffShard(shard, successor);
   };
+  server_options.health = [raw] { return raw->HealthReport(); };
   RELCOMP_ASSIGN_OR_RETURN(
       member->server_,
       NetServer::Start(member->services_[home].get(), self, server_options));
+  if (options.health_probe_interval.count() > 0) {
+    member->prober_ = std::thread([raw] { raw->ProberLoop(); });
+  }
   return member;
 }
 
@@ -348,6 +361,7 @@ Status FabricMember::HandoffShard(size_t shard, const std::string& successor) {
     client_options.call_deadline = options_.handoff_adopt_deadline;
     client_options.max_retries = 2;
     client_options.auth_key = options_.server_options.auth_key;
+    client_options.auth_key2 = options_.server_options.auth_key2;
     client_options.compress_threshold =
         options_.server_options.compress_threshold;
     NetClient client(successor, client_options);
@@ -371,6 +385,7 @@ void FabricMember::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!shutdown_) {
       shutdown_ = true;
+      probe_cv_.notify_all();
       // Departure precedes the listener closing: the durable record
       // must say "no owner" before the last moment a peer or client
       // could still reach us, so whoever adopts the shards next starts
@@ -383,7 +398,115 @@ void FabricMember::Shutdown() {
       (void)PersistRingLocked();
     }
   }
+  // The prober calls HandoffShard and shard services; it must be gone
+  // before the destructor tears either down.
+  {
+    std::lock_guard<std::mutex> join_lock(prober_join_mu_);
+    if (prober_.joinable()) prober_.join();
+  }
   if (server_) server_->Shutdown();
+}
+
+void FabricMember::ProberLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    probe_cv_.wait_for(lock, options_.health_probe_interval,
+                       [&] { return shutdown_; });
+    if (shutdown_) return;
+    lock.unlock();
+    ProbeAndEvict();
+    lock.lock();
+  }
+}
+
+void FabricMember::ProbeAndEvictNow() { ProbeAndEvict(); }
+
+void FabricMember::ProbeAndEvict() {
+  // Pass 1 (locked): find sick shards, re-probe their stores in place,
+  // and snapshot successor candidates. Only a shard whose store FAILS
+  // a live probe is evicted — a transient fault heals right here and
+  // the shard stays put.
+  std::vector<std::pair<size_t, std::vector<std::string>>> evictions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    const std::string& self = options_.endpoints[options_.member_index];
+    for (auto& [shard, service] : services_) {
+      if (draining_.count(shard) > 0) continue;
+      if (service->HealthState() == "healthy") continue;
+      if (service->ProbeStoreNow().ok()) continue;
+      std::vector<std::string> candidates;
+      for (const std::string& endpoint : ring_.endpoints) {
+        if (!endpoint.empty() && endpoint != self &&
+            std::find(candidates.begin(), candidates.end(), endpoint) ==
+                candidates.end()) {
+          candidates.push_back(endpoint);
+        }
+      }
+      // No live peer: nowhere to go. Keep serving what memory and the
+      // verdict cache can answer; the next sweep retries.
+      if (candidates.empty()) continue;
+      evictions.emplace_back(shard, std::move(candidates));
+    }
+  }
+
+  // Pass 2 (unlocked — HandoffShard takes mu_ itself): steer each
+  // eviction toward a peer that reports itself healthy; when none
+  // does, the first live peer still beats a dying disk.
+  for (auto& [shard, candidates] : evictions) {
+    NetClientOptions probe_options;
+    probe_options.io_timeout = std::chrono::milliseconds(2000);
+    probe_options.max_retries = 1;
+    probe_options.auth_key = options_.server_options.auth_key;
+    probe_options.auth_key2 = options_.server_options.auth_key2;
+    probe_options.compress_threshold =
+        options_.server_options.compress_threshold;
+    std::string successor;
+    for (const std::string& candidate : candidates) {
+      NetClient peer(candidate, probe_options);
+      Result<std::string> health = peer.Health();
+      if (health.ok() && HealthReportState(*health) == "healthy") {
+        successor = candidate;
+        break;
+      }
+    }
+    if (successor.empty()) successor = candidates.front();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++self_eviction_attempts_;
+    }
+    // A journal-stage failure inside HandoffShard already gave up
+    // tenure with a truthful no-owner record — either way this disk no
+    // longer owns the shard, which is the point.
+    Status moved = HandoffShard(shard, successor);
+    if (moved.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++self_evictions_;
+    }
+  }
+}
+
+std::string FabricMember::HealthReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string worst = "healthy";
+  std::string lines;
+  for (const auto& [shard, service] : services_) {
+    const std::string state = service->HealthState();
+    if (HealthRank(state) > HealthRank(worst)) worst = state;
+    lines += service->HealthLine(StrCat(shard));
+    lines += '\n';
+  }
+  return StrCat(kHealthMagic, " ", worst, "\n", lines);
+}
+
+size_t FabricMember::self_eviction_attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return self_eviction_attempts_;
+}
+
+size_t FabricMember::self_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return self_evictions_;
 }
 
 FabricRing FabricMember::ring() const {

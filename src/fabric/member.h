@@ -2,6 +2,7 @@
 #define RELCOMP_FABRIC_MEMBER_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -9,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fabric/ring.h"
@@ -60,6 +62,13 @@ struct FabricMemberOptions {
   /// return aborts the handoff there with that status (the chaos
   /// harness then kills the member to simulate dying mid-protocol).
   std::function<Status(HandoffStage stage)> handoff_fault;
+  /// Period of the store-health probe thread (0 = no thread). Each
+  /// tick sweeps the owned shards; a shard whose store is sick AND
+  /// fails one live re-probe is self-evicted: handed off to a healthy
+  /// peer (steered by its health RPC), or — if even the handoff
+  /// journal write fails on the dying disk — given up with a truthful
+  /// no-owner record so the fabric's orphan-adoption path takes over.
+  std::chrono::milliseconds health_probe_interval{0};
 };
 
 /// One member of the sharded decision fabric: a NetServer plus the
@@ -151,6 +160,23 @@ class FabricMember {
   /// including ones picked up by AdoptShard.
   size_t recovered_jobs() const;
 
+  /// The member's relcomp-health/1 report: worst state on the first
+  /// line, one HealthLine per owned shard after it. This is what the
+  /// server's health op serves.
+  std::string HealthReport() const;
+
+  /// Runs one probe-and-evict pass synchronously on the caller's
+  /// thread — the deterministic test entry to the same sweep the
+  /// health_probe_interval thread runs.
+  void ProbeAndEvictNow();
+
+  /// Self-evictions attempted (sick shard, failed re-probe, successor
+  /// chosen) and completed (the handoff returned OK; a journal-stage
+  /// give-up counts as attempted only, though tenure is gone either
+  /// way).
+  size_t self_eviction_attempts() const;
+  size_t self_evictions() const;
+
  private:
   FabricMember() = default;
 
@@ -161,9 +187,18 @@ class FabricMember {
   Status PersistRingLocked();
   /// Fires the handoff_fault hook for `stage` (OK when unset).
   Status StageFault(HandoffStage stage);
+  /// Background probe thread body (health_probe_interval paced).
+  void ProberLoop();
+  /// One sweep: re-probe sick shard stores, hand the still-sick ones
+  /// to a healthy peer. Takes and releases mu_ internally.
+  void ProbeAndEvict();
 
   FabricMemberOptions options_;
   std::unique_ptr<NetServer> server_;
+  std::thread prober_;
+  std::condition_variable probe_cv_;
+  /// Serializes prober join across concurrent Shutdown callers.
+  std::mutex prober_join_mu_;
 
   mutable std::mutex mu_;
   FabricRing ring_;
@@ -174,6 +209,8 @@ class FabricMember {
   /// truthful until this member dies or the fabric adopts the shard.
   std::map<size_t, std::string> draining_;
   size_t recovered_jobs_ = 0;
+  size_t self_eviction_attempts_ = 0;
+  size_t self_evictions_ = 0;
   bool shutdown_ = false;
 };
 

@@ -151,7 +151,10 @@ Result<std::string> NetClient::ReadFrame() {
   // compression/auth of its own); with a key set, every reply must
   // prove itself.
   decoder.set_accept_v2(true);
-  if (!options_.auth_key.empty()) decoder.set_auth_key(options_.auth_key);
+  if (!options_.auth_key.empty()) {
+    decoder.set_auth_key(options_.auth_key);
+    decoder.set_auth_key2(options_.auth_key2);
+  }
   std::string payload;
   char buf[1 << 14];
   for (;;) {
@@ -309,6 +312,14 @@ Result<std::string> NetClient::ServerStatus() {
 Result<std::string> NetClient::Ring() {
   WireRequest req;
   req.op = WireOp::kRing;
+  RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
+  RELCOMP_RETURN_NOT_OK(reply.ToStatus());
+  return reply.message;
+}
+
+Result<std::string> NetClient::Health() {
+  WireRequest req;
+  req.op = WireOp::kHealth;
   RELCOMP_ASSIGN_OR_RETURN(WireReply reply, Call(req));
   RELCOMP_RETURN_NOT_OK(reply.ToStatus());
   return reply.message;

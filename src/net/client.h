@@ -46,6 +46,10 @@ struct NetClientOptions {
   /// keyed tag and every reply must verify (a stripped or forged reply
   /// is kPermissionDenied, terminal — never silently accepted).
   std::string auth_key = {};
+  /// Optional outgoing key for a rotation window: replies tagged with
+  /// either key verify; requests are always tagged with the primary.
+  /// Ignored when auth_key is empty.
+  std::string auth_key2 = {};
   /// Compress request payloads of at least this many bytes (0 =
   /// never). Either knob switches the client to relcomp-net/2 frames.
   size_t compress_threshold = 0;
@@ -113,6 +117,11 @@ class NetClient {
   /// Fetches the server's serialized relcomp-fabric/1 ring record (a
   /// standalone server answers with a singleton ring naming itself).
   Result<std::string> Ring();
+
+  /// Fetches the server's relcomp-health/1 store-health report (see
+  /// kHealthMagic in wire.h). Answered even by a member whose backend
+  /// is down.
+  Result<std::string> Health();
 
   /// Asks the connected fabric member to adopt `shard` (open its store
   /// and re-publish the ring). kUnsupported against a plain server.

@@ -105,13 +105,18 @@ struct NetServer::Conn {
   Clock::time_point read_deadline_at = Clock::time_point::max();
   Clock::time_point write_deadline_at = Clock::time_point::max();
 
-  Conn(size_t max_payload, const std::string& auth_key)
+  Conn(size_t max_payload, const std::string& auth_key,
+       const std::string& auth_key2)
       : decoder(max_payload) {
     // Servers always understand v2 frames; what the DEFAULT decoder
     // rejects as version skew, a live endpoint negotiates. The auth
-    // key (when set) makes every inbound frame prove itself.
+    // key (when set) makes every inbound frame prove itself; the
+    // secondary key widens acceptance during a rotation window.
     decoder.set_accept_v2(true);
-    if (!auth_key.empty()) decoder.set_auth_key(auth_key);
+    if (!auth_key.empty()) {
+      decoder.set_auth_key(auth_key);
+      decoder.set_auth_key2(auth_key2);
+    }
   }
 };
 
@@ -361,7 +366,8 @@ void NetServer::AcceptNew() {
       continue;
     }
     auto conn = std::make_unique<Conn>(options_.max_frame_payload,
-                                       options_.auth_key);
+                                       options_.auth_key,
+                                       options_.auth_key2);
     conn->fd = fd;
     conns_.push_back(std::move(conn));
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -462,6 +468,10 @@ WireReply NetServer::HandleRequest(const WireRequest& request) {
   // must work even while every backing service is down, or a client
   // could never learn where a shard went.
   if (request.op == WireOp::kRing) return HandleRing();
+  // Health likewise bypasses the gate: a member whose backend (or
+  // disk) is down must still be able to say so, or clients would have
+  // to infer sickness from timeouts.
+  if (request.op == WireOp::kHealth) return HandleHealth();
   // Fabric operations address a shard, not a key: they bypass routing
   // and the crashed() gate (adopting a shard is exactly what revives a
   // member whose own services died).
@@ -504,6 +514,7 @@ WireReply NetServer::HandleRequest(const WireRequest& request) {
     case WireOp::kRing:
     case WireOp::kAdopt:
     case WireOp::kHandoff:
+    case WireOp::kHealth:
       break;  // handled above
   }
   WireReply reply;
@@ -559,6 +570,18 @@ WireReply NetServer::HandleRing() {
   WireReply reply;
   reply.message = options_.ring ? options_.ring()
                                 : FabricRing::Singleton(address_).Serialize();
+  return reply;
+}
+
+WireReply NetServer::HandleHealth() {
+  WireReply reply;
+  if (options_.health) {
+    reply.message = options_.health();
+    return reply;
+  }
+  // Standalone server: the fleet is this one service.
+  reply.message = StrCat(kHealthMagic, " ", service_->HealthState(), "\n",
+                         service_->HealthLine("-"), "\n");
   return reply;
 }
 

@@ -60,6 +60,11 @@ struct NetServerOptions {
   /// crashed — placement discovery must outlive any one service.
   std::function<Result<DecisionService*>(const std::string& key)> route;
   std::function<std::string()> ring;
+  /// Supplies the `relcomp-health/1` report for the health op; unset =
+  /// a report synthesized from the single service passed to Start.
+  /// Like ring, health is answered even while the backend is crashed —
+  /// a sick member must still be able to say it is sick.
+  std::function<std::string()> health;
   /// Fabric-operation hooks, called on the loop thread with the shard
   /// number decoded from the request. Unset = typed kUnsupported.
   /// `adopt` opens the shard store here (replay included — a deliberate
@@ -73,6 +78,10 @@ struct NetServerOptions {
   /// a valid keyed tag (violations get a typed kPermissionDenied reply
   /// and the connection closes) and every reply is tagged.
   std::string auth_key;
+  /// Optional outgoing key for a rotation window: inbound tags are
+  /// accepted under either key, outbound replies are always tagged
+  /// with the primary. Ignored when auth_key is empty.
+  std::string auth_key2;
   /// Compress replies of at least this many bytes (0 = never) toward
   /// peers that have spoken relcomp-net/2 on this connection.
   size_t compress_threshold = 0;
@@ -173,6 +182,7 @@ class NetServer {
                          const WireRequest& request);
   WireReply HandleStatus();
   WireReply HandleRing();
+  WireReply HandleHealth();
   WireReply HandleFabricOp(const WireRequest& request);
   /// Frames `reply` (negotiated v1/v2 unless `force_v1`), applies any
   /// armed fault, and buffers it on `conn`; returns false when the

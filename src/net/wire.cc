@@ -262,7 +262,15 @@ Result<bool> FrameDecoder::NextV2(std::string* payload) {
   if (authenticated) {
     const std::string_view covered(buffer_.data(), total - tag_len);
     const std::string_view got(buffer_.data() + total - tag_len, tag_len);
-    if (!ConstantTimeEqual(Blake2sMac(auth_key_, covered), got)) {
+    // Rotation window: a tag that fails the primary key is re-checked
+    // against the secondary (if set) before refusal. Both comparisons
+    // run constant-time; encoders only ever tag with the primary.
+    const bool primary_ok =
+        ConstantTimeEqual(Blake2sMac(auth_key_, covered), got);
+    const bool secondary_ok =
+        !auth_key2_.empty() &&
+        ConstantTimeEqual(Blake2sMac(auth_key2_, covered), got);
+    if (!primary_ok && !secondary_ok) {
       poisoned_ = true;
       return Status::PermissionDenied(
           "frame authentication tag mismatch (wrong key or forged frame)");
@@ -290,6 +298,18 @@ Result<bool> FrameDecoder::NextV2(std::string* payload) {
   return true;
 }
 
+std::string_view HealthReportState(std::string_view report) {
+  const size_t eol = report.find('\n');
+  std::string_view first =
+      eol == std::string_view::npos ? report : report.substr(0, eol);
+  const size_t space = first.find(' ');
+  if (space == std::string_view::npos ||
+      first.substr(0, space) != kHealthMagic) {
+    return std::string_view();
+  }
+  return first.substr(space + 1);
+}
+
 // --- Message layer ---------------------------------------------------
 
 const char* WireOpToString(WireOp op) {
@@ -301,6 +321,7 @@ const char* WireOpToString(WireOp op) {
     case WireOp::kRing: return "ring";
     case WireOp::kAdopt: return "adopt";
     case WireOp::kHandoff: return "handoff";
+    case WireOp::kHealth: return "health";
   }
   return "?";
 }
@@ -330,13 +351,15 @@ Result<WireRequest> WireRequest::Deserialize(std::string_view text) {
   else if (op_field == "ring") req.op = WireOp::kRing;
   else if (op_field == "adopt") req.op = WireOp::kAdopt;
   else if (op_field == "handoff") req.op = WireOp::kHandoff;
+  else if (op_field == "health") req.op = WireOp::kHealth;
   else return fail("unknown op");
   std::string_view key, job;
   if (!TakeSized(&text, &key)) return fail("bad key segment");
   if (!TakeSized(&text, &job)) return fail("bad job segment");
   if (!text.empty()) return fail("trailing bytes");
-  if (req.op == WireOp::kStatus || req.op == WireOp::kRing) {
-    if (!key.empty()) return fail("status/ring take no key");
+  if (req.op == WireOp::kStatus || req.op == WireOp::kRing ||
+      req.op == WireOp::kHealth) {
+    if (!key.empty()) return fail("status/ring/health take no key");
   } else if (key.empty()) {
     return fail("missing idempotency key");
   }

@@ -120,6 +120,14 @@ class FrameDecoder {
     if (!auth_key_.empty()) accept_v2_ = true;
   }
 
+  /// Optional secondary key for rotation windows: an inbound tag that
+  /// fails the primary is re-checked against this key before the frame
+  /// is refused. Encoders never tag with the secondary — it only
+  /// widens acceptance, so two fleets mid-rotation (old fleet still on
+  /// the outgoing key, new fleet on the incoming one) interoperate
+  /// with zero kPermissionDenied. Meaningless without a primary key.
+  void set_auth_key2(std::string key) { auth_key2_ = std::move(key); }
+
   /// True once any v2 frame decoded on this stream — the server's
   /// signal that the peer understands v2 replies (compression
   /// negotiation).
@@ -140,6 +148,7 @@ class FrameDecoder {
   bool accept_v2_ = false;
   bool saw_v2_ = false;
   std::string auth_key_;
+  std::string auth_key2_;
 };
 
 // --- relcomp-net/1 message layer -------------------------------------
@@ -151,7 +160,8 @@ class FrameDecoder {
 //            <verdict> <attempts> <persisted>
 //            <mlen>:<message><elen>:<evidence><xlen>:<exhaustion>
 //
-// ops: submit | poll | cancel | status | ring | adopt | handoff.
+// ops: submit | poll | cancel | status | ring | adopt | handoff |
+// health.
 // <key> is the client-chosen idempotency key (a valid store request
 // id); <job> is a serialized JobSpec (submit only, empty otherwise).
 // `ring` takes no key and asks a fabric member for its serialized
@@ -170,6 +180,22 @@ class FrameDecoder {
 
 inline constexpr char kMessageMagic[] = "relcomp-net/1";
 
+/// First token of a health reply's <message> segment. The full report:
+///
+///   relcomp-health/1 <worst-state>
+///   shard <label> state=<state> io_errors=<n> write_failures=<n>
+///       fsync_failures=<n> probes=<succeeded>/<attempted> shed=<n>
+///       ephemeral=<n>        (one line per owned shard)
+///
+/// <worst-state> is the worst over all lines ("down" > "readonly" >
+/// "degraded" > "healthy") so a client can steer on the first line
+/// without parsing the rest.
+inline constexpr char kHealthMagic[] = "relcomp-health/1";
+
+/// Extracts <worst-state> from a health report's first line ("" when
+/// the report is not a relcomp-health/1 document).
+std::string_view HealthReportState(std::string_view report);
+
 /// Request operation.
 enum class WireOp : uint8_t {
   kSubmit,
@@ -186,6 +212,13 @@ enum class WireOp : uint8_t {
   /// successor endpoint carried in the job segment. The receiving
   /// member must currently own the shard.
   kHandoff,
+  /// Asks the member for its `relcomp-health/1` store-health report
+  /// (per owned shard: healthy/degraded/read-only plus error
+  /// counters), returned in the reply's <message> segment. Takes no
+  /// key and no job payload, and — like `ring` — is answered even by
+  /// a member whose backend is down, so clients can steer away from
+  /// sick members instead of timing out against them.
+  kHealth,
 };
 
 const char* WireOpToString(WireOp op);
@@ -193,7 +226,8 @@ const char* WireOpToString(WireOp op);
 struct WireRequest {
   WireOp op = WireOp::kStatus;
   /// Client-chosen idempotency key == the DecisionService request id.
-  /// Required for submit/poll/cancel; must be empty for status/ring.
+  /// Required for submit/poll/cancel; must be empty for
+  /// status/ring/health.
   std::string key;
   /// Serialized JobSpec (submit only; empty otherwise).
   std::string job;

@@ -61,7 +61,7 @@ Status ErrnoStatus(std::string_view what, const std::string& path) {
 }
 
 /// mkdir -p: creates every missing component of `dir`.
-Status MakeDirs(const std::string& dir) {
+Status MakeDirs(FsEnv* env, const std::string& dir) {
   std::string partial;
   size_t pos = 0;
   while (pos <= dir.size()) {
@@ -70,17 +70,18 @@ Status MakeDirs(const std::string& dir) {
     partial = dir.substr(0, next);
     pos = next + 1;
     if (partial.empty()) continue;
-    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (env->Mkdir("mkdir", partial.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
       return ErrnoStatus("mkdir", partial);
     }
   }
   return Status::OK();
 }
 
-Status FsyncDirectory(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+Status FsyncDirectory(FsEnv* env, const std::string& dir) {
+  int fd = env->Open("dirsync", dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) return ErrnoStatus("open dir", dir);
-  if (::fsync(fd) != 0) {
+  if (env->Fsync("dirsync", fd) != 0) {
     Status st = ErrnoStatus("fsync dir", dir);
     ::close(fd);
     return st;
@@ -89,8 +90,8 @@ Status FsyncDirectory(const std::string& dir) {
   return Status::OK();
 }
 
-Result<std::string> ReadWholeFile(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+Result<std::string> ReadWholeFile(FsEnv* env, const std::string& path) {
+  int fd = env->Open("read", path.c_str(), O_RDONLY, 0);
   if (fd < 0) {
     if (errno == ENOENT) {
       return Status::NotFound(StrCat("no such store file: ", path));
@@ -100,7 +101,7 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   std::string out;
   char buf[1 << 14];
   for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    ssize_t n = env->Read("read", fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
       Status st = ErrnoStatus("read", path);
@@ -183,14 +184,15 @@ Result<std::unique_ptr<CheckpointStore>> CheckpointStore::Open(
   if (resolved.empty()) {
     return Status::InvalidArgument("store directory must not be empty");
   }
-  RELCOMP_RETURN_NOT_OK(MakeDirs(resolved));
   std::unique_ptr<CheckpointStore> store(
       new CheckpointStore(resolved, options));
+  RELCOMP_RETURN_NOT_OK(MakeDirs(store->env(), resolved));
 
   const std::string lock_path = StrCat(resolved, "/", kLockFile);
-  int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  int fd = store->env()->Open("lock", lock_path.c_str(),
+                              O_RDWR | O_CREAT, 0644);
   if (fd < 0) return ErrnoStatus("open lock", lock_path);
-  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+  if (store->env()->Flock("lock", fd, LOCK_EX | LOCK_NB) != 0) {
     ::close(fd);
     if (errno == EWOULDBLOCK) {
       return Status::FailedPrecondition(
@@ -241,6 +243,94 @@ size_t CheckpointStore::corrupt_files_skipped() const {
   return corrupt_files_skipped_;
 }
 
+const char* StoreHealthToString(StoreHealth health) {
+  switch (health) {
+    case StoreHealth::kHealthy: return "healthy";
+    case StoreHealth::kDegraded: return "degraded";
+    case StoreHealth::kReadOnly: return "readonly";
+  }
+  return "?";
+}
+
+Status CheckpointStore::CheckWritableLocked() const {
+  if (health_ == StoreHealth::kReadOnly) {
+    return Status::Unavailable(
+        StrCat("checkpoint store ", dir_, " is read-only: a failed fsync "
+               "poisoned the write path (fsync-gate); refusing mutations "
+               "until a health probe succeeds"));
+  }
+  return Status::OK();
+}
+
+void CheckpointStore::NoteWriteFailureLocked(bool fsync_failure) {
+  ++io_errors_;
+  ++write_failures_;
+  if (fsync_failure) {
+    ++fsync_failures_;
+    health_ = StoreHealth::kReadOnly;
+  } else if (health_ == StoreHealth::kHealthy) {
+    health_ = StoreHealth::kDegraded;
+  }
+}
+
+StoreHealth CheckpointStore::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+StoreHealthReport CheckpointStore::health_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreHealthReport report;
+  report.health = health_;
+  report.io_errors = io_errors_;
+  report.write_failures = write_failures_;
+  report.fsync_failures = fsync_failures_;
+  report.probes_attempted = probes_attempted_;
+  report.probes_succeeded = probes_succeeded_;
+  return report;
+}
+
+Status CheckpointStore::ProbeHealth() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RELCOMP_RETURN_NOT_OK(CheckAlive());
+  ++probes_attempted_;
+  // A full durability cycle through the environment — the same ops a
+  // real persist issues. The probe file is dot-leading, so it can
+  // never collide with a record (request ids may not start with a
+  // dot) and the directory scan ignores it.
+  const std::string path = StrCat(dir_, "/.probe");
+  const std::string body = StrCat("probe ", probes_attempted_, "\n");
+  auto fail = [&](std::string_view what, bool fsync_failure) {
+    Status st = ErrnoStatus(what, path);
+    NoteWriteFailureLocked(fsync_failure);
+    return st;
+  };
+  int fd = env_->Open("probe", path.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail("probe open", false);
+  errno = 0;
+  ssize_t n = env_->Write("probe", fd, body.data(), body.size());
+  if (n < 0 || static_cast<size_t>(n) != body.size()) {
+    ::close(fd);
+    env_->Unlink("probe", path.c_str());
+    return fail("probe write", false);
+  }
+  if (env_->Fsync("probe", fd) != 0) {
+    ::close(fd);
+    env_->Unlink("probe", path.c_str());
+    return fail("probe fsync", true);
+  }
+  ::close(fd);
+  if (env_->Unlink("probe", path.c_str()) != 0) {
+    return fail("probe unlink", false);
+  }
+  ++probes_succeeded_;
+  // The one healing edge: the disk demonstrably completed a full
+  // write-fsync cycle just now.
+  health_ = StoreHealth::kHealthy;
+  return Status::OK();
+}
+
 // --- Record envelope -------------------------------------------------
 //
 //   relcomp-store/1 <kind> <request_id> <generation> <len>:<payload>
@@ -262,40 +352,69 @@ Status CheckpointStore::WriteRecord(const std::string& path,
              payload.size(), ":", payload);
   body += StrCat(kCrcSeparator, Hex32(Crc32(body)));
 
+  const std::string site = StrCat("record.", kind);
   const std::string tmp = StrCat(path, ".tmp.", ::getpid());
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoStatus("open", tmp);
+  int fd = env_->Open(site, tmp.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    NoteWriteFailureLocked(false);
+    return ErrnoStatus("open", tmp);
+  }
   size_t off = 0;
   while (off < body.size()) {
-    ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    errno = 0;
+    ssize_t n = env_->Write(site, fd, body.data() + off, body.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       Status st = ErrnoStatus("write", tmp);
       ::close(fd);
-      ::unlink(tmp.c_str());
+      env_->Unlink(site, tmp.c_str());
+      NoteWriteFailureLocked(false);
+      return st;
+    }
+    if (static_cast<size_t>(n) < body.size() - off && errno == ENOSPC) {
+      // A short write that blames the disk will never complete; a
+      // retry loop here would just hammer a full volume. The tmp file
+      // holds the torn prefix — unlink it and poison the path.
+      Status st = ErrnoStatus("short write", tmp);
+      ::close(fd);
+      env_->Unlink(site, tmp.c_str());
+      NoteWriteFailureLocked(false);
       return st;
     }
     off += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (env_->Fsync(site, fd) != 0) {
+    // Fsync-gate: the kernel may have dropped any of these bytes, so
+    // the record path is poisoned — unlink the tmp instead of
+    // retrying, and let health flip to read-only.
     Status st = ErrnoStatus("fsync", tmp);
     ::close(fd);
-    ::unlink(tmp.c_str());
+    env_->Unlink(site, tmp.c_str());
+    NoteWriteFailureLocked(true);
     return st;
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (env_->Rename(site, tmp.c_str(), path.c_str()) != 0) {
     Status st = ErrnoStatus("rename", tmp);
-    ::unlink(tmp.c_str());
+    env_->Unlink(site, tmp.c_str());
+    NoteWriteFailureLocked(false);
     return st;
   }
-  return FsyncDirectory(dir_);
+  Status synced = FsyncDirectory(env_, dir_);
+  if (!synced.ok()) NoteWriteFailureLocked(true);
+  return synced;
 }
 
 Result<std::string> CheckpointStore::ReadRecord(
     const std::string& path, std::string_view expect_kind,
     const std::string& expect_request_id, uint64_t expect_generation) const {
-  RELCOMP_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  Result<std::string> read = ReadWholeFile(env_, path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kInternal) ++io_errors_;
+    return read.status();
+  }
+  std::string content = *std::move(read);
   auto corrupt = [&](std::string_view why) {
     return Status::InvalidArgument(
         StrCat("corrupted store file ", path, " (", std::string(why), ")"));
@@ -367,26 +486,44 @@ Status CheckpointStore::AppendJournal(std::string_view op,
                                       uint64_t generation) {
   const std::string fields =
       StrCat(op, " ", request_id, " ", generation);
-  const std::string line =
+  std::string line =
       StrCat(kJournalMagic, " ", fields, " ", Hex32(Crc32(fields)), "\n");
+  // A previous append failed after possibly landing a prefix without
+  // its newline. Start this line with one so that torn fragment stays
+  // its own (CRC-failing, skipped-and-counted) line — appending
+  // directly would merge it with this entry and lose BOTH.
+  if (journal_tainted_) line.insert(line.begin(), '\n');
   const std::string path = StrCat(dir_, "/", kJournalFile);
-  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-  if (fd < 0) return ErrnoStatus("open journal", path);
+  int fd = env_->Open("journal", path.c_str(),
+                      O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    NoteWriteFailureLocked(false);
+    return ErrnoStatus("open journal", path);
+  }
   // One write() call per line: POSIX O_APPEND writes are atomic with
   // respect to each other for this size, so concurrent appends from
   // the submit path and the worker never interleave bytes.
-  ssize_t n = ::write(fd, line.data(), line.size());
+  ssize_t n = env_->Write("journal", fd, line.data(), line.size());
   if (n < 0 || static_cast<size_t>(n) != line.size()) {
-    Status st = ErrnoStatus("append journal", path);
+    Status st = n < 0 ? ErrnoStatus("append journal", path)
+                      : ErrnoStatus("short journal append", path);
     ::close(fd);
+    // Anything from zero to line.size()-1 bytes may now sit at the
+    // tail with no newline.
+    journal_tainted_ = true;
+    NoteWriteFailureLocked(false);
     return st;
   }
-  if (::fsync(fd) != 0) {
+  if (env_->Fsync("journal", fd) != 0) {
     Status st = ErrnoStatus("fsync journal", path);
     ::close(fd);
+    // The kernel may keep or drop any suffix of the unsynced line.
+    journal_tainted_ = true;
+    NoteWriteFailureLocked(true);
     return st;
   }
   ::close(fd);
+  journal_tainted_ = false;
   ++journal_entries_;
   return MaybeCompactJournalLocked();
 }
@@ -424,35 +561,59 @@ Status CheckpointStore::MaybeCompactJournalLocked() {
   // Either replays to the same state.
   const std::string path = StrCat(dir_, "/", kJournalFile);
   const std::string tmp = StrCat(path, ".tmp.", ::getpid());
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoStatus("open", tmp);
+  int fd = env_->Open("compact", tmp.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    NoteWriteFailureLocked(false);
+    return ErrnoStatus("open", tmp);
+  }
   size_t off = 0;
   while (off < content.size()) {
-    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    errno = 0;
+    ssize_t n =
+        env_->Write("compact", fd, content.data() + off,
+                    content.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       Status st = ErrnoStatus("write", tmp);
       ::close(fd);
-      ::unlink(tmp.c_str());
+      env_->Unlink("compact", tmp.c_str());
+      NoteWriteFailureLocked(false);
+      return st;
+    }
+    if (static_cast<size_t>(n) < content.size() - off &&
+        errno == ENOSPC) {
+      Status st = ErrnoStatus("short write", tmp);
+      ::close(fd);
+      env_->Unlink("compact", tmp.c_str());
+      NoteWriteFailureLocked(false);
       return st;
     }
     off += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (env_->Fsync("compact", fd) != 0) {
     Status st = ErrnoStatus("fsync", tmp);
     ::close(fd);
-    ::unlink(tmp.c_str());
+    env_->Unlink("compact", tmp.c_str());
+    NoteWriteFailureLocked(true);
     return st;
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (env_->Rename("compact", tmp.c_str(), path.c_str()) != 0) {
     Status st = ErrnoStatus("rename", tmp);
-    ::unlink(tmp.c_str());
+    env_->Unlink("compact", tmp.c_str());
+    NoteWriteFailureLocked(false);
     return st;
   }
-  RELCOMP_RETURN_NOT_OK(FsyncDirectory(dir_));
+  Status synced = FsyncDirectory(env_, dir_);
+  if (!synced.ok()) {
+    NoteWriteFailureLocked(true);
+    return synced;
+  }
   journal_entries_ = lines;
   ++journal_compactions_;
+  // A fully rewritten journal ends in a newline by construction.
+  journal_tainted_ = false;
   return Status::OK();
 }
 
@@ -468,13 +629,20 @@ size_t CheckpointStore::journal_entries() const {
 
 Status CheckpointStore::ReplayJournal() {
   const std::string path = StrCat(dir_, "/", kJournalFile);
-  Result<std::string> content = ReadWholeFile(path);
+  Result<std::string> content = ReadWholeFile(env_, path);
   if (!content.ok()) {
     if (content.status().code() == StatusCode::kNotFound) {
       return Status::OK();  // fresh store
     }
     return content.status();
   }
+  // A journal that does not end in a newline carries a torn tail from
+  // a crash (or lying disk) mid-append in a PREVIOUS process. The
+  // in-process taint flag died with that process, so re-arm it here:
+  // this store's first append then starts with a newline, keeping the
+  // fragment its own skipped line instead of merging with — and
+  // corrupting — the new entry.
+  if (!content->empty() && content->back() != '\n') journal_tainted_ = true;
   std::string_view rest = *content;
   while (!rest.empty()) {
     size_t nl = rest.find('\n');
@@ -527,7 +695,7 @@ Status CheckpointStore::ScanDirectory() {
   // any survivor file simply re-enters the in-flight set, which is
   // safe (re-running a completed, deterministic job reproduces its
   // result).
-  DIR* d = ::opendir(dir_.c_str());
+  DIR* d = env_->Opendir("scan", dir_.c_str());
   if (d == nullptr) return ErrnoStatus("opendir", dir_);
   while (struct dirent* entry = ::readdir(d)) {
     std::string_view name(entry->d_name);
@@ -575,6 +743,7 @@ Result<uint64_t> CheckpointStore::PersistCheckpoint(
   }
   std::lock_guard<std::mutex> lock(mu_);
   RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(CheckWritableLocked());
   const uint64_t generation = last_generation_[request_id] + 1;
   RELCOMP_RETURN_NOT_OK(WriteRecord(CkptPath(dir_, request_id, generation),
                                     "ckpt", request_id, generation,
@@ -585,7 +754,7 @@ Result<uint64_t> CheckpointStore::PersistCheckpoint(
   // case the newest file is damaged after the fact. Everything older
   // is garbage.
   if (generation >= 3) {
-    ::unlink(CkptPath(dir_, request_id, generation - 2).c_str());
+    env_->Unlink("gc", CkptPath(dir_, request_id, generation - 2).c_str());
   }
   return generation;
 }
@@ -662,6 +831,7 @@ Status CheckpointStore::PersistJob(const std::string& request_id,
   }
   std::lock_guard<std::mutex> lock(mu_);
   RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(CheckWritableLocked());
   RELCOMP_RETURN_NOT_OK(WriteRecord(JobPath(dir_, request_id), "job",
                                     request_id, 0, payload));
   has_job_[request_id] = true;
@@ -702,12 +872,13 @@ Status CheckpointStore::Forget(const std::string& request_id) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(CheckWritableLocked());
   auto it = last_generation_.find(request_id);
   const uint64_t last = it == last_generation_.end() ? 0 : it->second;
   for (uint64_t g = last; g >= 1; --g) {
-    ::unlink(CkptPath(dir_, request_id, g).c_str());
+    env_->Unlink("gc", CkptPath(dir_, request_id, g).c_str());
   }
-  ::unlink(JobPath(dir_, request_id).c_str());
+  env_->Unlink("gc", JobPath(dir_, request_id).c_str());
   last_generation_.erase(request_id);
   has_job_.erase(request_id);
   return AppendJournal("done", request_id, 0);
@@ -721,6 +892,7 @@ Status CheckpointStore::PersistVerdict(const std::string& key,
   }
   std::lock_guard<std::mutex> lock(mu_);
   RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(CheckWritableLocked());
   RELCOMP_RETURN_NOT_OK(
       WriteRecord(VrdPath(dir_, key), "vrd", key, 0, payload));
   has_verdict_[key] = true;
@@ -751,7 +923,8 @@ Status CheckpointStore::ForgetVerdict(const std::string& key) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   RELCOMP_RETURN_NOT_OK(CheckAlive());
-  ::unlink(VrdPath(dir_, key).c_str());
+  RELCOMP_RETURN_NOT_OK(CheckWritableLocked());
+  env_->Unlink("gc", VrdPath(dir_, key).c_str());
   has_verdict_.erase(key);
   return AppendJournal("vgone", key, 0);
 }
@@ -774,6 +947,7 @@ Status CheckpointStore::PersistControl(const std::string& key,
   }
   std::lock_guard<std::mutex> lock(mu_);
   RELCOMP_RETURN_NOT_OK(CheckAlive());
+  RELCOMP_RETURN_NOT_OK(CheckWritableLocked());
   RELCOMP_RETURN_NOT_OK(
       WriteRecord(CtlPath(dir_, key), "ctl", key, 0, payload));
   has_control_[key] = true;

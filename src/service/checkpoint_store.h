@@ -10,9 +10,41 @@
 #include <vector>
 
 #include "util/execution_control.h"
+#include "util/fs_env.h"
 #include "util/status.h"
 
 namespace relcomp {
+
+/// Store health, as observed from its own write path. kHealthy means
+/// no failure since the last successful probe; kDegraded means the
+/// write path has failed at least once (writes are still attempted);
+/// kReadOnly means an fsync failed — the kernel may have lost
+/// acknowledged bytes, so every further mutating op is refused typed
+/// (kUnavailable) without touching the disk until a probe succeeds
+/// (fsync-gate semantics). The ONLY edge back to kHealthy is a
+/// successful ProbeHealth() — an ordinary write that happens to
+/// succeed does not clear degradation, so health cannot flap on a
+/// disk that fails intermittently.
+enum class StoreHealth {
+  kHealthy,
+  kDegraded,
+  kReadOnly,
+};
+
+const char* StoreHealthToString(StoreHealth health);
+
+/// Health counters, for operators and the degraded-mode tests.
+struct StoreHealthReport {
+  StoreHealth health = StoreHealth::kHealthy;
+  /// Every I/O failure seen (read or write path).
+  size_t io_errors = 0;
+  /// Write-path failures (open/write/rename on a persist).
+  size_t write_failures = 0;
+  /// Fsync failures — each one tripped the fsync gate.
+  size_t fsync_failures = 0;
+  size_t probes_attempted = 0;
+  size_t probes_succeeded = 0;
+};
 
 /// A checkpoint loaded back from the store, with its provenance.
 struct PersistedCheckpoint {
@@ -44,6 +76,13 @@ struct CheckpointStoreOptions {
   /// exactly that per-shard exclusion.
   std::string fabric_root;
   std::string shard_name;
+  /// Filesystem environment ALL store I/O is routed through. nullptr
+  /// selects the process-wide passthrough (FsEnv::Default()). Tests
+  /// and the kill-the-disk chaos harness inject an env armed with a
+  /// StorageFaultPlan; a fabric member hands every shard store the
+  /// same env, so one sick "disk" sickens exactly that member. The
+  /// env must outlive the store.
+  FsEnv* fs_env = nullptr;
 };
 
 /// Durable, directory-scoped checkpoint store.
@@ -191,6 +230,21 @@ class CheckpointStore {
   /// rewritten since) — what the compaction threshold is compared to.
   size_t journal_entries() const;
 
+  /// Current health (see StoreHealth). Changes only on write-path
+  /// failures and successful probes — never on a lucky write.
+  StoreHealth health() const;
+
+  /// Health plus the error/probe counters.
+  StoreHealthReport health_report() const;
+
+  /// One full write-probe cycle through the environment: create,
+  /// write, fsync and unlink a scratch file in the store directory.
+  /// Success is the single healing edge — it clears the fsync gate
+  /// and degradation. Failure leaves (or makes) the store degraded
+  /// and returns the underlying error. Works in kReadOnly: the probe
+  /// is exactly the op allowed past the gate.
+  Status ProbeHealth();
+
   /// Releases the directory lock and refuses all further operations,
   /// simulating the kernel-side lock release of a killed process. Used
   /// by the DecisionService crash harness; a real crash needs no call.
@@ -202,7 +256,10 @@ class CheckpointStore {
 
  private:
   CheckpointStore(std::string dir, CheckpointStoreOptions options)
-      : dir_(std::move(dir)), options_(options) {}
+      : dir_(std::move(dir)),
+        options_(options),
+        env_(options.fs_env != nullptr ? options.fs_env
+                                       : FsEnv::Default()) {}
 
   Status WriteRecord(const std::string& path, std::string_view kind,
                      const std::string& request_id, uint64_t generation,
@@ -219,9 +276,16 @@ class CheckpointStore {
   Status ReplayJournal();
   Status ScanDirectory();
   Status CheckAlive() const;
+  /// kUnavailable when the fsync gate is closed; requires mu_ held.
+  Status CheckWritableLocked() const;
+  /// Records a write-path failure; an fsync failure closes the gate
+  /// (kReadOnly), anything else degrades. Requires mu_ held.
+  void NoteWriteFailureLocked(bool fsync_failure);
+  FsEnv* env() const { return env_; }
 
   std::string dir_;
   CheckpointStoreOptions options_;
+  FsEnv* env_ = nullptr;
   int lock_fd_ = -1;
   bool crashed_ = false;
   /// Highest generation ever written per request (journal ∪ directory).
@@ -235,6 +299,17 @@ class CheckpointStore {
   size_t journal_lines_skipped_ = 0;
   size_t journal_entries_ = 0;
   size_t journal_compactions_ = 0;
+  /// A failed or short journal append may have left a tail without
+  /// its newline; the next append starts with one so the torn
+  /// fragment becomes its own (CRC-failing, counted) line instead of
+  /// merging with — and corrupting — the new entry.
+  bool journal_tainted_ = false;
+  StoreHealth health_ = StoreHealth::kHealthy;
+  size_t write_failures_ = 0;
+  size_t fsync_failures_ = 0;
+  size_t probes_attempted_ = 0;
+  size_t probes_succeeded_ = 0;
+  mutable size_t io_errors_ = 0;
   mutable size_t corrupt_files_skipped_ = 0;
   mutable std::mutex mu_;
 };

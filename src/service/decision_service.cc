@@ -141,6 +141,9 @@ struct DecisionService::Job {
   /// Absolute EDF deadline (time_point::max() when the spec has none).
   std::chrono::steady_clock::time_point deadline;
   bool recovered = false;
+  /// Admitted while degraded, against the verdict cache, with no
+  /// durable job record — the store is never asked to Forget it.
+  bool ephemeral = false;
   bool running = false;
   bool terminal = false;
   /// Set by Cancel(): the job was explicitly abandoned, so its durable
@@ -185,7 +188,8 @@ Result<std::unique_ptr<DecisionService>> DecisionService::Start(
       if (!payload.ok()) continue;  // corrupt record: skipped, counted
       Result<JobSpec> spec = JobSpec::Deserialize(*payload);
       if (!spec.ok()) continue;
-      Status st = service->SubmitLocked(id, *spec, /*recovered=*/true, lock);
+      Status st = service->SubmitLocked(id, *spec, /*recovered=*/true,
+                                        /*ephemeral=*/false, lock);
       if (st.ok()) service->recovered_.push_back(id);
     }
   }
@@ -195,6 +199,11 @@ Result<std::unique_ptr<DecisionService>> DecisionService::Start(
   for (size_t i = 0; i < workers; ++i) {
     service->workers_.emplace_back(
         [svc = service.get()] { svc->WorkerLoop(); });
+  }
+  if (options.store_probe_interval.count() > 0) {
+    service->prober_ = std::thread([svc = service.get()] {
+      svc->ProberLoop();
+    });
   }
   return service;
 }
@@ -207,9 +216,11 @@ DecisionService::~DecisionService() {
   }
   queue_cv_.notify_all();
   result_cv_.notify_all();
+  probe_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (prober_.joinable()) prober_.join();
 }
 
 void DecisionService::Resume() {
@@ -280,6 +291,104 @@ size_t DecisionService::verdicts_served_from_cache() const {
   return cache_served_;
 }
 
+bool DecisionService::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+size_t DecisionService::persists_skipped_degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persists_skipped_degraded_;
+}
+
+size_t DecisionService::submits_shed_degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submits_shed_degraded_;
+}
+
+size_t DecisionService::ephemeral_admissions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ephemeral_admissions_;
+}
+
+std::string DecisionService::HealthState() const {
+  // Store health first (its own lock), then the service lock — never
+  // nested the other way.
+  const StoreHealth store_health = store_->health();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return "down";
+  if (store_health == StoreHealth::kReadOnly) return "readonly";
+  if (degraded_ || store_health == StoreHealth::kDegraded) return "degraded";
+  return "healthy";
+}
+
+std::string DecisionService::HealthLine(std::string_view label) const {
+  const StoreHealthReport report = store_->health_report();
+  std::string state = HealthState();
+  std::lock_guard<std::mutex> lock(mu_);
+  return StrCat("shard ", label, " state=", state,
+                " io_errors=", report.io_errors,
+                " write_failures=", report.write_failures,
+                " fsync_failures=", report.fsync_failures,
+                " probes=", report.probes_succeeded, "/",
+                report.probes_attempted, " shed=", submits_shed_degraded_,
+                " ephemeral=", ephemeral_admissions_);
+}
+
+Status DecisionService::ProbeStoreNow() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Status::FailedPrecondition("decision service crashed");
+    }
+  }
+  // The probe does real (small) I/O; don't hold the service lock over
+  // it — the store serializes itself.
+  Status probed = store_->ProbeHealth();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (probed.ok()) degraded_ = false;
+  return probed;
+}
+
+void DecisionService::ProberLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::chrono::milliseconds delay = options_.store_probe_interval;
+  bool sick = false;
+  for (;;) {
+    if (!sick) {
+      // Parked: wake promptly when a persist failure degrades the
+      // service, or on the interval tick (the store can sicken through
+      // a path that doesn't notify, e.g. a failed cache write).
+      probe_cv_.wait_for(lock, options_.store_probe_interval, [&] {
+        return stopping_ || crashed_ || degraded_;
+      });
+    } else {
+      // Backing off between probes of a sick store.
+      probe_cv_.wait_for(lock, delay,
+                         [&] { return stopping_ || crashed_; });
+    }
+    if (stopping_ || crashed_) return;
+    sick = degraded_ || store_->health() != StoreHealth::kHealthy;
+    if (!sick) {
+      delay = options_.store_probe_interval;
+      continue;
+    }
+    lock.unlock();
+    Status probed = store_->ProbeHealth();
+    lock.lock();
+    if (stopping_ || crashed_) return;
+    if (probed.ok()) {
+      // The single healing edge: a demonstrated full durability cycle.
+      degraded_ = false;
+      sick = false;
+      delay = options_.store_probe_interval;
+    } else {
+      // Still sick: back off (capped) so a dead disk is not hammered.
+      delay = std::min(options_.store_probe_backoff_cap, delay * 2);
+    }
+  }
+}
+
 size_t DecisionService::checkpoints_persisted() const {
   std::unique_lock<std::mutex> lock(mu_);
   return persist_ordinal_;
@@ -311,11 +420,40 @@ Status DecisionService::Submit(const std::string& request_id,
                options_.max_queue_depth, "; job \"", request_id,
                "\" shed"));
   }
-  return SubmitLocked(request_id, spec, /*recovered=*/false, lock);
+  if (degraded_) {
+    // Degraded mode: the store cannot make new jobs durable, so the
+    // "accepted means survives a kill" contract is unpayable — shed
+    // durable admission typed. The one thing still admissible is a
+    // job the verdict cache can answer without the disk: it is taken
+    // ephemerally (no job record; it never claimed durability).
+    if (verdict_cache_ != nullptr && spec.kind == JobKind::kRcdp &&
+        jobs_.count(request_id) == 0) {
+      Result<CompletenessSpec> parsed =
+          ParseCompletenessSpec(spec.spec_text);
+      if (parsed.ok() && spec.query_index < parsed->queries.size()) {
+        const uint64_t fp = FingerprintRcdpInstance(
+            parsed->queries[spec.query_index], parsed->db, parsed->master,
+            parsed->constraints);
+        if (verdict_cache_->Lookup(fp).has_value()) {
+          ++ephemeral_admissions_;
+          return SubmitLocked(request_id, spec, /*recovered=*/false,
+                              /*ephemeral=*/true, lock);
+        }
+      }
+    }
+    ++jobs_shed_;
+    ++submits_shed_degraded_;
+    return Status::ResourceExhausted(
+        StrCat("store degraded: durable admission suspended until a "
+               "health probe succeeds; job \"", request_id, "\" shed"));
+  }
+  return SubmitLocked(request_id, spec, /*recovered=*/false,
+                      /*ephemeral=*/false, lock);
 }
 
 Status DecisionService::SubmitLocked(const std::string& request_id,
                                      const JobSpec& spec, bool recovered,
+                                     bool ephemeral,
                                      std::unique_lock<std::mutex>& lock) {
   if (jobs_.count(request_id) > 0) {
     return Status::InvalidArgument(
@@ -333,14 +471,33 @@ Status DecisionService::SubmitLocked(const std::string& request_id,
                  parsed->queries.size(), " queries"));
     }
     // Durability before admission: once Submit returns OK the job
-    // survives a kill.
-    RELCOMP_RETURN_NOT_OK(store_->PersistJob(request_id, spec.Serialize()));
+    // survives a kill. Ephemeral (degraded cache-hit) jobs skip this —
+    // they never claimed durability and will be served from memory.
+    if (!ephemeral) {
+      Status persisted = store_->PersistJob(request_id, spec.Serialize());
+      if (!persisted.ok()) {
+        if (persisted.code() == StatusCode::kFailedPrecondition) {
+          return persisted;  // crashed / fenced store, not a disk fault
+        }
+        // First contact with the bad disk on the admission path:
+        // degrade now and shed this job typed, so the caller gets the
+        // same retryable answer every later degraded submit will.
+        degraded_ = true;
+        ++jobs_shed_;
+        ++submits_shed_degraded_;
+        return Status::ResourceExhausted(
+            StrCat("store write failed (", persisted.message(),
+                   "); durable admission suspended; job \"", request_id,
+                   "\" shed"));
+      }
+    }
   }
 
   auto job = std::make_unique<Job>();
   job->id = request_id;
   job->spec = spec;
   job->recovered = recovered;
+  job->ephemeral = ephemeral;
   job->deadline = spec.deadline.has_value()
                       ? std::chrono::steady_clock::now() + *spec.deadline
                       : std::chrono::steady_clock::time_point::max();
@@ -416,7 +573,7 @@ Status DecisionService::Cancel(const std::string& request_id) {
         break;
       }
     }
-    store_->Forget(request_id);
+    if (!job->ephemeral) store_->Forget(request_id);
     job->terminal = true;
     job->result.verdict = Verdict::kUnknown;
     job->result.evidence =
@@ -490,7 +647,7 @@ void DecisionService::RunJob(Job* job,
                     : Status::InvalidArgument(
                           StrCat("query index ", spec.query_index,
                                  " out of range"));
-    store_->Forget(job->id);
+    if (!job->ephemeral) store_->Forget(job->id);
     lock.lock();
     finish(std::move(st));
     return;
@@ -509,7 +666,7 @@ void DecisionService::RunJob(Job* job,
                                           problem.constraints);
     if (std::optional<CachedVerdict> cached =
             verdict_cache_->Lookup(instance_fp)) {
-      store_->Forget(job->id);
+      if (!job->ephemeral) store_->Forget(job->id);
       lock.lock();
       if (crashed_) return;
       job->result.verdict = cached->verdict;
@@ -646,7 +803,7 @@ void DecisionService::RunJob(Job* job,
     if (crashed_) return;  // another job crashed the service mid-decide
 
     if (!decide_status.ok()) {
-      store_->Forget(job->id);
+      if (!job->ephemeral) store_->Forget(job->id);
       finish(std::move(decide_status));
       return;
     }
@@ -660,23 +817,33 @@ void DecisionService::RunJob(Job* job,
       // rearm count and sticky first-exhaustion record tell the
       // operator how bumpy the road to the verdict was.
       job->result.exhaustion.retry_count = budget.retry_count();
-      store_->Forget(job->id);
+      if (!job->ephemeral) store_->Forget(job->id);
       finish(Status::OK());
       return;
     }
 
     // kUnknown: persist the resume point first — crash simulation and
-    // real kills alike must find it durable.
+    // real kills alike must find it durable. An ephemeral job never
+    // persists (it has no durable identity to attach a generation to);
+    // it keeps its resume point in memory like a degraded persist.
     if (checkpoint.has_value()) {
       uint64_t generation = 0;
-      if (!PersistAndMaybeCrash(job, *checkpoint, budget_saw_crash,
-                                &generation, lock)) {
+      bool persisted = false;
+      if (!job->ephemeral &&
+          !PersistAndMaybeCrash(job, *checkpoint, budget_saw_crash,
+                                &generation, &persisted, lock)) {
         return;  // simulated kill (or store failure after crash)
       }
       std::string form = checkpoint->Serialize();
       stalled = form == last_durable_form;
       last_durable_form = std::move(form);
-      last_generation = generation;
+      if (persisted) {
+        last_generation = generation;
+      } else if (stalled) {
+        // No durable generation to drive the escalation exponent —
+        // grow it in memory so a too-small slice still widens.
+        ++last_generation;
+      }
     } else if (budget_saw_crash) {
       // Nothing to persist (exhaustion before the first checkpointable
       // point) — the kill still happens; recovery restarts from the
@@ -710,7 +877,7 @@ void DecisionService::RunJob(Job* job,
       // An explicit Cancel() abandons the job: drop its durable record
       // and checkpoints (other terminal kUnknowns keep theirs for a
       // manual resume).
-      if (job->cancel_requested) store_->Forget(job->id);
+      if (job->cancel_requested && !job->ephemeral) store_->Forget(job->id);
       finish(Status::OK());
       return;
     }
@@ -729,20 +896,39 @@ void DecisionService::RunJob(Job* job,
 
 bool DecisionService::PersistAndMaybeCrash(
     Job* job, const SearchCheckpoint& ckpt, bool budget_saw_crash,
-    uint64_t* generation_out, std::unique_lock<std::mutex>& lock) {
+    uint64_t* generation_out, bool* persisted_out,
+    std::unique_lock<std::mutex>& lock) {
+  *persisted_out = false;
   // Lock is held: the persist ordinal and the crash decision must be
   // one atomic step across workers.
   Result<uint64_t> generation = store_->PersistCheckpoint(job->id, ckpt);
   if (!generation.ok()) {
-    // Store already crashed (simulated) or the disk failed: the job
-    // cannot make durable progress. Treat as a crash of the service —
-    // conservative, and exactly what a real fsync failure should do.
-    CrashLocked();
-    return false;
+    if (generation.status().code() == StatusCode::kFailedPrecondition) {
+      // The store already crashed (simulated kill) or lost its lock —
+      // that is fencing, not a disk fault: the service dies with it.
+      CrashLocked();
+      return false;
+    }
+    // A disk fault (EIO/ENOSPC/fsync-gate): degrade instead of dying.
+    // The slice's work survives in memory and the search continues;
+    // only durability is suspended until a probe succeeds. A crash now
+    // costs the unpersisted progress — exactly what a failed disk
+    // write must cost — but an in-memory completion still answers.
+    degraded_ = true;
+    ++persists_skipped_degraded_;
+    probe_cv_.notify_all();  // wake the prober to start self-healing
+    if (budget_saw_crash) {
+      // The crash harness outranks degradation: the kill it asked for
+      // still happens, just with nothing new durable.
+      CrashLocked();
+      return false;
+    }
+    return true;
   }
   ++persist_ordinal_;
   ++job->result.persisted;
   *generation_out = *generation;
+  *persisted_out = true;
   job->result.checkpoint_path =
       StrCat(store_->directory(), "/", job->id, ".g", *generation, ".ckpt");
   if (budget_saw_crash || (options_.crash_after_persist > 0 &&
@@ -762,6 +948,7 @@ void DecisionService::CrashLocked() {
   for (auto& [id, job] : jobs_) job->cancel.RequestCancel();
   queue_cv_.notify_all();
   result_cv_.notify_all();
+  probe_cv_.notify_all();
 }
 
 }  // namespace relcomp

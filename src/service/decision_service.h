@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -124,6 +125,14 @@ struct DecisionServiceOptions {
   /// fabric_root/shard_name pair here to park each member's service on
   /// a named shard; Start()'s store_directory must then be empty.
   CheckpointStoreOptions store_options;
+  /// Degraded-mode self-healing: interval between background store
+  /// health probes (a full write-fsync-unlink cycle through the
+  /// store's FsEnv). While the store is sick, each failed probe
+  /// doubles the wait up to store_probe_backoff_cap. 0 disables the
+  /// probe thread — tests (and embedders with their own scheduler)
+  /// drive ProbeStoreNow() instead.
+  std::chrono::milliseconds store_probe_interval{0};
+  std::chrono::milliseconds store_probe_backoff_cap{2000};
 };
 
 /// Crash-recoverable decision service.
@@ -238,6 +247,42 @@ class DecisionService {
   /// epoch rides the same crash-atomic store as the jobs it governs.
   CheckpointStore* mutable_store() { return store_.get(); }
 
+  /// True while the service is in degraded mode: a store write failed
+  /// (or the fsync gate closed), so durable admission is suspended —
+  /// Submit sheds with typed kResourceExhausted, EXCEPT verdict-cache
+  /// hits, which are admitted ephemerally (no job record) and served
+  /// from memory. Running jobs keep deciding; their checkpoint
+  /// persists are skipped, not fatal. Cleared ONLY by a successful
+  /// store probe (the background thread or ProbeStoreNow) — a lucky
+  /// write never flips the service back, so degraded/healthy cannot
+  /// flap on an intermittent disk.
+  bool degraded() const;
+
+  /// One store health probe, now, on the caller's thread. On success
+  /// the service leaves degraded mode. Returns the probe's outcome;
+  /// kFailedPrecondition after a (simulated) crash.
+  Status ProbeStoreNow();
+
+  /// Checkpoint persists skipped because the service was degraded —
+  /// slices that completed in memory only.
+  size_t persists_skipped_degraded() const;
+
+  /// Submissions shed specifically because the store was degraded
+  /// (subset of jobs_shed()).
+  size_t submits_shed_degraded() const;
+
+  /// Cache-hit jobs admitted ephemerally while degraded.
+  size_t ephemeral_admissions() const;
+
+  /// Worst-wins health token for this service + its store:
+  /// "down" (crashed) > "readonly" (fsync gate) > "degraded" > "healthy".
+  std::string HealthState() const;
+
+  /// One `relcomp-health/1` report line: `shard <label> state=<state>
+  /// io_errors=... write_failures=... fsync_failures=...
+  /// probes=<succeeded>/<attempted> shed=<n> ephemeral=<n>`.
+  std::string HealthLine(std::string_view label) const;
+
   /// Jobs answered from the verdict cache without running a search.
   size_t verdicts_served_from_cache() const;
 
@@ -251,16 +296,23 @@ class DecisionService {
   explicit DecisionService(DecisionServiceOptions options);
 
   Status SubmitLocked(const std::string& request_id, const JobSpec& spec,
-                      bool recovered, std::unique_lock<std::mutex>& lock);
+                      bool recovered, bool ephemeral,
+                      std::unique_lock<std::mutex>& lock);
   void WorkerLoop();
+  /// Background store health probe with capped backoff; parks until
+  /// the store is sick, probes, and clears degraded mode on success.
+  void ProberLoop();
   /// Runs one job to a terminal state (or crash). Called with the lock
   /// held; drops it while deciding.
   void RunJob(Job* job, std::unique_lock<std::mutex>& lock);
   /// Persists `ckpt` for `job` and fires the crash harness if armed.
-  /// Returns false when the service crashed (simulated kill); on
-  /// success `*generation_out` is the durable generation written.
+  /// Returns false when the service crashed (simulated kill). On a
+  /// disk fault the service degrades instead of crashing: the persist
+  /// is skipped (*persisted_out = false) and the job continues in
+  /// memory. On success *generation_out is the durable generation.
   bool PersistAndMaybeCrash(Job* job, const SearchCheckpoint& ckpt,
                             bool budget_saw_crash, uint64_t* generation_out,
+                            bool* persisted_out,
                             std::unique_lock<std::mutex>& lock);
   void CrashLocked();
 
@@ -268,10 +320,12 @@ class DecisionService {
   std::unique_ptr<CheckpointStore> store_;
   std::unique_ptr<VerdictCache> verdict_cache_;
   std::vector<std::thread> workers_;
+  std::thread prober_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;   // workers: queue / resume / stop
   std::condition_variable result_cv_;  // waiters: job became terminal
+  std::condition_variable probe_cv_;   // prober: sick store / stop
   bool paused_ = false;
   bool stopping_ = false;
   bool crashed_ = false;
@@ -290,6 +344,12 @@ class DecisionService {
   size_t jobs_shed_ = 0;
   size_t persist_ordinal_ = 0;  // service-wide persist counter
   size_t cache_served_ = 0;     // jobs answered from the verdict cache
+  /// Degraded mode (see degraded()). Set on any store write failure
+  /// that is not a simulated crash; cleared only by a probe success.
+  bool degraded_ = false;
+  size_t persists_skipped_degraded_ = 0;
+  size_t submits_shed_degraded_ = 0;
+  size_t ephemeral_admissions_ = 0;
 };
 
 }  // namespace relcomp

@@ -250,6 +250,81 @@ TEST(CheckpointStoreTest, TornJournalTailIsSkippedOnReplay) {
   EXPECT_EQ(loaded->generation, 1u);
 }
 
+TEST(CheckpointStoreTest, JournalTruncationAtEveryByteRecoversEverything) {
+  const std::string dir = FreshDir("journaltrunc");
+  {
+    auto store = CheckpointStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PersistJob("req", "the job").ok());
+    ASSERT_TRUE((*store)->PersistCheckpoint("req", MakeCkpt(4)).ok());
+    ASSERT_TRUE((*store)->PersistCheckpoint("req", MakeCkpt(5)).ok());
+    ASSERT_TRUE((*store)->PersistVerdict("vkey", "the verdict").ok());
+  }
+  const std::string journal_path = StrCat(dir, "/journal");
+  const std::string intact = ReadFile(journal_path);
+  ASSERT_GT(intact.size(), 0u);
+  // A crash can stop the journal at ANY byte. Whatever the cut leaves,
+  // the store must open, load every durable record (the directory scan
+  // backstops lines the cut removed entirely), surface nothing corrupt,
+  // and charge at most the one torn line.
+  for (size_t len = 0; len < intact.size(); ++len) {
+    WriteFile(journal_path, intact.substr(0, len));
+    auto store = CheckpointStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << "cut at byte " << len << ": "
+                            << store.status().ToString();
+    EXPECT_LE((*store)->journal_lines_skipped(), 1u) << "cut at " << len;
+    auto job = (*store)->LoadJob("req");
+    ASSERT_TRUE(job.ok()) << "cut at byte " << len << ": "
+                          << job.status().ToString();
+    EXPECT_EQ(*job, "the job");
+    auto ckpt = (*store)->LoadLatestCheckpoint("req");
+    ASSERT_TRUE(ckpt.ok()) << "cut at byte " << len << ": "
+                           << ckpt.status().ToString();
+    EXPECT_EQ(ckpt->checkpoint.rank, 5u) << "cut at " << len;
+    auto verdict = (*store)->LoadVerdict("vkey");
+    ASSERT_TRUE(verdict.ok()) << "cut at byte " << len << ": "
+                              << verdict.status().ToString();
+    EXPECT_EQ(*verdict, "the verdict");
+    EXPECT_EQ((*store)->corrupt_files_skipped(), 0u) << "cut at " << len;
+  }
+}
+
+TEST(CheckpointStoreTest, ReopenedStoreTerminatesTornTailBeforeAppending) {
+  const std::string dir = FreshDir("reopentaint");
+  {
+    auto store = CheckpointStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PersistJob("a", "job a").ok());
+  }
+  // Tear the journal mid-line — the crash-mid-append shape, but the
+  // process that knew about the torn tail is gone.
+  const std::string journal_path = StrCat(dir, "/journal");
+  const std::string intact = ReadFile(journal_path);
+  ASSERT_GT(intact.size(), 4u);
+  ASSERT_EQ(intact.back(), '\n');
+  WriteFile(journal_path, intact.substr(0, intact.size() - 4));
+  {
+    // The REOPENED store must re-arm the taint: its first append starts
+    // with a newline, so the torn fragment becomes its own (CRC-failing,
+    // skipped) line instead of merging with — and eating — the new entry.
+    auto store = CheckpointStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->PersistJob("b", "job b").ok());
+  }
+  EXPECT_NE(ReadFile(journal_path).find("\nJ1 job b"), std::string::npos)
+      << ReadFile(journal_path);
+  auto store = CheckpointStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->journal_lines_skipped(), 1u);
+  auto a = (*store)->LoadJob("a");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(*a, "job a");
+  auto b = (*store)->LoadJob("b");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(*b, "job b");
+  EXPECT_EQ((*store)->corrupt_files_skipped(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Exclusion.
 

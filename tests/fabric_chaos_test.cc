@@ -683,6 +683,50 @@ TEST(FabricAuthTest, UntaggedAndWrongKeyPeersGetTypedDenials) {
       << "keyless client burned its op deadline instead of failing fast";
 }
 
+TEST(FabricAuthTest, KeyRotationWindowServesOldAndNewKeyedPeers) {
+  const std::string old_key = "fabric-key-2025";
+  const std::string new_key = "fabric-key-2026";
+  // Mid-rotation: the servers already speak the NEW key (tagging every
+  // reply with it) but still accept the OLD one as secondary.
+  Fabric fabric = StartFabric("rotate", 2,
+                              [&](size_t, FabricMemberOptions& o) {
+                                o.server_options.auth_key = new_key;
+                                o.server_options.auth_key2 = old_key;
+                              });
+  // A laggard client still on the OLD key: its requests verify via the
+  // server's secondary, and the NEW-tagged replies verify via its own.
+  NetClientOptions laggard_options;
+  laggard_options.auth_key = old_key;
+  laggard_options.auth_key2 = new_key;
+  NetClient laggard(fabric.endpoints[0], laggard_options);
+  EXPECT_TRUE(laggard.ServerStatus().ok());
+  // An upgraded client on the NEW key alone works too, so the fleet
+  // can roll members and clients in any order.
+  NetClientOptions upgraded_options;
+  upgraded_options.auth_key = new_key;
+  NetClient upgraded(fabric.endpoints[0], upgraded_options);
+  EXPECT_TRUE(upgraded.ServerStatus().ok());
+  // A client that never learned the NEW key cannot verify the replies:
+  // the rotation window lets it REQUEST, not skip the upgrade.
+  NetClientOptions stale_options;
+  stale_options.auth_key = old_key;
+  NetClient stale(fabric.endpoints[0], stale_options);
+  EXPECT_EQ(stale.ServerStatus().status().code(),
+            StatusCode::kPermissionDenied);
+
+  // Real keyed traffic across the window decides bit-for-bit.
+  FabricClientOptions options;
+  options.endpoint_options.auth_key = old_key;
+  options.endpoint_options.auth_key2 = new_key;
+  FabricClient client(fabric.endpoints, options);
+  const std::string key =
+      KeyForShard(FabricRing::Make(fabric.endpoints), 0, "rotate");
+  auto reply = client.SubmitAndAwait(key, MakeJob(IncompleteSpec(), 1, 40));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->evidence, DirectRcdpEvidence(IncompleteSpec(), 1));
+  ExpectNoCorruption(fabric);
+}
+
 TEST(FabricAuthTest, HostileBytesAtAnAuthenticatedServerNeverCrashIt) {
   const std::string secret = "chaos-shared-secret";
   Fabric fabric = StartFabric("hostile", 2,

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -73,16 +74,24 @@ std::string MemberEndpoint(const std::string& root, size_t index) {
 
 /// Spawns `relcheck --fabric root --members n --member-index index`,
 /// output discarded. Returns the child pid.
-pid_t SpawnMember(const std::string& root, size_t n, size_t index) {
+pid_t SpawnMember(const std::string& root, size_t n, size_t index,
+                  const std::string& key_file = std::string()) {
   const std::string members = StrCat(n);
   const std::string member_index = StrCat(index);
   pid_t pid = ::fork();
   if (pid == 0) {
     std::freopen("/dev/null", "w", stdout);
     std::freopen("/dev/null", "w", stderr);
-    ::execl(RELCHECK_BINARY, "relcheck", "--fabric", root.c_str(),
-            "--members", members.c_str(), "--member-index",
-            member_index.c_str(), static_cast<char*>(nullptr));
+    if (key_file.empty()) {
+      ::execl(RELCHECK_BINARY, "relcheck", "--fabric", root.c_str(),
+              "--members", members.c_str(), "--member-index",
+              member_index.c_str(), static_cast<char*>(nullptr));
+    } else {
+      ::execl(RELCHECK_BINARY, "relcheck", "--fabric", root.c_str(),
+              "--members", members.c_str(), "--member-index",
+              member_index.c_str(), "--auth-key-file", key_file.c_str(),
+              static_cast<char*>(nullptr));
+    }
     ::_exit(127);
   }
   EXPECT_GT(pid, 0);
@@ -90,10 +99,12 @@ pid_t SpawnMember(const std::string& root, size_t n, size_t index) {
 }
 
 /// Waits until the member's endpoint answers the ring op.
-bool AwaitServing(const std::string& endpoint) {
+bool AwaitServing(const std::string& endpoint,
+                  const std::string& auth_key = std::string()) {
   NetClientOptions options;
   options.max_retries = 1;
   options.backoff_base = std::chrono::milliseconds(1);
+  options.auth_key = auth_key;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
   while (std::chrono::steady_clock::now() < deadline) {
@@ -226,6 +237,66 @@ TEST(FabricCliTest, RestartedMemberRejoinsAndKeepsServing) {
             1);
   DrainGracefully(m0);
   DrainGracefully(m1);
+}
+
+TEST(FabricCliTest, AuthKeyFileRotationWindowInteroperates) {
+  const std::string root = FreshRoot("keyrot");
+  ASSERT_EQ(::mkdir(root.c_str(), 0755), 0);
+  // Server fleet mid-rotation: tags with NEW (line 1), accepts OLD
+  // (line 2). The laggard client file is the mirror image.
+  const std::string server_keys = StrCat(root, "/server.keys");
+  const std::string laggard_keys = StrCat(root, "/laggard.keys");
+  const std::string stale_keys = StrCat(root, "/stale.keys");
+  {
+    std::ofstream(server_keys) << "fabric-key-new\nfabric-key-old\n";
+    std::ofstream(laggard_keys) << "fabric-key-old\nfabric-key-new\n";
+    std::ofstream(stale_keys) << "fabric-key-old\n";
+  }
+  pid_t m0 = SpawnMember(root, 2, 0, server_keys);
+  pid_t m1 = SpawnMember(root, 2, 1, server_keys);
+  ASSERT_TRUE(AwaitServing(MemberEndpoint(root, 0), "fabric-key-new"));
+  ASSERT_TRUE(AwaitServing(MemberEndpoint(root, 1), "fabric-key-new"));
+  const std::string connect = StrCat("--connect ", MemberEndpoint(root, 0),
+                                     ",", MemberEndpoint(root, 1));
+
+  // The laggard (OLD primary, NEW secondary) is served end to end.
+  const std::string spec = WriteSpec("keyrot", IncompleteSpec());
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " --auth-key-file ", laggard_keys,
+                               " ", spec)),
+            1);
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " --auth-key-file ", laggard_keys,
+                               " --health")),
+            0);
+  // A client that never learned the NEW key cannot verify the NEW-
+  // tagged replies; a keyless client is denied outright.
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " --auth-key-file ", stale_keys,
+                               " ", spec)),
+            3);
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " ", spec)), 3);
+  DrainGracefully(m0);
+  DrainGracefully(m1);
+}
+
+TEST(FabricCliTest, HealthFlagReportsFleetAndExitsByWorstState) {
+  const std::string root = FreshRoot("health");
+  pid_t m0 = SpawnMember(root, 2, 0);
+  pid_t m1 = SpawnMember(root, 2, 1);
+  ASSERT_TRUE(AwaitServing(MemberEndpoint(root, 0)));
+  ASSERT_TRUE(AwaitServing(MemberEndpoint(root, 1)));
+  const std::string connect = StrCat("--connect ", MemberEndpoint(root, 0),
+                                     ",", MemberEndpoint(root, 1));
+
+  // Every member healthy: exit 0 (the "complete" rung of the ladder).
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " --health")), 0);
+  // --health is a dedicated mode: combining it with a spec or a shard
+  // move is a usage error.
+  const std::string spec = WriteSpec("health", IncompleteSpec());
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " --health ", spec)), 3);
+
+  // A dead member makes the fleet non-healthy: exit 1, not a hang.
+  Sigkill(m1);
+  EXPECT_EQ(RunRelcheck(StrCat(connect, " --health")), 1);
+  DrainGracefully(m0);
 }
 
 TEST(FabricCliTest, FabricFlagValidation) {

@@ -517,6 +517,50 @@ TEST(NetWireHostileTest, ForgedStrippedAndWrongKeyFramesAreDenied) {
   EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
 }
 
+TEST(NetWireV2Test, RotationWindowDecoderAcceptsEitherKeyOnly) {
+  // A decoder mid-rotation holds two keys; frames tagged with either
+  // verify, frames tagged with a third (or untagged) stay denied.
+  FrameCodecOptions old_codec;
+  old_codec.auth_key = "old fabric key";
+  FrameCodecOptions new_codec;
+  new_codec.auth_key = "new fabric key";
+  FrameCodecOptions other_codec;
+  other_codec.auth_key = "some third key";
+  const std::string payload = "rotating payload";
+
+  auto decode = [&](const std::string& frame, std::string* out) {
+    FrameDecoder decoder;
+    decoder.set_accept_v2(true);
+    decoder.set_auth_key("new fabric key");
+    decoder.set_auth_key2("old fabric key");
+    decoder.Feed(frame);
+    return decoder.Next(out);
+  };
+  std::string out;
+  auto next = decode(EncodeFrameV2(payload, new_codec), &out);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(out, payload);
+  next = decode(EncodeFrameV2(payload, old_codec), &out);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(out, payload);
+  next = decode(EncodeFrameV2(payload, other_codec), &out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+  next = decode(EncodeFrame(payload), &out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+
+  // Dropping the secondary closes the window: the old key stops
+  // verifying the moment the rotation completes.
+  FrameDecoder single;
+  single.set_accept_v2(true);
+  single.set_auth_key("new fabric key");
+  single.Feed(EncodeFrameV2(payload, old_codec));
+  next = single.Next(&out);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kPermissionDenied);
+}
+
 TEST(NetWireHostileTest, LyingCompressedLengthsAreBounded) {
   FrameCodecOptions codec;
   codec.compress_threshold = 16;
